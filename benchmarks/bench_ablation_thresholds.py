@@ -1,0 +1,79 @@
+"""Ablation: how sensitive are the two techniques to their thresholds?
+
+DESIGN.md calls out the threshold choices (MigRep's 800-miss trigger and
+32 000-miss reset, R-NUMA's 32-refetch switch) as the design parameters
+the paper tunes "to optimize performance over all benchmarks"
+(Section 5).  This ablation sweeps the scaled equivalents of those
+thresholds on one replication-friendly application (lu) and one
+relocation-heavy application (radix) and records how execution time and
+page-operation counts move — low thresholds cause page thrashing, high
+thresholds forfeit the opportunity, which is exactly the trade-off that
+motivates the paper's choice and its Section 6.2 re-tuning for slow page
+operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import base_config
+from repro.experiments.runner import run_experiment
+from repro.workloads import get_workload
+
+from conftest import run_once
+
+
+def _with_thresholds(cfg, *, migrep=None, rnuma=None):
+    th = cfg.thresholds
+    kwargs = {}
+    if migrep is not None:
+        kwargs["migrep_threshold"] = migrep
+    if rnuma is not None:
+        kwargs["rnuma_threshold"] = rnuma
+    return dataclasses.replace(cfg, thresholds=dataclasses.replace(
+        th, scale=1.0, **kwargs))
+
+
+@pytest.mark.parametrize("threshold", [8, 32, 128])
+def test_migrep_threshold_sweep_lu(benchmark, threshold, scale):
+    """MigRep trigger threshold sweep on lu (replication-dominated)."""
+    cfg = base_config(seed=0)
+    trace = get_workload("lu", machine=cfg.machine, scale=min(scale, 0.4), seed=0)
+    swept = _with_thresholds(cfg, migrep=threshold,
+                             rnuma=cfg.thresholds.effective_rnuma_threshold)
+
+    def run():
+        baseline = run_experiment(trace, "perfect", swept)
+        res = run_experiment(trace, "migrep", swept)
+        return res.normalized_time(baseline), res.per_node_page_ops()
+
+    norm, ops = run_once(benchmark, run)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["normalized_time"] = round(norm, 3)
+    benchmark.extra_info["page_ops_per_node"] = {k: round(v, 1)
+                                                 for k, v in ops.items()}
+    assert norm >= 0.99
+
+
+@pytest.mark.parametrize("threshold", [2, 8, 64])
+def test_rnuma_threshold_sweep_radix(benchmark, threshold, scale):
+    """R-NUMA switching threshold sweep on radix (relocation-heavy)."""
+    cfg = base_config(seed=0)
+    trace = get_workload("radix", machine=cfg.machine, scale=min(scale, 0.4),
+                         seed=0)
+    swept = _with_thresholds(cfg, migrep=cfg.thresholds.effective_migrep_threshold,
+                             rnuma=threshold)
+
+    def run():
+        baseline = run_experiment(trace, "perfect", swept)
+        res = run_experiment(trace, "rnuma", swept)
+        return res.normalized_time(baseline), res.stats.per_node_relocations()
+
+    norm, relocs = run_once(benchmark, run)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["normalized_time"] = round(norm, 3)
+    benchmark.extra_info["relocations_per_node"] = round(relocs, 1)
+    # a higher switching threshold can only reduce the relocation count
+    assert relocs >= 0

@@ -1,0 +1,36 @@
+"""Figure 5 — base performance comparison (one benchmark per application).
+
+Each benchmark runs the six Figure 5 systems plus the perfect CC-NUMA
+baseline on one application and records the normalized execution times in
+``extra_info``.  The shape to look for (Section 6.1 of the paper):
+CC-NUMA is the slowest, MigRep improves on it by roughly 20 %, R-NUMA by
+roughly 40 %, Mig alone does not help barnes, and lu's gain comes from
+replication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure5 import FIGURE5_SYSTEMS, normalized_times, run_figure5_app
+
+from conftest import APPS, run_once
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_figure5_app(benchmark, app, scale):
+    def run():
+        results = run_figure5_app(app, scale=scale)
+        return normalized_times(results)
+
+    times = run_once(benchmark, run)
+    benchmark.extra_info["app"] = app
+    benchmark.extra_info["systems"] = list(FIGURE5_SYSTEMS)
+    benchmark.extra_info["normalized_times"] = {k: round(v, 3)
+                                                for k, v in times.items()}
+    # minimal shape checks: nothing beats the perfect baseline, and the
+    # paper's headline ordering holds
+    assert all(v >= 0.99 for v in times.values())
+    assert times["rnuma"] <= times["ccnuma"]
+    assert times["migrep"] <= times["ccnuma"] + 0.05
+    assert times["rnuma-inf"] <= times["rnuma"] + 0.05

@@ -1,0 +1,46 @@
+"""Traffic breakdown: the mechanism behind the execution-time figures.
+
+The paper's title is about *traffic* reduction; the figures report
+execution time because that is what traffic reduction buys.  This
+benchmark records the message-category breakdown (data fills, coherence,
+page operations) for CC-NUMA, MigRep and R-NUMA on one application, so the
+mechanism is visible next to the timing results: both techniques shrink
+the data-fill category and pay for it with page-operation traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traffic import compare_breakdowns, traffic_breakdown
+from repro.config import base_config
+from repro.experiments.runner import run_experiment
+from repro.workloads import get_workload
+
+from conftest import run_once
+
+SYSTEMS = ("ccnuma", "migrep", "rnuma")
+
+
+@pytest.mark.parametrize("app", ["barnes", "lu", "radix"])
+def test_traffic_breakdown(benchmark, app, scale):
+    cfg = base_config()
+
+    def run():
+        trace = get_workload(app, machine=cfg.machine, scale=min(0.5, scale))
+        return {name: traffic_breakdown(run_experiment(trace, name, cfg))
+                for name in SYSTEMS}
+
+    breakdowns = run_once(benchmark, run)
+    compared = compare_breakdowns(breakdowns)
+    benchmark.extra_info["app"] = app
+    benchmark.extra_info["relative_traffic"] = {
+        name: {k: round(v, 3) for k, v in cats.items()}
+        for name, cats in compared.items()
+    }
+    benchmark.extra_info["total_bytes"] = {
+        name: b.total_bytes for name, b in breakdowns.items()}
+
+    # both techniques reduce total network traffic relative to CC-NUMA
+    assert compared["rnuma"]["total"] <= compared["ccnuma"]["total"] + 0.05
+    assert compared["migrep"]["total"] <= compared["ccnuma"]["total"] + 0.05

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Define your own workload and sweep the network latency with it.
+
+Shows the two extension points a downstream user needs most often:
+
+1. describing a new application as a :class:`WorkloadSpec` (here a
+   producer/consumer pipeline: one node produces buffers each phase, the
+   next node consumes them — a pattern between "migratory" and
+   "read-shared" that neither Figure 5 application matches exactly), and
+2. building custom system configurations (a latency sweep, as in the
+   paper's Section 6.3) without touching the library internals.
+
+Run with::
+
+    python examples/custom_workload_and_system.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import base_config, run_experiment
+from repro.stats.report import format_table
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+
+
+def producer_consumer_spec() -> WorkloadSpec:
+    """A pipeline: buffers are produced by one node and read by the next.
+
+    The MIGRATORY pattern with an increasing phase shift captures the
+    hand-off: in phase ``k`` node ``n`` works on the buffers node ``n-k``
+    first touched.
+    """
+    groups = (
+        PageGroup(name="buffers", num_pages=192,
+                  pattern=SharingPattern.MIGRATORY, write_fraction=0.3),
+        PageGroup(name="control", num_pages=16,
+                  pattern=SharingPattern.READ_WRITE_SHARED,
+                  write_fraction=0.2),
+        PageGroup(name="private", num_pages=64,
+                  pattern=SharingPattern.PRIVATE, write_fraction=0.4),
+    )
+    phases = [Phase(name="init", touch_groups=("buffers", "control", "private"))]
+    for stage in range(3):
+        phases.append(
+            Phase(name=f"stage-{stage}", accesses_per_proc=2500,
+                  weights={"buffers": 0.55, "control": 0.15, "private": 0.3},
+                  compute_per_access=120, migratory_shift=stage))
+    return WorkloadSpec(name="pipeline",
+                        description="producer/consumer pipeline",
+                        groups=groups, phases=tuple(phases))
+
+
+def main() -> None:
+    cfg = base_config(seed=0)
+    spec = producer_consumer_spec()
+    trace = TraceGenerator(spec, cfg.machine, seed=0).generate()
+    print(f"custom workload '{spec.name}': {trace.total_accesses():,} references")
+
+    headers = ["network latency", "system", "normalized time",
+               "remote misses/node", "page ops/node"]
+    rows = []
+    for factor in (1.0, 2.0, 4.0):
+        sweep_cfg = dataclasses.replace(
+            cfg, costs=cfg.costs.with_network_scale(factor))
+        baseline = run_experiment(trace, "perfect", sweep_cfg)
+        for system in ("ccnuma", "migrep", "rnuma"):
+            res = run_experiment(trace, system, sweep_cfg)
+            ops = res.per_node_page_ops()
+            rows.append([
+                f"{factor:.0f}x",
+                system,
+                f"{res.normalized_time(baseline):.2f}",
+                f"{res.stats.per_node_remote_misses():.0f}",
+                f"{sum(ops.values()):.1f}",
+            ])
+    print(format_table(headers, rows))
+    print("\nAs the remote/local latency ratio grows, the systems separate:")
+    print("the pipeline's hand-off pattern gives page migration real work,")
+    print("but fine-grain caching still removes more of the remote traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Which mechanism fixes which sharing pattern? (the paper's Table 1 story)
+
+Builds three small single-pattern workloads — read-only shared, migratory
+(read-write, single user at a time) and actively read-write shared — and
+runs each under page replication, page migration and R-NUMA.  The output
+shows the core comparative claim of the paper: migration and replication
+each cover one corner of the space, while fine-grain memory caching covers
+all of them (at the cost of more frequent page operations).
+
+Run with::
+
+    python examples/migration_vs_caching.py
+"""
+
+from __future__ import annotations
+
+from repro import base_config, run_experiment
+from repro.stats.report import format_table
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+
+
+def scenario(name: str, pattern: SharingPattern, write_fraction: float,
+             shift: int) -> WorkloadSpec:
+    """A single-group workload exercising one sharing pattern."""
+    group = PageGroup(name="data", num_pages=48, pattern=pattern,
+                      write_fraction=write_fraction)
+    phases = (
+        Phase(name="init", touch_groups=("data",)),
+        Phase(name="work-1", accesses_per_proc=1500, weights={"data": 1.0},
+              compute_per_access=40, migratory_shift=shift),
+        Phase(name="work-2", accesses_per_proc=1500, weights={"data": 1.0},
+              compute_per_access=40, migratory_shift=shift),
+    )
+    return WorkloadSpec(name=name, description=name, groups=(group,),
+                        phases=phases)
+
+
+SCENARIOS = {
+    "read-only shared": scenario("read_only", SharingPattern.READ_SHARED,
+                                 0.0, shift=0),
+    "migratory (low sharing degree)": scenario(
+        "migratory", SharingPattern.MIGRATORY, 0.35, shift=1),
+    "read-write shared (high degree)": scenario(
+        "rw_shared", SharingPattern.READ_WRITE_SHARED, 0.3, shift=0),
+}
+
+SYSTEMS = ("rep", "mig", "rnuma")
+
+
+def main() -> None:
+    cfg = base_config(seed=0)
+    headers = ["sharing pattern", "system", "cap/conf misses vs CC-NUMA",
+               "page ops/node", "normalized time"]
+    rows = []
+    for label, spec in SCENARIOS.items():
+        trace = TraceGenerator(spec, cfg.machine, seed=0).generate()
+        baseline = run_experiment(trace, "perfect", cfg)
+        ccnuma = run_experiment(trace, "ccnuma", cfg)
+        base_capconf = max(1, ccnuma.stats.total_capacity_conflict_misses)
+        for system in SYSTEMS:
+            res = run_experiment(trace, system, cfg)
+            reduction = 1 - res.stats.total_capacity_conflict_misses / base_capconf
+            ops = res.per_node_page_ops()
+            rows.append([
+                label,
+                system,
+                f"{reduction * 100:+.0f}%",
+                f"{sum(ops.values()):.1f}",
+                f"{res.normalized_time(baseline):.2f}",
+            ])
+    print(format_table(headers, rows))
+    print("\nReading the table: replication only helps the read-only pattern,")
+    print("migration only the migratory one, while R-NUMA reduces capacity/")
+    print("conflict misses in all three — the trade-off is its much higher")
+    print("page-operation frequency (Table 1 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Page-cache pressure: why radix does not love R-NUMA (Figure 8's theme).
+
+Sweeps the S-COMA page-cache size from one eighth of the base 2.4 MB up to
+unbounded for the radix-like workload, whose page working set deliberately
+exceeds the per-node page cache.  The output shows execution time,
+relocations and page-cache evictions per node for each size — the capacity
+limit, not the reactive policy, is what holds R-NUMA back on radix, which
+is exactly why R-NUMA-Inf beats R-NUMA in Figure 5 and why halving the
+cache hurts radix the most in Figure 8.
+
+Run with::
+
+    python examples/page_cache_pressure.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import base_config, get_workload, run_experiment
+from repro.core.factory import build_system
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    cfg = base_config(seed=0)
+    trace = get_workload("radix", machine=cfg.machine, scale=0.4, seed=0)
+    baseline = run_experiment(trace, "perfect", cfg)
+
+    headers = ["page cache", "normalized time", "reloc/node", "evictions/node",
+               "cap/conf misses/node"]
+    rows = []
+
+    for fraction in (0.125, 0.25, 0.5, 1.0):
+        machine = cfg.machine.with_page_cache_fraction(fraction)
+        sized_cfg = dataclasses.replace(cfg, machine=machine)
+        res = run_experiment(trace, "rnuma", sized_cfg)
+        rows.append([
+            f"{fraction:.3g}x base",
+            f"{res.normalized_time(baseline):.2f}",
+            f"{res.stats.per_node_relocations():.0f}",
+            f"{res.stats.total_page_cache_evictions / res.stats.num_nodes:.0f}",
+            f"{res.stats.per_node_capacity_conflict():.0f}",
+        ])
+
+    inf = run_experiment(trace, build_system("rnuma-inf"), cfg)
+    rows.append([
+        "unbounded",
+        f"{inf.normalized_time(baseline):.2f}",
+        f"{inf.stats.per_node_relocations():.0f}",
+        f"{inf.stats.total_page_cache_evictions / inf.stats.num_nodes:.0f}",
+        f"{inf.stats.per_node_capacity_conflict():.0f}",
+    ])
+
+    print(f"radix-like workload, {trace.total_accesses():,} references")
+    print(format_table(headers, rows))
+    print("\nSmaller page caches thrash (more evictions, more residual")
+    print("capacity/conflict misses); the unbounded cache shows the policy's")
+    print("full potential — the gap is the hardware-cost trade-off Section 6.4")
+    print("tries to close with the R-NUMA+MigRep hybrid.")
+
+
+if __name__ == "__main__":
+    main()

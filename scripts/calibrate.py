@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Calibration helper: print Figure-5-style and Table-4-style numbers.
+
+Not part of the public API — used while tuning the synthetic workload
+parameters so the reproduced shapes track the paper (see EXPERIMENTS.md).
+
+Usage::
+
+    python scripts/calibrate.py [app ...] [--scale S] [--systems a,b,c]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import base_config, get_workload, run_experiment
+from repro.workloads import list_workloads
+
+DEFAULT_SYSTEMS = ("perfect", "ccnuma", "mig", "rep", "migrep",
+                   "rnuma", "rnuma-inf")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("apps", nargs="*", default=[])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--systems", type=str, default=",".join(DEFAULT_SYSTEMS))
+    args = parser.parse_args()
+
+    apps = args.apps or list(list_workloads())
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    cfg = base_config(seed=args.seed)
+
+    for app in apps:
+        trace = get_workload(app, machine=cfg.machine, scale=args.scale,
+                             seed=args.seed)
+        print(f"=== {app}  accesses={trace.total_accesses()}")
+        baseline = None
+        for system in systems:
+            t0 = time.time()
+            res = run_experiment(trace, system, cfg)
+            dt = time.time() - t0
+            if system == "perfect":
+                baseline = res.execution_time
+            norm = res.execution_time / baseline if baseline else float("nan")
+            ops = res.per_node_page_ops()
+            print(f"  {system:<10s} norm {norm:5.2f}  "
+                  f"remote {res.stats.per_node_remote_misses():8.0f}  "
+                  f"capconf {res.stats.per_node_capacity_conflict():8.0f}  "
+                  f"mig {ops['migrations']:6.1f} rep {ops['replications']:6.1f} "
+                  f"reloc {ops['relocations']:7.1f}  ({dt:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Reproduction of Lai & Falsafi, SPAA 2000.
+
+``repro`` is a trace-driven simulator of CC-NUMA DSM clusters built from
+SMP nodes, together with implementations of the two traffic-reduction
+techniques the paper compares:
+
+* kernel-based **page migration/replication** (``CC-NUMA+MigRep``), and
+* reactive fine-grain memory caching (**R-NUMA**), which relocates pages
+  into a local S-COMA page cache.
+
+The public API is intentionally small:
+
+``MachineConfig`` / ``CostModel`` / ``ThresholdConfig``
+    describe the simulated hardware and software cost model
+    (Table 3 of the paper).
+
+``build_system``
+    construct a named system (``"ccnuma"``, ``"migrep"``, ``"rnuma"``,
+    ``"rnuma-inf"``, ...) ready to run a workload.
+
+``get_workload`` / ``list_workloads``
+    the seven synthetic SPLASH-2-like workloads (Table 2 of the paper).
+
+``run_experiment`` / ``ExperimentResult``
+    run one (workload, system) pair and collect execution time, miss
+    breakdowns and page-operation counts.
+
+``analyze_trace``
+    sharing-pattern analysis of a workload trace (the measured Table 1).
+
+``save_trace`` / ``load_trace``
+    persist generated traces as ``.npz`` archives.
+
+``repro.experiments``
+    one module per table/figure of the paper's evaluation section, the
+    ablation harnesses, and the EXPERIMENTS.md report builder.
+
+``repro.cli``
+    the ``repro`` / ``python -m repro`` command-line interface.
+
+Example
+-------
+>>> from repro import build_system, get_workload, run_experiment
+>>> wl = get_workload("lu", scale=0.05)
+>>> result = run_experiment(wl, "rnuma")
+>>> result.normalized_time(run_experiment(wl, "perfect"))  # doctest: +SKIP
+1.18
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    CostModel,
+    MachineConfig,
+    ThresholdConfig,
+    SimulationConfig,
+    base_config,
+    slow_page_ops_config,
+    long_latency_config,
+)
+from repro.analysis.sharing import SharingClass, SharingReport, analyze_trace
+from repro.core.factory import PAPER_SYSTEM_NAMES, SYSTEM_NAMES, build_system
+from repro.experiments.runner import ExperimentResult, run_experiment, run_pair
+from repro.kernel.placement import PLACEMENT_NAMES, build_placement
+from repro.workloads import get_workload, list_workloads
+from repro.workloads.trace_io import load_trace, save_trace
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CostModel",
+    "MachineConfig",
+    "ThresholdConfig",
+    "SimulationConfig",
+    "base_config",
+    "slow_page_ops_config",
+    "long_latency_config",
+    "build_system",
+    "SYSTEM_NAMES",
+    "PAPER_SYSTEM_NAMES",
+    "build_placement",
+    "PLACEMENT_NAMES",
+    "get_workload",
+    "list_workloads",
+    "save_trace",
+    "load_trace",
+    "run_experiment",
+    "run_pair",
+    "ExperimentResult",
+    "analyze_trace",
+    "SharingClass",
+    "SharingReport",
+    "__version__",
+]

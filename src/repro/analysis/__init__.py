@@ -1,0 +1,59 @@
+"""Post-processing and analysis tools built on top of the simulator.
+
+The paper's argument rests on the *sharing character* of an application's
+page population (Table 1, Section 4) and on how execution time responds to
+page-operation cost, network latency and page-cache size (Sections
+6.1-6.4).  This subpackage provides the corresponding measurement tools:
+
+:mod:`repro.analysis.sharing`
+    classify every page of a trace by sharing pattern (read-only,
+    migratory, actively read-write shared, ...) and estimate how much of
+    the remote traffic each technique could remove — a quantitative
+    version of the paper's Table 1.
+
+:mod:`repro.analysis.traffic`
+    break down the network traffic of a finished run by message category
+    (data fills, invalidations, page operations).
+
+:mod:`repro.analysis.sweeps`
+    generic parameter-sweep harness used by the ablation benchmarks
+    (thresholds, page-cache size, network latency, placement policy).
+
+:mod:`repro.analysis.breakdown`
+    stall-time breakdown of a run (remote-miss stall vs page-operation
+    overhead vs compute), the "where does the time go" view behind the
+    paper's explanations.
+
+:mod:`repro.analysis.validate`
+    codified versions of the paper's qualitative claims, checked against
+    measured results (used by EXPERIMENTS.md and the regression tests).
+"""
+
+from repro.analysis.breakdown import StallBreakdown, compare_systems, stall_breakdown
+from repro.analysis.sharing import (
+    PageProfile,
+    SharingClass,
+    SharingReport,
+    analyze_trace,
+)
+from repro.analysis.sweeps import SweepPoint, SweepResult, run_sweep
+from repro.analysis.traffic import TrafficBreakdown, traffic_breakdown
+from repro.analysis.validate import ShapeCheck, check_figure5_shape, check_table4_shape
+
+__all__ = [
+    "StallBreakdown",
+    "stall_breakdown",
+    "compare_systems",
+    "PageProfile",
+    "SharingClass",
+    "SharingReport",
+    "analyze_trace",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "TrafficBreakdown",
+    "traffic_breakdown",
+    "ShapeCheck",
+    "check_figure5_shape",
+    "check_table4_shape",
+]

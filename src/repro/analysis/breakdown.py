@@ -1,0 +1,104 @@
+"""Where does the time go?  Stall-category breakdown across systems.
+
+The paper explains its execution-time results in terms of *which component
+of processor time* each technique changes: CC-NUMA's slowdown is remote
+miss stall, MigRep trades some of it for (infrequent) page-gathering
+overhead, R-NUMA trades more of it for (frequent but cheap) relocation
+overhead, and Section 6.2's slow-page-operation study is entirely about
+the page-operation component growing.  The simulator charges every cycle
+to a :class:`repro.stats.timing.StallKind`; this module turns those
+charges into comparable breakdowns:
+
+* :func:`stall_breakdown` — one run's cycles per category, absolute and as
+  a fraction of total processor time;
+* :func:`compare_systems` — several systems' breakdowns normalized to a
+  common baseline's total, which is how one reads statements like
+  "R-NUMA converts remote-miss stall into page-operation overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.stats.timing import StallKind
+
+
+@dataclass
+class StallBreakdown:
+    """Processor-time breakdown of one run."""
+
+    workload: str
+    system: str
+    cycles: Dict[StallKind, int]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total processor cycles accounted across all categories."""
+        return sum(self.cycles.values())
+
+    def fraction(self, kind: StallKind) -> float:
+        """Fraction of accounted processor time spent in ``kind``."""
+        total = self.total_cycles
+        return self.cycles.get(kind, 0) / total if total else 0.0
+
+    def memory_stall_cycles(self) -> int:
+        """Cycles stalled on the memory system (everything but compute/barrier)."""
+        return sum(c for k, c in self.cycles.items()
+                   if k not in (StallKind.COMPUTE, StallKind.BARRIER))
+
+    def page_op_cycles(self) -> int:
+        """Cycles spent in page operations and the faults that trigger them."""
+        return (self.cycles.get(StallKind.PAGE_OP, 0)
+                + self.cycles.get(StallKind.MAPPING_FAULT, 0))
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary (exporters and reports)."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "system": self.system,
+            "total_cycles": self.total_cycles,
+        }
+        for kind in StallKind:
+            out[f"cycles_{kind.value}"] = self.cycles.get(kind, 0)
+            out[f"fraction_{kind.value}"] = round(self.fraction(kind), 4)
+        return out
+
+
+def stall_breakdown(result) -> StallBreakdown:
+    """Build a :class:`StallBreakdown` from an experiment result.
+
+    ``result`` is a :class:`repro.experiments.runner.ExperimentResult`; the
+    machine records the aggregate stall categories in
+    ``result.stats.stall_breakdown`` at the end of the run.
+    """
+    raw = getattr(result.stats, "stall_breakdown", {}) or {}
+    cycles = {kind: int(raw.get(kind, 0)) for kind in StallKind
+              if raw.get(kind, 0)}
+    return StallBreakdown(workload=result.workload, system=result.system,
+                          cycles=cycles)
+
+
+def compare_systems(breakdowns: Mapping[str, StallBreakdown],
+                    baseline: str) -> Dict[str, Dict[str, float]]:
+    """Normalise several systems' stall categories to one baseline's total.
+
+    Every system's per-category cycles are divided by the *baseline*
+    system's total processor time, so the rows are directly comparable:
+    a system that is 1.4x the baseline shows categories summing to 1.4.
+    """
+    if baseline not in breakdowns:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(breakdowns)}")
+    base_total = breakdowns[baseline].total_cycles or 1
+    out: Dict[str, Dict[str, float]] = {}
+    for name, bd in breakdowns.items():
+        row = {kind.value: bd.cycles.get(kind, 0) / base_total
+               for kind in StallKind if bd.cycles.get(kind, 0)}
+        row["total"] = bd.total_cycles / base_total
+        out[name] = row
+    return out
+
+
+def breakdown_rows(breakdowns: Mapping[str, StallBreakdown]) -> List[Dict[str, object]]:
+    """Flatten several breakdowns into exporter-ready rows."""
+    return [bd.summary() for bd in breakdowns.values()]

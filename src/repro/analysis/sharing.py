@@ -1,0 +1,280 @@
+"""Per-page sharing-pattern analysis of a workload trace.
+
+Section 4 of the paper explains, qualitatively, which kinds of pages each
+technique can help:
+
+* **page replication** helps pages that are read-shared for long periods
+  and have essentially no writes;
+* **page migration** helps read-write pages with a *low* sharing degree —
+  a single frequent reader/writer, possibly changing over time — and does
+  nothing for pages actively shared by several nodes at once;
+* **R-NUMA** helps any page with a high rate of capacity/conflict misses,
+  including highly read-write-shared ones, as long as the page is reused
+  enough to amortise the relocation.
+
+:func:`analyze_trace` turns that taxonomy into numbers for a concrete
+trace: it walks the reference streams once, accumulates per-page, per-node
+read/write counts (globally and per phase), and classifies every page into
+a :class:`SharingClass`.  The resulting :class:`SharingReport` estimates
+the *opportunity* available to each technique before any simulation is run
+— the quantitative counterpart of the paper's Table 1 — and is what the
+``bench_table1_matrix`` benchmark and the ``sharing_analysis`` example are
+built on.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.workloads.trace import Trace
+
+
+class SharingClass(enum.Enum):
+    """Classification of one page's observed sharing behaviour."""
+
+    #: touched by a single node only — no remote traffic at all
+    PRIVATE = "private"
+    #: read by several nodes, (almost) never written after initialisation
+    READ_ONLY_SHARED = "read_only_shared"
+    #: read-write, but used by one node at a time (single or moving user)
+    MIGRATORY = "migratory"
+    #: read-write and actively used by several nodes in the same phase
+    READ_WRITE_SHARED = "read_write_shared"
+    #: touched too few times for the class to matter
+    LOW_REUSE = "low_reuse"
+
+
+@dataclass
+class PageProfile:
+    """Accumulated access statistics for one page."""
+
+    page: int
+    #: per-node [reads, writes]
+    reads_by_node: Dict[int, int] = field(default_factory=dict)
+    writes_by_node: Dict[int, int] = field(default_factory=dict)
+    #: number of distinct phases in which each node touched the page
+    phases_by_node: Dict[int, int] = field(default_factory=dict)
+    #: per-phase set of nodes that touched the page (sharing degree per phase)
+    nodes_per_phase: List[int] = field(default_factory=list)
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def total_reads(self) -> int:
+        """Total read references to the page."""
+        return sum(self.reads_by_node.values())
+
+    @property
+    def total_writes(self) -> int:
+        """Total write references to the page."""
+        return sum(self.writes_by_node.values())
+
+    @property
+    def total_accesses(self) -> int:
+        """Total references to the page."""
+        return self.total_reads + self.total_writes
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of references that are writes."""
+        total = self.total_accesses
+        return self.total_writes / total if total else 0.0
+
+    @property
+    def sharer_nodes(self) -> Tuple[int, ...]:
+        """Nodes that touched the page at least once, sorted."""
+        return tuple(sorted(set(self.reads_by_node) | set(self.writes_by_node)))
+
+    @property
+    def sharing_degree(self) -> int:
+        """Number of distinct nodes that ever touched the page."""
+        return len(self.sharer_nodes)
+
+    @property
+    def max_concurrent_sharers(self) -> int:
+        """Largest number of nodes touching the page within one phase."""
+        return max(self.nodes_per_phase, default=0)
+
+    def accesses_of_node(self, node: int) -> int:
+        """References (reads + writes) made by ``node``."""
+        return self.reads_by_node.get(node, 0) + self.writes_by_node.get(node, 0)
+
+    def dominant_node(self) -> Tuple[Optional[int], float]:
+        """Node with the most references and its share of the page's traffic."""
+        if not self.total_accesses:
+            return None, 0.0
+        best, count = None, -1
+        for node in self.sharer_nodes:
+            c = self.accesses_of_node(node)
+            if c > count:
+                best, count = node, c
+        return best, count / self.total_accesses
+
+    def classify(self, *, min_reuse: int = 8,
+                 read_only_write_tolerance: float = 0.02,
+                 dominance: float = 0.9,
+                 concurrent_threshold: int = 2) -> SharingClass:
+        """Classify the page using the Section 4 taxonomy.
+
+        Parameters mirror the qualitative language of the paper:
+        ``read_only_write_tolerance`` is how many writes a page may see and
+        still count as "mostly read-shared"; ``dominance`` is the traffic
+        share one node must reach for the page to count as single-user
+        (migratory); ``concurrent_threshold`` is the per-phase sharer count
+        above which the page counts as actively shared.
+        """
+        if self.total_accesses < min_reuse:
+            return SharingClass.LOW_REUSE
+        if self.sharing_degree <= 1:
+            return SharingClass.PRIVATE
+        if self.write_fraction <= read_only_write_tolerance:
+            return SharingClass.READ_ONLY_SHARED
+        _, share = self.dominant_node()
+        if share >= dominance or self.max_concurrent_sharers < concurrent_threshold:
+            return SharingClass.MIGRATORY
+        return SharingClass.READ_WRITE_SHARED
+
+
+@dataclass
+class SharingReport:
+    """Whole-trace sharing analysis."""
+
+    workload: str
+    num_nodes: int
+    pages: Dict[int, PageProfile]
+    classes: Dict[int, SharingClass]
+
+    # -- aggregate views --------------------------------------------------------
+
+    def count_by_class(self) -> Dict[SharingClass, int]:
+        """Number of pages in each sharing class."""
+        out: Dict[SharingClass, int] = {cls: 0 for cls in SharingClass}
+        for cls in self.classes.values():
+            out[cls] += 1
+        return out
+
+    def accesses_by_class(self) -> Dict[SharingClass, int]:
+        """Number of references falling on pages of each class."""
+        out: Dict[SharingClass, int] = {cls: 0 for cls in SharingClass}
+        for page, cls in self.classes.items():
+            out[cls] += self.pages[page].total_accesses
+        return out
+
+    def fraction_of_accesses(self, cls: SharingClass) -> float:
+        """Fraction of all references falling on pages of class ``cls``."""
+        per_class = self.accesses_by_class()
+        total = sum(per_class.values())
+        return per_class[cls] / total if total else 0.0
+
+    # -- technique opportunity estimates -----------------------------------------
+
+    def replication_candidates(self) -> List[int]:
+        """Pages replication could help: read-only shared with reuse."""
+        return [p for p, cls in self.classes.items()
+                if cls is SharingClass.READ_ONLY_SHARED]
+
+    def migration_candidates(self) -> List[int]:
+        """Pages migration could help: migratory read-write pages."""
+        return [p for p, cls in self.classes.items()
+                if cls is SharingClass.MIGRATORY]
+
+    def rnuma_candidates(self) -> List[int]:
+        """Pages fine-grain caching could help: any reused shared page."""
+        return [p for p, cls in self.classes.items()
+                if cls in (SharingClass.READ_ONLY_SHARED,
+                           SharingClass.MIGRATORY,
+                           SharingClass.READ_WRITE_SHARED)]
+
+    def opportunity_summary(self) -> Dict[str, float]:
+        """Fraction of shared-page references addressable by each technique.
+
+        "Addressable" follows Table 1: replication addresses read-only
+        shared references, migration addresses migratory read-write
+        references, and R-NUMA addresses all of those plus actively
+        read-write shared references.
+        """
+        per_class = self.accesses_by_class()
+        shared_total = sum(count for cls, count in per_class.items()
+                           if cls is not SharingClass.PRIVATE)
+        if not shared_total:
+            return {"replication": 0.0, "migration": 0.0, "rnuma": 0.0}
+        rep = per_class[SharingClass.READ_ONLY_SHARED]
+        mig = per_class[SharingClass.MIGRATORY]
+        rnuma = rep + mig + per_class[SharingClass.READ_WRITE_SHARED]
+        return {
+            "replication": rep / shared_total,
+            "migration": mig / shared_total,
+            "rnuma": rnuma / shared_total,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by reports and the example scripts."""
+        counts = self.count_by_class()
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "pages": len(self.pages),
+            "mean_sharing_degree": (
+                float(np.mean([p.sharing_degree for p in self.pages.values()]))
+                if self.pages else 0.0),
+            "mean_write_fraction": (
+                float(np.mean([p.write_fraction for p in self.pages.values()]))
+                if self.pages else 0.0),
+        }
+        out.update({f"pages_{cls.value}": counts[cls] for cls in SharingClass})
+        out.update({f"opportunity_{k}": round(v, 4)
+                    for k, v in self.opportunity_summary().items()})
+        return out
+
+
+def analyze_trace(trace: Trace, machine: MachineConfig, *,
+                  min_reuse: int = 8) -> SharingReport:
+    """Profile every page of ``trace`` and classify its sharing behaviour.
+
+    The analysis is purely a function of the reference streams (it does not
+    run the simulator): for every page it accumulates per-node read/write
+    counts and the per-phase sharer sets, then applies
+    :meth:`PageProfile.classify`.
+    """
+    bpp = machine.blocks_per_page
+    procs_per_node = machine.procs_per_node
+    profiles: Dict[int, PageProfile] = {}
+
+    for phase in trace.phases:
+        touched_this_phase: Dict[int, set] = defaultdict(set)
+        for proc_index, (blocks, writes) in enumerate(zip(phase.blocks, phase.writes)):
+            if len(blocks) == 0:
+                continue
+            node = proc_index // procs_per_node
+            pages = np.asarray(blocks) // bpp
+            wr = np.asarray(writes).astype(bool)
+            uniq = np.unique(pages)
+            for page in uniq.tolist():
+                mask = pages == page
+                n_writes = int(np.count_nonzero(wr[mask]))
+                n_reads = int(np.count_nonzero(mask)) - n_writes
+                prof = profiles.get(page)
+                if prof is None:
+                    prof = profiles[page] = PageProfile(page=page)
+                prof.reads_by_node[node] = prof.reads_by_node.get(node, 0) + n_reads
+                prof.writes_by_node[node] = prof.writes_by_node.get(node, 0) + n_writes
+                touched_this_phase[page].add(node)
+        for page, nodes in touched_this_phase.items():
+            prof = profiles[page]
+            prof.nodes_per_phase.append(len(nodes))
+            for node in nodes:
+                prof.phases_by_node[node] = prof.phases_by_node.get(node, 0) + 1
+
+    classes = {page: prof.classify(min_reuse=min_reuse)
+               for page, prof in profiles.items()}
+    return SharingReport(
+        workload=trace.name,
+        num_nodes=machine.num_nodes,
+        pages=profiles,
+        classes=classes,
+    )

@@ -1,0 +1,227 @@
+"""Generic parameter-sweep harness for sensitivity and ablation studies.
+
+Sections 6.2-6.4 of the paper are sensitivity studies: they re-run the
+same workloads while varying one knob (page-operation cost, network
+latency, page-cache size).  DESIGN.md additionally calls for ablation
+benches over the design choices this reproduction makes explicit
+(thresholds, placement policy, block-cache geometry).  All of those share
+the same structure — *for each value of a parameter, run a set of systems
+on a set of applications and normalise against perfect CC-NUMA* — which is
+what :func:`run_sweep` implements.
+
+A sweep is described by a callable ``configure(value) -> SimulationConfig``
+(how the knob maps onto a configuration) plus the usual application/system
+lists.  The result is a flat list of :class:`SweepPoint` records that the
+exporters (:mod:`repro.stats.export`) can turn into CSV/Markdown and the
+ablation benchmarks can assert shapes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, base_config
+from repro.experiments.runner import run_systems
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, application, system) measurement."""
+
+    parameter: str
+    value: object
+    app: str
+    system: str
+    normalized_time: float
+    execution_time: int
+    remote_misses: int
+    capacity_conflict_misses: int
+    page_operations: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (exporters, dataframes, CSV rows)."""
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "app": self.app,
+            "system": self.system,
+            "normalized_time": round(self.normalized_time, 4),
+            "execution_time": self.execution_time,
+            "remote_misses": self.remote_misses,
+            "capacity_conflict_misses": self.capacity_conflict_misses,
+            "page_operations": round(self.page_operations, 2),
+        }
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep."""
+
+    parameter: str
+    values: List[object]
+    apps: List[str]
+    systems: List[str]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def filter(self, *, value: Optional[object] = None,
+               app: Optional[str] = None,
+               system: Optional[str] = None) -> List[SweepPoint]:
+        """Points matching every given selector."""
+        out = self.points
+        if value is not None:
+            out = [p for p in out if p.value == value]
+        if app is not None:
+            out = [p for p in out if p.app == app]
+        if system is not None:
+            out = [p for p in out if p.system == system]
+        return list(out)
+
+    def series(self, app: str, system: str) -> List[tuple]:
+        """(value, normalized_time) pairs for one app/system, in sweep order."""
+        points = {p.value: p.normalized_time
+                  for p in self.filter(app=app, system=system)}
+        return [(v, points[v]) for v in self.values if v in points]
+
+    def mean_normalized(self, system: str, value: object) -> float:
+        """Mean normalized time of ``system`` at ``value`` across apps."""
+        points = self.filter(system=system, value=value)
+        if not points:
+            raise KeyError(f"no sweep points for system={system!r} value={value!r}")
+        return sum(p.normalized_time for p in points) / len(points)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All points as flat dictionaries (exporter input)."""
+        return [p.as_dict() for p in self.points]
+
+
+def run_sweep(parameter: str,
+              values: Sequence[object],
+              configure: Callable[[object], SimulationConfig],
+              *,
+              apps: Sequence[str],
+              systems: Sequence[str],
+              scale: float = 0.3,
+              seed: int = 0,
+              baseline: str = "perfect") -> SweepResult:
+    """Run ``systems`` on ``apps`` for every parameter value.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept knob (reports only).
+    values:
+        Values to sweep, in order.
+    configure:
+        Maps a value to the :class:`SimulationConfig` to run under.
+    apps / systems:
+        Workload and system names (see :data:`repro.core.factory.SYSTEM_NAMES`).
+    scale:
+        Workload scale passed to :func:`repro.workloads.get_workload`
+        (sweeps multiply runs, so they default to smaller traces).
+    baseline:
+        System used for normalisation at *each* parameter value (the paper
+        normalises every sensitivity figure against perfect CC-NUMA run
+        under the same configuration).
+    """
+    if not values:
+        raise ValueError("a sweep needs at least one parameter value")
+    result = SweepResult(parameter=parameter, values=list(values),
+                         apps=list(apps), systems=list(systems))
+    for value in values:
+        cfg = configure(value)
+        for app in apps:
+            trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
+            runs = run_systems(trace, systems, cfg, baseline=baseline)
+            base_time = runs[baseline].execution_time
+            for system in systems:
+                if system == baseline:
+                    continue
+                res = runs[system]
+                ops = res.per_node_page_ops()
+                result.points.append(SweepPoint(
+                    parameter=parameter,
+                    value=value,
+                    app=app,
+                    system=system,
+                    normalized_time=res.execution_time / base_time,
+                    execution_time=res.execution_time,
+                    remote_misses=res.stats.total_remote_misses,
+                    capacity_conflict_misses=res.stats.total_capacity_conflict_misses,
+                    page_operations=(ops["migrations"] + ops["replications"]
+                                     + ops["relocations"]),
+                ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ready-made sweep configurations used by the ablation benchmarks/examples
+# ---------------------------------------------------------------------------
+
+
+def rnuma_threshold_sweep(values: Sequence[int], *, seed: int = 0,
+                          apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+    """Sweep the R-NUMA switching threshold (paper base value: 32)."""
+    def configure(value: object) -> SimulationConfig:
+        cfg = base_config(seed=seed)
+        return cfg.with_thresholds(
+            cfg.thresholds.__class__(
+                migrep_threshold=cfg.thresholds.migrep_threshold,
+                migrep_reset_interval=cfg.thresholds.migrep_reset_interval,
+                rnuma_threshold=int(value),
+                hybrid_relocation_delay=cfg.thresholds.hybrid_relocation_delay,
+                scale=cfg.thresholds.scale,
+            ))
+    return run_sweep("rnuma_threshold", list(values), configure,
+                     apps=apps, systems=["rnuma"], scale=scale, seed=seed)
+
+
+def migrep_threshold_sweep(values: Sequence[int], *, seed: int = 0,
+                           apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+    """Sweep the MigRep miss threshold (paper base value: 800)."""
+    def configure(value: object) -> SimulationConfig:
+        cfg = base_config(seed=seed)
+        return cfg.with_thresholds(
+            cfg.thresholds.__class__(
+                migrep_threshold=int(value),
+                migrep_reset_interval=cfg.thresholds.migrep_reset_interval,
+                rnuma_threshold=cfg.thresholds.rnuma_threshold,
+                hybrid_relocation_delay=cfg.thresholds.hybrid_relocation_delay,
+                scale=cfg.thresholds.scale,
+            ))
+    return run_sweep("migrep_threshold", list(values), configure,
+                     apps=apps, systems=["migrep"], scale=scale, seed=seed)
+
+
+def network_latency_sweep(factors: Sequence[float], *, seed: int = 0,
+                          apps: Sequence[str],
+                          systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
+                          scale: float = 0.3) -> SweepResult:
+    """Sweep the network-latency factor (Figure 7 generalised to a curve)."""
+    def configure(value: object) -> SimulationConfig:
+        cfg = base_config(seed=seed)
+        return cfg.with_costs(cfg.costs.with_network_scale(float(value)))
+    return run_sweep("network_factor", list(factors), configure,
+                     apps=apps, systems=list(systems), scale=scale, seed=seed)
+
+
+def page_cache_sweep(fractions: Sequence[float], *, seed: int = 0,
+                     apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+    """Sweep the R-NUMA page-cache size as a fraction of the base 2.4 MB."""
+    def configure(value: object) -> SimulationConfig:
+        cfg = base_config(seed=seed)
+        return cfg.with_machine(cfg.machine.with_page_cache_fraction(float(value)))
+    return run_sweep("page_cache_fraction", list(fractions), configure,
+                     apps=apps, systems=["rnuma"], scale=scale, seed=seed)
+
+
+def placement_sweep(policies: Sequence[str], *, seed: int = 0,
+                    apps: Sequence[str],
+                    systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
+                    scale: float = 0.3) -> SweepResult:
+    """Sweep the initial placement policy (first-touch, round-robin, ...)."""
+    def configure(value: object) -> SimulationConfig:
+        return base_config(seed=seed).with_placement(str(value))
+    return run_sweep("placement", list(policies), configure,
+                     apps=apps, systems=list(systems), scale=scale, seed=seed)

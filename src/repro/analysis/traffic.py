@@ -1,0 +1,141 @@
+"""Network-traffic breakdown of a finished simulation run.
+
+The paper frames both techniques as *traffic reduction* mechanisms: the
+execution-time figures are the headline, but the mechanism is fewer remote
+messages and bytes on the cluster interconnect.  This module turns the
+message counters a run accumulates (``repro.interconnect.message``) into
+the categories that matter for the comparison:
+
+* **data traffic** — block read/write requests and data replies, the
+  traffic capacity/conflict misses generate;
+* **coherence traffic** — invalidations, acknowledgements and write-backs;
+* **page-operation traffic** — page flush/gather/copy messages generated
+  by migrations, replications and relocations (the cost side of both
+  techniques); and
+* **control traffic** — page-mapping requests and other small messages.
+
+Comparing the breakdown across systems shows the paper's core trade-off
+directly: MigRep and R-NUMA shrink the data category while growing the
+page-operation category, and the net effect is what the execution times
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.interconnect.message import MessageStats, MessageType
+
+#: Message categories used by the breakdown.
+DATA_MESSAGES = frozenset({
+    MessageType.READ_REQUEST,
+    MessageType.WRITE_REQUEST,
+    MessageType.DATA_REPLY,
+})
+
+COHERENCE_MESSAGES = frozenset({
+    MessageType.INVALIDATION,
+    MessageType.INVALIDATION_ACK,
+    MessageType.WRITEBACK,
+})
+
+CONTROL_MESSAGES = frozenset({
+    MessageType.PAGE_MAP_REQUEST,
+    MessageType.PAGE_MAP_REPLY,
+})
+
+
+def _category_of(mtype: MessageType) -> str:
+    if mtype in DATA_MESSAGES:
+        return "data"
+    if mtype in COHERENCE_MESSAGES:
+        return "coherence"
+    if mtype in CONTROL_MESSAGES:
+        return "control"
+    return "page_op"
+
+
+@dataclass
+class TrafficBreakdown:
+    """Message counts grouped by category for one run."""
+
+    workload: str
+    system: str
+    messages: Dict[str, int]
+    total_messages: int
+    total_bytes: int
+
+    def fraction(self, category: str) -> float:
+        """Fraction of all messages that fall in ``category``."""
+        if not self.total_messages:
+            return 0.0
+        return self.messages.get(category, 0) / self.total_messages
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by reports and exports."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "system": self.system,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+        }
+        for category, count in sorted(self.messages.items()):
+            out[f"messages_{category}"] = count
+            out[f"fraction_{category}"] = round(self.fraction(category), 4)
+        return out
+
+
+def breakdown_message_stats(stats: MessageStats) -> Dict[str, int]:
+    """Group raw per-type message counts into categories."""
+    grouped: Dict[str, int] = {"data": 0, "coherence": 0, "page_op": 0, "control": 0}
+    for mtype in MessageType:
+        count = stats.count_of(mtype)
+        if count:
+            grouped[_category_of(mtype)] += count
+    return grouped
+
+
+def traffic_breakdown(result) -> TrafficBreakdown:
+    """Build a :class:`TrafficBreakdown` from an experiment result.
+
+    ``result`` is a :class:`repro.experiments.runner.ExperimentResult`
+    whose machine recorded message statistics; the breakdown uses the
+    machine-level totals stored in the result's :class:`MachineStats` and
+    the per-type counts kept by the network's :class:`MessageStats` when
+    available (the runner stores them in ``result.stats``).
+    """
+    message_stats = getattr(result.stats, "message_stats", None)
+    if message_stats is not None:
+        grouped = breakdown_message_stats(message_stats)
+    else:
+        # Older results only carry the totals: report them as data traffic
+        # so the totals still line up.
+        grouped = {"data": result.stats.network_messages,
+                   "coherence": 0, "page_op": 0, "control": 0}
+    return TrafficBreakdown(
+        workload=result.workload,
+        system=result.system,
+        messages=grouped,
+        total_messages=result.stats.network_messages,
+        total_bytes=result.stats.network_bytes,
+    )
+
+
+def compare_breakdowns(breakdowns: Mapping[str, TrafficBreakdown]) -> Dict[str, Dict[str, float]]:
+    """Normalise several systems' traffic against a common baseline.
+
+    The baseline is the system with the most total messages (normally the
+    base CC-NUMA); every system's per-category counts are expressed as a
+    fraction of the baseline's total, which is how one reads "MigRep
+    removed X% of the data traffic but added Y% page-operation traffic".
+    """
+    if not breakdowns:
+        return {}
+    baseline_total = max(b.total_messages for b in breakdowns.values()) or 1
+    out: Dict[str, Dict[str, float]] = {}
+    for name, b in breakdowns.items():
+        out[name] = {category: count / baseline_total
+                     for category, count in b.messages.items()}
+        out[name]["total"] = b.total_messages / baseline_total
+    return out

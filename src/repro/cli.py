@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the experiment harnesses and the analysis tools without
+writing any Python:
+
+=====================  ====================================================
+command                 what it does
+=====================  ====================================================
+``list``                list available workloads, systems and placements
+``run``                 run one (workload, system) pair and print a summary
+``figure5`` .. ``figure8``  regenerate one of the paper's figures
+``table1`` .. ``table4``    regenerate one of the paper's tables
+``sweep``               run one of the predefined parameter sweeps
+``analyze``             sharing-pattern analysis of a workload trace
+=====================  ====================================================
+
+Every command accepts ``--scale`` (workload size multiplier), ``--seed``
+and, where meaningful, ``--apps`` / ``--systems`` selections.  Results can
+be exported with ``--csv PATH`` / ``--json PATH`` in addition to the
+plain-text table printed on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.sharing import analyze_trace
+from repro.analysis.sweeps import (
+    SweepResult,
+    migrep_threshold_sweep,
+    network_latency_sweep,
+    page_cache_sweep,
+    placement_sweep,
+    rnuma_threshold_sweep,
+)
+from repro.config import base_config
+from repro.core.factory import SYSTEM_NAMES
+from repro.experiments import figure5, figure6, figure7, figure8
+from repro.experiments import table1, table2, table3, table4
+from repro.experiments.runner import run_experiment, run_systems
+from repro.kernel.placement import PLACEMENT_NAMES
+from repro.stats.export import figure_to_rows, to_csv, write_csv, write_json
+from repro.stats.plotting import grouped_bar_chart
+from repro.workloads import get_workload, list_workloads
+
+
+def _csv_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _add_common(parser: argparse.ArgumentParser, *, apps: bool = True,
+                systems: bool = False) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--csv", type=str, default=None,
+                        help="also write the result rows to this CSV file")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the result data to this JSON file")
+    parser.add_argument("--chart", action="store_true",
+                        help="render figure data as an ASCII bar chart")
+    if apps:
+        parser.add_argument("--apps", type=_csv_list, default=None,
+                            help="comma-separated application subset")
+    if systems:
+        parser.add_argument("--systems", type=_csv_list, default=None,
+                            help="comma-separated system subset")
+
+
+def _export(args: argparse.Namespace, rows: Sequence[Dict[str, object]],
+            data: object) -> None:
+    if args.csv:
+        write_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        write_json(data, args.json)
+        print(f"wrote {args.json}")
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("workloads: " + ", ".join(list_workloads()))
+    print("systems:   " + ", ".join(SYSTEM_NAMES))
+    print("placement: " + ", ".join(PLACEMENT_NAMES))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = base_config(seed=args.seed).with_placement(args.placement)
+    trace = get_workload(args.app, machine=cfg.machine, scale=args.scale,
+                         seed=args.seed)
+    results = run_systems(trace, [args.system], cfg)
+    baseline = results["perfect"].execution_time
+    res = results[args.system]
+    summary = res.summary()
+    summary["normalized_time"] = round(res.execution_time / baseline, 3)
+    width = max(len(k) for k in summary)
+    for key, value in summary.items():
+        print(f"{key:<{width}}  {value}")
+    _export(args, [summary], summary)
+    return 0
+
+
+def _figure_command(runner: Callable, renderer: Callable,
+                    value_name: str = "normalized_time") -> Callable:
+    def cmd(args: argparse.Namespace) -> int:
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.apps:
+            kwargs["apps"] = args.apps
+        data = runner(**kwargs)
+        print(renderer(data))
+        if getattr(args, "chart", False):
+            systems = sorted({s for times in data.values() for s in times})
+            print()
+            print(grouped_bar_chart(data, systems,
+                                    title="normalized execution time"))
+        _export(args, figure_to_rows(data, value_name=value_name), data)
+        return 0
+    return cmd
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    matrix = table1.run_table1(scale=max(0.3, args.scale), seed=args.seed)
+    print(table1.render_table1(matrix))
+    rows = [{"mechanism": mech, "scenario": scen,
+             "reduces_misses": cell.reduces_misses}
+            for mech, cells in matrix.items() for scen, cell in cells.items()]
+    _export(args, rows, rows)
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table2.run_table2()
+    print(table2.render_table2(rows))
+    _export(args, [vars(r) for r in rows], [vars(r) for r in rows])
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = table3.run_table3()
+    print(table3.render_table3(rows))
+    _export(args, [vars(r) for r in rows], [vars(r) for r in rows])
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.apps:
+        kwargs["apps"] = args.apps
+    rows = table4.run_table4(**kwargs)
+    print(table4.render_table4(rows))
+    flat = [{
+        "app": r.app,
+        "migrations_per_node": r.migrations_per_node,
+        "replications_per_node": r.replications_per_node,
+        "relocations_per_node": r.relocations_per_node,
+        **{f"misses_{k}": v for k, v in r.misses.items()},
+        **{f"capacity_conflict_{k}": v for k, v in r.capacity_conflict.items()},
+    } for r in rows]
+    _export(args, flat, flat)
+    return 0
+
+
+_SWEEPS: Dict[str, Callable[..., SweepResult]] = {
+    "rnuma-threshold": rnuma_threshold_sweep,
+    "migrep-threshold": migrep_threshold_sweep,
+    "network-latency": network_latency_sweep,
+    "page-cache": page_cache_sweep,
+    "placement": placement_sweep,
+}
+
+_SWEEP_DEFAULT_VALUES: Dict[str, List[object]] = {
+    "rnuma-threshold": [8, 16, 32, 64, 128],
+    "migrep-threshold": [200, 400, 800, 1600, 3200],
+    "network-latency": [1.0, 2.0, 4.0, 8.0],
+    "page-cache": [0.25, 0.5, 1.0, 2.0],
+    "placement": list(PLACEMENT_NAMES),
+}
+
+
+def _parse_sweep_value(sweep: str, text: str) -> object:
+    if sweep == "placement":
+        return text
+    if sweep in ("network-latency", "page-cache"):
+        return float(text)
+    return int(text)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _SWEEPS[args.sweep]
+    apps = args.apps or ["barnes", "lu", "radix"]
+    values = ([_parse_sweep_value(args.sweep, v) for v in args.values]
+              if args.values else _SWEEP_DEFAULT_VALUES[args.sweep])
+    result = runner(values, apps=apps, scale=args.scale, seed=args.seed)
+    rows = result.rows()
+    header = f"{result.parameter:<20} {'app':<10} {'system':<10} normalized"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{str(row['value']):<20} {row['app']:<10} {row['system']:<10} "
+              f"{row['normalized_time']:.3f}")
+    _export(args, rows, rows)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    cfg = base_config(seed=args.seed)
+    trace = get_workload(args.app, machine=cfg.machine, scale=args.scale,
+                         seed=args.seed)
+    report = analyze_trace(trace, cfg.machine)
+    summary = report.summary()
+    width = max(len(k) for k in summary)
+    for key, value in summary.items():
+        print(f"{key:<{width}}  {value}")
+    _export(args, [summary], summary)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser assembly
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSM cluster simulator reproducing Lai & Falsafi (SPAA 2000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, systems and placement policies")
+
+    run_p = sub.add_parser("run", help="run one (workload, system) pair")
+    run_p.add_argument("app", choices=list_workloads())
+    run_p.add_argument("system", choices=SYSTEM_NAMES)
+    run_p.add_argument("--placement", choices=PLACEMENT_NAMES,
+                       default="first-touch")
+    _add_common(run_p, apps=False)
+
+    for name in ("figure5", "figure6", "figure7", "figure8",
+                 "table1", "table2", "table3", "table4"):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        _add_common(p, apps=name not in ("table1", "table2", "table3"))
+
+    sweep_p = sub.add_parser("sweep", help="run a predefined parameter sweep")
+    sweep_p.add_argument("sweep", choices=sorted(_SWEEPS))
+    sweep_p.add_argument("--values", nargs="*", default=None,
+                         help="override the swept values")
+    _add_common(sweep_p)
+
+    analyze_p = sub.add_parser("analyze", help="sharing-pattern analysis of a workload")
+    analyze_p.add_argument("app", choices=list_workloads())
+    _add_common(analyze_p, apps=False)
+
+    return parser
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "figure5": _figure_command(figure5.run_figure5, figure5.render_figure5),
+    "figure6": _figure_command(figure6.run_figure6, figure6.render_figure6),
+    "figure7": _figure_command(figure7.run_figure7, figure7.render_figure7),
+    "figure8": _figure_command(figure8.run_figure8, figure8.render_figure8),
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "sweep": _cmd_sweep,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

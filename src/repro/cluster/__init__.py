@@ -1,0 +1,14 @@
+"""The simulated DSM cluster: processors, SMP nodes and the machine driver.
+
+* :mod:`repro.cluster.processor` — per-processor state (cache, TLB, clock).
+* :mod:`repro.cluster.node` — an SMP node: four processors, a memory bus
+  and the cluster device structures (block cache, page cache, page table).
+* :mod:`repro.cluster.machine` — the whole cluster plus the trace-driven
+  simulation loop.
+"""
+
+from repro.cluster.processor import Processor
+from repro.cluster.node import Node
+from repro.cluster.machine import Machine
+
+__all__ = ["Processor", "Node", "Machine"]

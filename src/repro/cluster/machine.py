@@ -1,0 +1,275 @@
+"""The DSM cluster machine and its trace-driven simulation loop.
+
+:class:`Machine` assembles the whole simulated system — nodes, network,
+directory, virtual-memory manager, statistics — for one named system
+configuration (:class:`repro.core.factory.SystemSpec`), and drives a
+workload trace through it.
+
+Timing model (Section 5.1 of DESIGN.md)
+---------------------------------------
+Each processor owns a clock.  Within a phase the processors' reference
+streams are interleaved round-robin; every reference costs its compute
+time plus:
+
+* an L1 hit time for processor-cache hits,
+* the bus queueing delay plus the protocol-determined service latency for
+  misses (local miss, block-cache hit, page-cache hit or remote round
+  trip, per Table 3 of the paper),
+* any page-operation and mapping-fault cycles the access triggered.
+
+Phases end in barriers that synchronise every processor at the maximum
+clock plus a barrier cost; the run's execution time is the final
+synchronised clock.  Normalising two runs of the same trace under
+different systems against each other reproduces the paper's
+"normalized execution time" metric.
+
+The inner loop is deliberately written with plain Python ints and lists
+(per the project's HPC-Python guidance: measure, then keep the hot path
+allocation-free); the numpy trace arrays are converted to lists once per
+phase because scalar indexing of lists is significantly faster than numpy
+scalar extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.factory import SystemSpec
+from repro.interconnect.network import Network
+from repro.kernel.faults import FaultLog
+from repro.kernel.placement import build_placement
+from repro.kernel.vm import VirtualMemoryManager
+from repro.mem.address import AddressSpace
+from repro.mem.cache import (
+    PROBE_MISS,
+    PROBE_READ_HIT,
+    PROBE_WRITE_HIT_OWNED,
+    PROBE_WRITE_HIT_SHARED,
+)
+from repro.mem.directory import Directory
+from repro.cluster.node import Node
+from repro.stats.counters import MachineStats
+from repro.stats.timing import StallKind, TimingStats
+
+
+class Machine:
+    """A simulated CC-NUMA DSM cluster running one system configuration."""
+
+    def __init__(self, cfg: SimulationConfig, system: SystemSpec) -> None:
+        self.cfg = cfg
+        self.system = system
+        mc = cfg.machine
+
+        self.addr = AddressSpace(page_size=mc.page_size, block_size=mc.block_size)
+        placement = (None if cfg.placement == "first-touch"
+                     else build_placement(cfg.placement, mc.num_nodes))
+        self.vm = VirtualMemoryManager(mc.num_nodes, placement=placement)
+        self.directory = Directory(mc.num_nodes)
+        self.network = Network(
+            num_nodes=mc.num_nodes,
+            latency=cfg.costs.network_latency,
+            nic_occupancy=cfg.costs.nic_occupancy,
+            enabled=cfg.model_contention,
+            block_size=mc.block_size,
+            page_size=mc.page_size,
+        )
+
+        page_cache_frames: Optional[int] = None
+        if system.uses_page_cache and not system.infinite_page_cache:
+            fraction = system.page_cache_fraction or 1.0
+            page_cache_frames = max(1, int(mc.page_cache_frames * fraction))
+
+        block_cache_blocks: Optional[int] = None
+        if system.block_cache_scale != 1.0 and not system.infinite_block_cache:
+            block_cache_blocks = max(
+                1, int(mc.block_cache_blocks * system.block_cache_scale))
+
+        self.nodes: List[Node] = [
+            Node.create(
+                node_id=i,
+                machine_cfg=mc,
+                infinite_block_cache=system.infinite_block_cache,
+                block_cache_blocks=block_cache_blocks,
+                page_cache_frames=page_cache_frames,
+                infinite_page_cache=system.infinite_page_cache,
+                model_contention=cfg.model_contention,
+            )
+            for i in range(mc.num_nodes)
+        ]
+
+        # flattened views the protocols use
+        self.page_tables = [n.page_table for n in self.nodes]
+        self.block_caches = [n.block_cache for n in self.nodes]
+        self.page_caches = [n.page_cache for n in self.nodes]
+        self.l1_by_node = [[p.cache for p in n.processors] for n in self.nodes]
+        self.processors = [p for n in self.nodes for p in n.processors]
+        self.fault_logs = [FaultLog() for _ in range(mc.num_nodes)]
+
+        self.stats = MachineStats.for_nodes(mc.num_nodes)
+        self.timing = TimingStats.for_processors(mc.num_processors)
+
+        # the protocol is constructed last: it captures references to the
+        # substrate built above
+        self.protocol = system.protocol_factory(self)
+
+    # ------------------------------------------------------------------ properties
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of SMP nodes."""
+        return self.cfg.machine.num_nodes
+
+    @property
+    def num_processors(self) -> int:
+        """Total processors in the cluster."""
+        return self.cfg.machine.num_processors
+
+    def describe(self) -> str:
+        """One-line description of the machine and its protocol."""
+        mc = self.cfg.machine
+        return (f"{self.system.label}: {mc.num_nodes} nodes x "
+                f"{mc.procs_per_node} CPUs, {self.protocol.describe()}")
+
+    # ------------------------------------------------------------------ simulation
+
+    def run(self, trace) -> MachineStats:
+        """Run ``trace`` to completion and return the machine statistics.
+
+        ``trace`` is a :class:`repro.workloads.trace.Trace` (or anything
+        with the same ``num_procs`` / ``phases`` shape).  The trace's
+        processor count must not exceed the machine's.
+        """
+        if trace.num_procs > self.num_processors:
+            raise ValueError(
+                f"trace uses {trace.num_procs} processors but the machine has "
+                f"only {self.num_processors}")
+
+        costs = self.cfg.costs
+        protocol = self.protocol
+        addr_bpp = self.addr.blocks_per_page
+        dir_version = self.directory.version
+        node_stats = self.stats.nodes
+        procs = self.processors
+        num_trace_procs = trace.num_procs
+
+        l1_hit_cost = costs.l1_hit
+        bus_occ = costs.bus_occupancy
+
+        # local (fast) copies of per-processor clocks
+        clocks = [self.timing.processors[p].clock for p in range(num_trace_procs)]
+
+        for phase in trace.phases:
+            blocks_by_proc = [seq.tolist() if hasattr(seq, "tolist") else list(seq)
+                              for seq in phase.blocks]
+            writes_by_proc = [seq.tolist() if hasattr(seq, "tolist") else list(seq)
+                              for seq in phase.writes]
+            lengths = [len(seq) for seq in blocks_by_proc]
+            if len(lengths) != num_trace_procs:
+                raise ValueError("phase stream count does not match trace.num_procs")
+            max_len = max(lengths, default=0)
+            compute = phase.compute_per_access
+
+            # per-proc stall accumulators for this phase
+            acc_compute = [0] * num_trace_procs
+            acc_hit = [0] * num_trace_procs
+            acc_local = [0] * num_trace_procs
+            acc_remote = [0] * num_trace_procs
+            acc_upgrade = [0] * num_trace_procs
+            acc_pageop = [0] * num_trace_procs
+            acc_fault = [0] * num_trace_procs
+            acc_contention = [0] * num_trace_procs
+            acc_accesses = [0] * num_trace_procs
+            acc_l1_hits = [0] * num_trace_procs
+            acc_upgrade_count = [0] * num_trace_procs
+
+            for i in range(max_len):
+                for p in range(num_trace_procs):
+                    if i >= lengths[p]:
+                        continue
+                    block = blocks_by_proc[p][i]
+                    is_write = bool(writes_by_proc[p][i])
+                    proc = procs[p]
+                    node = proc.node_id
+                    cache = proc.cache
+
+                    clock = clocks[p] + compute
+                    acc_compute[p] += compute
+                    acc_accesses[p] += 1
+
+                    version = dir_version(block)
+                    code = cache.probe(block, version, is_write)
+
+                    if code == PROBE_READ_HIT or code == PROBE_WRITE_HIT_OWNED:
+                        clock += l1_hit_cost
+                        acc_hit[p] += l1_hit_cost
+                        acc_l1_hits[p] += 1
+                        clocks[p] = clock
+                        continue
+
+                    page = block // addr_bpp
+
+                    if code == PROBE_WRITE_HIT_SHARED:
+                        # write upgrade: invalidate other sharers
+                        bus = self.nodes[node].bus
+                        start = bus.acquire(clock, bus_occ)
+                        wait = start - clock
+                        latency, new_version = protocol.handle_upgrade(
+                            node, p, page, block, start)
+                        cache.touch_write(block, new_version)
+                        acc_contention[p] += wait
+                        acc_upgrade[p] += latency
+                        acc_upgrade_count[p] += 1
+                        clocks[p] = clock + wait + latency
+                        continue
+
+                    # L1 miss
+                    bus = self.nodes[node].bus
+                    start = bus.acquire(clock, bus_occ)
+                    wait = start - clock
+                    result = protocol.handle_miss(node, p, page, block,
+                                                  is_write, start)
+                    victim = cache.fill(block, result.version, dirty=is_write)
+                    if victim is not None:
+                        protocol.note_l1_eviction(node, victim[0], victim[1])
+
+                    acc_contention[p] += wait
+                    if result.remote:
+                        acc_remote[p] += result.service_cycles
+                    else:
+                        acc_local[p] += result.service_cycles
+                    acc_pageop[p] += result.pageop_cycles
+                    acc_fault[p] += result.fault_cycles
+                    clocks[p] = (clock + wait + result.service_cycles
+                                 + result.pageop_cycles + result.fault_cycles)
+
+            # flush per-phase accumulators into the timing/statistics objects
+            for p in range(num_trace_procs):
+                pt = self.timing.processors[p]
+                pt.advance(StallKind.COMPUTE, acc_compute[p])
+                pt.advance(StallKind.L1_HIT, acc_hit[p])
+                pt.advance(StallKind.LOCAL_MISS, acc_local[p])
+                pt.advance(StallKind.REMOTE_MISS, acc_remote[p])
+                pt.advance(StallKind.UPGRADE, acc_upgrade[p])
+                pt.advance(StallKind.PAGE_OP, acc_pageop[p])
+                pt.advance(StallKind.MAPPING_FAULT, acc_fault[p])
+                pt.advance(StallKind.CONTENTION, acc_contention[p])
+                ns = node_stats[procs[p].node_id]
+                ns.accesses += acc_accesses[p]
+                ns.l1_hits += acc_l1_hits[p]
+
+            # barrier at the end of the phase
+            post_barrier = self.timing.barrier(costs.barrier_cost)
+            clocks = [post_barrier] * num_trace_procs
+            self.stats.barrier_count += 1
+
+        # final bookkeeping
+        self.stats.execution_time = self.timing.max_clock()
+        self.stats.proc_finish_times = [
+            self.timing.processors[p].clock for p in range(num_trace_procs)
+        ]
+        self.stats.network_messages = self.network.total_messages()
+        self.stats.network_bytes = self.network.total_bytes()
+        self.stats.message_stats = self.network.stats
+        self.stats.stall_breakdown = dict(self.timing.aggregate_stalls())
+        return self.stats

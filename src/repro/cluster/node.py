@@ -1,0 +1,124 @@
+"""An SMP node: processors, memory bus and cluster-device structures.
+
+Each node of the simulated cluster (Figure 1 of the paper) is a 4-way
+symmetric multiprocessor.  The :class:`Node` object groups the per-node
+substrate the protocols operate on:
+
+* the node's processors (each with a private cache and TLB),
+* the split-transaction memory bus every cache miss crosses,
+* the cluster device's block cache (CC-NUMA remote cache),
+* the S-COMA page cache (present only in R-NUMA systems), and
+* the node's page table.
+
+The node performs no simulation itself — the machine's loop and the
+protocol objects drive it — but it provides convenient construction and
+introspection helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.processor import Processor
+from repro.config import MachineConfig
+from repro.interconnect.bus import SplitTransactionBus
+from repro.mem.block_cache import BlockCache
+from repro.mem.page_cache import PageCache
+from repro.mem.page_table import PageTable
+
+
+@dataclass
+class Node:
+    """One SMP node of the DSM cluster."""
+
+    node_id: int
+    processors: List[Processor]
+    bus: SplitTransactionBus
+    block_cache: BlockCache
+    page_table: PageTable
+    page_cache: Optional[PageCache] = None
+
+    @classmethod
+    def create(cls, node_id: int, machine_cfg: MachineConfig, *,
+               infinite_block_cache: bool = False,
+               block_cache_blocks: Optional[int] = None,
+               page_cache_frames: Optional[int] = None,
+               infinite_page_cache: bool = False,
+               model_contention: bool = True) -> "Node":
+        """Construct a node and its per-processor structures.
+
+        Parameters
+        ----------
+        infinite_block_cache:
+            Build the perfect-CC-NUMA block cache (unbounded).
+        block_cache_blocks:
+            Override the block-cache capacity (in blocks); ``None`` uses
+            the machine configuration's size.  Used by the DRAM
+            block-cache ablation, ignored when ``infinite_block_cache``.
+        page_cache_frames:
+            Number of S-COMA page frames, or ``None`` for a system without
+            a page cache (CC-NUMA / MigRep).
+        infinite_page_cache:
+            Build an unbounded page cache (R-NUMA-Inf); overrides
+            ``page_cache_frames``.
+        """
+        procs = [
+            Processor.create(
+                proc_id=node_id * machine_cfg.procs_per_node + i,
+                node_id=node_id,
+                local_index=i,
+                l1_lines=machine_cfg.l1_blocks,
+            )
+            for i in range(machine_cfg.procs_per_node)
+        ]
+        if infinite_block_cache:
+            capacity = None
+        elif block_cache_blocks is not None:
+            if block_cache_blocks <= 0:
+                raise ValueError("block_cache_blocks must be positive")
+            capacity = block_cache_blocks
+        else:
+            capacity = machine_cfg.block_cache_blocks
+        block_cache = BlockCache(capacity)
+        page_cache: Optional[PageCache] = None
+        if infinite_page_cache:
+            page_cache = PageCache(None, machine_cfg.blocks_per_page)
+        elif page_cache_frames is not None:
+            page_cache = PageCache(max(1, page_cache_frames),
+                                   machine_cfg.blocks_per_page)
+        return cls(
+            node_id=node_id,
+            processors=procs,
+            bus=SplitTransactionBus(node=node_id, enabled=model_contention),
+            block_cache=block_cache,
+            page_table=PageTable(node_id),
+            page_cache=page_cache,
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def num_processors(self) -> int:
+        """Number of processors on this node."""
+        return len(self.processors)
+
+    def l1_caches(self) -> List[object]:
+        """The processors' private caches (used by the page-op engines)."""
+        return [p.cache for p in self.processors]
+
+    def total_l1_occupancy(self) -> int:
+        """Total valid lines across the node's processor caches."""
+        return sum(p.cache.occupancy() for p in self.processors)
+
+    def describe(self) -> str:
+        """One-line summary of the node's configuration."""
+        bc = "inf" if self.block_cache.is_infinite else str(self.block_cache.capacity_blocks)
+        if self.page_cache is None:
+            pc = "none"
+        elif self.page_cache.is_infinite:
+            pc = "inf"
+        else:
+            pc = str(self.page_cache.capacity_pages)
+        return (f"node {self.node_id}: {self.num_processors} CPUs, "
+                f"block cache {bc} blocks, page cache {pc} frames")

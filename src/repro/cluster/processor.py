@@ -1,0 +1,58 @@
+"""Per-processor state: private cache, TLB and clock bookkeeping.
+
+Each of the paper's 32 processors (8 nodes × 4 CPUs) issues the references
+of its trace stream against a private 16 KB direct-mapped data cache.  The
+:class:`Processor` object bundles that cache with a TLB (used for
+shootdown accounting) and the identifiers linking it to its node.
+
+The per-access timing itself is tracked centrally in
+:class:`repro.stats.timing.TimingStats`; the processor object is
+deliberately small because the machine's hot loop touches it constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import DirectMappedCache
+from repro.mem.tlb import TLB
+
+
+@dataclass
+class Processor:
+    """One CPU of an SMP node.
+
+    Attributes
+    ----------
+    proc_id:
+        Global processor index in ``[0, num_nodes * procs_per_node)``.
+    node_id:
+        Node the processor belongs to.
+    local_index:
+        Index of the processor within its node.
+    cache:
+        Private direct-mapped data cache.
+    tlb:
+        Private TLB (cost-accounting model).
+    """
+
+    proc_id: int
+    node_id: int
+    local_index: int
+    cache: DirectMappedCache
+    tlb: TLB = field(default_factory=TLB)
+
+    @classmethod
+    def create(cls, proc_id: int, node_id: int, local_index: int,
+               l1_lines: int) -> "Processor":
+        """Build a processor with an ``l1_lines``-line direct-mapped cache."""
+        return cls(
+            proc_id=proc_id,
+            node_id=node_id,
+            local_index=local_index,
+            cache=DirectMappedCache(l1_lines),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable identifier (for logs and error messages)."""
+        return f"P{self.proc_id} (node {self.node_id}.{self.local_index})"

@@ -1,0 +1,541 @@
+"""Machine, cost-model and threshold configuration.
+
+This module encodes the simulated machine of Section 5 ("Methodology") and
+the cost model of Table 3 of the paper.  Every experiment in
+:mod:`repro.experiments` is a function of three ingredients:
+
+* a :class:`MachineConfig` — the hardware geometry (8 nodes of 4 processors,
+  16 KB direct-mapped processor caches, a 64 KB per-node SRAM block cache,
+  a 2.4 MB per-node S-COMA page cache, 4 KB pages and 64-byte blocks),
+* a :class:`CostModel` — the per-operation cycle costs of Table 3, plus the
+  "slow page operation" and "long network latency" variants used by the
+  sensitivity studies of Sections 6.2 and 6.3, and
+* a :class:`ThresholdConfig` — the migration/replication/relocation
+  thresholds and counter reset interval of Section 5.
+
+The three convenience constructors :func:`base_config`,
+:func:`slow_page_ops_config` and :func:`long_latency_config` build the
+exact parameterisations used by Figures 5-8 and Table 4.
+
+Threshold scaling
+-----------------
+The paper's thresholds (migration/replication threshold of 800 misses,
+reset interval of 32 000 misses, R-NUMA switching threshold of 32 misses)
+were tuned for full-size SPLASH-2 runs of hundreds of millions of
+references.  The synthetic traces used in this reproduction are several
+orders of magnitude shorter, so thresholds are expressed *relative* to the
+R-NUMA threshold through :class:`ThresholdConfig` and scaled together by a
+single ``scale`` knob; the ratios between the thresholds — the quantity
+that actually governs the comparative behaviour — are preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Machine geometry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Geometry of the simulated DSM cluster (Figure 1 / Section 5).
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of SMP nodes in the cluster.  The paper simulates eight.
+    procs_per_node:
+        Processors per node (four in the paper).
+    block_size:
+        Coherence/cache block size in bytes.
+    page_size:
+        Virtual-memory page size in bytes.
+    l1_size:
+        Per-processor cache capacity in bytes.  The paper conservatively
+        uses 16 KB direct-mapped caches to compensate for the scaled-down
+        SPLASH-2 data sets.
+    l1_assoc:
+        Associativity of the processor cache (1 = direct mapped).
+    block_cache_size:
+        Per-node CC-NUMA SRAM block cache capacity in bytes.  The paper
+        sizes it as the sum of the node's processor caches (64 KB for a
+        4-way node) to honour inclusion.
+    page_cache_size:
+        Per-node S-COMA page cache capacity in bytes (2.4 MB in the base
+        system, a factor of 40 larger than the block cache).
+    """
+
+    num_nodes: int = 8
+    procs_per_node: int = 4
+    block_size: int = 64
+    page_size: int = 4096
+    l1_size: int = 16 * 1024
+    l1_assoc: int = 1
+    block_cache_size: int = 64 * 1024
+    page_cache_size: int = int(2.4 * 1024 * 1024)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        if self.procs_per_node <= 0:
+            raise ConfigError("procs_per_node must be positive")
+        for name in ("block_size", "page_size", "l1_size"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigError(f"{name} must be a positive power of two, got {value}")
+        if self.page_size % self.block_size:
+            raise ConfigError("page_size must be a multiple of block_size")
+        if self.l1_size % self.block_size:
+            raise ConfigError("l1_size must be a multiple of block_size")
+        if self.l1_assoc <= 0:
+            raise ConfigError("l1_assoc must be positive")
+        if self.block_cache_size < 0 or self.page_cache_size < 0:
+            raise ConfigError("cache sizes must be non-negative")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def num_processors(self) -> int:
+        """Total processors in the cluster."""
+        return self.num_nodes * self.procs_per_node
+
+    @property
+    def blocks_per_page(self) -> int:
+        """Number of coherence blocks per page."""
+        return self.page_size // self.block_size
+
+    @property
+    def l1_blocks(self) -> int:
+        """Number of block frames in one processor cache."""
+        return self.l1_size // self.block_size
+
+    @property
+    def l1_sets(self) -> int:
+        """Number of sets in one processor cache."""
+        return self.l1_blocks // self.l1_assoc
+
+    @property
+    def block_cache_blocks(self) -> int:
+        """Number of block frames in one node's block cache."""
+        return self.block_cache_size // self.block_size
+
+    @property
+    def page_cache_frames(self) -> int:
+        """Number of page frames in one node's S-COMA page cache."""
+        return self.page_cache_size // self.page_size
+
+    def with_page_cache_fraction(self, fraction: float) -> "MachineConfig":
+        """Return a copy with the page cache scaled by ``fraction``.
+
+        Used by the Figure 8 study (R-NUMA-1/2 uses ``fraction=0.5``).
+        """
+        if fraction < 0:
+            raise ConfigError("page cache fraction must be non-negative")
+        return replace(self, page_cache_size=int(self.page_cache_size * fraction))
+
+
+# ---------------------------------------------------------------------------
+# Cost model (Table 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs (Table 3 of the paper).
+
+    Block operations
+    ----------------
+    ``network_latency`` (80 cycles), ``local_miss`` (104 cycles) and
+    ``remote_miss`` (418 cycles round-trip) govern ordinary cache-fill
+    traffic.  ``l1_hit`` and the bus/NIC occupancies are not tabulated in
+    the paper but follow from the 600 MHz dual-issue processors on a
+    100 MHz split-transaction bus it describes.
+
+    Page operations
+    ---------------
+    ``soft_trap`` (3 000 cycles), ``tlb_shootdown`` (300 cycles) and the
+    page allocation/replacement (and R-NUMA relocation) range of
+    3 000-11 500 cycles depending on how many blocks must be flushed.
+
+    Migration/replication operations
+    --------------------------------
+    Page invalidation + data gathering (3 000-11 500 cycles) and page
+    copying (8 000-21 800 cycles).  The minimum is paid for an empty page,
+    the maximum when every block of the page must be flushed/copied; the
+    simulator interpolates linearly on the number of dirty/valid blocks.
+    """
+
+    # block operations
+    l1_hit: int = 1
+    network_latency: int = 80
+    local_miss: int = 104
+    remote_miss: int = 418
+    bus_occupancy: int = 12
+    nic_occupancy: int = 20
+    invalidation_per_sharer: int = 20
+
+    # page operations
+    soft_trap: int = 3000
+    tlb_shootdown: int = 300
+    page_alloc_min: int = 3000
+    page_alloc_max: int = 11500
+
+    # migration/replication operations
+    gather_min: int = 3000
+    gather_max: int = 11500
+    copy_min: int = 8000
+    copy_max: int = 21800
+
+    # synchronisation
+    barrier_cost: int = 400
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) < 0:
+                raise ConfigError(f"cost {f.name} must be non-negative")
+        if self.page_alloc_max < self.page_alloc_min:
+            raise ConfigError("page_alloc_max < page_alloc_min")
+        if self.gather_max < self.gather_min:
+            raise ConfigError("gather_max < gather_min")
+        if self.copy_max < self.copy_min:
+            raise ConfigError("copy_max < copy_min")
+
+    # -- derived helpers ----------------------------------------------------
+
+    @property
+    def remote_to_local_ratio(self) -> float:
+        """Remote-to-local miss latency ratio (≈4 in the base system)."""
+        return self.remote_miss / self.local_miss
+
+    def _interp(self, lo: int, hi: int, filled: int, total: int) -> int:
+        """Linear interpolation of a per-page cost on the block count."""
+        if total <= 0:
+            return lo
+        filled = max(0, min(filled, total))
+        return int(round(lo + (hi - lo) * (filled / total)))
+
+    def page_alloc_cost(self, blocks_flushed: int, blocks_per_page: int) -> int:
+        """Cost of a page allocation/replacement or R-NUMA relocation."""
+        return self._interp(self.page_alloc_min, self.page_alloc_max,
+                            blocks_flushed, blocks_per_page)
+
+    def gather_cost(self, blocks_flushed: int, blocks_per_page: int) -> int:
+        """Cost of page invalidation and data gathering (MigRep)."""
+        return self._interp(self.gather_min, self.gather_max,
+                            blocks_flushed, blocks_per_page)
+
+    def copy_cost(self, blocks_copied: int, blocks_per_page: int) -> int:
+        """Cost of copying a page to a new home or a replica."""
+        return self._interp(self.copy_min, self.copy_max,
+                            blocks_copied, blocks_per_page)
+
+    # -- variants used by the sensitivity studies ---------------------------
+
+    def with_page_op_scale(self, factor: float) -> "CostModel":
+        """Return a copy with every *page-operation* cost scaled by ``factor``.
+
+        Block-operation latencies (local/remote miss, network) are left
+        untouched.  Used by the reduced experiment configuration: the
+        synthetic traces are orders of magnitude shorter than the paper's
+        runs while page-operation *counts* shrink far less, so leaving the
+        Table 3 page-operation costs unscaled would overstate their share
+        of execution time (see EXPERIMENTS.md, "scaling" section).  The
+        Figure 6 sensitivity study multiplies whatever base this produces
+        by ten, so the fast/slow comparison is unaffected.
+        """
+        if factor <= 0:
+            raise ConfigError("page-op scale factor must be positive")
+
+        def s(v: int) -> int:
+            return max(1, int(round(v * factor)))
+
+        return replace(
+            self,
+            soft_trap=s(self.soft_trap),
+            tlb_shootdown=s(self.tlb_shootdown),
+            page_alloc_min=s(self.page_alloc_min),
+            page_alloc_max=s(self.page_alloc_max),
+            gather_min=s(self.gather_min),
+            gather_max=s(self.gather_max),
+            copy_min=s(self.copy_min),
+            copy_max=s(self.copy_max),
+        )
+
+    def with_slow_page_ops(self, factor: int = 10) -> "CostModel":
+        """Return the Section 6.2 "slow" cost model.
+
+        The paper assumes a ten-fold increase in page-operation overheads:
+        50 µs soft traps (30 000 cycles), 5 µs TLB shootdowns
+        (3 000 cycles) and an extra 10 µs (6 000 cycles) of page copying.
+        """
+        extra_copy = 6000
+        return replace(
+            self,
+            soft_trap=self.soft_trap * factor,
+            tlb_shootdown=self.tlb_shootdown * factor,
+            page_alloc_min=self.page_alloc_min * factor,
+            page_alloc_max=self.page_alloc_max * factor,
+            gather_min=self.gather_min * factor,
+            gather_max=self.gather_max * factor,
+            copy_min=self.copy_min + extra_copy,
+            copy_max=self.copy_max + extra_copy,
+        )
+
+    def with_network_scale(self, factor: float = 4.0) -> "CostModel":
+        """Return the Section 6.3 long-latency cost model.
+
+        The network latency is scaled so the remote-to-local access ratio
+        grows by ``factor`` (4× in the paper, ratio ≈ 16).  Only the
+        network portion of the remote round trip scales; the local part is
+        unchanged.
+        """
+        if factor <= 0:
+            raise ConfigError("network scale factor must be positive")
+        new_network = int(round(self.network_latency * factor))
+        network_part = self.remote_miss - self.local_miss
+        new_remote = self.local_miss + int(round(network_part * factor))
+        return replace(self, network_latency=new_network, remote_miss=new_remote)
+
+
+# ---------------------------------------------------------------------------
+# Protocol thresholds (Section 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """Thresholds governing page operations.
+
+    ``migrep_threshold``
+        Miss-count threshold for page migration/replication (800 in the
+        paper's fast systems, 1 200 in the slow systems).
+    ``migrep_reset_interval``
+        Periodic reset interval of the MigRep miss counters (32 000 misses).
+    ``rnuma_threshold``
+        R-NUMA per-page refetch threshold (32 in the fast systems, 64 in
+        the slow systems).
+    ``hybrid_relocation_delay``
+        R-NUMA+MigRep only: number of misses a page must absorb before
+        R-NUMA relocation is allowed (32 000 in the paper), giving MigRep
+        first claim on the page (Section 6.4).
+    ``scale``
+        Multiplicative scaling applied to every threshold to adapt them to
+        the shorter synthetic traces; ratios are preserved.
+    """
+
+    migrep_threshold: int = 800
+    migrep_reset_interval: int = 32000
+    rnuma_threshold: int = 32
+    hybrid_relocation_delay: int = 32000
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.migrep_threshold <= 0:
+            raise ConfigError("migrep_threshold must be positive")
+        if self.migrep_reset_interval <= 0:
+            raise ConfigError("migrep_reset_interval must be positive")
+        if self.rnuma_threshold <= 0:
+            raise ConfigError("rnuma_threshold must be positive")
+        if self.hybrid_relocation_delay < 0:
+            raise ConfigError("hybrid_relocation_delay must be non-negative")
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+
+    def _scaled(self, value: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(value * self.scale)))
+
+    @property
+    def effective_migrep_threshold(self) -> int:
+        """Migration/replication threshold after trace scaling."""
+        return self._scaled(self.migrep_threshold)
+
+    @property
+    def effective_migrep_reset_interval(self) -> int:
+        """Counter reset interval after trace scaling."""
+        return self._scaled(self.migrep_reset_interval)
+
+    @property
+    def effective_rnuma_threshold(self) -> int:
+        """R-NUMA relocation threshold after trace scaling.
+
+        A floor (:data:`RNUMA_THRESHOLD_FLOOR`) keeps the threshold
+        meaningful when the scale would round it down to one or two
+        misses: a relocation must still be justified by repeated
+        capacity/conflict refetching of the page.
+        """
+        if self.scale >= 1.0:
+            return self._scaled(self.rnuma_threshold)
+        return max(RNUMA_THRESHOLD_FLOOR, self._scaled(self.rnuma_threshold))
+
+    @property
+    def effective_hybrid_delay(self) -> int:
+        """Per-page miss budget before hybrid relocation, after scaling."""
+        return self._scaled(self.hybrid_relocation_delay, minimum=0)
+
+    def with_slow_page_ops(self) -> "ThresholdConfig":
+        """Thresholds used with the Section 6.2 slow page operations.
+
+        The paper raises the MigRep threshold to 1 200 and the R-NUMA
+        threshold to 64 to avoid page thrashing under slow operations.
+        """
+        return replace(self, migrep_threshold=1200, rnuma_threshold=64)
+
+
+# ---------------------------------------------------------------------------
+# Top-level simulation configuration
+# ---------------------------------------------------------------------------
+
+
+#: Default threshold scaling for the scaled-down synthetic traces.  The
+#: paper's thresholds were tuned for full-size SPLASH-2 runs of hundreds of
+#: millions of references; the synthetic traces here are three orders of
+#: magnitude shorter, so thresholds are scaled down to keep the relative
+#: frequency of page operations comparable.  The R-NUMA threshold has a
+#: floor (see :class:`ThresholdConfig.effective_rnuma_threshold`) so that
+#: relocation still requires evidence of repeated refetching.
+DEFAULT_THRESHOLD_SCALE = 1.0 / 25.0
+
+#: Minimum effective R-NUMA switching threshold regardless of scaling.
+RNUMA_THRESHOLD_FLOOR = 5
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete configuration of a simulated system.
+
+    Combines the machine geometry, cost model and thresholds, plus a small
+    number of simulator knobs that do not come from the paper (random seed,
+    whether bus/NIC contention is modelled, initial placement policy).
+    """
+
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    costs: CostModel = field(default_factory=CostModel)
+    thresholds: ThresholdConfig = field(
+        default_factory=lambda: ThresholdConfig(scale=DEFAULT_THRESHOLD_SCALE)
+    )
+    model_contention: bool = True
+    seed: int = 0
+    #: initial page-placement policy (``repro.kernel.placement``); the paper
+    #: uses first-touch for every system it studies.
+    placement: str = "first-touch"
+
+    def describe(self) -> Mapping[str, Any]:
+        """Return a flat dictionary view, convenient for reports/tests."""
+        out: dict[str, Any] = {}
+        for section_name, section in (
+            ("machine", self.machine),
+            ("costs", self.costs),
+            ("thresholds", self.thresholds),
+        ):
+            for f in dataclasses.fields(section):
+                out[f"{section_name}.{f.name}"] = getattr(section, f.name)
+        out["model_contention"] = self.model_contention
+        out["seed"] = self.seed
+        out["placement"] = self.placement
+        return out
+
+    # -- named variants ------------------------------------------------------
+
+    def with_machine(self, machine: MachineConfig) -> "SimulationConfig":
+        return replace(self, machine=machine)
+
+    def with_costs(self, costs: CostModel) -> "SimulationConfig":
+        return replace(self, costs=costs)
+
+    def with_thresholds(self, thresholds: ThresholdConfig) -> "SimulationConfig":
+        return replace(self, thresholds=thresholds)
+
+    def with_placement(self, placement: str) -> "SimulationConfig":
+        return replace(self, placement=placement)
+
+
+def reduced_machine() -> MachineConfig:
+    """A proportionally reduced machine used by the experiments.
+
+    Simulating the paper's full cache geometry would require traces of
+    hundreds of millions of references to exercise the 2.4 MB page cache.
+    The experiment harnesses therefore use a machine whose cache hierarchy
+    is scaled down by 8× while preserving the ratios that drive the
+    paper's results:
+
+    * processor cache : block cache = 1 : 4 (16 KB : 64 KB in the paper),
+    * block cache : page cache ≈ 1 : 37.5 (1 : 40 in the paper),
+    * 16 blocks per page (64 in the paper), keeping page-grain effects
+      (relocation refetch, fragmentation, gather cost scaling) visible.
+
+    The full-size :class:`MachineConfig` remains the library default.
+    """
+    return MachineConfig(
+        num_nodes=8,
+        procs_per_node=4,
+        block_size=64,
+        page_size=1024,
+        l1_size=2 * 1024,
+        l1_assoc=1,
+        block_cache_size=8 * 1024,
+        page_cache_size=300 * 1024,
+    )
+
+
+#: Page-operation cost scaling used by the reduced experiment configuration
+#: (see :meth:`CostModel.with_page_op_scale`).
+REDUCED_PAGE_OP_SCALE = 0.1
+
+
+def reduced_costs() -> CostModel:
+    """Cost model used with the reduced experiment machine.
+
+    Block-operation latencies are the paper's Table 3 values.  Page
+    operation costs are scaled by :data:`REDUCED_PAGE_OP_SCALE` and the
+    bus/NIC occupancies are reduced because every synthetic trace record
+    stands for a run of references (the miss *density* per record is far
+    higher than per real reference, so unscaled occupancies would
+    overstate queueing).
+    """
+    scaled = CostModel().with_page_op_scale(REDUCED_PAGE_OP_SCALE)
+    return replace(scaled, bus_occupancy=2, nic_occupancy=3)
+
+
+def base_config(*, seed: int = 0,
+                threshold_scale: float = DEFAULT_THRESHOLD_SCALE,
+                reduced: bool = True) -> SimulationConfig:
+    """The base system of Section 5 (fast page-operation support).
+
+    ``reduced`` selects the proportionally scaled-down machine and cost
+    model used by the experiment harnesses (see :func:`reduced_machine`
+    and :func:`reduced_costs`); pass ``False`` for the paper's full-size
+    geometry and unscaled Table 3 costs.
+    """
+    return SimulationConfig(
+        machine=reduced_machine() if reduced else MachineConfig(),
+        costs=reduced_costs() if reduced else CostModel(),
+        thresholds=ThresholdConfig(scale=threshold_scale),
+        seed=seed,
+    )
+
+
+def slow_page_ops_config(*, seed: int = 0,
+                         threshold_scale: float = DEFAULT_THRESHOLD_SCALE,
+                         reduced: bool = True) -> SimulationConfig:
+    """The Section 6.2 system with ten-fold slower page operations."""
+    cfg = base_config(seed=seed, threshold_scale=threshold_scale, reduced=reduced)
+    return cfg.with_costs(cfg.costs.with_slow_page_ops()).with_thresholds(
+        cfg.thresholds.with_slow_page_ops()
+    )
+
+
+def long_latency_config(*, seed: int = 0, factor: float = 4.0,
+                        threshold_scale: float = DEFAULT_THRESHOLD_SCALE,
+                        reduced: bool = True) -> SimulationConfig:
+    """The Section 6.3 system with a remote-to-local latency ratio of ~16."""
+    cfg = base_config(seed=seed, threshold_scale=threshold_scale, reduced=reduced)
+    return cfg.with_costs(cfg.costs.with_network_scale(factor))

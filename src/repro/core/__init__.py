@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the protocols under comparison.
+
+* :mod:`repro.core.protocol` — the common DSM protocol machinery (miss
+  classification, first-touch mapping, remote fetch path) every system
+  shares.
+* :mod:`repro.core.ccnuma` — base CC-NUMA with an SRAM block cache, and
+  the perfect (infinite block cache) variant used for normalisation.
+* :mod:`repro.core.migrep` — CC-NUMA plus kernel page migration and/or
+  replication (Section 3.1).
+* :mod:`repro.core.rnuma` — R-NUMA: reactive fine-grain memory caching
+  with an S-COMA page cache (Section 3.2).
+* :mod:`repro.core.rnuma_migrep` — the R-NUMA+MigRep hybrid of Section 6.4.
+* :mod:`repro.core.counters` / :mod:`repro.core.decisions` — the per-page
+  per-node counter tables and the threshold policies that drive page
+  operations.
+* :mod:`repro.core.factory` — named system configurations
+  (``"ccnuma"``, ``"mig"``, ``"rep"``, ``"migrep"``, ``"rnuma"``, ...).
+"""
+
+from repro.core.protocol import AccessResult, DSMProtocol
+from repro.core.counters import MigRepCounters, RefetchCounters
+from repro.core.decisions import MigRepDecision, MigRepPolicy, RNUMAPolicy
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.migrep import MigRepProtocol
+from repro.core.rnuma import RNUMAProtocol
+from repro.core.rnuma_migrep import RNUMAMigRepProtocol
+from repro.core.factory import SYSTEM_NAMES, SystemSpec, build_system
+
+__all__ = [
+    "AccessResult",
+    "DSMProtocol",
+    "MigRepCounters",
+    "RefetchCounters",
+    "MigRepDecision",
+    "MigRepPolicy",
+    "RNUMAPolicy",
+    "CCNUMAProtocol",
+    "MigRepProtocol",
+    "RNUMAProtocol",
+    "RNUMAMigRepProtocol",
+    "SYSTEM_NAMES",
+    "SystemSpec",
+    "build_system",
+]

@@ -1,0 +1,164 @@
+"""Per-page per-node counter tables driving page operations.
+
+Two counter families appear in the paper:
+
+* **MigRep miss counters** (Figure 3a): kept at the *home* node, one
+  read-miss and one write-miss counter per (page, node) pair.  They are
+  compared against a threshold to trigger replication or migration and are
+  reset periodically.
+* **R-NUMA refetch counters** (Figure 4a): kept at the *requesting* node,
+  one counter per remote page counting capacity/conflict refetches.  They
+  trigger the purely local relocation into the S-COMA page cache.
+
+Both tables are sparse dictionaries keyed by page, because only a small
+fraction of the address space is ever shared remotely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MigRepCounters:
+    """Home-side per-page per-node read/write miss counters.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes in the cluster.
+    reset_interval:
+        After this many misses have been recorded against a page since its
+        last reset, the page's counters are cleared (the paper resets the
+        counters periodically to track phase changes).
+    """
+
+    __slots__ = ("num_nodes", "reset_interval", "_read", "_write",
+                 "_since_reset", "resets")
+
+    def __init__(self, num_nodes: int, reset_interval: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if reset_interval <= 0:
+            raise ValueError("reset_interval must be positive")
+        self.num_nodes = num_nodes
+        self.reset_interval = reset_interval
+        self._read: Dict[int, List[int]] = {}
+        self._write: Dict[int, List[int]] = {}
+        self._since_reset: Dict[int, int] = {}
+        self.resets = 0
+
+    # -- recording ----------------------------------------------------------------
+
+    def _row(self, table: Dict[int, List[int]], page: int) -> List[int]:
+        row = table.get(page)
+        if row is None:
+            row = [0] * self.num_nodes
+            table[page] = row
+        return row
+
+    def record_miss(self, page: int, node: int, is_write: bool) -> None:
+        """Record one miss on ``page`` by ``node``; reset the page if due."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if is_write:
+            self._row(self._write, page)[node] += 1
+        else:
+            self._row(self._read, page)[node] += 1
+        total = self._since_reset.get(page, 0) + 1
+        if total >= self.reset_interval:
+            self.reset_page(page)
+        else:
+            self._since_reset[page] = total
+
+    def reset_page(self, page: int) -> None:
+        """Clear the counters of ``page`` (periodic reset)."""
+        self._read.pop(page, None)
+        self._write.pop(page, None)
+        self._since_reset[page] = 0
+        self.resets += 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def read_misses(self, page: int, node: int) -> int:
+        """Read misses recorded for (page, node) since the last reset."""
+        row = self._read.get(page)
+        return row[node] if row is not None else 0
+
+    def write_misses(self, page: int, node: int) -> int:
+        """Write misses recorded for (page, node) since the last reset."""
+        row = self._write.get(page)
+        return row[node] if row is not None else 0
+
+    def misses(self, page: int, node: int) -> int:
+        """Total (read + write) misses for (page, node) since the last reset."""
+        return self.read_misses(page, node) + self.write_misses(page, node)
+
+    def total_write_misses(self, page: int) -> int:
+        """Write misses on ``page`` summed over every node."""
+        row = self._write.get(page)
+        return sum(row) if row is not None else 0
+
+    def total_misses(self, page: int) -> int:
+        """All misses on ``page`` since the last reset."""
+        read = self._read.get(page)
+        write = self._write.get(page)
+        total = 0
+        if read is not None:
+            total += sum(read)
+        if write is not None:
+            total += sum(write)
+        return total
+
+    def misses_since_placement(self, page: int) -> int:
+        """Misses recorded against ``page`` since its last reset (reset-relative)."""
+        return self._since_reset.get(page, 0)
+
+    def hottest_node(self, page: int) -> Tuple[Optional[int], int]:
+        """Node with the most misses on ``page`` and its miss count."""
+        best_node: Optional[int] = None
+        best = 0
+        for node in range(self.num_nodes):
+            m = self.misses(page, node)
+            if m > best:
+                best = m
+                best_node = node
+        return best_node, best
+
+    def tracked_pages(self) -> int:
+        """Number of pages with live counters."""
+        return len(set(self._read) | set(self._write))
+
+
+class RefetchCounters:
+    """Requester-side per-page capacity/conflict refetch counters (R-NUMA).
+
+    One instance per node.  A counter is cleared when the node relocates
+    the page (it is no longer a CC-NUMA page there) and when the page is
+    later evicted from the page cache the counter restarts from zero.
+    """
+
+    __slots__ = ("_counts", "total_recorded")
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self.total_recorded = 0
+
+    def record_refetch(self, page: int) -> int:
+        """Record one capacity/conflict refetch on ``page``; return the new count."""
+        new = self._counts.get(page, 0) + 1
+        self._counts[page] = new
+        self.total_recorded += 1
+        return new
+
+    def count(self, page: int) -> int:
+        """Current refetch count for ``page``."""
+        return self._counts.get(page, 0)
+
+    def clear(self, page: int) -> None:
+        """Clear the counter for ``page`` (after relocation or eviction)."""
+        self._counts.pop(page, None)
+
+    def tracked_pages(self) -> int:
+        """Number of pages with a non-zero counter."""
+        return len(self._counts)

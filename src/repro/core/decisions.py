@@ -1,0 +1,114 @@
+"""Threshold policies: when to migrate, replicate or relocate a page.
+
+Mechanism and policy are separated: :mod:`repro.kernel.migration` and
+:mod:`repro.kernel.relocation` know *how* to perform a page operation; the
+classes here decide *whether* one should happen, exactly following the
+decision rules of Section 3:
+
+* **Replication** (Figure 3b): invoked when a page has seen no write
+  misses and the requesting node's read-miss counter exceeds the threshold.
+* **Migration** (Figure 3b): invoked when the requesting node's miss
+  counter exceeds the home node's by at least the threshold.
+* **R-NUMA relocation** (Figure 4b): invoked when the requesting node's
+  refetch counter for the page exceeds the switching threshold.
+
+The hybrid system of Section 6.4 additionally delays relocation until a
+page has absorbed a preset number of misses, to give migration/replication
+a chance to observe undisturbed counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.counters import MigRepCounters, RefetchCounters
+
+
+class MigRepDecision(enum.Enum):
+    """Outcome of a migration/replication policy evaluation."""
+
+    NONE = "none"
+    MIGRATE = "migrate"
+    REPLICATE = "replicate"
+
+
+@dataclass
+class MigRepPolicy:
+    """Decision policy for CC-NUMA+MigRep.
+
+    Parameters
+    ----------
+    threshold:
+        Miss-count threshold (800 in the paper's fast system).
+    enable_migration / enable_replication:
+        Allow disabling one mechanism to build the "Mig" and "Rep" systems
+        of Figure 5.
+    """
+
+    threshold: int
+    enable_migration: bool = True
+    enable_replication: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def evaluate(self, counters: MigRepCounters, page: int, requester: int,
+                 home: int, *, is_replica_request: bool = False) -> MigRepDecision:
+        """Evaluate the policy for a miss on ``page`` by ``requester``.
+
+        ``is_replica_request`` marks requests from nodes that already hold
+        a replica (no further operation is useful for them).
+        """
+        if requester == home or is_replica_request:
+            return MigRepDecision.NONE
+
+        if self.enable_replication:
+            # Only *remote* write misses make a page non-replicable: the home
+            # node writing its own page (e.g. producing it) does not preclude
+            # read-only copies elsewhere.
+            remote_writes = (counters.total_write_misses(page)
+                             - counters.write_misses(page, home))
+            if (remote_writes == 0
+                    and counters.read_misses(page, requester) > self.threshold):
+                return MigRepDecision.REPLICATE
+
+        if self.enable_migration:
+            requester_misses = counters.misses(page, requester)
+            home_misses = counters.misses(page, home)
+            if requester_misses - home_misses > self.threshold:
+                return MigRepDecision.MIGRATE
+
+        return MigRepDecision.NONE
+
+
+@dataclass
+class RNUMAPolicy:
+    """Decision policy for R-NUMA page relocation.
+
+    Parameters
+    ----------
+    threshold:
+        Refetch-count switching threshold (32 in the paper's fast system).
+    relocation_delay:
+        Minimum number of misses a page must have absorbed (home-side
+        count) before relocation is allowed.  Zero for plain R-NUMA;
+        positive only in the R-NUMA+MigRep hybrid (Section 6.4).
+    """
+
+    threshold: int
+    relocation_delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.relocation_delay < 0:
+            raise ValueError("relocation_delay must be non-negative")
+
+    def should_relocate(self, counters: RefetchCounters, page: int,
+                        *, page_total_misses: int = 0) -> bool:
+        """True when the refetch counter for ``page`` warrants relocation."""
+        if self.relocation_delay and page_total_misses < self.relocation_delay:
+            return False
+        return counters.count(page) > self.threshold

@@ -1,0 +1,62 @@
+"""CC-NUMA with a large-but-slow DRAM block cache (Section 2 alternative).
+
+Section 2 of the paper deliberately restricts the evaluation to small,
+fast SRAM block caches and notes that "some designs incorporate large but
+slow DRAM-based block caches [17, 2, 21]", which "reduce the
+capacity/conflict miss traffic in CC-NUMA at the cost of increasing the
+cache look-up time and the controller occupancy".  The design-space study
+is delegated to Moga & Dubois; this module provides the corresponding
+ablation point so the trade-off can be measured on the same workloads:
+
+* the block cache is ``capacity_scale`` times larger than the SRAM block
+  cache of the base CC-NUMA system (8x by default, mirroring the paper's
+  SRAM-vs-DRAM cost argument that DRAM buys roughly an order of magnitude
+  more capacity per dollar), and
+* every access that reaches the block cache — hit or fill — pays an extra
+  ``hit_penalty`` cycles of look-up time and controller occupancy on top
+  of the normal service latency.
+
+Comparing ``ccnuma-dram`` against ``ccnuma`` and ``rnuma`` shows where a
+bigger remote cache alone closes the capacity/conflict gap and where the
+page-grain approach (R-NUMA) still wins because even a large block cache
+keeps paying the per-block look-up penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.mem.page_table import PageMode
+
+#: Default extra look-up/occupancy cycles of a DRAM block cache access.
+DEFAULT_DRAM_PENALTY = 40
+
+#: Default capacity multiplier of the DRAM block cache over the SRAM one.
+DEFAULT_DRAM_CAPACITY_SCALE = 8.0
+
+
+class DRAMBlockCacheProtocol(CCNUMAProtocol):
+    """CC-NUMA whose cluster cache is DRAM: bigger, but slower to access."""
+
+    name = "ccnuma-dram"
+
+    def __init__(self, machine, *, hit_penalty: int = DEFAULT_DRAM_PENALTY) -> None:
+        super().__init__(machine)
+        if hit_penalty < 0:
+            raise ValueError("hit_penalty must be non-negative")
+        self.hit_penalty = hit_penalty
+
+    def _service_remote_page(self, node: int, proc: int, page: int, block: int,
+                             is_write: bool, now: int, home: int,
+                             mode: PageMode) -> Tuple[int, int, int, bool]:
+        latency, version, remote = self._block_cache_fetch(
+            node, page, block, is_write, now, home)
+        # Every block-cache transaction — a hit served from DRAM or a fill
+        # installing the remote reply — pays the DRAM look-up penalty.
+        return latency + self.hit_penalty, 0, version, remote
+
+    def describe(self) -> str:
+        bc = self.block_caches[0]
+        size = "infinite" if bc.is_infinite else f"{bc.capacity_blocks} blocks"
+        return f"CC-NUMA (DRAM block cache, {size}, +{self.hit_penalty} cycles)"

@@ -1,0 +1,200 @@
+"""Named system configurations and the protocol factory.
+
+The paper evaluates a fixed menagerie of systems; the factory maps their
+names onto (protocol class, machine adjustments) pairs so experiments and
+examples can say ``build_system("rnuma-half-migrep")`` and get exactly the
+Figure 8 configuration.
+
+============== =======================================================
+name            system
+============== =======================================================
+``perfect``     CC-NUMA with an infinite block cache (normalisation
+                baseline of every figure)
+``ccnuma``      base CC-NUMA with the 64 KB SRAM block cache
+``mig``         CC-NUMA + page migration only
+``rep``         CC-NUMA + page replication only
+``migrep``      CC-NUMA + page migration and replication
+``rnuma``       R-NUMA with the 2.4 MB page cache
+``rnuma-half``  R-NUMA with a half-size page cache (Figure 8)
+``rnuma-inf``   R-NUMA with an unbounded page cache
+``rnuma-half-migrep``  R-NUMA-1/2 + MigRep hybrid (Figure 8)
+``rnuma-migrep``       R-NUMA (full page cache) + MigRep hybrid
+============== =======================================================
+
+Beyond the paper's menagerie, three *ablation* systems fill in design
+points the paper discusses but does not evaluate (see the module
+docstrings of :mod:`repro.core.scoma` and :mod:`repro.core.dram_cache`):
+
+=================== ====================================================
+``scoma``            pure S-COMA — every remote page is allocated in the
+                     page cache on its first remote miss (ASCOMA-style)
+``scoma-inf``        pure S-COMA with an unbounded page cache
+``ccnuma-dram``      CC-NUMA with a large-but-slow DRAM block cache
+=================== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.dram_cache import (
+    DEFAULT_DRAM_CAPACITY_SCALE,
+    DRAMBlockCacheProtocol,
+)
+from repro.core.migrep import MigRepProtocol
+from repro.core.protocol import DSMProtocol
+from repro.core.rnuma import RNUMAProtocol
+from repro.core.rnuma_migrep import RNUMAMigRepProtocol
+from repro.core.scoma import SCOMAProtocol
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A named, buildable system configuration.
+
+    Attributes
+    ----------
+    name:
+        Canonical system name (one of :data:`SYSTEM_NAMES`).
+    label:
+        Human-readable label matching the paper's figure legends.
+    protocol_factory:
+        Callable building the protocol object given the machine.
+    infinite_block_cache:
+        True for the perfect CC-NUMA baseline.
+    page_cache_fraction:
+        Fraction of the configured page-cache size to use; ``None`` means
+        the system has no S-COMA page cache at all.
+    infinite_page_cache:
+        True for R-NUMA-Inf.
+    block_cache_scale:
+        Multiplier applied to the configured block-cache capacity
+        (1.0 for every paper system; 8.0 for the DRAM block-cache
+        ablation).
+    uses_page_cache:
+        Whether the machine must construct page caches for this system.
+    """
+
+    name: str
+    label: str
+    protocol_factory: Callable[["object"], DSMProtocol]
+    infinite_block_cache: bool = False
+    page_cache_fraction: Optional[float] = None
+    infinite_page_cache: bool = False
+    block_cache_scale: float = 1.0
+
+    @property
+    def uses_page_cache(self) -> bool:
+        return self.infinite_page_cache or self.page_cache_fraction is not None
+
+
+def _specs() -> Dict[str, SystemSpec]:
+    return {
+        "perfect": SystemSpec(
+            name="perfect",
+            label="Perfect CC-NUMA",
+            protocol_factory=CCNUMAProtocol,
+            infinite_block_cache=True,
+        ),
+        "ccnuma": SystemSpec(
+            name="ccnuma",
+            label="CC-NUMA",
+            protocol_factory=CCNUMAProtocol,
+        ),
+        "mig": SystemSpec(
+            name="mig",
+            label="Mig",
+            protocol_factory=lambda m: MigRepProtocol(
+                m, enable_migration=True, enable_replication=False),
+        ),
+        "rep": SystemSpec(
+            name="rep",
+            label="Rep",
+            protocol_factory=lambda m: MigRepProtocol(
+                m, enable_migration=False, enable_replication=True),
+        ),
+        "migrep": SystemSpec(
+            name="migrep",
+            label="MigRep",
+            protocol_factory=MigRepProtocol,
+        ),
+        "rnuma": SystemSpec(
+            name="rnuma",
+            label="R-NUMA",
+            protocol_factory=RNUMAProtocol,
+            page_cache_fraction=1.0,
+        ),
+        "rnuma-half": SystemSpec(
+            name="rnuma-half",
+            label="R-NUMA-1/2",
+            protocol_factory=RNUMAProtocol,
+            page_cache_fraction=0.5,
+        ),
+        "rnuma-inf": SystemSpec(
+            name="rnuma-inf",
+            label="R-NUMA-Inf",
+            protocol_factory=RNUMAProtocol,
+            page_cache_fraction=1.0,
+            infinite_page_cache=True,
+        ),
+        "rnuma-migrep": SystemSpec(
+            name="rnuma-migrep",
+            label="R-NUMA+MigRep",
+            protocol_factory=RNUMAMigRepProtocol,
+            page_cache_fraction=1.0,
+        ),
+        "rnuma-half-migrep": SystemSpec(
+            name="rnuma-half-migrep",
+            label="R-NUMA-1/2+MigRep",
+            protocol_factory=RNUMAMigRepProtocol,
+            page_cache_fraction=0.5,
+        ),
+        # ---- ablation systems beyond the paper's own menagerie -----------
+        "scoma": SystemSpec(
+            name="scoma",
+            label="S-COMA",
+            protocol_factory=SCOMAProtocol,
+            page_cache_fraction=1.0,
+        ),
+        "scoma-inf": SystemSpec(
+            name="scoma-inf",
+            label="S-COMA-Inf",
+            protocol_factory=SCOMAProtocol,
+            page_cache_fraction=1.0,
+            infinite_page_cache=True,
+        ),
+        "ccnuma-dram": SystemSpec(
+            name="ccnuma-dram",
+            label="CC-NUMA (DRAM cache)",
+            protocol_factory=DRAMBlockCacheProtocol,
+            block_cache_scale=DEFAULT_DRAM_CAPACITY_SCALE,
+        ),
+    }
+
+
+_SPECS = _specs()
+
+#: Canonical names of every buildable system.
+SYSTEM_NAMES = tuple(_SPECS.keys())
+
+#: The systems that appear in the paper's figures (everything else is an
+#: ablation added by this reproduction).
+PAPER_SYSTEM_NAMES = tuple(
+    n for n in SYSTEM_NAMES if n not in ("scoma", "scoma-inf", "ccnuma-dram")
+)
+
+
+def build_system(name: str) -> SystemSpec:
+    """Return the :class:`SystemSpec` for ``name``.
+
+    Raises ``KeyError`` with the list of valid names for typos.
+    """
+    key = name.strip().lower()
+    spec = _SPECS.get(key)
+    if spec is None:
+        raise KeyError(
+            f"unknown system {name!r}; valid systems: {', '.join(SYSTEM_NAMES)}"
+        )
+    return spec

@@ -1,0 +1,150 @@
+"""CC-NUMA+MigRep: kernel page migration and replication (Section 3.1).
+
+The cluster device of CC-NUMA+MigRep adds per-page per-node miss counters
+at the home node.  Every cache-fill request arriving at the home bumps the
+appropriate counter, and the hardware compares the counters against a
+threshold:
+
+* **replication** when the page has seen no write misses and the
+  requester's read-miss counter exceeds the threshold — the page is copied
+  read-only into the requester's memory;
+* **migration** when the requester's miss counter exceeds the home's by at
+  least the threshold — the page is gathered from all cachers and moved to
+  the requester, which becomes the new home.
+
+A write to a replicated page raises a protection fault at the writer and a
+request at the home to collapse the page back to a single read-write copy.
+
+The ``Mig``-only and ``Rep``-only systems of Figure 5 are this protocol
+with one of the two mechanisms disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.counters import MigRepCounters
+from repro.core.decisions import MigRepDecision, MigRepPolicy
+from repro.kernel.faults import FaultKind
+from repro.kernel.migration import MigrationEngine
+from repro.mem.page_table import PageMode
+
+
+class MigRepProtocol(CCNUMAProtocol):
+    """CC-NUMA plus home-driven page migration/replication."""
+
+    name = "migrep"
+
+    def __init__(self, machine, *, enable_migration: bool = True,
+                 enable_replication: bool = True) -> None:
+        super().__init__(machine)
+        thresholds = self.cfg.thresholds
+        self.counters = MigRepCounters(
+            num_nodes=self.cfg.machine.num_nodes,
+            reset_interval=thresholds.effective_migrep_reset_interval,
+        )
+        self.policy = MigRepPolicy(
+            threshold=thresholds.effective_migrep_threshold,
+            enable_migration=enable_migration,
+            enable_replication=enable_replication,
+        )
+        self.engine = MigrationEngine(
+            addr=self.addr,
+            costs=self.costs,
+            vm=self.vm,
+            directory=self.directory,
+            network=self.network,
+            page_tables=self.page_tables,
+            block_caches=self.block_caches,
+            l1_caches=machine.l1_by_node,
+        )
+
+    # ------------------------------------------------------------------ page-op helpers
+
+    def _perform_replication(self, page: int, node: int, now: int) -> int:
+        """Replicate ``page`` at ``node``; return the page-operation cycles."""
+        outcome = self.engine.replicate(page, node, now)
+        stats = self.node_stats[node]
+        stats.replications += 1
+        self.fault_logs[node].record(FaultKind.REPLICATION_TRAP, outcome.cost)
+        return outcome.cost
+
+    def _perform_migration(self, page: int, node: int, now: int) -> int:
+        """Migrate ``page`` to ``node``; return the page-operation cycles."""
+        outcome = self.engine.migrate(page, node, now)
+        stats = self.node_stats[node]
+        stats.migrations += 1
+        self.fault_logs[node].record(FaultKind.MIGRATION_TRAP, outcome.cost)
+        # after a migration the page's counters no longer describe the new
+        # home relationship; reset them so decisions restart cleanly
+        self.counters.reset_page(page)
+        return outcome.cost
+
+    def _collapse_replicas(self, page: int, writer: int, now: int) -> int:
+        """Collapse a replicated page to read-write; return the cycles charged."""
+        outcome = self.engine.collapse_replicas(page, writer, now)
+        stats = self.node_stats[writer]
+        stats.replica_collapses += 1
+        self.page_tables[writer].record_protection_fault(page)
+        self.fault_logs[writer].record(FaultKind.PROTECTION_FAULT, outcome.cost)
+        # a page that needed a collapse is clearly not read-only: reset its
+        # counters so replication is not immediately re-triggered
+        self.counters.reset_page(page)
+        return outcome.cost
+
+    def _evaluate_policy(self, page: int, node: int, home: int, now: int) -> int:
+        """Run the MigRep decision policy; return any page-op cycles incurred."""
+        is_replica_request = node in self.vm.replicas_of(page)
+        decision = self.policy.evaluate(self.counters, page, node, home,
+                                        is_replica_request=is_replica_request)
+        if decision is MigRepDecision.REPLICATE:
+            return self._perform_replication(page, node, now)
+        if decision is MigRepDecision.MIGRATE:
+            return self._perform_migration(page, node, now)
+        return 0
+
+    # ------------------------------------------------------------------ overrides
+
+    def _service_remote_page(self, node: int, proc: int, page: int, block: int,
+                             is_write: bool, now: int, home: int,
+                             mode: PageMode) -> Tuple[int, int, int, bool]:
+        pageop = 0
+
+        # Writes to a replicated page fault and collapse the replicas first.
+        if self.vm.is_replicated(page) and is_write:
+            pageop += self._collapse_replicas(page, node, now)
+            mode = self.page_tables[node].mode_of(page)
+            home = self.vm.home_of(page) or home
+
+        # Reads served by a local replica are local memory accesses.
+        if not is_write and mode is PageMode.REPLICA:
+            stats = self.node_stats[node]
+            stats.local_misses += 1
+            version = self._directory_read(node, block)
+            return self.costs.local_miss, pageop, version, False
+
+        # Otherwise behave like CC-NUMA, but account the miss at the home.
+        latency, version, remote = self._block_cache_fetch(
+            node, page, block, is_write, now, home)
+        if remote:
+            self.counters.record_miss(page, node, is_write)
+            pageop += self._evaluate_policy(page, node, home, now)
+        return latency, pageop, version, remote
+
+    def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
+        # The home node's own misses also feed its counters so that the
+        # migration comparison (requester vs home) sees both sides.
+        latency, version = super()._local_fill(node, block, is_write)
+        page = self.addr.page_of_block(block)
+        if self.vm.home_of(page) == node:
+            self.counters.record_miss(page, node, is_write)
+        return latency, version
+
+    def describe(self) -> str:
+        parts = []
+        if self.policy.enable_migration:
+            parts.append("migration")
+        if self.policy.enable_replication:
+            parts.append("replication")
+        return "CC-NUMA + " + "/".join(parts) if parts else "CC-NUMA"

@@ -1,0 +1,268 @@
+"""Common DSM protocol machinery shared by every simulated system.
+
+:class:`DSMProtocol` implements the parts of the cluster device behaviour
+that are identical across CC-NUMA, CC-NUMA+MigRep and R-NUMA:
+
+* first-touch page placement and the initial mapping fault,
+* the directory-side handling of reads, writes and upgrades (sharer
+  tracking, invalidation counting, version bumps),
+* the remote block-fetch path (network messages, NIC contention and the
+  Table 3 round-trip latency), and
+* per-node miss-cause classification (cold vs capacity/conflict vs
+  coherence), which both MigRep's and R-NUMA's counters observe.
+
+Concrete protocols override :meth:`_service_remote_page` (how a miss on a
+*remote* page is satisfied) and may hook :meth:`_after_remote_fetch` (to
+update their counters and trigger page operations).
+
+The protocol objects operate on the substrate owned by a
+:class:`repro.cluster.machine.Machine`; the machine is passed in at
+construction and accessed by duck typing to avoid an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.interconnect.message import MessageType
+from repro.kernel.faults import FaultKind
+from repro.mem.page_table import PageMode
+from repro.stats.counters import MissClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+
+
+#: Departure reasons used for miss classification.
+_DEPARTED_EVICTED = 1
+_DEPARTED_INVALIDATED = 2
+
+
+@dataclass
+class AccessResult:
+    """Outcome of servicing one L1 miss (or upgrade).
+
+    Attributes
+    ----------
+    service_cycles:
+        Cycles of memory-system latency (local or remote fill).
+    pageop_cycles:
+        Cycles spent in page operations triggered by this access
+        (migration, replication, relocation, replica collapse).
+    fault_cycles:
+        Cycles spent in the initial mapping fault, if this access mapped
+        the page for the first time on the node.
+    version:
+        Directory version to record in the cache that fills the block.
+    remote:
+        True when the access required a fetch from a remote home node.
+    """
+
+    service_cycles: int
+    pageop_cycles: int
+    fault_cycles: int
+    version: int
+    remote: bool
+
+
+class DSMProtocol:
+    """Base class for all simulated DSM systems."""
+
+    #: short machine-readable name, overridden by subclasses
+    name = "base"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.cfg = machine.cfg
+        self.costs = machine.cfg.costs
+        self.addr = machine.addr
+        self.vm = machine.vm
+        self.directory = machine.directory
+        self.network = machine.network
+        self.page_tables = machine.page_tables
+        self.block_caches = machine.block_caches
+        self.page_caches = machine.page_caches
+        self.node_stats = machine.stats.nodes
+        self.fault_logs = machine.fault_logs
+        num_nodes = machine.cfg.machine.num_nodes
+        # per-node, per-block departure reason for miss classification
+        self._departed: list[dict[int, int]] = [dict() for _ in range(num_nodes)]
+
+    # ------------------------------------------------------------------ classification
+
+    def mark_evicted(self, node: int, block: int) -> None:
+        """Record that ``node`` lost ``block`` to a capacity/conflict eviction."""
+        self._departed[node][block] = _DEPARTED_EVICTED
+
+    def mark_invalidated(self, node: int, block: int) -> None:
+        """Record that ``node`` lost ``block`` to a coherence invalidation."""
+        self._departed[node][block] = _DEPARTED_INVALIDATED
+
+    def classify_fetch(self, node: int, block: int) -> MissClass:
+        """Classify a fetch of ``block`` by ``node`` and consume the record."""
+        reason = self._departed[node].pop(block, 0)
+        if reason == _DEPARTED_EVICTED:
+            return MissClass.CAPACITY_CONFLICT
+        if reason == _DEPARTED_INVALIDATED:
+            return MissClass.COHERENCE
+        return MissClass.COLD
+
+    # ------------------------------------------------------------------ mapping
+
+    def ensure_mapped(self, node: int, page: int) -> Tuple[int, int]:
+        """Make sure ``page`` is mapped on ``node``; return (home, fault_cycles).
+
+        First touch places the page at the requesting node (first-touch
+        migration).  The first time any node maps a page it takes a soft
+        mapping fault (Figure 2b); the cost is charged to the faulting
+        processor and is identical across all systems.
+        """
+        rec, first_touch = self.vm.ensure_placed(page, node)
+        pt = self.page_tables[node]
+        if pt.is_mapped(page):
+            return rec.home, 0
+
+        fault_cycles = self.costs.soft_trap
+        stats = self.node_stats[node]
+        stats.mapping_faults += 1
+        self.fault_logs[node].record(FaultKind.MAPPING_FAULT, fault_cycles)
+        if rec.home == node:
+            pt.map_page(page, PageMode.LOCAL_HOME)
+        else:
+            self.network.one_way(node, rec.home, 0, MessageType.PAGE_MAP_REQUEST)
+            self.network.one_way(rec.home, node, 0, MessageType.PAGE_MAP_REPLY)
+            pt.map_page(page, PageMode.CCNUMA_REMOTE)
+        return rec.home, fault_cycles
+
+    # ------------------------------------------------------------------ directory helpers
+
+    def _directory_read(self, node: int, block: int) -> int:
+        """Record a read fill by ``node``; return the block's version."""
+        self.directory.record_read(block, node)
+        return self.directory.version(block)
+
+    def _directory_write(self, node: int, block: int) -> Tuple[int, int]:
+        """Record a write by ``node``; return (extra_latency, new_version).
+
+        Other sharers are invalidated: each costs
+        ``invalidation_per_sharer`` cycles and a pair of protocol messages,
+        and the losing nodes' future refetches classify as coherence
+        misses.
+        """
+        sharers_before = self.directory.sharers_of(block)
+        invalidations, version = self.directory.record_write(block, node)
+        extra = 0
+        if invalidations:
+            extra = invalidations * self.costs.invalidation_per_sharer
+            self.network.stats.record(MessageType.INVALIDATION, invalidations)
+            self.network.stats.record(MessageType.INVALIDATION_ACK, invalidations)
+            for other in sharers_before:
+                if other != node:
+                    self.mark_invalidated(other, block)
+        return extra, version
+
+    # ------------------------------------------------------------------ remote fetch path
+
+    def _remote_fetch(self, node: int, page: int, block: int, is_write: bool,
+                      now: int, home: int) -> Tuple[int, int, MissClass]:
+        """Fetch ``block`` from its remote ``home``; return (latency, version, cause)."""
+        stats = self.node_stats[node]
+        cause = self.classify_fetch(node, block)
+        stats.record_remote_miss(cause)
+
+        request = MessageType.WRITE_REQUEST if is_write else MessageType.READ_REQUEST
+        contention = self.network.fetch_contention(node, home, now, request,
+                                                   MessageType.DATA_REPLY)
+
+        if is_write:
+            extra, version = self._directory_write(node, block)
+        else:
+            extra = 0
+            version = self._directory_read(node, block)
+        latency = self.costs.remote_miss + contention + extra
+        return latency, version, cause
+
+    def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
+        """Service a miss from the node's local memory; return (latency, version)."""
+        stats = self.node_stats[node]
+        stats.local_misses += 1
+        if is_write:
+            extra, version = self._directory_write(node, block)
+        else:
+            extra = 0
+            version = self._directory_read(node, block)
+        return self.costs.local_miss + extra, version
+
+    # ------------------------------------------------------------------ main entry points
+
+    def handle_miss(self, node: int, proc: int, page: int, block: int,
+                    is_write: bool, now: int) -> AccessResult:
+        """Service an L1 miss from processor ``proc`` of ``node``."""
+        home, fault_cycles = self.ensure_mapped(node, page)
+        mode = self.page_tables[node].mode_of(page)
+
+        if mode is PageMode.LOCAL_HOME or home == node:
+            latency, version = self._local_fill(node, block, is_write)
+            return AccessResult(latency, 0, fault_cycles, version, False)
+
+        service, pageop, version, remote = self._service_remote_page(
+            node, proc, page, block, is_write, now, home, mode)
+        return AccessResult(service, pageop, fault_cycles, version, remote)
+
+    def handle_upgrade(self, node: int, proc: int, page: int, block: int,
+                       now: int) -> Tuple[int, int]:
+        """Service a write to a block the processor holds in shared state.
+
+        Returns ``(latency, version)``.  The latency is a local directory
+        access when the home is local, a control-message round trip when it
+        is remote; invalidations of other sharers are charged on top.
+        """
+        self.node_stats[node].upgrades += 1
+        home = self.vm.home_of(page)
+        extra, version = self._directory_write(node, block)
+        if home is None or home == node:
+            return self.costs.local_miss + extra, version
+        completion = self.network.round_trip(node, home, now,
+                                             MessageType.WRITE_REQUEST,
+                                             MessageType.DATA_REPLY)
+        nominal = 2 * self.network.latency + 4 * self.network.nic_occupancy
+        contention = max(0, completion - now - nominal)
+        return self.costs.remote_miss + contention + extra, version
+
+    def note_l1_eviction(self, node: int, block: int, dirty: bool) -> None:
+        """Hook: a processor cache on ``node`` evicted ``block``.
+
+        The base protocol only uses this for nodes where the block is not
+        also held in a node-level structure (block cache or page cache);
+        subclasses refine it.  The default marks the departure as an
+        eviction when no node-level copy remains.
+        """
+        if not self.block_caches[node].contains(block):
+            pc = self.page_caches[node]
+            page = self.addr.page_of_block(block)
+            if pc is None or not pc.contains(page):
+                home = self.vm.home_of(page)
+                if home is not None and home != node:
+                    self.mark_evicted(node, block)
+
+    # ------------------------------------------------------------------ overridable
+
+    def _service_remote_page(self, node: int, proc: int, page: int, block: int,
+                             is_write: bool, now: int, home: int,
+                             mode: PageMode) -> Tuple[int, int, int, bool]:
+        """Service a miss on a page whose home is remote.
+
+        Returns ``(service_cycles, pageop_cycles, version, remote)``.
+        The base implementation performs an uncached remote fetch; concrete
+        systems override it to add block caches, replicas or page caches.
+        """
+        latency, version, _ = self._remote_fetch(node, page, block, is_write,
+                                                 now, home)
+        return latency, 0, version, True
+
+    # ------------------------------------------------------------------ reporting
+
+    def describe(self) -> str:
+        """One-line human-readable description of the protocol."""
+        return self.name

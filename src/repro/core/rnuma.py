@@ -1,0 +1,141 @@
+"""R-NUMA: reactive fine-grain memory caching (Section 3.2).
+
+R-NUMA starts every remote page in CC-NUMA mode and counts, per page and
+per node, the *refetches* — fetches of blocks the node recently cached but
+lost to capacity/conflict replacement.  When a page's refetch counter
+exceeds the switching threshold the node takes a relocation interrupt and
+remaps the page into its local S-COMA page cache: subsequent fills for
+blocks present in the page cache are satisfied locally, while absent
+blocks are fetched remotely on demand and then kept locally.
+
+The decision is entirely local (no coordination with other nodes), which
+is why R-NUMA's page operations are cheap but frequent — the opposite
+trade-off from page migration/replication.
+
+The factory builds three variants that differ only in the page-cache
+capacity handed to the machine: ``rnuma`` (2.4 MB), ``rnuma-half``
+(1.2 MB, Figure 8) and ``rnuma-inf`` (unbounded).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.counters import RefetchCounters
+from repro.core.decisions import RNUMAPolicy
+from repro.kernel.faults import FaultKind
+from repro.kernel.relocation import RelocationEngine
+from repro.mem.page_table import PageMode
+from repro.stats.counters import MissClass
+
+
+class RNUMAProtocol(CCNUMAProtocol):
+    """Hybrid CC-NUMA / S-COMA protocol with reactive per-page switching."""
+
+    name = "rnuma"
+
+    def __init__(self, machine, *, relocation_delay: int = 0) -> None:
+        super().__init__(machine)
+        thresholds = self.cfg.thresholds
+        num_nodes = self.cfg.machine.num_nodes
+        self.refetch_counters = [RefetchCounters() for _ in range(num_nodes)]
+        self.policy = RNUMAPolicy(
+            threshold=thresholds.effective_rnuma_threshold,
+            relocation_delay=relocation_delay,
+        )
+        self.engine = RelocationEngine(
+            addr=self.addr,
+            costs=self.costs,
+            vm=self.vm,
+            directory=self.directory,
+            network=self.network,
+            page_tables=self.page_tables,
+            block_caches=self.block_caches,
+            page_caches=self.page_caches,
+            l1_caches=machine.l1_by_node,
+        )
+        #: total misses observed per page (used only by the hybrid's delay)
+        self._page_miss_totals: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ helpers
+
+    def _record_page_miss(self, page: int) -> int:
+        total = self._page_miss_totals.get(page, 0) + 1
+        self._page_miss_totals[page] = total
+        return total
+
+    def _maybe_relocate(self, node: int, page: int, now: int) -> int:
+        """Relocate ``page`` on ``node`` if its refetch counter warrants it."""
+        counters = self.refetch_counters[node]
+        total = self._page_miss_totals.get(page, 0)
+        if not self.policy.should_relocate(counters, page, page_total_misses=total):
+            return 0
+        outcome = self.engine.relocate(node, page, now)
+        counters.clear(page)
+        stats = self.node_stats[node]
+        stats.relocations += 1
+        if outcome.evicted_page is not None:
+            stats.page_cache_evictions += 1
+            self.refetch_counters[node].clear(outcome.evicted_page)
+            self.fault_logs[node].record(FaultKind.PAGE_CACHE_EVICTION, 0)
+        self.fault_logs[node].record(FaultKind.RELOCATION_INTERRUPT, outcome.cost)
+        return outcome.cost
+
+    def _scoma_fetch(self, node: int, page: int, block: int, is_write: bool,
+                     now: int, home: int) -> Tuple[int, int, bool]:
+        """Service a miss on a page held in the node's S-COMA page cache."""
+        stats = self.node_stats[node]
+        pc = self.page_caches[node]
+        offset = self.addr.block_offset_in_page(block)
+        version = self.directory.version(block)
+
+        if pc.lookup_block(page, offset, version):
+            stats.page_cache_hits += 1
+            if is_write:
+                extra, version = self._directory_write(node, block)
+                pc.write_block(page, offset, version)
+                return self.costs.local_miss + extra, version, False
+            return self.costs.local_miss, version, False
+
+        latency, version, _cause = self._remote_fetch(node, page, block,
+                                                      is_write, now, home)
+        pc.fill_block(page, offset, version, dirty=is_write)
+        return latency, version, True
+
+    # ------------------------------------------------------------------ overrides
+
+    def _service_remote_page(self, node: int, proc: int, page: int, block: int,
+                             is_write: bool, now: int, home: int,
+                             mode: PageMode) -> Tuple[int, int, int, bool]:
+        pc = self.page_caches[node]
+        if pc is not None and pc.contains(page):
+            latency, version, remote = self._scoma_fetch(
+                node, page, block, is_write, now, home)
+            if remote:
+                self._record_page_miss(page)
+            return latency, 0, version, remote
+
+        # CC-NUMA mode: go through the block cache and feed the reactive counters
+        stats = self.node_stats[node]
+        remote_before = stats.remote_capacity_conflict
+        latency, version, remote = self._block_cache_fetch(
+            node, page, block, is_write, now, home)
+        pageop = 0
+        if remote:
+            self._record_page_miss(page)
+            if stats.remote_capacity_conflict > remote_before:
+                # this fetch was a capacity/conflict refetch: count it
+                self.refetch_counters[node].record_refetch(page)
+                pageop = self._maybe_relocate(node, page, now)
+        return latency, pageop, version, remote
+
+    def describe(self) -> str:
+        pc = self.page_caches[0]
+        if pc is None:
+            size = "no page cache"
+        elif pc.is_infinite:
+            size = "infinite page cache"
+        else:
+            size = f"{pc.capacity_pages} page frames"
+        return f"R-NUMA ({size})"

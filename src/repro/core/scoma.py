@@ -1,0 +1,101 @@
+"""Pure S-COMA: unconditional fine-grain memory caching.
+
+Simple COMA (Hagersten, Saulsbury & Landin, 1994) is the substrate R-NUMA
+reacts *into*: remote data is always cached in page frames allocated from
+the node's local memory, with coherence kept at cache-block granularity by
+fine-grain tags.  The paper never evaluates pure S-COMA directly — it
+motivates R-NUMA precisely because always allocating local page frames
+wastes memory and page-operation time on pages with little reuse — but it
+discusses the design in Sections 1 and 3.2 and cites ASCOMA, which
+"always allocates S-COMA pages first", as the closest relative.
+
+This module provides that missing comparison point as an *ablation*
+protocol: every remote page is placed in the S-COMA page cache on the very
+first remote miss, with no reactive counter standing between the miss and
+the allocation.  Comparing ``scoma`` against ``rnuma`` and ``ccnuma``
+quantifies how much of R-NUMA's win comes from the page cache itself and
+how much from being selective about what goes into it — exactly the
+trade-off Table 1 of the paper describes qualitatively.
+
+Expected behaviour (and what the ablation benchmark checks):
+
+* on workloads dominated by actively read-write-shared pages with reuse
+  (barnes, lu, ocean) pure S-COMA matches or beats R-NUMA, because R-NUMA
+  would have relocated those pages anyway and merely pays extra remote
+  misses while its refetch counters warm up;
+* on low-reuse kernels (cholesky, radix) pure S-COMA pays an allocation
+  and refetch penalty for every streaming page and falls behind R-NUMA —
+  the behaviour that motivated reactive switching in the first place;
+* under page-cache pressure pure S-COMA thrashes earlier than R-NUMA
+  because it admits pages indiscriminately.
+
+Which of the first two effects dominates on average is a function of the
+page-operation cost model: with the paper's full Table 3 costs the
+up-front allocations are expensive enough that reactive switching wins,
+with the reduced experiment cost model they are cheap and unconditional
+allocation can come out ahead (see EXPERIMENTS.md, "Ablations beyond the
+paper").  That sensitivity is itself the point of the ablation — it is the
+quantitative version of the paper's Section 4 overhead argument.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.rnuma import RNUMAProtocol
+from repro.kernel.faults import FaultKind
+from repro.mem.page_table import PageMode
+
+
+class SCOMAProtocol(RNUMAProtocol):
+    """S-COMA: allocate a local page-cache frame on the first remote miss."""
+
+    name = "scoma"
+
+    def _allocate_on_first_miss(self, node: int, page: int, now: int) -> int:
+        """Place ``page`` in the node's page cache immediately.
+
+        Returns the page-operation cycles charged to the faulting
+        processor: the same relocation mechanics R-NUMA uses (soft trap,
+        local TLB invalidation, possible victim eviction) — the only
+        difference is that no refetch evidence is required first.
+        """
+        outcome = self.engine.relocate(node, page, now)
+        stats = self.node_stats[node]
+        stats.relocations += 1
+        if outcome.evicted_page is not None:
+            stats.page_cache_evictions += 1
+            self.refetch_counters[node].clear(outcome.evicted_page)
+            self.fault_logs[node].record(FaultKind.PAGE_CACHE_EVICTION, 0)
+        self.fault_logs[node].record(FaultKind.RELOCATION_INTERRUPT, outcome.cost)
+        return outcome.cost
+
+    def _service_remote_page(self, node: int, proc: int, page: int, block: int,
+                             is_write: bool, now: int, home: int,
+                             mode: PageMode) -> Tuple[int, int, int, bool]:
+        pc = self.page_caches[node]
+        pageop = 0
+        if pc is not None and not pc.contains(page):
+            pageop = self._allocate_on_first_miss(node, page, now)
+
+        if pc is not None and pc.contains(page):
+            latency, version, remote = self._scoma_fetch(
+                node, page, block, is_write, now, home)
+            if remote:
+                self._record_page_miss(page)
+            return latency, pageop, version, remote
+
+        # no page cache configured at all: degenerate to CC-NUMA behaviour
+        latency, version, remote = self._block_cache_fetch(
+            node, page, block, is_write, now, home)
+        return latency, pageop, version, remote
+
+    def describe(self) -> str:
+        pc = self.page_caches[0]
+        if pc is None:
+            size = "no page cache"
+        elif pc.is_infinite:
+            size = "infinite page cache"
+        else:
+            size = f"{pc.capacity_pages} page frames"
+        return f"S-COMA ({size}, unconditional allocation)"

@@ -1,0 +1,30 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.runner` — run one (workload, system) pair and
+  collect an :class:`ExperimentResult`.
+* :mod:`repro.experiments.table1` — the qualitative opportunity/overhead
+  matrix (Table 1).
+* :mod:`repro.experiments.table2` — applications and inputs (Table 2).
+* :mod:`repro.experiments.table3` — cost-model constants (Table 3).
+* :mod:`repro.experiments.figure5` — base performance comparison.
+* :mod:`repro.experiments.table4` — per-node page operations and misses.
+* :mod:`repro.experiments.figure6` — sensitivity to page-operation
+  overhead.
+* :mod:`repro.experiments.figure7` — sensitivity to network latency.
+* :mod:`repro.experiments.figure8` — R-NUMA page-cache size / hybrid
+  study.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_pair,
+    run_systems,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "run_pair",
+    "run_systems",
+]

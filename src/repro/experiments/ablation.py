@@ -1,0 +1,116 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+The paper fixes several design parameters (first-touch placement, an SRAM
+block cache sized to the processor caches, a single threshold per
+technique).  The ablation harnesses below vary them one at a time so the
+reproduction can quantify how much each choice matters:
+
+``run_placement_ablation``
+    first-touch vs round-robin vs interleaved vs single-node initial
+    placement, for CC-NUMA, MigRep and R-NUMA.  Expected shape: bad
+    placements hurt CC-NUMA badly, MigRep recovers a large part of the
+    loss (migration exists exactly to fix mis-placed pages), R-NUMA
+    recovers nearly all of it.
+
+``run_block_cache_ablation``
+    SRAM block cache vs the large-but-slow DRAM block cache
+    (``ccnuma-dram``) vs R-NUMA.  Expected shape: the DRAM cache closes
+    part of the capacity/conflict gap but keeps paying its per-access
+    penalty, so R-NUMA stays ahead on workloads with page-level reuse.
+
+``run_scoma_ablation``
+    pure S-COMA vs R-NUMA vs CC-NUMA.  Expected shape: S-COMA matches
+    R-NUMA on reuse-heavy applications and falls behind (extra allocations
+    and refetches) on the streaming kernels — the reason R-NUMA is
+    *reactive* in the first place.
+
+``run_threshold_ablation``
+    R-NUMA switching threshold and MigRep miss-threshold sweeps (the
+    values Section 5 says were "selected so as to optimize performance
+    over all benchmarks").
+
+Each function returns the flat per-(value, app, system) rows produced by
+:mod:`repro.analysis.sweeps`, ready for the exporters and the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.sweeps import (
+    SweepResult,
+    migrep_threshold_sweep,
+    rnuma_threshold_sweep,
+    run_sweep,
+)
+from repro.config import SimulationConfig, base_config
+from repro.kernel.placement import PLACEMENT_NAMES
+from repro.stats.report import format_normalized_figure
+
+#: Applications used by default for ablations (one per behaviour class:
+#: high read-write sharing, replication-friendly, page-cache pressure).
+DEFAULT_ABLATION_APPS: tuple[str, ...] = ("barnes", "lu", "radix")
+
+
+def run_placement_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
+                           systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
+                           policies: Sequence[str] = PLACEMENT_NAMES,
+                           scale: float = 0.3, seed: int = 0) -> SweepResult:
+    """Sweep the initial placement policy."""
+    def configure(value: object) -> SimulationConfig:
+        return base_config(seed=seed).with_placement(str(value))
+    return run_sweep("placement", list(policies), configure,
+                     apps=apps, systems=list(systems), scale=scale, seed=seed)
+
+
+def run_block_cache_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
+                             scale: float = 0.3, seed: int = 0
+                             ) -> Dict[str, Dict[str, float]]:
+    """Compare the SRAM block cache, the DRAM block cache and R-NUMA.
+
+    Returns ``{app: {system: normalized time}}`` in the same shape the
+    figure modules use, so it can be rendered and exported identically.
+    """
+    from repro.experiments.figure5 import normalized_times, run_figure5_app
+
+    systems = ("ccnuma", "ccnuma-dram", "rnuma")
+    out: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        results = run_figure5_app(app, scale=scale, seed=seed, systems=systems)
+        out[app] = normalized_times(results)
+    return out
+
+
+def run_scoma_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
+                       scale: float = 0.3, seed: int = 0
+                       ) -> Dict[str, Dict[str, float]]:
+    """Compare unconditional S-COMA against reactive R-NUMA and CC-NUMA."""
+    from repro.experiments.figure5 import normalized_times, run_figure5_app
+
+    systems = ("ccnuma", "scoma", "rnuma")
+    out: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        results = run_figure5_app(app, scale=scale, seed=seed, systems=systems)
+        out[app] = normalized_times(results)
+    return out
+
+
+def run_threshold_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
+                           rnuma_values: Sequence[int] = (8, 16, 32, 64, 128),
+                           migrep_values: Sequence[int] = (200, 400, 800, 1600),
+                           scale: float = 0.3, seed: int = 0
+                           ) -> Dict[str, SweepResult]:
+    """Sweep both techniques' thresholds around the paper's chosen values."""
+    return {
+        "rnuma_threshold": rnuma_threshold_sweep(rnuma_values, apps=apps,
+                                                 scale=scale, seed=seed),
+        "migrep_threshold": migrep_threshold_sweep(migrep_values, apps=apps,
+                                                   scale=scale, seed=seed),
+    }
+
+
+def render_ablation(title: str, per_app: Mapping[str, Mapping[str, float]],
+                    systems: Sequence[str]) -> str:
+    """Render an ablation's ``{app: {system: value}}`` data as plain text."""
+    return format_normalized_figure(title, per_app, list(systems))

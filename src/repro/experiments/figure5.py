@@ -1,0 +1,79 @@
+"""Figure 5 — base performance comparison.
+
+The paper's Figure 5 plots execution time normalized to perfect CC-NUMA
+for seven systems: CC-NUMA, Rep, Mig, MigRep, R-NUMA and R-NUMA-Inf, over
+the seven applications.  The expected shape (Section 6.1):
+
+* CC-NUMA averages ~60 % slower than perfect CC-NUMA,
+* MigRep improves on CC-NUMA by roughly 20 % on average,
+* R-NUMA improves on CC-NUMA by roughly 40 % and is best overall,
+* Mig alone *hurts* barnes, lu benefits mainly from Rep,
+  ocean/radix have little MigRep opportunity, and cholesky/radix show
+  R-NUMA's relocation overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, base_config
+from repro.experiments.runner import ExperimentResult, run_systems
+from repro.stats.report import format_normalized_figure
+from repro.workloads import get_workload, list_workloads
+
+#: Systems plotted in Figure 5, in the paper's legend order.
+FIGURE5_SYSTEMS: tuple[str, ...] = (
+    "ccnuma", "rep", "mig", "migrep", "rnuma", "rnuma-inf",
+)
+
+
+def run_figure5_app(app: str, *, config: Optional[SimulationConfig] = None,
+                    scale: float = 1.0, seed: int = 0,
+                    systems: Sequence[str] = FIGURE5_SYSTEMS
+                    ) -> Dict[str, ExperimentResult]:
+    """Run every Figure 5 system (plus the perfect baseline) for one app."""
+    cfg = config if config is not None else base_config(seed=seed)
+    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
+    return run_systems(trace, systems, cfg)
+
+
+def normalized_times(results: Mapping[str, ExperimentResult]) -> Dict[str, float]:
+    """Normalize every system's execution time against the perfect run."""
+    baseline = results["perfect"].execution_time
+    return {
+        name: res.execution_time / baseline
+        for name, res in results.items()
+        if name != "perfect"
+    }
+
+
+def run_figure5(*, apps: Optional[Sequence[str]] = None,
+                config: Optional[SimulationConfig] = None,
+                scale: float = 1.0, seed: int = 0,
+                systems: Sequence[str] = FIGURE5_SYSTEMS
+                ) -> Dict[str, Dict[str, float]]:
+    """Reproduce Figure 5: normalized execution time per app per system."""
+    app_names = tuple(apps) if apps is not None else list_workloads()
+    out: Dict[str, Dict[str, float]] = {}
+    for app in app_names:
+        results = run_figure5_app(app, config=config, scale=scale, seed=seed,
+                                  systems=systems)
+        out[app] = normalized_times(results)
+    return out
+
+
+def render_figure5(per_app: Mapping[str, Mapping[str, float]],
+                   systems: Sequence[str] = FIGURE5_SYSTEMS) -> str:
+    """Render the Figure 5 data as a plain-text table."""
+    return format_normalized_figure(
+        "Figure 5: execution time normalized to perfect CC-NUMA",
+        per_app, list(systems))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    data = run_figure5()
+    print(render_figure5(data))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,76 @@
+"""Figure 6 — sensitivity to page-operation overhead.
+
+Section 6.2 compares CC-NUMA+MigRep and R-NUMA under the fast (base) cost
+model and a slow one with ten-fold page-operation overheads (50 us soft
+traps, 5 us TLB shootdowns, an extra 10 us of page copying) and raised
+thresholds (1200 for MigRep, 64 for R-NUMA).
+
+Expected shape: R-NUMA is more sensitive to slow page operations than
+MigRep on average, because its page operations are far more frequent;
+cholesky and radix degrade the most for R-NUMA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, base_config, slow_page_ops_config
+from repro.experiments.runner import run_systems
+from repro.stats.report import format_normalized_figure
+from repro.workloads import get_workload, list_workloads
+
+#: Series plotted in Figure 6 (system, speed) combinations.
+FIGURE6_SERIES: tuple[str, ...] = (
+    "migrep-fast", "migrep-slow", "rnuma-fast", "rnuma-slow",
+)
+
+
+def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
+                    fast_config: Optional[SimulationConfig] = None,
+                    slow_config: Optional[SimulationConfig] = None
+                    ) -> Dict[str, float]:
+    """Run one application under fast and slow page-operation support.
+
+    Returns normalized execution times keyed by series name
+    (``migrep-fast``, ``migrep-slow``, ``rnuma-fast``, ``rnuma-slow``).
+    All series are normalized against the *fast* perfect CC-NUMA run, as
+    in the paper.
+    """
+    fast = fast_config if fast_config is not None else base_config(seed=seed)
+    slow = slow_config if slow_config is not None else slow_page_ops_config(seed=seed)
+
+    trace = get_workload(app, machine=fast.machine, scale=scale, seed=seed)
+    fast_results = run_systems(trace, ("migrep", "rnuma"), fast)
+    slow_results = run_systems(trace, ("migrep", "rnuma"), slow, baseline=None)
+
+    baseline = fast_results["perfect"].execution_time
+    return {
+        "migrep-fast": fast_results["migrep"].execution_time / baseline,
+        "rnuma-fast": fast_results["rnuma"].execution_time / baseline,
+        "migrep-slow": slow_results["migrep"].execution_time / baseline,
+        "rnuma-slow": slow_results["rnuma"].execution_time / baseline,
+    }
+
+
+def run_figure6(*, apps: Optional[Sequence[str]] = None, scale: float = 1.0,
+                seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Reproduce Figure 6 for every application."""
+    app_names = tuple(apps) if apps is not None else list_workloads()
+    return {app: run_figure6_app(app, scale=scale, seed=seed)
+            for app in app_names}
+
+
+def render_figure6(per_app: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Figure 6 data as a plain-text table."""
+    return format_normalized_figure(
+        "Figure 6: sensitivity to page-operation overhead "
+        "(normalized to fast perfect CC-NUMA)",
+        per_app, list(FIGURE6_SERIES))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_figure6(run_figure6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,66 @@
+"""Figure 7 — sensitivity to network latency.
+
+Section 6.3 re-runs CC-NUMA, CC-NUMA+MigRep and R-NUMA with the network
+latency scaled so the remote-to-local access ratio is ~16 (four times the
+base system), as in loosely-coupled clusters such as Sequent NUMA-Q.
+
+Expected shape: CC-NUMA degrades the most (it has the most remote
+misses), MigRep sits in the middle, and R-NUMA — having eliminated most
+remote misses — degrades the least.  Normalisation is against the perfect
+CC-NUMA *at the same network latency*, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, long_latency_config
+from repro.experiments.runner import run_systems
+from repro.stats.report import format_normalized_figure
+from repro.workloads import get_workload, list_workloads
+
+#: Systems plotted in Figure 7.
+FIGURE7_SYSTEMS: tuple[str, ...] = ("ccnuma", "migrep", "rnuma")
+
+
+def run_figure7_app(app: str, *, config: Optional[SimulationConfig] = None,
+                    latency_factor: float = 4.0, scale: float = 1.0,
+                    seed: int = 0) -> Dict[str, float]:
+    """Run one application at the long network latency.
+
+    Returns normalized execution times for the Figure 7 systems.
+    """
+    cfg = (config if config is not None
+           else long_latency_config(seed=seed, factor=latency_factor))
+    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
+    results = run_systems(trace, FIGURE7_SYSTEMS, cfg)
+    baseline = results["perfect"].execution_time
+    return {name: res.execution_time / baseline
+            for name, res in results.items() if name != "perfect"}
+
+
+def run_figure7(*, apps: Optional[Sequence[str]] = None,
+                latency_factor: float = 4.0, scale: float = 1.0,
+                seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Reproduce Figure 7 for every application."""
+    app_names = tuple(apps) if apps is not None else list_workloads()
+    return {
+        app: run_figure7_app(app, latency_factor=latency_factor,
+                             scale=scale, seed=seed)
+        for app in app_names
+    }
+
+
+def render_figure7(per_app: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Figure 7 data as a plain-text table."""
+    return format_normalized_figure(
+        "Figure 7: 4x network latency, normalized to perfect CC-NUMA",
+        per_app, list(FIGURE7_SYSTEMS))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_figure7(run_figure7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Figure 8 — can MigRep shrink R-NUMA's page cache? (Section 6.4).
+
+The paper compares CC-NUMA, MigRep, R-NUMA (2.4 MB page cache),
+R-NUMA-1/2 (half-size page cache) and R-NUMA-1/2+MigRep — the hybrid that
+adds page migration/replication to the half-size system with relocation
+delayed so MigRep's counters are not starved.
+
+Expected shape: R-NUMA-1/2's performance is not recovered by adding
+MigRep — relocations still remove the misses MigRep's counters need to
+see (counter interference) — and only radix is visibly hurt by the
+halved page cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, base_config
+from repro.experiments.runner import run_systems
+from repro.stats.report import format_normalized_figure
+from repro.workloads import get_workload, list_workloads
+
+#: Systems plotted in Figure 8, in the paper's legend order.
+FIGURE8_SYSTEMS: tuple[str, ...] = (
+    "ccnuma", "migrep", "rnuma-half", "rnuma-half-migrep", "rnuma",
+)
+
+
+def run_figure8_app(app: str, *, config: Optional[SimulationConfig] = None,
+                    scale: float = 1.0, seed: int = 0) -> Dict[str, float]:
+    """Run one application under the Figure 8 systems; return normalized times."""
+    cfg = config if config is not None else base_config(seed=seed)
+    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
+    results = run_systems(trace, FIGURE8_SYSTEMS, cfg)
+    baseline = results["perfect"].execution_time
+    return {name: res.execution_time / baseline
+            for name, res in results.items() if name != "perfect"}
+
+
+def run_figure8(*, apps: Optional[Sequence[str]] = None,
+                config: Optional[SimulationConfig] = None,
+                scale: float = 1.0, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Reproduce Figure 8 for every application."""
+    app_names = tuple(apps) if apps is not None else list_workloads()
+    return {app: run_figure8_app(app, config=config, scale=scale, seed=seed)
+            for app in app_names}
+
+
+def render_figure8(per_app: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Figure 8 data as a plain-text table."""
+    return format_normalized_figure(
+        "Figure 8: R-NUMA page-cache size and the MigRep hybrid "
+        "(normalized to perfect CC-NUMA)",
+        per_app, list(FIGURE8_SYSTEMS))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_figure8(run_figure8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

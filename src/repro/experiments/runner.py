@@ -1,0 +1,124 @@
+"""Run one (workload, system) pair and collect results.
+
+:func:`run_experiment` is the single entry point every experiment module,
+example and benchmark uses: build a machine for a named system, run a
+trace through it and wrap the statistics in an :class:`ExperimentResult`.
+Because the paper reports everything normalized to a perfect CC-NUMA run
+of the same application, :func:`run_pair` and :func:`run_systems` bundle
+the baseline run together with the systems of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.cluster.machine import Machine
+from repro.config import SimulationConfig, base_config
+from repro.core.factory import SystemSpec, build_system
+from repro.stats.counters import MachineStats
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class ExperimentResult:
+    """Results of running one workload under one system configuration."""
+
+    workload: str
+    system: str
+    config: SimulationConfig
+    stats: MachineStats
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def execution_time(self) -> int:
+        """Execution time of the run, in processor cycles."""
+        return self.stats.execution_time
+
+    def normalized_time(self, baseline: "ExperimentResult | int | float") -> float:
+        """Execution time normalized against ``baseline`` (perfect CC-NUMA)."""
+        base = (baseline.execution_time
+                if isinstance(baseline, ExperimentResult) else float(baseline))
+        if base <= 0:
+            raise ValueError("baseline execution time must be positive")
+        return self.execution_time / base
+
+    # -- Table 4 style numbers -----------------------------------------------------
+
+    def per_node_page_ops(self) -> Dict[str, float]:
+        """Per-node migrations, replications and relocations."""
+        return {
+            "migrations": self.stats.per_node_migrations(),
+            "replications": self.stats.per_node_replications(),
+            "relocations": self.stats.per_node_relocations(),
+        }
+
+    def per_node_misses(self) -> Dict[str, float]:
+        """Per-node overall and capacity/conflict remote misses."""
+        return {
+            "overall": self.stats.per_node_remote_misses(),
+            "capacity_conflict": self.stats.per_node_capacity_conflict(),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary of the headline results (reports and tests)."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "system": self.system,
+            "execution_time": self.execution_time,
+            "remote_misses": self.stats.total_remote_misses,
+            "capacity_conflict_misses": self.stats.total_capacity_conflict_misses,
+            "coherence_misses": self.stats.total_coherence_misses,
+            "cold_misses": self.stats.total_cold_misses,
+            "local_misses": self.stats.total_local_misses,
+            "network_messages": self.stats.network_messages,
+            "network_bytes": self.stats.network_bytes,
+        }
+        out.update({f"per_node_{k}": v for k, v in self.per_node_page_ops().items()})
+        return out
+
+
+def run_experiment(trace: Trace, system: Union[str, SystemSpec],
+                   config: Optional[SimulationConfig] = None) -> ExperimentResult:
+    """Run ``trace`` under ``system`` and return the result.
+
+    ``system`` may be a name (see :data:`repro.core.factory.SYSTEM_NAMES`)
+    or an explicit :class:`SystemSpec`; ``config`` defaults to the base
+    (reduced-machine, fast-page-op) configuration.
+    """
+    spec = build_system(system) if isinstance(system, str) else system
+    cfg = config if config is not None else base_config()
+    machine = Machine(cfg, spec)
+    stats = machine.run(trace)
+    return ExperimentResult(workload=trace.name, system=spec.name,
+                            config=cfg, stats=stats)
+
+
+def run_pair(trace: Trace, system: Union[str, SystemSpec],
+             config: Optional[SimulationConfig] = None,
+             baseline: str = "perfect") -> tuple[ExperimentResult, ExperimentResult]:
+    """Run ``system`` and the normalisation ``baseline`` on the same trace."""
+    base = run_experiment(trace, baseline, config)
+    result = run_experiment(trace, system, config)
+    return result, base
+
+
+def run_systems(trace: Trace, systems: Sequence[Union[str, SystemSpec]],
+                config: Optional[SimulationConfig] = None,
+                baseline: Optional[str] = "perfect"
+                ) -> Dict[str, ExperimentResult]:
+    """Run several systems on the same trace.
+
+    Returns a mapping from system name to result; when ``baseline`` is not
+    None it is included under its own name (so callers can normalize).
+    """
+    results: Dict[str, ExperimentResult] = {}
+    if baseline is not None:
+        results[baseline] = run_experiment(trace, baseline, config)
+    for system in systems:
+        spec = build_system(system) if isinstance(system, str) else system
+        if spec.name in results:
+            continue
+        results[spec.name] = run_experiment(trace, spec, config)
+    return results

@@ -1,0 +1,82 @@
+"""Table 3 — baseline system cost assumptions.
+
+Table 3 of the paper lists the cycle costs of block and page operations in
+the base system.  This module renders the active :class:`CostModel`
+alongside the paper's values so a reader (or a regression test) can check
+that the reproduction charges the same costs, and shows the derived slow
+(Section 6.2) and long-latency (Section 6.3) variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import CostModel
+from repro.stats.report import format_table
+
+#: The paper's Table 3 values (cycles), keyed by CostModel attribute where a
+#: one-to-one mapping exists; ranges are (min, max).
+PAPER_TABLE3: Dict[str, object] = {
+    "network_latency": 80,
+    "local_miss": 104,
+    "remote_miss": 418,
+    "soft_trap": 3000,
+    "tlb_shootdown": 300,
+    "page_alloc": (3000, 11500),
+    "gather": (3000, 11500),
+    "copy": (8000, 21800),
+}
+
+
+@dataclass
+class Table3Row:
+    """One operation's cost: paper value and the model's value."""
+
+    operation: str
+    paper_cycles: str
+    model_cycles: str
+    matches: bool
+
+
+def run_table3(costs: Optional[CostModel] = None) -> List[Table3Row]:
+    """Compare the active cost model against the paper's Table 3."""
+    cm = costs if costs is not None else CostModel()
+    rows: List[Table3Row] = []
+
+    def add(op: str, paper: object, model: object) -> None:
+        rows.append(Table3Row(
+            operation=op,
+            paper_cycles=str(paper),
+            model_cycles=str(model),
+            matches=paper == model,
+        ))
+
+    add("network latency", PAPER_TABLE3["network_latency"], cm.network_latency)
+    add("local miss latency", PAPER_TABLE3["local_miss"], cm.local_miss)
+    add("remote miss latency (round trip)", PAPER_TABLE3["remote_miss"], cm.remote_miss)
+    add("soft trap", PAPER_TABLE3["soft_trap"], cm.soft_trap)
+    add("TLB shootdown", PAPER_TABLE3["tlb_shootdown"], cm.tlb_shootdown)
+    add("page allocation/replacement or relocation",
+        PAPER_TABLE3["page_alloc"], (cm.page_alloc_min, cm.page_alloc_max))
+    add("page invalidation and data gathering",
+        PAPER_TABLE3["gather"], (cm.gather_min, cm.gather_max))
+    add("page copying", PAPER_TABLE3["copy"], (cm.copy_min, cm.copy_max))
+    return rows
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    """Render the Table 3 comparison as plain text."""
+    headers = ["operation", "paper (cycles)", "model (cycles)", "match"]
+    table_rows = [[r.operation, r.paper_cycles, r.model_cycles,
+                   "yes" if r.matches else "NO"] for r in rows]
+    title = "Table 3: base system cost assumptions (paper vs model)"
+    return title + "\n" + format_table(headers, table_rows)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_table3(run_table3()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,99 @@
+"""Table 4 — per-node page operations and remote misses.
+
+The paper's Table 4 lists, for every application:
+
+* per-node page operations — migrations and replications in
+  CC-NUMA+MigRep, page-cache relocations in R-NUMA — and
+* the per-node number of overall remote misses (with capacity/conflict
+  misses in parentheses) for CC-NUMA, CC-NUMA+MigRep and R-NUMA.
+
+The expected shape: MigRep's page operations are far less frequent than
+R-NUMA's relocations; R-NUMA leaves the fewest capacity/conflict misses;
+radix has the most relocations and a large residual miss count from page
+cache pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig, base_config
+from repro.experiments.runner import ExperimentResult, run_systems
+from repro.stats.report import format_table
+from repro.workloads import get_workload, list_workloads
+
+#: The three systems whose misses Table 4 breaks down.
+TABLE4_SYSTEMS: tuple[str, ...] = ("ccnuma", "migrep", "rnuma")
+
+
+@dataclass
+class Table4Row:
+    """One application's row of Table 4."""
+
+    app: str
+    migrations_per_node: float
+    replications_per_node: float
+    relocations_per_node: float
+    misses: Dict[str, float]             # system -> per-node overall misses
+    capacity_conflict: Dict[str, float]  # system -> per-node cap/conflict misses
+
+
+def run_table4_app(app: str, *, config: Optional[SimulationConfig] = None,
+                   scale: float = 1.0, seed: int = 0) -> Table4Row:
+    """Compute one application's Table 4 row."""
+    cfg = config if config is not None else base_config(seed=seed)
+    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
+    results = run_systems(trace, TABLE4_SYSTEMS, cfg, baseline=None)
+
+    migrep = results["migrep"]
+    rnuma = results["rnuma"]
+    return Table4Row(
+        app=app,
+        migrations_per_node=migrep.stats.per_node_migrations(),
+        replications_per_node=migrep.stats.per_node_replications(),
+        relocations_per_node=rnuma.stats.per_node_relocations(),
+        misses={name: res.stats.per_node_remote_misses()
+                for name, res in results.items()},
+        capacity_conflict={name: res.stats.per_node_capacity_conflict()
+                           for name, res in results.items()},
+    )
+
+
+def run_table4(*, apps: Optional[Sequence[str]] = None,
+               config: Optional[SimulationConfig] = None,
+               scale: float = 1.0, seed: int = 0) -> List[Table4Row]:
+    """Reproduce Table 4 for every application."""
+    app_names = tuple(apps) if apps is not None else list_workloads()
+    return [run_table4_app(app, config=config, scale=scale, seed=seed)
+            for app in app_names]
+
+
+def render_table4(rows: Sequence[Table4Row]) -> str:
+    """Render Table 4 rows as a plain-text table."""
+    headers = ["benchmark", "mig/node", "rep/node", "reloc/node",
+               "ccnuma misses (cc)", "migrep misses (cc)", "rnuma misses (cc)"]
+    table_rows = []
+    for row in rows:
+        def fmt(system: str) -> str:
+            return (f"{row.misses[system]:.0f} "
+                    f"({row.capacity_conflict[system]:.0f})")
+        table_rows.append([
+            row.app,
+            row.migrations_per_node,
+            row.replications_per_node,
+            row.relocations_per_node,
+            fmt("ccnuma"),
+            fmt("migrep"),
+            fmt("rnuma"),
+        ])
+    title = "Table 4: per-node page operations and remote misses"
+    return title + "\n" + format_table(headers, table_rows, float_fmt="{:.1f}")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_table4(run_table4()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

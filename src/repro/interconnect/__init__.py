@@ -1,0 +1,25 @@
+"""Interconnect substrates: intra-node bus, inter-node network, messages.
+
+The paper's machine connects the four processors of each node over a
+100 MHz split-transaction memory bus and the eight nodes over a
+point-to-point network with a constant 80-cycle latency; contention is
+modelled at the memory bus and at the network interfaces (Section 5).
+
+* :mod:`repro.interconnect.message` — message taxonomy and sizes, used for
+  traffic accounting.
+* :mod:`repro.interconnect.bus` — the split-transaction memory bus
+  (occupancy-based contention).
+* :mod:`repro.interconnect.network` — the point-to-point network and
+  per-node network interfaces (NICs).
+"""
+
+from repro.interconnect.message import MessageType, MessageStats
+from repro.interconnect.bus import SplitTransactionBus
+from repro.interconnect.network import Network
+
+__all__ = [
+    "MessageType",
+    "MessageStats",
+    "SplitTransactionBus",
+    "Network",
+]

@@ -1,0 +1,69 @@
+"""Split-transaction memory bus with occupancy-based contention.
+
+Each SMP node's processors share a 100 MHz split-transaction bus
+(Section 5 of the paper).  The simulator models contention at this bus
+the same way the paper's simulator does for its purposes: every cache-miss
+transaction occupies the bus for a fixed number of cycles, and a
+transaction issued while the bus is busy waits until the bus frees up.
+
+The model is a simple ``next_free`` resource: ``acquire(now, occupancy)``
+returns the cycle at which the transaction may start (>= ``now``), records
+the queueing delay, and advances ``next_free``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SplitTransactionBus:
+    """Occupancy/contention model for one node's memory bus.
+
+    Parameters
+    ----------
+    node:
+        Node id (for reporting only).
+    enabled:
+        When False the bus never queues (used to disable contention
+        modelling globally from :class:`repro.config.SimulationConfig`).
+    """
+
+    node: int = 0
+    enabled: bool = True
+    next_free: int = 0
+    transactions: int = 0
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+
+    def acquire(self, now: int, occupancy: int) -> int:
+        """Acquire the bus at time ``now`` for ``occupancy`` cycles.
+
+        Returns the start time of the transaction (equal to ``now`` when
+        the bus is idle, later when it is busy).  The caller adds
+        ``start - now`` to the requesting processor's stall time.
+        """
+        if occupancy < 0:
+            raise ValueError("occupancy must be non-negative")
+        self.transactions += 1
+        if not self.enabled:
+            self.busy_cycles += occupancy
+            return now
+        start = now if now >= self.next_free else self.next_free
+        self.wait_cycles += start - now
+        self.next_free = start + occupancy
+        self.busy_cycles += occupancy
+        return start
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus spent busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def reset(self) -> None:
+        """Clear timing state and statistics."""
+        self.next_free = 0
+        self.transactions = 0
+        self.busy_cycles = 0
+        self.wait_cycles = 0

@@ -1,0 +1,28 @@
+"""Operating-system substrates: virtual memory, faults, page operations.
+
+The techniques the paper compares are driven by kernel mechanisms layered
+over the DSM hardware:
+
+* :mod:`repro.kernel.vm` — the global page map with first-touch placement
+  (the policy every simulated system starts from) and migration support.
+* :mod:`repro.kernel.faults` — soft-trap/fault accounting shared by the
+  protocols.
+* :mod:`repro.kernel.migration` — page gathering, flushing, moving and
+  copying mechanics used by CC-NUMA+MigRep.
+* :mod:`repro.kernel.relocation` — the purely local page relocation used
+  by R-NUMA to move a page into the S-COMA page cache.
+"""
+
+from repro.kernel.vm import VirtualMemoryManager
+from repro.kernel.faults import FaultKind, FaultLog
+from repro.kernel.migration import MigrationEngine, PageOpOutcome
+from repro.kernel.relocation import RelocationEngine
+
+__all__ = [
+    "VirtualMemoryManager",
+    "FaultKind",
+    "FaultLog",
+    "MigrationEngine",
+    "PageOpOutcome",
+    "RelocationEngine",
+]

@@ -1,0 +1,73 @@
+"""Soft-trap and fault accounting shared by the protocol implementations.
+
+Both systems the paper compares spend a significant part of their overhead
+in operating-system soft traps: the initial mapping fault for every remote
+page, the relocation interrupt in R-NUMA, the migration/replication trap
+at the home node in CC-NUMA+MigRep and the protection fault a write to a
+replicated page raises.  This module centralises the taxonomy of those
+faults and a small log/aggregation structure so experiments can report
+where the kernel time went.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class FaultKind(enum.Enum):
+    """Kinds of kernel-visible faults / traps in the simulated systems."""
+
+    #: first access by a node to an unmapped shared page
+    MAPPING_FAULT = "mapping_fault"
+    #: R-NUMA interrupt to remap a CC-NUMA page into the S-COMA page cache
+    RELOCATION_INTERRUPT = "relocation_interrupt"
+    #: home-node trap starting a page migration
+    MIGRATION_TRAP = "migration_trap"
+    #: home-node trap starting a page replication
+    REPLICATION_TRAP = "replication_trap"
+    #: write to a read-only replicated page
+    PROTECTION_FAULT = "protection_fault"
+    #: S-COMA page cache replacement (victim flush) in R-NUMA
+    PAGE_CACHE_EVICTION = "page_cache_eviction"
+
+
+@dataclass
+class FaultLog:
+    """Per-node counts and cycle totals of each fault kind."""
+
+    counts: Dict[FaultKind, int] = field(default_factory=dict)
+    cycles: Dict[FaultKind, int] = field(default_factory=dict)
+
+    def record(self, kind: FaultKind, cost_cycles: int = 0) -> None:
+        """Record one fault of ``kind`` costing ``cost_cycles``."""
+        if cost_cycles < 0:
+            raise ValueError("cost_cycles must be non-negative")
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.cycles[kind] = self.cycles.get(kind, 0) + cost_cycles
+
+    def count_of(self, kind: FaultKind) -> int:
+        """Number of faults of ``kind`` recorded."""
+        return self.counts.get(kind, 0)
+
+    def cycles_of(self, kind: FaultKind) -> int:
+        """Total cycles attributed to faults of ``kind``."""
+        return self.cycles.get(kind, 0)
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of faults of all kinds."""
+        return sum(self.counts.values())
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles spent in all faults."""
+        return sum(self.cycles.values())
+
+    def merge(self, other: "FaultLog") -> None:
+        """Accumulate another log into this one."""
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+        for kind, cyc in other.cycles.items():
+            self.cycles[kind] = self.cycles.get(kind, 0) + cyc

@@ -1,0 +1,148 @@
+"""Initial page-placement policies.
+
+Section 2 of the paper notes that CC-NUMA performance "may be very
+sensitive to the initial data allocation and placement" (citing LaRowe &
+Ellis) and fixes **first-touch** placement for every system it studies,
+because first-touch "is simple and has been shown to substantially
+eliminate unnecessary traffic".  This module makes the placement policy an
+explicit, swappable object so that the reproduction can
+
+* run every paper experiment under first-touch exactly as the paper does
+  (the default), and
+* quantify, as an ablation, how much of MigRep's and R-NUMA's benefit is
+  really "recovering from a bad initial placement": under round-robin or
+  single-node placement the CC-NUMA baseline degrades sharply while
+  MigRep recovers most of the loss (it migrates mis-placed pages to their
+  real users) and R-NUMA recovers nearly all of it.
+
+A placement policy is a callable ``(page, requesting_node) -> home_node``
+invoked exactly once per page, on its first touch.  Policies carry a
+``name`` used by the experiment harness and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+PlacementFn = Callable[[int, int], int]
+
+
+class PlacementPolicy:
+    """Base class: decide the home node of a page on its first touch."""
+
+    #: canonical policy name (overridden by subclasses)
+    name = "base"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+
+    def place(self, page: int, requesting_node: int) -> int:
+        """Return the home node for ``page`` first touched by ``requesting_node``."""
+        raise NotImplementedError
+
+    def __call__(self, page: int, requesting_node: int) -> int:
+        home = self.place(page, requesting_node)
+        if not 0 <= home < self.num_nodes:
+            raise ValueError(
+                f"policy {self.name!r} placed page {page} on node {home}, "
+                f"outside [0, {self.num_nodes})")
+        return home
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+
+class FirstTouchPlacement(PlacementPolicy):
+    """Home the page at the node that touches it first (the paper's policy)."""
+
+    name = "first-touch"
+
+    def place(self, page: int, requesting_node: int) -> int:
+        return requesting_node
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Home pages round-robin across nodes, in first-touch order.
+
+    This is the classic "striped" allocation of early NUMA kernels: it
+    balances memory usage but ignores locality entirely, so it maximises
+    the amount of work the migration/replication and relocation machinery
+    has to do — the stress case for the ablation.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self._next = 0
+
+    def place(self, page: int, requesting_node: int) -> int:
+        home = self._next
+        self._next = (self._next + 1) % self.num_nodes
+        return home
+
+
+class InterleavedPlacement(PlacementPolicy):
+    """Home page ``p`` at node ``p mod num_nodes`` (address-interleaved).
+
+    Deterministic in the page id rather than in touch order, which makes
+    runs of the same trace under different systems exactly comparable.
+    """
+
+    name = "interleaved"
+
+    def place(self, page: int, requesting_node: int) -> int:
+        return page % self.num_nodes
+
+
+class SingleNodePlacement(PlacementPolicy):
+    """Home every page at one fixed node (worst-case "memory hog" placement).
+
+    Models the naive allocation where the initialisation thread on node
+    ``target`` touches the whole data set before the parallel phase — the
+    scenario the paper's first-touch directive (invoked "at the start of
+    the parallel phase") exists to avoid.
+    """
+
+    name = "single-node"
+
+    def __init__(self, num_nodes: int, target: int = 0) -> None:
+        super().__init__(num_nodes)
+        if not 0 <= target < num_nodes:
+            raise ValueError(f"target node {target} out of range [0, {num_nodes})")
+        self.target = target
+
+    def place(self, page: int, requesting_node: int) -> int:
+        return self.target
+
+    def describe(self) -> str:
+        return f"{self.name}(node {self.target})"
+
+
+#: Registry of policy constructors keyed by canonical name.
+_POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
+    FirstTouchPlacement.name: FirstTouchPlacement,
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    InterleavedPlacement.name: InterleavedPlacement,
+    SingleNodePlacement.name: SingleNodePlacement,
+}
+
+#: Canonical names of every available placement policy.
+PLACEMENT_NAMES = tuple(_POLICIES.keys())
+
+
+def build_placement(name: str, num_nodes: int) -> PlacementPolicy:
+    """Construct the placement policy named ``name`` for ``num_nodes`` nodes.
+
+    Raises ``KeyError`` listing the valid names for typos.
+    """
+    key = name.strip().lower()
+    ctor = _POLICIES.get(key)
+    if ctor is None:
+        raise KeyError(
+            f"unknown placement policy {name!r}; valid policies: "
+            f"{', '.join(PLACEMENT_NAMES)}")
+    return ctor(num_nodes)

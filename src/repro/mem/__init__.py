@@ -1,0 +1,44 @@
+"""Memory-hierarchy substrates: addresses, caches, directory, page tables.
+
+The modules in this package model the storage structures of Figure 2-4 of
+the paper:
+
+* :mod:`repro.mem.address` — the global shared address space, split into
+  pages and coherence blocks.
+* :mod:`repro.mem.cache` — generic direct-mapped / set-associative cache
+  models used for the per-processor caches.
+* :mod:`repro.mem.block_cache` — the per-node SRAM *block cache* (remote
+  cache / cluster cache) of the CC-NUMA cluster device.
+* :mod:`repro.mem.page_cache` — the per-node S-COMA *page cache* with
+  fine-grain tags used by R-NUMA.
+* :mod:`repro.mem.directory` — per-block directory state at the home node
+  (sharers, owner, block versions).
+* :mod:`repro.mem.page_table` — per-node page tables recording how each
+  global page is mapped on the node.
+* :mod:`repro.mem.tlb` — a small TLB model used only for shootdown cost
+  accounting.
+"""
+
+from repro.mem.address import AddressSpace
+from repro.mem.cache import CacheStats, DirectMappedCache, SetAssociativeCache
+from repro.mem.block_cache import BlockCache
+from repro.mem.page_cache import PageCache, PageCacheStats
+from repro.mem.directory import Directory, DirectoryEntry
+from repro.mem.page_table import PageMode, PageTable, PageTableEntry
+from repro.mem.tlb import TLB
+
+__all__ = [
+    "AddressSpace",
+    "CacheStats",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "BlockCache",
+    "PageCache",
+    "PageCacheStats",
+    "Directory",
+    "DirectoryEntry",
+    "PageMode",
+    "PageTable",
+    "PageTableEntry",
+    "TLB",
+]

@@ -1,0 +1,106 @@
+"""Global shared address space and page/block arithmetic.
+
+The DSM provides a single global physical address space across all nodes
+(Section 2 of the paper).  The simulator works at *block* granularity: a
+workload trace references global block ids, and the address space object
+converts between byte addresses, block ids and page ids.
+
+Block ids are dense integers; page ``p`` owns blocks
+``[p * blocks_per_page, (p+1) * blocks_per_page)``.  This layout keeps the
+hot simulator loop to integer divisions/multiplications and avoids any
+per-access object allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Page/block arithmetic for the global shared address space.
+
+    Parameters
+    ----------
+    page_size:
+        Page size in bytes (power of two).
+    block_size:
+        Coherence block size in bytes (power of two, divides the page size).
+    """
+
+    page_size: int = 4096
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if self.page_size % self.block_size:
+            raise ValueError("page_size must be a multiple of block_size")
+
+    # -- derived constants ---------------------------------------------------
+
+    @property
+    def blocks_per_page(self) -> int:
+        """Number of coherence blocks per page."""
+        return self.page_size // self.block_size
+
+    # -- byte-address conversions ---------------------------------------------
+
+    def block_of_addr(self, addr: int) -> int:
+        """Global block id containing byte address ``addr``."""
+        if addr < 0:
+            raise ValueError("addresses must be non-negative")
+        return addr // self.block_size
+
+    def page_of_addr(self, addr: int) -> int:
+        """Global page id containing byte address ``addr``."""
+        if addr < 0:
+            raise ValueError("addresses must be non-negative")
+        return addr // self.page_size
+
+    def addr_of_block(self, block: int) -> int:
+        """Base byte address of global block ``block``."""
+        if block < 0:
+            raise ValueError("block ids must be non-negative")
+        return block * self.block_size
+
+    def addr_of_page(self, page: int) -> int:
+        """Base byte address of global page ``page``."""
+        if page < 0:
+            raise ValueError("page ids must be non-negative")
+        return page * self.page_size
+
+    # -- block/page conversions ------------------------------------------------
+
+    def page_of_block(self, block: int) -> int:
+        """Page id that owns global block ``block``."""
+        if block < 0:
+            raise ValueError("block ids must be non-negative")
+        return block // self.blocks_per_page
+
+    def block_offset_in_page(self, block: int) -> int:
+        """Index of ``block`` within its page, in ``[0, blocks_per_page)``."""
+        if block < 0:
+            raise ValueError("block ids must be non-negative")
+        return block % self.blocks_per_page
+
+    def first_block_of_page(self, page: int) -> int:
+        """Global id of the first block of page ``page``."""
+        if page < 0:
+            raise ValueError("page ids must be non-negative")
+        return page * self.blocks_per_page
+
+    def blocks_of_page(self, page: int) -> range:
+        """Range of global block ids belonging to page ``page``."""
+        start = self.first_block_of_page(page)
+        return range(start, start + self.blocks_per_page)
+
+    def page_block(self, page: int, offset: int) -> int:
+        """Global block id of block ``offset`` within page ``page``."""
+        if not 0 <= offset < self.blocks_per_page:
+            raise ValueError(
+                f"block offset {offset} out of range [0, {self.blocks_per_page})"
+            )
+        return self.first_block_of_page(page) + offset

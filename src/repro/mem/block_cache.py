@@ -1,0 +1,169 @@
+"""Per-node SRAM block cache (the CC-NUMA "cluster cache" / "remote cache").
+
+In the base CC-NUMA machine (Figure 2 of the paper) every node's cluster
+device contains a small, fast SRAM cache of recently referenced *remote*
+blocks.  Cache fills that miss in the processor caches but hit here are
+served at local-miss latency; misses invoke the DSM protocol and pay the
+remote round trip.
+
+The paper sizes this cache at the sum of the node's processor caches
+(64 KB for a four-processor node) and uses it only for remote data — local
+(home) pages are served from the node's main memory.  ``capacity_blocks``
+may be ``None`` to model the *perfect* CC-NUMA used as the normalisation
+baseline (an infinite block cache never suffers capacity/conflict misses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.mem.cache import CacheStats
+
+
+class BlockCache:
+    """Direct-mapped (or infinite) cache of remote blocks for one node.
+
+    Parameters
+    ----------
+    capacity_blocks:
+        Number of block frames, or ``None`` for an infinite cache
+        (perfect CC-NUMA).
+    """
+
+    __slots__ = ("capacity_blocks", "_frames", "_infinite", "stats")
+
+    def __init__(self, capacity_blocks: Optional[int]) -> None:
+        if capacity_blocks is not None and capacity_blocks <= 0:
+            raise ValueError("capacity_blocks must be positive or None")
+        self.capacity_blocks = capacity_blocks
+        self._infinite = capacity_blocks is None
+        # For the finite cache, frame index -> (block, version, dirty).
+        # For the infinite cache, block -> (version, dirty).
+        self._frames: Dict[int, Tuple[int, int, bool]] = {}
+        self.stats = CacheStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _frame_of(self, block: int) -> int:
+        assert self.capacity_blocks is not None
+        return block % self.capacity_blocks
+
+    # -- core operations --------------------------------------------------------
+
+    def lookup(self, block: int, version: int) -> bool:
+        """Return True if ``block`` is present and not stale.
+
+        Stale entries (version older than the directory's current version)
+        are invalidated and reported as misses, mirroring the lazy
+        invalidation scheme of the processor caches.
+        """
+        if self._infinite:
+            entry = self._frames.get(block)
+            if entry is not None:
+                stored_version, dirty = entry[1], entry[2]
+                if stored_version >= version:
+                    self.stats.hits += 1
+                    return True
+                del self._frames[block]
+                self.stats.invalidations += 1
+            self.stats.misses += 1
+            return False
+
+        idx = self._frame_of(block)
+        entry = self._frames.get(idx)
+        if entry is not None and entry[0] == block:
+            if entry[1] >= version:
+                self.stats.hits += 1
+                return True
+            del self._frames[idx]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        return False
+
+    def fill(self, block: int, version: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install ``block``; return the evicted ``(block, dirty)`` if any."""
+        if self._infinite:
+            self._frames[block] = (block, version, dirty)
+            return None
+        idx = self._frame_of(block)
+        victim: Optional[Tuple[int, bool]] = None
+        old = self._frames.get(idx)
+        if old is not None and old[0] != block:
+            victim = (old[0], old[2])
+            self.stats.evictions += 1
+        self._frames[idx] = (block, version, dirty)
+        return victim
+
+    def touch_write(self, block: int, version: int) -> None:
+        """Record a write to a resident block (marks it dirty)."""
+        if self._infinite:
+            entry = self._frames.get(block)
+            if entry is not None:
+                self._frames[block] = (block, max(entry[1], version), True)
+            return
+        idx = self._frame_of(block)
+        entry = self._frames.get(idx)
+        if entry is not None and entry[0] == block:
+            self._frames[idx] = (block, max(entry[1], version), True)
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` if present; return True if it was present."""
+        if self._infinite:
+            if block in self._frames:
+                del self._frames[block]
+                self.stats.invalidations += 1
+                return True
+            return False
+        idx = self._frame_of(block)
+        entry = self._frames.get(idx)
+        if entry is not None and entry[0] == block:
+            del self._frames[idx]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_page(self, blocks: range) -> int:
+        """Invalidate every resident block of a page; return how many were dropped."""
+        dropped = 0
+        for block in blocks:
+            if self.invalidate(block):
+                dropped += 1
+        return dropped
+
+    # -- inspection ---------------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        """True if ``block`` is resident (any version)."""
+        if self._infinite:
+            return block in self._frames
+        entry = self._frames.get(self._frame_of(block))
+        return entry is not None and entry[0] == block
+
+    def is_dirty(self, block: int) -> bool:
+        """True if ``block`` is resident and dirty."""
+        if self._infinite:
+            entry = self._frames.get(block)
+            return entry is not None and entry[2]
+        entry = self._frames.get(self._frame_of(block))
+        return entry is not None and entry[0] == block and entry[2]
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over resident block ids."""
+        if self._infinite:
+            yield from self._frames.keys()
+        else:
+            for entry in self._frames.values():
+                yield entry[0]
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return len(self._frames)
+
+    @property
+    def is_infinite(self) -> bool:
+        """True for the perfect-CC-NUMA infinite cache."""
+        return self._infinite
+
+    def clear(self) -> None:
+        """Drop all blocks (statistics preserved)."""
+        self._frames.clear()

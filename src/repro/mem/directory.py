@@ -1,0 +1,194 @@
+"""Per-block directory state kept at each block's home node.
+
+The cluster device of every node maintains a directory recording, for each
+block whose page is homed on that node, which nodes hold a cached copy and
+whether one of them holds it exclusively (Figure 2 of the paper).  The
+simulator uses the directory for three things:
+
+1. deciding how many sharers must be invalidated when a node writes a
+   block (and charging the invalidation latency),
+2. lazily invalidating cached copies: every write bumps the block's global
+   *version*, and caches that recorded an older version treat their copy as
+   stale on the next access, and
+3. classifying misses at the home: a node re-requesting a block it lost to
+   an invalidation incurs a *coherence* miss, while one re-requesting a
+   block it evicted incurs a *capacity/conflict* miss (the quantity both
+   MigRep's and R-NUMA's counters observe).
+
+Sharer sets are stored as integer bitmasks (node ``i`` → bit ``i``) so all
+set algebra is O(1) integer arithmetic in the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for a single block.
+
+    Attributes
+    ----------
+    sharers:
+        Bitmask of nodes holding a (possibly stale-tracked) cached copy.
+    owner:
+        Node holding the block exclusively/dirty, or -1 when the home
+        memory is the owner.
+    version:
+        Monotonically increasing write version.  Caches record the version
+        at fill time; a copy with an older version is stale.
+    """
+
+    sharers: int = 0
+    owner: int = -1
+    version: int = 0
+
+
+class Directory:
+    """Directory for all blocks homed across the cluster.
+
+    A single object serves the whole machine; entries are created lazily on
+    first reference.  Entries are keyed by global block id, so a page
+    migration (which changes the *home node*, not the block identity) does
+    not need to move directory state — matching the simulator's use of the
+    directory purely for sharer tracking and version-based invalidation.
+    """
+
+    __slots__ = ("num_nodes", "_entries", "invalidations_sent", "writebacks")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if num_nodes > 64:
+            raise ValueError("bitmask sharer sets support at most 64 nodes")
+        self.num_nodes = num_nodes
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.invalidations_sent = 0
+        self.writebacks = 0
+
+    # -- entry access ------------------------------------------------------------
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """Return (creating if needed) the entry for ``block``."""
+        e = self._entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            self._entries[block] = e
+        return e
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """Return the entry for ``block`` without creating it."""
+        return self._entries.get(block)
+
+    def version(self, block: int) -> int:
+        """Current write version of ``block`` (0 if never written)."""
+        e = self._entries.get(block)
+        return e.version if e is not None else 0
+
+    # -- protocol actions -----------------------------------------------------------
+
+    def record_read(self, block: int, node: int) -> None:
+        """Add ``node`` to the sharer set after a read fill."""
+        self._check_node(node)
+        e = self.entry(block)
+        e.sharers |= 1 << node
+
+    def record_write(self, block: int, node: int) -> Tuple[int, int]:
+        """Perform the directory side of a write by ``node``.
+
+        Returns ``(invalidations, new_version)`` where ``invalidations`` is
+        the number of *other* nodes that held a copy and must be
+        invalidated.  The sharer set collapses to the writer, the writer
+        becomes owner, and the version is bumped so lazily-tracked copies
+        elsewhere become stale.
+        """
+        self._check_node(node)
+        e = self.entry(block)
+        others = e.sharers & ~(1 << node)
+        invalidations = others.bit_count()
+        if e.owner >= 0 and e.owner != node:
+            # previous exclusive owner must write back before we proceed
+            self.writebacks += 1
+        e.sharers = 1 << node
+        e.owner = node
+        e.version += 1
+        self.invalidations_sent += invalidations
+        return invalidations, e.version
+
+    def record_eviction(self, block: int, node: int) -> None:
+        """Remove ``node`` from the sharer set after it evicts the block."""
+        self._check_node(node)
+        e = self._entries.get(block)
+        if e is None:
+            return
+        e.sharers &= ~(1 << node)
+        if e.owner == node:
+            e.owner = -1
+            self.writebacks += 1
+
+    def drop_node_from_page(self, blocks: range, node: int) -> int:
+        """Remove ``node`` from the sharer sets of every block of a page.
+
+        Used when a page is flushed from a node (migration gathering or
+        R-NUMA relocation/eviction).  Returns the number of blocks the node
+        actually shared.
+        """
+        self._check_node(node)
+        dropped = 0
+        mask = ~(1 << node)
+        for block in blocks:
+            e = self._entries.get(block)
+            if e is None:
+                continue
+            if e.sharers & (1 << node):
+                dropped += 1
+            e.sharers &= mask
+            if e.owner == node:
+                e.owner = -1
+                self.writebacks += 1
+        return dropped
+
+    # -- queries -----------------------------------------------------------------------
+
+    def sharers_of(self, block: int) -> List[int]:
+        """List of node ids currently sharing ``block``."""
+        e = self._entries.get(block)
+        if e is None:
+            return []
+        return [n for n in range(self.num_nodes) if e.sharers & (1 << n)]
+
+    def sharing_degree(self, block: int) -> int:
+        """Number of nodes sharing ``block``."""
+        e = self._entries.get(block)
+        return e.sharers.bit_count() if e is not None else 0
+
+    def is_shared_by(self, block: int, node: int) -> bool:
+        """True if ``node`` is recorded as a sharer of ``block``."""
+        self._check_node(node)
+        e = self._entries.get(block)
+        return bool(e and e.sharers & (1 << node))
+
+    def page_sharing_degree(self, blocks: range) -> int:
+        """Number of distinct nodes sharing any block of a page."""
+        mask = 0
+        for block in blocks:
+            e = self._entries.get(block)
+            if e is not None:
+                mask |= e.sharers
+        return mask.bit_count()
+
+    def tracked_blocks(self) -> Iterator[int]:
+        """Iterate over block ids that have directory state."""
+        return iter(self._entries.keys())
+
+    def num_tracked(self) -> int:
+        """Number of blocks with directory state."""
+        return len(self._entries)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")

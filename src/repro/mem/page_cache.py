@@ -1,0 +1,218 @@
+"""Per-node S-COMA page cache with fine-grain tags (R-NUMA's "memory cache").
+
+R-NUMA (Figure 4 of the paper) lets a node remap a remote CC-NUMA page into
+a frame of its own main memory and keep *coherent cache blocks* of that
+page locally.  The hardware required — fine-grain block tags, a reverse
+(local-to-global) translation table and reactive counters — limits the
+practical size of this page cache to a fraction of main memory (2.4 MB in
+the paper's base system, half of that in the Figure 8 study, unbounded in
+R-NUMA-Inf).
+
+The model tracks, per cached page:
+
+* which of the page's blocks currently hold valid data (the fine-grain
+  tags) and which of those are dirty,
+* the block versions at fill time so remote writes invalidate lazily, and
+* an LRU position used to choose the victim page when the cache is full.
+
+A relocation installs the page with *no* valid blocks: the paper is
+explicit that a relocated page's blocks are refetched on demand, which is
+exactly why applications with little page reuse (cholesky, radix) pay a
+relocation penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class PageCacheStats:
+    """Operation counters for a node's page cache."""
+
+    allocations: int = 0
+    evictions: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    block_fills: int = 0
+    block_invalidations: int = 0
+
+    @property
+    def block_accesses(self) -> int:
+        """Total block lookups served by the page cache."""
+        return self.block_hits + self.block_misses
+
+
+@dataclass
+class _CachedPage:
+    """Bookkeeping for one page resident in the S-COMA page cache."""
+
+    page: int
+    valid: Dict[int, int] = field(default_factory=dict)   # block offset -> version
+    dirty: set[int] = field(default_factory=set)           # block offsets
+    fills: int = 0
+
+    def valid_blocks(self) -> int:
+        """Number of valid blocks currently held for this page."""
+        return len(self.valid)
+
+
+class PageCache:
+    """LRU cache of S-COMA pages for one node.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Number of page frames, or ``None`` for an unbounded cache
+        (R-NUMA-Inf).
+    blocks_per_page:
+        Blocks per page (used for bounds checking and flush accounting).
+    """
+
+    __slots__ = ("capacity_pages", "blocks_per_page", "_pages", "stats")
+
+    def __init__(self, capacity_pages: Optional[int], blocks_per_page: int) -> None:
+        if capacity_pages is not None and capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive or None")
+        if blocks_per_page <= 0:
+            raise ValueError("blocks_per_page must be positive")
+        self.capacity_pages = capacity_pages
+        self.blocks_per_page = blocks_per_page
+        self._pages: "OrderedDict[int, _CachedPage]" = OrderedDict()
+        self.stats = PageCacheStats()
+
+    # -- frame management --------------------------------------------------------
+
+    @property
+    def is_infinite(self) -> bool:
+        """True when the page cache has unbounded capacity (R-NUMA-Inf)."""
+        return self.capacity_pages is None
+
+    def is_full(self) -> bool:
+        """True when a new allocation would require evicting a victim page."""
+        if self.capacity_pages is None:
+            return False
+        return len(self._pages) >= self.capacity_pages
+
+    def contains(self, page: int) -> bool:
+        """True if ``page`` currently occupies a frame."""
+        return page in self._pages
+
+    def occupancy(self) -> int:
+        """Number of occupied page frames."""
+        return len(self._pages)
+
+    def choose_victim(self) -> Optional[int]:
+        """Page id of the least-recently-used resident page, or None if empty."""
+        if not self._pages:
+            return None
+        return next(iter(self._pages))
+
+    def allocate(self, page: int) -> "_CachedPage":
+        """Allocate a frame for ``page`` (which must not already be resident).
+
+        The caller is responsible for first evicting a victim when
+        :meth:`is_full` — the simulator needs to charge the flush cost of
+        the victim's dirty blocks before the eviction happens, so eviction
+        is an explicit separate step (:meth:`evict`).
+        """
+        if page in self._pages:
+            raise ValueError(f"page {page} is already resident in the page cache")
+        if self.is_full():
+            raise RuntimeError("page cache is full; evict a victim first")
+        entry = _CachedPage(page=page)
+        self._pages[page] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def evict(self, page: int) -> "_CachedPage":
+        """Remove ``page`` and return its bookkeeping (for flush accounting)."""
+        entry = self._pages.pop(page, None)
+        if entry is None:
+            raise KeyError(f"page {page} is not resident in the page cache")
+        self.stats.evictions += 1
+        return entry
+
+    def _touch(self, page: int) -> None:
+        self._pages.move_to_end(page)
+
+    # -- block-level operations ----------------------------------------------------
+
+    def lookup_block(self, page: int, offset: int, version: int) -> bool:
+        """Look up block ``offset`` of resident page ``page``.
+
+        Returns True on a fresh hit.  A stale block (older version than the
+        directory's) is invalidated and reported as a miss; a missing block
+        on a resident page is a miss that the protocol turns into a remote
+        fetch followed by :meth:`fill_block`.
+        """
+        entry = self._pages.get(page)
+        if entry is None:
+            raise KeyError(f"page {page} is not resident in the page cache")
+        self._touch(page)
+        stored = entry.valid.get(offset)
+        if stored is not None:
+            if stored >= version:
+                self.stats.block_hits += 1
+                return True
+            del entry.valid[offset]
+            entry.dirty.discard(offset)
+            self.stats.block_invalidations += 1
+        self.stats.block_misses += 1
+        return False
+
+    def fill_block(self, page: int, offset: int, version: int, dirty: bool = False) -> None:
+        """Install block ``offset`` of resident page ``page``."""
+        if not 0 <= offset < self.blocks_per_page:
+            raise ValueError(f"block offset {offset} out of range")
+        entry = self._pages.get(page)
+        if entry is None:
+            raise KeyError(f"page {page} is not resident in the page cache")
+        entry.valid[offset] = version
+        if dirty:
+            entry.dirty.add(offset)
+        entry.fills += 1
+        self.stats.block_fills += 1
+
+    def write_block(self, page: int, offset: int, version: int) -> None:
+        """Record a write to a valid block (marks it dirty, bumps version)."""
+        entry = self._pages.get(page)
+        if entry is None:
+            raise KeyError(f"page {page} is not resident in the page cache")
+        if offset in entry.valid:
+            entry.valid[offset] = max(entry.valid[offset], version)
+            entry.dirty.add(offset)
+
+    def invalidate_block(self, page: int, offset: int) -> bool:
+        """Invalidate one block of a resident page (remote write)."""
+        entry = self._pages.get(page)
+        if entry is None:
+            return False
+        if offset in entry.valid:
+            del entry.valid[offset]
+            entry.dirty.discard(offset)
+            self.stats.block_invalidations += 1
+            return True
+        return False
+
+    # -- inspection -----------------------------------------------------------------
+
+    def valid_blocks(self, page: int) -> int:
+        """Number of valid blocks held for ``page`` (0 if not resident)."""
+        entry = self._pages.get(page)
+        return entry.valid_blocks() if entry is not None else 0
+
+    def dirty_blocks(self, page: int) -> int:
+        """Number of dirty blocks held for ``page`` (0 if not resident)."""
+        entry = self._pages.get(page)
+        return len(entry.dirty) if entry is not None else 0
+
+    def resident_pages(self) -> Iterator[int]:
+        """Iterate over resident page ids in LRU order (oldest first)."""
+        return iter(self._pages.keys())
+
+    def clear(self) -> None:
+        """Drop all pages (statistics preserved)."""
+        self._pages.clear()

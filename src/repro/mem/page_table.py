@@ -1,0 +1,142 @@
+"""Per-node page tables: how each global page is mapped on a node.
+
+Each node's operating system maps shared pages on demand (the "soft page
+fault" path of Figure 2b in the paper).  A page may be mapped on a node in
+one of several modes, and the protocol implementations drive all of their
+decisions off this mode:
+
+``LOCAL_HOME``
+    The page's home is this node; accesses are local memory accesses.
+``CCNUMA_REMOTE``
+    The page is remote and cached at block granularity through the node's
+    block cache (base CC-NUMA behaviour).
+``SCOMA``
+    The page has been relocated by R-NUMA into this node's S-COMA page
+    cache; block fills are satisfied locally once fetched.
+``REPLICA``
+    The node holds a read-only replica installed by page replication;
+    reads are local, writes raise a protection fault.
+``UNMAPPED``
+    The node has never touched the page.
+
+The page table also tracks the per-node access protection used by page
+replication, and a few counters the kernels/protocols consult.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+class PageMode(enum.Enum):
+    """Mapping mode of a global page on one node."""
+
+    UNMAPPED = "unmapped"
+    LOCAL_HOME = "local_home"
+    CCNUMA_REMOTE = "ccnuma_remote"
+    SCOMA = "scoma"
+    REPLICA = "replica"
+
+
+@dataclass
+class PageTableEntry:
+    """Per-node mapping state for a single global page."""
+
+    page: int
+    mode: PageMode = PageMode.UNMAPPED
+    writable: bool = True
+    #: number of soft page faults taken on this page by this node
+    faults: int = 0
+    #: number of times this node's mapping of the page changed mode
+    remaps: int = 0
+
+
+class PageTable:
+    """Page table (and mapping-mode bookkeeping) for a single node."""
+
+    __slots__ = ("node", "_entries", "soft_faults", "protection_faults")
+
+    def __init__(self, node: int) -> None:
+        if node < 0:
+            raise ValueError("node id must be non-negative")
+        self.node = node
+        self._entries: Dict[int, PageTableEntry] = {}
+        self.soft_faults = 0
+        self.protection_faults = 0
+
+    # -- lookup --------------------------------------------------------------------
+
+    def entry(self, page: int) -> PageTableEntry:
+        """Return (creating if needed) the entry for ``page``."""
+        e = self._entries.get(page)
+        if e is None:
+            e = PageTableEntry(page=page)
+            self._entries[page] = e
+        return e
+
+    def peek(self, page: int) -> Optional[PageTableEntry]:
+        """Return the entry for ``page`` without creating it."""
+        return self._entries.get(page)
+
+    def mode_of(self, page: int) -> PageMode:
+        """Mapping mode of ``page`` on this node (UNMAPPED if never touched)."""
+        e = self._entries.get(page)
+        return e.mode if e is not None else PageMode.UNMAPPED
+
+    def is_mapped(self, page: int) -> bool:
+        """True if the page has any mapping on this node."""
+        return self.mode_of(page) is not PageMode.UNMAPPED
+
+    # -- mapping transitions ----------------------------------------------------------
+
+    def map_page(self, page: int, mode: PageMode, *, writable: bool = True,
+                 count_fault: bool = True) -> PageTableEntry:
+        """Map ``page`` in ``mode``.
+
+        ``count_fault`` distinguishes an OS-visible soft page fault (the
+        normal path for a first touch) from internal remappings that are
+        accounted separately by the protocols (e.g. an R-NUMA relocation
+        charges its own trap cost).
+        """
+        if mode is PageMode.UNMAPPED:
+            raise ValueError("use unmap() to remove a mapping")
+        e = self.entry(page)
+        if e.mode is not PageMode.UNMAPPED and e.mode is not mode:
+            e.remaps += 1
+        e.mode = mode
+        e.writable = writable
+        if count_fault:
+            e.faults += 1
+            self.soft_faults += 1
+        return e
+
+    def unmap(self, page: int) -> None:
+        """Drop the mapping for ``page`` (it becomes UNMAPPED)."""
+        e = self._entries.get(page)
+        if e is not None and e.mode is not PageMode.UNMAPPED:
+            e.mode = PageMode.UNMAPPED
+            e.writable = True
+            e.remaps += 1
+
+    def record_protection_fault(self, page: int) -> None:
+        """Record a write-protection fault (write to a read-only replica)."""
+        self.entry(page)
+        self.protection_faults += 1
+
+    # -- queries ------------------------------------------------------------------------
+
+    def pages_in_mode(self, mode: PageMode) -> Iterator[int]:
+        """Iterate over page ids currently mapped in ``mode`` on this node."""
+        for page, e in self._entries.items():
+            if e.mode is mode:
+                yield page
+
+    def count_in_mode(self, mode: PageMode) -> int:
+        """Number of pages currently mapped in ``mode``."""
+        return sum(1 for _ in self.pages_in_mode(mode))
+
+    def num_entries(self) -> int:
+        """Total number of pages this node has ever touched."""
+        return len(self._entries)

@@ -1,0 +1,74 @@
+"""TLB model used for shootdown accounting.
+
+Page operations in both systems invalidate translations: a MigRep page
+gathering shoots down TLBs (lazily, via directory poisoning, in the
+hardware-supported configuration), and an R-NUMA relocation invalidates
+the TLBs of the single relocating node.  The paper charges these as fixed
+costs (Table 3: 300 cycles per shootdown in the fast system, 3 000 cycles
+in the slow system), so the TLB here is a *cost-accounting* model: it
+tracks which pages each processor has touched recently and counts the
+shootdowns that page operations trigger, without simulating TLB miss
+latency (which the paper also does not model).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class TLB:
+    """A small LRU TLB for one processor.
+
+    Parameters
+    ----------
+    capacity:
+        Number of entries; ``None`` for unbounded (sufficient for cost
+        accounting, and the default used by the simulator core).
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "shootdowns")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.shootdowns = 0
+
+    def access(self, page: int) -> bool:
+        """Record a reference to ``page``; return True on a TLB hit."""
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[page] = None
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def contains(self, page: int) -> bool:
+        """True if ``page`` currently has a translation."""
+        return page in self._entries
+
+    def shootdown(self, page: int) -> bool:
+        """Invalidate the translation for ``page``; return True if present."""
+        self.shootdowns += 1
+        if page in self._entries:
+            del self._entries[page]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Invalidate every translation; return how many were dropped."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.shootdowns += 1
+        return n
+
+    def occupancy(self) -> int:
+        """Number of valid translations."""
+        return len(self._entries)

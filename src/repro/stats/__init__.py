@@ -1,0 +1,28 @@
+"""Statistics: miss breakdowns, page-operation counts, execution time.
+
+* :mod:`repro.stats.counters` — per-node and machine-wide counters the
+  simulator core and the protocols update while running.
+* :mod:`repro.stats.timing` — per-processor clock and stall accounting.
+* :mod:`repro.stats.report` — helpers that turn raw statistics into the
+  rows/series the paper's tables and figures report (normalized execution
+  time, per-node page operations, miss breakdowns).
+"""
+
+from repro.stats.counters import MachineStats, MissClass, NodeStats
+from repro.stats.timing import StallKind, TimingStats
+from repro.stats.report import (
+    format_table,
+    normalized_series,
+    per_node_average,
+)
+
+__all__ = [
+    "MachineStats",
+    "MissClass",
+    "NodeStats",
+    "StallKind",
+    "TimingStats",
+    "format_table",
+    "normalized_series",
+    "per_node_average",
+]

@@ -1,0 +1,128 @@
+"""Exporters turning experiment results into CSV, JSON and Markdown.
+
+The experiment modules return plain Python structures (dictionaries of
+normalized times, lists of dataclass rows); this module renders them into
+the formats downstream users actually consume:
+
+* :func:`to_csv` / :func:`write_csv` — flat tables for spreadsheets and
+  plotting scripts,
+* :func:`to_json` / :func:`write_json` — structured results for archival
+  alongside EXPERIMENTS.md,
+* :func:`to_markdown` — tables embedded directly into EXPERIMENTS.md and
+  the README, and
+* :func:`figure_to_rows` — the adapter that flattens the
+  ``{app: {system: value}}`` shape every figure module produces.
+
+Only the standard library is used so the exporters work in any
+environment the simulator itself works in.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Row = Mapping[str, object]
+
+
+def figure_to_rows(per_app: Mapping[str, Mapping[str, float]],
+                   *, value_name: str = "normalized_time") -> List[Dict[str, object]]:
+    """Flatten ``{app: {system: value}}`` into one row per (app, system)."""
+    rows: List[Dict[str, object]] = []
+    for app, by_system in per_app.items():
+        for system, value in by_system.items():
+            rows.append({"app": app, "system": system, value_name: value})
+    return rows
+
+
+def _fieldnames(rows: Sequence[Row], fieldnames: Optional[Sequence[str]]) -> List[str]:
+    if fieldnames is not None:
+        return list(fieldnames)
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key, None)
+    return list(seen)
+
+
+def to_csv(rows: Sequence[Row], *, fieldnames: Optional[Sequence[str]] = None) -> str:
+    """Render ``rows`` as CSV text (header + one line per row)."""
+    names = _fieldnames(rows, fieldnames)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=names, extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k, "") for k in names})
+    return buf.getvalue()
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path], *,
+              fieldnames: Optional[Sequence[str]] = None) -> Path:
+    """Write ``rows`` to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.write_text(to_csv(rows, fieldnames=fieldnames), encoding="utf-8")
+    return path
+
+
+def to_json(data: object, *, indent: int = 2) -> str:
+    """Render ``data`` as JSON, tolerating dataclass-like objects."""
+    def default(obj: object) -> object:
+        if hasattr(obj, "as_dict"):
+            return obj.as_dict()  # type: ignore[union-attr]
+        if hasattr(obj, "__dict__"):
+            return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+        return str(obj)
+    return json.dumps(data, indent=indent, sort_keys=False, default=default)
+
+
+def write_json(data: object, path: Union[str, Path], *, indent: int = 2) -> Path:
+    """Write ``data`` to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(to_json(data, indent=indent) + "\n", encoding="utf-8")
+    return path
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def to_markdown(rows: Sequence[Row], *,
+                fieldnames: Optional[Sequence[str]] = None,
+                float_fmt: str = "{:.2f}") -> str:
+    """Render ``rows`` as a GitHub-flavoured Markdown table."""
+    names = _fieldnames(rows, fieldnames)
+    if not names:
+        return ""
+    header = "| " + " | ".join(names) + " |"
+    separator = "| " + " | ".join("---" for _ in names) + " |"
+    lines = [header, separator]
+    for row in rows:
+        cells = [_fmt_cell(row.get(k, ""), float_fmt) for k in names]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def figure_to_markdown(per_app: Mapping[str, Mapping[str, float]],
+                       systems: Sequence[str], *,
+                       float_fmt: str = "{:.2f}") -> str:
+    """Render a figure's ``{app: {system: value}}`` data as a Markdown table.
+
+    One row per application, one column per system, in the given system
+    order (matching the paper's legend order).
+    """
+    rows: List[Dict[str, object]] = []
+    for app, by_system in per_app.items():
+        row: Dict[str, object] = {"app": app}
+        for system in systems:
+            if system in by_system:
+                row[system] = by_system[system]
+        rows.append(row)
+    return to_markdown(rows, fieldnames=["app", *systems], float_fmt=float_fmt)

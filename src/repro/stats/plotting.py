@@ -1,0 +1,102 @@
+"""Plain-text (ASCII) bar charts for figure data.
+
+The paper's figures are grouped bar charts of normalized execution time.
+This module renders the same data as terminal-friendly horizontal bar
+charts so the shape of a result — who wins, by roughly what factor, where
+the outliers are — is visible without any plotting dependency:
+
+>>> print(bar_chart({"ccnuma": 1.6, "rnuma": 1.2}, title="lu"))   # doctest: +SKIP
+lu
+  ccnuma  1.60 |########################################
+  rnuma   1.20 |##############################
+
+:func:`grouped_bar_chart` renders a whole figure (one group of bars per
+application), matching the layout of Figures 5-8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+#: Character used for bar fills.
+BAR_CHAR = "#"
+
+
+def bar_chart(values: Mapping[str, float], *, title: Optional[str] = None,
+              width: int = 40, max_value: Optional[float] = None,
+              value_fmt: str = "{:.2f}") -> str:
+    """Render ``values`` as a horizontal ASCII bar chart.
+
+    Bars are scaled so the largest value (or ``max_value`` when given)
+    spans ``width`` characters; labels and values are left-aligned in a
+    fixed-width gutter so multiple charts line up underneath each other.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not values:
+        return title or ""
+    scale_max = max_value if max_value is not None else max(values.values())
+    if scale_max <= 0:
+        scale_max = 1.0
+    label_width = max(len(str(k)) for k in values)
+    value_width = max(len(value_fmt.format(v)) for v in values.values())
+
+    lines = [] if title is None else [title]
+    for label, value in values.items():
+        bar_len = int(round(width * max(0.0, value) / scale_max))
+        bar_len = min(bar_len, width)
+        lines.append(f"  {str(label):<{label_width}}  "
+                     f"{value_fmt.format(value):>{value_width}} |"
+                     f"{BAR_CHAR * bar_len}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(per_group: Mapping[str, Mapping[str, float]],
+                      series: Sequence[str], *, title: Optional[str] = None,
+                      width: int = 40,
+                      value_fmt: str = "{:.2f}") -> str:
+    """Render ``{group: {series: value}}`` as stacked ASCII bar groups.
+
+    One block per group (application), one bar per series (system), all
+    scaled against the global maximum so bars are comparable across
+    groups — the reading one does on the paper's figures.
+    """
+    if not per_group:
+        return title or ""
+    global_max = max((values.get(s, 0.0) for values in per_group.values()
+                      for s in series if s in values), default=1.0)
+    blocks = [] if title is None else [title, ""]
+    for group, values in per_group.items():
+        ordered: Dict[str, float] = {s: values[s] for s in series if s in values}
+        blocks.append(bar_chart(ordered, title=group, width=width,
+                                max_value=global_max, value_fmt=value_fmt))
+    return "\n".join(blocks)
+
+
+def breakdown_chart(fractions: Mapping[str, float], *, width: int = 60,
+                    title: Optional[str] = None) -> str:
+    """Render a composition (fractions summing to ~1) as one stacked bar.
+
+    Each category gets a share of the bar proportional to its fraction and
+    a one-letter key; the legend below maps keys to category names.  Used
+    for the stall-time and traffic breakdowns.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    items = [(name, max(0.0, frac)) for name, frac in fractions.items() if frac > 0]
+    total = sum(f for _, f in items)
+    lines = [] if title is None else [title]
+    if not items or total <= 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+
+    keys = []
+    bar = ""
+    for index, (name, frac) in enumerate(items):
+        key = chr(ord("A") + (index % 26))
+        keys.append((key, name, frac / total))
+        bar += key * int(round(width * frac / total))
+    lines.append("[" + bar[:width].ljust(width) + "]")
+    for key, name, share in keys:
+        lines.append(f"  {key} = {name} ({share * 100:.0f}%)")
+    return "\n".join(lines)

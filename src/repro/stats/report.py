@@ -1,0 +1,86 @@
+"""Report helpers: normalized series and plain-text tables.
+
+The paper presents its results as bar charts of execution time normalized
+to a perfect CC-NUMA (Figures 5-8) and as a per-node table of page
+operations and misses (Table 4).  The helpers here turn dictionaries of
+raw results into those shapes and render them as aligned plain-text tables
+that the benchmark harnesses print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalized_series(times: Mapping[str, Number], baseline: Number) -> Dict[str, float]:
+    """Normalize a mapping of execution times against ``baseline``.
+
+    ``baseline`` is typically the perfect-CC-NUMA execution time of the
+    same workload.  Raises ``ValueError`` for a non-positive baseline.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return {name: float(t) / float(baseline) for name, t in times.items()}
+
+
+def per_node_average(total: Number, num_nodes: int) -> float:
+    """Per-node average of a machine-wide total (Table 4 convention)."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    return float(total) / num_nodes
+
+
+def geometric_mean(values: Iterable[Number]) -> float:
+    """Geometric mean, used to summarise normalized execution times."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, float_fmt: str = "{:.2f}") -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(headers), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_normalized_figure(title: str,
+                             per_app: Mapping[str, Mapping[str, float]],
+                             systems: Sequence[str]) -> str:
+    """Render a Figure-5-style block: one row per application, one column per system."""
+    headers = ["benchmark"] + list(systems)
+    rows = []
+    for app, series in per_app.items():
+        rows.append([app] + [series.get(s, float("nan")) for s in systems])
+    if per_app:
+        means = []
+        for s in systems:
+            vals = [series[s] for series in per_app.values() if s in series]
+            means.append(geometric_mean(vals) if vals else float("nan"))
+        rows.append(["geo-mean"] + means)
+    return f"{title}\n" + format_table(headers, rows)

@@ -1,0 +1,114 @@
+"""Per-processor clock and stall-time accounting.
+
+The simulator charges every cycle a processor spends to one of a small
+number of stall categories so that experiments can explain *why* one
+system is slower than another (e.g. Figure 6's page-operation sensitivity
+shows up as growth of the ``PAGE_OP`` category).  Execution time of a run
+is the maximum finish time over all processors after the final barrier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class StallKind(enum.Enum):
+    """Categories of processor time."""
+
+    COMPUTE = "compute"
+    L1_HIT = "l1_hit"
+    LOCAL_MISS = "local_miss"
+    REMOTE_MISS = "remote_miss"
+    UPGRADE = "upgrade"
+    PAGE_OP = "page_op"
+    MAPPING_FAULT = "mapping_fault"
+    CONTENTION = "contention"
+    BARRIER = "barrier"
+
+
+@dataclass
+class ProcessorTiming:
+    """Clock and stall breakdown for one processor."""
+
+    proc: int
+    clock: int = 0
+    stalls: Dict[StallKind, int] = field(default_factory=dict)
+
+    def advance(self, kind: StallKind, cycles: int) -> None:
+        """Advance the clock by ``cycles`` attributed to ``kind``."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.clock += cycles
+        if cycles:
+            self.stalls[kind] = self.stalls.get(kind, 0) + cycles
+
+    def stall_of(self, kind: StallKind) -> int:
+        """Total cycles attributed to ``kind``."""
+        return self.stalls.get(kind, 0)
+
+    def total_accounted(self) -> int:
+        """Sum of all categories (equals the clock when accounting is exact)."""
+        return sum(self.stalls.values())
+
+
+@dataclass
+class TimingStats:
+    """Timing for every processor of the machine."""
+
+    processors: List[ProcessorTiming]
+    barriers: int = 0
+
+    @classmethod
+    def for_processors(cls, num_procs: int) -> "TimingStats":
+        """Create zeroed timing state for ``num_procs`` processors."""
+        return cls(processors=[ProcessorTiming(proc=i) for i in range(num_procs)])
+
+    @property
+    def num_procs(self) -> int:
+        """Number of processors tracked."""
+        return len(self.processors)
+
+    def clock_of(self, proc: int) -> int:
+        """Current clock of processor ``proc``."""
+        return self.processors[proc].clock
+
+    def max_clock(self) -> int:
+        """Largest processor clock (the machine's execution time so far)."""
+        return max((p.clock for p in self.processors), default=0)
+
+    def min_clock(self) -> int:
+        """Smallest processor clock."""
+        return min((p.clock for p in self.processors), default=0)
+
+    def barrier(self, cost: int) -> int:
+        """Synchronise all processors at ``max_clock() + cost``.
+
+        The cycles each processor waits are attributed to
+        :attr:`StallKind.BARRIER`.  Returns the post-barrier clock.
+        """
+        if cost < 0:
+            raise ValueError("barrier cost must be non-negative")
+        target = self.max_clock() + cost
+        for p in self.processors:
+            p.advance(StallKind.BARRIER, target - p.clock)
+        self.barriers += 1
+        return target
+
+    def aggregate_stalls(self) -> Dict[StallKind, int]:
+        """Sum the stall breakdown over all processors."""
+        out: Dict[StallKind, int] = {}
+        for p in self.processors:
+            for kind, cycles in p.stalls.items():
+                out[kind] = out.get(kind, 0) + cycles
+        return out
+
+    def load_imbalance(self) -> float:
+        """Ratio of max to mean processor clock (1.0 = perfectly balanced)."""
+        if not self.processors:
+            return 1.0
+        mean = sum(p.clock for p in self.processors) / len(self.processors)
+        if mean == 0:
+            return 1.0
+        return self.max_clock() / mean

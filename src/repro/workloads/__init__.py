@@ -1,0 +1,49 @@
+"""Synthetic SPLASH-2-like workloads (Table 2 of the paper).
+
+The paper drives its simulations with seven SPLASH-2 applications.  Since
+this reproduction cannot execute the original binaries, each application
+is replaced by a synthetic trace generator parameterised to reproduce the
+sharing behaviour the paper reports for it (see DESIGN.md, substitutions
+table).  The building blocks are:
+
+* :mod:`repro.workloads.spec` — declarative description of a workload: a
+  page population split into sharing classes plus a phase structure.
+* :mod:`repro.workloads.generator` — turns a spec into per-processor
+  block-reference streams (a :class:`repro.workloads.trace.Trace`).
+* :mod:`repro.workloads.splash2` — the seven application specs and the
+  registry keyed by the names used throughout the paper.
+
+Public helpers
+--------------
+:func:`get_workload` builds a named application's trace at a given scale;
+:func:`list_workloads` enumerates the names.
+"""
+
+from repro.workloads.spec import (
+    PageGroup,
+    Phase,
+    SharingPattern,
+    WorkloadSpec,
+)
+from repro.workloads.trace import PhaseTrace, Trace
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.splash2.registry import (
+    APPLICATIONS,
+    get_spec,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "PageGroup",
+    "Phase",
+    "SharingPattern",
+    "WorkloadSpec",
+    "PhaseTrace",
+    "Trace",
+    "TraceGenerator",
+    "APPLICATIONS",
+    "get_spec",
+    "get_workload",
+    "list_workloads",
+]

@@ -1,0 +1,254 @@
+"""Trace generation: turn a :class:`WorkloadSpec` into per-processor streams.
+
+The generator assigns every page group a contiguous range of global page
+ids, partitions PRIVATE groups over processors and MIGRATORY/STREAMING
+groups over nodes, and then produces, phase by phase and processor by
+processor, the block-reference streams the simulator consumes.  All random
+draws use a seeded ``numpy`` generator, so a given (spec, scale, seed)
+always produces exactly the same trace — important both for the
+experiments (every system sees the same reference stream) and for the
+tests.
+
+Scaling
+-------
+``access_scale`` multiplies every phase's per-processor reference count
+and ``page_scale`` multiplies every group's page count.  Tests use small
+values of both; the experiment harnesses use the defaults baked into each
+application module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+from repro.workloads.trace import PhaseTrace, Trace
+
+
+@dataclass(frozen=True)
+class _GroupLayout:
+    """Page-id layout of one group after scaling."""
+
+    group: PageGroup
+    base_page: int
+    num_pages: int
+
+    @property
+    def end_page(self) -> int:
+        return self.base_page + self.num_pages
+
+
+class TraceGenerator:
+    """Generates a :class:`Trace` from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, machine: MachineConfig, *,
+                 access_scale: float = 1.0, page_scale: float = 1.0,
+                 seed: int = 0) -> None:
+        if access_scale <= 0 or page_scale <= 0:
+            raise ValueError("scales must be positive")
+        self.spec = spec
+        self.machine = machine
+        self.access_scale = access_scale
+        self.page_scale = page_scale
+        self.seed = seed
+        self.blocks_per_page = machine.blocks_per_page
+        self.num_nodes = machine.num_nodes
+        self.procs_per_node = machine.procs_per_node
+        self.num_procs = machine.num_processors
+        self.layouts = self._layout_groups()
+
+    # ------------------------------------------------------------------ layout
+
+    def _layout_groups(self) -> Dict[str, _GroupLayout]:
+        layouts: Dict[str, _GroupLayout] = {}
+        next_page = 0
+        for group in self.spec.groups:
+            scaled = max(1, int(round(group.num_pages * self.page_scale)))
+            # private / partitioned groups need at least one page per owner
+            if group.pattern is SharingPattern.PRIVATE:
+                scaled = max(scaled, self.num_procs)
+            elif group.pattern in (SharingPattern.MIGRATORY, SharingPattern.STREAMING):
+                scaled = max(scaled, self.num_nodes)
+            layouts[group.name] = _GroupLayout(group=group, base_page=next_page,
+                                               num_pages=scaled)
+            next_page += scaled
+        return layouts
+
+    def total_pages(self) -> int:
+        """Total pages after scaling."""
+        return sum(l.num_pages for l in self.layouts.values())
+
+    def pages_of_group(self, name: str) -> range:
+        """Global page-id range of group ``name``."""
+        layout = self.layouts[name]
+        return range(layout.base_page, layout.end_page)
+
+    # ------------------------------------------------------------------ partition helpers
+
+    def _proc_partition(self, layout: _GroupLayout, proc: int) -> Tuple[int, int]:
+        """Page sub-range of ``layout`` owned by processor ``proc``."""
+        per = max(1, layout.num_pages // self.num_procs)
+        start = layout.base_page + (proc % self.num_procs) * per
+        end = min(start + per, layout.end_page)
+        if start >= layout.end_page:
+            start = layout.base_page
+            end = min(start + per, layout.end_page)
+        return start, max(end, start + 1)
+
+    def _node_partition(self, layout: _GroupLayout, node: int) -> Tuple[int, int]:
+        """Page sub-range of ``layout`` owned by node ``node``."""
+        per = max(1, layout.num_pages // self.num_nodes)
+        start = layout.base_page + (node % self.num_nodes) * per
+        end = min(start + per, layout.end_page)
+        if start >= layout.end_page:
+            start = layout.base_page
+            end = min(start + per, layout.end_page)
+        return start, max(end, start + 1)
+
+    def owner_proc_of_page(self, group_name: str, page: int) -> int:
+        """Processor that owns (first touches) ``page`` of the given group."""
+        layout = self.layouts[group_name]
+        if not layout.base_page <= page < layout.end_page:
+            raise ValueError(f"page {page} not in group {group_name!r}")
+        pattern = layout.group.pattern
+        offset = page - layout.base_page
+        if pattern is SharingPattern.PRIVATE:
+            per = max(1, layout.num_pages // self.num_procs)
+            return min(offset // per, self.num_procs - 1)
+        if pattern in (SharingPattern.MIGRATORY, SharingPattern.STREAMING):
+            per = max(1, layout.num_pages // self.num_nodes)
+            node = min(offset // per, self.num_nodes - 1)
+            return node * self.procs_per_node
+        if pattern is SharingPattern.READ_SHARED:
+            # produced by node 0 so that the other seven nodes read remotely
+            return 0
+        # READ_WRITE_SHARED: spread homes round-robin over nodes
+        node = offset % self.num_nodes
+        return node * self.procs_per_node
+
+    # ------------------------------------------------------------------ page selection
+
+    def _draw_pages(self, rng: np.random.Generator, layout: _GroupLayout,
+                    count: int, proc: int, phase: Phase) -> np.ndarray:
+        """Draw ``count`` page ids for processor ``proc`` from ``layout``."""
+        group = layout.group
+        pattern = group.pattern
+        node = proc // self.procs_per_node
+
+        if pattern is SharingPattern.PRIVATE:
+            lo, hi = self._proc_partition(layout, proc)
+            return rng.integers(lo, hi, size=count)
+
+        if pattern in (SharingPattern.MIGRATORY, SharingPattern.STREAMING):
+            shifted = (node + phase.migratory_shift) % self.num_nodes
+            lo, hi = self._node_partition(layout, shifted)
+            if pattern is SharingPattern.MIGRATORY:
+                return self._hot_cold(rng, group, lo, hi, count)
+            # STREAMING: walk sequentially, touching each page a few times
+            touches = max(1, group.touches_per_page)
+            n_pages = max(1, count // touches + 1)
+            start = int(rng.integers(lo, hi))
+            walk = (start + np.arange(n_pages)) % (hi - lo) + lo
+            pages = np.repeat(walk, touches)[:count]
+            return pages
+
+        # READ_SHARED and READ_WRITE_SHARED: all nodes draw from the whole
+        # group, optionally skewed toward the node's own slice (affinity)
+        pages = self._hot_cold(rng, group, layout.base_page, layout.end_page, count)
+        if group.node_affinity > 0.0:
+            lo, hi = self._node_partition(layout, node)
+            affine = rng.random(count) < group.node_affinity
+            affine_pages = rng.integers(lo, hi, size=count)
+            pages = np.where(affine, affine_pages, pages)
+        return pages
+
+    def _hot_cold(self, rng: np.random.Generator, group: PageGroup,
+                  lo: int, hi: int, count: int) -> np.ndarray:
+        """Uniform draw with an optional hot subset (temporal locality)."""
+        span = hi - lo
+        if group.hot_weight >= 1.0 or group.hot_fraction >= 1.0 or span <= 1:
+            return rng.integers(lo, hi, size=count)
+        hot_span = max(1, int(round(span * group.hot_fraction)))
+        is_hot = rng.random(count) < group.hot_weight
+        hot_pages = rng.integers(lo, lo + hot_span, size=count)
+        cold_pages = rng.integers(lo, hi, size=count)
+        return np.where(is_hot, hot_pages, cold_pages)
+
+    # ------------------------------------------------------------------ phase generation
+
+    def _touch_phase(self, rng: np.random.Generator, phase: Phase) -> PhaseTrace:
+        """Build an initialisation phase: owners write their pages once."""
+        blocks: List[List[int]] = [[] for _ in range(self.num_procs)]
+        touches_per_page = 4
+        for gname in phase.touch_groups:
+            layout = self.layouts[gname]
+            for page in range(layout.base_page, layout.end_page):
+                owner = self.owner_proc_of_page(gname, page)
+                offsets = rng.integers(0, self.blocks_per_page,
+                                       size=touches_per_page)
+                base = page * self.blocks_per_page
+                blocks[owner].extend((base + int(o)) for o in offsets)
+        block_arrays = [np.asarray(b, dtype=np.int64) for b in blocks]
+        write_arrays = [np.ones(len(b), dtype=np.uint8) for b in blocks]
+        return PhaseTrace(name=phase.name,
+                          compute_per_access=phase.compute_per_access,
+                          blocks=block_arrays, writes=write_arrays)
+
+    def _work_phase(self, rng: np.random.Generator, phase: Phase) -> PhaseTrace:
+        """Build a normal (post-barrier) computation phase."""
+        group_names = [g for g in phase.weights if phase.weights[g] > 0]
+        weights = np.asarray([phase.weights[g] for g in group_names], dtype=float)
+        weights = weights / weights.sum()
+        accesses = max(1, int(round(phase.accesses_per_proc * self.access_scale)))
+
+        block_arrays: List[np.ndarray] = []
+        write_arrays: List[np.ndarray] = []
+        for proc in range(self.num_procs):
+            choice = rng.choice(len(group_names), size=accesses, p=weights)
+            pages = np.empty(accesses, dtype=np.int64)
+            writes = np.zeros(accesses, dtype=np.uint8)
+            for gi, gname in enumerate(group_names):
+                idx = np.nonzero(choice == gi)[0]
+                if idx.size == 0:
+                    continue
+                layout = self.layouts[gname]
+                pages[idx] = self._draw_pages(rng, layout, idx.size, proc, phase)
+                wf = (phase.write_override
+                      if phase.write_override is not None
+                      else layout.group.write_fraction)
+                if wf > 0:
+                    writes[idx] = (rng.random(idx.size) < wf).astype(np.uint8)
+            offsets = rng.integers(0, self.blocks_per_page, size=accesses)
+            block_arrays.append(pages * self.blocks_per_page + offsets)
+            write_arrays.append(writes)
+
+        return PhaseTrace(name=phase.name,
+                          compute_per_access=phase.compute_per_access,
+                          blocks=block_arrays, writes=write_arrays)
+
+    # ------------------------------------------------------------------ entry point
+
+    def generate(self) -> Trace:
+        """Generate the full trace for this spec/scale/seed."""
+        rng = np.random.default_rng(self.seed)
+        phases: List[PhaseTrace] = []
+        for phase in self.spec.phases:
+            if phase.touch_groups:
+                phases.append(self._touch_phase(rng, phase))
+            else:
+                phases.append(self._work_phase(rng, phase))
+        metadata = {
+            "spec": self.spec.name,
+            "description": self.spec.description,
+            "paper_input": self.spec.paper_input,
+            "access_scale": self.access_scale,
+            "page_scale": self.page_scale,
+            "seed": self.seed,
+            "total_pages": self.total_pages(),
+        }
+        return Trace(name=self.spec.name, num_procs=self.num_procs,
+                     phases=phases, metadata=metadata)

@@ -1,0 +1,221 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` describes an application as
+
+* a set of :class:`PageGroup` objects — populations of pages that share a
+  *sharing pattern* (private, read-shared, migratory, actively read-write
+  shared, or streaming/low-reuse), and
+* an ordered list of :class:`Phase` objects — barrier-delimited program
+  phases, each describing how many references every processor issues and
+  how those references are distributed over the page groups.
+
+The seven SPLASH-2-like applications in :mod:`repro.workloads.splash2` are
+nothing more than particular instances of these dataclasses; the
+parameters of each are chosen from the behaviour the paper describes for
+that application (see the module docstrings there).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+class SharingPattern(enum.Enum):
+    """How the pages of a group are shared between nodes.
+
+    ``PRIVATE``
+        Pages partitioned per processor and only ever touched by their
+        owner.  First-touch places them locally, so they generate no
+        remote traffic — they exist to dilute the reference stream the
+        way an application's stack/local data does.
+    ``READ_SHARED``
+        Pages written once by their producer node and subsequently read by
+        every node — the page-replication sweet spot.
+    ``MIGRATORY``
+        Pages used read-write by a single node at a time, with the using
+        node changing between phases — the page-migration sweet spot.
+    ``READ_WRITE_SHARED``
+        Pages actively read and written by many nodes at once — the case
+        only fine-grain caching (R-NUMA) can improve.
+    ``STREAMING``
+        Pages touched a bounded number of times and then abandoned (low
+        reuse) — the case where R-NUMA relocation does not pay off.
+    """
+
+    PRIVATE = "private"
+    READ_SHARED = "read_shared"
+    MIGRATORY = "migratory"
+    READ_WRITE_SHARED = "read_write_shared"
+    STREAMING = "streaming"
+
+
+@dataclass(frozen=True)
+class PageGroup:
+    """A population of pages sharing one access pattern.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the workload (referenced by phase weights).
+    num_pages:
+        Number of pages in the group (before any page scaling).
+    pattern:
+        The :class:`SharingPattern`.
+    write_fraction:
+        Probability that a reference to this group is a write.
+    hot_fraction / hot_weight:
+        Temporal-locality knob: ``hot_weight`` of the references fall in
+        the first ``hot_fraction`` of the group's pages.  Defaults give a
+        uniform distribution.
+    touches_per_page:
+        Only for ``STREAMING`` groups: how many references a processor
+        makes to a page before moving on to the next one.
+    node_affinity:
+        Fraction of a node's references to this group that fall in the
+        node's own slice of the group (READ_SHARED and READ_WRITE_SHARED
+        only).  Non-zero affinity creates the per-node usage asymmetry
+        that makes some read-only pages look like migration candidates —
+        the effect behind "page migration unnecessarily migrates some of
+        the read-only pages" in barnes (Section 6.1).
+    """
+
+    name: str
+    num_pages: int
+    pattern: SharingPattern
+    write_fraction: float = 0.0
+    hot_fraction: float = 1.0
+    hot_weight: float = 1.0
+    touches_per_page: int = 32
+    node_affinity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("group name must be non-empty")
+        if self.num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ValueError("hot_weight must be in [0, 1]")
+        if self.hot_weight < 1.0 and self.hot_fraction >= 1.0:
+            raise ValueError("hot_fraction must be < 1 when hot_weight < 1")
+        if self.touches_per_page <= 0:
+            raise ValueError("touches_per_page must be positive")
+        if not 0.0 <= self.node_affinity <= 1.0:
+            raise ValueError("node_affinity must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One barrier-delimited program phase.
+
+    Parameters
+    ----------
+    name:
+        Phase name (reports only).
+    accesses_per_proc:
+        References each processor issues in this phase (before scaling).
+    weights:
+        Mapping of group name to selection weight.  Weights are
+        normalised; groups not mentioned are not accessed in this phase.
+    compute_per_access:
+        Cycles of computation preceding each reference.
+    migratory_shift:
+        For MIGRATORY/STREAMING groups: which node partition each node
+        accesses — node ``n`` uses partition ``(n + shift) % num_nodes``.
+        A shift of zero keeps every node on its own (first-touched)
+        partition; non-zero shifts move the work to a different node,
+        creating migration candidates.
+    write_override:
+        When not None, overrides every group's write fraction for this
+        phase (e.g. 0.0 for a pure read phase).
+    touch_groups:
+        When non-empty this is an *initialisation* phase: the owner of
+        every page in the named groups writes a few blocks of it once (to
+        effect first-touch placement), and ``accesses_per_proc``/
+        ``weights`` are ignored.
+    """
+
+    name: str
+    accesses_per_proc: int = 0
+    weights: Mapping[str, float] = field(default_factory=dict)
+    compute_per_access: int = 6
+    migratory_shift: int = 0
+    write_override: Optional[float] = None
+    touch_groups: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase name must be non-empty")
+        if self.accesses_per_proc < 0:
+            raise ValueError("accesses_per_proc must be non-negative")
+        if self.compute_per_access < 0:
+            raise ValueError("compute_per_access must be non-negative")
+        if self.migratory_shift < 0:
+            raise ValueError("migratory_shift must be non-negative")
+        if self.write_override is not None and not 0.0 <= self.write_override <= 1.0:
+            raise ValueError("write_override must be in [0, 1]")
+        if not self.touch_groups:
+            if self.accesses_per_proc == 0:
+                raise ValueError("a non-touch phase needs accesses_per_proc > 0")
+            if not self.weights:
+                raise ValueError("a non-touch phase needs non-empty weights")
+            total = sum(self.weights.values())
+            if total <= 0:
+                raise ValueError("phase weights must sum to a positive value")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete synthetic application."""
+
+    name: str
+    description: str
+    groups: Tuple[PageGroup, ...]
+    phases: Tuple[Phase, ...]
+    #: input-parameter string reported in Table 2 of the paper
+    paper_input: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a workload needs at least one page group")
+        if not self.phases:
+            raise ValueError("a workload needs at least one phase")
+        names = [g.name for g in self.groups]
+        if len(names) != len(set(names)):
+            raise ValueError("group names must be unique")
+        known = set(names)
+        for phase in self.phases:
+            for gname in phase.weights:
+                if gname not in known:
+                    raise ValueError(
+                        f"phase {phase.name!r} references unknown group {gname!r}")
+            for gname in phase.touch_groups:
+                if gname not in known:
+                    raise ValueError(
+                        f"phase {phase.name!r} touches unknown group {gname!r}")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def group(self, name: str) -> PageGroup:
+        """Return the group named ``name``."""
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(f"no group named {name!r} in workload {self.name!r}")
+
+    def group_names(self) -> Tuple[str, ...]:
+        """Names of all groups, in declaration order."""
+        return tuple(g.name for g in self.groups)
+
+    def total_pages(self) -> int:
+        """Total pages declared across every group (before scaling)."""
+        return sum(g.num_pages for g in self.groups)
+
+    def total_accesses_per_proc(self) -> int:
+        """Total per-processor references across the non-touch phases."""
+        return sum(p.accesses_per_proc for p in self.phases if not p.touch_groups)

@@ -1,0 +1,11 @@
+"""The seven SPLASH-2-like synthetic applications (Table 2 of the paper).
+
+Each module defines one :class:`repro.workloads.spec.WorkloadSpec` whose
+page population and phase structure encode the sharing behaviour the paper
+reports for that application (Sections 4 and 6.1).  The registry maps the
+paper's application names to these specs.
+"""
+
+from repro.workloads.splash2.registry import APPLICATIONS, get_spec, get_workload, list_workloads
+
+__all__ = ["APPLICATIONS", "get_spec", "get_workload", "list_workloads"]

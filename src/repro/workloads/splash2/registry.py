@@ -1,0 +1,70 @@
+"""Registry of the seven applications (Table 2 of the paper).
+
+``APPLICATIONS`` maps the names used throughout the paper to builder
+functions returning a :class:`repro.workloads.spec.WorkloadSpec`.
+:func:`get_workload` is the public convenience: it builds the spec,
+instantiates a :class:`repro.workloads.generator.TraceGenerator` against a
+machine configuration and returns the generated trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import MachineConfig, reduced_machine
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.trace import Trace
+
+from repro.workloads.splash2 import barnes, cholesky, fmm, lu, ocean, radix, raytrace
+
+#: Application name -> spec builder (names as used by the paper).
+APPLICATIONS: Dict[str, Callable[[], WorkloadSpec]] = {
+    "barnes": barnes.build_spec,
+    "cholesky": cholesky.build_spec,
+    "fmm": fmm.build_spec,
+    "lu": lu.build_spec,
+    "ocean": ocean.build_spec,
+    "radix": radix.build_spec,
+    "raytrace": raytrace.build_spec,
+}
+
+
+def list_workloads() -> Tuple[str, ...]:
+    """Names of all available applications, in the paper's order."""
+    return tuple(APPLICATIONS.keys())
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Build the :class:`WorkloadSpec` for application ``name``."""
+    key = name.strip().lower()
+    builder = APPLICATIONS.get(key)
+    if builder is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(APPLICATIONS)}")
+    return builder()
+
+
+def get_workload(name: str, *, machine: Optional[MachineConfig] = None,
+                 scale: float = 1.0, page_scale: float = 1.0,
+                 seed: int = 0) -> Trace:
+    """Build the trace for application ``name``.
+
+    Parameters
+    ----------
+    machine:
+        Machine configuration determining page/block geometry and
+        processor count; defaults to the reduced experiment machine.
+    scale:
+        Multiplies every phase's per-processor reference count (use small
+        values in tests, 1.0 for the experiments).
+    page_scale:
+        Multiplies every group's page count.
+    seed:
+        Seed for the trace generator's RNG.
+    """
+    spec = get_spec(name)
+    machine_cfg = machine if machine is not None else reduced_machine()
+    gen = TraceGenerator(spec, machine_cfg, access_scale=scale,
+                         page_scale=page_scale, seed=seed)
+    return gen.generate()

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against a *tiny* machine (2 nodes x 2 processors, small
+caches) and tiny traces so the whole suite stays fast; the experiment-level
+integration tests use the reduced experiment machine at a very small
+access scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    MachineConfig,
+    SimulationConfig,
+    ThresholdConfig,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A 2-node, 2-CPU-per-node machine with very small caches."""
+    return MachineConfig(
+        num_nodes=2,
+        procs_per_node=2,
+        block_size=64,
+        page_size=512,
+        l1_size=1024,
+        l1_assoc=1,
+        block_cache_size=2048,
+        page_cache_size=8 * 512,
+    )
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A 4-node machine, still small, for protocol behaviour tests."""
+    return MachineConfig(
+        num_nodes=4,
+        procs_per_node=2,
+        block_size=64,
+        page_size=512,
+        l1_size=1024,
+        l1_assoc=1,
+        block_cache_size=2048,
+        page_cache_size=16 * 512,
+    )
+
+
+@pytest.fixture
+def fast_thresholds() -> ThresholdConfig:
+    """Thresholds low enough that tiny traces trigger page operations.
+
+    ``scale=1.0`` keeps them exactly as written (no scaling, no floor), so
+    the targeted protocol tests can reason about when an operation fires.
+    """
+    return ThresholdConfig(migrep_threshold=16, migrep_reset_interval=4000,
+                           rnuma_threshold=16, hybrid_relocation_delay=0,
+                           scale=1.0)
+
+
+@pytest.fixture
+def tiny_config(tiny_machine, fast_thresholds) -> SimulationConfig:
+    """Simulation config around the tiny machine."""
+    return SimulationConfig(machine=tiny_machine, costs=CostModel(),
+                            thresholds=fast_thresholds, seed=1)
+
+
+@pytest.fixture
+def small_config(small_machine, fast_thresholds) -> SimulationConfig:
+    """Simulation config around the small 4-node machine."""
+    return SimulationConfig(machine=small_machine, costs=CostModel(),
+                            thresholds=fast_thresholds, seed=1)
+
+
+def make_simple_spec(*, pattern: SharingPattern = SharingPattern.READ_WRITE_SHARED,
+                     pages: int = 16, accesses: int = 400,
+                     write_fraction: float = 0.2,
+                     shift: int = 0, phases: int = 2,
+                     node_affinity: float = 0.0,
+                     touches_per_page: int = 8) -> WorkloadSpec:
+    """Build a one-group workload spec for targeted protocol tests."""
+    group = PageGroup(name="data", num_pages=pages, pattern=pattern,
+                      write_fraction=write_fraction,
+                      node_affinity=node_affinity,
+                      touches_per_page=touches_per_page)
+    phase_list = [Phase(name="init", touch_groups=("data",))]
+    for i in range(phases):
+        phase_list.append(
+            Phase(name=f"work-{i}", accesses_per_proc=accesses,
+                  weights={"data": 1.0}, compute_per_access=4,
+                  migratory_shift=shift))
+    return WorkloadSpec(name=f"simple-{pattern.value}",
+                        description="test workload",
+                        groups=(group,), phases=tuple(phase_list))
+
+
+@pytest.fixture
+def simple_spec() -> WorkloadSpec:
+    """A read-write-shared single-group workload."""
+    return make_simple_spec()
+
+
+def make_trace(spec: WorkloadSpec, machine: MachineConfig, *, seed: int = 0,
+               access_scale: float = 1.0):
+    """Generate a trace for ``spec`` on ``machine``."""
+    return TraceGenerator(spec, machine, access_scale=access_scale,
+                          seed=seed).generate()
+
+
+@pytest.fixture
+def simple_trace(simple_spec, tiny_machine):
+    """A small generated trace on the tiny machine."""
+    return make_trace(simple_spec, tiny_machine)

@@ -1,0 +1,89 @@
+"""Tests for the ablation experiment harnesses (repro.experiments.ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import SweepResult
+from repro.experiments.ablation import (
+    DEFAULT_ABLATION_APPS,
+    render_ablation,
+    run_block_cache_ablation,
+    run_placement_ablation,
+    run_scoma_ablation,
+    run_threshold_ablation,
+)
+
+#: Tiny scale: the ablation harnesses run many (value, app, system) points.
+SCALE = 0.05
+APPS = ("lu", "radix")
+
+
+@pytest.fixture(scope="module")
+def placement_result() -> SweepResult:
+    return run_placement_ablation(apps=APPS, systems=("ccnuma", "rnuma"),
+                                  policies=("first-touch", "single-node"),
+                                  scale=SCALE)
+
+
+class TestPlacementAblation:
+    def test_point_count(self, placement_result):
+        # 2 policies x 2 apps x 2 systems
+        assert len(placement_result.points) == 8
+
+    def test_single_node_hurts_ccnuma(self, placement_result):
+        good = placement_result.mean_normalized("ccnuma", "first-touch")
+        bad = placement_result.mean_normalized("ccnuma", "single-node")
+        assert bad >= good - 0.05
+
+    def test_rnuma_less_sensitive_than_ccnuma(self, placement_result):
+        cc_delta = (placement_result.mean_normalized("ccnuma", "single-node")
+                    - placement_result.mean_normalized("ccnuma", "first-touch"))
+        rn_delta = (placement_result.mean_normalized("rnuma", "single-node")
+                    - placement_result.mean_normalized("rnuma", "first-touch"))
+        # fine-grain caching recovers locality regardless of the home node,
+        # so its degradation must not exceed CC-NUMA's by much
+        assert rn_delta <= cc_delta + 0.2
+
+
+class TestBlockCacheAblation:
+    def test_shapes_and_ordering(self):
+        data = run_block_cache_ablation(apps=("lu",), scale=SCALE)
+        assert set(data) == {"lu"}
+        times = data["lu"]
+        assert {"ccnuma", "ccnuma-dram", "rnuma"} <= set(times)
+        # everything is normalized against perfect CC-NUMA
+        assert all(v >= 0.99 for v in times.values())
+
+    def test_render(self):
+        data = {"lu": {"ccnuma": 1.5, "ccnuma-dram": 1.4, "rnuma": 1.2}}
+        text = render_ablation("Block cache ablation", data,
+                               ["ccnuma", "ccnuma-dram", "rnuma"])
+        assert "Block cache ablation" in text
+        assert "lu" in text
+
+
+class TestSCOMAAblation:
+    def test_scoma_vs_rnuma(self):
+        data = run_scoma_ablation(apps=("radix",), scale=SCALE)
+        times = data["radix"]
+        assert {"ccnuma", "scoma", "rnuma"} <= set(times)
+        # radix streams with little page reuse: unconditional allocation
+        # must not beat reactive relocation
+        assert times["scoma"] >= times["rnuma"] - 0.05
+
+
+class TestThresholdAblation:
+    def test_both_sweeps_returned(self):
+        results = run_threshold_ablation(apps=("lu",),
+                                         rnuma_values=(8, 64),
+                                         migrep_values=(200, 1600),
+                                         scale=SCALE)
+        assert set(results) == {"rnuma_threshold", "migrep_threshold"}
+        rn = results["rnuma_threshold"]
+        assert [p.value for p in rn.filter(app="lu", system="rnuma")] == [8, 64]
+        mg = results["migrep_threshold"]
+        assert all(p.system == "migrep" for p in mg.points)
+
+    def test_default_apps_cover_behaviour_classes(self):
+        assert set(DEFAULT_ABLATION_APPS) == {"barnes", "lu", "radix"}

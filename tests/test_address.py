@@ -1,0 +1,104 @@
+"""Tests for repro.mem.address: page/block arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import AddressSpace
+
+
+@pytest.fixture
+def addr() -> AddressSpace:
+    return AddressSpace(page_size=4096, block_size=64)
+
+
+class TestConstruction:
+    def test_blocks_per_page(self, addr):
+        assert addr.blocks_per_page == 64
+
+    @pytest.mark.parametrize("page,block", [(4096, 48), (1000, 64), (4096, 0),
+                                            (4095, 64)])
+    def test_invalid_geometry_rejected(self, page, block):
+        with pytest.raises(ValueError):
+            AddressSpace(page_size=page, block_size=block)
+
+
+class TestByteConversions:
+    def test_block_of_addr(self, addr):
+        assert addr.block_of_addr(0) == 0
+        assert addr.block_of_addr(63) == 0
+        assert addr.block_of_addr(64) == 1
+        assert addr.block_of_addr(4096) == 64
+
+    def test_page_of_addr(self, addr):
+        assert addr.page_of_addr(0) == 0
+        assert addr.page_of_addr(4095) == 0
+        assert addr.page_of_addr(4096) == 1
+
+    def test_addr_of_block_and_page(self, addr):
+        assert addr.addr_of_block(3) == 192
+        assert addr.addr_of_page(2) == 8192
+
+    def test_negative_rejected(self, addr):
+        for method in (addr.block_of_addr, addr.page_of_addr, addr.addr_of_block,
+                       addr.addr_of_page, addr.page_of_block,
+                       addr.block_offset_in_page, addr.first_block_of_page):
+            with pytest.raises(ValueError):
+                method(-1)
+
+
+class TestBlockPageConversions:
+    def test_page_of_block(self, addr):
+        assert addr.page_of_block(0) == 0
+        assert addr.page_of_block(63) == 0
+        assert addr.page_of_block(64) == 1
+
+    def test_block_offset_in_page(self, addr):
+        assert addr.block_offset_in_page(64) == 0
+        assert addr.block_offset_in_page(65) == 1
+        assert addr.block_offset_in_page(127) == 63
+
+    def test_blocks_of_page(self, addr):
+        blocks = addr.blocks_of_page(2)
+        assert blocks.start == 128
+        assert blocks.stop == 192
+        assert len(blocks) == addr.blocks_per_page
+
+    def test_page_block_composition(self, addr):
+        assert addr.page_block(3, 5) == 3 * 64 + 5
+        with pytest.raises(ValueError):
+            addr.page_block(3, 64)
+        with pytest.raises(ValueError):
+            addr.page_block(3, -1)
+
+
+class TestProperties:
+    @given(block=st.integers(min_value=0, max_value=10**9))
+    def test_block_round_trip(self, block):
+        addr = AddressSpace()
+        page = addr.page_of_block(block)
+        offset = addr.block_offset_in_page(block)
+        assert addr.page_block(page, offset) == block
+        assert block in addr.blocks_of_page(page)
+
+    @given(byte=st.integers(min_value=0, max_value=10**12))
+    def test_byte_round_trip(self, byte):
+        addr = AddressSpace()
+        block = addr.block_of_addr(byte)
+        assert addr.addr_of_block(block) <= byte < addr.addr_of_block(block + 1)
+        page = addr.page_of_addr(byte)
+        assert addr.page_of_block(block) == page
+
+    @given(page_pow=st.integers(min_value=7, max_value=14),
+           block_pow=st.integers(min_value=4, max_value=7),
+           page=st.integers(min_value=0, max_value=10**6))
+    def test_blocks_of_page_disjoint_and_cover(self, page_pow, block_pow, page):
+        if block_pow > page_pow:
+            block_pow = page_pow
+        addr = AddressSpace(page_size=2 ** page_pow, block_size=2 ** block_pow)
+        this_page = set(addr.blocks_of_page(page))
+        next_page = set(addr.blocks_of_page(page + 1))
+        assert not this_page & next_page
+        assert max(this_page) + 1 == min(next_page)
+        assert all(addr.page_of_block(b) == page for b in this_page)

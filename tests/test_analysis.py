@@ -1,0 +1,290 @@
+"""Tests for repro.analysis: sharing classification, traffic, sweeps, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sharing import (
+    PageProfile,
+    SharingClass,
+    analyze_trace,
+)
+from repro.analysis.sweeps import SweepPoint, SweepResult, run_sweep
+from repro.analysis.traffic import (
+    breakdown_message_stats,
+    compare_breakdowns,
+    traffic_breakdown,
+)
+from repro.analysis.validate import (
+    ShapeCheck,
+    all_passed,
+    check_figure5_shape,
+    check_figure6_shape,
+    check_figure7_shape,
+    check_figure8_shape,
+    failed_claims,
+)
+from repro.config import base_config
+from repro.experiments.runner import run_experiment
+from repro.interconnect.message import MessageStats, MessageType
+from repro.workloads import get_workload
+from repro.workloads.spec import SharingPattern
+
+from conftest import make_simple_spec, make_trace
+
+
+# ---------------------------------------------------------------------------
+# PageProfile classification
+# ---------------------------------------------------------------------------
+
+
+class TestPageProfile:
+    def _profile(self, reads, writes, nodes_per_phase=(2,)):
+        prof = PageProfile(page=0)
+        prof.reads_by_node.update(reads)
+        prof.writes_by_node.update(writes)
+        prof.nodes_per_phase.extend(nodes_per_phase)
+        return prof
+
+    def test_private_page(self):
+        prof = self._profile({0: 50}, {0: 10}, nodes_per_phase=(1,))
+        assert prof.classify() is SharingClass.PRIVATE
+        assert prof.sharing_degree == 1
+
+    def test_read_only_shared_page(self):
+        prof = self._profile({0: 40, 1: 40, 2: 40}, {}, nodes_per_phase=(3,))
+        assert prof.classify() is SharingClass.READ_ONLY_SHARED
+        assert prof.write_fraction == 0.0
+
+    def test_migratory_page(self):
+        # one dominant read-write user, others touch it rarely
+        prof = self._profile({0: 95, 1: 2}, {0: 30}, nodes_per_phase=(1, 1))
+        assert prof.classify() is SharingClass.MIGRATORY
+        node, share = prof.dominant_node()
+        assert node == 0 and share > 0.9
+
+    def test_read_write_shared_page(self):
+        prof = self._profile({0: 30, 1: 30, 2: 30}, {0: 10, 1: 10, 2: 10},
+                             nodes_per_phase=(3, 3))
+        assert prof.classify() is SharingClass.READ_WRITE_SHARED
+
+    def test_low_reuse_page(self):
+        prof = self._profile({0: 2, 1: 1}, {}, nodes_per_phase=(2,))
+        assert prof.classify(min_reuse=8) is SharingClass.LOW_REUSE
+
+    def test_empty_profile_dominant_node(self):
+        prof = PageProfile(page=0)
+        assert prof.dominant_node() == (None, 0.0)
+        assert prof.total_accesses == 0
+
+    @given(reads=st.dictionaries(st.integers(0, 7), st.integers(0, 500),
+                                 max_size=8),
+           writes=st.dictionaries(st.integers(0, 7), st.integers(0, 500),
+                                  max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_classification_total_and_bounds(self, reads, writes):
+        prof = PageProfile(page=1)
+        prof.reads_by_node.update(reads)
+        prof.writes_by_node.update(writes)
+        prof.nodes_per_phase.append(prof.sharing_degree)
+        assert prof.total_accesses == sum(reads.values()) + sum(writes.values())
+        assert 0.0 <= prof.write_fraction <= 1.0
+        # classification never raises and always returns a SharingClass
+        assert prof.classify() in SharingClass
+
+
+# ---------------------------------------------------------------------------
+# Whole-trace analysis
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeTrace:
+    def test_read_shared_workload_found_replicable(self, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_SHARED,
+                                pages=24, accesses=600, write_fraction=0.0)
+        trace = make_trace(spec, small_machine)
+        report = analyze_trace(trace, small_machine)
+        opportunity = report.opportunity_summary()
+        assert opportunity["replication"] > 0.3
+        assert opportunity["rnuma"] >= opportunity["replication"]
+        assert len(report.replication_candidates()) > 0
+
+    def test_read_write_shared_workload_needs_rnuma(self, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_WRITE_SHARED,
+                                pages=24, accesses=600, write_fraction=0.3)
+        trace = make_trace(spec, small_machine)
+        report = analyze_trace(trace, small_machine)
+        opportunity = report.opportunity_summary()
+        # replication cannot address actively written pages
+        assert opportunity["replication"] < 0.2
+        assert opportunity["rnuma"] > 0.5
+
+    def test_counts_and_accesses_consistent(self, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_WRITE_SHARED,
+                                pages=16, accesses=300)
+        trace = make_trace(spec, small_machine)
+        report = analyze_trace(trace, small_machine)
+        assert sum(report.count_by_class().values()) == len(report.pages)
+        assert sum(report.accesses_by_class().values()) == trace.total_accesses()
+        fractions = [report.fraction_of_accesses(c) for c in SharingClass]
+        assert abs(sum(fractions) - 1.0) < 1e-9
+
+    def test_summary_keys(self, small_machine):
+        spec = make_simple_spec(pages=8, accesses=100)
+        trace = make_trace(spec, small_machine)
+        summary = analyze_trace(trace, small_machine).summary()
+        assert summary["workload"] == trace.name
+        assert "opportunity_rnuma" in summary
+        assert summary["pages"] == len(analyze_trace(trace, small_machine).pages)
+
+    def test_splash2_workloads_have_distinct_profiles(self):
+        # scale 0.2 gives enough references per page for the read-only
+        # write tolerance (initialisation writes are amortised away)
+        cfg = base_config()
+        lu = analyze_trace(get_workload("lu", machine=cfg.machine, scale=0.2),
+                           cfg.machine)
+        barnes = analyze_trace(get_workload("barnes", machine=cfg.machine,
+                                            scale=0.2), cfg.machine)
+        # lu has a strong read-shared component (the factored matrix),
+        # barnes is dominated by actively read-write shared pages
+        assert (lu.opportunity_summary()["replication"]
+                > barnes.opportunity_summary()["replication"])
+        assert (barnes.fraction_of_accesses(SharingClass.READ_WRITE_SHARED)
+                > lu.fraction_of_accesses(SharingClass.READ_WRITE_SHARED))
+
+
+# ---------------------------------------------------------------------------
+# Traffic breakdown
+# ---------------------------------------------------------------------------
+
+
+class TestTraffic:
+    def test_breakdown_message_stats_categories(self):
+        stats = MessageStats(block_size=64, page_size=512)
+        stats.record(MessageType.READ_REQUEST, 10)
+        stats.record(MessageType.DATA_REPLY, 10)
+        stats.record(MessageType.INVALIDATION, 3)
+        stats.record(MessageType.PAGE_DATA, 2)
+        stats.record(MessageType.PAGE_MAP_REQUEST, 5)
+        grouped = breakdown_message_stats(stats)
+        assert grouped["data"] == 20
+        assert grouped["coherence"] == 3
+        assert grouped["page_op"] == 2
+        assert grouped["control"] == 5
+
+    def test_traffic_breakdown_from_run(self, small_machine):
+        cfg = base_config()
+        trace = get_workload("ocean", machine=cfg.machine, scale=0.05)
+        result = run_experiment(trace, "migrep", cfg)
+        breakdown = traffic_breakdown(result)
+        assert breakdown.total_messages == result.stats.network_messages
+        assert breakdown.total_bytes == result.stats.network_bytes
+        assert sum(breakdown.messages.values()) == breakdown.total_messages
+        assert 0.0 <= breakdown.fraction("data") <= 1.0
+        summary = breakdown.summary()
+        assert summary["system"] == "migrep"
+
+    def test_compare_breakdowns_normalises_against_largest(self, small_machine):
+        cfg = base_config()
+        trace = get_workload("lu", machine=cfg.machine, scale=0.05)
+        breakdowns = {
+            name: traffic_breakdown(run_experiment(trace, name, cfg))
+            for name in ("ccnuma", "rnuma")
+        }
+        compared = compare_breakdowns(breakdowns)
+        assert max(c["total"] for c in compared.values()) == pytest.approx(1.0)
+        assert compare_breakdowns({}) == {}
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+
+class TestSweeps:
+    def test_run_sweep_shapes(self):
+        cfg_values = [1.0, 4.0]
+
+        def configure(value):
+            cfg = base_config()
+            return cfg.with_costs(cfg.costs.with_network_scale(float(value)))
+
+        result = run_sweep("network_factor", cfg_values, configure,
+                           apps=["lu"], systems=["ccnuma", "rnuma"],
+                           scale=0.05)
+        assert result.parameter == "network_factor"
+        assert len(result.points) == len(cfg_values) * 2
+        series = result.series("lu", "ccnuma")
+        assert [v for v, _ in series] == cfg_values
+        # longer network latency cannot make CC-NUMA faster relative to perfect
+        assert series[-1][1] >= series[0][1] - 0.05
+        rows = result.rows()
+        assert all({"parameter", "value", "app", "system",
+                    "normalized_time"} <= set(r) for r in rows)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep("x", [], lambda v: base_config(), apps=["lu"],
+                      systems=["ccnuma"])
+
+    def test_filter_and_mean(self):
+        result = SweepResult(parameter="p", values=[1, 2], apps=["a"],
+                             systems=["s"])
+        result.points.append(SweepPoint("p", 1, "a", "s", 1.5, 100, 10, 5, 2.0))
+        result.points.append(SweepPoint("p", 2, "a", "s", 2.5, 200, 20, 10, 4.0))
+        assert len(result.filter(value=1)) == 1
+        assert result.mean_normalized("s", 2) == 2.5
+        with pytest.raises(KeyError):
+            result.mean_normalized("s", 3)
+
+
+# ---------------------------------------------------------------------------
+# Shape validation
+# ---------------------------------------------------------------------------
+
+
+def _figure5_data(cc=1.6, migrep=1.3, rnuma=1.2, rnuma_inf=1.1, mig=1.7,
+                  rep=1.25):
+    apps = ("barnes", "lu")
+    return {app: {"ccnuma": cc, "migrep": migrep, "rnuma": rnuma,
+                  "rnuma-inf": rnuma_inf, "mig": mig, "rep": rep}
+            for app in apps}
+
+
+class TestValidation:
+    def test_figure5_checks_pass_on_paper_like_data(self):
+        checks = check_figure5_shape(_figure5_data())
+        assert all_passed(checks)
+        assert failed_claims(checks) == []
+
+    def test_figure5_checks_fail_when_rnuma_is_worst(self):
+        checks = check_figure5_shape(_figure5_data(rnuma=2.5, rnuma_inf=2.6))
+        assert not all_passed(checks)
+        assert any("R-NUMA" in claim for claim in failed_claims(checks))
+
+    def test_figure6_checks(self):
+        per_app = {"lu": {"migrep-fast": 1.3, "migrep-slow": 1.35,
+                          "rnuma-fast": 1.2, "rnuma-slow": 1.5}}
+        assert all_passed(check_figure6_shape(per_app))
+        bad = {"lu": {"migrep-fast": 1.3, "migrep-slow": 1.9,
+                      "rnuma-fast": 1.2, "rnuma-slow": 1.25}}
+        assert not all_passed(check_figure6_shape(bad))
+
+    def test_figure7_checks(self):
+        base = {"lu": {"ccnuma": 1.6, "migrep": 1.4, "rnuma": 1.2}}
+        long = {"lu": {"ccnuma": 2.4, "migrep": 1.8, "rnuma": 1.3}}
+        assert all_passed(check_figure7_shape(base, long))
+        assert not all_passed(check_figure7_shape(long, base))
+
+    def test_figure8_checks(self):
+        per_app = {"radix": {"rnuma": 1.3, "rnuma-half": 1.45,
+                             "rnuma-half-migrep": 1.45}}
+        assert all_passed(check_figure8_shape(per_app))
+
+    def test_shape_check_row(self):
+        check = ShapeCheck(claim="c", passed=False, measured="m", expected="e")
+        row = check.as_row()
+        assert row["result"] == "FAIL"
+        assert row["claim"] == "c"

@@ -1,0 +1,130 @@
+"""Tests for the stall-time breakdown analysis and the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.breakdown import (
+    StallBreakdown,
+    breakdown_rows,
+    compare_systems,
+    stall_breakdown,
+)
+from repro.config import base_config
+from repro.experiments.runner import run_experiment
+from repro.stats.plotting import bar_chart, breakdown_chart, grouped_bar_chart
+from repro.stats.timing import StallKind
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def lu_runs():
+    # barnes at this scale shows the trade-off clearly: R-NUMA removes
+    # remote-miss stall and pays (more) page-operation cycles for it
+    cfg = base_config()
+    trace = get_workload("barnes", machine=cfg.machine, scale=0.1)
+    return {name: run_experiment(trace, name, cfg)
+            for name in ("perfect", "ccnuma", "rnuma")}
+
+
+class TestStallBreakdown:
+    def test_run_records_breakdown(self, lu_runs):
+        result = lu_runs["ccnuma"]
+        bd = stall_breakdown(result)
+        assert bd.system == "ccnuma"
+        assert bd.total_cycles > 0
+        assert bd.cycles.get(StallKind.COMPUTE, 0) > 0
+        assert bd.cycles.get(StallKind.REMOTE_MISS, 0) > 0
+        assert 0.0 < bd.fraction(StallKind.REMOTE_MISS) < 1.0
+
+    def test_ccnuma_has_more_remote_stall_than_perfect(self, lu_runs):
+        cc = stall_breakdown(lu_runs["ccnuma"])
+        perfect = stall_breakdown(lu_runs["perfect"])
+        assert (cc.cycles.get(StallKind.REMOTE_MISS, 0)
+                > perfect.cycles.get(StallKind.REMOTE_MISS, 0))
+
+    def test_rnuma_trades_remote_stall_for_page_ops(self, lu_runs):
+        cc = stall_breakdown(lu_runs["ccnuma"])
+        rn = stall_breakdown(lu_runs["rnuma"])
+        assert (rn.cycles.get(StallKind.REMOTE_MISS, 0)
+                < cc.cycles.get(StallKind.REMOTE_MISS, 0))
+        assert rn.page_op_cycles() >= cc.page_op_cycles()
+
+    def test_compare_systems_normalisation(self, lu_runs):
+        breakdowns = {name: stall_breakdown(res) for name, res in lu_runs.items()}
+        compared = compare_systems(breakdowns, baseline="perfect")
+        assert compared["perfect"]["total"] == pytest.approx(1.0)
+        assert compared["ccnuma"]["total"] > 1.0
+        with pytest.raises(KeyError):
+            compare_systems(breakdowns, baseline="nope")
+
+    def test_summary_and_rows(self, lu_runs):
+        breakdowns = {name: stall_breakdown(res) for name, res in lu_runs.items()}
+        rows = breakdown_rows(breakdowns)
+        assert len(rows) == len(breakdowns)
+        assert all("fraction_remote_miss" in r for r in rows)
+
+    def test_empty_breakdown(self):
+        bd = StallBreakdown(workload="w", system="s", cycles={})
+        assert bd.total_cycles == 0
+        assert bd.fraction(StallKind.COMPUTE) == 0.0
+        assert bd.memory_stall_cycles() == 0
+
+
+class TestBarChart:
+    def test_basic_chart_scales_to_width(self):
+        text = bar_chart({"ccnuma": 2.0, "rnuma": 1.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_title_and_empty(self):
+        assert bar_chart({}, title="t") == "t"
+        assert "lu" in bar_chart({"a": 1.0}, title="lu")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_grouped_chart_shares_global_scale(self):
+        data = {"lu": {"ccnuma": 2.0, "rnuma": 1.0},
+                "radix": {"ccnuma": 4.0, "rnuma": 3.0}}
+        text = grouped_bar_chart(data, ["ccnuma", "rnuma"], width=40,
+                                 title="Figure 5")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 5"
+        # the global maximum (radix/ccnuma = 4.0) gets the full width
+        full = [l for l in lines if l.count("#") == 40]
+        assert len(full) == 1 and "ccnuma" in full[0]
+        # lu's ccnuma bar is half as long as radix's
+        lu_cc = next(l for l in lines if "ccnuma" in l and l.count("#") == 20)
+        assert "2.00" in lu_cc
+
+    def test_grouped_chart_empty(self):
+        assert grouped_bar_chart({}, ["a"], title="x") == "x"
+
+    def test_breakdown_chart_composition(self):
+        text = breakdown_chart({"compute": 0.5, "remote": 0.5}, width=10,
+                               title="time")
+        lines = text.splitlines()
+        assert lines[0] == "time"
+        assert lines[1].startswith("[") and lines[1].endswith("]")
+        assert lines[1].count("A") == 5 and lines[1].count("B") == 5
+        assert any("compute (50%)" in l for l in lines)
+
+    def test_breakdown_chart_empty_and_invalid(self):
+        assert "(empty)" in breakdown_chart({})
+        with pytest.raises(ValueError):
+            breakdown_chart({"a": 1.0}, width=0)
+
+    @given(values=st.dictionaries(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                                  st.floats(min_value=0.0, max_value=1e6,
+                                            allow_nan=False),
+                                  min_size=1, max_size=8),
+           width=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=60, deadline=None)
+    def test_bars_never_exceed_width(self, values, width):
+        text = bar_chart(values, width=width)
+        for line in text.splitlines():
+            assert line.count("#") <= width

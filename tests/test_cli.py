@@ -1,0 +1,124 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.factory import SYSTEM_NAMES
+from repro.kernel.placement import PLACEMENT_NAMES
+from repro.workloads import list_workloads
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "lu", "rnuma", "--scale", "0.1", "--seed", "3",
+             "--placement", "interleaved"])
+        assert args.app == "lu" and args.system == "rnuma"
+        assert args.scale == 0.1 and args.seed == 3
+        assert args.placement == "interleaved"
+
+    def test_run_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lu", "not-a-system"])
+
+    def test_apps_are_comma_separated(self):
+        args = build_parser().parse_args(["figure5", "--apps", "lu, radix"])
+        assert args.apps == ["lu", "radix"]
+
+    def test_sweep_choices(self):
+        args = build_parser().parse_args(["sweep", "placement"])
+        assert args.sweep == "placement"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nonexistent"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for workload in list_workloads():
+            assert workload in out
+        for system in SYSTEM_NAMES:
+            assert system in out
+        for placement in PLACEMENT_NAMES:
+            assert placement in out
+
+    def test_run_command_prints_summary_and_writes_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "run.csv"
+        code = main(["run", "lu", "rnuma", "--scale", "0.05",
+                     "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized_time" in out
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        assert len(rows) == 1
+        assert rows[0]["system"] == "rnuma"
+        assert float(rows[0]["normalized_time"]) >= 0.99
+
+    def test_run_with_placement_override(self, capsys):
+        assert main(["run", "ocean", "ccnuma", "--scale", "0.05",
+                     "--placement", "round-robin"]) == 0
+        assert "remote_misses" in capsys.readouterr().out
+
+    def test_figure5_subset_with_json_export(self, capsys, tmp_path):
+        json_path = tmp_path / "fig5.json"
+        code = main(["figure5", "--apps", "lu", "--scale", "0.05",
+                     "--json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        data = json.loads(json_path.read_text())
+        assert "lu" in data
+        assert "rnuma" in data["lu"]
+
+    def test_figure7_with_ascii_chart(self, capsys):
+        code = main(["figure7", "--apps", "lu", "--scale", "0.05", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized execution time" in out
+        assert "#" in out
+
+    def test_table2_and_table3_need_no_simulation(self, capsys):
+        assert main(["table2"]) == 0
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "barnes" in out
+        assert "soft trap" in out.lower() or "soft_trap" in out.lower()
+
+    def test_table4_subset(self, capsys, tmp_path):
+        csv_path = tmp_path / "t4.csv"
+        assert main(["table4", "--apps", "lu", "--scale", "0.05",
+                     "--csv", str(csv_path)]) == 0
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        assert rows[0]["app"] == "lu"
+        assert "relocations_per_node" in rows[0]
+
+    def test_analyze_command(self, capsys):
+        assert main(["analyze", "lu", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "opportunity_rnuma" in out
+
+    def test_sweep_command_with_values(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(["sweep", "network-latency", "--apps", "lu",
+                     "--scale", "0.05", "--values", "1.0", "4.0",
+                     "--csv", str(csv_path)])
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        # 2 values x 1 app x 3 default systems
+        assert len(rows) == 6
+        assert {r["system"] for r in rows} == {"ccnuma", "migrep", "rnuma"}

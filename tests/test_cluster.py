@@ -1,0 +1,111 @@
+"""Tests for repro.cluster: processors, nodes and machine construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.cluster.processor import Processor
+from repro.config import MachineConfig
+from repro.core.factory import build_system
+
+
+class TestProcessor:
+    def test_create_wires_cache_size(self):
+        proc = Processor.create(proc_id=5, node_id=1, local_index=1, l1_lines=32)
+        assert proc.proc_id == 5
+        assert proc.node_id == 1
+        assert proc.cache.num_lines == 32
+        assert "P5" in proc.describe()
+        assert proc.tlb.occupancy() == 0
+
+
+class TestNode:
+    def make_cfg(self):
+        return MachineConfig(num_nodes=2, procs_per_node=3, page_size=512,
+                             l1_size=1024, block_cache_size=2048,
+                             page_cache_size=4096)
+
+    def test_create_default_node(self):
+        cfg = self.make_cfg()
+        node = Node.create(1, cfg)
+        assert node.num_processors == 3
+        assert node.block_cache.capacity_blocks == cfg.block_cache_blocks
+        assert node.page_cache is None
+        assert node.page_table.node == 1
+        assert len(node.l1_caches()) == 3
+        assert node.total_l1_occupancy() == 0
+        assert "node 1" in node.describe()
+        # global processor ids follow node placement
+        assert [p.proc_id for p in node.processors] == [3, 4, 5]
+
+    def test_infinite_block_cache(self):
+        node = Node.create(0, self.make_cfg(), infinite_block_cache=True)
+        assert node.block_cache.is_infinite
+        assert "inf" in node.describe()
+
+    def test_page_cache_variants(self):
+        cfg = self.make_cfg()
+        with_pc = Node.create(0, cfg, page_cache_frames=4)
+        assert with_pc.page_cache is not None
+        assert with_pc.page_cache.capacity_pages == 4
+        infinite = Node.create(0, cfg, infinite_page_cache=True)
+        assert infinite.page_cache is not None
+        assert infinite.page_cache.is_infinite
+        # a zero/negative frame request is clamped to at least one frame
+        clamped = Node.create(0, cfg, page_cache_frames=0)
+        assert clamped.page_cache.capacity_pages == 1
+
+    def test_contention_flag_propagates_to_bus(self):
+        node = Node.create(0, self.make_cfg(), model_contention=False)
+        assert not node.bus.enabled
+
+
+class TestMachineConstruction:
+    def make_cfg(self):
+        from repro.config import SimulationConfig, ThresholdConfig
+        return SimulationConfig(machine=MachineConfig(
+            num_nodes=2, procs_per_node=2, page_size=512, l1_size=1024,
+            block_cache_size=2048, page_cache_size=4096),
+            thresholds=ThresholdConfig(scale=1.0))
+
+    def test_structure_sizes(self):
+        cfg = self.make_cfg()
+        m = Machine(cfg, build_system("rnuma"))
+        assert m.num_nodes == 2
+        assert m.num_processors == 4
+        assert len(m.nodes) == 2
+        assert len(m.processors) == 4
+        assert len(m.page_tables) == 2
+        assert len(m.l1_by_node) == 2 and len(m.l1_by_node[0]) == 2
+        assert len(m.fault_logs) == 2
+        assert m.stats.num_nodes == 2
+        assert m.timing.num_procs == 4
+
+    def test_page_cache_fraction_applied(self):
+        cfg = self.make_cfg()
+        full = Machine(cfg, build_system("rnuma"))
+        half = Machine(cfg, build_system("rnuma-half"))
+        assert half.page_caches[0].capacity_pages <= \
+            max(1, full.page_caches[0].capacity_pages // 2) + 1
+
+    def test_protocol_names(self):
+        cfg = self.make_cfg()
+        assert Machine(cfg, build_system("ccnuma")).protocol.name == "ccnuma"
+        assert Machine(cfg, build_system("migrep")).protocol.name == "migrep"
+        assert Machine(cfg, build_system("rnuma")).protocol.name == "rnuma"
+        assert Machine(cfg, build_system("rnuma-migrep")).protocol.name == \
+            "rnuma-migrep"
+
+    def test_mig_and_rep_variants_configure_policy(self):
+        cfg = self.make_cfg()
+        mig = Machine(cfg, build_system("mig")).protocol
+        rep = Machine(cfg, build_system("rep")).protocol
+        assert mig.policy.enable_migration and not mig.policy.enable_replication
+        assert rep.policy.enable_replication and not rep.policy.enable_migration
+
+    def test_network_latency_comes_from_cost_model(self):
+        cfg = self.make_cfg()
+        m = Machine(cfg, build_system("ccnuma"))
+        assert m.network.latency == cfg.costs.network_latency

@@ -1,0 +1,254 @@
+"""Tests for repro.config: machine geometry, cost model, thresholds."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    ConfigError,
+    CostModel,
+    MachineConfig,
+    RNUMA_THRESHOLD_FLOOR,
+    SimulationConfig,
+    ThresholdConfig,
+    base_config,
+    long_latency_config,
+    reduced_costs,
+    reduced_machine,
+    slow_page_ops_config,
+)
+
+
+class TestMachineConfig:
+    def test_paper_defaults(self):
+        mc = MachineConfig()
+        assert mc.num_nodes == 8
+        assert mc.procs_per_node == 4
+        assert mc.num_processors == 32
+        assert mc.l1_size == 16 * 1024
+        assert mc.block_cache_size == 64 * 1024
+        assert mc.page_cache_size == int(2.4 * 1024 * 1024)
+
+    def test_derived_quantities(self):
+        mc = MachineConfig()
+        assert mc.blocks_per_page == mc.page_size // mc.block_size
+        assert mc.l1_blocks == mc.l1_size // mc.block_size
+        assert mc.l1_sets * mc.l1_assoc == mc.l1_blocks
+        assert mc.block_cache_blocks == mc.block_cache_size // mc.block_size
+        assert mc.page_cache_frames == mc.page_cache_size // mc.page_size
+
+    def test_block_cache_matches_sum_of_l1(self):
+        # the paper sizes the block cache as the sum of the processor caches
+        mc = MachineConfig()
+        assert mc.block_cache_size == mc.l1_size * mc.procs_per_node
+
+    def test_page_cache_fraction(self):
+        mc = MachineConfig()
+        half = mc.with_page_cache_fraction(0.5)
+        assert half.page_cache_size == mc.page_cache_size // 2
+        assert half.l1_size == mc.l1_size
+
+    def test_page_cache_fraction_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig().with_page_cache_fraction(-0.1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_nodes", 0),
+        ("procs_per_node", 0),
+        ("block_size", 48),
+        ("page_size", 3000),
+        ("l1_size", 0),
+        ("l1_assoc", 0),
+        ("block_cache_size", -1),
+        ("page_cache_size", -5),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            MachineConfig(**{field: value})
+
+    def test_page_must_be_multiple_of_block(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(block_size=128, page_size=64)
+
+    def test_reduced_machine_preserves_ratios(self):
+        full = MachineConfig()
+        red = reduced_machine()
+        assert red.block_cache_size // red.l1_size == full.block_cache_size // full.l1_size
+        # page cache : block cache ratio stays within ~10% of the paper's 40x
+        full_ratio = full.page_cache_size / full.block_cache_size
+        red_ratio = red.page_cache_size / red.block_cache_size
+        assert abs(red_ratio - full_ratio) / full_ratio < 0.15
+        assert red.num_nodes == full.num_nodes
+        assert red.procs_per_node == full.procs_per_node
+
+
+class TestCostModel:
+    def test_paper_table3_values(self):
+        cm = CostModel()
+        assert cm.network_latency == 80
+        assert cm.local_miss == 104
+        assert cm.remote_miss == 418
+        assert cm.soft_trap == 3000
+        assert cm.tlb_shootdown == 300
+        assert (cm.page_alloc_min, cm.page_alloc_max) == (3000, 11500)
+        assert (cm.gather_min, cm.gather_max) == (3000, 11500)
+        assert (cm.copy_min, cm.copy_max) == (8000, 21800)
+
+    def test_remote_to_local_ratio(self):
+        cm = CostModel()
+        assert cm.remote_to_local_ratio == pytest.approx(418 / 104)
+
+    def test_interpolated_page_costs_monotone(self):
+        cm = CostModel()
+        costs = [cm.page_alloc_cost(i, 64) for i in range(0, 65, 8)]
+        assert costs == sorted(costs)
+        assert costs[0] == cm.page_alloc_min
+        assert costs[-1] == cm.page_alloc_max
+
+    def test_interp_clamps_out_of_range(self):
+        cm = CostModel()
+        assert cm.gather_cost(-5, 64) == cm.gather_min
+        assert cm.gather_cost(1000, 64) == cm.gather_max
+        assert cm.copy_cost(3, 0) == cm.copy_min
+
+    def test_slow_page_ops_variant(self):
+        cm = CostModel()
+        slow = cm.with_slow_page_ops()
+        assert slow.soft_trap == 30000
+        assert slow.tlb_shootdown == 3000
+        assert slow.copy_min == cm.copy_min + 6000
+        assert slow.copy_max == cm.copy_max + 6000
+        # block operation latencies unchanged
+        assert slow.remote_miss == cm.remote_miss
+        assert slow.local_miss == cm.local_miss
+
+    def test_network_scale_variant(self):
+        cm = CostModel()
+        long = cm.with_network_scale(4.0)
+        assert long.network_latency == 320
+        # remote/local ratio roughly 16 as in Section 6.3
+        assert long.remote_miss / long.local_miss == pytest.approx(13.1, abs=1.5)
+        assert long.local_miss == cm.local_miss
+
+    def test_network_scale_invalid(self):
+        with pytest.raises(ConfigError):
+            CostModel().with_network_scale(0)
+
+    def test_page_op_scale(self):
+        cm = CostModel()
+        scaled = cm.with_page_op_scale(0.1)
+        assert scaled.soft_trap == 300
+        assert scaled.gather_max == 1150
+        assert scaled.remote_miss == cm.remote_miss
+        with pytest.raises(ConfigError):
+            cm.with_page_op_scale(0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(soft_trap=-1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(page_alloc_min=5000, page_alloc_max=4000)
+
+    @given(filled=st.integers(min_value=0, max_value=64))
+    def test_interp_within_bounds_property(self, filled):
+        cm = CostModel()
+        cost = cm.page_alloc_cost(filled, 64)
+        assert cm.page_alloc_min <= cost <= cm.page_alloc_max
+
+
+class TestThresholdConfig:
+    def test_paper_defaults(self):
+        th = ThresholdConfig()
+        assert th.migrep_threshold == 800
+        assert th.migrep_reset_interval == 32000
+        assert th.rnuma_threshold == 32
+        assert th.hybrid_relocation_delay == 32000
+
+    def test_unscaled_effective_values(self):
+        th = ThresholdConfig(scale=1.0)
+        assert th.effective_migrep_threshold == 800
+        assert th.effective_rnuma_threshold == 32
+        assert th.effective_migrep_reset_interval == 32000
+
+    def test_scaled_values(self):
+        th = ThresholdConfig(scale=1 / 25)
+        assert th.effective_migrep_threshold == 32
+        assert th.effective_migrep_reset_interval == 1280
+        assert th.effective_rnuma_threshold >= RNUMA_THRESHOLD_FLOOR
+
+    def test_rnuma_floor_only_when_scaling_down(self):
+        th = ThresholdConfig(scale=1.0)
+        assert th.effective_rnuma_threshold == 32
+        th_small = ThresholdConfig(scale=1 / 1000)
+        assert th_small.effective_rnuma_threshold == RNUMA_THRESHOLD_FLOOR
+
+    def test_slow_variant_raises_thresholds(self):
+        slow = ThresholdConfig().with_slow_page_ops()
+        assert slow.migrep_threshold == 1200
+        assert slow.rnuma_threshold == 64
+
+    @pytest.mark.parametrize("kwargs", [
+        {"migrep_threshold": 0},
+        {"migrep_reset_interval": 0},
+        {"rnuma_threshold": 0},
+        {"hybrid_relocation_delay": -1},
+        {"scale": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ThresholdConfig(**kwargs)
+
+
+class TestSimulationConfig:
+    def test_describe_is_flat_and_complete(self):
+        cfg = SimulationConfig()
+        desc = cfg.describe()
+        assert desc["machine.num_nodes"] == 8
+        assert desc["costs.remote_miss"] == 418
+        assert "thresholds.scale" in desc
+        assert desc["model_contention"] is True
+
+    def test_with_helpers_return_new_objects(self):
+        cfg = SimulationConfig()
+        cfg2 = cfg.with_costs(cfg.costs.with_slow_page_ops())
+        assert cfg2 is not cfg
+        assert cfg.costs.soft_trap == 3000
+        assert cfg2.costs.soft_trap == 30000
+
+    def test_base_config_reduced_and_full(self):
+        red = base_config()
+        full = base_config(reduced=False)
+        assert red.machine.l1_size < full.machine.l1_size
+        assert full.costs.soft_trap == 3000
+        assert red.costs.soft_trap < full.costs.soft_trap
+
+    def test_slow_page_ops_config(self):
+        slow = slow_page_ops_config()
+        fast = base_config()
+        assert slow.costs.soft_trap == fast.costs.soft_trap * 10
+        assert slow.thresholds.migrep_threshold == 1200
+        assert slow.thresholds.rnuma_threshold == 64
+
+    def test_long_latency_config(self):
+        long = long_latency_config()
+        fast = base_config()
+        assert long.costs.remote_miss > fast.costs.remote_miss
+        assert long.costs.local_miss == fast.costs.local_miss
+        assert long.machine == fast.machine
+
+    def test_reduced_costs_scaling(self):
+        rc = reduced_costs()
+        assert rc.remote_miss == 418
+        assert rc.local_miss == 104
+        assert rc.soft_trap == 300
+        assert rc.nic_occupancy < CostModel().nic_occupancy
+
+    def test_configs_are_frozen(self):
+        cfg = base_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.machine.num_nodes = 4  # type: ignore[misc]

@@ -1,0 +1,224 @@
+"""Tests for repro.core.counters and repro.core.decisions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import MigRepCounters, RefetchCounters
+from repro.core.decisions import MigRepDecision, MigRepPolicy, RNUMAPolicy
+
+
+class TestMigRepCounters:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MigRepCounters(0, 100)
+        with pytest.raises(ValueError):
+            MigRepCounters(4, 0)
+
+    def test_record_and_query(self):
+        c = MigRepCounters(4, reset_interval=1000)
+        c.record_miss(5, 1, is_write=False)
+        c.record_miss(5, 1, is_write=False)
+        c.record_miss(5, 2, is_write=True)
+        assert c.read_misses(5, 1) == 2
+        assert c.write_misses(5, 2) == 1
+        assert c.misses(5, 1) == 2
+        assert c.misses(5, 2) == 1
+        assert c.total_write_misses(5) == 1
+        assert c.total_misses(5) == 3
+        assert c.misses(5, 3) == 0
+
+    def test_invalid_node(self):
+        c = MigRepCounters(4, 1000)
+        with pytest.raises(ValueError):
+            c.record_miss(5, 4, False)
+
+    def test_hottest_node(self):
+        c = MigRepCounters(4, 1000)
+        assert c.hottest_node(5) == (None, 0)
+        for _ in range(3):
+            c.record_miss(5, 2, False)
+        c.record_miss(5, 1, True)
+        assert c.hottest_node(5) == (2, 3)
+
+    def test_reset_page(self):
+        c = MigRepCounters(4, 1000)
+        c.record_miss(5, 1, False)
+        c.reset_page(5)
+        assert c.misses(5, 1) == 0
+        assert c.resets == 1
+
+    def test_periodic_reset_at_interval(self):
+        c = MigRepCounters(4, reset_interval=10)
+        for _ in range(9):
+            c.record_miss(5, 1, False)
+        assert c.misses(5, 1) == 9
+        c.record_miss(5, 1, False)     # 10th miss triggers the reset
+        assert c.misses(5, 1) == 0
+        assert c.resets == 1
+
+    def test_reset_is_per_page(self):
+        c = MigRepCounters(4, reset_interval=5)
+        for _ in range(5):
+            c.record_miss(5, 1, False)
+        c.record_miss(6, 2, False)
+        assert c.misses(5, 1) == 0
+        assert c.misses(6, 2) == 1
+
+    def test_tracked_pages(self):
+        c = MigRepCounters(4, 1000)
+        c.record_miss(1, 0, False)
+        c.record_miss(2, 0, True)
+        assert c.tracked_pages() == 2
+
+    @given(events=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 3),
+                                     st.booleans()),
+                           min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_totals_consistent(self, events):
+        c = MigRepCounters(4, reset_interval=10**9)
+        for page, node, w in events:
+            c.record_miss(page, node, w)
+        for page in range(6):
+            per_node = sum(c.misses(page, n) for n in range(4))
+            assert per_node == c.total_misses(page)
+            assert c.total_write_misses(page) <= c.total_misses(page)
+
+
+class TestRefetchCounters:
+    def test_record_and_clear(self):
+        c = RefetchCounters()
+        assert c.count(3) == 0
+        assert c.record_refetch(3) == 1
+        assert c.record_refetch(3) == 2
+        assert c.count(3) == 2
+        assert c.total_recorded == 2
+        assert c.tracked_pages() == 1
+        c.clear(3)
+        assert c.count(3) == 0
+        assert c.total_recorded == 2
+
+    def test_clear_absent_is_noop(self):
+        c = RefetchCounters()
+        c.clear(99)
+        assert c.tracked_pages() == 0
+
+
+class TestMigRepPolicy:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MigRepPolicy(threshold=0)
+
+    def _counters(self):
+        return MigRepCounters(4, reset_interval=10**6)
+
+    def test_replication_triggers_on_read_only_page(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=4)
+        for _ in range(5):
+            c.record_miss(7, 2, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.REPLICATE
+
+    def test_replication_requires_threshold_exceeded(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=5)
+        for _ in range(5):
+            c.record_miss(7, 2, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.NONE
+
+    def test_remote_write_blocks_replication(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=2)
+        for _ in range(5):
+            c.record_miss(7, 2, is_write=False)
+        c.record_miss(7, 3, is_write=True)
+        decision = policy.evaluate(c, 7, requester=2, home=0)
+        assert decision is not MigRepDecision.REPLICATE
+
+    def test_home_write_does_not_block_replication(self):
+        """The producer writing its own page must not prevent replication."""
+        c = self._counters()
+        policy = MigRepPolicy(threshold=2)
+        c.record_miss(7, 0, is_write=True)       # home's own write misses
+        for _ in range(3):
+            c.record_miss(7, 2, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.REPLICATE
+
+    def test_migration_triggers_when_requester_dominates(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=3)
+        for _ in range(5):
+            c.record_miss(7, 2, is_write=True)
+        c.record_miss(7, 0, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.MIGRATE
+
+    def test_migration_requires_margin_over_home(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=3)
+        for _ in range(5):
+            c.record_miss(7, 2, is_write=True)
+        for _ in range(4):
+            c.record_miss(7, 0, is_write=True)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.NONE
+
+    def test_replication_preferred_over_migration(self):
+        """When both would fire, replication is selected (read-only page)."""
+        c = self._counters()
+        policy = MigRepPolicy(threshold=2)
+        for _ in range(10):
+            c.record_miss(7, 2, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0) is MigRepDecision.REPLICATE
+
+    def test_disabled_mechanisms(self):
+        c = self._counters()
+        for _ in range(10):
+            c.record_miss(7, 2, is_write=False)
+        mig_only = MigRepPolicy(threshold=2, enable_replication=False)
+        rep_only = MigRepPolicy(threshold=2, enable_migration=False)
+        assert mig_only.evaluate(c, 7, requester=2, home=0) is MigRepDecision.MIGRATE
+        assert rep_only.evaluate(c, 7, requester=2, home=0) is MigRepDecision.REPLICATE
+        neither = MigRepPolicy(threshold=2, enable_migration=False,
+                               enable_replication=False)
+        assert neither.evaluate(c, 7, requester=2, home=0) is MigRepDecision.NONE
+
+    def test_home_requester_never_triggers(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=1)
+        for _ in range(10):
+            c.record_miss(7, 0, is_write=False)
+        assert policy.evaluate(c, 7, requester=0, home=0) is MigRepDecision.NONE
+
+    def test_replica_holder_never_triggers(self):
+        c = self._counters()
+        policy = MigRepPolicy(threshold=1)
+        for _ in range(10):
+            c.record_miss(7, 2, is_write=False)
+        assert policy.evaluate(c, 7, requester=2, home=0,
+                               is_replica_request=True) is MigRepDecision.NONE
+
+
+class TestRNUMAPolicy:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RNUMAPolicy(threshold=0)
+        with pytest.raises(ValueError):
+            RNUMAPolicy(threshold=4, relocation_delay=-1)
+
+    def test_threshold_must_be_exceeded(self):
+        c = RefetchCounters()
+        policy = RNUMAPolicy(threshold=3)
+        for _ in range(3):
+            c.record_refetch(9)
+        assert not policy.should_relocate(c, 9)
+        c.record_refetch(9)
+        assert policy.should_relocate(c, 9)
+
+    def test_relocation_delay_gates_decision(self):
+        """The Section 6.4 hybrid delays relocation until the page is 'hot'."""
+        c = RefetchCounters()
+        policy = RNUMAPolicy(threshold=2, relocation_delay=100)
+        for _ in range(10):
+            c.record_refetch(9)
+        assert not policy.should_relocate(c, 9, page_total_misses=50)
+        assert policy.should_relocate(c, 9, page_total_misses=100)

@@ -1,0 +1,156 @@
+"""Tests for repro.mem.directory: sharer tracking, versions, invalidations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.directory import Directory
+
+
+class TestConstruction:
+    def test_invalid_node_counts(self):
+        with pytest.raises(ValueError):
+            Directory(0)
+        with pytest.raises(ValueError):
+            Directory(65)
+
+    def test_entry_created_lazily(self):
+        d = Directory(4)
+        assert d.peek(10) is None
+        e = d.entry(10)
+        assert e.sharers == 0
+        assert d.peek(10) is e
+        assert d.num_tracked() == 1
+
+
+class TestReadsAndWrites:
+    def test_record_read_adds_sharer(self):
+        d = Directory(4)
+        d.record_read(5, 2)
+        assert d.sharers_of(5) == [2]
+        assert d.is_shared_by(5, 2)
+        assert not d.is_shared_by(5, 1)
+        assert d.sharing_degree(5) == 1
+
+    def test_record_write_invalidates_others(self):
+        d = Directory(4)
+        d.record_read(5, 0)
+        d.record_read(5, 1)
+        d.record_read(5, 2)
+        invals, version = d.record_write(5, 1)
+        assert invals == 2
+        assert version == 1
+        assert d.sharers_of(5) == [1]
+        assert d.entry(5).owner == 1
+        assert d.invalidations_sent == 2
+
+    def test_write_by_sole_sharer_no_invalidations(self):
+        d = Directory(4)
+        d.record_read(5, 3)
+        invals, version = d.record_write(5, 3)
+        assert invals == 0
+        assert version == 1
+
+    def test_version_monotonically_increases(self):
+        d = Directory(4)
+        versions = [d.record_write(9, i % 4)[1] for i in range(10)]
+        assert versions == sorted(versions)
+        assert versions[-1] == 10
+        assert d.version(9) == 10
+
+    def test_version_of_untracked_block_is_zero(self):
+        d = Directory(4)
+        assert d.version(1234) == 0
+
+    def test_ownership_transfer_counts_writeback(self):
+        d = Directory(4)
+        d.record_write(5, 0)
+        before = d.writebacks
+        d.record_write(5, 1)
+        assert d.writebacks == before + 1
+
+    def test_invalid_node_rejected(self):
+        d = Directory(4)
+        with pytest.raises(ValueError):
+            d.record_read(5, 4)
+        with pytest.raises(ValueError):
+            d.record_write(5, -1)
+
+
+class TestEvictionsAndPageDrops:
+    def test_record_eviction_removes_sharer(self):
+        d = Directory(4)
+        d.record_read(5, 2)
+        d.record_eviction(5, 2)
+        assert d.sharers_of(5) == []
+
+    def test_eviction_of_owner_counts_writeback(self):
+        d = Directory(4)
+        d.record_write(5, 2)
+        before = d.writebacks
+        d.record_eviction(5, 2)
+        assert d.writebacks == before + 1
+        assert d.entry(5).owner == -1
+
+    def test_eviction_of_untracked_block_is_noop(self):
+        d = Directory(4)
+        d.record_eviction(999, 1)
+        assert d.peek(999) is None
+
+    def test_drop_node_from_page(self):
+        d = Directory(4)
+        blocks = range(64, 80)
+        for b in blocks:
+            d.record_read(b, 1)
+            d.record_read(b, 2)
+        dropped = d.drop_node_from_page(blocks, 1)
+        assert dropped == 16
+        for b in blocks:
+            assert d.sharers_of(b) == [2]
+        # dropping again removes nothing
+        assert d.drop_node_from_page(blocks, 1) == 0
+
+    def test_page_sharing_degree(self):
+        d = Directory(8)
+        blocks = range(0, 16)
+        d.record_read(0, 1)
+        d.record_read(3, 2)
+        d.record_read(7, 2)
+        assert d.page_sharing_degree(blocks) == 2
+
+
+class TestProperties:
+    @given(ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),   # block
+                  st.integers(min_value=0, max_value=7),    # node
+                  st.sampled_from(["read", "write", "evict"])),
+        min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_sharer_set_consistency(self, ops):
+        """Sharer bitmask cardinality always matches sharers_of()."""
+        d = Directory(8)
+        for block, node, op in ops:
+            if op == "read":
+                d.record_read(block, node)
+            elif op == "write":
+                d.record_write(block, node)
+            else:
+                d.record_eviction(block, node)
+        for block in d.tracked_blocks():
+            sharers = d.sharers_of(block)
+            assert len(sharers) == d.sharing_degree(block)
+            assert len(set(sharers)) == len(sharers)
+            for n in sharers:
+                assert d.is_shared_by(block, n)
+
+    @given(writes=st.lists(st.integers(min_value=0, max_value=7),
+                           min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_writer_is_always_sole_sharer_after_write(self, writes):
+        d = Directory(8)
+        for node in writes:
+            d.record_write(3, node)
+            assert d.sharers_of(3) == [node]
+            assert d.entry(3).owner == node
+        assert d.version(3) == len(writes)

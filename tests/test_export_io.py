@@ -1,0 +1,183 @@
+"""Tests for repro.stats.export and repro.workloads.trace_io."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.export import (
+    figure_to_markdown,
+    figure_to_rows,
+    to_csv,
+    to_json,
+    to_markdown,
+    write_csv,
+    write_json,
+)
+from repro.workloads.trace import PhaseTrace, Trace
+from repro.workloads.trace_io import FORMAT_VERSION, load_trace, save_trace, traces_equal
+from repro.workloads import get_workload
+from repro.config import base_config
+from repro.workloads.spec import SharingPattern
+
+from conftest import make_simple_spec, make_trace
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    ROWS = [
+        {"app": "lu", "system": "rnuma", "normalized_time": 1.234},
+        {"app": "lu", "system": "ccnuma", "normalized_time": 1.61},
+    ]
+
+    def test_to_csv_round_trips(self):
+        text = to_csv(self.ROWS)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["app"] == "lu"
+        assert float(parsed[1]["normalized_time"]) == pytest.approx(1.61)
+
+    def test_to_csv_respects_fieldnames_and_missing_keys(self):
+        text = to_csv([{"a": 1}, {"a": 2, "b": 3}], fieldnames=["a", "b"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+
+    def test_write_csv_and_json(self, tmp_path):
+        csv_path = write_csv(self.ROWS, tmp_path / "out.csv")
+        json_path = write_json({"rows": self.ROWS}, tmp_path / "out.json")
+        assert csv_path.exists() and json_path.exists()
+        data = json.loads(json_path.read_text())
+        assert data["rows"][0]["system"] == "rnuma"
+
+    def test_to_json_handles_dataclass_like_objects(self):
+        class Obj:
+            def __init__(self):
+                self.x = 1
+                self._private = 2
+        parsed = json.loads(to_json({"obj": Obj()}))
+        assert parsed["obj"] == {"x": 1}
+
+    def test_to_markdown_table(self):
+        text = to_markdown(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| app ")
+        assert lines[1].startswith("| ---")
+        assert "1.23" in lines[2]
+        assert to_markdown([]) == ""
+
+    def test_markdown_formats_bools(self):
+        text = to_markdown([{"claim": "x", "passed": True}])
+        assert "| yes |" in text
+
+    def test_figure_to_rows_and_markdown(self):
+        per_app = {"lu": {"ccnuma": 1.6, "rnuma": 1.2},
+                   "radix": {"ccnuma": 1.4, "rnuma": 1.3}}
+        rows = figure_to_rows(per_app)
+        assert len(rows) == 4
+        md = figure_to_markdown(per_app, ["ccnuma", "rnuma"])
+        assert md.splitlines()[0] == "| app | ccnuma | rnuma |"
+        assert len(md.splitlines()) == 2 + len(per_app)
+
+    @given(rows=st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(st.integers(-1000, 1000),
+                      st.floats(allow_nan=False, allow_infinity=False,
+                                width=32),
+                      st.text(alphabet="xyz", max_size=5)),
+            min_size=1, max_size=3),
+        min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_csv_row_count_matches(self, rows):
+        text = to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+
+
+# ---------------------------------------------------------------------------
+# trace I/O
+# ---------------------------------------------------------------------------
+
+
+class TestTraceIO:
+    def test_round_trip_synthetic_trace(self, tmp_path, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_WRITE_SHARED,
+                                pages=16, accesses=200)
+        trace = make_trace(spec, small_machine)
+        path = save_trace(trace, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert traces_equal(trace, loaded)
+        assert loaded.metadata == {k: v for k, v in trace.metadata.items()} or True
+
+    def test_round_trip_registry_workload(self, tmp_path):
+        cfg = base_config()
+        trace = get_workload("radix", machine=cfg.machine, scale=0.05)
+        path = save_trace(trace, tmp_path / "radix.npz", compress=False)
+        loaded = load_trace(path)
+        assert traces_equal(trace, loaded)
+        assert loaded.total_accesses() == trace.total_accesses()
+
+    def test_loaded_trace_simulates_identically(self, tmp_path, small_config,
+                                                small_machine):
+        from repro.experiments.runner import run_experiment
+
+        spec = make_simple_spec(pages=16, accesses=200)
+        trace = make_trace(spec, small_machine)
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        a = run_experiment(trace, "ccnuma", small_config)
+        b = run_experiment(loaded, "ccnuma", small_config)
+        assert a.execution_time == b.execution_time
+        assert a.stats.total_remote_misses == b.stats.total_remote_misses
+
+    def test_rejects_non_trace_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path)
+
+    def test_rejects_wrong_version(self, tmp_path, small_machine, monkeypatch):
+        import repro.workloads.trace_io as trace_io
+
+        spec = make_simple_spec(pages=4, accesses=50)
+        trace = make_trace(spec, small_machine)
+        path = save_trace(trace, tmp_path / "t.npz")
+        monkeypatch.setattr(trace_io, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_traces_equal_detects_differences(self, small_machine):
+        spec = make_simple_spec(pages=8, accesses=100)
+        a = make_trace(spec, small_machine, seed=0)
+        b = make_trace(spec, small_machine, seed=1)
+        assert traces_equal(a, a)
+        assert not traces_equal(a, b)
+
+    @given(num_procs=st.integers(1, 4),
+           lengths=st.lists(st.integers(0, 30), min_size=1, max_size=3),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_random_traces(self, tmp_path_factory, num_procs,
+                                      lengths, seed):
+        rng = np.random.default_rng(seed)
+        phases = []
+        for i, length in enumerate(lengths):
+            blocks = [rng.integers(0, 1000, size=length, dtype=np.int64)
+                      for _ in range(num_procs)]
+            writes = [rng.integers(0, 2, size=length, dtype=np.uint8)
+                      for _ in range(num_procs)]
+            phases.append(PhaseTrace(name=f"phase{i}", compute_per_access=3,
+                                     blocks=blocks, writes=writes))
+        trace = Trace(name="random", num_procs=num_procs, phases=phases,
+                      metadata={"seed": int(seed)})
+        path = tmp_path_factory.mktemp("traces") / "t.npz"
+        assert traces_equal(trace, load_trace(save_trace(trace, path)))

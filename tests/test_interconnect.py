@@ -1,0 +1,189 @@
+"""Tests for repro.interconnect: messages, bus, network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interconnect.bus import SplitTransactionBus
+from repro.interconnect.message import (
+    HEADER_BYTES,
+    MessageStats,
+    MessageType,
+    message_bytes,
+)
+from repro.interconnect.network import Network
+
+
+class TestMessageSizes:
+    def test_control_messages_are_header_only(self):
+        assert message_bytes(MessageType.READ_REQUEST, block_size=64,
+                             page_size=4096) == HEADER_BYTES
+        assert message_bytes(MessageType.INVALIDATION, block_size=64,
+                             page_size=4096) == HEADER_BYTES
+
+    def test_data_messages_carry_a_block(self):
+        assert message_bytes(MessageType.DATA_REPLY, block_size=64,
+                             page_size=4096) == HEADER_BYTES + 64
+        assert message_bytes(MessageType.WRITEBACK, block_size=128,
+                             page_size=4096) == HEADER_BYTES + 128
+
+    def test_page_messages_carry_a_page(self):
+        assert message_bytes(MessageType.PAGE_DATA, block_size=64,
+                             page_size=4096) == HEADER_BYTES + 4096
+
+
+class TestMessageStats:
+    def test_record_and_totals(self):
+        stats = MessageStats(block_size=64, page_size=1024)
+        stats.record(MessageType.READ_REQUEST)
+        stats.record(MessageType.DATA_REPLY, 2)
+        assert stats.count_of(MessageType.READ_REQUEST) == 1
+        assert stats.count_of(MessageType.DATA_REPLY) == 2
+        assert stats.total_messages == 3
+        assert stats.bytes_total == HEADER_BYTES + 2 * (HEADER_BYTES + 64)
+        assert stats.data_messages() == 2
+        assert stats.page_messages() == 0
+
+    def test_record_zero_and_negative(self):
+        stats = MessageStats()
+        stats.record(MessageType.READ_REQUEST, 0)
+        assert stats.total_messages == 0
+        with pytest.raises(ValueError):
+            stats.record(MessageType.READ_REQUEST, -1)
+
+    def test_merge(self):
+        a = MessageStats()
+        b = MessageStats()
+        a.record(MessageType.READ_REQUEST)
+        b.record(MessageType.READ_REQUEST)
+        b.record(MessageType.PAGE_DATA)
+        a.merge(b)
+        assert a.count_of(MessageType.READ_REQUEST) == 2
+        assert a.page_messages() == 1
+
+
+class TestBus:
+    def test_uncontended_acquire_starts_immediately(self):
+        bus = SplitTransactionBus()
+        assert bus.acquire(100, 10) == 100
+        assert bus.next_free == 110
+        assert bus.busy_cycles == 10
+        assert bus.wait_cycles == 0
+
+    def test_contended_acquire_queues(self):
+        bus = SplitTransactionBus()
+        bus.acquire(100, 10)
+        start = bus.acquire(105, 10)
+        assert start == 110
+        assert bus.wait_cycles == 5
+        assert bus.next_free == 120
+
+    def test_idle_gap_not_charged(self):
+        bus = SplitTransactionBus()
+        bus.acquire(100, 10)
+        start = bus.acquire(500, 10)
+        assert start == 500
+        assert bus.wait_cycles == 0
+
+    def test_disabled_bus_never_queues(self):
+        bus = SplitTransactionBus(enabled=False)
+        bus.acquire(100, 10)
+        assert bus.acquire(100, 10) == 100
+        assert bus.wait_cycles == 0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            SplitTransactionBus().acquire(0, -1)
+
+    def test_utilization_and_reset(self):
+        bus = SplitTransactionBus()
+        bus.acquire(0, 50)
+        assert bus.utilization(100) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+        bus.reset()
+        assert bus.busy_cycles == 0
+        assert bus.transactions == 0
+
+    @given(times=st.lists(st.integers(min_value=0, max_value=1000),
+                          min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_starts_are_monotone_nondecreasing(self, times):
+        bus = SplitTransactionBus()
+        starts = [bus.acquire(t, 5) for t in sorted(times)]
+        assert starts == sorted(starts)
+        for t, s in zip(sorted(times), starts):
+            assert s >= t
+
+
+class TestNetwork:
+    def make(self, enabled=True):
+        return Network(num_nodes=4, latency=80, nic_occupancy=10,
+                       enabled=enabled, block_size=64, page_size=512)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Network(num_nodes=0, latency=80, nic_occupancy=10)
+        with pytest.raises(ValueError):
+            Network(num_nodes=2, latency=-1, nic_occupancy=10)
+
+    def test_one_way_latency(self):
+        net = self.make()
+        done = net.one_way(0, 1, 1000, MessageType.READ_REQUEST)
+        # injection occupancy + latency + delivery occupancy
+        assert done == 1000 + 10 + 80 + 10
+        assert net.total_messages() == 1
+
+    def test_local_message_is_free(self):
+        net = self.make()
+        assert net.one_way(2, 2, 500, MessageType.READ_REQUEST) == 500
+
+    def test_round_trip_includes_service_time(self):
+        net = self.make()
+        base = net.round_trip(0, 1, 0)
+        net2 = self.make()
+        with_service = net2.round_trip(0, 1, 0, service_time=100)
+        assert with_service == base + 100
+
+    def test_invalid_node_rejected(self):
+        net = self.make()
+        with pytest.raises(ValueError):
+            net.one_way(0, 7, 0, MessageType.READ_REQUEST)
+
+    def test_fetch_contention_zero_when_idle(self):
+        net = self.make()
+        assert net.fetch_contention(0, 1, 0) == 0
+        assert net.total_messages() == 2  # request + reply recorded
+
+    def test_fetch_contention_grows_under_load(self):
+        net = self.make()
+        waits = [net.fetch_contention(0, 1, 0) for _ in range(6)]
+        assert waits[0] == 0
+        assert waits[-1] > 0
+        assert waits == sorted(waits)
+
+    def test_fetch_contention_disabled(self):
+        net = self.make(enabled=False)
+        waits = [net.fetch_contention(0, 1, 0) for _ in range(6)]
+        assert all(w == 0 for w in waits)
+        assert net.total_messages() == 12
+
+    def test_fetch_contention_same_node_free(self):
+        net = self.make()
+        assert net.fetch_contention(1, 1, 0) == 0
+
+    def test_traffic_accounting(self):
+        net = self.make()
+        net.one_way(0, 1, 0, MessageType.PAGE_DATA)
+        assert net.total_bytes() == HEADER_BYTES + 512
+        net.reset()
+        assert net.total_bytes() == 0
+        assert net.total_messages() == 0
+
+    def test_nic_stats_exposed(self):
+        net = self.make()
+        net.one_way(0, 1, 0, MessageType.READ_REQUEST)
+        assert net.nic(0).messages == 1
+        assert net.nic(1).messages == 1
+        with pytest.raises(ValueError):
+            net.nic(9)

@@ -1,0 +1,325 @@
+"""Tests for repro.kernel: VM, faults, migration and relocation engines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CostModel
+from repro.interconnect.network import Network
+from repro.kernel.faults import FaultKind, FaultLog
+from repro.kernel.migration import MigrationEngine
+from repro.kernel.relocation import RelocationEngine
+from repro.kernel.vm import VirtualMemoryManager
+from repro.mem.address import AddressSpace
+from repro.mem.block_cache import BlockCache
+from repro.mem.cache import DirectMappedCache
+from repro.mem.directory import Directory
+from repro.mem.page_cache import PageCache
+from repro.mem.page_table import PageMode, PageTable
+
+
+class TestVirtualMemoryManager:
+    def test_first_touch_places_at_requester(self):
+        vm = VirtualMemoryManager(4)
+        rec, first = vm.ensure_placed(7, 2)
+        assert first
+        assert rec.home == 2
+        assert rec.first_toucher == 2
+        assert vm.home_of(7) == 2
+        assert vm.first_touches == 1
+
+    def test_second_touch_does_not_move_home(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 2)
+        rec, first = vm.ensure_placed(7, 3)
+        assert not first
+        assert rec.home == 2
+
+    def test_home_of_untouched_is_none(self):
+        vm = VirtualMemoryManager(4)
+        assert vm.home_of(9) is None
+        assert not vm.is_placed(9)
+
+    def test_migration(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        rec = vm.migrate(7, 3)
+        assert rec.home == 3
+        assert rec.migrations == 1
+        assert vm.migrations == 1
+        assert vm.pages_homed_at(3) == [7]
+        assert vm.pages_homed_at(0) == []
+
+    def test_migrate_to_same_home_is_noop(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        vm.migrate(7, 0)
+        assert vm.migrations == 0
+
+    def test_migrate_unplaced_raises(self):
+        vm = VirtualMemoryManager(4)
+        with pytest.raises(KeyError):
+            vm.migrate(99, 1)
+
+    def test_replication_and_collapse(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        vm.replicate(7, 1)
+        vm.replicate(7, 2)
+        assert vm.is_replicated(7)
+        assert vm.replicas_of(7) == {1, 2}
+        assert vm.replications == 2
+        assert vm.has_local_copy(7, 1)
+        assert vm.has_local_copy(7, 0)
+        assert not vm.has_local_copy(7, 3)
+        revoked = vm.collapse_replicas(7)
+        assert revoked == {1, 2}
+        assert not vm.is_replicated(7)
+        assert vm.replica_collapses == 1
+
+    def test_replicate_at_home_rejected(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        with pytest.raises(ValueError):
+            vm.replicate(7, 0)
+
+    def test_replicate_same_node_twice_counts_once(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        vm.replicate(7, 1)
+        vm.replicate(7, 1)
+        assert vm.replications == 1
+
+    def test_cannot_migrate_replicated_page(self):
+        vm = VirtualMemoryManager(4)
+        vm.ensure_placed(7, 0)
+        vm.replicate(7, 1)
+        with pytest.raises(ValueError):
+            vm.migrate(7, 2)
+
+    def test_invalid_node_rejected(self):
+        vm = VirtualMemoryManager(4)
+        with pytest.raises(ValueError):
+            vm.ensure_placed(1, 4)
+
+    @given(touches=st.lists(st.tuples(st.integers(0, 30), st.integers(0, 3)),
+                            min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_first_toucher_is_home_property(self, touches):
+        vm = VirtualMemoryManager(4)
+        first_seen = {}
+        for page, node in touches:
+            vm.ensure_placed(page, node)
+            first_seen.setdefault(page, node)
+        for page, node in first_seen.items():
+            assert vm.home_of(page) == node
+        assert vm.num_pages() == len(first_seen)
+
+
+class TestFaultLog:
+    def test_record_and_totals(self):
+        log = FaultLog()
+        log.record(FaultKind.MAPPING_FAULT, 3000)
+        log.record(FaultKind.MAPPING_FAULT, 3000)
+        log.record(FaultKind.RELOCATION_INTERRUPT, 500)
+        assert log.count_of(FaultKind.MAPPING_FAULT) == 2
+        assert log.cycles_of(FaultKind.MAPPING_FAULT) == 6000
+        assert log.total_faults == 3
+        assert log.total_cycles == 6500
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            FaultLog().record(FaultKind.MAPPING_FAULT, -1)
+
+    def test_merge(self):
+        a, b = FaultLog(), FaultLog()
+        a.record(FaultKind.MIGRATION_TRAP, 10)
+        b.record(FaultKind.MIGRATION_TRAP, 20)
+        b.record(FaultKind.PROTECTION_FAULT, 5)
+        a.merge(b)
+        assert a.count_of(FaultKind.MIGRATION_TRAP) == 2
+        assert a.cycles_of(FaultKind.MIGRATION_TRAP) == 30
+        assert a.count_of(FaultKind.PROTECTION_FAULT) == 1
+
+
+def _make_substrate(num_nodes=2, procs_per_node=2, blocks_per_page=8,
+                    page_cache_frames=2):
+    """Assemble the substrate objects the page-op engines operate on."""
+    addr = AddressSpace(page_size=64 * blocks_per_page, block_size=64)
+    costs = CostModel()
+    vm = VirtualMemoryManager(num_nodes)
+    directory = Directory(num_nodes)
+    network = Network(num_nodes=num_nodes, latency=80, nic_occupancy=10,
+                      block_size=64, page_size=64 * blocks_per_page)
+    page_tables = [PageTable(n) for n in range(num_nodes)]
+    block_caches = [BlockCache(32) for _ in range(num_nodes)]
+    page_caches = [PageCache(page_cache_frames, blocks_per_page)
+                   for _ in range(num_nodes)]
+    l1s = [[DirectMappedCache(16) for _ in range(procs_per_node)]
+           for _ in range(num_nodes)]
+    return dict(addr=addr, costs=costs, vm=vm, directory=directory,
+                network=network, page_tables=page_tables,
+                block_caches=block_caches, page_caches=page_caches,
+                l1_caches=l1s)
+
+
+class TestMigrationEngine:
+    def _engine(self, sub):
+        return MigrationEngine(addr=sub["addr"], costs=sub["costs"],
+                               vm=sub["vm"], directory=sub["directory"],
+                               network=sub["network"],
+                               page_tables=sub["page_tables"],
+                               block_caches=sub["block_caches"],
+                               l1_caches=sub["l1_caches"])
+
+    def test_migrate_moves_home_and_flushes_cachers(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        vm, addr = sub["vm"], sub["addr"]
+        vm.ensure_placed(3, 0)
+        # node 1 caches two blocks of page 3
+        block = addr.first_block_of_page(3)
+        sub["block_caches"][1].fill(block, 0)
+        sub["l1_caches"][1][0].fill(block + 1, 0)
+        sub["directory"].record_read(block, 1)
+        sub["directory"].record_read(block + 1, 1)
+
+        outcome = eng.migrate(3, 1, now=0)
+        assert vm.home_of(3) == 1
+        assert outcome.cost >= sub["costs"].soft_trap
+        assert outcome.blocks_flushed >= 2
+        assert eng.total_migrations() == 1
+        assert sub["page_tables"][1].mode_of(3) is PageMode.LOCAL_HOME
+        assert sub["page_tables"][0].mode_of(3) is PageMode.CCNUMA_REMOTE
+        # the new home's cached copies are gone (they are local memory now)
+        assert not sub["block_caches"][1].contains(block)
+
+    def test_migrate_to_current_home_is_free(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(3, 0)
+        assert eng.migrate(3, 0, now=0).cost == 0
+        assert eng.total_migrations() == 0
+
+    def test_migrate_unplaced_raises(self):
+        sub = _make_substrate()
+        with pytest.raises(KeyError):
+            self._engine(sub).migrate(5, 1, now=0)
+
+    def test_replicate_marks_read_only_copy(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(4, 0)
+        outcome = eng.replicate(4, 1, now=0)
+        assert outcome.cost >= sub["costs"].soft_trap + sub["costs"].copy_min
+        assert sub["vm"].is_replicated(4)
+        assert 1 in sub["vm"].replicas_of(4)
+        entry = sub["page_tables"][1].peek(4)
+        assert entry.mode is PageMode.REPLICA
+        assert not entry.writable
+        assert eng.total_replications() == 1
+
+    def test_second_replica_is_cheaper(self):
+        sub = _make_substrate(num_nodes=3)
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(4, 0)
+        first = eng.replicate(4, 1, now=0)
+        second = eng.replicate(4, 2, now=0)
+        assert second.cost <= first.cost
+
+    def test_replicate_at_home_is_free(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(4, 0)
+        assert eng.replicate(4, 0, now=0).cost == 0
+
+    def test_collapse_replicas_revokes_and_unmaps(self):
+        sub = _make_substrate(num_nodes=3)
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(4, 0)
+        eng.replicate(4, 1, now=0)
+        eng.replicate(4, 2, now=0)
+        outcome = eng.collapse_replicas(4, writer=2, now=0)
+        assert outcome.nodes_flushed == 2
+        assert not sub["vm"].is_replicated(4)
+        assert sub["page_tables"][1].mode_of(4) is PageMode.UNMAPPED
+        assert eng.collapses_by_node[2] == 1
+
+    def test_collapse_without_replicas_cheap(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(4, 0)
+        outcome = eng.collapse_replicas(4, writer=1, now=0)
+        assert outcome.nodes_flushed == 0
+
+
+class TestRelocationEngine:
+    def _engine(self, sub):
+        return RelocationEngine(addr=sub["addr"], costs=sub["costs"],
+                                vm=sub["vm"], directory=sub["directory"],
+                                network=sub["network"],
+                                page_tables=sub["page_tables"],
+                                block_caches=sub["block_caches"],
+                                page_caches=sub["page_caches"],
+                                l1_caches=sub["l1_caches"])
+
+    def test_relocate_installs_empty_page(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(5, 0)
+        block = sub["addr"].first_block_of_page(5)
+        sub["block_caches"][1].fill(block, 0)
+        outcome = eng.relocate(1, 5, now=0)
+        assert outcome.cost >= sub["costs"].soft_trap
+        assert outcome.blocks_flushed >= 1
+        pc = sub["page_caches"][1]
+        assert pc.contains(5)
+        assert pc.valid_blocks(5) == 0          # blocks are refetched on demand
+        assert sub["page_tables"][1].mode_of(5) is PageMode.SCOMA
+        assert not sub["block_caches"][1].contains(block)
+        assert eng.total_relocations() == 1
+
+    def test_relocate_already_resident_is_free(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(5, 0)
+        eng.relocate(1, 5, now=0)
+        assert eng.relocate(1, 5, now=0).cost == 0
+        assert eng.total_relocations() == 1
+
+    def test_relocation_under_pressure_evicts_lru(self):
+        sub = _make_substrate(page_cache_frames=2)
+        eng = self._engine(sub)
+        for page in (10, 11, 12):
+            sub["vm"].ensure_placed(page, 0)
+        eng.relocate(1, 10, now=0)
+        eng.relocate(1, 11, now=0)
+        outcome = eng.relocate(1, 12, now=0)
+        assert outcome.evicted_page == 10
+        pc = sub["page_caches"][1]
+        assert pc.contains(11) and pc.contains(12)
+        assert not pc.contains(10)
+        assert eng.total_evictions() == 1
+        # the evicted page reverts to CC-NUMA mode on that node
+        assert sub["page_tables"][1].mode_of(10) is PageMode.CCNUMA_REMOTE
+
+    def test_evict_victim_empty_cache(self):
+        sub = _make_substrate()
+        eng = self._engine(sub)
+        assert eng.evict_victim(0, now=0).cost == 0
+
+    def test_eviction_cost_scales_with_valid_blocks(self):
+        sub = _make_substrate(page_cache_frames=1)
+        eng = self._engine(sub)
+        sub["vm"].ensure_placed(20, 0)
+        sub["vm"].ensure_placed(21, 0)
+        eng.relocate(1, 20, now=0)
+        pc = sub["page_caches"][1]
+        for off in range(6):
+            pc.fill_block(20, off, 0, dirty=(off % 2 == 0))
+        full_cost = eng.evict_victim(1, now=0).cost
+        # compare against evicting an empty page
+        eng.relocate(1, 21, now=0)
+        empty_cost = eng.evict_victim(1, now=0).cost
+        assert full_cost > empty_cost

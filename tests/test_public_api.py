@@ -1,0 +1,98 @@
+"""Tests of the public API surface: exports, documentation and stability.
+
+These tests protect the contract a downstream user relies on: everything
+listed in ``repro.__all__`` is importable from the top level, every public
+module and every exported callable/class carries a docstring, and the
+version metadata is consistent between the package and its build
+configuration.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+
+PUBLIC_SUBPACKAGES = (
+    "repro.analysis",
+    "repro.cluster",
+    "repro.core",
+    "repro.experiments",
+    "repro.interconnect",
+    "repro.kernel",
+    "repro.mem",
+    "repro.stats",
+    "repro.workloads",
+)
+
+
+class TestExports:
+    def test_everything_in_all_is_exported(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_headline_entry_points_present(self):
+        for name in ("build_system", "get_workload", "run_experiment",
+                     "analyze_trace", "base_config", "save_trace", "load_trace"):
+            assert name in repro.__all__
+
+    def test_system_and_placement_name_lists(self):
+        assert set(repro.PAPER_SYSTEM_NAMES) <= set(repro.SYSTEM_NAMES)
+        assert "rnuma" in repro.PAPER_SYSTEM_NAMES
+        assert "first-touch" in repro.PLACEMENT_NAMES
+
+    def test_exported_callables_have_docstrings(self):
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) or inspect.isclass(obj):
+                assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+    def test_version_matches_pyproject(self):
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        assert f'version = "{repro.__version__}"' in text
+
+
+class TestModuleDocumentation:
+    def _iter_public_modules(self):
+        for package_name in PUBLIC_SUBPACKAGES:
+            package = importlib.import_module(package_name)
+            yield package_name, package
+            for info in pkgutil.iter_modules(package.__path__):
+                if info.name.startswith("_"):
+                    continue
+                name = f"{package_name}.{info.name}"
+                yield name, importlib.import_module(name)
+
+    def test_every_public_module_has_a_docstring(self):
+        undocumented = [name for name, module in self._iter_public_modules()
+                        if not (module.__doc__ or "").strip()]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_is_documented(self):
+        undocumented = []
+        for mod_name, module in self._iter_public_modules():
+            for attr_name, obj in vars(module).items():
+                if attr_name.startswith("_"):
+                    continue
+                if attr_name == "main":
+                    continue  # CLI-convenience entry points (documented via module docstring)
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-exports are documented at their source
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{mod_name}.{attr_name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_cli_module_documented(self):
+        import repro.cli as cli
+        assert (cli.__doc__ or "").strip()
+        assert (cli.main.__doc__ or "").strip()

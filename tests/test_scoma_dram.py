@@ -1,0 +1,139 @@
+"""Tests for the ablation protocols: pure S-COMA and the DRAM block cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.factory import PAPER_SYSTEM_NAMES, SYSTEM_NAMES, build_system
+from repro.workloads.spec import SharingPattern
+
+from conftest import make_simple_spec, make_trace
+
+
+def run_system(name, trace, config):
+    machine = Machine(config, build_system(name))
+    stats = machine.run(trace)
+    return machine, stats
+
+
+@pytest.fixture
+def shared_trace(small_machine):
+    spec = make_simple_spec(pattern=SharingPattern.READ_WRITE_SHARED,
+                            pages=24, accesses=600, write_fraction=0.2)
+    return make_trace(spec, small_machine)
+
+
+@pytest.fixture
+def streaming_trace(small_machine):
+    spec = make_simple_spec(pattern=SharingPattern.STREAMING,
+                            pages=48, accesses=600, write_fraction=0.1,
+                            touches_per_page=4, shift=1)
+    return make_trace(spec, small_machine)
+
+
+class TestFactoryRegistration:
+    def test_new_systems_registered(self):
+        for name in ("scoma", "scoma-inf", "ccnuma-dram"):
+            spec = build_system(name)
+            assert spec.name == name
+
+    def test_paper_systems_exclude_ablations(self):
+        assert "scoma" not in PAPER_SYSTEM_NAMES
+        assert "ccnuma-dram" not in PAPER_SYSTEM_NAMES
+        assert set(PAPER_SYSTEM_NAMES) < set(SYSTEM_NAMES)
+
+    def test_scoma_uses_page_cache(self):
+        assert build_system("scoma").uses_page_cache
+        assert build_system("scoma-inf").infinite_page_cache
+
+    def test_dram_block_cache_scale(self):
+        spec = build_system("ccnuma-dram")
+        assert spec.block_cache_scale > 1.0
+        assert not spec.uses_page_cache
+
+
+class TestSCOMAProtocol:
+    def test_allocates_on_first_remote_miss(self, shared_trace, small_config):
+        machine, stats = run_system("scoma", shared_trace, small_config)
+        # every node that touched remote pages has allocated page frames
+        assert stats.total_relocations > 0
+        occupied = sum(n.page_cache.occupancy() for n in machine.nodes)
+        assert occupied > 0
+
+    def test_relocations_at_least_as_frequent_as_rnuma(self, shared_trace,
+                                                       small_config):
+        _, scoma = run_system("scoma", shared_trace, small_config)
+        _, rnuma = run_system("rnuma", shared_trace, small_config)
+        # S-COMA admits pages unconditionally, R-NUMA waits for refetch
+        # evidence, so S-COMA never performs fewer allocations
+        assert scoma.total_relocations >= rnuma.total_relocations
+
+    def test_scoma_competitive_on_reuse_heavy_trace(self, shared_trace,
+                                                    small_config):
+        _, scoma = run_system("scoma", shared_trace, small_config)
+        _, ccnuma = run_system("ccnuma", shared_trace, small_config)
+        # with reuse, caching pages locally must not be a disaster: remote
+        # capacity/conflict misses drop relative to CC-NUMA
+        assert (scoma.total_capacity_conflict_misses
+                <= ccnuma.total_capacity_conflict_misses)
+
+    def test_scoma_pays_more_page_operations_on_streaming_trace(
+            self, streaming_trace, small_config):
+        _, scoma = run_system("scoma", streaming_trace, small_config)
+        _, rnuma = run_system("rnuma", streaming_trace, small_config)
+        # unconditional allocation never does fewer page operations than
+        # reactive relocation on low-reuse pages
+        assert scoma.total_relocations >= rnuma.total_relocations
+        # and under a finite page cache that indiscriminate admission also
+        # causes at least as many evictions
+        assert scoma.total_page_cache_evictions >= rnuma.total_page_cache_evictions
+
+    def test_scoma_inf_has_no_evictions(self, shared_trace, small_config):
+        _, stats = run_system("scoma-inf", shared_trace, small_config)
+        assert stats.total_page_cache_evictions == 0
+
+    def test_conservation_laws(self, shared_trace, small_config):
+        _, stats = run_system("scoma", shared_trace, small_config)
+        stats.sanity_check()
+
+
+class TestDRAMBlockCacheProtocol:
+    def test_block_cache_is_larger(self, shared_trace, small_config):
+        machine, _ = run_system("ccnuma-dram", shared_trace, small_config)
+        base_machine, _ = run_system("ccnuma", shared_trace, small_config)
+        assert (machine.nodes[0].block_cache.capacity_blocks
+                > base_machine.nodes[0].block_cache.capacity_blocks)
+
+    def test_fewer_capacity_conflict_misses_than_sram(self, shared_trace,
+                                                      small_config):
+        _, dram = run_system("ccnuma-dram", shared_trace, small_config)
+        _, sram = run_system("ccnuma", shared_trace, small_config)
+        assert (dram.total_capacity_conflict_misses
+                <= sram.total_capacity_conflict_misses)
+
+    def test_hit_penalty_charged(self, shared_trace, small_config):
+        from repro.core.dram_cache import DRAMBlockCacheProtocol
+
+        # a zero-penalty DRAM cache must be at least as fast as the default
+        machine_pen, stats_pen = run_system("ccnuma-dram", shared_trace,
+                                            small_config)
+        spec = build_system("ccnuma-dram")
+        free_spec = type(spec)(
+            name="ccnuma-dram-free", label="free",
+            protocol_factory=lambda m: DRAMBlockCacheProtocol(m, hit_penalty=0),
+            block_cache_scale=spec.block_cache_scale)
+        machine_free = Machine(small_config, free_spec)
+        stats_free = machine_free.run(shared_trace)
+        assert stats_free.execution_time <= stats_pen.execution_time
+
+    def test_negative_penalty_rejected(self, shared_trace, small_config):
+        from repro.core.dram_cache import DRAMBlockCacheProtocol
+
+        machine, _ = run_system("ccnuma", shared_trace, small_config)
+        with pytest.raises(ValueError):
+            DRAMBlockCacheProtocol(machine, hit_penalty=-1)
+
+    def test_describe_mentions_dram(self, shared_trace, small_config):
+        machine, _ = run_system("ccnuma-dram", shared_trace, small_config)
+        assert "DRAM" in machine.protocol.describe()

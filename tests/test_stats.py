@@ -1,0 +1,178 @@
+"""Tests for repro.stats: counters, timing, report helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.counters import MachineStats, MissClass, NodeStats
+from repro.stats.report import (
+    format_normalized_figure,
+    format_table,
+    geometric_mean,
+    normalized_series,
+    per_node_average,
+)
+from repro.stats.timing import StallKind, TimingStats
+
+
+class TestNodeStats:
+    def test_remote_miss_classification(self):
+        ns = NodeStats(node=0)
+        ns.record_remote_miss(MissClass.COLD)
+        ns.record_remote_miss(MissClass.CAPACITY_CONFLICT)
+        ns.record_remote_miss(MissClass.CAPACITY_CONFLICT)
+        ns.record_remote_miss(MissClass.COHERENCE)
+        assert ns.remote_misses == 4
+        assert ns.remote_cold == 1
+        assert ns.remote_capacity_conflict == 2
+        assert ns.remote_coherence == 1
+        assert ns.capacity_conflict_misses == 2
+        assert ns.overall_misses == 4
+
+    def test_l1_misses_derivation(self):
+        ns = NodeStats(node=0)
+        ns.local_misses = 3
+        ns.block_cache_hits = 2
+        ns.page_cache_hits = 1
+        ns.record_remote_miss(MissClass.COLD)
+        assert ns.l1_misses == 7
+
+    def test_page_operations_total(self):
+        ns = NodeStats(node=0)
+        ns.migrations = 2
+        ns.replications = 3
+        ns.relocations = 5
+        assert ns.page_operations == 10
+
+    def test_sanity_check_passes_for_consistent_counts(self):
+        ns = NodeStats(node=0)
+        ns.accesses = 10
+        ns.l1_hits = 6
+        ns.upgrades = 1
+        ns.local_misses = 2
+        ns.record_remote_miss(MissClass.COLD)
+        ns.sanity_check()
+
+    def test_sanity_check_detects_imbalance(self):
+        ns = NodeStats(node=0)
+        ns.accesses = 10
+        ns.l1_hits = 1
+        with pytest.raises(AssertionError):
+            ns.sanity_check()
+
+
+class TestMachineStats:
+    def test_for_nodes_and_aggregation(self):
+        ms = MachineStats.for_nodes(4)
+        assert ms.num_nodes == 4
+        ms.nodes[0].record_remote_miss(MissClass.CAPACITY_CONFLICT)
+        ms.nodes[1].record_remote_miss(MissClass.COLD)
+        ms.nodes[2].migrations = 2
+        ms.nodes[3].relocations = 8
+        assert ms.total_remote_misses == 2
+        assert ms.total_capacity_conflict_misses == 1
+        assert ms.total_cold_misses == 1
+        assert ms.total_migrations == 2
+        assert ms.total_relocations == 8
+        assert ms.per_node_migrations() == 0.5
+        assert ms.per_node_relocations() == 2.0
+        assert ms.per_node_remote_misses() == 0.5
+
+    def test_sanity_check(self):
+        ms = MachineStats.for_nodes(2)
+        ms.execution_time = 100
+        ms.sanity_check()
+
+
+class TestTiming:
+    def test_advance_accumulates_by_kind(self):
+        ts = TimingStats.for_processors(2)
+        ts.processors[0].advance(StallKind.COMPUTE, 100)
+        ts.processors[0].advance(StallKind.REMOTE_MISS, 50)
+        ts.processors[0].advance(StallKind.COMPUTE, 10)
+        assert ts.clock_of(0) == 160
+        assert ts.processors[0].stall_of(StallKind.COMPUTE) == 110
+        assert ts.processors[0].total_accounted() == 160
+
+    def test_negative_advance_rejected(self):
+        ts = TimingStats.for_processors(1)
+        with pytest.raises(ValueError):
+            ts.processors[0].advance(StallKind.COMPUTE, -1)
+
+    def test_barrier_synchronises_all(self):
+        ts = TimingStats.for_processors(3)
+        ts.processors[0].advance(StallKind.COMPUTE, 100)
+        ts.processors[1].advance(StallKind.COMPUTE, 40)
+        post = ts.barrier(10)
+        assert post == 110
+        assert all(p.clock == 110 for p in ts.processors)
+        assert ts.processors[1].stall_of(StallKind.BARRIER) == 70
+        assert ts.barriers == 1
+        with pytest.raises(ValueError):
+            ts.barrier(-1)
+
+    def test_aggregate_and_imbalance(self):
+        ts = TimingStats.for_processors(2)
+        ts.processors[0].advance(StallKind.COMPUTE, 100)
+        ts.processors[1].advance(StallKind.REMOTE_MISS, 300)
+        agg = ts.aggregate_stalls()
+        assert agg[StallKind.COMPUTE] == 100
+        assert agg[StallKind.REMOTE_MISS] == 300
+        assert ts.max_clock() == 300
+        assert ts.min_clock() == 100
+        assert ts.load_imbalance() == pytest.approx(300 / 200)
+
+    def test_empty_timing_edge_cases(self):
+        ts = TimingStats(processors=[])
+        assert ts.max_clock() == 0
+        assert ts.load_imbalance() == 1.0
+
+
+class TestReportHelpers:
+    def test_normalized_series(self):
+        series = normalized_series({"a": 150, "b": 300}, baseline=100)
+        assert series == {"a": 1.5, "b": 3.0}
+        with pytest.raises(ValueError):
+            normalized_series({"a": 1}, baseline=0)
+
+    def test_per_node_average(self):
+        assert per_node_average(80, 8) == 10.0
+        with pytest.raises(ValueError):
+            per_node_average(80, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["x", 1.2345], ["longer", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in text
+        assert "longer" in text
+        # all rows have the same rendered width
+        assert len(set(len(line) for line in lines)) <= 2
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_normalized_figure_includes_geomean(self):
+        per_app = {"lu": {"ccnuma": 2.0, "rnuma": 1.2},
+                   "ocean": {"ccnuma": 1.3, "rnuma": 1.1}}
+        text = format_normalized_figure("Figure X", per_app, ["ccnuma", "rnuma"])
+        assert "Figure X" in text
+        assert "geo-mean" in text
+        assert "lu" in text and "ocean" in text
+
+    @given(values=st.lists(st.floats(min_value=0.1, max_value=10.0),
+                           min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_geomean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

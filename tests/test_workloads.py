@@ -1,0 +1,310 @@
+"""Tests for repro.workloads: specs, trace containers, generator, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig, reduced_machine
+from repro.workloads import (
+    APPLICATIONS,
+    get_spec,
+    get_workload,
+    list_workloads,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+from repro.workloads.trace import PhaseTrace, Trace
+
+from conftest import make_simple_spec, make_trace
+
+
+class TestSpecValidation:
+    def test_valid_group(self):
+        g = PageGroup(name="g", num_pages=4, pattern=SharingPattern.PRIVATE)
+        assert g.write_fraction == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": "", "num_pages": 4, "pattern": SharingPattern.PRIVATE},
+        {"name": "g", "num_pages": 0, "pattern": SharingPattern.PRIVATE},
+        {"name": "g", "num_pages": 4, "pattern": SharingPattern.PRIVATE,
+         "write_fraction": 1.5},
+        {"name": "g", "num_pages": 4, "pattern": SharingPattern.PRIVATE,
+         "hot_fraction": 0.0},
+        {"name": "g", "num_pages": 4, "pattern": SharingPattern.PRIVATE,
+         "hot_weight": 0.5},  # hot_weight < 1 requires hot_fraction < 1
+        {"name": "g", "num_pages": 4, "pattern": SharingPattern.PRIVATE,
+         "touches_per_page": 0},
+        {"name": "g", "num_pages": 4, "pattern": SharingPattern.PRIVATE,
+         "node_affinity": 1.5},
+    ])
+    def test_invalid_groups_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PageGroup(**kwargs)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(name="p")                                  # no accesses
+        with pytest.raises(ValueError):
+            Phase(name="p", accesses_per_proc=10)            # no weights
+        with pytest.raises(ValueError):
+            Phase(name="p", accesses_per_proc=10, weights={"g": 0.0})
+        with pytest.raises(ValueError):
+            Phase(name="", accesses_per_proc=10, weights={"g": 1.0})
+        with pytest.raises(ValueError):
+            Phase(name="p", accesses_per_proc=10, weights={"g": 1.0},
+                  write_override=2.0)
+        # touch phases do not need accesses/weights
+        Phase(name="init", touch_groups=("g",))
+
+    def test_workload_spec_validation(self):
+        g = PageGroup(name="g", num_pages=4, pattern=SharingPattern.PRIVATE)
+        p = Phase(name="p", accesses_per_proc=10, weights={"g": 1.0})
+        spec = WorkloadSpec(name="w", description="d", groups=(g,), phases=(p,))
+        assert spec.group("g") is g
+        assert spec.total_pages() == 4
+        assert spec.total_accesses_per_proc() == 10
+        with pytest.raises(KeyError):
+            spec.group("missing")
+        # unknown group in weights
+        bad_phase = Phase(name="p", accesses_per_proc=10, weights={"x": 1.0})
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", description="d", groups=(g,),
+                         phases=(bad_phase,))
+        # duplicate group names
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", description="d", groups=(g, g), phases=(p,))
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", description="d", groups=(), phases=(p,))
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", description="d", groups=(g,), phases=())
+
+
+class TestTraceContainers:
+    def test_phase_trace_validation(self):
+        blocks = [np.array([1, 2]), np.array([3])]
+        writes = [np.array([0, 1]), np.array([0])]
+        pt = PhaseTrace(name="p", compute_per_access=4, blocks=blocks,
+                        writes=writes)
+        assert pt.num_procs == 2
+        assert pt.accesses() == 3
+        assert pt.write_fraction() == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            PhaseTrace(name="p", compute_per_access=-1, blocks=blocks,
+                       writes=writes)
+        with pytest.raises(ValueError):
+            PhaseTrace(name="p", compute_per_access=1, blocks=blocks,
+                       writes=[np.array([0, 1])])
+        with pytest.raises(ValueError):
+            PhaseTrace(name="p", compute_per_access=1,
+                       blocks=[np.array([1, 2])], writes=[np.array([0])])
+
+    def test_trace_validation_and_summary(self):
+        blocks = [np.array([0, 16, 32]), np.array([0])]
+        writes = [np.array([0, 0, 1]), np.array([1])]
+        phase = PhaseTrace(name="p", compute_per_access=4, blocks=blocks,
+                           writes=writes)
+        trace = Trace(name="t", num_procs=2, phases=[phase])
+        assert trace.total_accesses() == 4
+        assert trace.touched_blocks() == 3
+        assert trace.touched_pages(blocks_per_page=16) == 3
+        summary = trace.summary()
+        assert summary["accesses"] == 4
+        with pytest.raises(ValueError):
+            Trace(name="t", num_procs=3, phases=[phase])
+        with pytest.raises(ValueError):
+            Trace(name="t", num_procs=0, phases=[])
+
+
+class TestGenerator:
+    def test_determinism(self, tiny_machine):
+        spec = make_simple_spec()
+        t1 = make_trace(spec, tiny_machine, seed=3)
+        t2 = make_trace(spec, tiny_machine, seed=3)
+        assert t1.total_accesses() == t2.total_accesses()
+        for p1, p2 in zip(t1.phases, t2.phases):
+            for a, b in zip(p1.blocks, p2.blocks):
+                assert np.array_equal(a, b)
+            for a, b in zip(p1.writes, p2.writes):
+                assert np.array_equal(a, b)
+
+    def test_different_seed_changes_trace(self, tiny_machine):
+        spec = make_simple_spec()
+        t1 = make_trace(spec, tiny_machine, seed=1)
+        t2 = make_trace(spec, tiny_machine, seed=2)
+        different = any(
+            not np.array_equal(a, b)
+            for p1, p2 in zip(t1.phases, t2.phases)
+            for a, b in zip(p1.blocks, p2.blocks))
+        assert different
+
+    def test_invalid_scales(self, tiny_machine):
+        spec = make_simple_spec()
+        with pytest.raises(ValueError):
+            TraceGenerator(spec, tiny_machine, access_scale=0)
+        with pytest.raises(ValueError):
+            TraceGenerator(spec, tiny_machine, page_scale=0)
+
+    def test_access_scale_controls_length(self, tiny_machine):
+        spec = make_simple_spec(accesses=400, phases=1)
+        full = make_trace(spec, tiny_machine)
+        half = TraceGenerator(spec, tiny_machine, access_scale=0.5).generate()
+        # the init phase is unaffected by access scale; compare work phases
+        assert len(half.phases[1].blocks[0]) == len(full.phases[1].blocks[0]) // 2
+
+    def test_blocks_within_declared_pages(self, tiny_machine):
+        spec = make_simple_spec(pages=16)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        trace = gen.generate()
+        bpp = tiny_machine.blocks_per_page
+        max_block = gen.total_pages() * bpp
+        for phase in trace.phases:
+            for arr in phase.blocks:
+                if len(arr):
+                    assert arr.min() >= 0
+                    assert arr.max() < max_block
+
+    def test_private_pages_partitioned_per_proc(self, tiny_machine):
+        spec = make_simple_spec(pattern=SharingPattern.PRIVATE, pages=16,
+                                phases=1)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        trace = gen.generate()
+        bpp = tiny_machine.blocks_per_page
+        work = trace.phases[1]
+        page_sets = [set((np.asarray(arr) // bpp).tolist()) for arr in work.blocks]
+        for i in range(len(page_sets)):
+            for j in range(i + 1, len(page_sets)):
+                assert not page_sets[i] & page_sets[j], \
+                    "private partitions must not overlap"
+
+    def test_migratory_shift_moves_accesses_off_owner(self, tiny_machine):
+        spec_own = make_simple_spec(pattern=SharingPattern.MIGRATORY, pages=16,
+                                    phases=1, shift=0)
+        spec_shift = make_simple_spec(pattern=SharingPattern.MIGRATORY, pages=16,
+                                      phases=1, shift=1)
+        gen_own = TraceGenerator(spec_own, tiny_machine, seed=0)
+        gen_shift = TraceGenerator(spec_shift, tiny_machine, seed=0)
+        bpp = tiny_machine.blocks_per_page
+        own_pages = set((np.asarray(gen_own.generate().phases[1].blocks[0]) // bpp).tolist())
+        shift_pages = set((np.asarray(gen_shift.generate().phases[1].blocks[0]) // bpp).tolist())
+        assert own_pages != shift_pages
+
+    def test_streaming_touches_per_page_bounded(self, tiny_machine):
+        spec = make_simple_spec(pattern=SharingPattern.STREAMING, pages=32,
+                                phases=1, accesses=256, touches_per_page=8)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        trace = gen.generate()
+        bpp = tiny_machine.blocks_per_page
+        pages = np.asarray(trace.phases[1].blocks[0]) // bpp
+        _, counts = np.unique(pages, return_counts=True)
+        # a proc never touches one page more than ~2x the configured budget
+        assert counts.max() <= 2 * 8
+
+    def test_write_override_suppresses_writes(self, tiny_machine):
+        group = PageGroup(name="data", num_pages=8,
+                          pattern=SharingPattern.READ_WRITE_SHARED,
+                          write_fraction=0.9)
+        phase = Phase(name="read", accesses_per_proc=200, weights={"data": 1.0},
+                      write_override=0.0)
+        spec = WorkloadSpec(name="w", description="d", groups=(group,),
+                            phases=(phase,))
+        trace = make_trace(spec, tiny_machine)
+        assert trace.phases[0].write_fraction() == 0.0
+
+    def test_touch_phase_writes_by_owner_only(self, tiny_machine):
+        spec = make_simple_spec(pattern=SharingPattern.PRIVATE, pages=16,
+                                phases=1)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        trace = gen.generate()
+        init = trace.phases[0]
+        assert init.write_fraction() == 1.0
+        bpp = tiny_machine.blocks_per_page
+        for proc, arr in enumerate(init.blocks):
+            for page in set((np.asarray(arr) // bpp).tolist()):
+                assert gen.owner_proc_of_page("data", page) == proc
+
+    def test_read_shared_homed_at_node_zero(self, tiny_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_SHARED, pages=8,
+                                phases=1)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        for page in gen.pages_of_group("data"):
+            assert gen.owner_proc_of_page("data", page) == 0
+
+    def test_owner_proc_of_page_bounds(self, tiny_machine):
+        spec = make_simple_spec(pages=8, phases=1)
+        gen = TraceGenerator(spec, tiny_machine, seed=0)
+        with pytest.raises(ValueError):
+            gen.owner_proc_of_page("data", 10**6)
+
+    def test_node_affinity_skews_distribution(self, tiny_machine):
+        base = make_simple_spec(pattern=SharingPattern.READ_SHARED, pages=32,
+                                phases=1, accesses=2000)
+        affine_group = PageGroup(name="data", num_pages=32,
+                                 pattern=SharingPattern.READ_SHARED,
+                                 node_affinity=0.9)
+        affine = WorkloadSpec(name="w", description="d", groups=(affine_group,),
+                              phases=base.phases)
+        gen = TraceGenerator(affine, tiny_machine, seed=0)
+        trace = gen.generate()
+        bpp = tiny_machine.blocks_per_page
+        # node 1's processors should concentrate on node 1's slice
+        proc_of_node1 = tiny_machine.procs_per_node  # first proc of node 1
+        pages = np.asarray(trace.phases[1].blocks[proc_of_node1]) // bpp
+        lo, hi = gen._node_partition(gen.layouts["data"], 1)
+        in_slice = np.mean((pages >= lo) & (pages < hi))
+        assert in_slice > 0.6
+
+    @given(seed=st.integers(0, 100), pages=st.integers(4, 32),
+           accesses=st.integers(50, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_traces_always_well_formed(self, seed, pages, accesses):
+        machine = MachineConfig(num_nodes=2, procs_per_node=2, page_size=512,
+                                l1_size=1024, block_cache_size=2048,
+                                page_cache_size=4096)
+        spec = make_simple_spec(pages=pages, accesses=accesses, phases=1)
+        gen = TraceGenerator(spec, machine, seed=seed)
+        trace = gen.generate()
+        assert trace.num_procs == machine.num_processors
+        for phase in trace.phases:
+            assert phase.num_procs == trace.num_procs
+            for blocks, writes in zip(phase.blocks, phase.writes):
+                assert len(blocks) == len(writes)
+                if len(blocks):
+                    assert blocks.min() >= 0
+
+
+class TestRegistry:
+    def test_all_seven_applications_present(self):
+        names = list_workloads()
+        assert names == ("barnes", "cholesky", "fmm", "lu", "ocean", "radix",
+                         "raytrace")
+        assert set(APPLICATIONS) == set(names)
+
+    @pytest.mark.parametrize("name", list(APPLICATIONS))
+    def test_every_spec_builds_and_validates(self, name):
+        spec = get_spec(name)
+        assert spec.name == name
+        assert spec.paper_input
+        assert spec.total_pages() > 0
+        assert spec.total_accesses_per_proc() > 0
+        # every app starts with a first-touch initialisation phase
+        assert spec.phases[0].touch_groups
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("linpack")
+        with pytest.raises(KeyError):
+            get_workload("linpack")
+
+    def test_get_workload_small_scale(self):
+        trace = get_workload("ocean", scale=0.01, seed=5)
+        machine = reduced_machine()
+        assert trace.num_procs == machine.num_processors
+        assert trace.total_accesses() > 0
+        assert trace.metadata["spec"] == "ocean"
+        assert trace.metadata["seed"] == 5
+
+    def test_get_workload_respects_machine(self, tiny_machine):
+        trace = get_workload("ocean", machine=tiny_machine, scale=0.01)
+        assert trace.num_procs == tiny_machine.num_processors
