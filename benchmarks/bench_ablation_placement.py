@@ -15,7 +15,7 @@ import pytest
 
 from repro.experiments.ablation import run_placement_ablation
 
-from conftest import run_once
+from bench_helpers import run_once
 
 APPS = ("lu", "ocean", "radix")
 SYSTEMS = ("ccnuma", "migrep", "rnuma")

@@ -16,7 +16,7 @@ import pytest
 
 from repro.experiments.ablation import run_block_cache_ablation, run_scoma_ablation
 
-from conftest import run_once
+from bench_helpers import run_once
 
 APPS = ("barnes", "lu", "radix")
 

@@ -14,7 +14,7 @@ import pytest
 
 from repro.experiments.figure5 import FIGURE5_SYSTEMS, normalized_times, run_figure5_app
 
-from conftest import APPS, run_once
+from bench_helpers import APPS, run_once
 
 
 @pytest.mark.parametrize("app", APPS)

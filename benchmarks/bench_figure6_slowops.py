@@ -14,7 +14,7 @@ import pytest
 
 from repro.experiments.figure6 import run_figure6_app
 
-from conftest import APPS, run_once
+from bench_helpers import APPS, run_once
 
 
 @pytest.mark.parametrize("app", APPS)

@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments.figure7 import run_figure7_app
 
-from conftest import APPS, run_once
+from bench_helpers import APPS, run_once
 
 
 @pytest.mark.parametrize("app", APPS)

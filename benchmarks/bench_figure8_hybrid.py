@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments.figure8 import run_figure8_app
 
-from conftest import APPS, run_once
+from bench_helpers import APPS, run_once
 
 
 @pytest.mark.parametrize("app", APPS)

@@ -10,7 +10,7 @@ from repro.experiments.table1 import MECHANISMS, SCENARIOS, run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 
-from conftest import run_once
+from bench_helpers import run_once
 
 
 def test_table1_matrix(benchmark, scale):

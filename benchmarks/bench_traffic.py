@@ -17,7 +17,7 @@ from repro.config import base_config
 from repro.experiments.runner import run_experiment
 from repro.workloads import get_workload
 
-from conftest import run_once
+from bench_helpers import run_once
 
 SYSTEMS = ("ccnuma", "migrep", "rnuma")
 

@@ -1,34 +1,22 @@
-"""Shared helpers for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
 Each benchmark regenerates one table or figure of the paper (or one
 application's slice of it) and records the reproduced numbers in
 ``benchmark.extra_info`` so they appear alongside the timing output.
 
-The workload scale is controlled with the ``REPRO_BENCH_SCALE`` environment
-variable (default 0.5): the full-scale runs take a few seconds per
-(application, system) pair, so the default keeps the complete benchmark
-suite in the ten-minute range while preserving every comparative shape.
+Plain helpers live in :mod:`bench_helpers` (importable from the benchmark
+modules without going through ``conftest``, which breaks when several test
+roots are collected together); this module only defines fixtures and
+re-exports the helpers for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-#: Applications in the paper's order.
-APPS = ("barnes", "cholesky", "fmm", "lu", "ocean", "radix", "raytrace")
-
-
-def bench_scale() -> float:
-    """Workload access scale used by the benchmarks."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+# Re-exported for backwards compatibility; new code should import these
+# from ``bench_helpers`` directly.
+from bench_helpers import APPS, bench_scale, run_once  # noqa: F401
 
 
 @pytest.fixture(scope="session")

@@ -25,6 +25,17 @@ The public API is intentionally small:
     run one (workload, system) pair and collect execution time, miss
     breakdowns and page-operation counts.
 
+``SweepRunner``
+    execute batches of independent runs — memoized by a trace/config
+    digest and fanned out across worker processes — the engine behind
+    every figure/table/ablation harness.
+
+``ENGINE_NAMES``
+    the available execution engines (``"batched"``, the vectorised
+    two-tier default, and ``"legacy"``, the reference interpreter); pick
+    one per run with ``Machine.run(trace, engine=...)`` or globally with
+    the ``REPRO_ENGINE`` environment variable.
+
 ``analyze_trace``
     sharing-pattern analysis of a workload trace (the measured Table 1).
 
@@ -60,12 +71,18 @@ from repro.config import (
 )
 from repro.analysis.sharing import SharingClass, SharingReport, analyze_trace
 from repro.core.factory import PAPER_SYSTEM_NAMES, SYSTEM_NAMES, build_system
-from repro.experiments.runner import ExperimentResult, run_experiment, run_pair
+from repro.engine import ENGINE_NAMES
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepRunner,
+    run_experiment,
+    run_pair,
+)
 from repro.kernel.placement import PLACEMENT_NAMES, build_placement
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostModel",
@@ -87,6 +104,8 @@ __all__ = [
     "run_experiment",
     "run_pair",
     "ExperimentResult",
+    "SweepRunner",
+    "ENGINE_NAMES",
     "analyze_trace",
     "SharingClass",
     "SharingReport",

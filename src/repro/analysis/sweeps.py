@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import run_systems
+from repro.experiments.runner import SweepRunner, ensure_runner
 from repro.workloads import get_workload
 
 
@@ -104,7 +104,8 @@ def run_sweep(parameter: str,
               systems: Sequence[str],
               scale: float = 0.3,
               seed: int = 0,
-              baseline: str = "perfect") -> SweepResult:
+              baseline: str = "perfect",
+              runner: Optional[SweepRunner] = None) -> SweepResult:
     """Run ``systems`` on ``apps`` for every parameter value.
 
     Parameters
@@ -124,34 +125,57 @@ def run_sweep(parameter: str,
         System used for normalisation at *each* parameter value (the paper
         normalises every sensitivity figure against perfect CC-NUMA run
         under the same configuration).
+    runner:
+        Shared :class:`SweepRunner`; a private one is created (and closed)
+        when omitted.  Every (value, app, system) run is independent, so
+        the whole sweep is submitted as one batch — memoized, and executed
+        across worker processes when the runner has ``jobs > 1``.
     """
     if not values:
         raise ValueError("a sweep needs at least one parameter value")
     result = SweepResult(parameter=parameter, values=list(values),
                          apps=list(apps), systems=list(systems))
-    for value in values:
-        cfg = configure(value)
-        for app in apps:
-            trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-            runs = run_systems(trace, systems, cfg, baseline=baseline)
-            base_time = runs[baseline].execution_time
-            for system in systems:
-                if system == baseline:
-                    continue
-                res = runs[system]
-                ops = res.per_node_page_ops()
-                result.points.append(SweepPoint(
-                    parameter=parameter,
-                    value=value,
-                    app=app,
-                    system=system,
-                    normalized_time=res.execution_time / base_time,
-                    execution_time=res.execution_time,
-                    remote_misses=res.stats.total_remote_misses,
-                    capacity_conflict_misses=res.stats.total_capacity_conflict_misses,
-                    page_operations=(ops["migrations"] + ops["replications"]
-                                     + ops["relocations"]),
-                ))
+    runner, owned = ensure_runner(runner)
+    try:
+        configs = {value: configure(value) for value in values}
+        run_names = list(dict.fromkeys([baseline, *systems]))
+        traces: Dict[tuple, object] = {}
+        items = []
+        for value in values:
+            cfg = configs[value]
+            for app in apps:
+                tkey = (app, cfg.machine)
+                if tkey not in traces:
+                    traces[tkey] = get_workload(app, machine=cfg.machine,
+                                                scale=scale, seed=seed)
+                for system in run_names:
+                    items.append((traces[tkey], system, cfg))
+        all_results = iter(runner.map_runs(items))
+
+        for value in values:
+            for app in apps:
+                runs = {name: next(all_results) for name in run_names}
+                base_time = runs[baseline].execution_time
+                for system in systems:
+                    if system == baseline:
+                        continue
+                    res = runs[system]
+                    ops = res.per_node_page_ops()
+                    result.points.append(SweepPoint(
+                        parameter=parameter,
+                        value=value,
+                        app=app,
+                        system=system,
+                        normalized_time=res.execution_time / base_time,
+                        execution_time=res.execution_time,
+                        remote_misses=res.stats.total_remote_misses,
+                        capacity_conflict_misses=res.stats.total_capacity_conflict_misses,
+                        page_operations=(ops["migrations"] + ops["replications"]
+                                         + ops["relocations"]),
+                    ))
+    finally:
+        if owned:
+            runner.close()
     return result
 
 
@@ -161,7 +185,8 @@ def run_sweep(parameter: str,
 
 
 def rnuma_threshold_sweep(values: Sequence[int], *, seed: int = 0,
-                          apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+                          apps: Sequence[str], scale: float = 0.3,
+                          runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the R-NUMA switching threshold (paper base value: 32)."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
@@ -174,11 +199,13 @@ def rnuma_threshold_sweep(values: Sequence[int], *, seed: int = 0,
                 scale=cfg.thresholds.scale,
             ))
     return run_sweep("rnuma_threshold", list(values), configure,
-                     apps=apps, systems=["rnuma"], scale=scale, seed=seed)
+                     apps=apps, systems=["rnuma"], scale=scale, seed=seed,
+                     runner=runner)
 
 
 def migrep_threshold_sweep(values: Sequence[int], *, seed: int = 0,
-                           apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+                           apps: Sequence[str], scale: float = 0.3,
+                           runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the MigRep miss threshold (paper base value: 800)."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
@@ -191,37 +218,44 @@ def migrep_threshold_sweep(values: Sequence[int], *, seed: int = 0,
                 scale=cfg.thresholds.scale,
             ))
     return run_sweep("migrep_threshold", list(values), configure,
-                     apps=apps, systems=["migrep"], scale=scale, seed=seed)
+                     apps=apps, systems=["migrep"], scale=scale, seed=seed,
+                     runner=runner)
 
 
 def network_latency_sweep(factors: Sequence[float], *, seed: int = 0,
                           apps: Sequence[str],
                           systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
-                          scale: float = 0.3) -> SweepResult:
+                          scale: float = 0.3,
+                          runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the network-latency factor (Figure 7 generalised to a curve)."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
         return cfg.with_costs(cfg.costs.with_network_scale(float(value)))
     return run_sweep("network_factor", list(factors), configure,
-                     apps=apps, systems=list(systems), scale=scale, seed=seed)
+                     apps=apps, systems=list(systems), scale=scale, seed=seed,
+                     runner=runner)
 
 
 def page_cache_sweep(fractions: Sequence[float], *, seed: int = 0,
-                     apps: Sequence[str], scale: float = 0.3) -> SweepResult:
+                     apps: Sequence[str], scale: float = 0.3,
+                     runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the R-NUMA page-cache size as a fraction of the base 2.4 MB."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
         return cfg.with_machine(cfg.machine.with_page_cache_fraction(float(value)))
     return run_sweep("page_cache_fraction", list(fractions), configure,
-                     apps=apps, systems=["rnuma"], scale=scale, seed=seed)
+                     apps=apps, systems=["rnuma"], scale=scale, seed=seed,
+                     runner=runner)
 
 
 def placement_sweep(policies: Sequence[str], *, seed: int = 0,
                     apps: Sequence[str],
                     systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
-                    scale: float = 0.3) -> SweepResult:
+                    scale: float = 0.3,
+                    runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the initial placement policy (first-touch, round-robin, ...)."""
     def configure(value: object) -> SimulationConfig:
         return base_config(seed=seed).with_placement(str(value))
     return run_sweep("placement", list(policies), configure,
-                     apps=apps, systems=list(systems), scale=scale, seed=seed)
+                     apps=apps, systems=list(systems), scale=scale, seed=seed,
+                     runner=runner)

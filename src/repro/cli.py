@@ -37,9 +37,10 @@ from repro.analysis.sweeps import (
 )
 from repro.config import base_config
 from repro.core.factory import SYSTEM_NAMES
+from repro.engine import ENGINE_NAMES
 from repro.experiments import figure5, figure6, figure7, figure8
 from repro.experiments import table1, table2, table3, table4
-from repro.experiments.runner import run_experiment, run_systems
+from repro.experiments.runner import SweepRunner
 from repro.kernel.placement import PLACEMENT_NAMES
 from repro.stats.export import figure_to_rows, to_csv, write_csv, write_json
 from repro.stats.plotting import grouped_bar_chart
@@ -51,10 +52,17 @@ def _csv_list(text: str) -> List[str]:
 
 
 def _add_common(parser: argparse.ArgumentParser, *, apps: bool = True,
-                systems: bool = False) -> None:
+                systems: bool = False, runner: bool = True) -> None:
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload scale factor (default 0.5)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    if runner:
+        parser.add_argument("--jobs", "-j", type=int, default=None,
+                            help="worker processes for independent runs "
+                                 "(default: REPRO_JOBS or 1)")
+        parser.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                            help="simulation engine (default: batched, or "
+                                 "REPRO_ENGINE)")
     parser.add_argument("--csv", type=str, default=None,
                         help="also write the result rows to this CSV file")
     parser.add_argument("--json", type=str, default=None,
@@ -95,7 +103,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cfg = base_config(seed=args.seed).with_placement(args.placement)
     trace = get_workload(args.app, machine=cfg.machine, scale=args.scale,
                          seed=args.seed)
-    results = run_systems(trace, [args.system], cfg)
+    with _make_runner(args) as runner:
+        results = runner.run_systems(trace, [args.system], cfg)
     baseline = results["perfect"].execution_time
     res = results[args.system]
     summary = res.summary()
@@ -107,13 +116,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_command(runner: Callable, renderer: Callable,
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    return SweepRunner(jobs=getattr(args, "jobs", None),
+                       engine=getattr(args, "engine", None))
+
+
+def _figure_command(figure_fn: Callable, renderer: Callable,
                     value_name: str = "normalized_time") -> Callable:
     def cmd(args: argparse.Namespace) -> int:
         kwargs = {"scale": args.scale, "seed": args.seed}
         if args.apps:
             kwargs["apps"] = args.apps
-        data = runner(**kwargs)
+        with _make_runner(args) as runner:
+            data = figure_fn(runner=runner, **kwargs)
         print(renderer(data))
         if getattr(args, "chart", False):
             systems = sorted({s for times in data.values() for s in times})
@@ -153,7 +168,8 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     kwargs = {"scale": args.scale, "seed": args.seed}
     if args.apps:
         kwargs["apps"] = args.apps
-    rows = table4.run_table4(**kwargs)
+    with _make_runner(args) as runner:
+        rows = table4.run_table4(runner=runner, **kwargs)
     print(table4.render_table4(rows))
     flat = [{
         "app": r.app,
@@ -193,11 +209,13 @@ def _parse_sweep_value(sweep: str, text: str) -> object:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = _SWEEPS[args.sweep]
+    sweep_fn = _SWEEPS[args.sweep]
     apps = args.apps or ["barnes", "lu", "radix"]
     values = ([_parse_sweep_value(args.sweep, v) for v in args.values]
               if args.values else _SWEEP_DEFAULT_VALUES[args.sweep])
-    result = runner(values, apps=apps, scale=args.scale, seed=args.seed)
+    with _make_runner(args) as runner:
+        result = sweep_fn(values, apps=apps, scale=args.scale, seed=args.seed,
+                          runner=runner)
     rows = result.rows()
     header = f"{result.parameter:<20} {'app':<10} {'system':<10} normalized"
     print(header)
@@ -246,7 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("figure5", "figure6", "figure7", "figure8",
                  "table1", "table2", "table3", "table4"):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
-        _add_common(p, apps=name not in ("table1", "table2", "table3"))
+        # table1 drives bespoke scenario specs and tables 2/3 are static,
+        # so only table4 goes through the SweepRunner
+        _add_common(p, apps=name not in ("table1", "table2", "table3"),
+                    runner=name not in ("table1", "table2", "table3"))
 
     sweep_p = sub.add_parser("sweep", help="run a predefined parameter sweep")
     sweep_p.add_argument("sweep", choices=sorted(_SWEEPS))

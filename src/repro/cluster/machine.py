@@ -1,56 +1,40 @@
-"""The DSM cluster machine and its trace-driven simulation loop.
+"""The DSM cluster machine: substrate assembly and run dispatch.
 
 :class:`Machine` assembles the whole simulated system — nodes, network,
 directory, virtual-memory manager, statistics — for one named system
 configuration (:class:`repro.core.factory.SystemSpec`), and drives a
-workload trace through it.
+workload trace through one of the execution engines in
+:mod:`repro.engine`:
 
-Timing model (Section 5.1 of DESIGN.md)
----------------------------------------
-Each processor owns a clock.  Within a phase the processors' reference
-streams are interleaved round-robin; every reference costs its compute
-time plus:
+* ``batched`` (the default) — the two-tier engine: guaranteed L1 hits are
+  classified per phase with vectorised numpy passes and resolved in bulk,
+  and only the residual references (possible hits, upgrades, misses) are
+  interpreted through the protocol machinery;
+* ``legacy`` — the original reference interpreter, one Python-level step
+  per reference.
 
-* an L1 hit time for processor-cache hits,
-* the bus queueing delay plus the protocol-determined service latency for
-  misses (local miss, block-cache hit, page-cache hit or remote round
-  trip, per Table 3 of the paper),
-* any page-operation and mapping-fault cycles the access triggered.
-
-Phases end in barriers that synchronise every processor at the maximum
-clock plus a barrier cost; the run's execution time is the final
-synchronised clock.  Normalising two runs of the same trace under
-different systems against each other reproduces the paper's
-"normalized execution time" metric.
-
-The inner loop is deliberately written with plain Python ints and lists
-(per the project's HPC-Python guidance: measure, then keep the hot path
-allocation-free); the numpy trace arrays are converted to lists once per
-phase because scalar indexing of lists is significantly faster than numpy
-scalar extraction.
+Both engines implement the same timing model (see DESIGN.md, "Timing
+model") and produce bit-identical statistics and execution times;
+normalising two runs of the same trace under different systems against
+each other reproduces the paper's "normalized execution time" metric.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.config import SimulationConfig
 from repro.core.factory import SystemSpec
+from repro.engine import run_trace
 from repro.interconnect.network import Network
 from repro.kernel.faults import FaultLog
 from repro.kernel.placement import build_placement
 from repro.kernel.vm import VirtualMemoryManager
 from repro.mem.address import AddressSpace
-from repro.mem.cache import (
-    PROBE_MISS,
-    PROBE_READ_HIT,
-    PROBE_WRITE_HIT_OWNED,
-    PROBE_WRITE_HIT_SHARED,
-)
 from repro.mem.directory import Directory
 from repro.cluster.node import Node
 from repro.stats.counters import MachineStats
-from repro.stats.timing import StallKind, TimingStats
+from repro.stats.timing import TimingStats
 
 
 class Machine:
@@ -133,143 +117,20 @@ class Machine:
 
     # ------------------------------------------------------------------ simulation
 
-    def run(self, trace) -> MachineStats:
+    def run(self, trace, engine: Optional[str] = None) -> MachineStats:
         """Run ``trace`` to completion and return the machine statistics.
 
         ``trace`` is a :class:`repro.workloads.trace.Trace` (or anything
         with the same ``num_procs`` / ``phases`` shape).  The trace's
         processor count must not exceed the machine's.
+
+        ``engine`` selects the execution engine (one of
+        :data:`repro.engine.ENGINE_NAMES`); the default is the batched
+        engine, overridable globally with the ``REPRO_ENGINE`` environment
+        variable.  All engines produce bit-identical statistics.
         """
         if trace.num_procs > self.num_processors:
             raise ValueError(
                 f"trace uses {trace.num_procs} processors but the machine has "
                 f"only {self.num_processors}")
-
-        costs = self.cfg.costs
-        protocol = self.protocol
-        addr_bpp = self.addr.blocks_per_page
-        dir_version = self.directory.version
-        node_stats = self.stats.nodes
-        procs = self.processors
-        num_trace_procs = trace.num_procs
-
-        l1_hit_cost = costs.l1_hit
-        bus_occ = costs.bus_occupancy
-
-        # local (fast) copies of per-processor clocks
-        clocks = [self.timing.processors[p].clock for p in range(num_trace_procs)]
-
-        for phase in trace.phases:
-            blocks_by_proc = [seq.tolist() if hasattr(seq, "tolist") else list(seq)
-                              for seq in phase.blocks]
-            writes_by_proc = [seq.tolist() if hasattr(seq, "tolist") else list(seq)
-                              for seq in phase.writes]
-            lengths = [len(seq) for seq in blocks_by_proc]
-            if len(lengths) != num_trace_procs:
-                raise ValueError("phase stream count does not match trace.num_procs")
-            max_len = max(lengths, default=0)
-            compute = phase.compute_per_access
-
-            # per-proc stall accumulators for this phase
-            acc_compute = [0] * num_trace_procs
-            acc_hit = [0] * num_trace_procs
-            acc_local = [0] * num_trace_procs
-            acc_remote = [0] * num_trace_procs
-            acc_upgrade = [0] * num_trace_procs
-            acc_pageop = [0] * num_trace_procs
-            acc_fault = [0] * num_trace_procs
-            acc_contention = [0] * num_trace_procs
-            acc_accesses = [0] * num_trace_procs
-            acc_l1_hits = [0] * num_trace_procs
-            acc_upgrade_count = [0] * num_trace_procs
-
-            for i in range(max_len):
-                for p in range(num_trace_procs):
-                    if i >= lengths[p]:
-                        continue
-                    block = blocks_by_proc[p][i]
-                    is_write = bool(writes_by_proc[p][i])
-                    proc = procs[p]
-                    node = proc.node_id
-                    cache = proc.cache
-
-                    clock = clocks[p] + compute
-                    acc_compute[p] += compute
-                    acc_accesses[p] += 1
-
-                    version = dir_version(block)
-                    code = cache.probe(block, version, is_write)
-
-                    if code == PROBE_READ_HIT or code == PROBE_WRITE_HIT_OWNED:
-                        clock += l1_hit_cost
-                        acc_hit[p] += l1_hit_cost
-                        acc_l1_hits[p] += 1
-                        clocks[p] = clock
-                        continue
-
-                    page = block // addr_bpp
-
-                    if code == PROBE_WRITE_HIT_SHARED:
-                        # write upgrade: invalidate other sharers
-                        bus = self.nodes[node].bus
-                        start = bus.acquire(clock, bus_occ)
-                        wait = start - clock
-                        latency, new_version = protocol.handle_upgrade(
-                            node, p, page, block, start)
-                        cache.touch_write(block, new_version)
-                        acc_contention[p] += wait
-                        acc_upgrade[p] += latency
-                        acc_upgrade_count[p] += 1
-                        clocks[p] = clock + wait + latency
-                        continue
-
-                    # L1 miss
-                    bus = self.nodes[node].bus
-                    start = bus.acquire(clock, bus_occ)
-                    wait = start - clock
-                    result = protocol.handle_miss(node, p, page, block,
-                                                  is_write, start)
-                    victim = cache.fill(block, result.version, dirty=is_write)
-                    if victim is not None:
-                        protocol.note_l1_eviction(node, victim[0], victim[1])
-
-                    acc_contention[p] += wait
-                    if result.remote:
-                        acc_remote[p] += result.service_cycles
-                    else:
-                        acc_local[p] += result.service_cycles
-                    acc_pageop[p] += result.pageop_cycles
-                    acc_fault[p] += result.fault_cycles
-                    clocks[p] = (clock + wait + result.service_cycles
-                                 + result.pageop_cycles + result.fault_cycles)
-
-            # flush per-phase accumulators into the timing/statistics objects
-            for p in range(num_trace_procs):
-                pt = self.timing.processors[p]
-                pt.advance(StallKind.COMPUTE, acc_compute[p])
-                pt.advance(StallKind.L1_HIT, acc_hit[p])
-                pt.advance(StallKind.LOCAL_MISS, acc_local[p])
-                pt.advance(StallKind.REMOTE_MISS, acc_remote[p])
-                pt.advance(StallKind.UPGRADE, acc_upgrade[p])
-                pt.advance(StallKind.PAGE_OP, acc_pageop[p])
-                pt.advance(StallKind.MAPPING_FAULT, acc_fault[p])
-                pt.advance(StallKind.CONTENTION, acc_contention[p])
-                ns = node_stats[procs[p].node_id]
-                ns.accesses += acc_accesses[p]
-                ns.l1_hits += acc_l1_hits[p]
-
-            # barrier at the end of the phase
-            post_barrier = self.timing.barrier(costs.barrier_cost)
-            clocks = [post_barrier] * num_trace_procs
-            self.stats.barrier_count += 1
-
-        # final bookkeeping
-        self.stats.execution_time = self.timing.max_clock()
-        self.stats.proc_finish_times = [
-            self.timing.processors[p].clock for p in range(num_trace_procs)
-        ]
-        self.stats.network_messages = self.network.total_messages()
-        self.stats.network_bytes = self.network.total_bytes()
-        self.stats.message_stats = self.network.stats
-        self.stats.stall_breakdown = dict(self.timing.aggregate_stalls())
-        return self.stats
+        return run_trace(self, trace, engine)

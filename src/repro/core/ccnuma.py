@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core.protocol import DSMProtocol
+from repro.core.protocol import _DEPARTED_EVICTED, DSMProtocol
 from repro.interconnect.message import MessageType
 from repro.mem.page_table import PageMode
 
@@ -39,30 +39,70 @@ class CCNUMAProtocol(DSMProtocol):
         served at local-miss latency (the block cache sits on the memory
         bus); a miss fetches the block from the home node and installs it,
         evicting (and writing back if dirty) the victim frame.
-        """
-        stats = self.node_stats[node]
-        bc = self.block_caches[node]
-        version = self.directory.version(block)
 
-        if bc.lookup(block, version):
-            stats.block_cache_hits += 1
+        The :class:`~repro.mem.block_cache.BlockCache` lookup/fill/
+        touch-write steps are inlined on the cache's frame dictionary
+        (pre-bound in :class:`DSMProtocol`): this helper runs on every
+        remote-page reference of every system, and the method-call version
+        of the same logic dominated its profile.
+        """
+        # inlined Directory.version + BlockCache.lookup
+        e = self._dir_entries.get(block)
+        version = e.version if e is not None else 0
+        cap = self._bc_caps[node]
+        frames = self._bc_frames[node]
+        bc_stats = self._bc_stats[node]
+        hit = False
+        if cap is None:
+            key = block
+            entry = frames.get(block)
+        else:
+            key = block % cap
+            entry = frames.get(key)
+            if entry is not None and entry[0] != block:
+                entry = None
+        if entry is not None:
+            if entry[1] >= version:
+                bc_stats.hits += 1
+                hit = True
+            else:
+                # stale copy: drop it so the fill below refreshes it
+                del frames[key]
+                bc_stats.invalidations += 1
+        if hit:
+            self.node_stats[node].block_cache_hits += 1
             if is_write:
                 extra, version = self._directory_write(node, block)
-                bc.touch_write(block, version)
-                return self.costs.local_miss + extra, version, False
-            return self.costs.local_miss, version, False
+                # inlined BlockCache.touch_write (entry is resident)
+                frames[key] = (block, version if version > entry[1] else entry[1],
+                               True)
+                return self._local_miss_cost + extra, version, False
+            return self._local_miss_cost, version, False
+        bc_stats.misses += 1
 
         latency, version, _cause = self._remote_fetch(node, page, block,
                                                       is_write, now, home)
-        victim = bc.fill(block, version, dirty=is_write)
-        if victim is not None:
-            victim_block, victim_dirty = victim
-            self.mark_evicted(node, victim_block)
-            self.directory.record_eviction(victim_block, node)
-            if victim_dirty:
-                victim_home = self.vm.home_of(self.addr.page_of_block(victim_block))
-                if victim_home is not None and victim_home != node:
-                    self.network.stats.record(MessageType.WRITEBACK)
+        # inlined BlockCache.fill
+        if cap is None:
+            frames[block] = (block, version, is_write)
+        else:
+            old = frames.get(key)
+            frames[key] = (block, version, is_write)
+            if old is not None and old[0] != block:
+                bc_stats.evictions += 1
+                victim_block = old[0]
+                # inlined mark_evicted + Directory.record_eviction
+                self._departed[node][victim_block] = _DEPARTED_EVICTED
+                ve = self._dir_entries.get(victim_block)
+                if ve is not None:
+                    ve.sharers &= ~(1 << node)
+                    if ve.owner == node:
+                        ve.owner = -1
+                        self.directory.writebacks += 1
+                if old[2]:  # dirty victim: write it back to its home
+                    rec = self._vm_pages.get(victim_block // self._bpp)
+                    if rec is not None and rec.home != node:
+                        self.network.stats.record(MessageType.WRITEBACK)
         return latency, version, True
 
     # ------------------------------------------------------------------ overrides

@@ -61,15 +61,20 @@ class MigRepCounters:
         """Record one miss on ``page`` by ``node``; reset the page if due."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range")
-        if is_write:
-            self._row(self._write, page)[node] += 1
-        else:
-            self._row(self._read, page)[node] += 1
-        total = self._since_reset.get(page, 0) + 1
+        # inlined _row: this runs once per (local or remote) miss reaching
+        # a MigRep home
+        table = self._write if is_write else self._read
+        row = table.get(page)
+        if row is None:
+            row = [0] * self.num_nodes
+            table[page] = row
+        row[node] += 1
+        since = self._since_reset
+        total = since.get(page, 0) + 1
         if total >= self.reset_interval:
             self.reset_page(page)
         else:
-            self._since_reset[page] = total
+            since[page] = total
 
     def reset_page(self, page: int) -> None:
         """Clear the counters of ``page`` (periodic reset)."""

@@ -64,19 +64,30 @@ class MigRepPolicy:
         if requester == home or is_replica_request:
             return MigRepDecision.NONE
 
+        # Direct row access (equivalent to the read_misses/write_misses/
+        # misses helpers): this evaluates once per remote miss at the home.
+        read_row = counters._read.get(page)
+        write_row = counters._write.get(page)
+
         if self.enable_replication:
             # Only *remote* write misses make a page non-replicable: the home
             # node writing its own page (e.g. producing it) does not preclude
             # read-only copies elsewhere.
-            remote_writes = (counters.total_write_misses(page)
-                             - counters.write_misses(page, home))
-            if (remote_writes == 0
-                    and counters.read_misses(page, requester) > self.threshold):
+            remote_writes = (sum(write_row) - write_row[home]
+                            if write_row is not None else 0)
+            if (remote_writes == 0 and read_row is not None
+                    and read_row[requester] > self.threshold):
                 return MigRepDecision.REPLICATE
 
         if self.enable_migration:
-            requester_misses = counters.misses(page, requester)
-            home_misses = counters.misses(page, home)
+            requester_misses = 0
+            home_misses = 0
+            if read_row is not None:
+                requester_misses += read_row[requester]
+                home_misses += read_row[home]
+            if write_row is not None:
+                requester_misses += write_row[requester]
+                home_misses += write_row[home]
             if requester_misses - home_misses > self.threshold:
                 return MigRepDecision.MIGRATE
 

@@ -59,6 +59,8 @@ class MigRepProtocol(CCNUMAProtocol):
             block_caches=self.block_caches,
             l1_caches=machine.l1_by_node,
         )
+        # pre-bound for the per-miss fast path
+        self._record_miss = self.counters.record_miss
 
     # ------------------------------------------------------------------ page-op helpers
 
@@ -95,7 +97,10 @@ class MigRepProtocol(CCNUMAProtocol):
 
     def _evaluate_policy(self, page: int, node: int, home: int, now: int) -> int:
         """Run the MigRep decision policy; return any page-op cycles incurred."""
-        is_replica_request = node in self.vm.replicas_of(page)
+        # equivalent to `node in self.vm.replicas_of(page)` without the
+        # per-miss set copy that replicas_of() makes
+        rec = self._vm_pages.get(page)
+        is_replica_request = rec is not None and node in rec.replicas
         decision = self.policy.evaluate(self.counters, page, node, home,
                                         is_replica_request=is_replica_request)
         if decision is MigRepDecision.REPLICATE:
@@ -128,7 +133,7 @@ class MigRepProtocol(CCNUMAProtocol):
         latency, version, remote = self._block_cache_fetch(
             node, page, block, is_write, now, home)
         if remote:
-            self.counters.record_miss(page, node, is_write)
+            self._record_miss(page, node, is_write)
             pageop += self._evaluate_policy(page, node, home, now)
         return latency, pageop, version, remote
 
@@ -136,9 +141,10 @@ class MigRepProtocol(CCNUMAProtocol):
         # The home node's own misses also feed its counters so that the
         # migration comparison (requester vs home) sees both sides.
         latency, version = super()._local_fill(node, block, is_write)
-        page = self.addr.page_of_block(block)
-        if self.vm.home_of(page) == node:
-            self.counters.record_miss(page, node, is_write)
+        page = block // self._bpp
+        rec = self._vm_pages.get(page)
+        if rec is not None and rec.home == node:
+            self._record_miss(page, node, is_write)
         return latency, version
 
     def describe(self) -> str:

@@ -22,11 +22,11 @@ construction and accessed by duck typing to avoid an import cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, NamedTuple, Optional, Tuple
 
 from repro.interconnect.message import MessageType
 from repro.kernel.faults import FaultKind
+from repro.mem.directory import DirectoryEntry
 from repro.mem.page_table import PageMode
 from repro.stats.counters import MissClass
 
@@ -38,10 +38,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _DEPARTED_EVICTED = 1
 _DEPARTED_INVALIDATED = 2
 
+_UNMAPPED = PageMode.UNMAPPED
+_LOCAL_HOME = PageMode.LOCAL_HOME
+_READ_REQUEST = MessageType.READ_REQUEST
+_WRITE_REQUEST = MessageType.WRITE_REQUEST
+_DATA_REPLY = MessageType.DATA_REPLY
 
-@dataclass
-class AccessResult:
+
+class AccessResult(NamedTuple):
     """Outcome of servicing one L1 miss (or upgrade).
+
+    This is the *schema* of :meth:`DSMProtocol.handle_miss`'s return value.
+    One result is produced per L1 miss on the simulator's hottest path, so
+    ``handle_miss`` returns a plain tuple in this field order (the engines
+    unpack it positionally); wrap it in :class:`AccessResult` when named
+    access is more convenient.
 
     Attributes
     ----------
@@ -88,6 +99,21 @@ class DSMProtocol:
         num_nodes = machine.cfg.machine.num_nodes
         # per-node, per-block departure reason for miss classification
         self._departed: list[dict[int, int]] = [dict() for _ in range(num_nodes)]
+        # Pre-bound substrate internals for the per-miss fast paths below.
+        # These alias live objects (the dicts are mutated through their
+        # owners' methods as usual); they only skip attribute traversal and
+        # wrapper calls on the hottest path.
+        self._vm_pages = machine.vm._pages
+        self._pt_entries = [pt._entries for pt in machine.page_tables]
+        self._dir_entries = machine.directory._entries
+        self._bc_frames = [bc._frames for bc in machine.block_caches]
+        self._bc_caps = [bc.capacity_blocks for bc in machine.block_caches]
+        self._bc_stats = [bc.stats for bc in machine.block_caches]
+        self._fetch_contention = machine.network.fetch_contention
+        self._bpp = machine.addr.blocks_per_page
+        self._local_miss_cost = self.costs.local_miss
+        self._remote_miss_cost = self.costs.remote_miss
+        self._inval_cost = self.costs.invalidation_per_sharer
 
     # ------------------------------------------------------------------ classification
 
@@ -138,9 +164,18 @@ class DSMProtocol:
     # ------------------------------------------------------------------ directory helpers
 
     def _directory_read(self, node: int, block: int) -> int:
-        """Record a read fill by ``node``; return the block's version."""
-        self.directory.record_read(block, node)
-        return self.directory.version(block)
+        """Record a read fill by ``node``; return the block's version.
+
+        Equivalent to ``directory.record_read`` + ``directory.version``,
+        inlined on the directory entry (this runs once per read fill).
+        """
+        entries = self._dir_entries
+        e = entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            entries[block] = e
+        e.sharers |= 1 << node
+        return e.version
 
     def _directory_write(self, node: int, block: int) -> Tuple[int, int]:
         """Record a write by ``node``; return (extra_latency, new_version).
@@ -148,19 +183,38 @@ class DSMProtocol:
         Other sharers are invalidated: each costs
         ``invalidation_per_sharer`` cycles and a pair of protocol messages,
         and the losing nodes' future refetches classify as coherence
-        misses.
+        misses.  Equivalent to ``directory.record_write`` (plus the sharer
+        walk of ``directory.sharers_of``), inlined on the entry and the
+        sharer bitmask — this runs once per write fill/upgrade.
         """
-        sharers_before = self.directory.sharers_of(block)
-        invalidations, version = self.directory.record_write(block, node)
+        entries = self._dir_entries
+        e = entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            entries[block] = e
+        bit = 1 << node
+        others = e.sharers & ~bit
+        directory = self.directory
+        if e.owner >= 0 and e.owner != node:
+            # previous exclusive owner must write back before we proceed
+            directory.writebacks += 1
+        e.sharers = bit
+        e.owner = node
+        e.version += 1
         extra = 0
-        if invalidations:
-            extra = invalidations * self.costs.invalidation_per_sharer
-            self.network.stats.record(MessageType.INVALIDATION, invalidations)
-            self.network.stats.record(MessageType.INVALIDATION_ACK, invalidations)
-            for other in sharers_before:
-                if other != node:
-                    self.mark_invalidated(other, block)
-        return extra, version
+        if others:
+            invalidations = others.bit_count()
+            directory.invalidations_sent += invalidations
+            extra = invalidations * self._inval_cost
+            stats = self.network.stats
+            stats.record(MessageType.INVALIDATION, invalidations)
+            stats.record(MessageType.INVALIDATION_ACK, invalidations)
+            departed = self._departed
+            while others:
+                low = others & -others
+                others ^= low
+                departed[low.bit_length() - 1][block] = _DEPARTED_INVALIDATED
+        return extra, e.version
 
     # ------------------------------------------------------------------ remote fetch path
 
@@ -168,47 +222,74 @@ class DSMProtocol:
                       now: int, home: int) -> Tuple[int, int, MissClass]:
         """Fetch ``block`` from its remote ``home``; return (latency, version, cause)."""
         stats = self.node_stats[node]
-        cause = self.classify_fetch(node, block)
-        stats.record_remote_miss(cause)
+        # inlined classify_fetch + NodeStats.record_remote_miss
+        reason = self._departed[node].pop(block, 0)
+        stats.remote_misses += 1
+        if reason == _DEPARTED_EVICTED:
+            cause = MissClass.CAPACITY_CONFLICT
+            stats.remote_capacity_conflict += 1
+        elif reason == _DEPARTED_INVALIDATED:
+            cause = MissClass.COHERENCE
+            stats.remote_coherence += 1
+        else:
+            cause = MissClass.COLD
+            stats.remote_cold += 1
 
-        request = MessageType.WRITE_REQUEST if is_write else MessageType.READ_REQUEST
-        contention = self.network.fetch_contention(node, home, now, request,
-                                                   MessageType.DATA_REPLY)
+        contention = self._fetch_contention(
+            node, home, now,
+            _WRITE_REQUEST if is_write else _READ_REQUEST, _DATA_REPLY)
 
         if is_write:
             extra, version = self._directory_write(node, block)
         else:
             extra = 0
             version = self._directory_read(node, block)
-        latency = self.costs.remote_miss + contention + extra
+        latency = self._remote_miss_cost + contention + extra
         return latency, version, cause
 
     def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
         """Service a miss from the node's local memory; return (latency, version)."""
-        stats = self.node_stats[node]
-        stats.local_misses += 1
+        self.node_stats[node].local_misses += 1
         if is_write:
             extra, version = self._directory_write(node, block)
-        else:
-            extra = 0
-            version = self._directory_read(node, block)
-        return self.costs.local_miss + extra, version
+            return self._local_miss_cost + extra, version
+        # inlined _directory_read (the most common single operation)
+        entries = self._dir_entries
+        e = entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            entries[block] = e
+        e.sharers |= 1 << node
+        return self._local_miss_cost, e.version
 
     # ------------------------------------------------------------------ main entry points
 
     def handle_miss(self, node: int, proc: int, page: int, block: int,
-                    is_write: bool, now: int) -> AccessResult:
-        """Service an L1 miss from processor ``proc`` of ``node``."""
-        home, fault_cycles = self.ensure_mapped(node, page)
-        mode = self.page_tables[node].mode_of(page)
+                    is_write: bool, now: int) -> Tuple[int, int, int, int, bool]:
+        """Service an L1 miss from processor ``proc`` of ``node``.
 
-        if mode is PageMode.LOCAL_HOME or home == node:
+        Returns a plain tuple in :class:`AccessResult` field order:
+        ``(service_cycles, pageop_cycles, fault_cycles, version, remote)``.
+        """
+        # Fast path: page already placed and mapped on this node
+        # (equivalent to ensure_mapped + mode_of, without the wrapper calls).
+        rec = self._vm_pages.get(page)
+        pte = self._pt_entries[node].get(page) if rec is not None else None
+        if pte is not None and pte.mode is not _UNMAPPED:
+            home = rec.home
+            fault_cycles = 0
+            mode = pte.mode
+        else:
+            home, fault_cycles = self.ensure_mapped(node, page)
+            mode = self.page_tables[node].mode_of(page)
+
+        if mode is _LOCAL_HOME or home == node:
             latency, version = self._local_fill(node, block, is_write)
-            return AccessResult(latency, 0, fault_cycles, version, False)
+            return (latency, 0, fault_cycles, version, False)
 
         service, pageop, version, remote = self._service_remote_page(
             node, proc, page, block, is_write, now, home, mode)
-        return AccessResult(service, pageop, fault_cycles, version, remote)
+        return (service, pageop, fault_cycles, version, remote)
 
     def handle_upgrade(self, node: int, proc: int, page: int, block: int,
                        now: int) -> Tuple[int, int]:
@@ -219,7 +300,8 @@ class DSMProtocol:
         is remote; invalidations of other sharers are charged on top.
         """
         self.node_stats[node].upgrades += 1
-        home = self.vm.home_of(page)
+        rec = self._vm_pages.get(page)
+        home = rec.home if rec is not None else None
         extra, version = self._directory_write(node, block)
         if home is None or home == node:
             return self.costs.local_miss + extra, version
@@ -237,14 +319,27 @@ class DSMProtocol:
         also held in a node-level structure (block cache or page cache);
         subclasses refine it.  The default marks the departure as an
         eviction when no node-level copy remains.
+
+        NOTE: the batched engine inlines this body on its two miss paths
+        (``repro/engine/batched.py``) when it is not overridden; a change
+        here must be mirrored there.
         """
-        if not self.block_caches[node].contains(block):
-            pc = self.page_caches[node]
-            page = self.addr.page_of_block(block)
-            if pc is None or not pc.contains(page):
-                home = self.vm.home_of(page)
-                if home is not None and home != node:
-                    self.mark_evicted(node, block)
+        # inlined BlockCache.contains
+        cap = self._bc_caps[node]
+        frames = self._bc_frames[node]
+        if cap is None:
+            if block in frames:
+                return
+        else:
+            entry = frames.get(block % cap)
+            if entry is not None and entry[0] == block:
+                return
+        pc = self.page_caches[node]
+        page = block // self._bpp
+        if pc is None or not pc.contains(page):
+            rec = self._vm_pages.get(page)
+            if rec is not None and rec.home != node:
+                self._departed[node][block] = _DEPARTED_EVICTED
 
     # ------------------------------------------------------------------ overridable
 

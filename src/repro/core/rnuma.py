@@ -57,6 +57,9 @@ class RNUMAProtocol(CCNUMAProtocol):
         )
         #: total misses observed per page (used only by the hybrid's delay)
         self._page_miss_totals: dict[int, int] = {}
+        # pre-bound page-cache residency dicts for the per-miss fast path
+        self._pc_pages = [pc._pages if pc is not None else None
+                          for pc in self.page_caches]
 
     # ------------------------------------------------------------------ helpers
 
@@ -108,8 +111,9 @@ class RNUMAProtocol(CCNUMAProtocol):
     def _service_remote_page(self, node: int, proc: int, page: int, block: int,
                              is_write: bool, now: int, home: int,
                              mode: PageMode) -> Tuple[int, int, int, bool]:
-        pc = self.page_caches[node]
-        if pc is not None and pc.contains(page):
+        # inlined PageCache.contains on the pre-bound residency dict
+        pc_pages = self._pc_pages[node]
+        if pc_pages is not None and page in pc_pages:
             latency, version, remote = self._scoma_fetch(
                 node, page, block, is_write, now, home)
             if remote:

@@ -66,6 +66,8 @@ class RNUMAMigRepProtocol(RNUMAProtocol):
             block_caches=self.block_caches,
             l1_caches=machine.l1_by_node,
         )
+        # pre-bound for the per-miss fast path
+        self._record_migrep_miss = self.migrep_counters.record_miss
 
     # ------------------------------------------------------------------ MigRep side
 
@@ -96,7 +98,8 @@ class RNUMAMigRepProtocol(RNUMAProtocol):
         pc = self.page_caches[node]
         if pc is not None and pc.contains(page):
             return 0
-        is_replica_request = node in self.vm.replicas_of(page)
+        rec = self._vm_pages.get(page)
+        is_replica_request = rec is not None and node in rec.replicas
         decision = self.migrep_policy.evaluate(
             self.migrep_counters, page, node, home,
             is_replica_request=is_replica_request)
@@ -129,15 +132,16 @@ class RNUMAMigRepProtocol(RNUMAProtocol):
         pageop += rnuma_pageop
         if remote:
             # the home also observes this miss for its MigRep counters
-            self.migrep_counters.record_miss(page, node, is_write)
+            self._record_migrep_miss(page, node, is_write)
             pageop += self._evaluate_migrep(page, node, home, now)
         return latency, pageop, version, remote
 
     def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
         latency, version = super()._local_fill(node, block, is_write)
-        page = self.addr.page_of_block(block)
-        if self.vm.home_of(page) == node:
-            self.migrep_counters.record_miss(page, node, is_write)
+        page = block // self._bpp
+        rec = self._vm_pages.get(page)
+        if rec is not None and rec.home == node:
+            self._record_migrep_miss(page, node, is_write)
         return latency, version
 
     def describe(self) -> str:

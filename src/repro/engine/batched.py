@@ -1,0 +1,467 @@
+"""Two-tier batched execution engine.
+
+Tier 1 (the **fast path**) never executes guaranteed L1 read hits
+individually: :mod:`repro.engine.classify` proves, per phase and with
+numpy array passes, which references must hit, and the engine resolves
+them in bulk — their cycle cost is closed-form (``compute + l1_hit`` per
+reference), their only side effect a hit-counter credit.
+
+Tier 2 (the **slow path**) walks the *residual* references — possible
+hits, upgrades and misses — in exactly the interpreter's round-robin
+order and feeds them through the unmodified :class:`~repro.core.protocol.
+DSMProtocol` machinery (directory, network, page operations).  The
+probe/fill/bus micro-steps that the interpreter performs through method
+calls are inlined here on pre-bound line arrays (see
+:meth:`DirectMappedCache.line_state`), and when a protocol uses the
+*base* implementations of ``handle_miss`` / ``_local_fill`` /
+``note_l1_eviction`` (checked by ``type``, so every subclass override
+still goes through its method) their bodies are inlined as well; the
+semantics are unchanged either way.
+
+Soundness of the classification is argued in :mod:`repro.engine.classify`.
+The one runtime hazard is page-operation *shootdowns* (migration,
+replication, relocation and collapse flush L1 lines from outside the
+reference stream); the engine arms the caches' ``watch`` hooks and, when
+one fires during a protocol call, demotes every not-yet-consumed fast
+reference that is ordered after the current one to the probe class.
+Demoted references join the walk through a sorted ``extras`` merge — the
+pre-computed schedule is never rebuilt.  Demotions are exact: a demoted
+reference takes the ordinary probe path, and fast references ordered
+*before* the shootdown were unaffected by it (a fast reference performs
+no state mutation that later references could observe).
+
+The engine reproduces the reference interpreter bit for bit — every
+counter, stall category, clock and message statistic; the equivalence
+regression suite (``tests/test_engine_equivalence.py``) asserts this for
+every buildable system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.protocol import DSMProtocol, _DEPARTED_EVICTED
+from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
+from repro.mem.directory import DirectoryEntry
+from repro.mem.page_table import PageMode
+from repro.stats.counters import MachineStats
+from repro.stats.timing import StallKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+
+_UNMAPPED = PageMode.UNMAPPED
+_LOCAL_HOME = PageMode.LOCAL_HOME
+
+
+def run_batched(machine: "Machine", trace) -> MachineStats:
+    """Run ``trace`` on ``machine`` with the two-tier batched engine."""
+    if any(not hasattr(p.cache, "line_state")
+           for p in machine.processors[:trace.num_procs]):
+        # the classifier's occupancy argument needs direct-mapped caches;
+        # exotic processor caches fall back to the reference interpreter
+        from repro.engine.legacy import run_legacy
+        return run_legacy(machine, trace)
+    costs = machine.cfg.costs
+    protocol = machine.protocol
+    addr_bpp = machine.addr.blocks_per_page
+    dir_entries = machine.directory._entries
+    version_of = machine.directory.version
+    node_stats = machine.stats.nodes
+    procs = machine.processors
+    num_procs = trace.num_procs
+
+    l1_hit_cost = costs.l1_hit
+    bus_occ = costs.bus_occupancy
+    bus_enabled = machine.cfg.model_contention
+
+    # Engine-side dispatch of the base handle_miss body (mapping fast path
+    # + local/remote split).  Only when the protocol has not overridden the
+    # corresponding base implementation; bound methods keep polymorphism.
+    ptype = type(protocol)
+    inline_dispatch = ptype.handle_miss is DSMProtocol.handle_miss
+    inline_local = (inline_dispatch
+                    and ptype._local_fill is DSMProtocol._local_fill)
+    inline_evict = ptype.note_l1_eviction is DSMProtocol.note_l1_eviction
+    # plain CC-NUMA's _service_remote_page is a trivial wrapper around
+    # _block_cache_fetch; call the helper directly when it is unoverridden
+    inline_bc_remote = (
+        inline_dispatch
+        and isinstance(protocol, CCNUMAProtocol)
+        and ptype._service_remote_page is CCNUMAProtocol._service_remote_page)
+    bc_fetch = protocol._block_cache_fetch if inline_bc_remote else None
+    handle_miss = protocol.handle_miss
+    handle_upgrade = protocol.handle_upgrade
+    note_l1_eviction = protocol.note_l1_eviction
+    local_fill = protocol._local_fill
+    service_remote = protocol._service_remote_page
+    dir_write = protocol._directory_write
+    departed = protocol._departed
+    local_miss_cost = costs.local_miss
+
+    vm_pages = machine.vm._pages
+    pt_entries = [pt._entries for pt in machine.page_tables]
+    bc_frames = [bc._frames for bc in machine.block_caches]
+    bc_caps = [bc.capacity_blocks for bc in machine.block_caches]
+    page_caches = machine.page_caches
+
+    caches = [procs[p].cache for p in range(num_procs)]
+    node_of = [procs[p].node_id for p in range(num_procs)]
+    line_blocks = []
+    line_versions = []
+    line_dirty = []
+    lines_of = []
+    for c in caches:
+        blocks_l, versions_l, dirty_l = c.line_state()
+        line_blocks.append(blocks_l)
+        line_versions.append(versions_l)
+        line_dirty.append(dirty_l)
+        lines_of.append(c.num_lines)
+
+    # local (flushed-per-phase) bus state, indexed by node id
+    buses = [n.bus for n in machine.nodes]
+    num_nodes = len(buses)
+    bus_free = [b.next_free for b in buses]
+    bus_txn = [0] * num_nodes
+    bus_busy = [0] * num_nodes
+    bus_wait = [0] * num_nodes
+
+    # arm the shootdown watch: page operations invalidating L1 lines add
+    # the owning processor to `events`, which demotes its pending fast refs
+    events: set = set()
+
+    def _mk_watch(p: int):
+        def _watch() -> None:
+            events.add(p)
+        return _watch
+
+    saved_watch = [c.watch for c in caches]
+    for p, c in enumerate(caches):
+        c.watch = _mk_watch(p)
+
+    clocks = [machine.timing.processors[p].clock for p in range(num_procs)]
+
+    try:
+        for phase in trace.phases:
+            blocks_np = [np.asarray(seq) for seq in phase.blocks]
+            writes_np = [np.asarray(seq) for seq in phase.writes]
+            if len(blocks_np) != num_procs:
+                raise ValueError("phase stream count does not match trace.num_procs")
+            lengths = [len(seq) for seq in blocks_np]
+            compute = phase.compute_per_access
+            fast_unit = compute + l1_hit_cost
+
+            cls, sched = classify_phase(blocks_np, writes_np, caches,
+                                        version_of)
+
+            ptr = [0] * num_procs            # next own index not yet accounted
+            fast_total = [0] * num_procs     # fast references consumed
+            hits_rt = [0] * num_procs        # runtime read/owned probe hits
+            upg_rt = [0] * num_procs         # runtime shared-write probe hits
+            miss_rt = [0] * num_procs
+            inval_rt = [0] * num_procs
+            evict_rt = [0] * num_procs
+
+            acc_local = [0] * num_procs
+            acc_remote = [0] * num_procs
+            acc_upgrade = [0] * num_procs
+            acc_pageop = [0] * num_procs
+            acc_fault = [0] * num_procs
+            acc_contention = [0] * num_procs
+
+            n_sched = len(sched)
+            k = 0
+            extras: list = []   # demoted references, sorted
+            ke = 0
+            while k < n_sched or ke < len(extras):
+                if ke < len(extras) and (k >= n_sched
+                                         or extras[ke] < sched[k]):
+                    i, p, probe, block, is_write = extras[ke]
+                    ke += 1
+                else:
+                    i, p, probe, block, is_write = sched[k]
+                    k += 1
+
+                # consume the guaranteed hits since this proc's last residual
+                n_fast = i - ptr[p]
+                base = clocks[p]
+                if n_fast:
+                    base += n_fast * fast_unit
+                    fast_total[p] += n_fast
+                ptr[p] = i + 1
+                clock = base + compute
+                node = node_of[p]
+                cb = line_blocks[p]
+                idx = block % lines_of[p]
+
+                if probe and cb[idx] == block:
+                    # inlined DirectMappedCache.probe
+                    e = dir_entries.get(block)
+                    version = e.version if e is not None else 0
+                    cv = line_versions[p]
+                    if cv[idx] >= version:
+                        if not is_write:
+                            hits_rt[p] += 1
+                            clocks[p] = clock + l1_hit_cost
+                            continue
+                        cd = line_dirty[p]
+                        if cd[idx]:
+                            hits_rt[p] += 1
+                            clocks[p] = clock + l1_hit_cost
+                            continue
+                        # write upgrade: invalidate other sharers
+                        upg_rt[p] += 1
+                        page = block // addr_bpp
+                        if bus_enabled:
+                            free = bus_free[node]
+                            start = clock if clock >= free else free
+                            bus_wait[node] += start - clock
+                            bus_free[node] = start + bus_occ
+                        else:
+                            start = clock
+                        bus_txn[node] += 1
+                        bus_busy[node] += bus_occ
+                        wait = start - clock
+                        latency, new_version = handle_upgrade(
+                            node, p, page, block, start)
+                        # inlined touch_write (the probed line holds `block`)
+                        cd[idx] = True
+                        if new_version > cv[idx]:
+                            cv[idx] = new_version
+                        acc_contention[p] += wait
+                        acc_upgrade[p] += latency
+                        clocks[p] = clock + wait + latency
+                        continue
+                    # stale copy: drop it so the fill below refreshes it
+                    cb[idx] = -1
+                    line_dirty[p][idx] = False
+                    inval_rt[p] += 1
+
+                # miss path (classified miss, absent line, or stale drop)
+                miss_rt[p] += 1
+                page = block // addr_bpp
+                if bus_enabled:
+                    free = bus_free[node]
+                    start = clock if clock >= free else free
+                    bus_wait[node] += start - clock
+                    bus_free[node] = start + bus_occ
+                else:
+                    start = clock
+                bus_txn[node] += 1
+                bus_busy[node] += bus_occ
+                wait = start - clock
+
+                # inlined base handle_miss dispatch (mapping fast path)
+                if inline_dispatch:
+                    rec = vm_pages.get(page)
+                    pte = pt_entries[node].get(page) if rec is not None else None
+                    if pte is None or pte.mode is _UNMAPPED:
+                        service, pageop, fault, version, remote = handle_miss(
+                            node, p, page, block, is_write, start)
+                    else:
+                        fault = 0
+                        mode = pte.mode
+                        if mode is _LOCAL_HOME or rec.home == node:
+                            if inline_local:
+                                # inlined base _local_fill, with the
+                                # specialised (no pageop/fault) accounting
+                                # tail of the local path
+                                node_stats[node].local_misses += 1
+                                if is_write:
+                                    extra, version = dir_write(node, block)
+                                    service = local_miss_cost + extra
+                                else:
+                                    e = dir_entries.get(block)
+                                    if e is None:
+                                        e = DirectoryEntry()
+                                        dir_entries[block] = e
+                                    e.sharers |= 1 << node
+                                    version = e.version
+                                    service = local_miss_cost
+                                # inlined fill + eviction notification
+                                # NOTE: the eviction block below is a
+                                # copy of DSMProtocol.note_l1_eviction —
+                                # as is its twin on the general miss path
+                                # further down; keep all three in sync
+                                cv = line_versions[p]
+                                cd = line_dirty[p]
+                                old = cb[idx]
+                                cb[idx] = block
+                                if old >= 0 and old != block:
+                                    victim_dirty = cd[idx]
+                                    evict_rt[p] += 1
+                                    cv[idx] = version
+                                    cd[idx] = is_write
+                                    if inline_evict:
+                                        cap = bc_caps[node]
+                                        frames = bc_frames[node]
+                                        if cap is None:
+                                            resident = old in frames
+                                        else:
+                                            entry = frames.get(old % cap)
+                                            resident = (entry is not None
+                                                        and entry[0] == old)
+                                        if not resident:
+                                            pc = page_caches[node]
+                                            vpage = old // addr_bpp
+                                            if pc is None or not pc.contains(vpage):
+                                                vrec = vm_pages.get(vpage)
+                                                if (vrec is not None
+                                                        and vrec.home != node):
+                                                    departed[node][old] = \
+                                                        _DEPARTED_EVICTED
+                                    else:
+                                        note_l1_eviction(node, old, victim_dirty)
+                                else:
+                                    cv[idx] = version
+                                    cd[idx] = is_write
+                                acc_contention[p] += wait
+                                acc_local[p] += service
+                                clocks[p] = clock + wait + service
+                                continue
+                            pageop = 0
+                            remote = False
+                            service, version = local_fill(
+                                node, block, is_write)
+                        elif inline_bc_remote:
+                            pageop = 0
+                            service, version, remote = bc_fetch(
+                                node, page, block, is_write, start, rec.home)
+                        else:
+                            service, pageop, version, remote = service_remote(
+                                node, p, page, block, is_write, start,
+                                rec.home, mode)
+                else:
+                    service, pageop, fault, version, remote = handle_miss(
+                        node, p, page, block, is_write, start)
+
+                if events:
+                    # a page operation flushed L1 lines: demote the affected
+                    # procs' pending fast refs ordered after (i, p)
+                    new_extras = []
+                    for p2 in events:
+                        if p2 >= num_procs:
+                            continue
+                        bound = i + 1 if p2 <= p else i
+                        if bound < ptr[p2]:
+                            bound = ptr[p2]
+                        seg = cls[p2][bound:]
+                        pend = np.flatnonzero(seg == CLS_FAST)
+                        if len(pend):
+                            seg[pend] = CLS_PROBE
+                            blk2 = np.asarray(blocks_np[p2])
+                            wrt2 = np.asarray(writes_np[p2])
+                            new_extras.extend(
+                                (int(j) + bound, p2, True,
+                                 int(blk2[j + bound]), bool(wrt2[j + bound]))
+                                for j in pend)
+                    events.clear()
+                    if new_extras:
+                        extras = sorted(extras[ke:] + new_extras)
+                        ke = 0
+
+                # inlined DirectMappedCache.fill + eviction notification
+                cv = line_versions[p]
+                cd = line_dirty[p]
+                old = cb[idx]
+                if old >= 0 and old != block:
+                    victim_dirty = cd[idx]
+                    evict_rt[p] += 1
+                    cb[idx] = block
+                    cv[idx] = version
+                    cd[idx] = is_write
+                    if inline_evict:
+                        # inlined base note_l1_eviction (deliberate copy —
+                        # a helper call costs ~10% of the miss path; its
+                        # twin lives on the local-fill path above; keep
+                        # both in sync with DSMProtocol.note_l1_eviction)
+                        cap = bc_caps[node]
+                        frames = bc_frames[node]
+                        if cap is None:
+                            resident = old in frames
+                        else:
+                            entry = frames.get(old % cap)
+                            resident = entry is not None and entry[0] == old
+                        if not resident:
+                            pc = page_caches[node]
+                            vpage = old // addr_bpp
+                            if pc is None or not pc.contains(vpage):
+                                vrec = vm_pages.get(vpage)
+                                if vrec is not None and vrec.home != node:
+                                    departed[node][old] = _DEPARTED_EVICTED
+                    else:
+                        note_l1_eviction(node, old, victim_dirty)
+                else:
+                    cb[idx] = block
+                    cv[idx] = version
+                    cd[idx] = is_write
+
+                acc_contention[p] += wait
+                if remote:
+                    acc_remote[p] += service
+                else:
+                    acc_local[p] += service
+                acc_pageop[p] += pageop
+                acc_fault[p] += fault
+                clocks[p] = clock + wait + service + pageop + fault
+
+            # consume the trailing guaranteed hits of every processor
+            for p in range(num_procs):
+                tail = lengths[p] - ptr[p]
+                if tail:
+                    clocks[p] += tail * fast_unit
+                    fast_total[p] += tail
+                ptr[p] = lengths[p]
+
+            # flush per-phase accumulators into the timing/statistics objects
+            for p in range(num_procs):
+                n_hits = fast_total[p] + hits_rt[p]
+                pt = machine.timing.processors[p]
+                pt.advance(StallKind.COMPUTE, compute * lengths[p])
+                pt.advance(StallKind.L1_HIT, l1_hit_cost * n_hits)
+                pt.advance(StallKind.LOCAL_MISS, acc_local[p])
+                pt.advance(StallKind.REMOTE_MISS, acc_remote[p])
+                pt.advance(StallKind.UPGRADE, acc_upgrade[p])
+                pt.advance(StallKind.PAGE_OP, acc_pageop[p])
+                pt.advance(StallKind.MAPPING_FAULT, acc_fault[p])
+                pt.advance(StallKind.CONTENTION, acc_contention[p])
+                ns = node_stats[node_of[p]]
+                ns.accesses += lengths[p]
+                ns.l1_hits += n_hits
+                caches[p].credit_batch(hits=n_hits + upg_rt[p],
+                                       misses=miss_rt[p],
+                                       evictions=evict_rt[p],
+                                       invalidations=inval_rt[p])
+
+            # flush the local bus state
+            for n in range(num_nodes):
+                b = buses[n]
+                b.next_free = bus_free[n]
+                b.transactions += bus_txn[n]
+                b.busy_cycles += bus_busy[n]
+                b.wait_cycles += bus_wait[n]
+                bus_txn[n] = 0
+                bus_busy[n] = 0
+                bus_wait[n] = 0
+
+            # barrier at the end of the phase
+            post_barrier = machine.timing.barrier(costs.barrier_cost)
+            clocks = [post_barrier] * num_procs
+            machine.stats.barrier_count += 1
+    finally:
+        for p, c in enumerate(caches):
+            c.watch = saved_watch[p]
+
+    # final bookkeeping
+    machine.stats.execution_time = machine.timing.max_clock()
+    machine.stats.proc_finish_times = [
+        machine.timing.processors[p].clock for p in range(num_procs)
+    ]
+    machine.stats.network_messages = machine.network.total_messages()
+    machine.stats.network_bytes = machine.network.total_bytes()
+    machine.stats.message_stats = machine.network.stats
+    machine.stats.stall_breakdown = dict(machine.timing.aggregate_stalls())
+    return machine.stats

@@ -1,0 +1,221 @@
+"""Vectorised per-phase reference classification for the batched engine.
+
+The batched engine splits each phase's references into three classes:
+
+``CLS_FAST``
+    *Guaranteed* L1 read hits.  They are never executed individually: the
+    engine resolves them in bulk (their cycle costs are pure array
+    arithmetic, their only side effect is the cache hit counter).
+``CLS_PROBE``
+    References that *might* hit (the line may hold the block, but the
+    outcome depends on runtime state such as version freshness or the
+    dirty bit).  The engine performs the exact single-reference probe.
+``CLS_MISS``
+    References whose line provably cannot hold the block — the engine
+    skips the probe entirely and goes straight to the miss path.
+
+The classification is *sound* with respect to the reference interpreter
+(:mod:`repro.engine.legacy`): a ``CLS_FAST`` reference resolves to a read
+hit under the interpreter, and a ``CLS_MISS`` reference to a plain miss
+(no stale-line invalidation).  The argument, in terms of the simulator's
+lazy-invalidation model:
+
+1.  **Occupancy is self-determined.**  After a processor references block
+    ``B``, its direct-mapped line ``B % lines`` holds ``B`` — on a hit it
+    already did, on a stale hit or miss the subsequent fill installs it.
+    Hence "the previous own reference to this line was the same block"
+    (an *occupancy hit*) and "it was a different block" (an *occupancy
+    miss*) are computable per processor without simulating other
+    processors.  External page-operation shootdowns can only *drop*
+    lines, so they can turn an occupancy hit into a miss but never the
+    reverse — ``CLS_MISS`` is unconditionally sound, while ``CLS_FAST``
+    is revalidated through the cache ``watch`` hook (the engine demotes
+    pending fast references to ``CLS_PROBE`` when a shootdown fires).
+
+2.  **Freshness is bounded by writes.**  A cached copy only goes stale
+    when the block's directory version is bumped, and versions are bumped
+    exclusively by *writes* (write fills and upgrades).  A processor's own
+    accesses always leave its copy fresh (fills record the current
+    version, upgrades record the bumped one), so an occupancy-hit *read*
+    with **no interleaved write to the same block by any processor** since
+    the previous own reference is fresh — a guaranteed hit.  Writes are
+    never classified fast (a shared-line write needs an upgrade).
+
+3.  **Phase-boundary carry-over.**  The first reference a processor makes
+    to a line in a phase is checked against the cache's current line state
+    (:meth:`DirectMappedCache.line_state`); it is fast only if it would
+    read-hit *now* and no write to the block precedes it in the phase.
+
+The interleaving order used for "since the previous own reference" is the
+interpreter's round-robin order: reference ``i`` of processor ``p`` has
+global position ``i * num_procs + p``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Classification codes (values chosen so ``cls != CLS_FAST`` selects the
+#: residual stream).
+CLS_MISS = 0
+CLS_FAST = 1
+CLS_PROBE = 2
+
+
+def classify_phase(blocks: Sequence[np.ndarray], writes: Sequence[np.ndarray],
+                   caches: Sequence[object],
+                   version_of: Callable[[int], int]):
+    """Classify one phase's references for every processor.
+
+    Parameters
+    ----------
+    blocks, writes:
+        Per-processor reference streams (``writes`` non-zero marks writes).
+    caches:
+        The processors' :class:`~repro.mem.cache.DirectMappedCache` objects
+        in their *current* (phase-start) state.
+    version_of:
+        Directory version lookup (``block -> version``).
+
+    Returns ``(cls, schedule)``: one ``int8`` array of ``CLS_*`` codes per
+    processor, and the residual walk schedule — the non-``CLS_FAST``
+    references as ``(round, proc, probe?, block, is_write)`` tuples in the
+    reference interpreter's round-robin order (by round, then processor).
+    """
+    num_procs = len(blocks)
+    lens = [len(b) for b in blocks]
+    total = sum(lens)
+    if total == 0:
+        return [np.zeros(n, dtype=np.int8) for n in lens], []
+
+    blk = np.concatenate([np.asarray(b, dtype=np.int64) for b in blocks])
+    wrt = np.concatenate([np.asarray(w, dtype=np.int64) != 0 for w in writes])
+    prc = np.concatenate([np.full(n, p, dtype=np.int64)
+                          for p, n in enumerate(lens)])
+    gpos = (np.concatenate([np.arange(n, dtype=np.int64) for n in lens])
+            * num_procs + prc)
+
+    # ---- last write to each block before each reference ------------------
+    # One sort groups the references by (block, interleave position); a
+    # running maximum over "write positions, floored per block" then gives
+    # every reference the interleave position of the last write to its
+    # block strictly before it (or -1 when there is none).  gpos needs
+    # bits(total * num_procs); block ids get the rest of the int64.
+    shift = max(int(total * num_procs).bit_length() + 1, 28)
+    if int(blk.max(initial=0)).bit_length() + shift < 63:
+        blk_keys = blk << shift
+    else:  # pragma: no cover - astronomically large block ids
+        # compress block ids to dense ranks so the composite key fits
+        _, ranks = np.unique(blk, return_inverse=True)
+        blk_keys = ranks.astype(np.int64) << shift
+    self_keys = blk_keys | gpos
+    by = np.argsort(self_keys)     # keys are unique: no stability needed
+    bk_sorted = blk_keys[by]
+    # a write contributes its own key; a read contributes a sentinel that
+    # is larger than every smaller block's key but smaller than every key
+    # of its own block, so the running maximum never crosses block groups
+    vals = np.where(wrt[by], self_keys[by], bk_sorted - 1)
+    run = np.maximum.accumulate(vals)
+    pw_sorted = np.empty(total, dtype=np.int64)
+    pw_sorted[0] = -1
+    np.subtract(run[:-1], bk_sorted[1:], out=pw_sorted[1:])
+    # now pw_sorted >= 0 iff the previous max is a write of the same block
+    # (its key >= my block key); the value is then that write's gpos
+    np.clip(pw_sorted, -1, None, out=pw_sorted)
+    pw = np.empty(total, dtype=np.int64)
+    pw[by] = pw_sorted             # last write to my block before me, or -1
+
+    # ---- occupancy: previous reference to the same (proc, line) ----------
+    # Composite (proc, line) keys are small ints: when they fit in int16
+    # the single stable argsort is a cheap radix sort.  Each processor's
+    # segment of the concatenated arrays is already in interleave order,
+    # which the stable sort preserves within each (proc, line) group.
+    # All caches share one geometry (Processor.create sizes them equally),
+    # but compute the line per proc anyway to stay general.
+    num_lines = [c.num_lines for c in caches]
+    max_lines = max(num_lines)
+    if num_lines.count(num_lines[0]) == num_procs:
+        lines = blk % num_lines[0]
+    else:  # pragma: no cover - heterogeneous cache geometries
+        lines = np.empty(total, dtype=np.int64)
+        off = 0
+        for p, n in enumerate(lens):
+            if n:
+                lines[off:off + n] = blk[off:off + n] % num_lines[p]
+            off += n
+    key = prc * max_lines + lines
+    if max_lines * num_procs < 2 ** 15:
+        key = key.astype(np.int16)
+    elif max_lines * num_procs < 2 ** 31:  # pragma: no cover - huge caches
+        key = key.astype(np.int32)
+    order = np.argsort(key, kind="stable")
+    kk = key[order]
+    same = kk[1:] == kk[:-1]
+    tgt = order[1:][same]
+    src = order[:-1][same]
+    prev_line_blk = np.full(total, -1, dtype=np.int64)
+    prev_line_blk[tgt] = blk[src]
+    occ_hit = prev_line_blk == blk
+
+    # ---- guaranteed hits --------------------------------------------------
+    # For a direct-mapped cache, an occupancy hit means the previous
+    # same-line reference *is* the previous own reference to this block
+    # (all own references to a block share its line).  The reference is a
+    # guaranteed read hit when no write to its block lies between that
+    # previous own reference and itself: last-write-before-me <= prev-own.
+    prev_own = np.full(total, -2, dtype=np.int64)
+    prev_own[tgt] = gpos[src]
+    fast = occ_hit & ~wrt
+    fast &= pw <= prev_own
+    probe = occ_hit & ~fast
+
+    out = np.zeros(total, dtype=np.int8)
+    out[probe] = CLS_PROBE
+    out[fast] = CLS_FAST
+
+    # ---- phase-boundary carry-over: first touch of each line -------------
+    # Few references per phase (at most one per processor cache line), so
+    # a plain Python pass over the cache state beats vectorising it.
+    first_touch = np.ones(total, dtype=bool)
+    first_touch[tgt] = False
+    ft_idx = np.flatnonzero(first_touch)
+    if len(ft_idx):
+        ft_blk = blk[ft_idx].tolist()
+        ft_prc = prc[ft_idx].tolist()
+        ft_line = lines[ft_idx].tolist()
+        ft_wrt = wrt[ft_idx].tolist()
+        ft_pw = pw[ft_idx].tolist()
+        ft_pos = ft_idx.tolist()
+        states = [c.line_state() for c in caches]
+        for k, pos in enumerate(ft_pos):
+            p = ft_prc[k]
+            b = ft_blk[k]
+            cb, cv, _cd = states[p]
+            if cb[ft_line[k]] == b:
+                # resident first touch: may hit — probe at run time; it is
+                # a *guaranteed* hit if it would read-hit now and no write
+                # to the block precedes it in the phase
+                if (not ft_wrt[k] and ft_pw[k] < 0
+                        and cv[ft_line[k]] >= version_of(b)):
+                    out[pos] = CLS_FAST
+                else:
+                    out[pos] = CLS_PROBE
+
+    # ---- split per processor + build the residual schedule ---------------
+    cls = []
+    off = 0
+    for n in lens:
+        cls.append(out[off:off + n])
+        off += n
+    res = np.flatnonzero(out != CLS_FAST)
+    if not len(res):
+        return cls, []
+    rsel = res[np.argsort(gpos[res])]      # interleave order
+    schedule = list(zip((gpos[rsel] // num_procs).tolist(),
+                        prc[rsel].tolist(),
+                        (out[rsel] == CLS_PROBE).tolist(),
+                        blk[rsel].tolist(),
+                        wrt[rsel].tolist()))
+    return cls, schedule

@@ -1,7 +1,8 @@
 """Experiment harnesses: one module per table/figure of the paper.
 
-* :mod:`repro.experiments.runner` — run one (workload, system) pair and
-  collect an :class:`ExperimentResult`.
+* :mod:`repro.experiments.runner` — run (workload, system) experiments:
+  one-shot helpers and the parallel, memoizing :class:`SweepRunner`
+  every harness executes through.
 * :mod:`repro.experiments.table1` — the qualitative opportunity/overhead
   matrix (Table 1).
 * :mod:`repro.experiments.table2` — applications and inputs (Table 2).
@@ -17,6 +18,9 @@
 
 from repro.experiments.runner import (
     ExperimentResult,
+    RunnerStats,
+    SweepRunner,
+    ensure_runner,
     run_experiment,
     run_pair,
     run_systems,
@@ -24,6 +28,9 @@ from repro.experiments.runner import (
 
 __all__ = [
     "ExperimentResult",
+    "RunnerStats",
+    "SweepRunner",
+    "ensure_runner",
     "run_experiment",
     "run_pair",
     "run_systems",

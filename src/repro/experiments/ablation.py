@@ -45,6 +45,7 @@ from repro.analysis.sweeps import (
     run_sweep,
 )
 from repro.config import SimulationConfig, base_config
+from repro.experiments.runner import SweepRunner, ensure_runner
 from repro.kernel.placement import PLACEMENT_NAMES
 from repro.stats.report import format_normalized_figure
 
@@ -56,16 +57,19 @@ DEFAULT_ABLATION_APPS: tuple[str, ...] = ("barnes", "lu", "radix")
 def run_placement_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
                            systems: Sequence[str] = ("ccnuma", "migrep", "rnuma"),
                            policies: Sequence[str] = PLACEMENT_NAMES,
-                           scale: float = 0.3, seed: int = 0) -> SweepResult:
+                           scale: float = 0.3, seed: int = 0,
+                           runner: Optional[SweepRunner] = None) -> SweepResult:
     """Sweep the initial placement policy."""
     def configure(value: object) -> SimulationConfig:
         return base_config(seed=seed).with_placement(str(value))
     return run_sweep("placement", list(policies), configure,
-                     apps=apps, systems=list(systems), scale=scale, seed=seed)
+                     apps=apps, systems=list(systems), scale=scale, seed=seed,
+                     runner=runner)
 
 
 def run_block_cache_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
-                             scale: float = 0.3, seed: int = 0
+                             scale: float = 0.3, seed: int = 0,
+                             runner: Optional[SweepRunner] = None
                              ) -> Dict[str, Dict[str, float]]:
     """Compare the SRAM block cache, the DRAM block cache and R-NUMA.
 
@@ -75,39 +79,60 @@ def run_block_cache_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
     from repro.experiments.figure5 import normalized_times, run_figure5_app
 
     systems = ("ccnuma", "ccnuma-dram", "rnuma")
-    out: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        results = run_figure5_app(app, scale=scale, seed=seed, systems=systems)
-        out[app] = normalized_times(results)
-    return out
+    runner, owned = ensure_runner(runner)
+    try:
+        out: Dict[str, Dict[str, float]] = {}
+        for app in apps:
+            results = run_figure5_app(app, scale=scale, seed=seed,
+                                      systems=systems, runner=runner)
+            out[app] = normalized_times(results)
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def run_scoma_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
-                       scale: float = 0.3, seed: int = 0
+                       scale: float = 0.3, seed: int = 0,
+                       runner: Optional[SweepRunner] = None
                        ) -> Dict[str, Dict[str, float]]:
     """Compare unconditional S-COMA against reactive R-NUMA and CC-NUMA."""
     from repro.experiments.figure5 import normalized_times, run_figure5_app
 
     systems = ("ccnuma", "scoma", "rnuma")
-    out: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        results = run_figure5_app(app, scale=scale, seed=seed, systems=systems)
-        out[app] = normalized_times(results)
-    return out
+    runner, owned = ensure_runner(runner)
+    try:
+        out: Dict[str, Dict[str, float]] = {}
+        for app in apps:
+            results = run_figure5_app(app, scale=scale, seed=seed,
+                                      systems=systems, runner=runner)
+            out[app] = normalized_times(results)
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def run_threshold_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
                            rnuma_values: Sequence[int] = (8, 16, 32, 64, 128),
                            migrep_values: Sequence[int] = (200, 400, 800, 1600),
-                           scale: float = 0.3, seed: int = 0
+                           scale: float = 0.3, seed: int = 0,
+                           runner: Optional[SweepRunner] = None
                            ) -> Dict[str, SweepResult]:
     """Sweep both techniques' thresholds around the paper's chosen values."""
-    return {
-        "rnuma_threshold": rnuma_threshold_sweep(rnuma_values, apps=apps,
-                                                 scale=scale, seed=seed),
-        "migrep_threshold": migrep_threshold_sweep(migrep_values, apps=apps,
-                                                   scale=scale, seed=seed),
-    }
+    runner, owned = ensure_runner(runner)
+    try:
+        return {
+            "rnuma_threshold": rnuma_threshold_sweep(
+                rnuma_values, apps=apps, scale=scale, seed=seed,
+                runner=runner),
+            "migrep_threshold": migrep_threshold_sweep(
+                migrep_values, apps=apps, scale=scale, seed=seed,
+                runner=runner),
+        }
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_ablation(title: str, per_app: Mapping[str, Mapping[str, float]],

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import ExperimentResult, run_systems
+from repro.experiments.runner import ExperimentResult, SweepRunner, ensure_runner
 from repro.stats.report import format_normalized_figure
 from repro.workloads import get_workload, list_workloads
 
@@ -29,12 +29,18 @@ FIGURE5_SYSTEMS: tuple[str, ...] = (
 
 def run_figure5_app(app: str, *, config: Optional[SimulationConfig] = None,
                     scale: float = 1.0, seed: int = 0,
-                    systems: Sequence[str] = FIGURE5_SYSTEMS
+                    systems: Sequence[str] = FIGURE5_SYSTEMS,
+                    runner: Optional[SweepRunner] = None
                     ) -> Dict[str, ExperimentResult]:
     """Run every Figure 5 system (plus the perfect baseline) for one app."""
     cfg = config if config is not None else base_config(seed=seed)
     trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    return run_systems(trace, systems, cfg)
+    runner, owned = ensure_runner(runner)
+    try:
+        return runner.run_systems(trace, systems, cfg)
+    finally:
+        if owned:
+            runner.close()
 
 
 def normalized_times(results: Mapping[str, ExperimentResult]) -> Dict[str, float]:
@@ -50,16 +56,33 @@ def normalized_times(results: Mapping[str, ExperimentResult]) -> Dict[str, float
 def run_figure5(*, apps: Optional[Sequence[str]] = None,
                 config: Optional[SimulationConfig] = None,
                 scale: float = 1.0, seed: int = 0,
-                systems: Sequence[str] = FIGURE5_SYSTEMS
+                systems: Sequence[str] = FIGURE5_SYSTEMS,
+                runner: Optional[SweepRunner] = None
                 ) -> Dict[str, Dict[str, float]]:
-    """Reproduce Figure 5: normalized execution time per app per system."""
+    """Reproduce Figure 5: normalized execution time per app per system.
+
+    All (app, system) runs are independent; they are submitted to the
+    :class:`SweepRunner` as one batch (parallel across processes when the
+    runner has ``jobs > 1``, memoized against repeated invocations).
+    """
     app_names = tuple(apps) if apps is not None else list_workloads()
-    out: Dict[str, Dict[str, float]] = {}
-    for app in app_names:
-        results = run_figure5_app(app, config=config, scale=scale, seed=seed,
-                                  systems=systems)
-        out[app] = normalized_times(results)
-    return out
+    cfg = config if config is not None else base_config(seed=seed)
+    run_names = list(dict.fromkeys(["perfect", *systems]))
+    runner, owned = ensure_runner(runner)
+    try:
+        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
+                                    seed=seed) for app in app_names}
+        results = iter(runner.map_runs(
+            [(traces[app], name, cfg)
+             for app in app_names for name in run_names]))
+        out: Dict[str, Dict[str, float]] = {}
+        for app in app_names:
+            per_system = {name: next(results) for name in run_names}
+            out[app] = normalized_times(per_system)
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_figure5(per_app: Mapping[str, Mapping[str, float]],

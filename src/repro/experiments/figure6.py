@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config, slow_page_ops_config
-from repro.experiments.runner import run_systems
+from repro.experiments.runner import SweepRunner, ensure_runner
 from repro.stats.report import format_normalized_figure
 from repro.workloads import get_workload, list_workloads
 
@@ -27,7 +27,8 @@ FIGURE6_SERIES: tuple[str, ...] = (
 
 def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
                     fast_config: Optional[SimulationConfig] = None,
-                    slow_config: Optional[SimulationConfig] = None
+                    slow_config: Optional[SimulationConfig] = None,
+                    runner: Optional[SweepRunner] = None
                     ) -> Dict[str, float]:
     """Run one application under fast and slow page-operation support.
 
@@ -40,8 +41,14 @@ def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
     slow = slow_config if slow_config is not None else slow_page_ops_config(seed=seed)
 
     trace = get_workload(app, machine=fast.machine, scale=scale, seed=seed)
-    fast_results = run_systems(trace, ("migrep", "rnuma"), fast)
-    slow_results = run_systems(trace, ("migrep", "rnuma"), slow, baseline=None)
+    runner, owned = ensure_runner(runner)
+    try:
+        fast_results = runner.run_systems(trace, ("migrep", "rnuma"), fast)
+        slow_results = runner.run_systems(trace, ("migrep", "rnuma"), slow,
+                                          baseline=None)
+    finally:
+        if owned:
+            runner.close()
 
     baseline = fast_results["perfect"].execution_time
     return {
@@ -53,11 +60,42 @@ def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
 
 
 def run_figure6(*, apps: Optional[Sequence[str]] = None, scale: float = 1.0,
-                seed: int = 0) -> Dict[str, Dict[str, float]]:
+                seed: int = 0,
+                runner: Optional[SweepRunner] = None
+                ) -> Dict[str, Dict[str, float]]:
     """Reproduce Figure 6 for every application."""
     app_names = tuple(apps) if apps is not None else list_workloads()
-    return {app: run_figure6_app(app, scale=scale, seed=seed)
-            for app in app_names}
+    fast = base_config(seed=seed)
+    slow = slow_page_ops_config(seed=seed)
+    runner, owned = ensure_runner(runner)
+    try:
+        # one batch across all (app, system, speed) runs: fully parallel
+        # under a multi-process runner
+        traces = {app: get_workload(app, machine=fast.machine, scale=scale,
+                                    seed=seed) for app in app_names}
+        items = []
+        for app in app_names:
+            items.extend((traces[app], name, fast)
+                         for name in ("perfect", "migrep", "rnuma"))
+            items.extend((traces[app], name, slow)
+                         for name in ("migrep", "rnuma"))
+        results = iter(runner.map_runs(items))
+        out = {}
+        for app in app_names:
+            fast_res = {name: next(results)
+                        for name in ("perfect", "migrep", "rnuma")}
+            slow_res = {name: next(results) for name in ("migrep", "rnuma")}
+            baseline = fast_res["perfect"].execution_time
+            out[app] = {
+                "migrep-fast": fast_res["migrep"].execution_time / baseline,
+                "rnuma-fast": fast_res["rnuma"].execution_time / baseline,
+                "migrep-slow": slow_res["migrep"].execution_time / baseline,
+                "rnuma-slow": slow_res["rnuma"].execution_time / baseline,
+            }
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_figure6(per_app: Mapping[str, Mapping[str, float]]) -> str:

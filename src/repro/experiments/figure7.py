@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, long_latency_config
-from repro.experiments.runner import run_systems
+from repro.experiments.runner import SweepRunner, ensure_runner
 from repro.stats.report import format_normalized_figure
 from repro.workloads import get_workload, list_workloads
 
@@ -25,7 +25,8 @@ FIGURE7_SYSTEMS: tuple[str, ...] = ("ccnuma", "migrep", "rnuma")
 
 def run_figure7_app(app: str, *, config: Optional[SimulationConfig] = None,
                     latency_factor: float = 4.0, scale: float = 1.0,
-                    seed: int = 0) -> Dict[str, float]:
+                    seed: int = 0,
+                    runner: Optional[SweepRunner] = None) -> Dict[str, float]:
     """Run one application at the long network latency.
 
     Returns normalized execution times for the Figure 7 systems.
@@ -33,7 +34,12 @@ def run_figure7_app(app: str, *, config: Optional[SimulationConfig] = None,
     cfg = (config if config is not None
            else long_latency_config(seed=seed, factor=latency_factor))
     trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    results = run_systems(trace, FIGURE7_SYSTEMS, cfg)
+    runner, owned = ensure_runner(runner)
+    try:
+        results = runner.run_systems(trace, FIGURE7_SYSTEMS, cfg)
+    finally:
+        if owned:
+            runner.close()
     baseline = results["perfect"].execution_time
     return {name: res.execution_time / baseline
             for name, res in results.items() if name != "perfect"}
@@ -41,14 +47,33 @@ def run_figure7_app(app: str, *, config: Optional[SimulationConfig] = None,
 
 def run_figure7(*, apps: Optional[Sequence[str]] = None,
                 latency_factor: float = 4.0, scale: float = 1.0,
-                seed: int = 0) -> Dict[str, Dict[str, float]]:
+                seed: int = 0,
+                runner: Optional[SweepRunner] = None
+                ) -> Dict[str, Dict[str, float]]:
     """Reproduce Figure 7 for every application."""
     app_names = tuple(apps) if apps is not None else list_workloads()
-    return {
-        app: run_figure7_app(app, latency_factor=latency_factor,
-                             scale=scale, seed=seed)
-        for app in app_names
-    }
+    cfg = long_latency_config(seed=seed, factor=latency_factor)
+    run_names = list(dict.fromkeys(["perfect", *FIGURE7_SYSTEMS]))
+    runner, owned = ensure_runner(runner)
+    try:
+        # one batch across all (app, system) pairs: fully parallel under
+        # a multi-process runner
+        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
+                                    seed=seed) for app in app_names}
+        results = iter(runner.map_runs(
+            [(traces[app], name, cfg)
+             for app in app_names for name in run_names]))
+        out = {}
+        for app in app_names:
+            per_system = {name: next(results) for name in run_names}
+            baseline = per_system["perfect"].execution_time
+            out[app] = {name: res.execution_time / baseline
+                        for name, res in per_system.items()
+                        if name != "perfect"}
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_figure7(per_app: Mapping[str, Mapping[str, float]]) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import run_systems
+from repro.experiments.runner import SweepRunner, ensure_runner
 from repro.stats.report import format_normalized_figure
 from repro.workloads import get_workload, list_workloads
 
@@ -27,11 +27,17 @@ FIGURE8_SYSTEMS: tuple[str, ...] = (
 
 
 def run_figure8_app(app: str, *, config: Optional[SimulationConfig] = None,
-                    scale: float = 1.0, seed: int = 0) -> Dict[str, float]:
+                    scale: float = 1.0, seed: int = 0,
+                    runner: Optional[SweepRunner] = None) -> Dict[str, float]:
     """Run one application under the Figure 8 systems; return normalized times."""
     cfg = config if config is not None else base_config(seed=seed)
     trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    results = run_systems(trace, FIGURE8_SYSTEMS, cfg)
+    runner, owned = ensure_runner(runner)
+    try:
+        results = runner.run_systems(trace, FIGURE8_SYSTEMS, cfg)
+    finally:
+        if owned:
+            runner.close()
     baseline = results["perfect"].execution_time
     return {name: res.execution_time / baseline
             for name, res in results.items() if name != "perfect"}
@@ -39,11 +45,33 @@ def run_figure8_app(app: str, *, config: Optional[SimulationConfig] = None,
 
 def run_figure8(*, apps: Optional[Sequence[str]] = None,
                 config: Optional[SimulationConfig] = None,
-                scale: float = 1.0, seed: int = 0) -> Dict[str, Dict[str, float]]:
+                scale: float = 1.0, seed: int = 0,
+                runner: Optional[SweepRunner] = None
+                ) -> Dict[str, Dict[str, float]]:
     """Reproduce Figure 8 for every application."""
     app_names = tuple(apps) if apps is not None else list_workloads()
-    return {app: run_figure8_app(app, config=config, scale=scale, seed=seed)
-            for app in app_names}
+    cfg = config if config is not None else base_config(seed=seed)
+    run_names = list(dict.fromkeys(["perfect", *FIGURE8_SYSTEMS]))
+    runner, owned = ensure_runner(runner)
+    try:
+        # one batch across all (app, system) pairs: fully parallel under
+        # a multi-process runner
+        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
+                                    seed=seed) for app in app_names}
+        results = iter(runner.map_runs(
+            [(traces[app], name, cfg)
+             for app in app_names for name in run_names]))
+        out = {}
+        for app in app_names:
+            per_system = {name: next(results) for name in run_names}
+            baseline = per_system["perfect"].execution_time
+            out[app] = {name: res.execution_time / baseline
+                        for name, res in per_system.items()
+                        if name != "perfect"}
+        return out
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_figure8(per_app: Mapping[str, Mapping[str, float]]) -> str:

@@ -1,21 +1,36 @@
-"""Run one (workload, system) pair and collect results.
+"""Run (workload, system) experiments: one-shot helpers and the SweepRunner.
 
-:func:`run_experiment` is the single entry point every experiment module,
-example and benchmark uses: build a machine for a named system, run a
-trace through it and wrap the statistics in an :class:`ExperimentResult`.
-Because the paper reports everything normalized to a perfect CC-NUMA run
-of the same application, :func:`run_pair` and :func:`run_systems` bundle
-the baseline run together with the systems of interest.
+:func:`run_experiment` is the basic entry point: build a machine for a
+named system, run a trace through it and wrap the statistics in an
+:class:`ExperimentResult`.  Because the paper reports everything
+normalized to a perfect CC-NUMA run of the same application,
+:func:`run_pair` and :func:`run_systems` bundle the baseline run together
+with the systems of interest.
+
+The figure/table/ablation harnesses go through a :class:`SweepRunner`
+instead: it executes independent (workload, system, config) runs across
+worker *processes* (``--jobs`` on the CLI, ``REPRO_JOBS`` in the
+environment) and memoizes results keyed by a digest of the trace content,
+the system name and the configuration — so e.g. the perfect-CC-NUMA
+baseline of an application is simulated once per sweep, not once per
+figure, and re-renders are free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+import hashlib
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.machine import Machine
 from repro.config import SimulationConfig, base_config
 from repro.core.factory import SystemSpec, build_system
+from repro.engine import default_engine
 from repro.stats.counters import MachineStats
 from repro.workloads.trace import Trace
 
@@ -122,3 +137,226 @@ def run_systems(trace: Trace, systems: Sequence[Union[str, SystemSpec]],
             continue
         results[spec.name] = run_experiment(trace, spec, config)
     return results
+
+
+# ---------------------------------------------------------------------------
+# SweepRunner: parallel, memoized execution of independent runs
+# ---------------------------------------------------------------------------
+
+
+#: Environment variable giving the default worker-process count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker processes used when a SweepRunner is built without ``jobs``."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip().lower()
+    if raw in ("", "1"):
+        return 1
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _trace_digest(trace: Trace) -> str:
+    """Content digest of a trace (streams, geometry and phase costs)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"{trace.name}|{trace.num_procs}|{len(trace.phases)}".encode())
+    for phase in trace.phases:
+        h.update(f"|{phase.name}|{phase.compute_per_access}".encode())
+        for blocks, writes in zip(phase.blocks, phase.writes):
+            # frame each stream with its length so identical bytes split
+            # differently across processors cannot collide
+            h.update(f"#{len(blocks)}".encode())
+            h.update(np.ascontiguousarray(np.asarray(blocks, dtype=np.int64)))
+            h.update(np.ascontiguousarray(np.asarray(writes, dtype=np.int8)))
+    return h.hexdigest()
+
+
+def _execute_run(trace: Trace, system_name: str, cfg: SimulationConfig,
+                 engine: str) -> ExperimentResult:
+    """Worker entry point: one independent simulation (also used inline)."""
+    machine = Machine(cfg, build_system(system_name))
+    stats = machine.run(trace, engine=engine)
+    return ExperimentResult(workload=trace.name, system=system_name,
+                            config=cfg, stats=stats)
+
+
+@dataclass
+class RunnerStats:
+    """Bookkeeping of a SweepRunner's cache behaviour."""
+
+    runs: int = 0           # simulations actually executed
+    memo_hits: int = 0      # results served from the memo table
+    parallel_runs: int = 0  # runs dispatched to worker processes
+
+
+class SweepRunner:
+    """Executes independent (trace, system, config) runs, possibly in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default, or ``REPRO_JOBS`` unset)
+        runs everything inline; ``N > 1`` dispatches cache-missing runs of
+        a batch to a ``ProcessPoolExecutor``.  Results are bit-identical
+        either way — runs are independent and the simulator is
+        deterministic.
+    memoize:
+        Keep a result table keyed by ``(trace digest, system, config,
+        engine)`` so repeated runs (e.g. the per-app perfect baseline
+        shared by several figures) are simulated once.
+    engine:
+        Execution engine for all runs (default: the session default, see
+        :mod:`repro.engine`).
+
+    Use as a context manager (or call :meth:`close`) to release the worker
+    pool; a runner with ``jobs=1`` holds no resources.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *, memoize: bool = True,
+                 engine: Optional[str] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.engine = engine if engine is not None else default_engine()
+        self.memoize = memoize
+        self.stats = RunnerStats()
+        self._memo: Dict[Tuple[str, str, str, str], ExperimentResult] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._trace_keys: Dict[int, str] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- keys ---------------------------------------------------------------
+
+    def _key(self, trace: Trace, system_name: str,
+             cfg: SimulationConfig) -> Tuple[str, str, str, str]:
+        # id()-keyed digest cache: sweeps reuse the same trace object for
+        # many systems, and hashing the streams repeatedly would dominate.
+        # A finalizer drops the entry when the trace dies, so a recycled
+        # id() can never serve a stale digest.
+        tkey = self._trace_keys.get(id(trace))
+        if tkey is None:
+            tkey = _trace_digest(trace)
+            self._trace_keys[id(trace)] = tkey
+            weakref.finalize(trace, self._trace_keys.pop, id(trace), None)
+        return (tkey, system_name, repr(sorted(cfg.describe().items())),
+                self.engine)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, trace: Trace, system: Union[str, SystemSpec],
+            config: Optional[SimulationConfig] = None) -> ExperimentResult:
+        """Run one (trace, system) pair through the memo table."""
+        return self.map_runs([(trace, system, config)])[0]
+
+    def map_runs(self, items: Sequence[Tuple[Trace, Union[str, SystemSpec],
+                                             Optional[SimulationConfig]]]
+                 ) -> List[ExperimentResult]:
+        """Run a batch of independent (trace, system, config) items.
+
+        Cache-missing items are deduplicated and executed — across the
+        worker pool when ``jobs > 1`` — and every result lands in the memo
+        table.  The returned list is aligned with ``items``.
+
+        Explicit :class:`SystemSpec` objects (rather than registry names)
+        may carry arbitrary protocol factories, so they are executed
+        inline and bypass both the memo table and the worker pool — a
+        customised spec can never be conflated with the registry system
+        of the same name.
+        """
+        keyed: List[Tuple[Optional[Tuple[str, str, str, str]], Trace,
+                          Union[str, SystemSpec], SimulationConfig]] = []
+        for trace, system, config in items:
+            cfg = config if config is not None else base_config()
+            key = (self._key(trace, system, cfg)
+                   if isinstance(system, str) else None)
+            keyed.append((key, trace, system, cfg))
+
+        pending: Dict[Tuple[str, str, str, str],
+                      Tuple[Trace, str, SimulationConfig]] = {}
+        for key, trace, system, cfg in keyed:
+            if key is not None and key not in self._memo and key not in pending:
+                pending[key] = (trace, system, cfg)
+
+        self.stats.memo_hits += sum(1 for key, *_ in keyed
+                                    if key is not None and key in self._memo)
+
+        if pending:
+            self.stats.runs += len(pending)
+            if self.jobs > 1 and len(pending) > 1:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                futures = {
+                    key: self._pool.submit(_execute_run, trace, name, cfg,
+                                           self.engine)
+                    for key, (trace, name, cfg) in pending.items()
+                }
+                self.stats.parallel_runs += len(futures)
+                for key, future in futures.items():
+                    self._memo[key] = future.result()
+            else:
+                for key, (trace, name, cfg) in pending.items():
+                    self._memo[key] = _execute_run(trace, name, cfg,
+                                                   self.engine)
+
+        results = []
+        for key, trace, system, cfg in keyed:
+            if key is not None:
+                results.append(self._memo[key])
+            else:
+                # explicit SystemSpec: fresh, unmemoized inline run
+                self.stats.runs += 1
+                machine = Machine(cfg, system)
+                stats = machine.run(trace, engine=self.engine)
+                results.append(ExperimentResult(workload=trace.name,
+                                                system=system.name,
+                                                config=cfg, stats=stats))
+        if not self.memoize:
+            self._memo.clear()
+            self._trace_keys.clear()
+        return results
+
+    def run_systems(self, trace: Trace,
+                    systems: Sequence[Union[str, SystemSpec]],
+                    config: Optional[SimulationConfig] = None,
+                    baseline: Optional[str] = "perfect"
+                    ) -> Dict[str, ExperimentResult]:
+        """Memoized, batched equivalent of :func:`run_systems`."""
+        ordered: List[Union[str, SystemSpec]] = (
+            [baseline] if baseline is not None else [])
+        names = [baseline] if baseline is not None else []
+        for system in systems:
+            name = system if isinstance(system, str) else system.name
+            if name not in names:
+                names.append(name)
+                ordered.append(system)
+        results = self.map_runs([(trace, system, config)
+                                 for system in ordered])
+        return dict(zip(names, results))
+
+
+def ensure_runner(runner: Optional[SweepRunner]) -> Tuple[SweepRunner, bool]:
+    """Return ``(runner, owned)`` — creating a default one when None.
+
+    Harness entry points accept an optional shared runner; when the caller
+    did not supply one, a private runner is created and the caller is
+    responsible for closing it (``owned`` is True).
+    """
+    if runner is not None:
+        return runner, False
+    return SweepRunner(), True

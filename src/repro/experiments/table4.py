@@ -19,7 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import ExperimentResult, run_systems
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepRunner,
+    ensure_runner,
+)
 from repro.stats.report import format_table
 from repro.workloads import get_workload, list_workloads
 
@@ -40,11 +44,18 @@ class Table4Row:
 
 
 def run_table4_app(app: str, *, config: Optional[SimulationConfig] = None,
-                   scale: float = 1.0, seed: int = 0) -> Table4Row:
+                   scale: float = 1.0, seed: int = 0,
+                   runner: Optional[SweepRunner] = None) -> Table4Row:
     """Compute one application's Table 4 row."""
     cfg = config if config is not None else base_config(seed=seed)
     trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    results = run_systems(trace, TABLE4_SYSTEMS, cfg, baseline=None)
+    runner, owned = ensure_runner(runner)
+    try:
+        results = runner.run_systems(trace, TABLE4_SYSTEMS, cfg,
+                                     baseline=None)
+    finally:
+        if owned:
+            runner.close()
 
     migrep = results["migrep"]
     rnuma = results["rnuma"]
@@ -62,11 +73,18 @@ def run_table4_app(app: str, *, config: Optional[SimulationConfig] = None,
 
 def run_table4(*, apps: Optional[Sequence[str]] = None,
                config: Optional[SimulationConfig] = None,
-               scale: float = 1.0, seed: int = 0) -> List[Table4Row]:
+               scale: float = 1.0, seed: int = 0,
+               runner: Optional[SweepRunner] = None) -> List[Table4Row]:
     """Reproduce Table 4 for every application."""
     app_names = tuple(apps) if apps is not None else list_workloads()
-    return [run_table4_app(app, config=config, scale=scale, seed=seed)
-            for app in app_names]
+    runner, owned = ensure_runner(runner)
+    try:
+        return [run_table4_app(app, config=config, scale=scale, seed=seed,
+                               runner=runner)
+                for app in app_names]
+    finally:
+        if owned:
+            runner.close()
 
 
 def render_table4(rows: Sequence[Table4Row]) -> str:

@@ -116,43 +116,61 @@ class Network:
         returning only the *queueing delay* beyond the nominal (uncontended)
         round trip — which the protocols add on top of the Table 3 remote
         miss latency.  Semantically equivalent to :meth:`round_trip` minus
-        the nominal latency, but with fewer intermediate calls because it
-        sits on the simulator's hottest path.
+        the nominal latency, but with the per-message bookkeeping inlined
+        because it sits on the simulator's hottest path.  Unlike
+        :meth:`one_way` it does not validate the node ids; callers pass
+        protocol-derived (always valid) nodes.
         """
-        self._check(requester)
-        self._check(home)
+        # inlined MessageStats.record for the two messages
         stats = self.stats
-        stats.record(request)
-        stats.record(reply)
+        counts = stats.counts
+        counts[request] = counts.get(request, 0) + 1
+        counts[reply] = counts.get(reply, 0) + 1
+        sizes = stats._sizes
+        stats.bytes_total += sizes[request] + sizes[reply]
         if requester == home:
             return 0
         occ = self.nic_occupancy
+        req_nic = self._nics[requester]
+        home_nic = self._nics[home]
         if not self.enabled:
-            req_nic = self._nics[requester]
-            home_nic = self._nics[home]
             req_nic.messages += 2
             home_nic.messages += 2
             req_nic.busy_cycles += 2 * occ
             home_nic.busy_cycles += 2 * occ
             return 0
-        wait = 0
-        req_nic = self._nics[requester]
-        home_nic = self._nics[home]
+        # inlined _Nic.acquire for the four serialisation points
+        latency = self.latency
         # request injection at the requester
-        t = req_nic.acquire(now, occ, True)
-        wait += t - now
-        t += occ + self.latency
-        # request delivery + reply injection at the home
-        t2 = home_nic.acquire(t, occ, True)
-        wait += t2 - t
-        t2 += occ
-        t3 = home_nic.acquire(t2, occ, True)
-        wait += t3 - t2
-        t3 += occ + self.latency
+        free = req_nic.next_free
+        start1 = now if now >= free else free
+        w1 = start1 - now
+        req_nic.next_free = start1 + occ
+        t = start1 + occ + latency
+        # request delivery at the home
+        free = home_nic.next_free
+        start2 = t if t >= free else free
+        w2 = start2 - t
+        home_nic.next_free = start2 + occ
+        t2 = start2 + occ
+        # reply injection at the home
+        free = home_nic.next_free
+        start3 = t2 if t2 >= free else free
+        w3 = start3 - t2
+        home_nic.next_free = start3 + occ
+        t3 = start3 + occ + latency
         # reply delivery at the requester
-        t4 = req_nic.acquire(t3, occ, True)
-        wait += t4 - t3
-        return wait
+        free = req_nic.next_free
+        start4 = t3 if t3 >= free else free
+        w4 = start4 - t3
+        req_nic.next_free = start4 + occ
+        req_nic.messages += 2
+        home_nic.messages += 2
+        req_nic.busy_cycles += 2 * occ
+        home_nic.busy_cycles += 2 * occ
+        req_nic.wait_cycles += w1 + w4
+        home_nic.wait_cycles += w2 + w3
+        return w1 + w2 + w3 + w4
 
     def round_trip(self, requester: int, home: int, now: int,
                    request: MessageType = MessageType.READ_REQUEST,

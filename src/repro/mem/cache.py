@@ -23,7 +23,9 @@ whose version is stale counts as a coherence miss (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass
@@ -69,7 +71,7 @@ class DirectMappedCache:
         Number of block frames (capacity / block size).
     """
 
-    __slots__ = ("num_lines", "_blocks", "_versions", "_dirty", "stats")
+    __slots__ = ("num_lines", "_blocks", "_versions", "_dirty", "stats", "watch")
 
     def __init__(self, num_lines: int) -> None:
         if num_lines <= 0:
@@ -79,6 +81,10 @@ class DirectMappedCache:
         self._versions: list[int] = [0] * num_lines
         self._dirty: list[bool] = [False] * num_lines
         self.stats = CacheStats()
+        #: optional zero-argument callback fired whenever a line is dropped
+        #: from *outside* the probe/fill path (page-operation shootdowns).
+        #: The batched engine uses it to invalidate its hit pre-classification.
+        self.watch: Optional[Callable[[], None]] = None
 
     # -- core operations -----------------------------------------------------
 
@@ -156,8 +162,64 @@ class DirectMappedCache:
             self._blocks[idx] = -1
             self._dirty[idx] = False
             self.stats.invalidations += 1
+            if self.watch is not None:
+                self.watch()
             return True
         return False
+
+    # -- batched probe API (used by repro.engine.batched) ----------------------
+
+    def line_state(self) -> Tuple[list, list, list]:
+        """The live per-line ``(blocks, versions, dirty)`` lists.
+
+        These are the cache's *internal* mutable lists, exposed so the
+        batched engine can probe and fill lines without per-access method
+        calls.  Mutations must preserve the class invariants (a dropped
+        line is ``block=-1, dirty=False``) and account statistics through
+        :meth:`credit_batch`.
+        """
+        return self._blocks, self._versions, self._dirty
+
+    def probe_batch(self, blocks: Sequence[int], versions: Sequence[int],
+                    writes: Sequence[bool]) -> np.ndarray:
+        """Vectorised, *side-effect-free* probe of many blocks at once.
+
+        Returns an array of ``PROBE_*`` codes describing how each access
+        would resolve against the **current** cache state, without the
+        state evolution or statistics updates of :meth:`probe` (stale
+        lines are not dropped, counters are untouched).  The batched
+        engine uses this to pre-classify the first reference a processor
+        makes to each cache line in a phase.
+        """
+        b = np.asarray(blocks, dtype=np.int64)
+        idx = b % self.num_lines
+        cb = np.asarray(self._blocks, dtype=np.int64)
+        cv = np.asarray(self._versions, dtype=np.int64)
+        cd = np.asarray(self._dirty, dtype=bool)
+        present = cb[idx] == b
+        fresh = present & (cv[idx] >= np.asarray(versions, dtype=np.int64))
+        w = np.asarray(writes, dtype=bool)
+        out = np.full(len(b), PROBE_MISS, dtype=np.int8)
+        out[fresh & ~w] = PROBE_READ_HIT
+        dirty_hit = fresh & w & cd[idx]
+        out[dirty_hit] = PROBE_WRITE_HIT_OWNED
+        out[fresh & w & ~cd[idx]] = PROBE_WRITE_HIT_SHARED
+        return out
+
+    def resident_batch(self, blocks: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`contains`: which blocks occupy their frame now."""
+        b = np.asarray(blocks, dtype=np.int64)
+        cb = np.asarray(self._blocks, dtype=np.int64)
+        return cb[b % self.num_lines] == b
+
+    def credit_batch(self, *, hits: int = 0, misses: int = 0,
+                     evictions: int = 0, invalidations: int = 0) -> None:
+        """Bulk statistics credit for accesses resolved outside :meth:`probe`."""
+        st = self.stats
+        st.hits += hits
+        st.misses += misses
+        st.evictions += evictions
+        st.invalidations += invalidations
 
     # -- inspection -----------------------------------------------------------
 
@@ -193,6 +255,8 @@ class DirectMappedCache:
             self._blocks[i] = -1
             self._versions[i] = 0
             self._dirty[i] = False
+        if self.watch is not None:
+            self.watch()
 
 
 @dataclass

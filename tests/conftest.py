@@ -16,8 +16,11 @@ from repro.config import (
     SimulationConfig,
     ThresholdConfig,
 )
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+from repro.workloads.spec import WorkloadSpec
+
+# Re-exported for backwards compatibility; new code should import these
+# from ``helpers`` directly.
+from helpers import make_simple_spec, make_trace  # noqa: F401
 
 
 @pytest.fixture
@@ -76,39 +79,10 @@ def small_config(small_machine, fast_thresholds) -> SimulationConfig:
                             thresholds=fast_thresholds, seed=1)
 
 
-def make_simple_spec(*, pattern: SharingPattern = SharingPattern.READ_WRITE_SHARED,
-                     pages: int = 16, accesses: int = 400,
-                     write_fraction: float = 0.2,
-                     shift: int = 0, phases: int = 2,
-                     node_affinity: float = 0.0,
-                     touches_per_page: int = 8) -> WorkloadSpec:
-    """Build a one-group workload spec for targeted protocol tests."""
-    group = PageGroup(name="data", num_pages=pages, pattern=pattern,
-                      write_fraction=write_fraction,
-                      node_affinity=node_affinity,
-                      touches_per_page=touches_per_page)
-    phase_list = [Phase(name="init", touch_groups=("data",))]
-    for i in range(phases):
-        phase_list.append(
-            Phase(name=f"work-{i}", accesses_per_proc=accesses,
-                  weights={"data": 1.0}, compute_per_access=4,
-                  migratory_shift=shift))
-    return WorkloadSpec(name=f"simple-{pattern.value}",
-                        description="test workload",
-                        groups=(group,), phases=tuple(phase_list))
-
-
 @pytest.fixture
 def simple_spec() -> WorkloadSpec:
     """A read-write-shared single-group workload."""
     return make_simple_spec()
-
-
-def make_trace(spec: WorkloadSpec, machine: MachineConfig, *, seed: int = 0,
-               access_scale: float = 1.0):
-    """Generate a trace for ``spec`` on ``machine``."""
-    return TraceGenerator(spec, machine, access_scale=access_scale,
-                          seed=seed).generate()
 
 
 @pytest.fixture

@@ -32,7 +32,7 @@ from repro.interconnect.message import MessageStats, MessageType
 from repro.workloads import get_workload
 from repro.workloads.spec import SharingPattern
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 # ---------------------------------------------------------------------------

@@ -212,3 +212,63 @@ class TestSetAssociativeCache:
             if not c.lookup(b, 0):
                 c.fill(b, 0)
         assert c.occupancy() <= 16
+
+
+class TestBatchedProbeAPI:
+    """The vectorised helpers the batched engine builds on."""
+
+    def _filled(self):
+        from repro.mem.cache import DirectMappedCache
+        c = DirectMappedCache(8)
+        c.fill(3, version=2)
+        c.fill(5, version=0, dirty=True)
+        return c
+
+    def test_probe_batch_matches_probe_codes(self):
+        import numpy as np
+        from repro.mem.cache import (
+            DirectMappedCache,
+            PROBE_MISS,
+            PROBE_READ_HIT,
+            PROBE_WRITE_HIT_OWNED,
+            PROBE_WRITE_HIT_SHARED,
+        )
+        c = self._filled()
+        codes = c.probe_batch([3, 3, 5, 5, 7, 3],
+                              [2, 3, 0, 0, 0, 1],
+                              [False, False, False, True, False, True])
+        assert list(codes) == [PROBE_READ_HIT, PROBE_MISS, PROBE_READ_HIT,
+                               PROBE_WRITE_HIT_OWNED, PROBE_MISS,
+                               PROBE_WRITE_HIT_SHARED]
+        # side-effect free: no statistics, no stale drops
+        assert c.stats.accesses == 0
+        assert c.contains(3) and c.contains(5)
+
+    def test_resident_batch(self):
+        c = self._filled()
+        assert list(c.resident_batch([3, 5, 7, 11])) == [True, True, False,
+                                                         False]
+
+    def test_line_state_aliases_live_lines(self):
+        c = self._filled()
+        blocks, versions, dirty = c.line_state()
+        assert blocks[3] == 3 and versions[3] == 2 and dirty[5]
+        c.invalidate(3)
+        assert blocks[3] == -1
+
+    def test_credit_batch(self):
+        c = self._filled()
+        c.credit_batch(hits=10, misses=4, evictions=2, invalidations=1)
+        assert (c.stats.hits, c.stats.misses, c.stats.evictions,
+                c.stats.invalidations) == (10, 4, 2, 1)
+
+    def test_watch_fires_on_invalidate_and_clear(self):
+        events = []
+        c = self._filled()
+        c.watch = lambda: events.append("drop")
+        c.invalidate(99)       # absent: no drop, no event
+        assert events == []
+        c.invalidate(3)
+        assert events == ["drop"]
+        c.clear()
+        assert events == ["drop", "drop"]

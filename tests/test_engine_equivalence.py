@@ -1,0 +1,194 @@
+"""Engine equivalence regression: batched == legacy, bit for bit.
+
+The batched engine (:mod:`repro.engine.batched`) must reproduce the
+reference interpreter's statistics and execution times exactly — every
+counter, stall category, clock, message count and cache statistic — for
+every system the factory can build.  These tests run the same trace
+through both engines on freshly built machines and compare deep
+fingerprints of the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.machine import Machine
+from repro.config import CostModel, SimulationConfig
+from repro.core.factory import SYSTEM_NAMES, build_system
+from repro.engine import ENGINE_NAMES, default_engine, resolve_engine
+from repro.workloads.spec import SharingPattern
+from repro.workloads.trace import PhaseTrace, Trace
+
+import numpy as np
+
+from helpers import make_simple_spec, make_trace
+
+
+NODE_FIELDS = (
+    "accesses", "l1_hits", "upgrades", "local_misses", "block_cache_hits",
+    "page_cache_hits", "remote_misses", "remote_cold",
+    "remote_capacity_conflict", "remote_coherence", "migrations",
+    "replications", "relocations", "page_cache_evictions",
+    "replica_collapses", "mapping_faults",
+)
+
+
+def fingerprint(machine: Machine, stats) -> dict:
+    """Deep fingerprint of a run: everything an experiment can observe."""
+    return {
+        "execution_time": stats.execution_time,
+        "proc_finish_times": list(stats.proc_finish_times),
+        "network_messages": stats.network_messages,
+        "network_bytes": stats.network_bytes,
+        "barrier_count": stats.barrier_count,
+        "stalls": {k.value: v for k, v in stats.stall_breakdown.items()},
+        "messages": {k.value: v for k, v in stats.message_stats.counts.items()},
+        "nodes": [{f: getattr(n, f) for f in NODE_FIELDS} for n in stats.nodes],
+        "l1": [(p.cache.stats.hits, p.cache.stats.misses,
+                p.cache.stats.evictions, p.cache.stats.invalidations)
+               for p in machine.processors],
+        "bc": [(n.block_cache.stats.hits, n.block_cache.stats.misses,
+                n.block_cache.stats.evictions,
+                n.block_cache.stats.invalidations) for n in machine.nodes],
+        "bus": [(n.bus.next_free, n.bus.transactions, n.bus.busy_cycles,
+                 n.bus.wait_cycles) for n in machine.nodes],
+        "timing": [(pt.clock, {k.value: v for k, v in pt.stalls.items()})
+                   for pt in machine.timing.processors],
+        "directory": (machine.directory.num_tracked(),
+                      machine.directory.invalidations_sent,
+                      machine.directory.writebacks),
+    }
+
+
+def run_both(cfg: SimulationConfig, system: str, trace: Trace):
+    """Run ``trace`` under both engines on fresh machines; return fingerprints."""
+    out = {}
+    for engine in ENGINE_NAMES:
+        machine = Machine(cfg, build_system(system))
+        stats = machine.run(trace, engine=engine)
+        out[engine] = fingerprint(machine, stats)
+    return out
+
+
+def assert_equivalent(cfg: SimulationConfig, system: str, trace: Trace) -> None:
+    fps = run_both(cfg, system, trace)
+    assert fps["batched"] == fps["legacy"], (
+        f"engine mismatch for system {system!r}")
+
+
+class TestEverySystem:
+    """Batched == legacy for every buildable system."""
+
+    @pytest.mark.parametrize("system", SYSTEM_NAMES)
+    def test_read_write_shared(self, system, tiny_config, tiny_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_WRITE_SHARED,
+                                accesses=300, write_fraction=0.3)
+        trace = make_trace(spec, tiny_machine, seed=3)
+        assert_equivalent(tiny_config, system, trace)
+
+    @pytest.mark.parametrize("system",
+                             ["ccnuma", "migrep", "rnuma", "scoma",
+                              "rnuma-half-migrep"])
+    def test_page_op_churn(self, system, small_config, small_machine):
+        """Patterns that trigger migrations/replications/relocations.
+
+        Page operations flush L1 lines from outside the reference stream —
+        the one hazard the batched engine's fast path must detect and
+        demote around — so this exercises the shootdown watch.
+        """
+        spec = make_simple_spec(pattern=SharingPattern.MIGRATORY,
+                                accesses=400, write_fraction=0.3,
+                                shift=1, phases=3)
+        trace = make_trace(spec, small_machine, seed=5)
+        assert_equivalent(small_config, system, trace)
+
+    @pytest.mark.parametrize("system", ["rep", "migrep", "rnuma"])
+    def test_read_shared(self, system, small_config, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.READ_SHARED,
+                                accesses=400, write_fraction=0.05)
+        trace = make_trace(spec, small_machine, seed=7)
+        assert_equivalent(small_config, system, trace)
+
+    def test_streaming_low_reuse(self, small_config, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.STREAMING,
+                                pages=32, accesses=400, touches_per_page=4)
+        trace = make_trace(spec, small_machine, seed=9)
+        for system in ("rnuma", "scoma", "migrep"):
+            assert_equivalent(small_config, system, trace)
+
+    def test_no_contention_model(self, tiny_machine, fast_thresholds):
+        cfg = SimulationConfig(machine=tiny_machine, costs=CostModel(),
+                               thresholds=fast_thresholds,
+                               model_contention=False)
+        spec = make_simple_spec(accesses=300, write_fraction=0.25)
+        trace = make_trace(spec, tiny_machine, seed=11)
+        for system in ("ccnuma", "rnuma"):
+            assert_equivalent(cfg, system, trace)
+
+
+def _random_trace_config() -> SimulationConfig:
+    from repro.config import MachineConfig, ThresholdConfig
+    return SimulationConfig(
+        machine=MachineConfig(num_nodes=2, procs_per_node=2, block_size=64,
+                              page_size=512, l1_size=1024, l1_assoc=1,
+                              block_cache_size=2048, page_cache_size=8 * 512),
+        costs=CostModel(),
+        thresholds=ThresholdConfig(migrep_threshold=16,
+                                   migrep_reset_interval=4000,
+                                   rnuma_threshold=16,
+                                   hybrid_relocation_delay=0, scale=1.0),
+        seed=1)
+
+
+class TestRandomTraces:
+    """Property: equivalence holds on adversarial random traces."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_random_streams(self, data):
+        tiny_config = _random_trace_config()
+        num_procs = 4
+        num_blocks = data.draw(st.integers(8, 96))
+        phases = []
+        for pi in range(data.draw(st.integers(1, 3))):
+            blocks, writes = [], []
+            for p in range(num_procs):
+                n = data.draw(st.integers(0, 60))
+                blocks.append(np.array(
+                    data.draw(st.lists(st.integers(0, num_blocks - 1),
+                                       min_size=n, max_size=n)),
+                    dtype=np.int64))
+                writes.append(np.array(
+                    data.draw(st.lists(st.integers(0, 1),
+                                       min_size=n, max_size=n)),
+                    dtype=np.int8))
+            phases.append(PhaseTrace(name=f"ph{pi}", compute_per_access=2,
+                                     blocks=blocks, writes=writes))
+        trace = Trace(name="random", num_procs=num_procs, phases=phases)
+        system = data.draw(st.sampled_from(
+            ["ccnuma", "perfect", "migrep", "rnuma", "scoma"]))
+        assert_equivalent(tiny_config, system, trace)
+
+
+class TestEngineSelection:
+    def test_engine_names(self):
+        assert set(ENGINE_NAMES) == {"batched", "legacy"}
+        assert default_engine() in ENGINE_NAMES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo")
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert default_engine() == "legacy"
+        monkeypatch.setenv("REPRO_ENGINE", "nonsense")
+        assert default_engine() == "batched"
+
+    def test_machine_run_accepts_engine(self, tiny_config, tiny_machine):
+        spec = make_simple_spec(accesses=50)
+        trace = make_trace(spec, tiny_machine)
+        machine = Machine(tiny_config, build_system("ccnuma"))
+        stats = machine.run(trace, engine="legacy")
+        assert stats.total_accesses == trace.total_accesses()

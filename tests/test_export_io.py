@@ -25,7 +25,7 @@ from repro.workloads import get_workload
 from repro.config import base_config
 from repro.workloads.spec import SharingPattern
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 # ---------------------------------------------------------------------------

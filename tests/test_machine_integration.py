@@ -20,7 +20,7 @@ from repro.cluster.machine import Machine
 from repro.core.factory import SYSTEM_NAMES, build_system
 from repro.workloads.spec import SharingPattern
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 def run(trace, system, config):

@@ -20,7 +20,7 @@ from repro.kernel.placement import (
 from repro.kernel.vm import VirtualMemoryManager
 from repro.workloads.spec import SharingPattern
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 class TestPolicies:

@@ -18,7 +18,7 @@ from repro.core.factory import build_system
 from repro.mem.page_table import PageMode
 from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 def run(trace, system, config):

@@ -8,7 +8,7 @@ from repro.cluster.machine import Machine
 from repro.core.factory import PAPER_SYSTEM_NAMES, SYSTEM_NAMES, build_system
 from repro.workloads.spec import SharingPattern
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 def run_system(name, trace, config):

@@ -1,0 +1,158 @@
+"""Tests for the parallel, memoizing SweepRunner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import base_config
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.runner import (
+    SweepRunner,
+    default_jobs,
+    ensure_runner,
+    run_experiment,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return base_config(seed=0)
+
+
+@pytest.fixture(scope="module")
+def ocean_trace(cfg):
+    return get_workload("ocean", machine=cfg.machine, scale=0.05, seed=0)
+
+
+class TestMemoization:
+    def test_repeated_run_is_memoized(self, cfg, ocean_trace):
+        with SweepRunner() as runner:
+            first = runner.run(ocean_trace, "ccnuma", cfg)
+            second = runner.run(ocean_trace, "ccnuma", cfg)
+            assert first is second
+            assert runner.stats.runs == 1
+            assert runner.stats.memo_hits == 1
+
+    def test_distinct_configs_not_conflated(self, cfg, ocean_trace):
+        other = base_config(seed=0, threshold_scale=1.0)
+        with SweepRunner() as runner:
+            a = runner.run(ocean_trace, "rnuma", cfg)
+            b = runner.run(ocean_trace, "rnuma", other)
+            assert runner.stats.runs == 2
+            assert a is not b
+
+    def test_distinct_traces_not_conflated(self, cfg, ocean_trace):
+        other_trace = get_workload("ocean", machine=cfg.machine, scale=0.05,
+                                   seed=1)
+        with SweepRunner() as runner:
+            a = runner.run(ocean_trace, "ccnuma", cfg)
+            b = runner.run(other_trace, "ccnuma", cfg)
+            assert runner.stats.runs == 2
+            assert a.execution_time != b.execution_time or a is not b
+
+    def test_memoize_off(self, cfg, ocean_trace):
+        with SweepRunner(memoize=False) as runner:
+            first = runner.run(ocean_trace, "ccnuma", cfg)
+            second = runner.run(ocean_trace, "ccnuma", cfg)
+            assert first is not second
+            assert runner.stats.runs == 2
+
+    def test_matches_unmemoized_result(self, cfg, ocean_trace):
+        direct = run_experiment(ocean_trace, "ccnuma", cfg)
+        with SweepRunner() as runner:
+            memoed = runner.run(ocean_trace, "ccnuma", cfg)
+        assert memoed.execution_time == direct.execution_time
+        assert memoed.summary() == direct.summary()
+
+
+class TestBatchExecution:
+    def test_run_systems_shape(self, cfg, ocean_trace):
+        with SweepRunner() as runner:
+            results = runner.run_systems(ocean_trace, ["ccnuma", "rnuma"], cfg)
+        assert set(results) == {"perfect", "ccnuma", "rnuma"}
+
+    def test_batch_deduplicates(self, cfg, ocean_trace):
+        with SweepRunner() as runner:
+            results = runner.map_runs([
+                (ocean_trace, "ccnuma", cfg),
+                (ocean_trace, "ccnuma", cfg),
+                (ocean_trace, "perfect", cfg),
+            ])
+            assert runner.stats.runs == 2
+        assert results[0] is results[1]
+
+    def test_parallel_matches_serial(self, cfg, ocean_trace):
+        items = [(ocean_trace, name, cfg)
+                 for name in ("perfect", "ccnuma", "migrep", "rnuma")]
+        with SweepRunner(jobs=2) as parallel:
+            par = parallel.map_runs(items)
+            assert parallel.stats.parallel_runs == len(items)
+        with SweepRunner(jobs=1) as serial:
+            ser = serial.map_runs(items)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+            assert a.stats.stall_breakdown == b.stats.stall_breakdown
+
+    def test_engine_override(self, cfg, ocean_trace):
+        with SweepRunner(engine="legacy") as runner:
+            res = runner.run(ocean_trace, "ccnuma", cfg)
+        direct = run_experiment(ocean_trace, "ccnuma", cfg)
+        assert res.execution_time == direct.execution_time
+
+
+class TestHarnessIntegration:
+    def test_figures_share_a_runner_cache(self, cfg):
+        with SweepRunner() as runner:
+            first = run_figure5(apps=["ocean"], scale=0.05, runner=runner)
+            executed = runner.stats.runs
+            second = run_figure5(apps=["ocean"], scale=0.05, runner=runner)
+            assert runner.stats.runs == executed  # fully served from memo
+        assert first == second
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert default_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert default_jobs() == 1
+
+    def test_ensure_runner_ownership(self):
+        owned_runner, owned = ensure_runner(None)
+        assert owned
+        owned_runner.close()
+        mine = SweepRunner()
+        same, owned = ensure_runner(mine)
+        assert same is mine and not owned
+        mine.close()
+
+
+class TestExplicitSystemSpecs:
+    """Custom SystemSpec objects must not be conflated with registry names."""
+
+    def test_custom_spec_runs_and_is_not_memo_conflated(self, cfg, ocean_trace):
+        import dataclasses
+        from repro.core.factory import build_system
+
+        bigger = dataclasses.replace(build_system("ccnuma"),
+                                     block_cache_scale=4.0)
+        with SweepRunner() as runner:
+            stock = runner.run(ocean_trace, "ccnuma", cfg)
+            custom = runner.run(ocean_trace, bigger, cfg)
+            # the customised spec simulates a different machine ...
+            assert custom.execution_time != stock.execution_time
+            # ... and never lands in (or is served from) the memo table
+            again = runner.run(ocean_trace, bigger, cfg)
+            assert again is not custom
+            assert again.execution_time == custom.execution_time
+
+    def test_run_systems_with_spec_object(self, cfg, ocean_trace):
+        from repro.core.factory import build_system
+
+        spec = build_system("rnuma-half")
+        with SweepRunner() as runner:
+            results = runner.run_systems(ocean_trace, [spec], cfg)
+        assert set(results) == {"perfect", "rnuma-half"}

@@ -17,7 +17,7 @@ from repro.workloads.generator import TraceGenerator
 from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
 from repro.workloads.trace import PhaseTrace, Trace
 
-from conftest import make_simple_spec, make_trace
+from helpers import make_simple_spec, make_trace
 
 
 class TestSpecValidation:
