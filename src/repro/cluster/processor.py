@@ -18,7 +18,7 @@ from repro.mem.cache import DirectMappedCache
 from repro.mem.tlb import TLB
 
 
-@dataclass
+@dataclass(slots=True)
 class Processor:
     """One CPU of an SMP node.
 

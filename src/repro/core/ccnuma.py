@@ -41,68 +41,87 @@ class CCNUMAProtocol(DSMProtocol):
         evicting (and writing back if dirty) the victim frame.
 
         The :class:`~repro.mem.block_cache.BlockCache` lookup/fill/
-        touch-write steps are inlined on the cache's frame dictionary
+        touch-write steps are inlined on the cache's flat frame arrays
         (pre-bound in :class:`DSMProtocol`): this helper runs on every
         remote-page reference of every system, and the method-call version
         of the same logic dominated its profile.
         """
-        # inlined Directory.version + BlockCache.lookup
-        e = self._dir_entries.get(block)
-        version = e.version if e is not None else 0
+        # inlined Directory.version
+        versions = self._dir_version
+        version = versions[block] if block < len(versions) else 0
         cap = self._bc_caps[node]
-        frames = self._bc_frames[node]
         bc_stats = self._bc_stats[node]
-        hit = False
+
         if cap is None:
-            key = block
-            entry = frames.get(block)
-        else:
-            key = block % cap
-            entry = frames.get(key)
-            if entry is not None and entry[0] != block:
-                entry = None
-        if entry is not None:
-            if entry[1] >= version:
-                bc_stats.hits += 1
-                hit = True
-            else:
+            # infinite (perfect CC-NUMA) cache: block -> (version, dirty)
+            store = self._bc_store[node]
+            entry = store.get(block)
+            if entry is not None:
+                stored = entry[0]
+                if stored >= version:
+                    bc_stats.hits += 1
+                    self.node_stats[node].block_cache_hits += 1
+                    if is_write:
+                        extra, version = self._directory_write(node, block)
+                        store[block] = (version if version > stored else stored,
+                                        True)
+                        return self._local_miss_cost + extra, version, False
+                    return self._local_miss_cost, version, False
                 # stale copy: drop it so the fill below refreshes it
-                del frames[key]
+                del store[block]
                 bc_stats.invalidations += 1
-        if hit:
-            self.node_stats[node].block_cache_hits += 1
-            if is_write:
-                extra, version = self._directory_write(node, block)
-                # inlined BlockCache.touch_write (entry is resident)
-                frames[key] = (block, version if version > entry[1] else entry[1],
-                               True)
-                return self._local_miss_cost + extra, version, False
-            return self._local_miss_cost, version, False
+        else:
+            # finite cache: flat (blocks, versions, dirty) frame arrays
+            idx = block % cap
+            bb = self._bc_blocks[node]
+            bv = self._bc_versions[node]
+            bd = self._bc_dirty[node]
+            if bb[idx] == block:
+                if bv[idx] >= version:
+                    bc_stats.hits += 1
+                    self.node_stats[node].block_cache_hits += 1
+                    if is_write:
+                        extra, version = self._directory_write(node, block)
+                        # inlined BlockCache.touch_write (the frame holds
+                        # block)
+                        if version > bv[idx]:
+                            bv[idx] = version
+                        bd[idx] = True
+                        return self._local_miss_cost + extra, version, False
+                    return self._local_miss_cost, version, False
+                # stale copy: drop it so the fill below refreshes it
+                bb[idx] = -1
+                bd[idx] = False
+                bc_stats.invalidations += 1
         bc_stats.misses += 1
 
-        latency, version, _cause = self._remote_fetch(node, page, block,
-                                                      is_write, now, home)
+        latency, version = self._remote_fill(node, block, is_write, now, home)
+
         # inlined BlockCache.fill
         if cap is None:
-            frames[block] = (block, version, is_write)
-        else:
-            old = frames.get(key)
-            frames[key] = (block, version, is_write)
-            if old is not None and old[0] != block:
-                bc_stats.evictions += 1
-                victim_block = old[0]
-                # inlined mark_evicted + Directory.record_eviction
-                self._departed[node][victim_block] = _DEPARTED_EVICTED
-                ve = self._dir_entries.get(victim_block)
-                if ve is not None:
-                    ve.sharers &= ~(1 << node)
-                    if ve.owner == node:
-                        ve.owner = -1
-                        self.directory.writebacks += 1
-                if old[2]:  # dirty victim: write it back to its home
-                    rec = self._vm_pages.get(victim_block // self._bpp)
-                    if rec is not None and rec.home != node:
-                        self.network.stats.record(MessageType.WRITEBACK)
+            store[block] = (version, is_write)
+            return latency, version, True
+        old = bb[idx]
+        old_dirty = bd[idx]
+        bb[idx] = block
+        bv[idx] = version
+        bd[idx] = is_write
+        if old >= 0 and old != block:
+            bc_stats.evictions += 1
+            # inlined mark_evicted + Directory.record_eviction
+            self._departed[node][old] = _DEPARTED_EVICTED
+            dir_sharers = self._dir_sharers
+            if old < len(dir_sharers) and self._dir_tracked[old]:
+                dir_sharers[old] &= ~(1 << node)
+                if self._dir_owner[old] == node:
+                    self._dir_owner[old] = -1
+                    self.directory.writebacks += 1
+            if old_dirty:  # dirty victim: write it back to its home
+                vm_home = self._vm_home
+                vpage = old // self._bpp
+                vhome = vm_home[vpage] if vpage < len(vm_home) else -1
+                if vhome >= 0 and vhome != node:
+                    self.network.stats.record(MessageType.WRITEBACK)
         return latency, version, True
 
     # ------------------------------------------------------------------ overrides

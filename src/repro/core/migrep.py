@@ -26,6 +26,8 @@ from typing import Tuple
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.counters import MigRepCounters
 from repro.core.decisions import MigRepDecision, MigRepPolicy
+from repro.core.protocol import _DEPARTED_INVALIDATED
+from repro.interconnect.message import MessageType
 from repro.kernel.faults import FaultKind
 from repro.kernel.migration import MigrationEngine
 from repro.mem.page_table import PageMode
@@ -61,6 +63,9 @@ class MigRepProtocol(CCNUMAProtocol):
         )
         # pre-bound for the per-miss fast path
         self._record_miss = self.counters.record_miss
+        self._mr_threshold = self.policy.threshold
+        self._mr_migration = self.policy.enable_migration
+        self._mr_replication = self.policy.enable_replication
 
     # ------------------------------------------------------------------ page-op helpers
 
@@ -116,8 +121,10 @@ class MigRepProtocol(CCNUMAProtocol):
                              mode: PageMode) -> Tuple[int, int, int, bool]:
         pageop = 0
 
-        # Writes to a replicated page fault and collapse the replicas first.
-        if self.vm.is_replicated(page) and is_write:
+        # Writes to a replicated page fault and collapse the replicas first
+        # (inlined vm.is_replicated on the pre-bound page map).
+        rec = self._vm_pages.get(page)
+        if is_write and rec is not None and rec.replicated:
             pageop += self._collapse_replicas(page, node, now)
             mode = self.page_tables[node].mode_of(page)
             home = self.vm.home_of(page) or home
@@ -133,18 +140,111 @@ class MigRepProtocol(CCNUMAProtocol):
         latency, version, remote = self._block_cache_fetch(
             node, page, block, is_write, now, home)
         if remote:
-            self._record_miss(page, node, is_write)
-            pageop += self._evaluate_policy(page, node, home, now)
+            # inlined MigRepCounters.record_miss + _evaluate_policy (one
+            # copy each of the counter body lives in _local_fill; keep in
+            # sync) — this runs on every remote miss reaching the home
+            counters = self.counters
+            table = counters._write if is_write else counters._read
+            row = table.get(page)
+            if row is None:
+                row = [0] * counters.num_nodes
+                table[page] = row
+            row[node] += 1
+            since = counters._since_reset
+            total = since.get(page, 0) + 1
+            if total >= counters.reset_interval:
+                counters.reset_page(page)
+            else:
+                since[page] = total
+            # inlined MigRepPolicy.evaluate (node != home on this path;
+            # replica holders trigger no further operation).  `rec` from
+            # the entry of this method is still the live record: page
+            # operations mutate records in place, never replace them.
+            if rec is None or node not in rec.replicas:
+                read_row = counters._read.get(page)
+                write_row = counters._write.get(page)
+                decided = False
+                if self._mr_replication:
+                    remote_writes = (sum(write_row) - write_row[home]
+                                     if write_row is not None else 0)
+                    if (remote_writes == 0 and read_row is not None
+                            and read_row[node] > self._mr_threshold):
+                        pageop += self._perform_replication(page, node, now)
+                        decided = True
+                if not decided and self._mr_migration:
+                    requester_misses = 0
+                    home_misses = 0
+                    if read_row is not None:
+                        requester_misses += read_row[node]
+                        home_misses += read_row[home]
+                    if write_row is not None:
+                        requester_misses += write_row[node]
+                        home_misses += write_row[home]
+                    if requester_misses - home_misses > self._mr_threshold:
+                        pageop += self._perform_migration(page, node, now)
         return latency, pageop, version, remote
 
     def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
         # The home node's own misses also feed its counters so that the
-        # migration comparison (requester vs home) sees both sides.
-        latency, version = super()._local_fill(node, block, is_write)
+        # migration comparison (requester vs home) sees both sides.  The
+        # base _local_fill, _directory_write/_directory_read and
+        # MigRepCounters.record_miss bodies are all inlined: this runs on
+        # every home-local miss, the hottest MigRep event by far on the
+        # paper's workloads.
+        self.node_stats[node].local_misses += 1
+        sharers = self._dir_sharers
+        if block >= len(sharers):
+            self._dir_reserve(block + 1)
+        self._dir_tracked[block] = 1
+        if is_write:
+            # inlined _directory_write
+            bit = 1 << node
+            others = sharers[block] & ~bit
+            owner = self._dir_owner
+            directory = self.directory
+            if owner[block] >= 0 and owner[block] != node:
+                directory.writebacks += 1
+            sharers[block] = bit
+            owner[block] = node
+            versions = self._dir_version
+            version = versions[block] + 1
+            versions[block] = version
+            latency = self._local_miss_cost
+            if others:
+                invalidations = others.bit_count()
+                directory.invalidations_sent += invalidations
+                latency += invalidations * self._inval_cost
+                stats = self.network.stats
+                stats.record(MessageType.INVALIDATION, invalidations)
+                stats.record(MessageType.INVALIDATION_ACK, invalidations)
+                departed = self._departed
+                while others:
+                    low = others & -others
+                    others ^= low
+                    departed[low.bit_length() - 1][block] = \
+                        _DEPARTED_INVALIDATED
+        else:
+            # inlined _directory_read
+            sharers[block] |= 1 << node
+            latency = self._local_miss_cost
+            version = self._dir_version[block]
         page = block // self._bpp
-        rec = self._vm_pages.get(page)
-        if rec is not None and rec.home == node:
-            self._record_miss(page, node, is_write)
+        vm_home = self._vm_home
+        if page < len(vm_home) and vm_home[page] == node:
+            # inlined MigRepCounters.record_miss (node is in range)
+            counters = self.counters
+            table = counters._write if is_write else counters._read
+            row = table.get(page)
+            if row is None:
+                row = [0] * counters.num_nodes
+                table[page] = row
+            row[node] += 1
+            since = counters._since_reset
+            total = since.get(page, 0) + 1
+            if total >= counters.reset_interval:
+                counters.reset_page(page)
+            else:
+                since[page] = total
         return latency, version
 
     def describe(self) -> str:

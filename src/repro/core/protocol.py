@@ -26,23 +26,30 @@ from typing import TYPE_CHECKING, NamedTuple, Optional, Tuple
 
 from repro.interconnect.message import MessageType
 from repro.kernel.faults import FaultKind
-from repro.mem.directory import DirectoryEntry
-from repro.mem.page_table import PageMode
+from repro.mem.page_table import LOCAL_HOME_CODE, MODES_BY_CODE, PageMode
 from repro.stats.counters import MissClass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
 
 
-#: Departure reasons used for miss classification.
+#: Departure reasons used for miss classification.  The codes are chosen
+#: so a departure reason doubles as the ``MissClass.index`` of the miss it
+#: causes (0 = never departed = cold).
 _DEPARTED_EVICTED = 1
 _DEPARTED_INVALIDATED = 2
 
-_UNMAPPED = PageMode.UNMAPPED
-_LOCAL_HOME = PageMode.LOCAL_HOME
+#: MissClass by departure reason (0 none, 1 evicted, 2 invalidated).
+_MISS_CLASS_OF_REASON = (MissClass.COLD, MissClass.CAPACITY_CONFLICT,
+                         MissClass.COHERENCE)
+
 _READ_REQUEST = MessageType.READ_REQUEST
 _WRITE_REQUEST = MessageType.WRITE_REQUEST
 _DATA_REPLY = MessageType.DATA_REPLY
+#: counter-array indices of the fetch request/reply messages
+_READ_I = MessageType.READ_REQUEST.index
+_WRITE_I = MessageType.WRITE_REQUEST.index
+_DATA_I = MessageType.DATA_REPLY.index
 
 
 class AccessResult(NamedTuple):
@@ -100,20 +107,42 @@ class DSMProtocol:
         # per-node, per-block departure reason for miss classification
         self._departed: list[dict[int, int]] = [dict() for _ in range(num_nodes)]
         # Pre-bound substrate internals for the per-miss fast paths below.
-        # These alias live objects (the dicts are mutated through their
-        # owners' methods as usual); they only skip attribute traversal and
+        # These alias the owners' live flat arrays (directory columns, page
+        # table mode codes, block cache frames); the stores grow their
+        # arrays strictly in place, so the aliases stay valid for the
+        # machine's lifetime.  They only skip attribute traversal and
         # wrapper calls on the hottest path.
         self._vm_pages = machine.vm._pages
-        self._pt_entries = [pt._entries for pt in machine.page_tables]
-        self._dir_entries = machine.directory._entries
-        self._bc_frames = [bc._frames for bc in machine.block_caches]
+        self._vm_home = machine.vm._home
+        self._pt_modes = [pt._modes for pt in machine.page_tables]
+        directory = machine.directory
+        self._dir_sharers = directory._sharers
+        self._dir_owner = directory._owner
+        self._dir_version = directory._version
+        self._dir_tracked = directory._tracked
+        self._dir_reserve = directory.reserve
+        self._bc_blocks = [bc._blocks for bc in machine.block_caches]
+        self._bc_versions = [bc._versions for bc in machine.block_caches]
+        self._bc_dirty = [bc._dirty for bc in machine.block_caches]
+        self._bc_store = [bc._store for bc in machine.block_caches]
         self._bc_caps = [bc.capacity_blocks for bc in machine.block_caches]
         self._bc_stats = [bc.stats for bc in machine.block_caches]
-        self._fetch_contention = machine.network.fetch_contention
         self._bpp = machine.addr.blocks_per_page
         self._local_miss_cost = self.costs.local_miss
         self._remote_miss_cost = self.costs.remote_miss
         self._inval_cost = self.costs.invalidation_per_sharer
+        # network internals for the inlined remote-fetch contention path
+        network = machine.network
+        self._nics = network._nics
+        self._net_enabled = network.enabled
+        self._net_latency = network.latency
+        self._nic_occ = network.nic_occupancy
+        self._msg_counts = network.stats._counts
+        self._msg_sizes = network.stats._sizes
+        self._net_stats = network.stats
+        sizes = network.stats._sizes
+        self._sz_read_pair = sizes[_READ_I] + sizes[_DATA_I]
+        self._sz_write_pair = sizes[_WRITE_I] + sizes[_DATA_I]
 
     # ------------------------------------------------------------------ classification
 
@@ -127,12 +156,7 @@ class DSMProtocol:
 
     def classify_fetch(self, node: int, block: int) -> MissClass:
         """Classify a fetch of ``block`` by ``node`` and consume the record."""
-        reason = self._departed[node].pop(block, 0)
-        if reason == _DEPARTED_EVICTED:
-            return MissClass.CAPACITY_CONFLICT
-        if reason == _DEPARTED_INVALIDATED:
-            return MissClass.COHERENCE
-        return MissClass.COLD
+        return _MISS_CLASS_OF_REASON[self._departed[node].pop(block, 0)]
 
     # ------------------------------------------------------------------ mapping
 
@@ -167,15 +191,15 @@ class DSMProtocol:
         """Record a read fill by ``node``; return the block's version.
 
         Equivalent to ``directory.record_read`` + ``directory.version``,
-        inlined on the directory entry (this runs once per read fill).
+        inlined on the directory's flat arrays (this runs once per read
+        fill).
         """
-        entries = self._dir_entries
-        e = entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            entries[block] = e
-        e.sharers |= 1 << node
-        return e.version
+        sharers = self._dir_sharers
+        if block >= len(sharers):
+            self._dir_reserve(block + 1)
+        self._dir_tracked[block] = 1
+        sharers[block] |= 1 << node
+        return self._dir_version[block]
 
     def _directory_write(self, node: int, block: int) -> Tuple[int, int]:
         """Record a write by ``node``; return (extra_latency, new_version).
@@ -184,23 +208,25 @@ class DSMProtocol:
         ``invalidation_per_sharer`` cycles and a pair of protocol messages,
         and the losing nodes' future refetches classify as coherence
         misses.  Equivalent to ``directory.record_write`` (plus the sharer
-        walk of ``directory.sharers_of``), inlined on the entry and the
-        sharer bitmask — this runs once per write fill/upgrade.
+        walk of ``directory.sharers_of``), inlined on the directory's flat
+        arrays — this runs once per write fill/upgrade.
         """
-        entries = self._dir_entries
-        e = entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            entries[block] = e
+        sharers = self._dir_sharers
+        if block >= len(sharers):
+            self._dir_reserve(block + 1)
+        self._dir_tracked[block] = 1
         bit = 1 << node
-        others = e.sharers & ~bit
+        others = sharers[block] & ~bit
+        owner = self._dir_owner
         directory = self.directory
-        if e.owner >= 0 and e.owner != node:
+        if owner[block] >= 0 and owner[block] != node:
             # previous exclusive owner must write back before we proceed
             directory.writebacks += 1
-        e.sharers = bit
-        e.owner = node
-        e.version += 1
+        sharers[block] = bit
+        owner[block] = node
+        versions = self._dir_version
+        version = versions[block] + 1
+        versions[block] = version
         extra = 0
         if others:
             invalidations = others.bit_count()
@@ -214,38 +240,103 @@ class DSMProtocol:
                 low = others & -others
                 others ^= low
                 departed[low.bit_length() - 1][block] = _DEPARTED_INVALIDATED
-        return extra, e.version
+        return extra, version
 
     # ------------------------------------------------------------------ remote fetch path
 
     def _remote_fetch(self, node: int, page: int, block: int, is_write: bool,
                       now: int, home: int) -> Tuple[int, int, MissClass]:
-        """Fetch ``block`` from its remote ``home``; return (latency, version, cause)."""
+        """Fetch ``block`` from its remote ``home``; return (latency, version, cause).
+
+        Compatibility wrapper around :meth:`_remote_fill` for callers that
+        also want the miss cause materialized as a :class:`MissClass`.
+        """
+        reason = self._departed[node].get(block, 0)
+        latency, version = self._remote_fill(node, block, is_write, now, home)
+        return latency, version, _MISS_CLASS_OF_REASON[reason]
+
+    def _remote_fill(self, node: int, block: int, is_write: bool,
+                     now: int, home: int) -> Tuple[int, int]:
+        """Fetch ``block`` from its remote ``home``; return (latency, version).
+
+        The per-remote-miss fast path: miss-cause accounting, the
+        request/reply traffic and NIC contention (the body of
+        :meth:`Network.fetch_contention`, inlined) and the directory side
+        of the fill, all on the flat state arrays.
+        """
         stats = self.node_stats[node]
-        # inlined classify_fetch + NodeStats.record_remote_miss
+        # inlined classify_fetch + NodeStats.record_remote_miss: the
+        # departure reason doubles as the miss-cause counter index
         reason = self._departed[node].pop(block, 0)
         stats.remote_misses += 1
-        if reason == _DEPARTED_EVICTED:
-            cause = MissClass.CAPACITY_CONFLICT
-            stats.remote_capacity_conflict += 1
-        elif reason == _DEPARTED_INVALIDATED:
-            cause = MissClass.COHERENCE
-            stats.remote_coherence += 1
-        else:
-            cause = MissClass.COLD
-            stats.remote_cold += 1
+        stats.remote_by_cause[reason] += 1
 
-        contention = self._fetch_contention(
-            node, home, now,
-            _WRITE_REQUEST if is_write else _READ_REQUEST, _DATA_REPLY)
+        # inlined Network.fetch_contention (request/reply traffic + the
+        # four NIC serialisation points); this runs on every remote miss
+        msg_counts = self._msg_counts
+        if is_write:
+            msg_counts[_WRITE_I] += 1
+            msg_counts[_DATA_I] += 1
+            self._net_stats.bytes_total += self._sz_write_pair
+        else:
+            msg_counts[_READ_I] += 1
+            msg_counts[_DATA_I] += 1
+            self._net_stats.bytes_total += self._sz_read_pair
+        if node == home:
+            contention = 0
+        else:
+            occ = self._nic_occ
+            occ2 = occ + occ
+            nics = self._nics
+            req_nic = nics[node]
+            home_nic = nics[home]
+            if not self._net_enabled:
+                req_nic.messages += 2
+                home_nic.messages += 2
+                req_nic.busy_cycles += occ2
+                home_nic.busy_cycles += occ2
+                contention = 0
+            else:
+                latency_net = self._net_latency
+                free = req_nic.next_free
+                s1 = now if now >= free else free
+                w1 = s1 - now
+                req_nic.next_free = s1 + occ
+                t = s1 + occ + latency_net
+                free = home_nic.next_free
+                s2 = t if t >= free else free
+                w2 = s2 - t
+                home_nic.next_free = s2 + occ
+                t2 = s2 + occ
+                free = home_nic.next_free
+                s3 = t2 if t2 >= free else free
+                w3 = s3 - t2
+                home_nic.next_free = s3 + occ
+                t3 = s3 + occ + latency_net
+                free = req_nic.next_free
+                s4 = t3 if t3 >= free else free
+                w4 = s4 - t3
+                req_nic.next_free = s4 + occ
+                req_nic.messages += 2
+                home_nic.messages += 2
+                req_nic.busy_cycles += occ2
+                home_nic.busy_cycles += occ2
+                req_nic.wait_cycles += w1 + w4
+                home_nic.wait_cycles += w2 + w3
+                contention = w1 + w2 + w3 + w4
 
         if is_write:
             extra, version = self._directory_write(node, block)
         else:
+            # inlined _directory_read
+            sharers = self._dir_sharers
+            if block >= len(sharers):
+                self._dir_reserve(block + 1)
+            self._dir_tracked[block] = 1
+            sharers[block] |= 1 << node
+            version = self._dir_version[block]
             extra = 0
-            version = self._directory_read(node, block)
-        latency = self._remote_miss_cost + contention + extra
-        return latency, version, cause
+        return self._remote_miss_cost + contention + extra, version
 
     def _local_fill(self, node: int, block: int, is_write: bool) -> Tuple[int, int]:
         """Service a miss from the node's local memory; return (latency, version)."""
@@ -254,13 +345,12 @@ class DSMProtocol:
             extra, version = self._directory_write(node, block)
             return self._local_miss_cost + extra, version
         # inlined _directory_read (the most common single operation)
-        entries = self._dir_entries
-        e = entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            entries[block] = e
-        e.sharers |= 1 << node
-        return self._local_miss_cost, e.version
+        sharers = self._dir_sharers
+        if block >= len(sharers):
+            self._dir_reserve(block + 1)
+        self._dir_tracked[block] = 1
+        sharers[block] |= 1 << node
+        return self._local_miss_cost, self._dir_version[block]
 
     # ------------------------------------------------------------------ main entry points
 
@@ -272,23 +362,29 @@ class DSMProtocol:
         ``(service_cycles, pageop_cycles, fault_cycles, version, remote)``.
         """
         # Fast path: page already placed and mapped on this node
-        # (equivalent to ensure_mapped + mode_of, without the wrapper calls).
-        rec = self._vm_pages.get(page)
-        pte = self._pt_entries[node].get(page) if rec is not None else None
-        if pte is not None and pte.mode is not _UNMAPPED:
-            home = rec.home
+        # (equivalent to ensure_mapped + mode_of, without the wrapper calls;
+        # the home array and mode-code bytearray reads avoid both the
+        # record-dict lookup and materializing the PageMode).
+        vm_home = self._vm_home
+        home = vm_home[page] if page < len(vm_home) else -1
+        if home >= 0:
+            modes = self._pt_modes[node]
+            mode_code = modes[page] if page < len(modes) else 0
+        else:
+            mode_code = 0
+        if mode_code:
             fault_cycles = 0
-            mode = pte.mode
         else:
             home, fault_cycles = self.ensure_mapped(node, page)
-            mode = self.page_tables[node].mode_of(page)
+            mode_code = self.page_tables[node].mode_code(page)
 
-        if mode is _LOCAL_HOME or home == node:
+        if mode_code == LOCAL_HOME_CODE or home == node:
             latency, version = self._local_fill(node, block, is_write)
             return (latency, 0, fault_cycles, version, False)
 
         service, pageop, version, remote = self._service_remote_page(
-            node, proc, page, block, is_write, now, home, mode)
+            node, proc, page, block, is_write, now, home,
+            MODES_BY_CODE[mode_code])
         return (service, pageop, fault_cycles, version, remote)
 
     def handle_upgrade(self, node: int, proc: int, page: int, block: int,
@@ -300,10 +396,10 @@ class DSMProtocol:
         is remote; invalidations of other sharers are charged on top.
         """
         self.node_stats[node].upgrades += 1
-        rec = self._vm_pages.get(page)
-        home = rec.home if rec is not None else None
+        vm_home = self._vm_home
+        home = vm_home[page] if page < len(vm_home) else -1
         extra, version = self._directory_write(node, block)
-        if home is None or home == node:
+        if home < 0 or home == node:
             return self.costs.local_miss + extra, version
         completion = self.network.round_trip(node, home, now,
                                              MessageType.WRITE_REQUEST,
@@ -326,19 +422,17 @@ class DSMProtocol:
         """
         # inlined BlockCache.contains
         cap = self._bc_caps[node]
-        frames = self._bc_frames[node]
         if cap is None:
-            if block in frames:
+            if block in self._bc_store[node]:
                 return
-        else:
-            entry = frames.get(block % cap)
-            if entry is not None and entry[0] == block:
-                return
+        elif self._bc_blocks[node][block % cap] == block:
+            return
         pc = self.page_caches[node]
         page = block // self._bpp
         if pc is None or not pc.contains(page):
-            rec = self._vm_pages.get(page)
-            if rec is not None and rec.home != node:
+            vm_home = self._vm_home
+            home = vm_home[page] if page < len(vm_home) else -1
+            if home >= 0 and home != node:
                 self._departed[node][block] = _DEPARTED_EVICTED
 
     # ------------------------------------------------------------------ overridable
@@ -352,8 +446,7 @@ class DSMProtocol:
         The base implementation performs an uncached remote fetch; concrete
         systems override it to add block caches, replicas or page caches.
         """
-        latency, version, _ = self._remote_fetch(node, page, block, is_write,
-                                                 now, home)
+        latency, version = self._remote_fill(node, block, is_write, now, home)
         return latency, 0, version, True
 
     # ------------------------------------------------------------------ reporting

@@ -29,6 +29,9 @@ from repro.kernel.relocation import RelocationEngine
 from repro.mem.page_table import PageMode
 from repro.stats.counters import MissClass
 
+#: remote_by_cause index of capacity/conflict misses (refetch signal)
+_CAPACITY_IDX = MissClass.CAPACITY_CONFLICT.index
+
 
 class RNUMAProtocol(CCNUMAProtocol):
     """Hybrid CC-NUMA / S-COMA protocol with reactive per-page switching."""
@@ -87,23 +90,51 @@ class RNUMAProtocol(CCNUMAProtocol):
 
     def _scoma_fetch(self, node: int, page: int, block: int, is_write: bool,
                      now: int, home: int) -> Tuple[int, int, bool]:
-        """Service a miss on a page held in the node's S-COMA page cache."""
+        """Service a miss on a page held in the node's S-COMA page cache.
+
+        The :class:`~repro.mem.page_cache.PageCache` lookup/write/fill
+        steps are inlined on the resident page's tag dictionaries — this
+        runs on every reference to a relocated page, R-NUMA's hottest
+        service path once an application's hot pages have switched.
+        """
         stats = self.node_stats[node]
-        pc = self.page_caches[node]
-        offset = self.addr.block_offset_in_page(block)
-        version = self.directory.version(block)
+        pc_stats = self.page_caches[node].stats
+        pages_od = self._pc_pages[node]
+        entry = pages_od[page]          # resident: the caller checked
+        pages_od.move_to_end(page)      # LRU touch
+        offset = block % self._bpp
+        # inlined Directory.version
+        versions = self._dir_version
+        version = versions[block] if block < len(versions) else 0
 
-        if pc.lookup_block(page, offset, version):
-            stats.page_cache_hits += 1
-            if is_write:
-                extra, version = self._directory_write(node, block)
-                pc.write_block(page, offset, version)
-                return self.costs.local_miss + extra, version, False
-            return self.costs.local_miss, version, False
+        # inlined PageCache.lookup_block
+        valid = entry.valid
+        stored = valid.get(offset)
+        if stored is not None:
+            if stored >= version:
+                pc_stats.block_hits += 1
+                stats.page_cache_hits += 1
+                if is_write:
+                    extra, version = self._directory_write(node, block)
+                    # inlined PageCache.write_block (offset is valid)
+                    if version > stored:
+                        valid[offset] = version
+                    entry.dirty.add(offset)
+                    return self._local_miss_cost + extra, version, False
+                return self._local_miss_cost, version, False
+            # stale block: invalidate and refetch below
+            del valid[offset]
+            entry.dirty.discard(offset)
+            pc_stats.block_invalidations += 1
+        pc_stats.block_misses += 1
 
-        latency, version, _cause = self._remote_fetch(node, page, block,
-                                                      is_write, now, home)
-        pc.fill_block(page, offset, version, dirty=is_write)
+        latency, version = self._remote_fill(node, block, is_write, now, home)
+        # inlined PageCache.fill_block
+        valid[offset] = version
+        if is_write:
+            entry.dirty.add(offset)
+        entry.fills += 1
+        pc_stats.block_fills += 1
         return latency, version, True
 
     # ------------------------------------------------------------------ overrides
@@ -117,18 +148,25 @@ class RNUMAProtocol(CCNUMAProtocol):
             latency, version, remote = self._scoma_fetch(
                 node, page, block, is_write, now, home)
             if remote:
-                self._record_page_miss(page)
+                # inlined _record_page_miss
+                totals = self._page_miss_totals
+                totals[page] = totals.get(page, 0) + 1
             return latency, 0, version, remote
 
-        # CC-NUMA mode: go through the block cache and feed the reactive counters
+        # CC-NUMA mode: go through the block cache and feed the reactive
+        # counters (the capacity/conflict cell of the by-cause array is
+        # read directly; the named property would re-resolve the index)
         stats = self.node_stats[node]
-        remote_before = stats.remote_capacity_conflict
+        by_cause = stats.remote_by_cause
+        remote_before = by_cause[_CAPACITY_IDX]
         latency, version, remote = self._block_cache_fetch(
             node, page, block, is_write, now, home)
         pageop = 0
         if remote:
-            self._record_page_miss(page)
-            if stats.remote_capacity_conflict > remote_before:
+            # inlined _record_page_miss
+            totals = self._page_miss_totals
+            totals[page] = totals.get(page, 0) + 1
+            if by_cause[_CAPACITY_IDX] > remote_before:
                 # this fetch was a capacity/conflict refetch: count it
                 self.refetch_counters[node].record_refetch(page)
                 pageop = self._maybe_relocate(node, page, now)

@@ -11,11 +11,16 @@ hits, upgrades and misses — in exactly the interpreter's round-robin
 order and feeds them through the unmodified :class:`~repro.core.protocol.
 DSMProtocol` machinery (directory, network, page operations).  The
 probe/fill/bus micro-steps that the interpreter performs through method
-calls are inlined here on pre-bound line arrays (see
-:meth:`DirectMappedCache.line_state`), and when a protocol uses the
-*base* implementations of ``handle_miss`` / ``_local_fill`` /
-``note_l1_eviction`` (checked by ``type``, so every subclass override
-still goes through its method) their bodies are inlined as well; the
+calls are inlined here on the substrate's flat state arrays — the L1 line
+lists, the directory's sharer/owner/version columns, the page tables'
+mode-code bytearrays and the block caches' frame arrays — and when a
+protocol uses the *base* implementations of ``handle_miss`` /
+``_local_fill`` / ``note_l1_eviction`` (checked by ``type``, so every
+subclass override still goes through its method) their bodies are inlined
+as well.  For the plain CC-NUMA service path (``ccnuma``/``perfect`` with
+no overrides) the residual lane goes further and inlines the whole
+block-cache fetch / remote fetch / NIC contention sequence, so a
+miss-dense residual walk performs no Python method dispatch at all; the
 semantics are unchanged either way.
 
 Soundness of the classification is argued in :mod:`repro.engine.classify`.
@@ -38,23 +43,25 @@ every buildable system.
 
 from __future__ import annotations
 
+import gc
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.ccnuma import CCNUMAProtocol
-from repro.core.protocol import DSMProtocol, _DEPARTED_EVICTED
+from repro.core.protocol import (
+    DSMProtocol,
+    _DEPARTED_EVICTED,
+    _DEPARTED_INVALIDATED,
+)
 from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
-from repro.mem.directory import DirectoryEntry
-from repro.mem.page_table import PageMode
+from repro.interconnect.message import MessageType
+from repro.mem.page_table import LOCAL_HOME_CODE, MODES_BY_CODE
 from repro.stats.counters import MachineStats
 from repro.stats.timing import StallKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
-
-_UNMAPPED = PageMode.UNMAPPED
-_LOCAL_HOME = PageMode.LOCAL_HOME
 
 
 def run_batched(machine: "Machine", trace) -> MachineStats:
@@ -68,8 +75,13 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     costs = machine.cfg.costs
     protocol = machine.protocol
     addr_bpp = machine.addr.blocks_per_page
-    dir_entries = machine.directory._entries
-    version_of = machine.directory.version
+    directory = machine.directory
+    dir_sharers = directory._sharers
+    dir_owner = directory._owner
+    dir_versions = directory._version
+    dir_tracked = directory._tracked
+    dir_reserve = directory.reserve
+    version_of = directory.version
     node_stats = machine.stats.nodes
     procs = machine.processors
     num_procs = trace.num_procs
@@ -83,30 +95,65 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     # corresponding base implementation; bound methods keep polymorphism.
     ptype = type(protocol)
     inline_dispatch = ptype.handle_miss is DSMProtocol.handle_miss
-    inline_local = (inline_dispatch
+    inline_directory = (
+        ptype._directory_read is DSMProtocol._directory_read
+        and ptype._directory_write is DSMProtocol._directory_write)
+    inline_local = (inline_dispatch and inline_directory
                     and ptype._local_fill is DSMProtocol._local_fill)
     inline_evict = ptype.note_l1_eviction is DSMProtocol.note_l1_eviction
-    # plain CC-NUMA's _service_remote_page is a trivial wrapper around
-    # _block_cache_fetch; call the helper directly when it is unoverridden
+    # The plain CC-NUMA remote-page service (block-cache lookup -> remote
+    # fetch -> directory update -> fill) is inlined wholesale below; every
+    # helper on that path must be the stock implementation, otherwise the
+    # subclass's methods are used as usual.
     inline_bc_remote = (
         inline_dispatch
+        and inline_directory
         and isinstance(protocol, CCNUMAProtocol)
-        and ptype._service_remote_page is CCNUMAProtocol._service_remote_page)
-    bc_fetch = protocol._block_cache_fetch if inline_bc_remote else None
+        and ptype._service_remote_page is CCNUMAProtocol._service_remote_page
+        and ptype._block_cache_fetch is CCNUMAProtocol._block_cache_fetch
+        and ptype._remote_fetch is DSMProtocol._remote_fetch
+        and ptype._remote_fill is DSMProtocol._remote_fill)
     handle_miss = protocol.handle_miss
     handle_upgrade = protocol.handle_upgrade
     note_l1_eviction = protocol.note_l1_eviction
     local_fill = protocol._local_fill
     service_remote = protocol._service_remote_page
-    dir_write = protocol._directory_write
     departed = protocol._departed
     local_miss_cost = costs.local_miss
+    remote_miss_cost = costs.remote_miss
+    inval_cost = costs.invalidation_per_sharer
 
-    vm_pages = machine.vm._pages
-    pt_entries = [pt._entries for pt in machine.page_tables]
-    bc_frames = [bc._frames for bc in machine.block_caches]
+    vm_home = machine.vm._home
+    vm_reserve = machine.vm.reserve
+    pt_modes = [pt._modes for pt in machine.page_tables]
     bc_caps = [bc.capacity_blocks for bc in machine.block_caches]
+    bc_blocks = [bc._blocks for bc in machine.block_caches]
+    bc_versions = [bc._versions for bc in machine.block_caches]
+    bc_dirty = [bc._dirty for bc in machine.block_caches]
+    bc_store = [bc._store for bc in machine.block_caches]
+    bc_stats_of = [bc.stats for bc in machine.block_caches]
     page_caches = machine.page_caches
+    pc_pages_of = [pc._pages if pc is not None else None for pc in page_caches]
+
+    # network internals for the inlined remote-fetch lane
+    net = machine.network
+    net_stats = net.stats
+    net_enabled = net.enabled
+    net_latency = net.latency
+    nic_occ = net.nic_occupancy
+    nics = net._nics
+    msg_counts = net_stats._counts
+    msg_sizes = net_stats._sizes
+    _READ_I = MessageType.READ_REQUEST.index
+    _WRITE_I = MessageType.WRITE_REQUEST.index
+    _DATA_I = MessageType.DATA_REPLY.index
+    _WB_I = MessageType.WRITEBACK.index
+    _INV_I = MessageType.INVALIDATION.index
+    _ACK_I = MessageType.INVALIDATION_ACK.index
+    sz_read_pair = msg_sizes[_READ_I] + msg_sizes[_DATA_I]
+    sz_write_pair = msg_sizes[_WRITE_I] + msg_sizes[_DATA_I]
+    sz_wb = msg_sizes[_WB_I]
+    sz_inv_pair = msg_sizes[_INV_I] + msg_sizes[_ACK_I]
 
     caches = [procs[p].cache for p in range(num_procs)]
     node_of = [procs[p].node_id for p in range(num_procs)]
@@ -126,7 +173,6 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     num_nodes = len(buses)
     bus_free = [b.next_free for b in buses]
     bus_txn = [0] * num_nodes
-    bus_busy = [0] * num_nodes
     bus_wait = [0] * num_nodes
 
     # arm the shootdown watch: page operations invalidating L1 lines add
@@ -144,15 +190,42 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
 
     clocks = [machine.timing.processors[p].clock for p in range(num_procs)]
 
+    # Pause the cyclic GC for the duration of the run: the engine allocates
+    # large bursts of small schedule tuples that survive exactly one phase,
+    # which is the worst case for generational collection (several percent
+    # of run time on miss-dense traces).  Nothing the engine allocates
+    # forms cycles; the pause only defers collection and is always undone.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     try:
+        page_tables = machine.page_tables
         for phase in trace.phases:
-            blocks_np = [np.asarray(seq) for seq in phase.blocks]
-            writes_np = [np.asarray(seq) for seq in phase.writes]
+            blocks_np = phase.blocks    # normalized int64 arrays (PhaseTrace)
+            writes_np = phase.writes    # normalized bool arrays (PhaseTrace)
             if len(blocks_np) != num_procs:
                 raise ValueError("phase stream count does not match trace.num_procs")
             lengths = [len(seq) for seq in blocks_np]
             compute = phase.compute_per_access
             fast_unit = compute + l1_hit_cost
+
+            # Pre-reserve the directory and page-table arrays to cover this
+            # phase's largest block/page id: within the loop, every stream-
+            # derived index is then in range and needs no growth check.
+            # (reserve() is a no-op when already large enough, and growth
+            # is in place, so the aliases above stay valid.)
+            max_block = -1
+            for arr in blocks_np:
+                if len(arr):
+                    m = int(arr.max())
+                    if m > max_block:
+                        max_block = m
+            if max_block >= 0:
+                dir_reserve(max_block + 1)
+                max_page = max_block // addr_bpp
+                vm_reserve(max_page + 1)
+                for pt_obj in page_tables:
+                    pt_obj.reserve(max_page + 1)
 
             cls, sched = classify_phase(blocks_np, writes_np, caches,
                                         version_of)
@@ -175,10 +248,44 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
             n_sched = len(sched)
             k = 0
             extras: list = []   # demoted references, sorted
+            n_extras = 0
             ke = 0
-            while k < n_sched or ke < len(extras):
-                if ke < len(extras) and (k >= n_sched
-                                         or extras[ke] < sched[k]):
+
+            def demote_pending(i: int, p: int) -> None:
+                """Demote pending fast refs after a page-op L1 shootdown.
+
+                Called only when a ``watch`` hook fired during a protocol
+                call (rare), so the closure-call cost is off the hot path.
+                Affected processors' fast references ordered after (i, p)
+                become probes and join the walk through ``extras``.
+                """
+                nonlocal extras, n_extras, ke
+                new_extras = []
+                for p2 in events:
+                    if p2 >= num_procs:
+                        continue
+                    bound = i + 1 if p2 <= p else i
+                    if bound < ptr[p2]:
+                        bound = ptr[p2]
+                    seg = cls[p2][bound:]
+                    pend = np.flatnonzero(seg == CLS_FAST)
+                    if len(pend):
+                        seg[pend] = CLS_PROBE
+                        blk2 = blocks_np[p2]
+                        wrt2 = writes_np[p2]
+                        new_extras.extend(
+                            (int(j) + bound, p2, True,
+                             int(blk2[j + bound]), bool(wrt2[j + bound]))
+                            for j in pend)
+                events.clear()
+                if new_extras:
+                    extras = sorted(extras[ke:] + new_extras)
+                    n_extras = len(extras)
+                    ke = 0
+
+            while k < n_sched or ke < n_extras:
+                if ke < n_extras and (k >= n_sched
+                                      or extras[ke] < sched[k]):
                     i, p, probe, block, is_write = extras[ke]
                     ke += 1
                 else:
@@ -198,9 +305,9 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 idx = block % lines_of[p]
 
                 if probe and cb[idx] == block:
-                    # inlined DirectMappedCache.probe
-                    e = dir_entries.get(block)
-                    version = e.version if e is not None else 0
+                    # inlined DirectMappedCache.probe (block is in range:
+                    # the phase preamble reserved past the streams' maxima)
+                    version = dir_versions[block]
                     cv = line_versions[p]
                     if cv[idx] >= version:
                         if not is_write:
@@ -223,7 +330,6 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                         else:
                             start = clock
                         bus_txn[node] += 1
-                        bus_busy[node] += bus_occ
                         wait = start - clock
                         latency, new_version = handle_upgrade(
                             node, p, page, block, start)
@@ -251,89 +357,295 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 else:
                     start = clock
                 bus_txn[node] += 1
-                bus_busy[node] += bus_occ
                 wait = start - clock
 
                 # inlined base handle_miss dispatch (mapping fast path)
                 if inline_dispatch:
-                    rec = vm_pages.get(page)
-                    pte = pt_entries[node].get(page) if rec is not None else None
-                    if pte is None or pte.mode is _UNMAPPED:
+                    home = vm_home[page]
+                    mode_c = pt_modes[node][page] if home >= 0 else 0
+                    if mode_c == 0:
                         service, pageop, fault, version, remote = handle_miss(
                             node, p, page, block, is_write, start)
                     else:
                         fault = 0
-                        mode = pte.mode
-                        if mode is _LOCAL_HOME or rec.home == node:
+                        if mode_c == LOCAL_HOME_CODE or home == node:
+                            # Local fill, inlined (stock protocol) or via
+                            # the subclass's method; both continue into the
+                            # specialised (no pageop/fault) local tail.
                             if inline_local:
-                                # inlined base _local_fill, with the
-                                # specialised (no pageop/fault) accounting
-                                # tail of the local path
+                                # inlined base _local_fill
                                 node_stats[node].local_misses += 1
                                 if is_write:
-                                    extra, version = dir_write(node, block)
+                                    # inlined _directory_write
+                                    dir_tracked[block] = 1
+                                    bit = 1 << node
+                                    others = dir_sharers[block] & ~bit
+                                    o = dir_owner[block]
+                                    if o >= 0 and o != node:
+                                        directory.writebacks += 1
+                                    dir_sharers[block] = bit
+                                    dir_owner[block] = node
+                                    version = dir_versions[block] + 1
+                                    dir_versions[block] = version
+                                    extra = 0
+                                    if others:
+                                        invals = others.bit_count()
+                                        directory.invalidations_sent += invals
+                                        extra = invals * inval_cost
+                                        msg_counts[_INV_I] += invals
+                                        msg_counts[_ACK_I] += invals
+                                        net_stats.bytes_total += \
+                                            invals * sz_inv_pair
+                                        while others:
+                                            low = others & -others
+                                            others ^= low
+                                            departed[low.bit_length() - 1][
+                                                block] = _DEPARTED_INVALIDATED
                                     service = local_miss_cost + extra
                                 else:
-                                    e = dir_entries.get(block)
-                                    if e is None:
-                                        e = DirectoryEntry()
-                                        dir_entries[block] = e
-                                    e.sharers |= 1 << node
-                                    version = e.version
+                                    # inlined _directory_read
+                                    dir_tracked[block] = 1
+                                    dir_sharers[block] |= 1 << node
+                                    version = dir_versions[block]
                                     service = local_miss_cost
-                                # inlined fill + eviction notification
-                                # NOTE: the eviction block below is a
-                                # copy of DSMProtocol.note_l1_eviction —
-                                # as is its twin on the general miss path
-                                # further down; keep all three in sync
-                                cv = line_versions[p]
-                                cd = line_dirty[p]
-                                old = cb[idx]
-                                cb[idx] = block
-                                if old >= 0 and old != block:
-                                    victim_dirty = cd[idx]
-                                    evict_rt[p] += 1
-                                    cv[idx] = version
-                                    cd[idx] = is_write
-                                    if inline_evict:
-                                        cap = bc_caps[node]
-                                        frames = bc_frames[node]
-                                        if cap is None:
-                                            resident = old in frames
-                                        else:
-                                            entry = frames.get(old % cap)
-                                            resident = (entry is not None
-                                                        and entry[0] == old)
-                                        if not resident:
-                                            pc = page_caches[node]
-                                            vpage = old // addr_bpp
-                                            if pc is None or not pc.contains(vpage):
-                                                vrec = vm_pages.get(vpage)
-                                                if (vrec is not None
-                                                        and vrec.home != node):
-                                                    departed[node][old] = \
-                                                        _DEPARTED_EVICTED
+                            else:
+                                service, version = local_fill(
+                                    node, block, is_write)
+                                if events:
+                                    demote_pending(i, p)
+                            # inlined fill + eviction notification
+                            # NOTE: the eviction block below is a copy of
+                            # DSMProtocol.note_l1_eviction — as is its twin
+                            # on the general miss path further down; keep
+                            # both in sync
+                            cv = line_versions[p]
+                            cd = line_dirty[p]
+                            old = cb[idx]
+                            cb[idx] = block
+                            if old >= 0 and old != block:
+                                victim_dirty = cd[idx]
+                                evict_rt[p] += 1
+                                cv[idx] = version
+                                cd[idx] = is_write
+                                if inline_evict:
+                                    cap = bc_caps[node]
+                                    if cap is None:
+                                        resident = old in bc_store[node]
                                     else:
-                                        note_l1_eviction(node, old, victim_dirty)
+                                        resident = (
+                                            bc_blocks[node][old % cap]
+                                            == old)
+                                    if not resident:
+                                        pcp = pc_pages_of[node]
+                                        vpage = old // addr_bpp
+                                        if pcp is None or vpage not in pcp:
+                                            vh = (vm_home[vpage]
+                                                  if vpage < len(vm_home)
+                                                  else -1)
+                                            if vh >= 0 and vh != node:
+                                                departed[node][old] = \
+                                                    _DEPARTED_EVICTED
                                 else:
-                                    cv[idx] = version
-                                    cd[idx] = is_write
-                                acc_contention[p] += wait
-                                acc_local[p] += service
-                                clocks[p] = clock + wait + service
-                                continue
-                            pageop = 0
-                            remote = False
-                            service, version = local_fill(
-                                node, block, is_write)
+                                    note_l1_eviction(node, old, victim_dirty)
+                            else:
+                                cv[idx] = version
+                                cd[idx] = is_write
+                            acc_contention[p] += wait
+                            acc_local[p] += service
+                            clocks[p] = clock + wait + service
+                            continue
                         elif inline_bc_remote:
+                            # ---- fully inlined CC-NUMA remote lane ----
+                            # (_block_cache_fetch + _remote_fetch +
+                            # Network.fetch_contention on flat arrays; see
+                            # their docstrings for the semantics)
                             pageop = 0
-                            service, version, remote = bc_fetch(
-                                node, page, block, is_write, start, rec.home)
+                            version = dir_versions[block]
+                            cap = bc_caps[node]
+                            bcs = bc_stats_of[node]
+                            hit = False
+                            if cap is None:
+                                store = bc_store[node]
+                                ent = store.get(block)
+                                if ent is not None:
+                                    if ent[0] >= version:
+                                        hit = True
+                                    else:
+                                        del store[block]
+                                        bcs.invalidations += 1
+                            else:
+                                bidx = block % cap
+                                bb = bc_blocks[node]
+                                bv = bc_versions[node]
+                                bd = bc_dirty[node]
+                                if bb[bidx] == block:
+                                    if bv[bidx] >= version:
+                                        hit = True
+                                    else:
+                                        bb[bidx] = -1
+                                        bd[bidx] = False
+                                        bcs.invalidations += 1
+                            if hit:
+                                bcs.hits += 1
+                                node_stats[node].block_cache_hits += 1
+                                remote = False
+                                if is_write:
+                                    # inlined _directory_write
+                                    dir_tracked[block] = 1
+                                    bit = 1 << node
+                                    others = dir_sharers[block] & ~bit
+                                    o = dir_owner[block]
+                                    if o >= 0 and o != node:
+                                        directory.writebacks += 1
+                                    dir_sharers[block] = bit
+                                    dir_owner[block] = node
+                                    version = dir_versions[block] + 1
+                                    dir_versions[block] = version
+                                    extra = 0
+                                    if others:
+                                        invals = others.bit_count()
+                                        directory.invalidations_sent += invals
+                                        extra = invals * inval_cost
+                                        msg_counts[_INV_I] += invals
+                                        msg_counts[_ACK_I] += invals
+                                        net_stats.bytes_total += \
+                                            invals * sz_inv_pair
+                                        while others:
+                                            low = others & -others
+                                            others ^= low
+                                            departed[low.bit_length() - 1][
+                                                block] = _DEPARTED_INVALIDATED
+                                    if cap is None:
+                                        stored = ent[0]
+                                        store[block] = (
+                                            version if version > stored
+                                            else stored, True)
+                                    else:
+                                        if version > bv[bidx]:
+                                            bv[bidx] = version
+                                        bd[bidx] = True
+                                    service = local_miss_cost + extra
+                                else:
+                                    service = local_miss_cost
+                            else:
+                                bcs.misses += 1
+                                remote = True
+                                # miss classification (reason doubles as
+                                # the MissClass counter index)
+                                ns = node_stats[node]
+                                reason = departed[node].pop(block, 0)
+                                ns.remote_misses += 1
+                                ns.remote_by_cause[reason] += 1
+                                # request/reply traffic + NIC contention
+                                if is_write:
+                                    msg_counts[_WRITE_I] += 1
+                                    msg_counts[_DATA_I] += 1
+                                    net_stats.bytes_total += sz_write_pair
+                                else:
+                                    msg_counts[_READ_I] += 1
+                                    msg_counts[_DATA_I] += 1
+                                    net_stats.bytes_total += sz_read_pair
+                                req_nic = nics[node]
+                                home_nic = nics[home]
+                                occ2 = nic_occ + nic_occ
+                                if not net_enabled:
+                                    req_nic.messages += 2
+                                    home_nic.messages += 2
+                                    req_nic.busy_cycles += occ2
+                                    home_nic.busy_cycles += occ2
+                                    contention = 0
+                                else:
+                                    free = req_nic.next_free
+                                    s1 = start if start >= free else free
+                                    w1 = s1 - start
+                                    req_nic.next_free = s1 + nic_occ
+                                    t = s1 + nic_occ + net_latency
+                                    free = home_nic.next_free
+                                    s2 = t if t >= free else free
+                                    w2 = s2 - t
+                                    home_nic.next_free = s2 + nic_occ
+                                    t2 = s2 + nic_occ
+                                    free = home_nic.next_free
+                                    s3 = t2 if t2 >= free else free
+                                    w3 = s3 - t2
+                                    home_nic.next_free = s3 + nic_occ
+                                    t3 = s3 + nic_occ + net_latency
+                                    free = req_nic.next_free
+                                    s4 = t3 if t3 >= free else free
+                                    w4 = s4 - t3
+                                    req_nic.next_free = s4 + nic_occ
+                                    req_nic.messages += 2
+                                    home_nic.messages += 2
+                                    req_nic.busy_cycles += occ2
+                                    home_nic.busy_cycles += occ2
+                                    req_nic.wait_cycles += w1 + w4
+                                    home_nic.wait_cycles += w2 + w3
+                                    contention = w1 + w2 + w3 + w4
+                                # directory side of the fill
+                                if is_write:
+                                    # inlined _directory_write
+                                    dir_tracked[block] = 1
+                                    bit = 1 << node
+                                    others = dir_sharers[block] & ~bit
+                                    o = dir_owner[block]
+                                    if o >= 0 and o != node:
+                                        directory.writebacks += 1
+                                    dir_sharers[block] = bit
+                                    dir_owner[block] = node
+                                    version = dir_versions[block] + 1
+                                    dir_versions[block] = version
+                                    extra = 0
+                                    if others:
+                                        invals = others.bit_count()
+                                        directory.invalidations_sent += invals
+                                        extra = invals * inval_cost
+                                        msg_counts[_INV_I] += invals
+                                        msg_counts[_ACK_I] += invals
+                                        net_stats.bytes_total += \
+                                            invals * sz_inv_pair
+                                        dep2 = departed
+                                        while others:
+                                            low = others & -others
+                                            others ^= low
+                                            dep2[low.bit_length() - 1][
+                                                block] = _DEPARTED_INVALIDATED
+                                else:
+                                    # inlined _directory_read
+                                    dir_tracked[block] = 1
+                                    dir_sharers[block] |= 1 << node
+                                    version = dir_versions[block]
+                                    extra = 0
+                                service = remote_miss_cost + contention + extra
+                                # inlined BlockCache.fill
+                                if cap is None:
+                                    store[block] = (version, is_write)
+                                else:
+                                    old = bb[bidx]
+                                    old_dirty = bd[bidx]
+                                    bb[bidx] = block
+                                    bv[bidx] = version
+                                    bd[bidx] = is_write
+                                    if old >= 0 and old != block:
+                                        bcs.evictions += 1
+                                        departed[node][old] = _DEPARTED_EVICTED
+                                        if (old < len(dir_sharers)
+                                                and dir_tracked[old]):
+                                            dir_sharers[old] &= ~(1 << node)
+                                            if dir_owner[old] == node:
+                                                dir_owner[old] = -1
+                                                directory.writebacks += 1
+                                        if old_dirty:
+                                            vpage = old // addr_bpp
+                                            vh = (vm_home[vpage]
+                                                  if vpage < len(vm_home)
+                                                  else -1)
+                                            if vh >= 0 and vh != node:
+                                                msg_counts[_WB_I] += 1
+                                                net_stats.bytes_total += sz_wb
                         else:
                             service, pageop, version, remote = service_remote(
                                 node, p, page, block, is_write, start,
-                                rec.home, mode)
+                                home, MODES_BY_CODE[mode_c])
                 else:
                     service, pageop, fault, version, remote = handle_miss(
                         node, p, page, block, is_write, start)
@@ -341,27 +653,7 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 if events:
                     # a page operation flushed L1 lines: demote the affected
                     # procs' pending fast refs ordered after (i, p)
-                    new_extras = []
-                    for p2 in events:
-                        if p2 >= num_procs:
-                            continue
-                        bound = i + 1 if p2 <= p else i
-                        if bound < ptr[p2]:
-                            bound = ptr[p2]
-                        seg = cls[p2][bound:]
-                        pend = np.flatnonzero(seg == CLS_FAST)
-                        if len(pend):
-                            seg[pend] = CLS_PROBE
-                            blk2 = np.asarray(blocks_np[p2])
-                            wrt2 = np.asarray(writes_np[p2])
-                            new_extras.extend(
-                                (int(j) + bound, p2, True,
-                                 int(blk2[j + bound]), bool(wrt2[j + bound]))
-                                for j in pend)
-                    events.clear()
-                    if new_extras:
-                        extras = sorted(extras[ke:] + new_extras)
-                        ke = 0
+                    demote_pending(i, p)
 
                 # inlined DirectMappedCache.fill + eviction notification
                 cv = line_versions[p]
@@ -379,18 +671,17 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                         # twin lives on the local-fill path above; keep
                         # both in sync with DSMProtocol.note_l1_eviction)
                         cap = bc_caps[node]
-                        frames = bc_frames[node]
                         if cap is None:
-                            resident = old in frames
+                            resident = old in bc_store[node]
                         else:
-                            entry = frames.get(old % cap)
-                            resident = entry is not None and entry[0] == old
+                            resident = bc_blocks[node][old % cap] == old
                         if not resident:
-                            pc = page_caches[node]
+                            pcp = pc_pages_of[node]
                             vpage = old // addr_bpp
-                            if pc is None or not pc.contains(vpage):
-                                vrec = vm_pages.get(vpage)
-                                if vrec is not None and vrec.home != node:
+                            if pcp is None or vpage not in pcp:
+                                vh = (vm_home[vpage]
+                                      if vpage < len(vm_home) else -1)
+                                if vh >= 0 and vh != node:
                                     departed[node][old] = _DEPARTED_EVICTED
                     else:
                         note_l1_eviction(node, old, victim_dirty)
@@ -436,15 +727,15 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                                        evictions=evict_rt[p],
                                        invalidations=inval_rt[p])
 
-            # flush the local bus state
+            # flush the local bus state (busy cycles are txns * occupancy,
+            # so they need no per-transaction accumulation in the loop)
             for n in range(num_nodes):
                 b = buses[n]
                 b.next_free = bus_free[n]
                 b.transactions += bus_txn[n]
-                b.busy_cycles += bus_busy[n]
+                b.busy_cycles += bus_txn[n] * bus_occ
                 b.wait_cycles += bus_wait[n]
                 bus_txn[n] = 0
-                bus_busy[n] = 0
                 bus_wait[n] = 0
 
             # barrier at the end of the phase
@@ -452,6 +743,8 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
             clocks = [post_barrier] * num_procs
             machine.stats.barrier_count += 1
     finally:
+        if gc_was_enabled:
+            gc.enable()
         for p, c in enumerate(caches):
             c.watch = saved_watch[p]
 

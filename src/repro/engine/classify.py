@@ -90,8 +90,10 @@ def classify_phase(blocks: Sequence[np.ndarray], writes: Sequence[np.ndarray],
     if total == 0:
         return [np.zeros(n, dtype=np.int8) for n in lens], []
 
-    blk = np.concatenate([np.asarray(b, dtype=np.int64) for b in blocks])
-    wrt = np.concatenate([np.asarray(w, dtype=np.int64) != 0 for w in writes])
+    # PhaseTrace normalizes streams at construction (int64 blocks, bool
+    # writes), so concatenation involves no per-stream re-wrapping.
+    blk = np.concatenate(blocks)
+    wrt = np.concatenate(writes)
     prc = np.concatenate([np.full(n, p, dtype=np.int64)
                           for p, n in enumerate(lens)])
     gpos = (np.concatenate([np.arange(n, dtype=np.int64) for n in lens])

@@ -14,15 +14,26 @@ environment) and memoizes results keyed by a digest of the trace content,
 the system name and the configuration — so e.g. the perfect-CC-NUMA
 baseline of an application is simulated once per sweep, not once per
 figure, and re-renders are free.
+
+Parallel dispatch is *zero-copy* with respect to the trace streams: the
+runner spills each distinct trace once into a digest-keyed on-disk store
+(:class:`TraceStore`, ``.npz`` via :mod:`repro.workloads.trace_io`) and
+submits only ``(path, digest, system, config)`` to the pool.  Worker
+processes load a trace the first time they see its digest and keep it in
+a per-process cache, so a figure-sized sweep pickles no stream arrays at
+all — each trace crosses the process boundary as a file path.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import shutil
+import tempfile
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -33,6 +44,7 @@ from repro.core.factory import SystemSpec, build_system
 from repro.engine import default_engine
 from repro.stats.counters import MachineStats
 from repro.workloads.trace import Trace
+from repro.workloads.trace_io import load_trace, save_trace
 
 
 @dataclass
@@ -185,6 +197,95 @@ def _execute_run(trace: Trace, system_name: str, cfg: SimulationConfig,
                             config=cfg, stats=stats)
 
 
+# ---------------------------------------------------------------------------
+# Digest-keyed on-disk trace store (zero-copy parallel dispatch)
+# ---------------------------------------------------------------------------
+
+
+class TraceStore:
+    """Digest-keyed on-disk store of traces shared with worker processes.
+
+    Each distinct trace is spilled exactly once, as ``<digest>.npz``
+    (written via :func:`repro.workloads.trace_io.save_trace`, whose
+    round-trip is bit-exact), into ``root``.  Workers re-load the file on
+    first use and cache the trace per process, so submitting N runs of the
+    same trace moves its streams across the process boundary zero times —
+    only the path string travels.
+
+    Parameters
+    ----------
+    root:
+        Directory for the archives.  ``None`` (the default) creates a
+        private temporary directory on first use and removes it on
+        :meth:`close`; an explicit directory is reused across runners and
+        never deleted.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self._root = Path(root) if root is not None else None
+        self._owned = root is None
+        self._saved: set = set()
+        #: number of archives this store has actually written to disk
+        self.spills = 0
+
+    @property
+    def root(self) -> Path:
+        """The store directory (created on first use)."""
+        if self._root is None:
+            self._root = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+        else:
+            self._root.mkdir(parents=True, exist_ok=True)
+        return self._root
+
+    def path_for(self, digest: str) -> Path:
+        """Path of the archive holding the trace with ``digest``."""
+        return self.root / f"{digest}.npz"
+
+    def ensure(self, trace: Trace, digest: str) -> Path:
+        """Spill ``trace`` under ``digest`` if not already stored; return its path.
+
+        The archive is written to a temporary name and renamed into place
+        so concurrent runners sharing an explicit ``root`` never observe a
+        half-written file.
+        """
+        path = self.path_for(digest)
+        if digest not in self._saved:
+            if not path.exists():
+                tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
+                save_trace(trace, tmp)
+                tmp.replace(path)
+                self.spills += 1
+            self._saved.add(digest)
+        return path
+
+    def close(self) -> None:
+        """Remove the store directory (only when this store created it)."""
+        if self._owned and self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+            self._root = None
+            self._saved.clear()
+
+
+#: Per-worker-process LRU cache of traces loaded from a TraceStore.
+#: Bounded: map_runs submits runs of the same trace back to back, so a
+#: small cache gets the same hit rate as an unbounded one without letting
+#: long multi-trace sweeps accumulate every trace in every worker.
+_WORKER_TRACES: "Dict[str, Trace]" = {}
+_WORKER_TRACE_LIMIT = 4
+
+
+def _execute_stored_run(trace_path: str, digest: str, system_name: str,
+                        cfg: SimulationConfig, engine: str) -> ExperimentResult:
+    """Worker entry point taking a stored trace reference instead of arrays."""
+    trace = _WORKER_TRACES.pop(digest, None)
+    if trace is None:
+        trace = load_trace(trace_path)
+        while len(_WORKER_TRACES) >= _WORKER_TRACE_LIMIT:
+            _WORKER_TRACES.pop(next(iter(_WORKER_TRACES)))
+    _WORKER_TRACES[digest] = trace   # re-insert = move to MRU position
+    return _execute_run(trace, system_name, cfg, engine)
+
+
 @dataclass
 class RunnerStats:
     """Bookkeeping of a SweepRunner's cache behaviour."""
@@ -192,6 +293,7 @@ class RunnerStats:
     runs: int = 0           # simulations actually executed
     memo_hits: int = 0      # results served from the memo table
     parallel_runs: int = 0  # runs dispatched to worker processes
+    traces_spilled: int = 0  # distinct traces written to the on-disk store
 
 
 class SweepRunner:
@@ -212,17 +314,27 @@ class SweepRunner:
     engine:
         Execution engine for all runs (default: the session default, see
         :mod:`repro.engine`).
+    trace_store:
+        On-disk trace store used for parallel dispatch (see
+        :class:`TraceStore`).  The default builds a private store in a
+        temporary directory, used lazily (only when runs are actually
+        dispatched to workers) and removed on :meth:`close`.  Pass a
+        shared store to reuse spilled traces across runners.
 
     Use as a context manager (or call :meth:`close`) to release the worker
-    pool; a runner with ``jobs=1`` holds no resources.
+    pool and the private trace store; a runner with ``jobs=1`` holds no
+    resources.
     """
 
     def __init__(self, jobs: Optional[int] = None, *, memoize: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 trace_store: Optional[TraceStore] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.engine = engine if engine is not None else default_engine()
         self.memoize = memoize
         self.stats = RunnerStats()
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
+        self._owns_store = trace_store is None
         self._memo: Dict[Tuple[str, str, str, str], ExperimentResult] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._trace_keys: Dict[int, str] = {}
@@ -236,10 +348,12 @@ class SweepRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (if one was started)."""
+        """Shut down the worker pool and the private trace store."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._owns_store:
+            self.trace_store.close()
 
     # -- keys ---------------------------------------------------------------
 
@@ -301,11 +415,19 @@ class SweepRunner:
             if self.jobs > 1 and len(pending) > 1:
                 if self._pool is None:
                     self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-                futures = {
-                    key: self._pool.submit(_execute_run, trace, name, cfg,
-                                           self.engine)
-                    for key, (trace, name, cfg) in pending.items()
-                }
+                # zero-copy dispatch: spill each distinct trace once (the
+                # digest is the first component of the memo key) and ship
+                # only (path, digest, system, config) to the workers
+                store = self.trace_store
+                futures = {}
+                for key, (trace, name, cfg) in pending.items():
+                    digest = key[0]
+                    spills_before = store.spills
+                    path = store.ensure(trace, digest)
+                    self.stats.traces_spilled += store.spills - spills_before
+                    futures[key] = self._pool.submit(
+                        _execute_stored_run, str(path), digest, name, cfg,
+                        self.engine)
                 self.stats.parallel_runs += len(futures)
                 for key, future in futures.items():
                     self._memo[key] = future.result()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class SplitTransactionBus:
     """Occupancy/contention model for one node's memory bus.
 

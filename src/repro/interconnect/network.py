@@ -23,7 +23,7 @@ from typing import List
 from repro.interconnect.message import MessageStats, MessageType
 
 
-@dataclass
+@dataclass(slots=True)
 class _Nic:
     """Network interface of one node (a serialising resource)."""
 
@@ -123,11 +123,13 @@ class Network:
         """
         # inlined MessageStats.record for the two messages
         stats = self.stats
-        counts = stats.counts
-        counts[request] = counts.get(request, 0) + 1
-        counts[reply] = counts.get(reply, 0) + 1
+        counts = stats._counts
+        ri = request.index
+        pi = reply.index
+        counts[ri] += 1
+        counts[pi] += 1
         sizes = stats._sizes
-        stats.bytes_total += sizes[request] + sizes[reply]
+        stats.bytes_total += sizes[ri] + sizes[pi]
         if requester == home:
             return 0
         occ = self.nic_occupancy
@@ -197,11 +199,15 @@ class Network:
         return self.stats.bytes_total
 
     def reset(self) -> None:
-        """Clear NIC timing state and traffic statistics."""
+        """Clear NIC timing state and traffic statistics.
+
+        The MessageStats object (and its counter list) is cleared in
+        place, never replaced: the protocol layer pre-binds both for its
+        inlined recording paths and must keep observing the live counters.
+        """
         for nic in self._nics:
             nic.next_free = 0
             nic.messages = 0
             nic.busy_cycles = 0
             nic.wait_cycles = 0
-        self.stats = MessageStats(block_size=self.stats.block_size,
-                                  page_size=self.stats.page_size)
+        self.stats.clear()

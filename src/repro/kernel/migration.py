@@ -111,11 +111,7 @@ class MigrationEngine:
         is folded into the gather cost charged by the caller.
         """
         blocks = self.addr.blocks_of_page(page)
-        sharer_mask = 0
-        for block in blocks:
-            e = self.directory.peek(block)
-            if e is not None:
-                sharer_mask |= e.sharers
+        sharer_mask = self.directory.page_sharer_mask(blocks)
         excluded = set(exclude)
         blocks_flushed = 0
         nodes_flushed = 0

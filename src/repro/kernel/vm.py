@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set
 
 
-@dataclass
+@dataclass(slots=True)
 class PageRecord:
     """Global (home-side) state of one shared page."""
 
@@ -46,19 +46,35 @@ class VirtualMemoryManager:
     placement ablation.
     """
 
-    __slots__ = ("num_nodes", "_pages", "_placement", "first_touches",
-                 "migrations", "replications", "replica_collapses")
+    __slots__ = ("num_nodes", "_pages", "_home", "_placement",
+                 "first_touches", "migrations", "replications",
+                 "replica_collapses")
 
     def __init__(self, num_nodes: int, placement=None) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         self.num_nodes = num_nodes
         self._pages: Dict[int, PageRecord] = {}
+        # flat page -> current home array (-1 = never placed), kept in sync
+        # with the records; the protocol layer and the batched engine read
+        # it directly on every miss instead of a record-dict lookup.  Grown
+        # lazily and in place (aliases stay valid).
+        self._home: List[int] = []
         self._placement = placement
         self.first_touches = 0
         self.migrations = 0
         self.replications = 0
         self.replica_collapses = 0
+
+    # -- storage management --------------------------------------------------------
+
+    def reserve(self, n: int) -> None:
+        """Grow the home array (in place) to cover page ids ``< n``."""
+        cap = len(self._home)
+        if n <= cap:
+            return
+        grow = max(n, 2 * cap, 256) - cap
+        self._home += [-1] * grow
 
     # -- placement ---------------------------------------------------------------
 
@@ -78,6 +94,9 @@ class VirtualMemoryManager:
         self._check_node(home)
         rec = PageRecord(page=page, home=home, first_toucher=node)
         self._pages[page] = rec
+        if page >= len(self._home):
+            self.reserve(page + 1)
+        self._home[page] = home
         self.first_touches += 1
         return rec, True
 
@@ -87,8 +106,11 @@ class VirtualMemoryManager:
 
     def home_of(self, page: int) -> Optional[int]:
         """Current home node of ``page``, or None if never touched."""
-        rec = self._pages.get(page)
-        return rec.home if rec is not None else None
+        home = self._home
+        if page < len(home):
+            h = home[page]
+            return h if h >= 0 else None
+        return None
 
     def record(self, page: int) -> Optional[PageRecord]:
         """Return the record of ``page`` if it exists."""
@@ -106,6 +128,7 @@ class VirtualMemoryManager:
             raise ValueError("cannot migrate a page while it is replicated")
         if rec.home != new_home:
             rec.home = new_home
+            self._home[page] = new_home
             rec.migrations += 1
             self.migrations += 1
         return rec

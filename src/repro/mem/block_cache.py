@@ -11,11 +11,20 @@ The paper sizes this cache at the sum of the node's processor caches
 (home) pages are served from the node's main memory.  ``capacity_blocks``
 may be ``None`` to model the *perfect* CC-NUMA used as the normalisation
 baseline (an infinite block cache never suffers capacity/conflict misses).
+
+Storage layout
+--------------
+The finite cache stores its frames as flat parallel lists indexed by frame
+number — ``_blocks`` (cached block id, -1 when empty), ``_versions`` and
+``_dirty`` — exactly the layout the protocol layer's and the batched
+engine's inlined lookup/fill paths index directly.  The infinite cache is
+necessarily a mapping; it keeps a plain ``block -> (version, dirty)`` dict
+(``_store``).  Exactly one of ``_blocks`` / ``_store`` is non-None.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.mem.cache import CacheStats
 
@@ -30,23 +39,25 @@ class BlockCache:
         (perfect CC-NUMA).
     """
 
-    __slots__ = ("capacity_blocks", "_frames", "_infinite", "stats")
+    __slots__ = ("capacity_blocks", "_infinite", "_blocks", "_versions",
+                 "_dirty", "_store", "stats")
 
     def __init__(self, capacity_blocks: Optional[int]) -> None:
         if capacity_blocks is not None and capacity_blocks <= 0:
             raise ValueError("capacity_blocks must be positive or None")
         self.capacity_blocks = capacity_blocks
         self._infinite = capacity_blocks is None
-        # For the finite cache, frame index -> (block, version, dirty).
-        # For the infinite cache, block -> (version, dirty).
-        self._frames: Dict[int, Tuple[int, int, bool]] = {}
+        if self._infinite:
+            self._blocks: Optional[List[int]] = None
+            self._versions: Optional[List[int]] = None
+            self._dirty: Optional[List[bool]] = None
+            self._store: Optional[Dict[int, Tuple[int, bool]]] = {}
+        else:
+            self._blocks = [-1] * capacity_blocks
+            self._versions = [0] * capacity_blocks
+            self._dirty = [False] * capacity_blocks
+            self._store = None
         self.stats = CacheStats()
-
-    # -- helpers ---------------------------------------------------------------
-
-    def _frame_of(self, block: int) -> int:
-        assert self.capacity_blocks is not None
-        return block % self.capacity_blocks
 
     # -- core operations --------------------------------------------------------
 
@@ -58,24 +69,23 @@ class BlockCache:
         invalidation scheme of the processor caches.
         """
         if self._infinite:
-            entry = self._frames.get(block)
+            entry = self._store.get(block)
             if entry is not None:
-                stored_version, dirty = entry[1], entry[2]
-                if stored_version >= version:
+                if entry[0] >= version:
                     self.stats.hits += 1
                     return True
-                del self._frames[block]
+                del self._store[block]
                 self.stats.invalidations += 1
             self.stats.misses += 1
             return False
 
-        idx = self._frame_of(block)
-        entry = self._frames.get(idx)
-        if entry is not None and entry[0] == block:
-            if entry[1] >= version:
+        idx = block % self.capacity_blocks
+        if self._blocks[idx] == block:
+            if self._versions[idx] >= version:
                 self.stats.hits += 1
                 return True
-            del self._frames[idx]
+            self._blocks[idx] = -1
+            self._dirty[idx] = False
             self.stats.invalidations += 1
         self.stats.misses += 1
         return False
@@ -83,41 +93,44 @@ class BlockCache:
     def fill(self, block: int, version: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Install ``block``; return the evicted ``(block, dirty)`` if any."""
         if self._infinite:
-            self._frames[block] = (block, version, dirty)
+            self._store[block] = (version, dirty)
             return None
-        idx = self._frame_of(block)
+        idx = block % self.capacity_blocks
         victim: Optional[Tuple[int, bool]] = None
-        old = self._frames.get(idx)
-        if old is not None and old[0] != block:
-            victim = (old[0], old[2])
+        old = self._blocks[idx]
+        if old >= 0 and old != block:
+            victim = (old, self._dirty[idx])
             self.stats.evictions += 1
-        self._frames[idx] = (block, version, dirty)
+        self._blocks[idx] = block
+        self._versions[idx] = version
+        self._dirty[idx] = dirty
         return victim
 
     def touch_write(self, block: int, version: int) -> None:
         """Record a write to a resident block (marks it dirty)."""
         if self._infinite:
-            entry = self._frames.get(block)
+            entry = self._store.get(block)
             if entry is not None:
-                self._frames[block] = (block, max(entry[1], version), True)
+                self._store[block] = (max(entry[0], version), True)
             return
-        idx = self._frame_of(block)
-        entry = self._frames.get(idx)
-        if entry is not None and entry[0] == block:
-            self._frames[idx] = (block, max(entry[1], version), True)
+        idx = block % self.capacity_blocks
+        if self._blocks[idx] == block:
+            if version > self._versions[idx]:
+                self._versions[idx] = version
+            self._dirty[idx] = True
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if present; return True if it was present."""
         if self._infinite:
-            if block in self._frames:
-                del self._frames[block]
+            if block in self._store:
+                del self._store[block]
                 self.stats.invalidations += 1
                 return True
             return False
-        idx = self._frame_of(block)
-        entry = self._frames.get(idx)
-        if entry is not None and entry[0] == block:
-            del self._frames[idx]
+        idx = block % self.capacity_blocks
+        if self._blocks[idx] == block:
+            self._blocks[idx] = -1
+            self._dirty[idx] = False
             self.stats.invalidations += 1
             return True
         return False
@@ -135,29 +148,31 @@ class BlockCache:
     def contains(self, block: int) -> bool:
         """True if ``block`` is resident (any version)."""
         if self._infinite:
-            return block in self._frames
-        entry = self._frames.get(self._frame_of(block))
-        return entry is not None and entry[0] == block
+            return block in self._store
+        return self._blocks[block % self.capacity_blocks] == block
 
     def is_dirty(self, block: int) -> bool:
         """True if ``block`` is resident and dirty."""
         if self._infinite:
-            entry = self._frames.get(block)
-            return entry is not None and entry[2]
-        entry = self._frames.get(self._frame_of(block))
-        return entry is not None and entry[0] == block and entry[2]
+            entry = self._store.get(block)
+            return entry is not None and entry[1]
+        idx = block % self.capacity_blocks
+        return self._blocks[idx] == block and self._dirty[idx]
 
     def resident_blocks(self) -> Iterator[int]:
         """Iterate over resident block ids."""
         if self._infinite:
-            yield from self._frames.keys()
+            yield from self._store.keys()
         else:
-            for entry in self._frames.values():
-                yield entry[0]
+            for block in self._blocks:
+                if block >= 0:
+                    yield block
 
     def occupancy(self) -> int:
         """Number of resident blocks."""
-        return len(self._frames)
+        if self._infinite:
+            return len(self._store)
+        return sum(1 for block in self._blocks if block >= 0)
 
     @property
     def is_infinite(self) -> bool:
@@ -166,4 +181,10 @@ class BlockCache:
 
     def clear(self) -> None:
         """Drop all blocks (statistics preserved)."""
-        self._frames.clear()
+        if self._infinite:
+            self._store.clear()
+            return
+        for i in range(self.capacity_blocks):
+            self._blocks[i] = -1
+            self._versions[i] = 0
+            self._dirty[i] = False

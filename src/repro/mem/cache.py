@@ -28,7 +28,7 @@ from typing import Callable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters maintained by the cache models."""
 
@@ -259,16 +259,6 @@ class DirectMappedCache:
             self.watch()
 
 
-@dataclass
-class _Way:
-    """One way of a set-associative cache set."""
-
-    block: int = -1
-    version: int = 0
-    dirty: bool = False
-    last_use: int = 0
-
-
 class SetAssociativeCache:
     """An LRU set-associative cache of coherence blocks.
 
@@ -276,9 +266,14 @@ class SetAssociativeCache:
     version-based invalidation) but with ``assoc`` ways per set and LRU
     replacement.  ``assoc == 1`` behaves exactly like the direct-mapped
     cache and the property tests assert that equivalence.
+
+    Line state is stored in flat parallel lists (block/version/dirty/
+    last-use) indexed by ``set * assoc + way`` — the same array layout the
+    other state stores use — rather than per-way objects.
     """
 
-    __slots__ = ("num_sets", "assoc", "_sets", "_clock", "stats")
+    __slots__ = ("num_sets", "assoc", "_blocks", "_versions", "_dirty",
+                 "_last_use", "_clock", "stats")
 
     def __init__(self, num_lines: int, assoc: int = 2) -> None:
         if num_lines <= 0:
@@ -289,34 +284,37 @@ class SetAssociativeCache:
             raise ValueError("num_lines must be a multiple of assoc")
         self.num_sets = num_lines // assoc
         self.assoc = assoc
-        self._sets: list[list[_Way]] = [
-            [_Way() for _ in range(assoc)] for _ in range(self.num_sets)
-        ]
+        self._blocks: list[int] = [-1] * num_lines
+        self._versions: list[int] = [0] * num_lines
+        self._dirty: list[bool] = [False] * num_lines
+        self._last_use: list[int] = [0] * num_lines
         self._clock = 0
         self.stats = CacheStats()
 
-    def _find(self, block: int) -> Tuple[list[_Way], Optional[_Way]]:
-        ways = self._sets[block % self.num_sets]
-        for way in ways:
-            if way.block == block:
-                return ways, way
-        return ways, None
+    def _find(self, block: int) -> int:
+        """Line index holding ``block``, or -1 when absent."""
+        base = (block % self.num_sets) * self.assoc
+        blocks = self._blocks
+        for idx in range(base, base + self.assoc):
+            if blocks[idx] == block:
+                return idx
+        return -1
 
     def probe(self, block: int, version: int, is_write: bool) -> int:
         """Fast-path probe mirroring :meth:`DirectMappedCache.probe`."""
         self._clock += 1
-        ways, way = self._find(block)
-        if way is not None:
-            if way.version >= version:
-                way.last_use = self._clock
+        idx = self._find(block)
+        if idx >= 0:
+            if self._versions[idx] >= version:
+                self._last_use[idx] = self._clock
                 self.stats.hits += 1
                 if not is_write:
                     return PROBE_READ_HIT
-                if way.dirty:
+                if self._dirty[idx]:
                     return PROBE_WRITE_HIT_OWNED
                 return PROBE_WRITE_HIT_SHARED
-            way.block = -1
-            way.dirty = False
+            self._blocks[idx] = -1
+            self._dirty[idx] = False
             self.stats.invalidations += 1
         self.stats.misses += 1
         return PROBE_MISS
@@ -324,14 +322,14 @@ class SetAssociativeCache:
     def lookup(self, block: int, version: int) -> bool:
         """Return True on a fresh hit; stale copies are dropped and miss."""
         self._clock += 1
-        ways, way = self._find(block)
-        if way is not None:
-            if way.version >= version:
-                way.last_use = self._clock
+        idx = self._find(block)
+        if idx >= 0:
+            if self._versions[idx] >= version:
+                self._last_use[idx] = self._clock
                 self.stats.hits += 1
                 return True
-            way.block = -1
-            way.dirty = False
+            self._blocks[idx] = -1
+            self._dirty[idx] = False
             self.stats.invalidations += 1
         self.stats.misses += 1
         return False
@@ -339,58 +337,61 @@ class SetAssociativeCache:
     def fill(self, block: int, version: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Install ``block`` with LRU replacement; return evicted (block, dirty)."""
         self._clock += 1
-        ways, way = self._find(block)
+        idx = self._find(block)
         victim: Optional[Tuple[int, bool]] = None
-        if way is None:
+        if idx < 0:
             # prefer an invalid way, otherwise evict the LRU one
-            way = min(ways, key=lambda w: (w.block >= 0, w.last_use))
-            if way.block >= 0:
-                victim = (way.block, way.dirty)
+            base = (block % self.num_sets) * self.assoc
+            blocks = self._blocks
+            last_use = self._last_use
+            idx = min(range(base, base + self.assoc),
+                      key=lambda i: (blocks[i] >= 0, last_use[i]))
+            if blocks[idx] >= 0:
+                victim = (blocks[idx], self._dirty[idx])
                 self.stats.evictions += 1
-        way.block = block
-        way.version = version
-        way.dirty = dirty
-        way.last_use = self._clock
+        self._blocks[idx] = block
+        self._versions[idx] = version
+        self._dirty[idx] = dirty
+        self._last_use[idx] = self._clock
         return victim
 
     def touch_write(self, block: int, version: int) -> None:
         """Mark ``block`` dirty after a write hit."""
-        _, way = self._find(block)
-        if way is not None:
-            way.dirty = True
-            if version > way.version:
-                way.version = version
+        idx = self._find(block)
+        if idx >= 0:
+            self._dirty[idx] = True
+            if version > self._versions[idx]:
+                self._versions[idx] = version
 
     def invalidate(self, block: int) -> bool:
         """Invalidate ``block`` if present."""
-        _, way = self._find(block)
-        if way is not None:
-            way.block = -1
-            way.dirty = False
+        idx = self._find(block)
+        if idx >= 0:
+            self._blocks[idx] = -1
+            self._dirty[idx] = False
             self.stats.invalidations += 1
             return True
         return False
 
     def contains(self, block: int) -> bool:
         """True if ``block`` is resident."""
-        return self._find(block)[1] is not None
+        return self._find(block) >= 0
 
     def version_of(self, block: int) -> Optional[int]:
         """Version recorded for ``block`` or None."""
-        _, way = self._find(block)
-        return way.version if way is not None else None
+        idx = self._find(block)
+        return self._versions[idx] if idx >= 0 else None
 
     def is_dirty(self, block: int) -> bool:
         """True if ``block`` is resident and dirty."""
-        _, way = self._find(block)
-        return way is not None and way.dirty
+        idx = self._find(block)
+        return idx >= 0 and self._dirty[idx]
 
     def resident_blocks(self) -> Iterator[int]:
         """Iterate over resident block ids."""
-        for ways in self._sets:
-            for way in ways:
-                if way.block >= 0:
-                    yield way.block
+        for block in self._blocks:
+            if block >= 0:
+                yield block
 
     def occupancy(self) -> int:
         """Number of valid lines."""
@@ -398,9 +399,8 @@ class SetAssociativeCache:
 
     def clear(self) -> None:
         """Drop every line (statistics preserved)."""
-        for ways in self._sets:
-            for way in ways:
-                way.block = -1
-                way.version = 0
-                way.dirty = False
-                way.last_use = 0
+        for idx in range(len(self._blocks)):
+            self._blocks[idx] = -1
+            self._versions[idx] = 0
+            self._dirty[idx] = False
+            self._last_use[idx] = 0

@@ -15,21 +15,33 @@ simulator uses the directory for three things:
    block it evicted incurs a *capacity/conflict* miss (the quantity both
    MigRep's and R-NUMA's counters observe).
 
-Sharer sets are stored as integer bitmasks (node ``i`` → bit ``i``) so all
-set algebra is O(1) integer arithmetic in the hot path.
+Storage layout
+--------------
+Directory state is stored as flat parallel arrays indexed by global block
+id — a sharer-bitmask list (node ``i`` → bit ``i``), an owner list and a
+version list, plus a ``tracked`` byte per block distinguishing "never
+referenced" from "referenced with default state".  The arrays grow lazily
+(and always *in place*, so pre-bound aliases held by the protocol and the
+batched engine stay valid) as larger block ids appear.  All hot-path set
+algebra is O(1) integer arithmetic on a scalar list element; there is no
+per-block object allocation anywhere.
+
+:class:`DirectoryEntry` remains as a lightweight *view* onto one block's
+columns so existing ``entry()``/``peek()`` callers keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
+
+#: Initial number of block slots allocated on first use.
+_MIN_RESERVE = 1024
 
 
-@dataclass
 class DirectoryEntry:
-    """Directory state for a single block.
+    """View of the directory state for a single block.
 
-    Attributes
+    Attributes (all properties backed by the directory's flat arrays)
     ----------
     sharers:
         Bitmask of nodes holding a (possibly stale-tracked) cached copy.
@@ -41,22 +53,54 @@ class DirectoryEntry:
         at fill time; a copy with an older version is stale.
     """
 
-    sharers: int = 0
-    owner: int = -1
-    version: int = 0
+    __slots__ = ("_dir", "_block")
+
+    def __init__(self, directory: "Directory", block: int) -> None:
+        self._dir = directory
+        self._block = block
+
+    @property
+    def sharers(self) -> int:
+        return self._dir._sharers[self._block]
+
+    @sharers.setter
+    def sharers(self, value: int) -> None:
+        self._dir._sharers[self._block] = value
+
+    @property
+    def owner(self) -> int:
+        return self._dir._owner[self._block]
+
+    @owner.setter
+    def owner(self, value: int) -> None:
+        self._dir._owner[self._block] = value
+
+    @property
+    def version(self) -> int:
+        return self._dir._version[self._block]
+
+    @version.setter
+    def version(self, value: int) -> None:
+        self._dir._version[self._block] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DirectoryEntry(block={self._block}, sharers={self.sharers:#x},"
+                f" owner={self.owner}, version={self.version})")
 
 
 class Directory:
     """Directory for all blocks homed across the cluster.
 
-    A single object serves the whole machine; entries are created lazily on
-    first reference.  Entries are keyed by global block id, so a page
-    migration (which changes the *home node*, not the block identity) does
-    not need to move directory state — matching the simulator's use of the
-    directory purely for sharer tracking and version-based invalidation.
+    A single object serves the whole machine; array slots are created
+    lazily on first reference.  State is keyed by global block id, so a
+    page migration (which changes the *home node*, not the block identity)
+    does not need to move directory state — matching the simulator's use
+    of the directory purely for sharer tracking and version-based
+    invalidation.
     """
 
-    __slots__ = ("num_nodes", "_entries", "invalidations_sent", "writebacks")
+    __slots__ = ("num_nodes", "_sharers", "_owner", "_version", "_tracked",
+                 "_views", "invalidations_sent", "writebacks")
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes <= 0:
@@ -64,36 +108,68 @@ class Directory:
         if num_nodes > 64:
             raise ValueError("bitmask sharer sets support at most 64 nodes")
         self.num_nodes = num_nodes
-        self._entries: Dict[int, DirectoryEntry] = {}
+        self._sharers: List[int] = []
+        self._owner: List[int] = []
+        self._version: List[int] = []
+        self._tracked = bytearray()
+        # entry()/peek() view objects, one per block, created on demand so
+        # repeated calls return the same object (callers may hold them)
+        self._views: dict[int, DirectoryEntry] = {}
         self.invalidations_sent = 0
         self.writebacks = 0
+
+    # -- storage management -------------------------------------------------------
+
+    def reserve(self, n: int) -> None:
+        """Grow the arrays (in place) to cover block ids ``< n``.
+
+        Growth is geometric so a stream of increasing block ids costs
+        amortised O(1) per block.  Existing list/bytearray objects are
+        extended, never replaced: aliases pre-bound by the protocol layer
+        and the batched engine remain valid across growth.
+        """
+        cap = len(self._sharers)
+        if n <= cap:
+            return
+        grow = max(n, 2 * cap, _MIN_RESERVE) - cap
+        self._sharers += [0] * grow
+        self._owner += [-1] * grow
+        self._version += [0] * grow
+        self._tracked += bytes(grow)
 
     # -- entry access ------------------------------------------------------------
 
     def entry(self, block: int) -> DirectoryEntry:
-        """Return (creating if needed) the entry for ``block``."""
-        e = self._entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            self._entries[block] = e
-        return e
+        """Return (creating if needed) a view of the entry for ``block``."""
+        if block >= len(self._sharers):
+            self.reserve(block + 1)
+        self._tracked[block] = 1
+        view = self._views.get(block)
+        if view is None:
+            view = DirectoryEntry(self, block)
+            self._views[block] = view
+        return view
 
     def peek(self, block: int) -> Optional[DirectoryEntry]:
-        """Return the entry for ``block`` without creating it."""
-        return self._entries.get(block)
+        """Return a view of the entry for ``block`` without creating it."""
+        if block < len(self._sharers) and self._tracked[block]:
+            return self.entry(block)
+        return None
 
     def version(self, block: int) -> int:
         """Current write version of ``block`` (0 if never written)."""
-        e = self._entries.get(block)
-        return e.version if e is not None else 0
+        v = self._version
+        return v[block] if block < len(v) else 0
 
     # -- protocol actions -----------------------------------------------------------
 
     def record_read(self, block: int, node: int) -> None:
         """Add ``node`` to the sharer set after a read fill."""
         self._check_node(node)
-        e = self.entry(block)
-        e.sharers |= 1 << node
+        if block >= len(self._sharers):
+            self.reserve(block + 1)
+        self._tracked[block] = 1
+        self._sharers[block] |= 1 << node
 
     def record_write(self, block: int, node: int) -> Tuple[int, int]:
         """Perform the directory side of a write by ``node``.
@@ -105,27 +181,32 @@ class Directory:
         elsewhere become stale.
         """
         self._check_node(node)
-        e = self.entry(block)
-        others = e.sharers & ~(1 << node)
+        sharers = self._sharers
+        if block >= len(sharers):
+            self.reserve(block + 1)
+        self._tracked[block] = 1
+        bit = 1 << node
+        others = sharers[block] & ~bit
         invalidations = others.bit_count()
-        if e.owner >= 0 and e.owner != node:
+        owner = self._owner
+        if owner[block] >= 0 and owner[block] != node:
             # previous exclusive owner must write back before we proceed
             self.writebacks += 1
-        e.sharers = 1 << node
-        e.owner = node
-        e.version += 1
+        sharers[block] = bit
+        owner[block] = node
+        version = self._version[block] + 1
+        self._version[block] = version
         self.invalidations_sent += invalidations
-        return invalidations, e.version
+        return invalidations, version
 
     def record_eviction(self, block: int, node: int) -> None:
         """Remove ``node`` from the sharer set after it evicts the block."""
         self._check_node(node)
-        e = self._entries.get(block)
-        if e is None:
+        if block >= len(self._sharers) or not self._tracked[block]:
             return
-        e.sharers &= ~(1 << node)
-        if e.owner == node:
-            e.owner = -1
+        self._sharers[block] &= ~(1 << node)
+        if self._owner[block] == node:
+            self._owner[block] = -1
             self.writebacks += 1
 
     def drop_node_from_page(self, blocks: range, node: int) -> int:
@@ -136,17 +217,21 @@ class Directory:
         actually shared.
         """
         self._check_node(node)
+        sharers = self._sharers
+        owner = self._owner
+        cap = len(sharers)
+        bit = 1 << node
+        mask = ~bit
         dropped = 0
-        mask = ~(1 << node)
         for block in blocks:
-            e = self._entries.get(block)
-            if e is None:
-                continue
-            if e.sharers & (1 << node):
+            if block >= cap:
+                break
+            s = sharers[block]
+            if s & bit:
                 dropped += 1
-            e.sharers &= mask
-            if e.owner == node:
-                e.owner = -1
+                sharers[block] = s & mask
+            if owner[block] == node:
+                owner[block] = -1
                 self.writebacks += 1
         return dropped
 
@@ -154,38 +239,50 @@ class Directory:
 
     def sharers_of(self, block: int) -> List[int]:
         """List of node ids currently sharing ``block``."""
-        e = self._entries.get(block)
-        if e is None:
+        sharers = self._sharers
+        if block >= len(sharers):
             return []
-        return [n for n in range(self.num_nodes) if e.sharers & (1 << n)]
+        s = sharers[block]
+        return [n for n in range(self.num_nodes) if s & (1 << n)]
 
     def sharing_degree(self, block: int) -> int:
         """Number of nodes sharing ``block``."""
-        e = self._entries.get(block)
-        return e.sharers.bit_count() if e is not None else 0
+        sharers = self._sharers
+        return sharers[block].bit_count() if block < len(sharers) else 0
 
     def is_shared_by(self, block: int, node: int) -> bool:
         """True if ``node`` is recorded as a sharer of ``block``."""
         self._check_node(node)
-        e = self._entries.get(block)
-        return bool(e and e.sharers & (1 << node))
+        sharers = self._sharers
+        return block < len(sharers) and bool(sharers[block] & (1 << node))
+
+    def page_sharer_mask(self, blocks: range) -> int:
+        """Union of the sharer bitmasks over every block of a page.
+
+        The page-operation paths (gathering for migration/replication)
+        scan a whole page's directory state at once; a single pass over
+        the flat sharer array avoids a per-block entry lookup.
+        """
+        sharers = self._sharers
+        cap = len(sharers)
+        mask = 0
+        for block in blocks:
+            if block >= cap:
+                break
+            mask |= sharers[block]
+        return mask
 
     def page_sharing_degree(self, blocks: range) -> int:
         """Number of distinct nodes sharing any block of a page."""
-        mask = 0
-        for block in blocks:
-            e = self._entries.get(block)
-            if e is not None:
-                mask |= e.sharers
-        return mask.bit_count()
+        return self.page_sharer_mask(blocks).bit_count()
 
     def tracked_blocks(self) -> Iterator[int]:
         """Iterate over block ids that have directory state."""
-        return iter(self._entries.keys())
+        return (block for block, t in enumerate(self._tracked) if t)
 
     def num_tracked(self) -> int:
         """Number of blocks with directory state."""
-        return len(self._entries)
+        return sum(self._tracked)
 
     # -- helpers -------------------------------------------------------------------------
 

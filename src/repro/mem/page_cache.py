@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class PageCacheStats:
     """Operation counters for a node's page cache."""
 
@@ -45,7 +45,7 @@ class PageCacheStats:
         return self.block_hits + self.block_misses
 
 
-@dataclass
+@dataclass(slots=True)
 class _CachedPage:
     """Bookkeeping for one page resident in the S-COMA page cache."""
 

@@ -33,9 +33,22 @@ class MissClass(enum.Enum):
     COHERENCE = "coherence"
 
 
-@dataclass
+#: MissClass members in counter-array order; ``c.index`` is the position.
+MISS_CLASSES = tuple(MissClass)
+for _i, _c in enumerate(MISS_CLASSES):
+    _c.index = _i  # int index as a member attribute for the hot paths
+
+
+@dataclass(slots=True)
 class NodeStats:
-    """Event counters for one SMP node."""
+    """Event counters for one SMP node.
+
+    The per-cause remote-miss breakdown is a flat three-element list
+    indexed by ``MissClass.index`` (it is bumped on every remote miss, the
+    simulator's hottest statistics update); the named ``remote_cold`` /
+    ``remote_capacity_conflict`` / ``remote_coherence`` views the reports
+    and tables read are properties over that list.
+    """
 
     node: int
 
@@ -50,10 +63,8 @@ class NodeStats:
     page_cache_hits: int = 0       # satisfied from the node's S-COMA page cache
     remote_misses: int = 0         # required a fetch from a remote home
 
-    # remote misses by cause
-    remote_cold: int = 0
-    remote_capacity_conflict: int = 0
-    remote_coherence: int = 0
+    # remote misses by cause, indexed by MissClass.index
+    remote_by_cause: List[int] = field(default_factory=lambda: [0, 0, 0])
 
     # page operations
     migrations: int = 0            # pages migrated *to* this node
@@ -66,12 +77,22 @@ class NodeStats:
     def record_remote_miss(self, cause: MissClass) -> None:
         """Record a remote miss of the given cause."""
         self.remote_misses += 1
-        if cause is MissClass.COLD:
-            self.remote_cold += 1
-        elif cause is MissClass.CAPACITY_CONFLICT:
-            self.remote_capacity_conflict += 1
-        else:
-            self.remote_coherence += 1
+        self.remote_by_cause[cause.index] += 1
+
+    @property
+    def remote_cold(self) -> int:
+        """Remote cold misses."""
+        return self.remote_by_cause[MissClass.COLD.index]
+
+    @property
+    def remote_capacity_conflict(self) -> int:
+        """Remote capacity/conflict misses."""
+        return self.remote_by_cause[MissClass.CAPACITY_CONFLICT.index]
+
+    @property
+    def remote_coherence(self) -> int:
+        """Remote coherence misses."""
+        return self.remote_by_cause[MissClass.COHERENCE.index]
 
     @property
     def l1_misses(self) -> int:
@@ -100,8 +121,7 @@ class NodeStats:
         assert self.l1_hits + self.l1_misses + self.upgrades == self.accesses, (
             "hits + misses + upgrades must equal accesses"
         )
-        assert (self.remote_cold + self.remote_capacity_conflict
-                + self.remote_coherence) == self.remote_misses, (
+        assert sum(self.remote_by_cause) == self.remote_misses, (
             "remote miss cause breakdown must sum to remote misses"
         )
 

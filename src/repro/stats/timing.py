@@ -10,7 +10,7 @@ is the maximum finish time over all processors after the final barrier.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 
@@ -28,13 +28,28 @@ class StallKind(enum.Enum):
     BARRIER = "barrier"
 
 
-@dataclass
-class ProcessorTiming:
-    """Clock and stall breakdown for one processor."""
+#: StallKind members in counter-array order; ``k.index`` is the position.
+STALL_KINDS = tuple(StallKind)
+for _i, _k in enumerate(STALL_KINDS):
+    _k.index = _i  # int index as a member attribute for the hot paths
+NUM_STALL_KINDS = len(STALL_KINDS)
 
-    proc: int
-    clock: int = 0
-    stalls: Dict[StallKind, int] = field(default_factory=dict)
+
+class ProcessorTiming:
+    """Clock and stall breakdown for one processor.
+
+    Stall cycles are recorded into a flat list indexed by
+    ``StallKind.index`` (``advance`` runs once per stall category per
+    phase per processor); the :class:`StallKind`-keyed dictionary the
+    reports consume is rebuilt on demand by the :attr:`stalls` property.
+    """
+
+    __slots__ = ("proc", "clock", "_stalls")
+
+    def __init__(self, proc: int, clock: int = 0) -> None:
+        self.proc = proc
+        self.clock = clock
+        self._stalls: List[int] = [0] * NUM_STALL_KINDS
 
     def advance(self, kind: StallKind, cycles: int) -> None:
         """Advance the clock by ``cycles`` attributed to ``kind``."""
@@ -42,15 +57,21 @@ class ProcessorTiming:
             raise ValueError("cycles must be non-negative")
         self.clock += cycles
         if cycles:
-            self.stalls[kind] = self.stalls.get(kind, 0) + cycles
+            self._stalls[kind.index] += cycles
+
+    @property
+    def stalls(self) -> Dict[StallKind, int]:
+        """Per-category stall cycles (only categories with cycles appear)."""
+        return {kind: cycles
+                for kind, cycles in zip(STALL_KINDS, self._stalls) if cycles}
 
     def stall_of(self, kind: StallKind) -> int:
         """Total cycles attributed to ``kind``."""
-        return self.stalls.get(kind, 0)
+        return self._stalls[kind.index]
 
     def total_accounted(self) -> int:
         """Sum of all categories (equals the clock when accounting is exact)."""
-        return sum(self.stalls.values())
+        return sum(self._stalls)
 
 
 @dataclass
@@ -98,11 +119,12 @@ class TimingStats:
 
     def aggregate_stalls(self) -> Dict[StallKind, int]:
         """Sum the stall breakdown over all processors."""
-        out: Dict[StallKind, int] = {}
+        totals = [0] * NUM_STALL_KINDS
         for p in self.processors:
-            for kind, cycles in p.stalls.items():
-                out[kind] = out.get(kind, 0) + cycles
-        return out
+            for idx, cycles in enumerate(p._stalls):
+                totals[idx] += cycles
+        return {kind: cycles
+                for kind, cycles in zip(STALL_KINDS, totals) if cycles}
 
     def load_imbalance(self) -> float:
         """Ratio of max to mean processor clock (1.0 = perfectly balanced)."""

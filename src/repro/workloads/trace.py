@@ -2,9 +2,12 @@
 
 A :class:`Trace` is the unit of work a :class:`repro.cluster.machine.Machine`
 runs: a list of phases, each carrying one block-reference stream per
-processor.  Streams are stored as numpy arrays (compact, picklable, easy to
-generate vectorised) and converted to plain lists once per phase inside the
-simulator's hot loop.
+processor.  Streams are stored as numpy arrays (compact, picklable, easy
+to generate vectorised) and normalized to canonical dtypes — ``int64``
+block ids, ``bool`` write flags — once, at construction.  The batched
+engine's classifier consumes the arrays directly (no per-phase
+conversion); only the legacy reference interpreter materializes python
+lists for its scalar stepping loop.
 """
 
 from __future__ import annotations
@@ -42,6 +45,14 @@ class PhaseTrace:
             raise ValueError("compute_per_access must be non-negative")
         if len(self.blocks) != len(self.writes):
             raise ValueError("blocks and writes must have one stream per processor")
+        # Normalize the streams to canonical dtypes once, here, so every
+        # downstream consumer (classifier, engines, digests, trace I/O)
+        # can rely on them without re-wrapping: int64 block ids, bool
+        # write flags, both C-contiguous.
+        self.blocks = [np.ascontiguousarray(b, dtype=np.int64)
+                       for b in self.blocks]
+        self.writes = [np.ascontiguousarray(w, dtype=bool)
+                       for w in self.writes]
         for b, w in zip(self.blocks, self.writes):
             if len(b) != len(w):
                 raise ValueError("each processor's blocks/writes must be equal length")

@@ -176,6 +176,22 @@ class TestNetwork:
         net = self.make()
         net.one_way(0, 1, 0, MessageType.PAGE_DATA)
         assert net.total_bytes() == HEADER_BYTES + 512
+
+    def test_reset_clears_stats_in_place(self):
+        """reset() must keep the same MessageStats (and counter list):
+        the protocol layer pre-binds both for its inlined recording."""
+        net = self.make()
+        stats = net.stats
+        counts = stats._counts
+        net.one_way(0, 1, 0, MessageType.PAGE_DATA)
+        net.reset()
+        assert net.stats is stats
+        assert net.stats._counts is counts
+        assert net.total_messages() == 0
+        assert net.total_bytes() == 0
+        # recording through the old aliases is still observed
+        net.one_way(0, 1, 0, MessageType.READ_REQUEST)
+        assert stats.count_of(MessageType.READ_REQUEST) == 1
         net.reset()
         assert net.total_bytes() == 0
         assert net.total_messages() == 0

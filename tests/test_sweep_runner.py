@@ -1,18 +1,23 @@
-"""Tests for the parallel, memoizing SweepRunner."""
+"""Tests for the parallel, memoizing SweepRunner and its trace store."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.config import base_config
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.runner import (
     SweepRunner,
+    TraceStore,
+    _trace_digest,
     default_jobs,
     ensure_runner,
     run_experiment,
 )
 from repro.workloads import get_workload
+from repro.workloads.trace import PhaseTrace, Trace
+from repro.workloads.trace_io import load_trace, traces_equal
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +69,121 @@ class TestMemoization:
             memoed = runner.run(ocean_trace, "ccnuma", cfg)
         assert memoed.execution_time == direct.execution_time
         assert memoed.summary() == direct.summary()
+
+
+def _tiny_trace(name, streams, writes=None, procs=2):
+    blocks = [np.asarray(s, dtype=np.int64) for s in streams]
+    if writes is None:
+        writes = [np.zeros(len(s), dtype=bool) for s in streams]
+    return Trace(name=name, num_procs=procs,
+                 phases=[PhaseTrace(name="ph0", compute_per_access=1,
+                                    blocks=blocks, writes=writes)])
+
+
+class TestTraceDigest:
+    def test_distinct_streams_distinct_digests(self):
+        a = _tiny_trace("t", [[1, 2, 3], [4, 5, 6]])
+        b = _tiny_trace("t", [[1, 2, 3], [4, 5, 7]])
+        assert _trace_digest(a) != _trace_digest(b)
+
+    def test_stream_split_cannot_collide(self):
+        """The same flat ids split differently across processors differ."""
+        a = _tiny_trace("t", [[1, 2, 3, 4], [5, 6]])
+        b = _tiny_trace("t", [[1, 2, 3], [4, 5, 6]])
+        assert _trace_digest(a) != _trace_digest(b)
+
+    def test_write_flags_change_digest(self):
+        a = _tiny_trace("t", [[1, 2], [3, 4]])
+        b = _tiny_trace("t", [[1, 2], [3, 4]],
+                        writes=[np.array([True, False]),
+                                np.array([False, False])])
+        assert _trace_digest(a) != _trace_digest(b)
+
+    def test_digest_is_content_based(self):
+        a = _tiny_trace("t", [[9, 8], [7, 6]])
+        b = _tiny_trace("t", [[9, 8], [7, 6]])
+        assert a is not b
+        assert _trace_digest(a) == _trace_digest(b)
+
+
+class TestTraceStore:
+    def test_round_trip_is_bit_identical(self, cfg, ocean_trace, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = _trace_digest(ocean_trace)
+        path = store.ensure(ocean_trace, digest)
+        loaded = load_trace(path)
+        assert traces_equal(ocean_trace, loaded)
+        assert _trace_digest(loaded) == digest
+        # the loaded trace simulates to the exact same results
+        direct = run_experiment(ocean_trace, "ccnuma", cfg)
+        from_store = run_experiment(loaded, "ccnuma", cfg)
+        assert from_store.summary() == direct.summary()
+        assert from_store.stats.stall_breakdown == direct.stats.stall_breakdown
+
+    def test_ensure_spills_once(self, ocean_trace, tmp_path):
+        store = TraceStore(tmp_path)
+        digest = _trace_digest(ocean_trace)
+        path = store.ensure(ocean_trace, digest)
+        mtime = path.stat().st_mtime_ns
+        assert store.ensure(ocean_trace, digest) == path
+        assert path.stat().st_mtime_ns == mtime
+        assert store.spills == 1
+
+    def test_preexisting_archive_is_not_a_spill(self, ocean_trace, tmp_path):
+        digest = _trace_digest(ocean_trace)
+        TraceStore(tmp_path).ensure(ocean_trace, digest)
+        # a fresh store over the same root finds the archive on disk
+        fresh = TraceStore(tmp_path)
+        fresh.ensure(ocean_trace, digest)
+        assert fresh.spills == 0
+
+    def test_private_store_removed_on_close(self):
+        store = TraceStore()
+        root = store.root
+        assert root.exists()
+        store.close()
+        assert not root.exists()
+
+    def test_explicit_root_survives_close(self, ocean_trace, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.ensure(ocean_trace, _trace_digest(ocean_trace))
+        store.close()
+        assert path.exists()
+
+
+class TestZeroCopyDispatch:
+    def test_parallel_dispatch_spills_each_trace_once(self, cfg, ocean_trace):
+        other = get_workload("ocean", machine=cfg.machine, scale=0.05, seed=1)
+        items = [(trace, system, cfg)
+                 for trace in (ocean_trace, other)
+                 for system in ("perfect", "ccnuma", "rnuma")]
+        with SweepRunner(jobs=2) as runner:
+            par = runner.map_runs(items)
+            # two distinct traces -> exactly two archives, six runs
+            assert runner.stats.parallel_runs == 6
+            assert runner.stats.traces_spilled == 2
+            archives = list(runner.trace_store.root.glob("*.npz"))
+            assert len(archives) == 2
+        with SweepRunner(jobs=1) as runner:
+            ser = runner.map_runs(items)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+            assert a.stats.stall_breakdown == b.stats.stall_breakdown
+
+    def test_shared_store_reused_across_runners(self, cfg, ocean_trace,
+                                                tmp_path):
+        store = TraceStore(tmp_path)
+        items = [(ocean_trace, system, cfg)
+                 for system in ("perfect", "ccnuma")]
+        with SweepRunner(jobs=2, trace_store=store) as first:
+            first.map_runs(items)
+            assert first.stats.traces_spilled == 1
+        with SweepRunner(jobs=2, trace_store=store) as second:
+            res = second.map_runs([(ocean_trace, s, cfg)
+                                   for s in ("migrep", "rnuma")])
+            # the archive already exists on disk: nothing is re-written
+            assert len(list(store.root.glob("*.npz"))) == 1
+        assert len(res) == 2
 
 
 class TestBatchExecution:
