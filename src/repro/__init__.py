@@ -21,6 +21,21 @@ The public API is intentionally small:
 ``get_workload`` / ``list_workloads``
     the seven synthetic SPLASH-2-like workloads (Table 2 of the paper).
 
+``register_system`` / ``register_workload`` / ``register_placement`` /
+``register_scenario``
+    the open-registry extension points: systems (often derived from an
+    existing spec via :meth:`SystemSpec.derive`), workloads, placement
+    policies and scenarios registered by user code immediately appear in
+    the name lists, the CLI and every sweep.
+
+``Scenario`` / ``run_scenario`` / ``ResultSet``
+    the declarative experiment API: a :class:`Scenario` names the axes
+    (apps × systems × configs × scales × seeds) and the normalisation
+    baseline, :func:`run_scenario` executes it as one parallel batch, and
+    the returned :class:`ResultSet` carries the flat result rows with
+    pivot/mean/export helpers.  Every figure/table of the paper is such a
+    scenario (``run_scenario("figure5")``, or ``repro exp figure5``).
+
 ``run_experiment`` / ``ExperimentResult``
     run one (workload, system) pair and collect execution time, miss
     breakdowns and page-operation counts.
@@ -70,7 +85,12 @@ from repro.config import (
     long_latency_config,
 )
 from repro.analysis.sharing import SharingClass, SharingReport, analyze_trace
-from repro.core.factory import PAPER_SYSTEM_NAMES, SYSTEM_NAMES, build_system
+from repro.core.factory import (
+    PAPER_SYSTEM_NAMES,
+    SYSTEM_NAMES,
+    SystemSpec,
+    build_system,
+)
 from repro.engine import ENGINE_NAMES
 from repro.experiments.runner import (
     ExperimentResult,
@@ -78,11 +98,26 @@ from repro.experiments.runner import (
     run_experiment,
     run_pair,
 )
+from repro.experiments.scenario import (
+    ResultSet,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
 from repro.kernel.placement import PLACEMENT_NAMES, build_placement
+from repro.registry import (
+    Registry,
+    UnknownNameError,
+    register_placement,
+    register_scenario,
+    register_system,
+    register_workload,
+)
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CostModel",
@@ -93,10 +128,22 @@ __all__ = [
     "slow_page_ops_config",
     "long_latency_config",
     "build_system",
+    "SystemSpec",
     "SYSTEM_NAMES",
     "PAPER_SYSTEM_NAMES",
     "build_placement",
     "PLACEMENT_NAMES",
+    "Registry",
+    "UnknownNameError",
+    "register_system",
+    "register_workload",
+    "register_placement",
+    "register_scenario",
+    "Scenario",
+    "ResultSet",
+    "run_scenario",
+    "get_scenario",
+    "list_scenarios",
     "get_workload",
     "list_workloads",
     "save_trace",

@@ -11,19 +11,24 @@ what :func:`run_sweep` implements.
 
 A sweep is described by a callable ``configure(value) -> SimulationConfig``
 (how the knob maps onto a configuration) plus the usual application/system
-lists.  The result is a flat list of :class:`SweepPoint` records that the
-exporters (:mod:`repro.stats.export`) can turn into CSV/Markdown and the
-ablation benchmarks can assert shapes on.
+lists.  Internally :func:`run_sweep` builds an ad-hoc
+:class:`repro.experiments.scenario.Scenario` whose *config axis* is the
+swept values and executes it through the single
+:func:`~repro.experiments.scenario.run_scenario` path (parallel,
+memoized).  The result is a flat list of :class:`SweepPoint` records that
+the exporters (:mod:`repro.stats.export`) can turn into CSV/Markdown and
+the ablation benchmarks can assert shapes on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import SweepRunner, ensure_runner
-from repro.workloads import get_workload
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import Scenario, run_scenario
 
 
 @dataclass(frozen=True)
@@ -133,49 +138,38 @@ def run_sweep(parameter: str,
     """
     if not values:
         raise ValueError("a sweep needs at least one parameter value")
+    scenario = Scenario(
+        name=f"sweep-{parameter}",
+        title=f"Sweep: {parameter}",
+        apps=tuple(apps),
+        systems=tuple(systems),
+        configs={value: configure(value) for value in values},
+        baseline=baseline,
+        default_scale=scale,
+    )
+    rs = run_scenario(scenario, scale=scale, seed=seed, runner=runner)
+
     result = SweepResult(parameter=parameter, values=list(values),
                          apps=list(apps), systems=list(systems))
-    runner, owned = ensure_runner(runner)
-    try:
-        configs = {value: configure(value) for value in values}
-        run_names = list(dict.fromkeys([baseline, *systems]))
-        traces: Dict[tuple, object] = {}
-        items = []
-        for value in values:
-            cfg = configs[value]
-            for app in apps:
-                tkey = (app, cfg.machine)
-                if tkey not in traces:
-                    traces[tkey] = get_workload(app, machine=cfg.machine,
-                                                scale=scale, seed=seed)
-                for system in run_names:
-                    items.append((traces[tkey], system, cfg))
-        all_results = iter(runner.map_runs(items))
-
-        for value in values:
-            for app in apps:
-                runs = {name: next(all_results) for name in run_names}
-                base_time = runs[baseline].execution_time
-                for system in systems:
-                    if system == baseline:
-                        continue
-                    res = runs[system]
-                    ops = res.per_node_page_ops()
-                    result.points.append(SweepPoint(
-                        parameter=parameter,
-                        value=value,
-                        app=app,
-                        system=system,
-                        normalized_time=res.execution_time / base_time,
-                        execution_time=res.execution_time,
-                        remote_misses=res.stats.total_remote_misses,
-                        capacity_conflict_misses=res.stats.total_capacity_conflict_misses,
-                        page_operations=(ops["migrations"] + ops["replications"]
-                                         + ops["relocations"]),
-                    ))
-    finally:
-        if owned:
-            runner.close()
+    for value in values:
+        for app in apps:
+            for system in systems:
+                if system == baseline:
+                    continue
+                row = rs.only(app=app, system=system, config=value)
+                result.points.append(SweepPoint(
+                    parameter=parameter,
+                    value=value,
+                    app=app,
+                    system=system,
+                    normalized_time=row["normalized_time"],
+                    execution_time=row["execution_time"],
+                    remote_misses=row["remote_misses"],
+                    capacity_conflict_misses=row["capacity_conflict_misses"],
+                    page_operations=(row["per_node_migrations"]
+                                     + row["per_node_replications"]
+                                     + row["per_node_relocations"]),
+                ))
     return result
 
 
@@ -190,14 +184,8 @@ def rnuma_threshold_sweep(values: Sequence[int], *, seed: int = 0,
     """Sweep the R-NUMA switching threshold (paper base value: 32)."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
-        return cfg.with_thresholds(
-            cfg.thresholds.__class__(
-                migrep_threshold=cfg.thresholds.migrep_threshold,
-                migrep_reset_interval=cfg.thresholds.migrep_reset_interval,
-                rnuma_threshold=int(value),
-                hybrid_relocation_delay=cfg.thresholds.hybrid_relocation_delay,
-                scale=cfg.thresholds.scale,
-            ))
+        return cfg.with_thresholds(dataclasses.replace(
+            cfg.thresholds, rnuma_threshold=int(value)))
     return run_sweep("rnuma_threshold", list(values), configure,
                      apps=apps, systems=["rnuma"], scale=scale, seed=seed,
                      runner=runner)
@@ -209,14 +197,8 @@ def migrep_threshold_sweep(values: Sequence[int], *, seed: int = 0,
     """Sweep the MigRep miss threshold (paper base value: 800)."""
     def configure(value: object) -> SimulationConfig:
         cfg = base_config(seed=seed)
-        return cfg.with_thresholds(
-            cfg.thresholds.__class__(
-                migrep_threshold=int(value),
-                migrep_reset_interval=cfg.thresholds.migrep_reset_interval,
-                rnuma_threshold=cfg.thresholds.rnuma_threshold,
-                hybrid_relocation_delay=cfg.thresholds.hybrid_relocation_delay,
-                scale=cfg.thresholds.scale,
-            ))
+        return cfg.with_thresholds(dataclasses.replace(
+            cfg.thresholds, migrep_threshold=int(value)))
     return run_sweep("migrep_threshold", list(values), configure,
                      apps=apps, systems=["migrep"], scale=scale, seed=seed,
                      runner=runner)

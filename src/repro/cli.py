@@ -6,23 +6,34 @@ writing any Python:
 =====================  ====================================================
 command                 what it does
 =====================  ====================================================
-``list``                list available workloads, systems and placements
+``list``                list workloads, systems, placements and scenarios
+                        (``--json`` for machine-readable output)
 ``run``                 run one (workload, system) pair and print a summary
+``exp``                 run any registered scenario (``repro exp figure5``,
+                        ``repro exp sweep-page-cache``, or one registered
+                        by user code) with axis overrides
 ``figure5`` .. ``figure8``  regenerate one of the paper's figures
 ``table1`` .. ``table4``    regenerate one of the paper's tables
 ``sweep``               run one of the predefined parameter sweeps
 ``analyze``             sharing-pattern analysis of a workload trace
 =====================  ====================================================
 
+The figure/table commands are legacy spellings that delegate to the same
+scenario machinery as ``exp`` (keeping their historical output and export
+shapes); ``repro exp <scenario>`` is the generic path and renders/exports
+every scenario — including user-registered ones — through one code path
+(:mod:`repro.stats.export`).
+
 Every command accepts ``--scale`` (workload size multiplier), ``--seed``
 and, where meaningful, ``--apps`` / ``--systems`` selections.  Results can
-be exported with ``--csv PATH`` / ``--json PATH`` in addition to the
-plain-text table printed on stdout.
+be exported with ``--csv PATH`` / ``--json PATH`` (and, for ``exp``,
+``--markdown PATH``) in addition to the plain-text table on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -41,8 +52,21 @@ from repro.engine import ENGINE_NAMES
 from repro.experiments import figure5, figure6, figure7, figure8
 from repro.experiments import table1, table2, table3, table4
 from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import (
+    ResultSet,
+    Scenario,
+    default_render,
+    run_scenario,
+)
 from repro.kernel.placement import PLACEMENT_NAMES
-from repro.stats.export import figure_to_rows, to_csv, write_csv, write_json
+from repro.registry import SCENARIOS, UnknownNameError
+from repro.stats.export import (
+    export_resultset,
+    figure_to_rows,
+    render_resultset,
+    write_csv,
+    write_json,
+)
 from repro.stats.plotting import grouped_bar_chart
 from repro.workloads import get_workload, list_workloads
 
@@ -92,10 +116,26 @@ def _export(args: argparse.Namespace, rows: Sequence[Dict[str, object]],
 # ---------------------------------------------------------------------------
 
 
+def _registry_listing() -> Dict[str, List[str]]:
+    """Current contents of every open registry (plus the engines)."""
+    return {
+        "workloads": list(list_workloads()),
+        "systems": list(SYSTEM_NAMES),
+        "placements": list(PLACEMENT_NAMES),
+        "scenarios": list(SCENARIOS.names()),
+        "engines": list(ENGINE_NAMES),
+    }
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("workloads: " + ", ".join(list_workloads()))
-    print("systems:   " + ", ".join(SYSTEM_NAMES))
-    print("placement: " + ", ".join(PLACEMENT_NAMES))
+    listing = _registry_listing()
+    if getattr(args, "json", False):
+        print(_json.dumps(listing, indent=2))
+        return 0
+    print("workloads: " + ", ".join(listing["workloads"]))
+    print("systems:   " + ", ".join(listing["systems"]))
+    print("placement: " + ", ".join(listing["placements"]))
+    print("scenarios: " + ", ".join(listing["scenarios"]))
     return 0
 
 
@@ -119,6 +159,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(jobs=getattr(args, "jobs", None),
                        engine=getattr(args, "engine", None))
+
+
+# -- the generic scenario command -------------------------------------------
+
+
+def _render_scenario(scenario: Scenario, rs: ResultSet) -> str:
+    """Plain-text rendering: the scenario's renderer or the generic table.
+
+    A scenario's custom renderer may assume the full declared axes (e.g.
+    table4's needs all three systems); when an ``--apps``/``--systems``
+    override leaves it short of rows, fall back to the generic rendering
+    rather than failing the command.
+    """
+    if scenario.renderer is not None:
+        try:
+            return scenario.renderer(rs)
+        except Exception:
+            pass
+    return default_render(rs)
+
+
+def _run_exp(args: argparse.Namespace, name: str) -> ResultSet:
+    """Execute a scenario with the axis overrides given on the CLI."""
+    with _make_runner(args) as runner:
+        return run_scenario(
+            name,
+            apps=getattr(args, "apps", None),
+            systems=getattr(args, "systems", None),
+            scale=getattr(args, "scale", None),
+            seed=getattr(args, "seed", None),
+            runner=runner,
+        )
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    try:
+        scenario = SCENARIOS.resolve(args.scenario)
+        rs = _run_exp(args, scenario.name)
+    except UnknownNameError as exc:
+        # unknown scenario, or an unknown name in --apps/--systems
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_render_scenario(scenario, rs))
+    if args.chart and rs.series and rs.baseline is not None:
+        print()
+        print(render_resultset(rs, "chart"))
+    written = export_resultset(rs, csv_path=args.csv, json_path=args.json,
+                               markdown_path=args.markdown)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+# -- legacy figure/table commands (delegate to the scenario machinery) ------
 
 
 def _figure_command(figure_fn: Callable, renderer: Callable,
@@ -196,7 +290,7 @@ _SWEEP_DEFAULT_VALUES: Dict[str, List[object]] = {
     "migrep-threshold": [200, 400, 800, 1600, 3200],
     "network-latency": [1.0, 2.0, 4.0, 8.0],
     "page-cache": [0.25, 0.5, 1.0, 2.0],
-    "placement": list(PLACEMENT_NAMES),
+    "placement": None,  # resolved from the live placement registry
 }
 
 
@@ -211,8 +305,11 @@ def _parse_sweep_value(sweep: str, text: str) -> object:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep_fn = _SWEEPS[args.sweep]
     apps = args.apps or ["barnes", "lu", "radix"]
+    default_values = (_SWEEP_DEFAULT_VALUES[args.sweep]
+                      if _SWEEP_DEFAULT_VALUES[args.sweep] is not None
+                      else list(PLACEMENT_NAMES))
     values = ([_parse_sweep_value(args.sweep, v) for v in args.values]
-              if args.values else _SWEEP_DEFAULT_VALUES[args.sweep])
+              if args.values else default_values)
     with _make_runner(args) as runner:
         result = sweep_fn(values, apps=apps, scale=args.scale, seed=args.seed,
                           runner=runner)
@@ -246,13 +343,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the top-level argument parser."""
+    """Construct the top-level argument parser.
+
+    Built at invocation time so every ``choices=`` list reflects the
+    *current* registries — systems/workloads/scenarios registered by user
+    code before calling :func:`main` are accepted.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DSM cluster simulator reproducing Lai & Falsafi (SPAA 2000)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads, systems and placement policies")
+    list_p = sub.add_parser(
+        "list", help="list workloads, systems, placements and scenarios")
+    list_p.add_argument("--json", action="store_true",
+                        help="print the listing as JSON")
 
     run_p = sub.add_parser("run", help="run one (workload, system) pair")
     run_p.add_argument("app", choices=list_workloads())
@@ -260,6 +365,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--placement", choices=PLACEMENT_NAMES,
                        default="first-touch")
     _add_common(run_p, apps=False)
+
+    exp_p = sub.add_parser(
+        "exp", help="run a registered scenario (see `repro list`)")
+    exp_p.add_argument("scenario",
+                       help="scenario name, e.g. figure5 or sweep-page-cache")
+    exp_p.add_argument("--scale", type=float, default=None,
+                       help="workload scale factor (default: the scenario's)")
+    exp_p.add_argument("--seed", type=int, default=None, help="random seed")
+    exp_p.add_argument("--apps", type=_csv_list, default=None,
+                       help="comma-separated application axis override")
+    exp_p.add_argument("--systems", type=_csv_list, default=None,
+                       help="comma-separated system axis override")
+    exp_p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+    exp_p.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                       help="simulation engine (default: batched)")
+    exp_p.add_argument("--csv", type=str, default=None,
+                       help="write the flat result rows to this CSV file")
+    exp_p.add_argument("--json", type=str, default=None,
+                       help="write the full ResultSet to this JSON file")
+    exp_p.add_argument("--markdown", type=str, default=None,
+                       help="write the rows as a Markdown table to this file")
+    exp_p.add_argument("--chart", action="store_true",
+                       help="also render an ASCII bar chart")
 
     for name in ("figure5", "figure6", "figure7", "figure8",
                  "table1", "table2", "table3", "table4"):
@@ -285,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "exp": _cmd_exp,
     "figure5": _figure_command(figure5.run_figure5, figure5.render_figure5),
     "figure6": _figure_command(figure6.run_figure6, figure6.render_figure6),
     "figure7": _figure_command(figure7.run_figure7, figure7.render_figure7),

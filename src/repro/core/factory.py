@@ -1,9 +1,11 @@
 """Named system configurations and the protocol factory.
 
-The paper evaluates a fixed menagerie of systems; the factory maps their
-names onto (protocol class, machine adjustments) pairs so experiments and
-examples can say ``build_system("rnuma-half-migrep")`` and get exactly the
-Figure 8 configuration.
+The paper evaluates a fixed menagerie of systems; this module registers
+their names into the shared open registry (:data:`repro.registry.SYSTEMS`)
+as (protocol class, machine adjustments) pairs so experiments and examples
+can say ``build_system("rnuma-half-migrep")`` and get exactly the Figure 8
+configuration — and so user code can register *additional* systems that
+immediately appear in :data:`SYSTEM_NAMES`, the CLI and every sweep.
 
 ============== =======================================================
 name            system
@@ -31,12 +33,23 @@ docstrings of :mod:`repro.core.scoma` and :mod:`repro.core.dram_cache`):
 ``scoma-inf``        pure S-COMA with an unbounded page cache
 ``ccnuma-dram``      CC-NUMA with a large-but-slow DRAM block cache
 =================== ====================================================
+
+Variants are declared as *derivations* of their parent spec: e.g.
+``rnuma-half`` is ``build_system("rnuma").derive("rnuma-half",
+label="R-NUMA-1/2", page_cache_fraction=0.5)``.  Downstream users extend
+the menagerie the same way::
+
+    from repro import build_system, register_system
+
+    register_system(build_system("rnuma").derive(
+        "rnuma-quarter", label="R-NUMA-1/4", page_cache_fraction=0.25))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.dram_cache import (
@@ -48,6 +61,7 @@ from repro.core.protocol import DSMProtocol
 from repro.core.rnuma import RNUMAProtocol
 from repro.core.rnuma_migrep import RNUMAMigRepProtocol
 from repro.core.scoma import SCOMAProtocol
+from repro.registry import SYSTEMS, NamesView, register_system
 
 
 @dataclass(frozen=True)
@@ -89,112 +103,83 @@ class SystemSpec:
     def uses_page_cache(self) -> bool:
         return self.infinite_page_cache or self.page_cache_fraction is not None
 
+    def derive(self, name: str, *, label: Optional[str] = None,
+               **overrides) -> "SystemSpec":
+        """Return a variant of this spec under a new name.
 
-def _specs() -> Dict[str, SystemSpec]:
-    return {
-        "perfect": SystemSpec(
-            name="perfect",
-            label="Perfect CC-NUMA",
-            protocol_factory=CCNUMAProtocol,
-            infinite_block_cache=True,
-        ),
-        "ccnuma": SystemSpec(
-            name="ccnuma",
-            label="CC-NUMA",
-            protocol_factory=CCNUMAProtocol,
-        ),
-        "mig": SystemSpec(
-            name="mig",
-            label="Mig",
-            protocol_factory=lambda m: MigRepProtocol(
-                m, enable_migration=True, enable_replication=False),
-        ),
-        "rep": SystemSpec(
-            name="rep",
-            label="Rep",
-            protocol_factory=lambda m: MigRepProtocol(
-                m, enable_migration=False, enable_replication=True),
-        ),
-        "migrep": SystemSpec(
-            name="migrep",
-            label="MigRep",
-            protocol_factory=MigRepProtocol,
-        ),
-        "rnuma": SystemSpec(
-            name="rnuma",
-            label="R-NUMA",
-            protocol_factory=RNUMAProtocol,
-            page_cache_fraction=1.0,
-        ),
-        "rnuma-half": SystemSpec(
-            name="rnuma-half",
-            label="R-NUMA-1/2",
-            protocol_factory=RNUMAProtocol,
-            page_cache_fraction=0.5,
-        ),
-        "rnuma-inf": SystemSpec(
-            name="rnuma-inf",
-            label="R-NUMA-Inf",
-            protocol_factory=RNUMAProtocol,
-            page_cache_fraction=1.0,
-            infinite_page_cache=True,
-        ),
-        "rnuma-migrep": SystemSpec(
-            name="rnuma-migrep",
-            label="R-NUMA+MigRep",
-            protocol_factory=RNUMAMigRepProtocol,
-            page_cache_fraction=1.0,
-        ),
-        "rnuma-half-migrep": SystemSpec(
-            name="rnuma-half-migrep",
-            label="R-NUMA-1/2+MigRep",
-            protocol_factory=RNUMAMigRepProtocol,
-            page_cache_fraction=0.5,
-        ),
-        # ---- ablation systems beyond the paper's own menagerie -----------
-        "scoma": SystemSpec(
-            name="scoma",
-            label="S-COMA",
-            protocol_factory=SCOMAProtocol,
-            page_cache_fraction=1.0,
-        ),
-        "scoma-inf": SystemSpec(
-            name="scoma-inf",
-            label="S-COMA-Inf",
-            protocol_factory=SCOMAProtocol,
-            page_cache_fraction=1.0,
-            infinite_page_cache=True,
-        ),
-        "ccnuma-dram": SystemSpec(
-            name="ccnuma-dram",
-            label="CC-NUMA (DRAM cache)",
-            protocol_factory=DRAMBlockCacheProtocol,
-            block_cache_scale=DEFAULT_DRAM_CAPACITY_SCALE,
-        ),
-    }
+        ``overrides`` are any other :class:`SystemSpec` fields; the label
+        defaults to the new name.  This is how the registry declares
+        families like ``rnuma`` / ``rnuma-half`` / ``rnuma-inf``, and how
+        user code mints new design points without touching the package::
+
+            rnuma_quarter = build_system("rnuma").derive(
+                "rnuma-quarter", label="R-NUMA-1/4",
+                page_cache_fraction=0.25)
+        """
+        return dataclasses.replace(self, name=name,
+                                   label=label if label is not None else name,
+                                   **overrides)
 
 
-_SPECS = _specs()
+# ---------------------------------------------------------------------------
+# The paper's menagerie, registered into the shared open registry
+# ---------------------------------------------------------------------------
 
-#: Canonical names of every buildable system.
-SYSTEM_NAMES = tuple(_SPECS.keys())
+_ccnuma = SystemSpec(name="ccnuma", label="CC-NUMA",
+                     protocol_factory=CCNUMAProtocol)
+register_system(_ccnuma.derive("perfect", label="Perfect CC-NUMA",
+                               infinite_block_cache=True))
+register_system(_ccnuma)
+register_system(SystemSpec(
+    name="mig", label="Mig",
+    protocol_factory=lambda m: MigRepProtocol(
+        m, enable_migration=True, enable_replication=False)))
+register_system(SystemSpec(
+    name="rep", label="Rep",
+    protocol_factory=lambda m: MigRepProtocol(
+        m, enable_migration=False, enable_replication=True)))
+register_system(SystemSpec(name="migrep", label="MigRep",
+                           protocol_factory=MigRepProtocol))
+
+_rnuma = SystemSpec(name="rnuma", label="R-NUMA",
+                    protocol_factory=RNUMAProtocol, page_cache_fraction=1.0)
+register_system(_rnuma)
+register_system(_rnuma.derive("rnuma-half", label="R-NUMA-1/2",
+                              page_cache_fraction=0.5))
+register_system(_rnuma.derive("rnuma-inf", label="R-NUMA-Inf",
+                              infinite_page_cache=True))
+register_system(_rnuma.derive("rnuma-migrep", label="R-NUMA+MigRep",
+                              protocol_factory=RNUMAMigRepProtocol))
+register_system(_rnuma.derive("rnuma-half-migrep", label="R-NUMA-1/2+MigRep",
+                              protocol_factory=RNUMAMigRepProtocol,
+                              page_cache_fraction=0.5))
+
+# ---- ablation systems beyond the paper's menagerie ------------------------
+_scoma = SystemSpec(name="scoma", label="S-COMA",
+                    protocol_factory=SCOMAProtocol, page_cache_fraction=1.0)
+register_system(_scoma)
+register_system(_scoma.derive("scoma-inf", label="S-COMA-Inf",
+                              infinite_page_cache=True))
+register_system(_ccnuma.derive("ccnuma-dram", label="CC-NUMA (DRAM cache)",
+                               protocol_factory=DRAMBlockCacheProtocol,
+                               block_cache_scale=DEFAULT_DRAM_CAPACITY_SCALE))
+
+
+#: Live view of every buildable system name (grows as systems register).
+SYSTEM_NAMES = NamesView(SYSTEMS)
 
 #: The systems that appear in the paper's figures (everything else is an
-#: ablation added by this reproduction).
-PAPER_SYSTEM_NAMES = tuple(
-    n for n in SYSTEM_NAMES if n not in ("scoma", "scoma-inf", "ccnuma-dram")
+#: ablation or a user addition); fixed by the paper, hence a plain tuple.
+PAPER_SYSTEM_NAMES = (
+    "perfect", "ccnuma", "mig", "rep", "migrep", "rnuma", "rnuma-half",
+    "rnuma-inf", "rnuma-migrep", "rnuma-half-migrep",
 )
 
 
 def build_system(name: str) -> SystemSpec:
-    """Return the :class:`SystemSpec` for ``name``.
+    """Return the :class:`SystemSpec` registered under ``name``.
 
-    Raises ``KeyError`` with the list of valid names for typos.
+    Raises :class:`repro.registry.UnknownNameError` (a ``ValueError``)
+    with the list of valid names and a did-you-mean suggestion for typos.
     """
-    key = name.strip().lower()
-    spec = _SPECS.get(key)
-    if spec is None:
-        raise KeyError(
-            f"unknown system {name!r}; valid systems: {', '.join(SYSTEM_NAMES)}"
-        )
-    return spec
+    return SYSTEMS.resolve(name)

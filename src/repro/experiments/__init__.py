@@ -1,19 +1,16 @@
-"""Experiment harnesses: one module per table/figure of the paper.
+"""Experiment harnesses: declarative scenarios plus the classic modules.
 
 * :mod:`repro.experiments.runner` — run (workload, system) experiments:
   one-shot helpers and the parallel, memoizing :class:`SweepRunner`
   every harness executes through.
-* :mod:`repro.experiments.table1` — the qualitative opportunity/overhead
-  matrix (Table 1).
-* :mod:`repro.experiments.table2` — applications and inputs (Table 2).
-* :mod:`repro.experiments.table3` — cost-model constants (Table 3).
-* :mod:`repro.experiments.figure5` — base performance comparison.
-* :mod:`repro.experiments.table4` — per-node page operations and misses.
-* :mod:`repro.experiments.figure6` — sensitivity to page-operation
-  overhead.
-* :mod:`repro.experiments.figure7` — sensitivity to network latency.
-* :mod:`repro.experiments.figure8` — R-NUMA page-cache size / hybrid
-  study.
+* :mod:`repro.experiments.scenario` — the declarative experiment API:
+  :class:`Scenario` plans, the single :func:`run_scenario` executor and
+  the :class:`ResultSet` artifact.
+* :mod:`repro.experiments.scenarios` — the built-in scenario registry:
+  Figures 5-8, Tables 1-4 and the ablations/sweeps as declarations.
+* :mod:`repro.experiments.table1` … :mod:`repro.experiments.figure8` —
+  one module per table/figure of the paper, now thin compatibility shims
+  over the corresponding scenario (identical return values).
 """
 
 from repro.experiments.runner import (
@@ -25,6 +22,14 @@ from repro.experiments.runner import (
     run_pair,
     run_systems,
 )
+from repro.experiments.scenario import (
+    ResultSet,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+from repro.experiments import scenarios as _builtin_scenarios  # noqa: F401  (registers the built-ins)
 
 __all__ = [
     "ExperimentResult",
@@ -34,4 +39,9 @@ __all__ = [
     "run_experiment",
     "run_pair",
     "run_systems",
+    "Scenario",
+    "ResultSet",
+    "run_scenario",
+    "get_scenario",
+    "list_scenarios",
 ]

@@ -46,6 +46,7 @@ from repro.analysis.sweeps import (
 )
 from repro.config import SimulationConfig, base_config
 from repro.experiments.runner import SweepRunner, ensure_runner
+from repro.experiments.scenario import run_scenario
 from repro.kernel.placement import PLACEMENT_NAMES
 from repro.stats.report import format_normalized_figure
 
@@ -73,44 +74,26 @@ def run_block_cache_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
                              ) -> Dict[str, Dict[str, float]]:
     """Compare the SRAM block cache, the DRAM block cache and R-NUMA.
 
-    Returns ``{app: {system: normalized time}}`` in the same shape the
-    figure modules use, so it can be rendered and exported identically.
+    Runs the declarative ``ablation-block-cache`` scenario; returns
+    ``{app: {system: normalized time}}`` in the same shape the figure
+    modules use, so it can be rendered and exported identically.
     """
-    from repro.experiments.figure5 import normalized_times, run_figure5_app
-
-    systems = ("ccnuma", "ccnuma-dram", "rnuma")
-    runner, owned = ensure_runner(runner)
-    try:
-        out: Dict[str, Dict[str, float]] = {}
-        for app in apps:
-            results = run_figure5_app(app, scale=scale, seed=seed,
-                                      systems=systems, runner=runner)
-            out[app] = normalized_times(results)
-        return out
-    finally:
-        if owned:
-            runner.close()
+    rs = run_scenario("ablation-block-cache", apps=apps, scale=scale,
+                      seed=seed, runner=runner)
+    return rs.figure_data()
 
 
 def run_scoma_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,
                        scale: float = 0.3, seed: int = 0,
                        runner: Optional[SweepRunner] = None
                        ) -> Dict[str, Dict[str, float]]:
-    """Compare unconditional S-COMA against reactive R-NUMA and CC-NUMA."""
-    from repro.experiments.figure5 import normalized_times, run_figure5_app
+    """Compare unconditional S-COMA against reactive R-NUMA and CC-NUMA.
 
-    systems = ("ccnuma", "scoma", "rnuma")
-    runner, owned = ensure_runner(runner)
-    try:
-        out: Dict[str, Dict[str, float]] = {}
-        for app in apps:
-            results = run_figure5_app(app, scale=scale, seed=seed,
-                                      systems=systems, runner=runner)
-            out[app] = normalized_times(results)
-        return out
-    finally:
-        if owned:
-            runner.close()
+    Runs the declarative ``ablation-scoma`` scenario.
+    """
+    rs = run_scenario("ablation-scoma", apps=apps, scale=scale, seed=seed,
+                      runner=runner)
+    return rs.figure_data()
 
 
 def run_threshold_ablation(*, apps: Sequence[str] = DEFAULT_ABLATION_APPS,

@@ -10,16 +10,22 @@ the seven applications.  The expected shape (Section 6.1):
 * Mig alone *hurts* barnes, lu benefits mainly from Rep,
   ocean/radix have little MigRep opportunity, and cholesky/radix show
   R-NUMA's relocation overhead.
+
+The experiment itself is the declarative ``figure5``
+:class:`~repro.experiments.scenario.Scenario` (see
+:mod:`repro.experiments.scenarios`); :func:`run_figure5` is kept as a
+compatibility shim returning exactly the data it always returned.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.config import SimulationConfig, base_config
+from repro.config import SimulationConfig
 from repro.experiments.runner import ExperimentResult, SweepRunner, ensure_runner
+from repro.experiments.scenario import run_scenario
 from repro.stats.report import format_normalized_figure
-from repro.workloads import get_workload, list_workloads
+from repro.workloads import get_workload
 
 #: Systems plotted in Figure 5, in the paper's legend order.
 FIGURE5_SYSTEMS: tuple[str, ...] = (
@@ -32,7 +38,13 @@ def run_figure5_app(app: str, *, config: Optional[SimulationConfig] = None,
                     systems: Sequence[str] = FIGURE5_SYSTEMS,
                     runner: Optional[SweepRunner] = None
                     ) -> Dict[str, ExperimentResult]:
-    """Run every Figure 5 system (plus the perfect baseline) for one app."""
+    """Run every Figure 5 system (plus the perfect baseline) for one app.
+
+    Unlike :func:`run_figure5` this returns the raw
+    :class:`ExperimentResult` objects (callers who only need normalized
+    times should run the ``figure5`` scenario instead).
+    """
+    from repro.config import base_config
     cfg = config if config is not None else base_config(seed=seed)
     trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
     runner, owned = ensure_runner(runner)
@@ -61,28 +73,14 @@ def run_figure5(*, apps: Optional[Sequence[str]] = None,
                 ) -> Dict[str, Dict[str, float]]:
     """Reproduce Figure 5: normalized execution time per app per system.
 
-    All (app, system) runs are independent; they are submitted to the
-    :class:`SweepRunner` as one batch (parallel across processes when the
-    runner has ``jobs > 1``, memoized against repeated invocations).
+    Compatibility shim over ``run_scenario("figure5")``: all (app, system)
+    runs are one batch through the :class:`SweepRunner` (parallel across
+    processes when the runner has ``jobs > 1``, memoized against repeated
+    invocations).
     """
-    app_names = tuple(apps) if apps is not None else list_workloads()
-    cfg = config if config is not None else base_config(seed=seed)
-    run_names = list(dict.fromkeys(["perfect", *systems]))
-    runner, owned = ensure_runner(runner)
-    try:
-        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
-                                    seed=seed) for app in app_names}
-        results = iter(runner.map_runs(
-            [(traces[app], name, cfg)
-             for app in app_names for name in run_names]))
-        out: Dict[str, Dict[str, float]] = {}
-        for app in app_names:
-            per_system = {name: next(results) for name in run_names}
-            out[app] = normalized_times(per_system)
-        return out
-    finally:
-        if owned:
-            runner.close()
+    rs = run_scenario("figure5", apps=apps, systems=systems, config=config,
+                      scale=scale, seed=seed, runner=runner)
+    return rs.figure_data()
 
 
 def render_figure5(per_app: Mapping[str, Mapping[str, float]],

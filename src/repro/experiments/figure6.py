@@ -8,21 +8,40 @@ thresholds (1200 for MigRep, 64 for R-NUMA).
 Expected shape: R-NUMA is more sensitive to slow page operations than
 MigRep on average, because its page operations are far more frequent;
 cholesky and radix degrade the most for R-NUMA.
+
+The experiment is the declarative ``figure6``
+:class:`~repro.experiments.scenario.Scenario`: systems (migrep, rnuma) ×
+configs (fast, slow), with every series normalized against the *fast*
+perfect CC-NUMA run (``baseline_config="fast"``), as in the paper.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.config import SimulationConfig, base_config, slow_page_ops_config
-from repro.experiments.runner import SweepRunner, ensure_runner
+from repro.config import SimulationConfig
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import run_scenario
 from repro.stats.report import format_normalized_figure
-from repro.workloads import get_workload, list_workloads
 
 #: Series plotted in Figure 6 (system, speed) combinations.
 FIGURE6_SERIES: tuple[str, ...] = (
     "migrep-fast", "migrep-slow", "rnuma-fast", "rnuma-slow",
 )
+
+
+def _config_overrides(fast_config: Optional[SimulationConfig],
+                      slow_config: Optional[SimulationConfig], seed: int):
+    """Config-axis override when the caller supplies explicit configs."""
+    if fast_config is None and slow_config is None:
+        return None
+    from repro.config import base_config, slow_page_ops_config
+    return {
+        "fast": (fast_config if fast_config is not None
+                 else base_config(seed=seed)),
+        "slow": (slow_config if slow_config is not None
+                 else slow_page_ops_config(seed=seed)),
+    }
 
 
 def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
@@ -37,65 +56,20 @@ def run_figure6_app(app: str, *, scale: float = 1.0, seed: int = 0,
     All series are normalized against the *fast* perfect CC-NUMA run, as
     in the paper.
     """
-    fast = fast_config if fast_config is not None else base_config(seed=seed)
-    slow = slow_config if slow_config is not None else slow_page_ops_config(seed=seed)
-
-    trace = get_workload(app, machine=fast.machine, scale=scale, seed=seed)
-    runner, owned = ensure_runner(runner)
-    try:
-        fast_results = runner.run_systems(trace, ("migrep", "rnuma"), fast)
-        slow_results = runner.run_systems(trace, ("migrep", "rnuma"), slow,
-                                          baseline=None)
-    finally:
-        if owned:
-            runner.close()
-
-    baseline = fast_results["perfect"].execution_time
-    return {
-        "migrep-fast": fast_results["migrep"].execution_time / baseline,
-        "rnuma-fast": fast_results["rnuma"].execution_time / baseline,
-        "migrep-slow": slow_results["migrep"].execution_time / baseline,
-        "rnuma-slow": slow_results["rnuma"].execution_time / baseline,
-    }
+    rs = run_scenario("figure6", apps=(app,), scale=scale, seed=seed,
+                      configs=_config_overrides(fast_config, slow_config, seed),
+                      runner=runner)
+    return rs.figure_data()[app]
 
 
 def run_figure6(*, apps: Optional[Sequence[str]] = None, scale: float = 1.0,
                 seed: int = 0,
                 runner: Optional[SweepRunner] = None
                 ) -> Dict[str, Dict[str, float]]:
-    """Reproduce Figure 6 for every application."""
-    app_names = tuple(apps) if apps is not None else list_workloads()
-    fast = base_config(seed=seed)
-    slow = slow_page_ops_config(seed=seed)
-    runner, owned = ensure_runner(runner)
-    try:
-        # one batch across all (app, system, speed) runs: fully parallel
-        # under a multi-process runner
-        traces = {app: get_workload(app, machine=fast.machine, scale=scale,
-                                    seed=seed) for app in app_names}
-        items = []
-        for app in app_names:
-            items.extend((traces[app], name, fast)
-                         for name in ("perfect", "migrep", "rnuma"))
-            items.extend((traces[app], name, slow)
-                         for name in ("migrep", "rnuma"))
-        results = iter(runner.map_runs(items))
-        out = {}
-        for app in app_names:
-            fast_res = {name: next(results)
-                        for name in ("perfect", "migrep", "rnuma")}
-            slow_res = {name: next(results) for name in ("migrep", "rnuma")}
-            baseline = fast_res["perfect"].execution_time
-            out[app] = {
-                "migrep-fast": fast_res["migrep"].execution_time / baseline,
-                "rnuma-fast": fast_res["rnuma"].execution_time / baseline,
-                "migrep-slow": slow_res["migrep"].execution_time / baseline,
-                "rnuma-slow": slow_res["rnuma"].execution_time / baseline,
-            }
-        return out
-    finally:
-        if owned:
-            runner.close()
+    """Reproduce Figure 6 for every application (one parallel batch)."""
+    rs = run_scenario("figure6", apps=apps, scale=scale, seed=seed,
+                      runner=runner)
+    return rs.figure_data()
 
 
 def render_figure6(per_app: Mapping[str, Mapping[str, float]]) -> str:

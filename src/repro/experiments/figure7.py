@@ -8,6 +8,10 @@ Expected shape: CC-NUMA degrades the most (it has the most remote
 misses), MigRep sits in the middle, and R-NUMA — having eliminated most
 remote misses — degrades the least.  Normalisation is against the perfect
 CC-NUMA *at the same network latency*, as in the paper.
+
+The experiment is the declarative ``figure7``
+:class:`~repro.experiments.scenario.Scenario`, run under the
+long-latency configuration of :func:`repro.config.long_latency_config`.
 """
 
 from __future__ import annotations
@@ -15,9 +19,10 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig, long_latency_config
-from repro.experiments.runner import SweepRunner, ensure_runner
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import run_scenario
+
 from repro.stats.report import format_normalized_figure
-from repro.workloads import get_workload, list_workloads
 
 #: Systems plotted in Figure 7.
 FIGURE7_SYSTEMS: tuple[str, ...] = ("ccnuma", "migrep", "rnuma")
@@ -33,16 +38,9 @@ def run_figure7_app(app: str, *, config: Optional[SimulationConfig] = None,
     """
     cfg = (config if config is not None
            else long_latency_config(seed=seed, factor=latency_factor))
-    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    runner, owned = ensure_runner(runner)
-    try:
-        results = runner.run_systems(trace, FIGURE7_SYSTEMS, cfg)
-    finally:
-        if owned:
-            runner.close()
-    baseline = results["perfect"].execution_time
-    return {name: res.execution_time / baseline
-            for name, res in results.items() if name != "perfect"}
+    rs = run_scenario("figure7", apps=(app,), config=cfg, scale=scale,
+                      seed=seed, runner=runner)
+    return rs.figure_data()[app]
 
 
 def run_figure7(*, apps: Optional[Sequence[str]] = None,
@@ -50,30 +48,11 @@ def run_figure7(*, apps: Optional[Sequence[str]] = None,
                 seed: int = 0,
                 runner: Optional[SweepRunner] = None
                 ) -> Dict[str, Dict[str, float]]:
-    """Reproduce Figure 7 for every application."""
-    app_names = tuple(apps) if apps is not None else list_workloads()
+    """Reproduce Figure 7 for every application (one parallel batch)."""
     cfg = long_latency_config(seed=seed, factor=latency_factor)
-    run_names = list(dict.fromkeys(["perfect", *FIGURE7_SYSTEMS]))
-    runner, owned = ensure_runner(runner)
-    try:
-        # one batch across all (app, system) pairs: fully parallel under
-        # a multi-process runner
-        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
-                                    seed=seed) for app in app_names}
-        results = iter(runner.map_runs(
-            [(traces[app], name, cfg)
-             for app in app_names for name in run_names]))
-        out = {}
-        for app in app_names:
-            per_system = {name: next(results) for name in run_names}
-            baseline = per_system["perfect"].execution_time
-            out[app] = {name: res.execution_time / baseline
-                        for name, res in per_system.items()
-                        if name != "perfect"}
-        return out
-    finally:
-        if owned:
-            runner.close()
+    rs = run_scenario("figure7", apps=apps, config=cfg, scale=scale,
+                      seed=seed, runner=runner)
+    return rs.figure_data()
 
 
 def render_figure7(per_app: Mapping[str, Mapping[str, float]]) -> str:

@@ -9,16 +9,19 @@ Expected shape: R-NUMA-1/2's performance is not recovered by adding
 MigRep — relocations still remove the misses MigRep's counters need to
 see (counter interference) — and only radix is visibly hurt by the
 halved page cache.
+
+The experiment is the declarative ``figure8``
+:class:`~repro.experiments.scenario.Scenario`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import SweepRunner, ensure_runner
+from repro.config import SimulationConfig
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import run_scenario
 from repro.stats.report import format_normalized_figure
-from repro.workloads import get_workload, list_workloads
 
 #: Systems plotted in Figure 8, in the paper's legend order.
 FIGURE8_SYSTEMS: tuple[str, ...] = (
@@ -30,17 +33,9 @@ def run_figure8_app(app: str, *, config: Optional[SimulationConfig] = None,
                     scale: float = 1.0, seed: int = 0,
                     runner: Optional[SweepRunner] = None) -> Dict[str, float]:
     """Run one application under the Figure 8 systems; return normalized times."""
-    cfg = config if config is not None else base_config(seed=seed)
-    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    runner, owned = ensure_runner(runner)
-    try:
-        results = runner.run_systems(trace, FIGURE8_SYSTEMS, cfg)
-    finally:
-        if owned:
-            runner.close()
-    baseline = results["perfect"].execution_time
-    return {name: res.execution_time / baseline
-            for name, res in results.items() if name != "perfect"}
+    rs = run_scenario("figure8", apps=(app,), config=config, scale=scale,
+                      seed=seed, runner=runner)
+    return rs.figure_data()[app]
 
 
 def run_figure8(*, apps: Optional[Sequence[str]] = None,
@@ -48,30 +43,10 @@ def run_figure8(*, apps: Optional[Sequence[str]] = None,
                 scale: float = 1.0, seed: int = 0,
                 runner: Optional[SweepRunner] = None
                 ) -> Dict[str, Dict[str, float]]:
-    """Reproduce Figure 8 for every application."""
-    app_names = tuple(apps) if apps is not None else list_workloads()
-    cfg = config if config is not None else base_config(seed=seed)
-    run_names = list(dict.fromkeys(["perfect", *FIGURE8_SYSTEMS]))
-    runner, owned = ensure_runner(runner)
-    try:
-        # one batch across all (app, system) pairs: fully parallel under
-        # a multi-process runner
-        traces = {app: get_workload(app, machine=cfg.machine, scale=scale,
-                                    seed=seed) for app in app_names}
-        results = iter(runner.map_runs(
-            [(traces[app], name, cfg)
-             for app in app_names for name in run_names]))
-        out = {}
-        for app in app_names:
-            per_system = {name: next(results) for name in run_names}
-            baseline = per_system["perfect"].execution_time
-            out[app] = {name: res.execution_time / baseline
-                        for name, res in per_system.items()
-                        if name != "perfect"}
-        return out
-    finally:
-        if owned:
-            runner.close()
+    """Reproduce Figure 8 for every application (one parallel batch)."""
+    rs = run_scenario("figure8", apps=apps, config=config, scale=scale,
+                      seed=seed, runner=runner)
+    return rs.figure_data()
 
 
 def render_figure8(per_app: Mapping[str, Mapping[str, float]]) -> str:

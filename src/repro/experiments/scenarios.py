@@ -1,0 +1,233 @@
+"""The built-in scenario registry: every figure/table/ablation as data.
+
+Each of the paper's eight evaluation artifacts — Figures 5-8 and Tables
+1-4 — plus this reproduction's ablations and parameter sweeps is declared
+here as a ~10-line :class:`~repro.experiments.scenario.Scenario` and
+registered into :data:`repro.registry.SCENARIOS`.  They are all executed
+by the single :func:`~repro.experiments.scenario.run_scenario` path
+(``repro exp <name>`` on the CLI); the classic ``run_figureN`` /
+``run_tableN`` functions are compatibility shims over these
+declarations.
+
+User code registers additional scenarios with
+:func:`repro.registry.register_scenario`; they appear in ``repro list``
+and ``repro exp`` immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import (
+    SimulationConfig,
+    base_config,
+    long_latency_config,
+    slow_page_ops_config,
+)
+from repro.experiments.scenario import ResultSet, Scenario
+from repro.experiments import table1 as _table1
+from repro.experiments import table2 as _table2
+from repro.experiments import table3 as _table3
+from repro.experiments.figure5 import FIGURE5_SYSTEMS
+from repro.experiments.figure7 import FIGURE7_SYSTEMS
+from repro.experiments.figure8 import FIGURE8_SYSTEMS
+from repro.kernel.placement import PLACEMENT_NAMES
+from repro.registry import register_scenario
+
+
+def _base(seed: int) -> SimulationConfig:
+    return base_config(seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-8
+# ---------------------------------------------------------------------------
+
+register_scenario(Scenario(
+    name="figure5",
+    title="Figure 5: execution time normalized to perfect CC-NUMA",
+    description="base performance comparison over the seven applications",
+    systems=FIGURE5_SYSTEMS,
+    configs={"base": _base},
+))
+
+register_scenario(Scenario(
+    name="figure6",
+    title=("Figure 6: sensitivity to page-operation overhead "
+           "(normalized to fast perfect CC-NUMA)"),
+    description="fast vs ten-fold slower page operations (Section 6.2)",
+    systems=("migrep", "rnuma"),
+    configs={"fast": _base,
+             "slow": lambda seed: slow_page_ops_config(seed=seed)},
+    baseline_config="fast",
+))
+
+register_scenario(Scenario(
+    name="figure7",
+    title="Figure 7: 4x network latency, normalized to perfect CC-NUMA",
+    description="sensitivity to network latency (Section 6.3)",
+    systems=FIGURE7_SYSTEMS,
+    configs={"long": lambda seed: long_latency_config(seed=seed)},
+))
+
+register_scenario(Scenario(
+    name="figure8",
+    title=("Figure 8: R-NUMA page-cache size and the MigRep hybrid "
+           "(normalized to perfect CC-NUMA)"),
+    description="half-size page cache and the R-NUMA+MigRep hybrid (Section 6.4)",
+    systems=FIGURE8_SYSTEMS,
+    configs={"base": _base},
+))
+
+
+# ---------------------------------------------------------------------------
+# Tables 1-4
+# ---------------------------------------------------------------------------
+
+register_scenario(Scenario(
+    name="table1",
+    title="Table 1: capacity/conflict miss reduction opportunity and overhead",
+    description="mechanism opportunity matrix over synthetic sharing scenarios",
+    apps=tuple(_table1.SCENARIOS),
+    systems=tuple(_table1.MECHANISMS.values()),
+    configs={"base": _base},
+    baseline="ccnuma",
+    default_scale=0.5,
+    trace_factory=_table1.scenario_trace,
+))
+
+register_scenario(Scenario(
+    name="table2",
+    title="Table 2: applications, paper inputs, and synthetic stand-ins",
+    description="the seven applications and their synthetic substitutions",
+    static_rows=lambda ctx: [dataclasses.asdict(r)
+                             for r in _table2.run_table2(apps=ctx.apps)],
+    renderer=lambda rs: _table2.render_table2(
+        [_table2.Table2Row(**row) for row in rs.rows]),
+))
+
+register_scenario(Scenario(
+    name="table3",
+    title="Table 3: base system cost assumptions (paper vs model)",
+    description="cost-model constants compared against the paper's Table 3",
+    static_rows=lambda ctx: [dataclasses.asdict(r)
+                             for r in _table3.run_table3()],
+    renderer=lambda rs: _table3.render_table3(
+        [_table3.Table3Row(**row) for row in rs.rows]),
+))
+
+register_scenario(Scenario(
+    name="table4",
+    title="Table 4: per-node page operations and remote misses",
+    description="page-operation frequency and residual misses per node",
+    systems=("ccnuma", "migrep", "rnuma"),
+    configs={"base": _base},
+    baseline=None,
+    renderer=lambda rs: _render_table4(rs),
+))
+
+
+def _render_table4(rs: ResultSet) -> str:
+    from repro.experiments.table4 import render_table4, rows_from_resultset
+    return render_table4(rows_from_resultset(rs, rs.axes["app"]))
+
+
+# ---------------------------------------------------------------------------
+# Ablations and parameter sweeps beyond the paper
+# ---------------------------------------------------------------------------
+
+#: Applications used by default for ablations (one per behaviour class).
+ABLATION_APPS = ("barnes", "lu", "radix")
+
+
+register_scenario(Scenario(
+    name="ablation-block-cache",
+    title="Ablation: SRAM vs DRAM block cache vs R-NUMA",
+    description="large-but-slow DRAM block cache against fine-grain caching",
+    apps=ABLATION_APPS,
+    systems=("ccnuma", "ccnuma-dram", "rnuma"),
+    configs={"base": _base},
+    default_scale=0.3,
+))
+
+register_scenario(Scenario(
+    name="ablation-scoma",
+    title="Ablation: unconditional S-COMA vs reactive R-NUMA",
+    description="always-allocate S-COMA against reactive relocation",
+    apps=ABLATION_APPS,
+    systems=("ccnuma", "scoma", "rnuma"),
+    configs={"base": _base},
+    default_scale=0.3,
+))
+
+register_scenario(Scenario(
+    name="ablation-placement",
+    title="Ablation: initial page-placement policy",
+    description="first-touch vs round-robin/interleaved/single-node placement",
+    apps=ABLATION_APPS,
+    systems=("ccnuma", "migrep", "rnuma"),
+    configs={policy: (lambda seed, p=policy:
+                      base_config(seed=seed).with_placement(p))
+             for policy in PLACEMENT_NAMES},
+    default_scale=0.3,
+))
+
+
+def _threshold_config(seed: int, **overrides) -> SimulationConfig:
+    cfg = base_config(seed=seed)
+    return cfg.with_thresholds(dataclasses.replace(cfg.thresholds, **overrides))
+
+
+register_scenario(Scenario(
+    name="sweep-rnuma-threshold",
+    title="Sweep: R-NUMA switching threshold",
+    description="relocation threshold around the paper's base value of 32",
+    apps=ABLATION_APPS,
+    systems=("rnuma",),
+    configs={v: (lambda seed, v=v: _threshold_config(seed, rnuma_threshold=v))
+             for v in (8, 16, 32, 64, 128)},
+    default_scale=0.3,
+))
+
+register_scenario(Scenario(
+    name="sweep-migrep-threshold",
+    title="Sweep: MigRep miss threshold",
+    description="migration/replication threshold around the paper's 800",
+    apps=ABLATION_APPS,
+    systems=("migrep",),
+    configs={v: (lambda seed, v=v: _threshold_config(seed, migrep_threshold=v))
+             for v in (200, 400, 800, 1600, 3200)},
+    default_scale=0.3,
+))
+
+def _network_config(seed: int, factor: float) -> SimulationConfig:
+    cfg = base_config(seed=seed)
+    return cfg.with_costs(cfg.costs.with_network_scale(factor))
+
+
+def _page_cache_config(seed: int, fraction: float) -> SimulationConfig:
+    cfg = base_config(seed=seed)
+    return cfg.with_machine(cfg.machine.with_page_cache_fraction(fraction))
+
+
+register_scenario(Scenario(
+    name="sweep-network-latency",
+    title="Sweep: network latency factor",
+    description="Figure 7 generalised to a latency curve",
+    apps=ABLATION_APPS,
+    systems=("ccnuma", "migrep", "rnuma"),
+    configs={f: (lambda seed, f=f: _network_config(seed, f))
+             for f in (1.0, 2.0, 4.0, 8.0)},
+    default_scale=0.3,
+))
+
+register_scenario(Scenario(
+    name="sweep-page-cache",
+    title="Sweep: R-NUMA page-cache size",
+    description="page-cache capacity as a fraction of the base 2.4 MB",
+    apps=ABLATION_APPS,
+    systems=("rnuma",),
+    configs={f: (lambda seed, f=f: _page_cache_config(seed, f))
+             for f in (0.25, 0.5, 1.0, 2.0)},
+    default_scale=0.3,
+))

@@ -8,6 +8,12 @@ workload per sharing scenario (read-only sharing, read-write sharing at
 low degree, read-write sharing at high degree), run under each mechanism,
 with the reduction in remote misses deciding the "yes/no" entries and the
 measured page-operation counts and cycles deciding the overhead columns.
+
+The runs themselves are the declarative ``table1``
+:class:`~repro.experiments.scenario.Scenario`: the three sharing
+scenarios form the app axis (driven by a custom trace factory over
+:data:`SCENARIOS`), the mechanisms form the system axis, and CC-NUMA is
+the baseline.
 """
 
 from __future__ import annotations
@@ -15,11 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import run_experiment
+from repro.config import MachineConfig, SimulationConfig, base_config
+from repro.experiments.scenario import run_scenario
+from repro.registry import UnknownNameError
 from repro.stats.report import format_table
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+from repro.workloads.trace import Trace
 
 
 def _scenario_spec(name: str, pattern: SharingPattern, write_fraction: float,
@@ -58,6 +66,18 @@ MECHANISMS: Dict[str, str] = {
 REDUCTION_THRESHOLD = 0.25
 
 
+def scenario_trace(app: str, machine: MachineConfig, scale: float,
+                   seed: int) -> Trace:
+    """Trace factory over the Table 1 sharing-scenario specs."""
+    spec = SCENARIOS.get(app)
+    if spec is None:
+        raise UnknownNameError(
+            f"unknown Table 1 sharing scenario {app!r} (valid names: "
+            f"{', '.join(SCENARIOS)})")
+    gen = TraceGenerator(spec, machine, access_scale=scale, seed=seed)
+    return gen.generate()
+
+
 @dataclass
 class Table1Cell:
     """Empirical result for one (mechanism, scenario) pair."""
@@ -68,26 +88,22 @@ class Table1Cell:
     pageop_cycles_per_op: float
 
 
-def _evaluate(mechanism_system: str, scenario: WorkloadSpec,
-              cfg: SimulationConfig, scale: float, seed: int) -> Table1Cell:
-    gen = TraceGenerator(scenario, cfg.machine, access_scale=scale, seed=seed)
-    trace = gen.generate()
-    baseline = run_experiment(trace, "ccnuma", cfg)
-    result = run_experiment(trace, mechanism_system, cfg)
-
+def _cell(row: Dict[str, object], base_row: Dict[str, object],
+          cfg: SimulationConfig) -> Table1Cell:
+    """Derive one matrix cell from the scenario's result rows."""
     # Table 1 is specifically about *capacity/conflict* miss reduction;
     # coherence and cold misses are outside every mechanism's reach.
-    base_misses = max(1, baseline.stats.total_capacity_conflict_misses)
-    reduction = 1.0 - result.stats.total_capacity_conflict_misses / base_misses
+    base_misses = max(1, int(base_row["capacity_conflict_misses"]))
+    reduction = 1.0 - int(row["capacity_conflict_misses"]) / base_misses
 
-    ops = (result.stats.total_migrations + result.stats.total_replications
-           + result.stats.total_relocations)
-    per_node_ops = ops / result.stats.num_nodes
+    ops = (int(row["migrations"]) + int(row["replications"])
+           + int(row["relocations"]))
+    per_node_ops = ops / int(row["num_nodes"])
 
     # per-operation cost is taken from the cost model (the maximum of the
     # Table 3 range, i.e. a full page of blocks to gather/copy/flush)
     costs = cfg.costs
-    if mechanism_system in ("mig", "rep", "migrep"):
+    if row["system"] in ("mig", "rep", "migrep"):
         per_op = costs.soft_trap + costs.gather_max + costs.copy_max
     else:
         per_op = costs.soft_trap + costs.page_alloc_max
@@ -103,12 +119,14 @@ def run_table1(*, config: Optional[SimulationConfig] = None, scale: float = 0.5,
                seed: int = 0) -> Dict[str, Dict[str, Table1Cell]]:
     """Reproduce Table 1: mechanism -> scenario -> empirical cell."""
     cfg = config if config is not None else base_config(seed=seed)
+    rs = run_scenario("table1", config=cfg, scale=scale, seed=seed)
     out: Dict[str, Dict[str, Table1Cell]] = {}
     for mech_label, system in MECHANISMS.items():
         out[mech_label] = {}
-        for scen_name, scenario in SCENARIOS.items():
-            out[mech_label][scen_name] = _evaluate(system, scenario, cfg,
-                                                   scale, seed)
+        for scen_name in SCENARIOS:
+            row = rs.only(app=scen_name, system=system)
+            base_row = rs.only(app=scen_name, system="ccnuma")
+            out[mech_label][scen_name] = _cell(row, base_row, cfg)
     return out
 
 

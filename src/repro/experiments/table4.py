@@ -11,21 +11,22 @@ The expected shape: MigRep's page operations are far less frequent than
 R-NUMA's relocations; R-NUMA leaves the fewest capacity/conflict misses;
 radix has the most relocations and a large residual miss count from page
 cache pressure.
+
+The runs are the declarative ``table4``
+:class:`~repro.experiments.scenario.Scenario` (no normalisation
+baseline); :func:`run_table4` reshapes its ResultSet into the classic
+:class:`Table4Row` records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.config import SimulationConfig, base_config
-from repro.experiments.runner import (
-    ExperimentResult,
-    SweepRunner,
-    ensure_runner,
-)
+from repro.config import SimulationConfig
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import ResultSet, run_scenario
 from repro.stats.report import format_table
-from repro.workloads import get_workload, list_workloads
 
 #: The three systems whose misses Table 4 breaks down.
 TABLE4_SYSTEMS: tuple[str, ...] = ("ccnuma", "migrep", "rnuma")
@@ -43,48 +44,44 @@ class Table4Row:
     capacity_conflict: Dict[str, float]  # system -> per-node cap/conflict misses
 
 
+def rows_from_resultset(rs: ResultSet, apps: Sequence[str]) -> List[Table4Row]:
+    """Reshape the ``table4`` scenario's ResultSet into Table4Row records."""
+    out: List[Table4Row] = []
+    for app in apps:
+        migrep = rs.only(app=app, system="migrep")
+        rnuma = rs.only(app=app, system="rnuma")
+        per_system = {name: rs.only(app=app, system=name)
+                      for name in TABLE4_SYSTEMS}
+        out.append(Table4Row(
+            app=app,
+            migrations_per_node=float(migrep["per_node_migrations"]),
+            replications_per_node=float(migrep["per_node_replications"]),
+            relocations_per_node=float(rnuma["per_node_relocations"]),
+            misses={name: float(row["per_node_remote_misses"])
+                    for name, row in per_system.items()},
+            capacity_conflict={name: float(row["per_node_capacity_conflict"])
+                               for name, row in per_system.items()},
+        ))
+    return out
+
+
 def run_table4_app(app: str, *, config: Optional[SimulationConfig] = None,
                    scale: float = 1.0, seed: int = 0,
                    runner: Optional[SweepRunner] = None) -> Table4Row:
     """Compute one application's Table 4 row."""
-    cfg = config if config is not None else base_config(seed=seed)
-    trace = get_workload(app, machine=cfg.machine, scale=scale, seed=seed)
-    runner, owned = ensure_runner(runner)
-    try:
-        results = runner.run_systems(trace, TABLE4_SYSTEMS, cfg,
-                                     baseline=None)
-    finally:
-        if owned:
-            runner.close()
-
-    migrep = results["migrep"]
-    rnuma = results["rnuma"]
-    return Table4Row(
-        app=app,
-        migrations_per_node=migrep.stats.per_node_migrations(),
-        replications_per_node=migrep.stats.per_node_replications(),
-        relocations_per_node=rnuma.stats.per_node_relocations(),
-        misses={name: res.stats.per_node_remote_misses()
-                for name, res in results.items()},
-        capacity_conflict={name: res.stats.per_node_capacity_conflict()
-                           for name, res in results.items()},
-    )
+    rs = run_scenario("table4", apps=(app,), config=config, scale=scale,
+                      seed=seed, runner=runner)
+    return rows_from_resultset(rs, (app,))[0]
 
 
 def run_table4(*, apps: Optional[Sequence[str]] = None,
                config: Optional[SimulationConfig] = None,
                scale: float = 1.0, seed: int = 0,
                runner: Optional[SweepRunner] = None) -> List[Table4Row]:
-    """Reproduce Table 4 for every application."""
-    app_names = tuple(apps) if apps is not None else list_workloads()
-    runner, owned = ensure_runner(runner)
-    try:
-        return [run_table4_app(app, config=config, scale=scale, seed=seed,
-                               runner=runner)
-                for app in app_names]
-    finally:
-        if owned:
-            runner.close()
+    """Reproduce Table 4 for every application (one parallel batch)."""
+    rs = run_scenario("table4", apps=apps, config=config, scale=scale,
+                      seed=seed, runner=runner)
+    return rows_from_resultset(rs, rs.axes["app"])
 
 
 def render_table4(rows: Sequence[Table4Row]) -> str:

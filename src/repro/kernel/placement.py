@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional
 
+from repro.registry import PLACEMENTS, NamesView, register_placement
+
 PlacementFn = Callable[[int, int], int]
 
 
@@ -55,6 +57,7 @@ class PlacementPolicy:
         return self.name
 
 
+@register_placement
 class FirstTouchPlacement(PlacementPolicy):
     """Home the page at the node that touches it first (the paper's policy)."""
 
@@ -64,6 +67,7 @@ class FirstTouchPlacement(PlacementPolicy):
         return requesting_node
 
 
+@register_placement
 class RoundRobinPlacement(PlacementPolicy):
     """Home pages round-robin across nodes, in first-touch order.
 
@@ -85,6 +89,7 @@ class RoundRobinPlacement(PlacementPolicy):
         return home
 
 
+@register_placement
 class InterleavedPlacement(PlacementPolicy):
     """Home page ``p`` at node ``p mod num_nodes`` (address-interleaved).
 
@@ -98,6 +103,7 @@ class InterleavedPlacement(PlacementPolicy):
         return page % self.num_nodes
 
 
+@register_placement
 class SingleNodePlacement(PlacementPolicy):
     """Home every page at one fixed node (worst-case "memory hog" placement).
 
@@ -122,27 +128,16 @@ class SingleNodePlacement(PlacementPolicy):
         return f"{self.name}(node {self.target})"
 
 
-#: Registry of policy constructors keyed by canonical name.
-_POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
-    FirstTouchPlacement.name: FirstTouchPlacement,
-    RoundRobinPlacement.name: RoundRobinPlacement,
-    InterleavedPlacement.name: InterleavedPlacement,
-    SingleNodePlacement.name: SingleNodePlacement,
-}
-
-#: Canonical names of every available placement policy.
-PLACEMENT_NAMES = tuple(_POLICIES.keys())
+#: Live view of every available placement-policy name.  New policies are
+#: added with :func:`repro.registry.register_placement` (as the built-in
+#: classes above are) and appear here immediately.
+PLACEMENT_NAMES = NamesView(PLACEMENTS)
 
 
 def build_placement(name: str, num_nodes: int) -> PlacementPolicy:
-    """Construct the placement policy named ``name`` for ``num_nodes`` nodes.
+    """Construct the placement policy registered under ``name``.
 
-    Raises ``KeyError`` listing the valid names for typos.
+    Raises :class:`repro.registry.UnknownNameError` (a ``ValueError``)
+    listing the valid names, with a did-you-mean suggestion for typos.
     """
-    key = name.strip().lower()
-    ctor = _POLICIES.get(key)
-    if ctor is None:
-        raise KeyError(
-            f"unknown placement policy {name!r}; valid policies: "
-            f"{', '.join(PLACEMENT_NAMES)}")
-    return ctor(num_nodes)
+    return PLACEMENTS.resolve(name)(num_nodes)

@@ -1,0 +1,335 @@
+"""Open registries for systems, workloads, placements and scenarios.
+
+The paper evaluates a closed menagerie of systems over seven fixed
+applications; earlier revisions of this package hard-coded both sets in
+module-private dictionaries, so adding a design point (a new coherence
+protocol, a new placement policy, a new synthetic workload) meant editing
+the package.  This module replaces those closed dictionaries with a
+single generic :class:`Registry` and four shared instances:
+
+* :data:`SYSTEMS` — named :class:`repro.core.factory.SystemSpec` objects,
+* :data:`WORKLOADS` — workload-spec builders
+  (``() -> repro.workloads.spec.WorkloadSpec``),
+* :data:`PLACEMENTS` — placement-policy constructors
+  (``(num_nodes) -> repro.kernel.placement.PlacementPolicy``), and
+* :data:`SCENARIOS` — declarative experiment plans
+  (:class:`repro.experiments.scenario.Scenario`).
+
+User code registers new entries with the ``register_*`` decorators and
+the additions immediately appear in ``SYSTEM_NAMES``, ``repro list``,
+sweeps and ``repro exp`` — no package module needs to change::
+
+    from repro import register_workload, register_system, build_system
+
+    @register_workload("pipeline")
+    def pipeline_spec() -> WorkloadSpec: ...
+
+    register_system(build_system("rnuma").derive(
+        "rnuma-quarter", label="R-NUMA-1/4", page_cache_fraction=0.25))
+
+Lookups are case-insensitive and a failed lookup raises
+:class:`UnknownNameError` — a subclass of both :class:`ValueError` (the
+documented contract) and :class:`KeyError` (so mapping semantics and
+pre-existing ``except KeyError`` callers keep working) — carrying a
+difflib "did you mean" suggestion.
+
+This module deliberately imports nothing from the rest of the package so
+every domain module can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+
+class UnknownNameError(ValueError, KeyError):
+    """An unknown name was looked up in a :class:`Registry`.
+
+    Subclasses both :class:`ValueError` (the unified error contract of
+    ``build_system`` / ``get_workload`` / ``build_placement``) and
+    :class:`KeyError` (so ``registry[name]`` honours the Mapping protocol
+    and legacy ``except KeyError`` handlers continue to work).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.message
+
+
+class DuplicateNameError(ValueError):
+    """A name was registered twice without ``overwrite=True``."""
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower()
+
+
+class Registry(Mapping[str, T], Generic[T]):
+    """An ordered, case-insensitive mapping of names to registered objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun used in error messages
+        (``"system"``, ``"workload"``, ...).
+
+    The registry is a :class:`Mapping`, so ``name in registry``,
+    ``len(registry)``, iteration (in registration order) and
+    ``dict(registry)`` all behave as expected.  :meth:`resolve` is the
+    lookup used by the public builders; it normalises the name and raises
+    :class:`UnknownNameError` with a did-you-mean suggestion on a miss.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, obj: T, *, overwrite: bool = False) -> T:
+        """Register ``obj`` under ``name``; returns ``obj``.
+
+        Raises :class:`DuplicateNameError` when the name is taken, unless
+        ``overwrite=True`` (which replaces the entry in place, keeping its
+        original position in the registration order).
+        """
+        key = _normalize(name)
+        if not key:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if key in self._entries and not overwrite:
+            raise DuplicateNameError(
+                f"{self.kind} {name!r} is already registered; pass "
+                f"overwrite=True to replace it")
+        self._entries[key] = obj
+        return obj
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the entry for ``name`` (used mainly by tests)."""
+        key = _normalize(name)
+        if key not in self._entries:
+            raise self._unknown(name)
+        return self._entries.pop(key)
+
+    # -- lookup -------------------------------------------------------------
+
+    def resolve(self, name: str) -> T:
+        """Return the object registered under ``name`` (case-insensitive).
+
+        Raises :class:`UnknownNameError` — a ``ValueError`` — listing the
+        valid names and, when a near-miss exists, a "did you mean"
+        suggestion.
+        """
+        obj = self._entries.get(_normalize(name))
+        if obj is None:
+            raise self._unknown(name)
+        return obj
+
+    def _unknown(self, name: str) -> UnknownNameError:
+        hint = ""
+        close = difflib.get_close_matches(_normalize(name), self._entries, n=1)
+        if close:
+            hint = f" — did you mean {close[0]!r}?"
+        return UnknownNameError(
+            f"unknown {self.kind} {name!r}{hint} "
+            f"(valid {self.kind} names: {', '.join(self._entries)})")
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> T:
+        return self.resolve(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and _normalize(name) in self._entries
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._entries)})"
+
+
+class NamesView:
+    """A live, tuple-like view of a registry's names.
+
+    ``repro.SYSTEM_NAMES`` and friends were tuples frozen at import time;
+    this view keeps their tuple ergonomics (iteration, ``in``, ``len``,
+    indexing, equality against sequences) while always reflecting the
+    current registry contents, so a system registered by user code
+    immediately appears everywhere the name list is consumed.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __getitem__(self, index):
+        return self._registry.names()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list, NamesView)):
+            return tuple(self) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return repr(self._registry.names())
+
+
+# ---------------------------------------------------------------------------
+# The shared registries (populated by the domain modules on import)
+# ---------------------------------------------------------------------------
+
+#: Named system configurations (:class:`repro.core.factory.SystemSpec`).
+SYSTEMS: Registry = Registry("system")
+
+#: Workload-spec builders (``() -> WorkloadSpec``), keyed by application name.
+WORKLOADS: Registry = Registry("workload")
+
+#: Placement-policy constructors (``(num_nodes) -> PlacementPolicy``).
+PLACEMENTS: Registry = Registry("placement policy")
+
+#: Declarative experiment plans (:class:`repro.experiments.scenario.Scenario`).
+SCENARIOS: Registry = Registry("scenario")
+
+
+# ---------------------------------------------------------------------------
+# Registration decorators
+# ---------------------------------------------------------------------------
+
+
+def register_system(spec=None, /, name: Optional[str] = None, *,
+                    overwrite: bool = False, **spec_kwargs):
+    """Register a system, as a function call or a decorator.
+
+    * ``register_system(spec)`` registers an existing
+      :class:`~repro.core.factory.SystemSpec` under ``spec.name``.
+    * ``@register_system("mysys", label="My System", ...)`` decorates a
+      protocol factory (``(machine) -> DSMProtocol``) and builds the
+      :class:`SystemSpec` from the keyword arguments; the factory is
+      returned unchanged so a decorated class stays usable.
+    """
+    from repro.core.factory import SystemSpec
+
+    if isinstance(spec, SystemSpec):
+        return SYSTEMS.register(spec.name, spec, overwrite=overwrite)
+    if isinstance(spec, str) and name is None:
+        spec, name = None, spec
+    if spec is not None:
+        raise TypeError("register_system takes a SystemSpec or is used as "
+                        "@register_system(name, **spec_kwargs)")
+    if name is None:
+        raise TypeError("register_system requires a system name")
+
+    def decorator(factory):
+        built = SystemSpec(name=name, protocol_factory=factory,
+                           label=spec_kwargs.pop("label", name), **spec_kwargs)
+        SYSTEMS.register(name, built, overwrite=overwrite)
+        return factory
+
+    return decorator
+
+
+def register_workload(name_or_builder=None, /, *, name: Optional[str] = None,
+                      overwrite: bool = False):
+    """Register a workload-spec builder, as a decorator or a function call.
+
+    * ``@register_workload("pipeline")`` (or bare ``@register_workload``)
+      decorates a builder ``() -> WorkloadSpec``; the name defaults to the
+      builder's ``__name__`` with a trailing ``_spec``/``build_`` stripped.
+    * ``register_workload(spec)`` registers a concrete ``WorkloadSpec``
+      under ``spec.name`` by wrapping it in a trivial builder.
+    """
+    def derive_name(builder) -> str:
+        n = builder.__name__
+        for prefix in ("build_",):
+            if n.startswith(prefix):
+                n = n[len(prefix):]
+        for suffix in ("_spec", "_workload"):
+            if n.endswith(suffix):
+                n = n[: -len(suffix)]
+        return n
+
+    def decorator(builder, explicit: Optional[str] = None):
+        WORKLOADS.register(explicit or name or derive_name(builder), builder,
+                           overwrite=overwrite)
+        return builder
+
+    if name_or_builder is None:
+        return decorator
+    if isinstance(name_or_builder, str):
+        explicit = name_or_builder
+        return lambda builder: decorator(builder, explicit)
+    if callable(name_or_builder):
+        return decorator(name_or_builder)
+    # a concrete WorkloadSpec-like object carrying .name
+    spec = name_or_builder
+    WORKLOADS.register(name or spec.name, lambda: spec, overwrite=overwrite)
+    return spec
+
+
+def register_placement(cls=None, /, name: Optional[str] = None, *,
+                       overwrite: bool = False):
+    """Register a placement policy class/constructor.
+
+    Use bare (``@register_placement``, taking the name from the class's
+    ``name`` attribute) or with an explicit name
+    (``@register_placement("my-policy")``).  The constructor must accept
+    ``(num_nodes)``.
+    """
+    if isinstance(cls, str) and name is None:
+        cls, name = None, cls
+
+    def decorator(ctor):
+        PLACEMENTS.register(name or ctor.name, ctor, overwrite=overwrite)
+        return ctor
+
+    return decorator if cls is None else decorator(cls)
+
+
+def register_scenario(scenario=None, /, *, overwrite: bool = False):
+    """Register a :class:`~repro.experiments.scenario.Scenario`.
+
+    Works as a plain call (``register_scenario(scenario)``) or as a
+    decorator on a zero-argument scenario-builder function
+    (``@register_scenario`` above ``def my_scenario() -> Scenario``).
+    """
+    def register(obj):
+        built = obj() if callable(obj) else obj
+        SCENARIOS.register(built.name, built, overwrite=overwrite)
+        return built
+
+    if scenario is None:
+        return register
+    return register(scenario)

@@ -9,9 +9,13 @@ the formats downstream users actually consume:
 * :func:`to_json` / :func:`write_json` — structured results for archival
   alongside EXPERIMENTS.md,
 * :func:`to_markdown` — tables embedded directly into EXPERIMENTS.md and
-  the README, and
+  the README,
 * :func:`figure_to_rows` — the adapter that flattens the
-  ``{app: {system: value}}`` shape every figure module produces.
+  ``{app: {system: value}}`` shape every figure module produces, and
+* :func:`render_resultset` / :func:`export_resultset` — the single code
+  path that turns a :class:`repro.experiments.scenario.ResultSet` into
+  CSV, JSON, Markdown or an ASCII chart (used by ``repro exp`` and the
+  ``ResultSet.to_*`` helpers).
 
 Only the standard library is used so the exporters work in any
 environment the simulator itself works in.
@@ -108,6 +112,64 @@ def to_markdown(rows: Sequence[Row], *,
         cells = [_fmt_cell(row.get(k, ""), float_fmt) for k in names]
         lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# ResultSet rendering: the one code path behind ``repro exp`` exports
+# ---------------------------------------------------------------------------
+
+#: Formats understood by :func:`render_resultset`.
+RESULTSET_FORMATS = ("csv", "json", "markdown", "chart")
+
+
+def render_resultset(rs, fmt: str = "markdown") -> str:
+    """Render a :class:`~repro.experiments.scenario.ResultSet` as text.
+
+    ``fmt`` is one of :data:`RESULTSET_FORMATS`:
+
+    * ``"csv"`` — the flat rows, one line per cell,
+    * ``"json"`` — the full artifact (metadata, axes, rows),
+    * ``"markdown"`` — the flat rows as a GitHub-flavoured table,
+    * ``"chart"`` — an ASCII grouped bar chart of the normalized times
+      (only meaningful for scenarios with a normalisation baseline).
+    """
+    if fmt == "csv":
+        return to_csv(rs.rows)
+    if fmt == "json":
+        return to_json(rs.as_dict())
+    if fmt == "markdown":
+        return to_markdown(rs.rows)
+    if fmt == "chart":
+        if rs.baseline is None:
+            raise ValueError(
+                f"cannot chart ResultSet {rs.scenario!r}: chart rendering "
+                "plots normalized times, which need a normalisation baseline")
+        from repro.stats.plotting import grouped_bar_chart
+        return grouped_bar_chart(rs.figure_data(), list(rs.series),
+                                 title=rs.title)
+    raise ValueError(
+        f"unknown ResultSet format {fmt!r}; valid formats: "
+        f"{', '.join(RESULTSET_FORMATS)}")
+
+
+def export_resultset(rs, *, csv_path: Optional[Union[str, Path]] = None,
+                     json_path: Optional[Union[str, Path]] = None,
+                     markdown_path: Optional[Union[str, Path]] = None
+                     ) -> List[Path]:
+    """Write a ResultSet to any combination of CSV/JSON/Markdown files.
+
+    Returns the list of paths written (in csv, json, markdown order).
+    """
+    written: List[Path] = []
+    for path, fmt in ((csv_path, "csv"), (json_path, "json"),
+                      (markdown_path, "markdown")):
+        if path is not None:
+            p = Path(path)
+            text = render_resultset(rs, fmt)
+            p.write_text(text + ("" if text.endswith("\n") else "\n"),
+                         encoding="utf-8")
+            written.append(p)
+    return written
 
 
 def figure_to_markdown(per_app: Mapping[str, Mapping[str, float]],

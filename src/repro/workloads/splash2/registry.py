@@ -1,7 +1,12 @@
 """Registry of the seven applications (Table 2 of the paper).
 
-``APPLICATIONS`` maps the names used throughout the paper to builder
-functions returning a :class:`repro.workloads.spec.WorkloadSpec`.
+``APPLICATIONS`` is the shared open workload registry
+(:data:`repro.registry.WORKLOADS`): a mapping from the names used
+throughout the paper to builder functions returning a
+:class:`repro.workloads.spec.WorkloadSpec`.  This module registers the
+seven paper applications; user code adds its own with
+:func:`repro.registry.register_workload` and the additions immediately
+appear in :func:`list_workloads`, the CLI and every sweep.
 :func:`get_workload` is the public convenience: it builds the spec,
 instantiates a :class:`repro.workloads.generator.TraceGenerator` against a
 machine configuration and returns the generated trace.
@@ -9,40 +14,40 @@ machine configuration and returns the generated trace.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.config import MachineConfig, reduced_machine
+from repro.registry import WORKLOADS, register_workload
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trace import Trace
 
 from repro.workloads.splash2 import barnes, cholesky, fmm, lu, ocean, radix, raytrace
 
-#: Application name -> spec builder (names as used by the paper).
-APPLICATIONS: Dict[str, Callable[[], WorkloadSpec]] = {
-    "barnes": barnes.build_spec,
-    "cholesky": cholesky.build_spec,
-    "fmm": fmm.build_spec,
-    "lu": lu.build_spec,
-    "ocean": ocean.build_spec,
-    "radix": radix.build_spec,
-    "raytrace": raytrace.build_spec,
-}
+#: Application name -> spec builder (names as used by the paper).  This is
+#: the shared open registry itself, so ``dict(APPLICATIONS)``, iteration
+#: and membership tests keep working while user registrations show up live.
+APPLICATIONS = WORKLOADS
+
+for _name, _module in (("barnes", barnes), ("cholesky", cholesky),
+                       ("fmm", fmm), ("lu", lu), ("ocean", ocean),
+                       ("radix", radix), ("raytrace", raytrace)):
+    if _name not in WORKLOADS:  # tolerate re-import after registry reset
+        register_workload(_name)(_module.build_spec)
 
 
 def list_workloads() -> Tuple[str, ...]:
-    """Names of all available applications, in the paper's order."""
-    return tuple(APPLICATIONS.keys())
+    """Names of all available applications (paper order, then additions)."""
+    return WORKLOADS.names()
 
 
 def get_spec(name: str) -> WorkloadSpec:
-    """Build the :class:`WorkloadSpec` for application ``name``."""
-    key = name.strip().lower()
-    builder = APPLICATIONS.get(key)
-    if builder is None:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(APPLICATIONS)}")
-    return builder()
+    """Build the :class:`WorkloadSpec` for application ``name``.
+
+    Raises :class:`repro.registry.UnknownNameError` (a ``ValueError``)
+    with a did-you-mean suggestion for unknown names.
+    """
+    return WORKLOADS.resolve(name)()
 
 
 def get_workload(name: str, *, machine: Optional[MachineConfig] = None,

@@ -122,3 +122,109 @@ class TestCommands:
         # 2 values x 1 app x 3 default systems
         assert len(rows) == 6
         assert {r["system"] for r in rows} == {"ccnuma", "migrep", "rnuma"}
+
+
+class TestListJson:
+    def test_list_json_enumerates_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"workloads", "systems", "placements",
+                             "scenarios", "engines"}
+        assert "figure5" in data["scenarios"]
+        assert "sweep-page-cache" in data["scenarios"]
+        assert data["systems"] == list(SYSTEM_NAMES)
+
+    def test_plain_list_shows_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out and "table4" in out
+
+
+class TestExpCommand:
+    def test_exp_runs_a_figure_scenario(self, capsys, tmp_path):
+        json_path = tmp_path / "exp.json"
+        code = main(["exp", "figure5", "--apps", "lu", "--scale", "0.05",
+                     "--json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        data = json.loads(json_path.read_text())
+        assert data["scenario"] == "figure5"
+        systems = {r["system"] for r in data["rows"]}
+        assert "rnuma" in systems and "perfect" in systems
+
+    def test_exp_axis_overrides_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "exp.csv"
+        code = main(["exp", "figure5", "--apps", "lu", "--systems",
+                     "ccnuma,rnuma", "--scale", "0.05",
+                     "--csv", str(csv_path)])
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        assert {r["system"] for r in rows} == {"perfect", "ccnuma", "rnuma"}
+
+    def test_exp_matches_legacy_figure_command_data(self, capsys, tmp_path):
+        legacy_path = tmp_path / "legacy.json"
+        exp_path = tmp_path / "exp.json"
+        assert main(["figure8", "--apps", "lu", "--scale", "0.05",
+                     "--json", str(legacy_path)]) == 0
+        assert main(["exp", "figure8", "--apps", "lu", "--scale", "0.05",
+                     "--json", str(exp_path)]) == 0
+        capsys.readouterr()
+        legacy = json.loads(legacy_path.read_text())
+        exp = json.loads(exp_path.read_text())
+        pivot = {r["series"]: r["normalized_time"] for r in exp["rows"]
+                 if not r["is_baseline"]}
+        assert pivot == legacy["lu"]
+
+    def test_exp_static_scenario(self, capsys, tmp_path):
+        md_path = tmp_path / "t3.md"
+        assert main(["exp", "table3", "--markdown", str(md_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert md_path.read_text().startswith("|")
+
+    def test_exp_unknown_scenario_suggests(self, capsys):
+        assert main(["exp", "figure55"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "figure5" in err
+
+    def test_exp_unknown_app_or_system_is_a_clean_error(self, capsys):
+        assert main(["exp", "figure5", "--apps", "luu",
+                     "--scale", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "did you mean 'lu'" in err
+        assert main(["exp", "figure5", "--apps", "lu", "--systems", "rnmua",
+                     "--scale", "0.05"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_exp_table1_rejects_foreign_apps_cleanly(self, capsys):
+        assert main(["exp", "table1", "--apps", "lu", "--scale", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "sharing scenario" in err and "read_only" in err
+
+    def test_exp_chart_skipped_without_baseline(self, capsys):
+        # table4 has no normalisation baseline; --chart must not crash
+        assert main(["exp", "table4", "--apps", "lu", "--scale", "0.05",
+                     "--chart"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_exp_renderer_degrades_on_axis_subset(self, capsys):
+        # table4's custom renderer needs all three systems; a --systems
+        # subset must fall back to the generic rendering, not crash
+        assert main(["exp", "table4", "--apps", "lu", "--systems", "ccnuma",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "ccnuma" in out
+
+    def test_exp_runs_user_registered_scenario(self, capsys):
+        from repro.experiments.scenario import Scenario
+        from repro.registry import SCENARIOS, register_scenario
+
+        register_scenario(Scenario(
+            name="cli-test-scn", title="CLI test scenario",
+            apps=("lu",), systems=("ccnuma",), default_scale=0.05))
+        try:
+            assert main(["exp", "cli-test-scn"]) == 0
+            assert "CLI test scenario" in capsys.readouterr().out
+        finally:
+            SCENARIOS.unregister("cli-test-scn")

@@ -1,0 +1,218 @@
+"""Tests for the open registries (repro.registry) and their decorators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.factory import SYSTEM_NAMES, SystemSpec, build_system
+from repro.kernel.placement import (
+    PLACEMENT_NAMES,
+    PlacementPolicy,
+    build_placement,
+)
+from repro.registry import (
+    DuplicateNameError,
+    PLACEMENTS,
+    Registry,
+    SCENARIOS,
+    SYSTEMS,
+    UnknownNameError,
+    WORKLOADS,
+    register_placement,
+    register_system,
+    register_workload,
+)
+from repro.workloads import get_spec, get_workload, list_workloads
+from repro.workloads.spec import PageGroup, Phase, SharingPattern, WorkloadSpec
+
+
+class TestRegistryBasics:
+    def test_register_and_resolve(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        assert reg.resolve("alpha") == 1
+        assert reg.resolve("  BETA ") == 2  # normalised lookup
+        assert reg.names() == ("alpha", "beta")
+
+    def test_mapping_protocol(self):
+        reg = Registry("thing")
+        reg.register("a", "x")
+        assert "a" in reg and "b" not in reg
+        assert len(reg) == 1
+        assert dict(reg) == {"a": "x"}
+        assert reg["a"] == "x"
+        assert reg.get("b") is None  # Mapping.get
+
+    def test_duplicate_rejected_unless_overwrite(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(DuplicateNameError):
+            reg.register("a", 2)
+        assert reg.resolve("a") == 1
+        reg.register("a", 2, overwrite=True)
+        assert reg.resolve("a") == 2
+        assert reg.names() == ("a",)  # overwrite keeps position
+
+    def test_unknown_name_is_value_and_key_error(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        with pytest.raises(ValueError):
+            reg.resolve("alhpa")
+        with pytest.raises(KeyError):
+            reg.resolve("alhpa")
+        with pytest.raises(UnknownNameError, match="did you mean 'alpha'"):
+            reg.resolve("alhpa")
+
+    def test_unknown_name_lists_valid_names(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(UnknownNameError, match="alpha, beta"):
+            reg.resolve("nothing-close")
+
+    def test_unregister(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        assert reg.unregister("a") == 1
+        assert "a" not in reg
+        with pytest.raises(UnknownNameError):
+            reg.unregister("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Registry("thing").register("  ", 1)
+
+
+class TestSystemRegistry:
+    def test_build_system_unknown_raises_value_error_with_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'rnuma'"):
+            build_system("rnmua")
+
+    def test_derive_and_register_appears_everywhere(self):
+        spec = build_system("rnuma").derive(
+            "rnuma-quarter-test", label="R-NUMA-1/4",
+            page_cache_fraction=0.25)
+        assert spec.name == "rnuma-quarter-test"
+        assert spec.label == "R-NUMA-1/4"
+        assert spec.page_cache_fraction == 0.25
+        # untouched fields inherited from the parent
+        assert spec.protocol_factory is build_system("rnuma").protocol_factory
+        register_system(spec)
+        try:
+            assert "rnuma-quarter-test" in SYSTEM_NAMES
+            assert build_system("rnuma-quarter-test") is spec
+        finally:
+            SYSTEMS.unregister("rnuma-quarter-test")
+        assert "rnuma-quarter-test" not in SYSTEM_NAMES
+
+    def test_derive_defaults_label_to_name(self):
+        spec = build_system("ccnuma").derive("ccnuma-x")
+        assert spec.label == "ccnuma-x"
+
+    def test_register_system_decorator_form(self):
+        from repro.core.ccnuma import CCNUMAProtocol
+
+        @register_system("decorated-test-sys", label="Decorated")
+        def factory(machine):
+            return CCNUMAProtocol(machine)
+
+        try:
+            spec = build_system("decorated-test-sys")
+            assert spec.label == "Decorated"
+            assert spec.protocol_factory is factory
+        finally:
+            SYSTEMS.unregister("decorated-test-sys")
+
+    def test_duplicate_system_name_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            register_system(build_system("ccnuma").derive("ccnuma"))
+
+    def test_names_view_is_tuple_like(self):
+        assert tuple(SYSTEM_NAMES) == SYSTEM_NAMES
+        assert SYSTEM_NAMES[0] == "perfect"
+        assert len(SYSTEM_NAMES) >= 13
+        assert "rnuma" in SYSTEM_NAMES
+
+
+def _tiny_spec(name: str) -> WorkloadSpec:
+    group = PageGroup(name="g", num_pages=8, pattern=SharingPattern.PRIVATE)
+    phases = (Phase(name="init", touch_groups=("g",)),
+              Phase(name="work", accesses_per_proc=50, weights={"g": 1.0}))
+    return WorkloadSpec(name=name, description="tiny", groups=(group,),
+                        phases=phases)
+
+
+class TestWorkloadRegistry:
+    def test_get_spec_unknown_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_spec("linpack")
+        with pytest.raises(ValueError):
+            get_workload("linpack")
+
+    def test_register_workload_decorator(self):
+        @register_workload("tiny-test-wl")
+        def build():
+            return _tiny_spec("tiny-test-wl")
+
+        try:
+            assert "tiny-test-wl" in list_workloads()
+            trace = get_workload("tiny-test-wl", scale=0.5)
+            assert trace.name == "tiny-test-wl"
+            assert trace.total_accesses() > 0
+        finally:
+            WORKLOADS.unregister("tiny-test-wl")
+        assert "tiny-test-wl" not in list_workloads()
+
+    def test_register_workload_name_derived_from_function(self):
+        @register_workload
+        def build_deadbeef_spec():
+            return _tiny_spec("deadbeef")
+
+        try:
+            assert "deadbeef" in list_workloads()
+        finally:
+            WORKLOADS.unregister("deadbeef")
+
+    def test_register_concrete_spec(self):
+        spec = _tiny_spec("concrete-test-wl")
+        register_workload(spec)
+        try:
+            assert get_spec("concrete-test-wl") is spec
+        finally:
+            WORKLOADS.unregister("concrete-test-wl")
+
+
+class TestPlacementRegistry:
+    def test_build_placement_unknown_raises_value_error(self):
+        with pytest.raises(ValueError, match="first-touch"):
+            build_placement("nonexistent", 4)
+
+    def test_register_placement_decorator(self):
+        @register_placement
+        class LastNodePlacement(PlacementPolicy):
+            """Test policy homing every page on the last node."""
+
+            name = "last-node-test"
+
+            def place(self, page, requesting_node):
+                return self.num_nodes - 1
+
+        try:
+            assert "last-node-test" in PLACEMENT_NAMES
+            policy = build_placement("last-node-test", 4)
+            assert policy(page=0, requesting_node=1) == 3
+        finally:
+            PLACEMENTS.unregister("last-node-test")
+
+
+class TestScenarioRegistry:
+    def test_builtin_scenarios_registered(self):
+        for name in ("figure5", "figure6", "figure7", "figure8",
+                     "table1", "table2", "table3", "table4"):
+            assert name in SCENARIOS
+
+    def test_unknown_scenario_raises_value_error(self):
+        from repro.experiments.scenario import get_scenario
+        with pytest.raises(ValueError, match="figure5"):
+            get_scenario("figure55")
