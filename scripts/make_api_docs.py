@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Generate docs/api.md from the public surface of :mod:`repro`.
+
+A pdoc-style walk over ``repro.__all__``: every exported name gets a
+section with its signature and full docstring; classes additionally list
+their public methods and properties (signature plus the docstring's
+summary paragraph).  The output is deterministic — fixed ordering, no
+memory addresses, no timestamps — so the checked-in ``docs/api.md`` can
+be diff-checked in CI::
+
+    python scripts/make_api_docs.py          # rewrite docs/api.md
+    python scripts/make_api_docs.py --check  # exit 1 when out of date
+
+Run from the repository root (the script resolves paths relative to
+itself, so any working directory works).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402  (path set up above)
+
+OUT_PATH = REPO_ROOT / "docs" / "api.md"
+
+HEADER = """\
+# `repro` API reference
+
+Auto-generated from docstrings by `scripts/make_api_docs.py` — do not
+edit by hand (CI diff-checks this file against a fresh generation).
+Names appear in `repro.__all__` order, the order the package's module
+docstring introduces them in.
+"""
+
+_ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _scrub(text: str) -> str:
+    """Remove memory addresses so repeated runs are byte-identical."""
+    return _ADDRESS.sub("0x...", text)
+
+
+def _signature(obj: object) -> str:
+    try:
+        return _scrub(str(inspect.signature(obj)))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _doc(obj: object) -> str:
+    return inspect.cleandoc(getattr(obj, "__doc__", None) or "")
+
+
+def _summary(obj: object) -> str:
+    """First paragraph of the docstring, joined to one line."""
+    doc = _doc(obj)
+    first = doc.split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in first.splitlines())
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor slug for a heading text."""
+    slug = heading.lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9_-]", "", slug)
+
+
+def _class_members(cls: type):
+    """Public methods/properties worth documenting, alphabetically."""
+    members = []
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_") or not _doc(member):
+            continue
+        if isinstance(member, property):
+            members.append((name, "property", "", _summary(member)))
+        elif isinstance(member, (staticmethod, classmethod)):
+            func = member.__func__
+            members.append((name, "method", _signature(func), _summary(func)))
+        elif inspect.isfunction(member):
+            members.append((name, "method", _signature(member),
+                            _summary(member)))
+    return members
+
+
+def _render_entry(name: str, obj: object) -> str:
+    lines = []
+    if inspect.isclass(obj):
+        kind = "exception" if issubclass(obj, BaseException) else "class"
+        lines.append(f"## {kind} `{name}`\n")
+        if kind == "class" and not issubclass(obj, type):
+            lines.append(f"```python\n{name}{_signature(obj)}\n```\n")
+        doc = _doc(obj)
+        if doc:
+            lines.append(doc + "\n")
+        members = _class_members(obj)
+        if members:
+            lines.append("### Members\n")
+            for mname, mkind, sig, summary in members:
+                shown = f"`{mname}{sig}`" if mkind == "method" else f"`{mname}`"
+                lines.append(f"- {shown} ({mkind}) — {summary}")
+            lines.append("")
+    elif inspect.isfunction(obj):
+        lines.append(f"## function `{name}`\n")
+        lines.append(f"```python\n{name}{_signature(obj)}\n```\n")
+        doc = _doc(obj)
+        if doc:
+            lines.append(doc + "\n")
+    else:
+        lines.append(f"## data `{name}`\n")
+        value = _scrub(repr(obj))
+        if len(value) > 200:
+            value = value[:200] + "..."
+        lines.append(f"```python\n{name} = {value}\n```\n")
+        doc = _doc(type(obj))
+        if doc and type(obj).__module__.startswith("repro"):
+            lines.append(_summary(type(obj)) + "\n")
+    return "\n".join(lines)
+
+
+def generate() -> str:
+    """Build the full Markdown document as a string."""
+    names = [n for n in repro.__all__ if n != "__version__"]
+    parts = [HEADER]
+    parts.append("## Contents\n")
+    parts.extend(f"- [`{name}`](#{_anchor(_kind_prefix(name))})"
+                 for name in names)
+    parts.append("")
+    for name in names:
+        parts.append(_render_entry(name, getattr(repro, name)))
+    text = "\n".join(parts)
+    return text.rstrip() + "\n"
+
+
+def _kind_prefix(name: str) -> str:
+    obj = getattr(repro, name)
+    if inspect.isclass(obj):
+        kind = ("exception" if issubclass(obj, BaseException) else "class")
+    elif inspect.isfunction(obj):
+        kind = "function"
+    else:
+        kind = "data"
+    return f"{kind} {name}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when docs/api.md is stale "
+                             "instead of rewriting it")
+    args = parser.parse_args(argv)
+    text = generate()
+    if args.check:
+        current = OUT_PATH.read_text(encoding="utf-8") if OUT_PATH.exists() else ""
+        if current != text:
+            print("docs/api.md is out of date; run "
+                  "`python scripts/make_api_docs.py`", file=sys.stderr)
+            return 1
+        print("docs/api.md is up to date")
+        return 0
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(text, encoding="utf-8")
+    print(f"wrote {OUT_PATH} ({len(text.splitlines())} lines, "
+          f"{len(repro.__all__) - 1} public names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

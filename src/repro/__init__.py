@@ -22,11 +22,21 @@ The public API is intentionally small:
     the seven synthetic SPLASH-2-like workloads (Table 2 of the paper).
 
 ``register_system`` / ``register_workload`` / ``register_placement`` /
-``register_scenario``
+``register_scenario`` / ``register_policy``
     the open-registry extension points: systems (often derived from an
     existing spec via :meth:`SystemSpec.derive`), workloads, placement
-    policies and scenarios registered by user code immediately appear in
-    the name lists, the CLI and every sweep.
+    policies, scenarios and page-operation decision policies registered
+    by user code immediately appear in the name lists, the CLI and every
+    sweep.
+
+``build_policy`` / ``POLICY_NAMES`` / ``DecisionPolicy``
+    the decision-policy axis: when to migrate, replicate or relocate a
+    page.  The paper's static thresholds (``"static-threshold"``) are
+    the default; ``"competitive"`` (ski-rental), ``"hysteresis"``
+    (decayed miss pressure) and ``"cost-model"`` (margin-gated
+    cost/benefit) adapt to the configured cost model.  Select per run
+    with ``SimulationConfig.with_policies`` or per system with
+    ``SystemSpec.derive(migrep_policy=..., rnuma_policy=...)``.
 
 ``Scenario`` / ``run_scenario`` / ``ResultSet``
     the declarative experiment API: a :class:`Scenario` names the axes
@@ -85,6 +95,15 @@ from repro.config import (
     long_latency_config,
 )
 from repro.analysis.sharing import SharingClass, SharingReport, analyze_trace
+from repro.core.decisions import (
+    POLICY_NAMES,
+    DecisionPolicy,
+    MigRepDecision,
+    MigRepPolicy,
+    PolicySpec,
+    RNUMAPolicy,
+    build_policy,
+)
 from repro.core.factory import (
     PAPER_SYSTEM_NAMES,
     SYSTEM_NAMES,
@@ -110,6 +129,7 @@ from repro.registry import (
     Registry,
     UnknownNameError,
     register_placement,
+    register_policy,
     register_scenario,
     register_system,
     register_workload,
@@ -117,7 +137,7 @@ from repro.registry import (
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CostModel",
@@ -139,6 +159,14 @@ __all__ = [
     "register_workload",
     "register_placement",
     "register_scenario",
+    "register_policy",
+    "DecisionPolicy",
+    "PolicySpec",
+    "MigRepDecision",
+    "MigRepPolicy",
+    "RNUMAPolicy",
+    "build_policy",
+    "POLICY_NAMES",
     "Scenario",
     "ResultSet",
     "run_scenario",

@@ -241,3 +241,36 @@ def placement_sweep(policies: Sequence[str], *, seed: int = 0,
     return run_sweep("placement", list(policies), configure,
                      apps=apps, systems=list(systems), scale=scale, seed=seed,
                      runner=runner)
+
+
+def policy_sweep(policies: Sequence[str], *, seed: int = 0,
+                 apps: Sequence[str],
+                 systems: Sequence[str] = ("migrep", "rnuma"),
+                 scale: float = 0.3,
+                 runner: Optional[SweepRunner] = None) -> SweepResult:
+    """Sweep the page-operation decision policy.
+
+    Parameters
+    ----------
+    policies:
+        Decision-policy names from the open registry (see
+        :data:`repro.core.decisions.POLICY_NAMES`) — the static paper
+        rule plus the adaptive families, and any user-registered ones.
+    apps / systems / scale / seed / runner:
+        As for every other sweep; the default systems are the two that
+        actually consult policies (``migrep`` evaluates the migrep role,
+        ``rnuma`` the rnuma role; hybrids evaluate both).
+
+    Each policy name is applied to every role its family supports (via
+    :func:`repro.core.decisions.apply_policy` — single-role families
+    leave the other role at its default), so a single sweep value
+    compares, per system, how the family's decisions move traffic
+    relative to perfect CC-NUMA.
+    """
+    from repro.core.decisions import apply_policy
+
+    def configure(value: object) -> SimulationConfig:
+        return apply_policy(base_config(seed=seed), str(value))
+    return run_sweep("policy", list(policies), configure,
+                     apps=apps, systems=list(systems), scale=scale, seed=seed,
+                     runner=runner)

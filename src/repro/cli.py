@@ -6,8 +6,9 @@ writing any Python:
 =====================  ====================================================
 command                 what it does
 =====================  ====================================================
-``list``                list workloads, systems, placements and scenarios
-                        (``--json`` for machine-readable output)
+``list``                list workloads, systems, placements, decision
+                        policies and scenarios (``--json`` for
+                        machine-readable output)
 ``run``                 run one (workload, system) pair and print a summary
 ``exp``                 run any registered scenario (``repro exp figure5``,
                         ``repro exp sweep-page-cache``, or one registered
@@ -44,9 +45,11 @@ from repro.analysis.sweeps import (
     network_latency_sweep,
     page_cache_sweep,
     placement_sweep,
+    policy_sweep,
     rnuma_threshold_sweep,
 )
-from repro.config import base_config
+from repro.config import SimulationConfig, base_config
+from repro.core.decisions import POLICY_NAMES, apply_policy
 from repro.core.factory import SYSTEM_NAMES
 from repro.engine import ENGINE_NAMES
 from repro.experiments import figure5, figure6, figure7, figure8
@@ -122,6 +125,7 @@ def _registry_listing() -> Dict[str, List[str]]:
         "workloads": list(list_workloads()),
         "systems": list(SYSTEM_NAMES),
         "placements": list(PLACEMENT_NAMES),
+        "policies": list(POLICY_NAMES),
         "scenarios": list(SCENARIOS.names()),
         "engines": list(ENGINE_NAMES),
     }
@@ -135,12 +139,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("workloads: " + ", ".join(listing["workloads"]))
     print("systems:   " + ", ".join(listing["systems"]))
     print("placement: " + ", ".join(listing["placements"]))
+    print("policies:  " + ", ".join(listing["policies"]))
     print("scenarios: " + ", ".join(listing["scenarios"]))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = base_config(seed=args.seed).with_placement(args.placement)
+    if getattr(args, "policy", None):
+        cfg = apply_policy(cfg, args.policy)
     trace = get_workload(args.app, machine=cfg.machine, scale=args.scale,
                          seed=args.seed)
     with _make_runner(args) as runner:
@@ -180,13 +187,46 @@ def _render_scenario(scenario: Scenario, rs: ResultSet) -> str:
     return default_render(rs)
 
 
+def _policy_configs(scenario: Scenario, policy: str):
+    """The scenario's config axis with every entry forced to ``policy``.
+
+    Entries may be ready configurations or ``seed -> config`` factories;
+    both are mapped through :func:`repro.core.decisions.apply_policy`
+    (which selects the name only for the roles the family supports) so
+    ``repro exp <scenario> --policy competitive`` reruns any scenario
+    under the named decision policy.
+
+    Scenarios whose config axis *already* selects policies (the axis
+    keys are policy names, e.g. ``policy-adaptivity``/``sweep-policy``)
+    are rejected: forcing one policy would collapse their axis into
+    identical configs still labeled with the original policy names —
+    a mislabeled, self-normalized table.
+    """
+    from repro.registry import POLICIES
+    if any(isinstance(key, str) and key in POLICIES
+           for key in scenario.configs):
+        raise ValueError(
+            f"scenario {scenario.name!r} already compares decision "
+            "policies on its config axis; rerun without --policy (or use "
+            "`repro sweep policy --values ...` to pick the set)")
+    def apply(entry):
+        if isinstance(entry, SimulationConfig):
+            return apply_policy(entry, policy)
+        return lambda seed, e=entry: apply_policy(e(seed), policy)
+    return {key: apply(entry) for key, entry in scenario.configs.items()}
+
+
 def _run_exp(args: argparse.Namespace, name: str) -> ResultSet:
     """Execute a scenario with the axis overrides given on the CLI."""
+    policy = getattr(args, "policy", None)
+    configs = (_policy_configs(SCENARIOS.resolve(name), policy)
+               if policy else None)
     with _make_runner(args) as runner:
         return run_scenario(
             name,
             apps=getattr(args, "apps", None),
             systems=getattr(args, "systems", None),
+            configs=configs,
             scale=getattr(args, "scale", None),
             seed=getattr(args, "seed", None),
             runner=runner,
@@ -199,6 +239,10 @@ def _cmd_exp(args: argparse.Namespace) -> int:
         rs = _run_exp(args, scenario.name)
     except UnknownNameError as exc:
         # unknown scenario, or an unknown name in --apps/--systems
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # e.g. --policy on a scenario that already compares policies
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(_render_scenario(scenario, rs))
@@ -283,6 +327,7 @@ _SWEEPS: Dict[str, Callable[..., SweepResult]] = {
     "network-latency": network_latency_sweep,
     "page-cache": page_cache_sweep,
     "placement": placement_sweep,
+    "policy": policy_sweep,
 }
 
 _SWEEP_DEFAULT_VALUES: Dict[str, List[object]] = {
@@ -291,11 +336,12 @@ _SWEEP_DEFAULT_VALUES: Dict[str, List[object]] = {
     "network-latency": [1.0, 2.0, 4.0, 8.0],
     "page-cache": [0.25, 0.5, 1.0, 2.0],
     "placement": None,  # resolved from the live placement registry
+    "policy": None,     # resolved from the live policy registry
 }
 
 
 def _parse_sweep_value(sweep: str, text: str) -> object:
-    if sweep == "placement":
+    if sweep in ("placement", "policy"):
         return text
     if sweep in ("network-latency", "page-cache"):
         return float(text)
@@ -305,9 +351,12 @@ def _parse_sweep_value(sweep: str, text: str) -> object:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep_fn = _SWEEPS[args.sweep]
     apps = args.apps or ["barnes", "lu", "radix"]
-    default_values = (_SWEEP_DEFAULT_VALUES[args.sweep]
-                      if _SWEEP_DEFAULT_VALUES[args.sweep] is not None
-                      else list(PLACEMENT_NAMES))
+    if _SWEEP_DEFAULT_VALUES[args.sweep] is not None:
+        default_values = _SWEEP_DEFAULT_VALUES[args.sweep]
+    elif args.sweep == "policy":
+        default_values = list(POLICY_NAMES)
+    else:
+        default_values = list(PLACEMENT_NAMES)
     values = ([_parse_sweep_value(args.sweep, v) for v in args.values]
               if args.values else default_values)
     with _make_runner(args) as runner:
@@ -355,7 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_p = sub.add_parser(
-        "list", help="list workloads, systems, placements and scenarios")
+        "list",
+        help="list workloads, systems, placements, policies and scenarios")
     list_p.add_argument("--json", action="store_true",
                         help="print the listing as JSON")
 
@@ -364,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("system", choices=SYSTEM_NAMES)
     run_p.add_argument("--placement", choices=PLACEMENT_NAMES,
                        default="first-touch")
+    run_p.add_argument("--policy", choices=POLICY_NAMES, default=None,
+                       help="decision policy for page operations "
+                            "(default: static-threshold)")
     _add_common(run_p, apps=False)
 
     exp_p = sub.add_parser(
@@ -377,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated application axis override")
     exp_p.add_argument("--systems", type=_csv_list, default=None,
                        help="comma-separated system axis override")
+    exp_p.add_argument("--policy", choices=POLICY_NAMES, default=None,
+                       help="run every config of the scenario under this "
+                            "decision policy")
     exp_p.add_argument("--jobs", "-j", type=int, default=None,
                        help="worker processes (default: REPRO_JOBS or 1)")
     exp_p.add_argument("--engine", choices=ENGINE_NAMES, default=None,

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 class ConfigError(ValueError):
@@ -311,9 +311,37 @@ class CostModel:
 # ---------------------------------------------------------------------------
 
 
+def canonical_policy_args(value: object) -> "Tuple[Tuple[str, Any], ...]":
+    """Canonicalize policy kwargs to a sorted tuple of (name, value) pairs.
+
+    Accepts a mapping or any iterable of pairs; the canonical tuple form
+    keeps the (frozen, hashable) dataclasses hashable and makes two
+    configurations with the same arguments compare/digest equal
+    regardless of how the arguments were spelled.  Shared by
+    :class:`ThresholdConfig` and :class:`repro.core.factory.SystemSpec`.
+
+    Raises :class:`ConfigError` for non-scalar argument values (they
+    must survive hashing, pickling to workers and repr-based digests).
+    """
+    if isinstance(value, Mapping):
+        items = list(value.items())
+    else:
+        items = [tuple(pair) for pair in value]  # type: ignore[union-attr]
+    seen: "Dict[str, Any]" = {}
+    for k, v in items:
+        key = str(k)
+        if key in seen:
+            raise ConfigError(f"duplicate policy argument {key!r}")
+        if not isinstance(v, (int, float, str, bool, type(None))):
+            raise ConfigError(
+                f"policy arguments must be scalars, got {v!r}")
+        seen[key] = v
+    return tuple(sorted(seen.items()))
+
+
 @dataclass(frozen=True)
 class ThresholdConfig:
-    """Thresholds governing page operations.
+    """Thresholds and decision-policy selection governing page operations.
 
     ``migrep_threshold``
         Miss-count threshold for page migration/replication (800 in the
@@ -330,6 +358,17 @@ class ThresholdConfig:
     ``scale``
         Multiplicative scaling applied to every threshold to adapt them to
         the shorter synthetic traces; ratios are preserved.
+    ``migrep_policy`` / ``rnuma_policy``
+        Names of the decision policies (looked up in the open
+        :data:`repro.registry.POLICIES` registry at machine-build time)
+        evaluated by the MigRep home side and the R-NUMA requester side.
+        The default, ``"static-threshold"``, is the paper's fixed-counter
+        rule driven by the thresholds above.
+    ``migrep_policy_args`` / ``rnuma_policy_args``
+        Extra keyword arguments for the selected policy's factory (e.g.
+        ``{"beta": 1.5}`` for ``"competitive"``).  Stored canonically as
+        a sorted tuple of ``(name, value)`` pairs; a mapping passed in is
+        converted automatically.
     """
 
     migrep_threshold: int = 800
@@ -337,6 +376,10 @@ class ThresholdConfig:
     rnuma_threshold: int = 32
     hybrid_relocation_delay: int = 32000
     scale: float = 1.0
+    migrep_policy: str = "static-threshold"
+    rnuma_policy: str = "static-threshold"
+    migrep_policy_args: Tuple[Tuple[str, Any], ...] = ()
+    rnuma_policy_args: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.migrep_threshold <= 0:
@@ -349,6 +392,23 @@ class ThresholdConfig:
             raise ConfigError("hybrid_relocation_delay must be non-negative")
         if self.scale <= 0:
             raise ConfigError("scale must be positive")
+        for name in ("migrep_policy", "rnuma_policy"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value.strip():
+                raise ConfigError(f"{name} must be a non-empty policy name")
+        for name in ("migrep_policy_args", "rnuma_policy_args"):
+            object.__setattr__(self, name,
+                               canonical_policy_args(getattr(self, name)))
+
+    @property
+    def migrep_policy_kwargs(self) -> Dict[str, Any]:
+        """The MigRep policy arguments as a plain keyword dictionary."""
+        return dict(self.migrep_policy_args)
+
+    @property
+    def rnuma_policy_kwargs(self) -> Dict[str, Any]:
+        """The R-NUMA policy arguments as a plain keyword dictionary."""
+        return dict(self.rnuma_policy_args)
 
     def _scaled(self, value: int, minimum: int = 1) -> int:
         return max(minimum, int(round(value * self.scale)))
@@ -456,6 +516,56 @@ class SimulationConfig:
 
     def with_placement(self, placement: str) -> "SimulationConfig":
         return replace(self, placement=placement)
+
+    def with_policies(self, migrep: Optional[str] = None,
+                      rnuma: Optional[str] = None, *,
+                      migrep_args: Optional[Mapping[str, Any]] = None,
+                      rnuma_args: Optional[Mapping[str, Any]] = None
+                      ) -> "SimulationConfig":
+        """Return a copy selecting named page-operation decision policies.
+
+        Parameters
+        ----------
+        migrep / rnuma:
+            Policy names for the MigRep home side and the R-NUMA
+            requester side (see :data:`repro.core.decisions.POLICY_NAMES`);
+            ``None`` keeps the current selection.
+        migrep_args / rnuma_args:
+            Keyword arguments for the selected policy's factory.
+            ``None`` keeps the current arguments — unless the role's
+            policy *name* is being changed, in which case the old
+            family's arguments are cleared (they belong to the previous
+            family and would be meaningless or invalid for the new one).
+
+        Examples
+        --------
+        >>> cfg = SimulationConfig().with_policies("competitive",
+        ...                                        migrep_args={"beta": 1.5})
+        >>> cfg.thresholds.migrep_policy
+        'competitive'
+        >>> cfg.thresholds.migrep_policy_kwargs
+        {'beta': 1.5}
+        >>> cfg.thresholds.rnuma_policy
+        'static-threshold'
+        >>> cfg.with_policies("hysteresis").thresholds.migrep_policy_kwargs
+        {}
+        """
+        updates: Dict[str, Any] = {}
+        if migrep is not None:
+            updates["migrep_policy"] = migrep
+            if migrep_args is None and migrep != self.thresholds.migrep_policy:
+                updates["migrep_policy_args"] = ()
+        if rnuma is not None:
+            updates["rnuma_policy"] = rnuma
+            if rnuma_args is None and rnuma != self.thresholds.rnuma_policy:
+                updates["rnuma_policy_args"] = ()
+        if migrep_args is not None:
+            updates["migrep_policy_args"] = canonical_policy_args(migrep_args)
+        if rnuma_args is not None:
+            updates["rnuma_policy_args"] = canonical_policy_args(rnuma_args)
+        if not updates:
+            return self
+        return replace(self, thresholds=replace(self.thresholds, **updates))
 
 
 def reduced_machine() -> MachineConfig:

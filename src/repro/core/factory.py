@@ -49,8 +49,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
+from repro.config import ConfigError, canonical_policy_args
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.dram_cache import (
     DEFAULT_DRAM_CAPACITY_SCALE,
@@ -68,7 +69,7 @@ from repro.registry import SYSTEMS, NamesView, register_system
 class SystemSpec:
     """A named, buildable system configuration.
 
-    Attributes
+    Parameters
     ----------
     name:
         Canonical system name (one of :data:`SYSTEM_NAMES`).
@@ -87,8 +88,32 @@ class SystemSpec:
         Multiplier applied to the configured block-cache capacity
         (1.0 for every paper system; 8.0 for the DRAM block-cache
         ablation).
-    uses_page_cache:
-        Whether the machine must construct page caches for this system.
+    migrep_policy / rnuma_policy:
+        Optional decision-policy names (see
+        :data:`repro.core.decisions.POLICY_NAMES`) overriding the
+        configuration's ``thresholds.migrep_policy`` /
+        ``thresholds.rnuma_policy`` selection for this system only.
+        ``None`` (the default) defers to the configuration.
+    policy_args:
+        Extra keyword arguments for the overriding policies' factories,
+        stored canonically as a sorted tuple of ``(name, value)`` pairs
+        (a mapping passed in is converted).  Applied only to the roles
+        this spec actually overrides.  Because there is one argument bag,
+        a spec overriding *both* roles with *different* families while
+        supplying ``policy_args`` is rejected (one family's knobs would
+        be fed to the other family's factory) — use
+        ``ThresholdConfig.migrep_policy_args`` / ``rnuma_policy_args``
+        for per-role arguments instead.
+
+    Examples
+    --------
+    >>> spec = build_system("rnuma")
+    >>> spec.label
+    'R-NUMA'
+    >>> spec.uses_page_cache
+    True
+    >>> build_system("ccnuma").uses_page_cache
+    False
     """
 
     name: str
@@ -98,23 +123,73 @@ class SystemSpec:
     page_cache_fraction: Optional[float] = None
     infinite_page_cache: bool = False
     block_cache_scale: float = 1.0
+    migrep_policy: Optional[str] = None
+    rnuma_policy: Optional[str] = None
+    policy_args: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy_args",
+                           canonical_policy_args(self.policy_args))
+        if self.policy_args:
+            if self.migrep_policy is None and self.rnuma_policy is None:
+                raise ConfigError(
+                    f"system {self.name!r} supplies policy_args but "
+                    "overrides no policy; they would be silently ignored "
+                    "— set migrep_policy/rnuma_policy on the spec, or use "
+                    "ThresholdConfig.migrep_policy_args / "
+                    "rnuma_policy_args to tune a config-selected policy")
+            if (self.migrep_policy and self.rnuma_policy
+                    and self.migrep_policy != self.rnuma_policy):
+                raise ConfigError(
+                    f"system {self.name!r} overrides both roles with "
+                    f"different policies ({self.migrep_policy!r} / "
+                    f"{self.rnuma_policy!r}) but supplies one shared "
+                    "policy_args bag; use "
+                    "ThresholdConfig.migrep_policy_args / "
+                    "rnuma_policy_args for per-role arguments")
 
     @property
     def uses_page_cache(self) -> bool:
+        """Whether the machine must construct page caches for this system."""
         return self.infinite_page_cache or self.page_cache_fraction is not None
 
     def derive(self, name: str, *, label: Optional[str] = None,
                **overrides) -> "SystemSpec":
         """Return a variant of this spec under a new name.
 
-        ``overrides`` are any other :class:`SystemSpec` fields; the label
-        defaults to the new name.  This is how the registry declares
-        families like ``rnuma`` / ``rnuma-half`` / ``rnuma-inf``, and how
-        user code mints new design points without touching the package::
+        Parameters
+        ----------
+        name:
+            Name of the new spec (register it to make it buildable).
+        label:
+            Figure-legend label; defaults to ``name``.
+        **overrides:
+            Any other :class:`SystemSpec` fields — cache geometry
+            (``page_cache_fraction=0.25``), a different
+            ``protocol_factory``, or decision-policy overrides
+            (``migrep_policy="competitive"``, ``policy_args={...}``).
 
-            rnuma_quarter = build_system("rnuma").derive(
-                "rnuma-quarter", label="R-NUMA-1/4",
-                page_cache_fraction=0.25)
+        Returns
+        -------
+        SystemSpec
+            A new frozen spec; the original is unchanged.
+
+        Examples
+        --------
+        This is how the registry declares families like ``rnuma`` /
+        ``rnuma-half`` / ``rnuma-inf``, and how user code mints new
+        design points without touching the package:
+
+        >>> quarter = build_system("rnuma").derive(
+        ...     "rnuma-quarter", label="R-NUMA-1/4",
+        ...     page_cache_fraction=0.25)
+        >>> (quarter.name, quarter.label, quarter.page_cache_fraction)
+        ('rnuma-quarter', 'R-NUMA-1/4', 0.25)
+        >>> adaptive = build_system("migrep").derive(
+        ...     "migrep-ski", migrep_policy="competitive",
+        ...     policy_args={"beta": 2.0})
+        >>> adaptive.policy_args
+        (('beta', 2.0),)
         """
         return dataclasses.replace(self, name=name,
                                    label=label if label is not None else name,
@@ -179,7 +254,33 @@ PAPER_SYSTEM_NAMES = (
 def build_system(name: str) -> SystemSpec:
     """Return the :class:`SystemSpec` registered under ``name``.
 
-    Raises :class:`repro.registry.UnknownNameError` (a ``ValueError``)
-    with the list of valid names and a did-you-mean suggestion for typos.
+    Parameters
+    ----------
+    name:
+        A registered system name (case-insensitive; see
+        :data:`SYSTEM_NAMES`).
+
+    Returns
+    -------
+    SystemSpec
+        The registered spec (not a copy: specs are frozen).
+
+    Raises
+    ------
+    repro.registry.UnknownNameError
+        A ``ValueError`` listing the valid names, with a did-you-mean
+        suggestion for typos.
+
+    Examples
+    --------
+    >>> build_system("rnuma").label
+    'R-NUMA'
+    >>> build_system("RNUMA").name     # lookups are case-insensitive
+    'rnuma'
+    >>> build_system("rnumma")   # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.registry.UnknownNameError: unknown system 'rnumma' — did you \
+mean 'rnuma'?...
     """
     return SYSTEMS.resolve(name)

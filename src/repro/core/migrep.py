@@ -21,11 +21,11 @@ with one of the two mechanisms disabled.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.counters import MigRepCounters
-from repro.core.decisions import MigRepDecision, MigRepPolicy
+from repro.core.decisions import MigRepDecision, MigRepPolicy, resolve_policy
 from repro.core.protocol import _DEPARTED_INVALIDATED
 from repro.interconnect.message import MessageType
 from repro.kernel.faults import FaultKind
@@ -38,19 +38,28 @@ class MigRepProtocol(CCNUMAProtocol):
 
     name = "migrep"
 
-    def __init__(self, machine, *, enable_migration: bool = True,
-                 enable_replication: bool = True) -> None:
+    def __init__(self, machine, *, enable_migration: Optional[bool] = None,
+                 enable_replication: Optional[bool] = None,
+                 policy=None) -> None:
         super().__init__(machine)
         thresholds = self.cfg.thresholds
         self.counters = MigRepCounters(
             num_nodes=self.cfg.machine.num_nodes,
             reset_interval=thresholds.effective_migrep_reset_interval,
         )
-        self.policy = MigRepPolicy(
-            threshold=thresholds.effective_migrep_threshold,
-            enable_migration=enable_migration,
-            enable_replication=enable_replication,
-        )
+        # resolved through the open POLICIES registry: an explicit policy
+        # object/name wins, then the system spec's override, then the
+        # config's thresholds.migrep_policy (default: the paper's
+        # static-threshold rule, bit-identical to the closed version).
+        # Only explicitly-given enable flags are forwarded, so the "mig"/
+        # "rep" factories stay authoritative while config-level policy
+        # args are not clobbered by constructor defaults.
+        flags = {k: v for k, v in (("enable_migration", enable_migration),
+                                   ("enable_replication", enable_replication))
+                 if v is not None}
+        self.policy = resolve_policy(
+            "migrep", self.cfg, spec=getattr(machine, "system", None),
+            policy=policy, **flags)
         self.engine = MigrationEngine(
             addr=self.addr,
             costs=self.costs,
@@ -61,11 +70,15 @@ class MigRepProtocol(CCNUMAProtocol):
             block_caches=self.block_caches,
             l1_caches=machine.l1_by_node,
         )
-        # pre-bound for the per-miss fast path
+        # pre-bound for the per-miss fast path; the inlined decision body
+        # in _service_remote_page is only valid for the exact static
+        # policy, so any other policy takes the generic evaluate() path
         self._record_miss = self.counters.record_miss
-        self._mr_threshold = self.policy.threshold
-        self._mr_migration = self.policy.enable_migration
-        self._mr_replication = self.policy.enable_replication
+        self._mr_static = type(self.policy) is MigRepPolicy
+        if self._mr_static:
+            self._mr_threshold = self.policy.threshold
+            self._mr_migration = self.policy.enable_migration
+            self._mr_replication = self.policy.enable_replication
 
     # ------------------------------------------------------------------ page-op helpers
 
@@ -161,6 +174,16 @@ class MigRepProtocol(CCNUMAProtocol):
             # the entry of this method is still the live record: page
             # operations mutate records in place, never replace them.
             if rec is None or node not in rec.replicas:
+                if not self._mr_static:
+                    # the guard above already established this is not a
+                    # replica request; dispatch the decision directly
+                    decision = self.policy.evaluate(
+                        counters, page, node, home, is_replica_request=False)
+                    if decision is MigRepDecision.REPLICATE:
+                        pageop += self._perform_replication(page, node, now)
+                    elif decision is MigRepDecision.MIGRATE:
+                        pageop += self._perform_migration(page, node, now)
+                    return latency, pageop, version, remote
                 read_row = counters._read.get(page)
                 write_row = counters._write.get(page)
                 decided = False
@@ -249,8 +272,12 @@ class MigRepProtocol(CCNUMAProtocol):
 
     def describe(self) -> str:
         parts = []
-        if self.policy.enable_migration:
+        if getattr(self.policy, "enable_migration", True):
             parts.append("migration")
-        if self.policy.enable_replication:
+        if getattr(self.policy, "enable_replication", True):
             parts.append("replication")
-        return "CC-NUMA + " + "/".join(parts) if parts else "CC-NUMA"
+        base = "CC-NUMA + " + "/".join(parts) if parts else "CC-NUMA"
+        policy_name = getattr(self.policy, "name", "")
+        if policy_name and policy_name != "static-threshold":
+            base += f" [{policy_name} policy]"
+        return base

@@ -19,11 +19,11 @@ capacity handed to the machine: ``rnuma`` (2.4 MB), ``rnuma-half``
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.counters import RefetchCounters
-from repro.core.decisions import RNUMAPolicy
+from repro.core.decisions import RNUMAPolicy, resolve_policy
 from repro.kernel.faults import FaultKind
 from repro.kernel.relocation import RelocationEngine
 from repro.mem.page_table import PageMode
@@ -38,15 +38,20 @@ class RNUMAProtocol(CCNUMAProtocol):
 
     name = "rnuma"
 
-    def __init__(self, machine, *, relocation_delay: int = 0) -> None:
+    def __init__(self, machine, *, relocation_delay: Optional[int] = None,
+                 policy=None) -> None:
         super().__init__(machine)
-        thresholds = self.cfg.thresholds
         num_nodes = self.cfg.machine.num_nodes
         self.refetch_counters = [RefetchCounters() for _ in range(num_nodes)]
-        self.policy = RNUMAPolicy(
-            threshold=thresholds.effective_rnuma_threshold,
-            relocation_delay=relocation_delay,
-        )
+        # resolved through the open POLICIES registry (explicit policy >
+        # system-spec override > thresholds.rnuma_policy; the default
+        # builds the paper's static refetch-threshold rule).  The delay
+        # is forwarded only when a caller (the hybrid) supplied one.
+        delay = ({} if relocation_delay is None
+                 else {"relocation_delay": relocation_delay})
+        self.policy = resolve_policy(
+            "rnuma", self.cfg, spec=getattr(machine, "system", None),
+            policy=policy, **delay)
         self.engine = RelocationEngine(
             addr=self.addr,
             costs=self.costs,
@@ -75,7 +80,9 @@ class RNUMAProtocol(CCNUMAProtocol):
         """Relocate ``page`` on ``node`` if its refetch counter warrants it."""
         counters = self.refetch_counters[node]
         total = self._page_miss_totals.get(page, 0)
-        if not self.policy.should_relocate(counters, page, page_total_misses=total):
+        if not self.policy.should_relocate(counters, page,
+                                           page_total_misses=total,
+                                           node=node):
             return 0
         outcome = self.engine.relocate(node, page, now)
         counters.clear(page)

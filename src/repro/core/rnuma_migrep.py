@@ -27,10 +27,11 @@ cache).
 
 from __future__ import annotations
 
-from typing import Tuple
+import warnings
+from typing import Optional, Tuple
 
 from repro.core.counters import MigRepCounters
-from repro.core.decisions import MigRepDecision, MigRepPolicy
+from repro.core.decisions import MigRepDecision, resolve_policy
 from repro.core.rnuma import RNUMAProtocol
 from repro.kernel.faults import FaultKind
 from repro.kernel.migration import MigrationEngine
@@ -42,20 +43,43 @@ class RNUMAMigRepProtocol(RNUMAProtocol):
 
     name = "rnuma-migrep"
 
-    def __init__(self, machine, *, enable_migration: bool = True,
-                 enable_replication: bool = True) -> None:
+    def __init__(self, machine, *, enable_migration: Optional[bool] = None,
+                 enable_replication: Optional[bool] = None,
+                 migrep_policy=None, rnuma_policy=None) -> None:
         thresholds = machine.cfg.thresholds
+        # a ready rnuma-policy *instance* is used verbatim (it must bake
+        # in its own relocation delay); the hybrid's delayed-relocation
+        # budget applies when the policy is resolved by name
+        ready_rnuma = (rnuma_policy is not None
+                       and not isinstance(rnuma_policy, str))
+        if (ready_rnuma
+                and not getattr(rnuma_policy, "relocation_delay", 0)
+                and thresholds.effective_hybrid_delay):
+            warnings.warn(
+                "RNUMAMigRepProtocol received a ready rnuma policy with "
+                "relocation_delay=0; the hybrid's delayed-relocation "
+                "budget (Section 6.4 counter-interference mitigation) is "
+                "disabled — bake a delay into the instance (e.g. "
+                "thresholds.effective_hybrid_delay) if that is not "
+                "intended", stacklevel=2)
         super().__init__(machine,
-                         relocation_delay=thresholds.effective_hybrid_delay)
+                         relocation_delay=(None if ready_rnuma else
+                                           thresholds.effective_hybrid_delay),
+                         policy=rnuma_policy)
         self.migrep_counters = MigRepCounters(
             num_nodes=self.cfg.machine.num_nodes,
             reset_interval=thresholds.effective_migrep_reset_interval,
         )
-        self.migrep_policy = MigRepPolicy(
-            threshold=thresholds.effective_migrep_threshold,
-            enable_migration=enable_migration,
-            enable_replication=enable_replication,
-        )
+        # same resolution order as MigRepProtocol (registry-driven, only
+        # explicit enable flags forwarded); the hybrid always consults
+        # the generic evaluate() hook, so every registered migrep policy
+        # composes with delayed relocation
+        flags = {k: v for k, v in (("enable_migration", enable_migration),
+                                   ("enable_replication", enable_replication))
+                 if v is not None}
+        self.migrep_policy = resolve_policy(
+            "migrep", self.cfg, spec=getattr(machine, "system", None),
+            policy=migrep_policy, **flags)
         self.migration_engine = MigrationEngine(
             addr=self.addr,
             costs=self.costs,

@@ -160,6 +160,36 @@ class ResultSet:
     miss breakdown, page-operation counts, per-node rates).  Baseline
     runs are included with ``is_baseline=True`` so derived tables can
     reach their raw numbers.
+
+    Parameters
+    ----------
+    scenario / title:
+        Name and headline of the scenario that produced the rows.
+    rows:
+        The flat result rows.
+    series:
+        Ordered non-baseline series labels (legend order).
+    axes:
+        The resolved axis values (``{"app": (...), "system": (...)}``).
+    baseline:
+        Name of the normalisation system, or ``None``.
+
+    Examples
+    --------
+    >>> rs = ResultSet("demo", "Demo", [
+    ...     {"app": "lu", "system": "rnuma", "series": "rnuma",
+    ...      "normalized_time": 1.5},
+    ...     {"app": "lu", "system": "perfect", "series": "perfect",
+    ...      "normalized_time": 1.0, "is_baseline": True},
+    ... ], series=("rnuma",), baseline="perfect")
+    >>> len(rs)
+    2
+    >>> rs.only(app="lu", system="rnuma")["normalized_time"]
+    1.5
+    >>> rs.figure_data()
+    {'lu': {'rnuma': 1.5}}
+    >>> rs.mean()
+    {'rnuma': 1.5}
     """
 
     def __init__(self, scenario: str, title: str,
@@ -187,14 +217,58 @@ class ResultSet:
     # -- selection ----------------------------------------------------------
 
     def filter(self, **selectors: object) -> "ResultSet":
-        """Rows matching every ``column=value`` selector, as a new ResultSet."""
+        """Rows matching every ``column=value`` selector, as a new ResultSet.
+
+        Parameters
+        ----------
+        **selectors:
+            Column/value equality constraints, combined with AND.
+
+        Returns
+        -------
+        ResultSet
+            A new set sharing this one's metadata (series, axes,
+            baseline) with only the matching rows.
+
+        Examples
+        --------
+        >>> rs = ResultSet("d", "D", [{"app": "lu"}, {"app": "ocean"}])
+        >>> [r["app"] for r in rs.filter(app="lu")]
+        ['lu']
+        """
         rows = [r for r in self.rows
                 if all(r.get(k) == v for k, v in selectors.items())]
         return ResultSet(self.scenario, self.title, rows, series=self.series,
                          axes=self.axes, baseline=self.baseline)
 
     def only(self, **selectors: object) -> Dict[str, object]:
-        """The single row matching the selectors (raises if not exactly one)."""
+        """The single row matching the selectors.
+
+        Parameters
+        ----------
+        **selectors:
+            Column/value constraints, as for :meth:`filter`.
+
+        Returns
+        -------
+        dict
+            The one matching row.
+
+        Raises
+        ------
+        ValueError
+            When zero or more than one row matches.
+
+        Examples
+        --------
+        >>> rs = ResultSet("d", "D", [{"app": "lu"}, {"app": "ocean"}])
+        >>> rs.only(app="ocean")
+        {'app': 'ocean'}
+        >>> rs.only(app="fft")
+        Traceback (most recent call last):
+            ...
+        ValueError: expected exactly one row for {'app': 'fft'}, found 0
+        """
         rows = self.filter(**selectors).rows
         if len(rows) != 1:
             raise ValueError(f"expected exactly one row for {selectors}, "
@@ -206,7 +280,29 @@ class ResultSet:
     def pivot(self, index: str = "app", columns: str = "series",
               values: str = "normalized_time", *,
               include_baseline: bool = False) -> Dict[object, Dict[object, object]]:
-        """Nest rows as ``{index: {column: value}}`` in row order."""
+        """Nest rows as ``{index: {column: value}}`` in row order.
+
+        Parameters
+        ----------
+        index / columns / values:
+            Row columns providing the outer key, inner key and cell
+            value respectively.
+        include_baseline:
+            Keep rows flagged ``is_baseline`` (dropped by default).
+
+        Returns
+        -------
+        dict of dict
+            The nested shape; later rows overwrite earlier ones on key
+            collisions.
+
+        Examples
+        --------
+        >>> rs = ResultSet("d", "D", [
+        ...     {"app": "lu", "series": "rnuma", "normalized_time": 1.5}])
+        >>> rs.pivot()
+        {'lu': {'rnuma': 1.5}}
+        """
         out: Dict[object, Dict[object, object]] = {}
         for row in self.rows:
             if not include_baseline and row.get("is_baseline"):
@@ -220,7 +316,21 @@ class ResultSet:
 
     def mean(self, values: str = "normalized_time",
              by: str = "series") -> Dict[object, float]:
-        """Mean of ``values`` grouped by ``by`` (baseline rows excluded)."""
+        """Mean of ``values`` grouped by ``by``.
+
+        Parameters
+        ----------
+        values:
+            Numeric column to average; rows where it is ``None`` are
+            skipped, as are baseline rows.
+        by:
+            Grouping column.
+
+        Returns
+        -------
+        dict
+            ``{group: arithmetic mean}`` in first-seen group order.
+        """
         sums: Dict[object, List[float]] = {}
         for row in self.rows:
             if row.get("is_baseline") or row.get(values) is None:
@@ -232,6 +342,22 @@ class ResultSet:
                   against: str = "perfect",
                   into: str = "renormalized") -> "ResultSet":
         """Derive ``into`` = ``column`` / baseline ``column`` per cell group.
+
+        Parameters
+        ----------
+        column:
+            Numeric column to normalize (any metric column works, e.g.
+            ``"remote_misses"``).
+        against:
+            System name providing the denominator row.
+        into:
+            Name of the derived column added to every row.
+
+        Returns
+        -------
+        ResultSet
+            A new set whose rows carry the extra column (``None`` when
+            no denominator row exists for a group).
 
         The baseline row is the one whose ``system`` equals ``against``
         within the same (app, scale, seed) group and — when the scenario
@@ -309,12 +435,44 @@ def default_render(rs: ResultSet) -> str:
 
 
 def get_scenario(name: str) -> Scenario:
-    """Resolve a registered scenario by name (ValueError with suggestion)."""
+    """Resolve a registered scenario by name.
+
+    Parameters
+    ----------
+    name:
+        A registered scenario name (case-insensitive).
+
+    Returns
+    -------
+    Scenario
+        The registered (frozen) scenario.
+
+    Raises
+    ------
+    repro.registry.UnknownNameError
+        A ``ValueError`` with a did-you-mean suggestion.
+
+    Examples
+    --------
+    >>> get_scenario("figure5").baseline
+    'perfect'
+    """
     return SCENARIOS.resolve(name)
 
 
 def list_scenarios() -> Tuple[str, ...]:
-    """Names of every registered scenario."""
+    """Names of every registered scenario, in registration order.
+
+    Returns
+    -------
+    tuple of str
+        Built-in scenarios first, then user registrations.
+
+    Examples
+    --------
+    >>> "figure5" in list_scenarios()
+    True
+    """
     return SCENARIOS.names()
 
 
@@ -352,14 +510,30 @@ def run_scenario(scenario: Union[str, Scenario], *,
                  runner: Optional[SweepRunner] = None) -> ResultSet:
     """Execute ``scenario`` and return its :class:`ResultSet`.
 
-    ``scenario`` may be a registered name or a :class:`Scenario` object.
-    The keyword arguments override the corresponding axes at run time:
+    Parameters
+    ----------
+    scenario:
+        A registered name or a :class:`Scenario` object.
+    apps / systems:
+        Replace the corresponding axis values.
+    configs:
+        Replace the whole config axis (mapping of axis key to a
+        :class:`~repro.config.SimulationConfig` or ``seed -> config``
+        factory).
+    config:
+        Replace the *value* of a single-entry config axis (the common
+        "run the same plan under this configuration" case).
+    scale / seed:
+        Pin the scale/seed axes to one value.
+    runner:
+        A shared :class:`~repro.experiments.runner.SweepRunner`; a
+        private one is created (and closed) when omitted.
 
-    * ``apps`` / ``systems`` — replace the axis values,
-    * ``configs`` — replace the whole config axis,
-    * ``config`` — replace the *value* of a single-entry config axis
-      (the common "run the same plan under this configuration" case),
-    * ``scale`` / ``seed`` — pin the scale/seed axes to one value.
+    Returns
+    -------
+    ResultSet
+        One flat row per executed (app, system, config, scale, seed)
+        cell, baseline rows included.
 
     All cells are submitted to the runner as one batch, so the plan runs
     fully parallel under a multi-process :class:`SweepRunner` and repeated

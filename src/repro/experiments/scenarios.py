@@ -231,3 +231,41 @@ register_scenario(Scenario(
              for f in (0.25, 0.5, 1.0, 2.0)},
     default_scale=0.3,
 ))
+
+
+# ---------------------------------------------------------------------------
+# Decision-policy scenarios (the open POLICIES registry axis)
+# ---------------------------------------------------------------------------
+
+#: The built-in decision-policy families compared by the policy scenarios.
+POLICY_SCENARIO_POLICIES = ("static-threshold", "competitive", "hysteresis",
+                            "cost-model")
+
+
+def _policy_config(seed: int, name: str) -> SimulationConfig:
+    return base_config(seed=seed).with_policies(migrep=name, rnuma=name)
+
+
+register_scenario(Scenario(
+    name="policy-adaptivity",
+    title=("Policy adaptivity: static thresholds vs adaptive decision "
+           "policies (normalized to perfect CC-NUMA)"),
+    description=("the paper's static-threshold rule against the "
+                 "competitive/hysteresis/cost-model adaptive policies"),
+    systems=("migrep", "rnuma"),
+    configs={name: (lambda seed, n=name: _policy_config(seed, n))
+             for name in POLICY_SCENARIO_POLICIES},
+    baseline_config="static-threshold",
+    default_scale=0.3,
+))
+
+register_scenario(Scenario(
+    name="sweep-policy",
+    title="Sweep: page-operation decision policy",
+    description="every built-in decision policy on the ablation apps",
+    apps=ABLATION_APPS,
+    systems=("migrep", "rnuma"),
+    configs={name: (lambda seed, n=name: _policy_config(seed, n))
+             for name in POLICY_SCENARIO_POLICIES},
+    default_scale=0.3,
+))

@@ -11,9 +11,11 @@ single generic :class:`Registry` and four shared instances:
 * :data:`WORKLOADS` — workload-spec builders
   (``() -> repro.workloads.spec.WorkloadSpec``),
 * :data:`PLACEMENTS` — placement-policy constructors
-  (``(num_nodes) -> repro.kernel.placement.PlacementPolicy``), and
+  (``(num_nodes) -> repro.kernel.placement.PlacementPolicy``),
 * :data:`SCENARIOS` — declarative experiment plans
-  (:class:`repro.experiments.scenario.Scenario`).
+  (:class:`repro.experiments.scenario.Scenario`), and
+* :data:`POLICIES` — page-operation decision policies
+  (:class:`repro.core.decisions.PolicySpec`).
 
 User code registers new entries with the ``register_*`` decorators and
 the additions immediately appear in ``SYSTEM_NAMES``, ``repro list``,
@@ -93,6 +95,20 @@ class Registry(Mapping[str, T], Generic[T]):
     ``dict(registry)`` all behave as expected.  :meth:`resolve` is the
     lookup used by the public builders; it normalises the name and raises
     :class:`UnknownNameError` with a did-you-mean suggestion on a miss.
+
+    Examples
+    --------
+    >>> reg = Registry("color")
+    >>> reg.register("Red", "#f00")
+    '#f00'
+    >>> reg.resolve("red")          # lookups are case-insensitive
+    '#f00'
+    >>> "RED" in reg
+    True
+    >>> reg.names()
+    ('red',)
+    >>> len(reg)
+    1
     """
 
     def __init__(self, kind: str) -> None:
@@ -102,11 +118,45 @@ class Registry(Mapping[str, T], Generic[T]):
     # -- registration -------------------------------------------------------
 
     def register(self, name: str, obj: T, *, overwrite: bool = False) -> T:
-        """Register ``obj`` under ``name``; returns ``obj``.
+        """Register ``obj`` under ``name``.
 
-        Raises :class:`DuplicateNameError` when the name is taken, unless
-        ``overwrite=True`` (which replaces the entry in place, keeping its
-        original position in the registration order).
+        Parameters
+        ----------
+        name:
+            Registration key; normalised (stripped, lower-cased) before
+            storage, so later lookups are case-insensitive.
+        obj:
+            The object to register.
+        overwrite:
+            Replace an existing entry in place (keeping its original
+            position in the registration order) instead of raising.
+
+        Returns
+        -------
+        object
+            ``obj`` unchanged, so a registration composes as an
+            expression (and the ``register_*`` decorators can return the
+            decorated object).
+
+        Raises
+        ------
+        DuplicateNameError
+            When the name is taken and ``overwrite`` is False.
+        ValueError
+            When the name is empty.
+
+        Examples
+        --------
+        >>> reg = Registry("thing")
+        >>> reg.register("a", 1)
+        1
+        >>> reg.register("a", 2)
+        Traceback (most recent call last):
+            ...
+        repro.registry.DuplicateNameError: thing 'a' is already \
+registered; pass overwrite=True to replace it
+        >>> reg.register("a", 2, overwrite=True)
+        2
         """
         key = _normalize(name)
         if not key:
@@ -130,9 +180,33 @@ class Registry(Mapping[str, T], Generic[T]):
     def resolve(self, name: str) -> T:
         """Return the object registered under ``name`` (case-insensitive).
 
-        Raises :class:`UnknownNameError` — a ``ValueError`` — listing the
-        valid names and, when a near-miss exists, a "did you mean"
-        suggestion.
+        Parameters
+        ----------
+        name:
+            The name to look up; normalised like :meth:`register`.
+
+        Returns
+        -------
+        object
+            The registered object.
+
+        Raises
+        ------
+        UnknownNameError
+            A ``ValueError`` (and ``KeyError``) listing the valid names
+            and, when a near-miss exists, a "did you mean" suggestion.
+
+        Examples
+        --------
+        >>> reg = Registry("color")
+        >>> _ = reg.register("red", "#f00")
+        >>> reg.resolve("RED")
+        '#f00'
+        >>> reg.resolve("rad")
+        Traceback (most recent call last):
+            ...
+        repro.registry.UnknownNameError: unknown color 'rad' — did you \
+mean 'red'? (valid color names: red)
         """
         obj = self._entries.get(_normalize(name))
         if obj is None:
@@ -222,6 +296,9 @@ PLACEMENTS: Registry = Registry("placement policy")
 
 #: Declarative experiment plans (:class:`repro.experiments.scenario.Scenario`).
 SCENARIOS: Registry = Registry("scenario")
+
+#: Page-operation decision policies (:class:`repro.core.decisions.PolicySpec`).
+POLICIES: Registry = Registry("policy")
 
 
 # ---------------------------------------------------------------------------
@@ -333,3 +410,37 @@ def register_scenario(scenario=None, /, *, overwrite: bool = False):
     if scenario is None:
         return register
     return register(scenario)
+
+
+def register_policy(spec=None, /, *, overwrite: bool = False):
+    """Register a page-operation decision policy.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.core.decisions.PolicySpec` (or any object with a
+        ``name`` attribute and a ``build(role, config, **kwargs)``
+        method), or ``None`` when used as a decorator.
+    overwrite:
+        Replace an existing registration of the same name.
+
+    Returns
+    -------
+    object
+        The registered spec (so the call composes as an expression).
+
+    Works as a plain call (``register_policy(spec)``) or as a decorator
+    on a zero-argument builder function returning the spec
+    (``@register_policy`` above ``def my_policy() -> PolicySpec``).  The
+    registered name immediately appears in
+    :data:`repro.core.decisions.POLICY_NAMES`, ``repro list`` and the
+    ``--policy`` CLI options.
+    """
+    def register(obj):
+        built = obj() if callable(obj) and not hasattr(obj, "name") else obj
+        POLICIES.register(built.name, built, overwrite=overwrite)
+        return built
+
+    if spec is None:
+        return register
+    return register(spec)

@@ -34,7 +34,26 @@ Row = Mapping[str, object]
 
 def figure_to_rows(per_app: Mapping[str, Mapping[str, float]],
                    *, value_name: str = "normalized_time") -> List[Dict[str, object]]:
-    """Flatten ``{app: {system: value}}`` into one row per (app, system)."""
+    """Flatten ``{app: {system: value}}`` into one row per (app, system).
+
+    Parameters
+    ----------
+    per_app:
+        The nested figure shape every figure module produces.
+    value_name:
+        Column name the values land under.
+
+    Returns
+    -------
+    list of dict
+        Flat rows in app-major order, ready for :func:`to_csv` /
+        :func:`to_markdown`.
+
+    Examples
+    --------
+    >>> figure_to_rows({"lu": {"rnuma": 1.2}}, value_name="time")
+    [{'app': 'lu', 'system': 'rnuma', 'time': 1.2}]
+    """
     rows: List[Dict[str, object]] = []
     for app, by_system in per_app.items():
         for system, value in by_system.items():
@@ -53,7 +72,26 @@ def _fieldnames(rows: Sequence[Row], fieldnames: Optional[Sequence[str]]) -> Lis
 
 
 def to_csv(rows: Sequence[Row], *, fieldnames: Optional[Sequence[str]] = None) -> str:
-    """Render ``rows`` as CSV text (header + one line per row)."""
+    """Render ``rows`` as CSV text (header + one line per row).
+
+    Parameters
+    ----------
+    rows:
+        Mappings from column name to value; rows may have different key
+        sets (missing cells render empty).
+    fieldnames:
+        Explicit column order; defaults to first-seen order across rows.
+
+    Returns
+    -------
+    str
+        CSV text with a trailing newline.
+
+    Examples
+    --------
+    >>> to_csv([{"app": "lu", "time": 1.5}, {"app": "ocean"}])
+    'app,time\\nlu,1.5\\nocean,\\n'
+    """
     names = _fieldnames(rows, fieldnames)
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=names, extrasaction="ignore",
@@ -66,14 +104,47 @@ def to_csv(rows: Sequence[Row], *, fieldnames: Optional[Sequence[str]] = None) -
 
 def write_csv(rows: Sequence[Row], path: Union[str, Path], *,
               fieldnames: Optional[Sequence[str]] = None) -> Path:
-    """Write ``rows`` to ``path`` as CSV; returns the path."""
+    """Write ``rows`` to ``path`` as CSV.
+
+    Parameters
+    ----------
+    rows / fieldnames:
+        As for :func:`to_csv`.
+    path:
+        Destination file (created or overwritten, UTF-8).
+
+    Returns
+    -------
+    pathlib.Path
+        The path written, for chaining and log messages.
+    """
     path = Path(path)
     path.write_text(to_csv(rows, fieldnames=fieldnames), encoding="utf-8")
     return path
 
 
 def to_json(data: object, *, indent: int = 2) -> str:
-    """Render ``data`` as JSON, tolerating dataclass-like objects."""
+    """Render ``data`` as JSON, tolerating dataclass-like objects.
+
+    Parameters
+    ----------
+    data:
+        Any JSON-serialisable structure; objects providing ``as_dict()``
+        are converted through it, other objects fall back to their
+        public ``__dict__`` and finally ``str``.
+    indent:
+        Indentation width passed to :func:`json.dumps`.
+
+    Returns
+    -------
+    str
+        The JSON text (no trailing newline).
+
+    Examples
+    --------
+    >>> to_json({"a": 1}, indent=0)
+    '{\\n"a": 1\\n}'
+    """
     def default(obj: object) -> object:
         if hasattr(obj, "as_dict"):
             return obj.as_dict()  # type: ignore[union-attr]
@@ -84,7 +155,20 @@ def to_json(data: object, *, indent: int = 2) -> str:
 
 
 def write_json(data: object, path: Union[str, Path], *, indent: int = 2) -> Path:
-    """Write ``data`` to ``path`` as JSON; returns the path."""
+    """Write ``data`` to ``path`` as JSON (with a trailing newline).
+
+    Parameters
+    ----------
+    data / indent:
+        As for :func:`to_json`.
+    path:
+        Destination file (created or overwritten, UTF-8).
+
+    Returns
+    -------
+    pathlib.Path
+        The path written.
+    """
     path = Path(path)
     path.write_text(to_json(data, indent=indent) + "\n", encoding="utf-8")
     return path
@@ -101,7 +185,29 @@ def _fmt_cell(value: object, float_fmt: str) -> str:
 def to_markdown(rows: Sequence[Row], *,
                 fieldnames: Optional[Sequence[str]] = None,
                 float_fmt: str = "{:.2f}") -> str:
-    """Render ``rows`` as a GitHub-flavoured Markdown table."""
+    """Render ``rows`` as a GitHub-flavoured Markdown table.
+
+    Parameters
+    ----------
+    rows:
+        Mappings from column name to value.
+    fieldnames:
+        Explicit column order; defaults to first-seen order.
+    float_fmt:
+        Format string applied to float cells (booleans render yes/no).
+
+    Returns
+    -------
+    str
+        The Markdown table, or an empty string for no columns.
+
+    Examples
+    --------
+    >>> print(to_markdown([{"app": "lu", "ok": True, "t": 1.234}]))
+    | app | ok | t |
+    | --- | --- | --- |
+    | lu | yes | 1.23 |
+    """
     names = _fieldnames(rows, fieldnames)
     if not names:
         return ""
@@ -125,13 +231,37 @@ RESULTSET_FORMATS = ("csv", "json", "markdown", "chart")
 def render_resultset(rs, fmt: str = "markdown") -> str:
     """Render a :class:`~repro.experiments.scenario.ResultSet` as text.
 
-    ``fmt`` is one of :data:`RESULTSET_FORMATS`:
+    Parameters
+    ----------
+    rs:
+        The ResultSet to render.
+    fmt:
+        One of :data:`RESULTSET_FORMATS`:
 
-    * ``"csv"`` — the flat rows, one line per cell,
-    * ``"json"`` — the full artifact (metadata, axes, rows),
-    * ``"markdown"`` — the flat rows as a GitHub-flavoured table,
-    * ``"chart"`` — an ASCII grouped bar chart of the normalized times
-      (only meaningful for scenarios with a normalisation baseline).
+        * ``"csv"`` — the flat rows, one line per cell,
+        * ``"json"`` — the full artifact (metadata, axes, rows),
+        * ``"markdown"`` — the flat rows as a GitHub-flavoured table,
+        * ``"chart"`` — an ASCII grouped bar chart of the normalized
+          times (only meaningful for scenarios with a baseline).
+
+    Returns
+    -------
+    str
+        The rendered text.
+
+    Raises
+    ------
+    ValueError
+        For an unknown format, or ``"chart"`` without a baseline.
+
+    Examples
+    --------
+    >>> from repro.experiments.scenario import ResultSet
+    >>> rs = ResultSet("demo", "Demo", [{"app": "lu", "system": "rnuma"}])
+    >>> print(render_resultset(rs, "markdown"))
+    | app | system |
+    | --- | --- |
+    | lu | rnuma |
     """
     if fmt == "csv":
         return to_csv(rs.rows)
@@ -158,7 +288,18 @@ def export_resultset(rs, *, csv_path: Optional[Union[str, Path]] = None,
                      ) -> List[Path]:
     """Write a ResultSet to any combination of CSV/JSON/Markdown files.
 
-    Returns the list of paths written (in csv, json, markdown order).
+    Parameters
+    ----------
+    rs:
+        The ResultSet to export.
+    csv_path / json_path / markdown_path:
+        Destinations per format; ``None`` skips that format.
+
+    Returns
+    -------
+    list of pathlib.Path
+        The paths written, in (csv, json, markdown) order — the CLI
+        prints one ``wrote <path>`` line per entry.
     """
     written: List[Path] = []
     for path, fmt in ((csv_path, "csv"), (json_path, "json"),
@@ -177,8 +318,27 @@ def figure_to_markdown(per_app: Mapping[str, Mapping[str, float]],
                        float_fmt: str = "{:.2f}") -> str:
     """Render a figure's ``{app: {system: value}}`` data as a Markdown table.
 
-    One row per application, one column per system, in the given system
-    order (matching the paper's legend order).
+    Parameters
+    ----------
+    per_app:
+        The nested figure shape (see :func:`figure_to_rows`).
+    systems:
+        Column order (matching the paper's legend order); systems absent
+        from an app's mapping render as empty cells.
+    float_fmt:
+        Format string applied to float cells.
+
+    Returns
+    -------
+    str
+        One row per application, one column per system.
+
+    Examples
+    --------
+    >>> print(figure_to_markdown({"lu": {"rnuma": 1.234}}, ["rnuma"]))
+    | app | rnuma |
+    | --- | --- |
+    | lu | 1.23 |
     """
     rows: List[Dict[str, object]] = []
     for app, by_system in per_app.items():

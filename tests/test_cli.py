@@ -129,10 +129,13 @@ class TestListJson:
         assert main(["list", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert set(data) == {"workloads", "systems", "placements",
-                             "scenarios", "engines"}
+                             "policies", "scenarios", "engines"}
         assert "figure5" in data["scenarios"]
         assert "sweep-page-cache" in data["scenarios"]
+        assert "policy-adaptivity" in data["scenarios"]
         assert data["systems"] == list(SYSTEM_NAMES)
+        assert "static-threshold" in data["policies"]
+        assert "competitive" in data["policies"]
 
     def test_plain_list_shows_scenarios(self, capsys):
         assert main(["list"]) == 0
@@ -196,6 +199,13 @@ class TestExpCommand:
         assert main(["exp", "figure5", "--apps", "lu", "--systems", "rnmua",
                      "--scale", "0.05"]) == 2
         assert "unknown system" in capsys.readouterr().err
+
+    def test_exp_policy_rejected_on_policy_scenarios(self, capsys):
+        for scenario in ("policy-adaptivity", "sweep-policy"):
+            assert main(["exp", scenario, "--policy", "competitive",
+                         "--apps", "lu", "--scale", "0.05"]) == 2
+            err = capsys.readouterr().err
+            assert "already compares decision policies" in err
 
     def test_exp_table1_rejects_foreign_apps_cleanly(self, capsys):
         assert main(["exp", "table1", "--apps", "lu", "--scale", "0.05"]) == 2
