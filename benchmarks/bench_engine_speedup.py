@@ -20,6 +20,7 @@ recording the timings — a speedup over wrong results would be worthless.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -54,6 +55,52 @@ def hot_set_spec(*, phases: int = 4, accesses_per_proc: int = 2000
     return WorkloadSpec(name="hot-set",
                         description="cache-resident working sets",
                         groups=(private, shared), phases=phase_list)
+
+
+def miss_dense_spec(*, phases: int = 4, accesses_per_proc: int = 1500,
+                    run_length: int = 6) -> WorkloadSpec:
+    """Miss-dense regime with post-fill same-block runs.
+
+    A MIGRATORY group whose node ownership shifts every phase (each node
+    always mines a *remote* slice): the migrating systems respond with
+    page operations whose L1 shootdowns demote pre-classified hits, and
+    the per-node working set exceeds both the L1 and the block cache so
+    the residual lane stays busy.  Every drawn block is referenced
+    ``run_length`` times back to back — after the miss fill the tail of
+    each run is a deterministic hit (MigrantStore's observation), the
+    structure the engine's dynamic promotion lane resolves in bulk.
+    """
+    mig = PageGroup(name="mig", num_pages=96,
+                    pattern=SharingPattern.MIGRATORY,
+                    write_fraction=0.1, run_length=run_length)
+    phase_list = tuple(
+        Phase(name=f"mig-{i}", accesses_per_proc=accesses_per_proc,
+              weights={"mig": 1.0}, compute_per_access=2,
+              migratory_shift=i + 1)
+        for i in range(phases))
+    return WorkloadSpec(name="miss-dense",
+                        description="miss-dense migratory churn with "
+                                    "post-fill same-block runs",
+                        groups=(mig,), phases=phase_list)
+
+
+def miss_dense_config():
+    """Configuration used with :func:`miss_dense_spec`.
+
+    The base reduced config with explicit page-operation thresholds: low
+    enough that the migratory churn actually triggers migrations,
+    replications and relocations (the default thresholds reset the
+    counters before they can fire on a trace this size), with a reset
+    interval longer than the run.
+    """
+    from dataclasses import replace
+
+    from repro.config import ThresholdConfig
+
+    cfg = base_config(seed=0)
+    return replace(cfg, thresholds=ThresholdConfig(
+        migrep_threshold=25, migrep_reset_interval=200000,
+        rnuma_threshold=24, hybrid_relocation_delay=0, scale=1.0))
 
 
 def _time_engines(cfg, system, trace):
@@ -98,6 +145,91 @@ def test_engine_speedup_hot_set(benchmark):
     benchmark.extra_info["speedup"] = round(legacy_s / batched_s, 2)
     benchmark.extra_info["refs_per_s_batched"] = int(
         trace.total_accesses() / batched_s)
+
+
+@pytest.mark.parametrize("system", ["migrep", "rnuma"])
+def test_engine_speedup_miss_dense_runs(benchmark, system):
+    """Dynamic-promotion speedup on the miss-dense post-fill-run workload.
+
+    This is the configuration ``scripts/bench_compare.py`` tracks in
+    ``BENCH_engine.json``: the residual lane dominated by miss fills
+    followed by same-block runs, with page-operation shootdowns (on the
+    migrating systems) demoting pre-classified hits mid-phase.
+    """
+    cfg = miss_dense_config()
+    accesses = max(800, int(3000 * bench_scale()))
+    trace = TraceGenerator(miss_dense_spec(accesses_per_proc=accesses),
+                           cfg.machine, seed=0).generate()
+
+    results = _time_engines(cfg, system, trace)
+    _assert_identical(results["legacy"][1], results["batched"][1])
+
+    # the same run with dynamic promotion disabled brackets what the
+    # promotion lane buys (and approximates the pre-promotion engine)
+    os.environ["REPRO_PROMOTION"] = "0"
+    try:
+        machine = Machine(cfg, build_system(system))
+        start = time.perf_counter()
+        stats_off = machine.run(trace, engine="batched")
+        nopromo_s = time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_PROMOTION", None)
+    _assert_identical(results["batched"][1], stats_off)
+
+    def run_batched():
+        machine = Machine(cfg, build_system(system))
+        return machine.run(trace, engine="batched")
+
+    benchmark.pedantic(run_batched, rounds=3, iterations=1, warmup_rounds=0)
+    legacy_s = results["legacy"][0]
+    batched_s = results["batched"][0]
+    benchmark.extra_info["accesses"] = trace.total_accesses()
+    benchmark.extra_info["legacy_s"] = round(legacy_s, 4)
+    benchmark.extra_info["batched_s"] = round(batched_s, 4)
+    benchmark.extra_info["nopromo_s"] = round(nopromo_s, 4)
+    benchmark.extra_info["speedup"] = round(legacy_s / batched_s, 2)
+    benchmark.extra_info["promotion_speedup"] = round(nopromo_s / batched_s, 2)
+    benchmark.extra_info["refs_per_s_batched"] = int(
+        trace.total_accesses() / batched_s)
+
+
+def test_sweep_warm_workers(benchmark):
+    """Figure-sized ``jobs=2`` sweep: warm shared-memory workers.
+
+    Times a 3-app x 4-system sweep dispatched to two worker processes,
+    with the digest-keyed traces attached via ``multiprocessing.
+    shared_memory`` (the warm path) and, for comparison, with the
+    shared-memory pool disabled (``REPRO_NO_SHM``, the cold per-worker
+    npz deserialization path).
+    """
+    from repro.experiments.runner import SweepRunner
+
+    cfg = base_config(seed=0)
+    scale = max(0.05, 0.15 * bench_scale())
+    traces = [get_workload(app, machine=cfg.machine, scale=scale, seed=0)
+              for app in ("lu", "radix", "barnes")]
+    systems = ["perfect", "ccnuma", "migrep", "rnuma"]
+    items = [(t, s, cfg) for t in traces for s in systems]
+
+    def sweep():
+        with SweepRunner(jobs=2, memoize=False) as runner:
+            runner.map_runs(items)
+            return runner.stats
+
+    os.environ["REPRO_NO_SHM"] = "1"
+    try:
+        start = time.perf_counter()
+        sweep()
+        cold_s = time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_NO_SHM", None)
+
+    stats = benchmark.pedantic(sweep, rounds=2, iterations=1,
+                               warmup_rounds=0)
+    benchmark.extra_info["runs"] = len(items)
+    benchmark.extra_info["cold_npz_s"] = round(cold_s, 4)
+    benchmark.extra_info["shm_attaches"] = getattr(stats, "shm_attaches", 0)
+    benchmark.extra_info["worker_reuse"] = getattr(stats, "worker_reuse", 0)
 
 
 @pytest.mark.parametrize("system", ["ccnuma", "migrep", "rnuma"])

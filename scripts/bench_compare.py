@@ -1,0 +1,302 @@
+#!/usr/bin/env python
+"""Track and gate the engine benchmarks against BENCH_engine.json.
+
+The repository commits ``BENCH_engine.json``: a recorded baseline of the
+engine's headline numbers (the PR 4 engine on the miss-dense reference
+configuration) plus the numbers recorded for the current tree.  This
+script re-measures the same quantities and
+
+* ``--record``  rewrites the ``current`` section (run on the machine
+  whose numbers you want committed),
+* ``--check``   fails (exit 1) when the fresh measurements regress —
+  used in CI, so the comparisons are *ratios* (batched vs legacy on the
+  same host, promotion on vs off, warm vs cold sweep workers), which
+  transfer across machines, never absolute wall times.
+
+Gates enforced by ``--check``:
+
+1. On the miss-dense configuration (``benchmarks/bench_engine_speedup.
+   miss_dense_spec``) the batched engine's speedup over the legacy
+   interpreter for ``migrep`` must be at least ``1.3x`` the PR 4
+   baseline's recorded speedup (the dynamic-promotion / line-precise
+   demotion / inlined-upgrade work), and ``rnuma`` must not regress
+   below the baseline band.
+2. The warm shared-memory ``jobs=2`` sweep must not be slower than the
+   cold per-worker npz path beyond the tolerance band.
+3. The hot-set batched-vs-legacy speedup must stay within the band of
+   the committed ``current`` recording.
+
+Everything measured is also printed, so CI logs double as a perf record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+BENCH_FILE = REPO / "BENCH_engine.json"
+
+
+def _median_run(cfg, system, trace, engine, *, env=None, repeats=3):
+    from repro.cluster.machine import Machine
+    from repro.core.factory import build_system
+
+    saved = None
+    if env is not None:
+        saved = os.environ.get("REPRO_PROMOTION")
+        os.environ["REPRO_PROMOTION"] = env
+    try:
+        times = []
+        stats = None
+        for _ in range(repeats):
+            machine = Machine(cfg, build_system(system))
+            t0 = time.perf_counter()
+            stats = machine.run(trace, engine=engine)
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times), stats
+    finally:
+        if env is not None:
+            if saved is None:
+                os.environ.pop("REPRO_PROMOTION", None)
+            else:
+                os.environ["REPRO_PROMOTION"] = saved
+
+
+def measure_miss_dense(scale: float, repeats: int) -> dict:
+    """Batched/legacy/promotion timings on the miss-dense configuration."""
+    from bench_engine_speedup import miss_dense_config, miss_dense_spec
+    from repro.workloads.generator import TraceGenerator
+
+    cfg = miss_dense_config()
+    accesses = max(600, int(1500 * scale))
+    trace = TraceGenerator(miss_dense_spec(accesses_per_proc=accesses),
+                           cfg.machine, seed=0).generate()
+    out = {"accesses": trace.total_accesses()}
+    for system in ("migrep", "rnuma"):
+        legacy_s, legacy_stats = _median_run(cfg, system, trace, "legacy",
+                                             repeats=repeats)
+        batched_s, batched_stats = _median_run(cfg, system, trace, "batched",
+                                               repeats=repeats)
+        nopromo_s, nopromo_stats = _median_run(cfg, system, trace, "batched",
+                                               env="0", repeats=repeats)
+        for a, b in ((legacy_stats, batched_stats),
+                     (batched_stats, nopromo_stats)):
+            if (a.execution_time != b.execution_time
+                    or a.stall_breakdown != b.stall_breakdown
+                    or a.nodes != b.nodes):
+                raise SystemExit(
+                    f"engine results diverged for {system}: a speedup over "
+                    "wrong results is worthless")
+        prof = batched_stats.engine_profile or {}
+        out[system] = {
+            "legacy_s": round(legacy_s, 4),
+            "batched_s": round(batched_s, 4),
+            "nopromo_s": round(nopromo_s, 4),
+            "refs_per_s": int(trace.total_accesses() / batched_s),
+            "speedup_vs_legacy": round(legacy_s / batched_s, 3),
+            "promotion_speedup": round(nopromo_s / batched_s, 3),
+            "promoted": int(prof.get("promoted", 0)),
+            "demoted": int(prof.get("demoted", 0)),
+            "residual": int(prof.get("residual", 0)),
+        }
+    return out
+
+
+def measure_hot_set(scale: float, repeats: int) -> dict:
+    """Batched-vs-legacy speedup on the high-hit-ratio workload."""
+    from bench_engine_speedup import hot_set_spec
+    from repro.config import base_config
+    from repro.workloads.generator import TraceGenerator
+
+    cfg = base_config(seed=0)
+    accesses = max(1000, int(2000 * scale))
+    trace = TraceGenerator(hot_set_spec(accesses_per_proc=accesses),
+                           cfg.machine, seed=0).generate()
+    legacy_s, _ = _median_run(cfg, "ccnuma", trace, "legacy", repeats=repeats)
+    batched_s, _ = _median_run(cfg, "ccnuma", trace, "batched",
+                               repeats=repeats)
+    return {
+        "accesses": trace.total_accesses(),
+        "legacy_s": round(legacy_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup_vs_legacy": round(legacy_s / batched_s, 3),
+    }
+
+
+def measure_sweep(scale: float) -> dict:
+    """Figure-sized jobs=2 sweep: warm shared-memory vs cold npz workers."""
+    from repro.config import base_config
+    from repro.experiments.runner import SweepRunner
+    from repro.workloads import get_workload
+
+    cfg = base_config(seed=0)
+    traces = [get_workload(app, machine=cfg.machine, scale=max(0.05, scale),
+                           seed=0) for app in ("lu", "radix", "barnes")]
+    items = [(t, s, cfg) for t in traces
+             for s in ("perfect", "ccnuma", "migrep", "rnuma")]
+
+    def sweep():
+        with SweepRunner(jobs=2, memoize=False) as runner:
+            runner.map_runs(items)
+            return runner.stats
+
+    # two passes each, best-of: pool start-up and 2-worker scheduling on
+    # small CI machines are noisy, and the gate compares the two numbers
+    # against each other rather than against a committed recording
+    cold_times = []
+    os.environ["REPRO_NO_SHM"] = "1"
+    try:
+        for _ in range(2):
+            t0 = time.perf_counter()
+            sweep()
+            cold_times.append(time.perf_counter() - t0)
+    finally:
+        os.environ.pop("REPRO_NO_SHM", None)
+    warm_times = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        stats = sweep()
+        warm_times.append(time.perf_counter() - t0)
+    cold_s = min(cold_times)
+    warm_s = min(warm_times)
+    return {
+        "runs": len(items),
+        "cold_npz_s": round(cold_s, 4),
+        "warm_shm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "shm_attaches": stats.shm_attaches,
+        "worker_reuse": stats.worker_reuse,
+    }
+
+
+def measure_all(scale: float, repeats: int) -> dict:
+    return {
+        "miss_dense": measure_miss_dense(scale, repeats),
+        "hot_set": measure_hot_set(scale, repeats),
+        "sweep_jobs2": measure_sweep(scale * 0.15),
+    }
+
+
+def _fail(msgs, msg):
+    msgs.append("FAIL: " + msg)
+
+
+def check(measured: dict, recorded: dict, tolerance: float) -> int:
+    """Compare fresh measurements against the committed record."""
+    failures: list = []
+    baseline = recorded.get("baseline", {})
+    current = recorded.get("current", {})
+
+    # 1. miss-dense speedup vs the PR 4 baseline (ratio of ratios)
+    pr4_md = baseline.get("miss_dense", {})
+    md = measured["miss_dense"]
+    pr4_migrep = pr4_md.get("migrep", {}).get("speedup_vs_legacy")
+    if pr4_migrep:
+        need = pr4_migrep * 1.3 * (1 - tolerance)
+        got = md["migrep"]["speedup_vs_legacy"]
+        print(f"miss-dense migrep speedup vs legacy: {got:.2f} "
+              f"(PR4 {pr4_migrep:.2f}; gate >= {need:.2f})")
+        if got < need:
+            _fail(failures, "miss-dense migrep speedup fell below 1.3x the "
+                            "PR 4 baseline")
+    pr4_rnuma = pr4_md.get("rnuma", {}).get("speedup_vs_legacy")
+    if pr4_rnuma:
+        need = pr4_rnuma * (1 - tolerance)
+        got = md["rnuma"]["speedup_vs_legacy"]
+        print(f"miss-dense rnuma speedup vs legacy: {got:.2f} "
+              f"(PR4 {pr4_rnuma:.2f}; gate >= {need:.2f})")
+        if got < need:
+            _fail(failures, "miss-dense rnuma speedup regressed below the "
+                            "PR 4 band")
+
+    # 1b. the promotion lane must never become a drag on its own config
+    for system in ("migrep", "rnuma"):
+        ps = md[system]["promotion_speedup"]
+        print(f"miss-dense {system} promotion on/off: {ps:.2f} "
+              f"(gate >= {1 - tolerance:.2f})")
+        if ps < 1 - tolerance:
+            _fail(failures, f"promotion lane slows the {system} miss-dense "
+                            "run beyond the tolerance band")
+
+    # 2. warm shared-memory workers must not lose to the cold path.  Both
+    # sides are fresh best-of-two wall clocks (no committed anchor), so
+    # the margin is doubled to keep small shared CI machines from
+    # flaking the build.
+    sw = measured["sweep_jobs2"]
+    print(f"jobs=2 sweep: warm {sw['warm_shm_s']}s vs cold "
+          f"{sw['cold_npz_s']}s (x{sw['warm_speedup']})")
+    if sw["warm_shm_s"] > sw["cold_npz_s"] * (1 + 2 * tolerance):
+        _fail(failures, "warm shared-memory sweep slower than the cold npz "
+                        "path")
+
+    # 3. hot-set band vs the committed current recording
+    cur_hot = current.get("hot_set", {}).get("speedup_vs_legacy")
+    hot = measured["hot_set"]["speedup_vs_legacy"]
+    if cur_hot:
+        need = cur_hot * (1 - tolerance)
+        print(f"hot-set speedup vs legacy: {hot:.2f} "
+              f"(recorded {cur_hot:.2f}; gate >= {need:.2f})")
+        if hot < need:
+            _fail(failures, "hot-set batched speedup regressed")
+    else:
+        print(f"hot-set speedup vs legacy: {hot:.2f} (no recording)")
+
+    for msg in failures:
+        print(msg, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--record", action="store_true",
+                      help="measure and rewrite the `current` section of "
+                           "BENCH_engine.json")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on regression vs the committed "
+                           "BENCH_engine.json")
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SCALE",
+                                                     "1.0")),
+                        help="workload scale factor (default: "
+                             "REPRO_BENCH_SCALE or 1.0)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per measurement (median)")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="relative tolerance band for --check "
+                             "(default 0.2)")
+    parser.add_argument("--file", type=Path, default=BENCH_FILE,
+                        help="benchmark record file (default: "
+                             "BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    recorded = {}
+    if args.file.exists():
+        recorded = json.loads(args.file.read_text())
+
+    measured = measure_all(args.scale, args.repeats)
+    print(json.dumps(measured, indent=2))
+
+    if args.record:
+        recorded.setdefault("schema", 1)
+        recorded["current"] = {
+            "scale": args.scale,
+            **measured,
+        }
+        args.file.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"recorded -> {args.file}")
+        return 0
+    return check(measured, recorded, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

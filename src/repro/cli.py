@@ -216,13 +216,46 @@ def _policy_configs(scenario: Scenario, policy: str):
     return {key: apply(entry) for key, entry in scenario.configs.items()}
 
 
-def _run_exp(args: argparse.Namespace, name: str) -> ResultSet:
-    """Execute a scenario with the axis overrides given on the CLI."""
+def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
+    """Engine per-lane breakdown + runner counters for ``exp --profile``."""
+    stats = rs.runner_stats or runner.stats.as_dict()
+    lines = ["runner: " + "  ".join(f"{k}={v}" for k, v in stats.items())]
+    profs = [(r.workload, r.system, r.stats.engine_profile)
+             for r in runner.iter_results()
+             if r.stats.engine_profile is not None]
+    if not profs:
+        lines.append("(no engine profiles: the runs used the legacy engine)")
+        return "\n".join(lines)
+    header = (f"{'app':<12} {'system':<14} {'refs':>9} {'fast':>9} "
+              f"{'promoted':>9} {'demoted':>8} {'residual':>9} {'wall_s':>8}")
+    lines += [header, "-" * len(header)]
+    totals = {"references": 0, "fast": 0, "promoted": 0, "demoted": 0,
+              "residual": 0, "wall_s": 0.0}
+    for app, system_name, prof in profs:
+        lines.append(
+            f"{app:<12} {system_name:<14} {prof['references']:>9} "
+            f"{prof['fast']:>9} {prof['promoted']:>9} {prof['demoted']:>8} "
+            f"{prof['residual']:>9} {prof['wall_s']:>8.3f}")
+        for k in totals:
+            totals[k] += prof[k]
+    lines.append(
+        f"{'total':<12} {'':<14} {totals['references']:>9} "
+        f"{totals['fast']:>9} {totals['promoted']:>9} {totals['demoted']:>8} "
+        f"{totals['residual']:>9} {totals['wall_s']:>8.3f}")
+    return "\n".join(lines)
+
+
+def _run_exp(args: argparse.Namespace, name: str):
+    """Execute a scenario with the axis overrides given on the CLI.
+
+    Returns ``(result_set, profile_text)``; the profile text is ``None``
+    unless ``--profile`` was given.
+    """
     policy = getattr(args, "policy", None)
     configs = (_policy_configs(SCENARIOS.resolve(name), policy)
                if policy else None)
     with _make_runner(args) as runner:
-        return run_scenario(
+        rs = run_scenario(
             name,
             apps=getattr(args, "apps", None),
             systems=getattr(args, "systems", None),
@@ -231,12 +264,15 @@ def _run_exp(args: argparse.Namespace, name: str) -> ResultSet:
             seed=getattr(args, "seed", None),
             runner=runner,
         )
+        profile = (_render_profile(runner, rs)
+                   if getattr(args, "profile", False) else None)
+    return rs, profile
 
 
 def _cmd_exp(args: argparse.Namespace) -> int:
     try:
         scenario = SCENARIOS.resolve(args.scenario)
-        rs = _run_exp(args, scenario.name)
+        rs, profile = _run_exp(args, scenario.name)
     except UnknownNameError as exc:
         # unknown scenario, or an unknown name in --apps/--systems
         print(f"error: {exc}", file=sys.stderr)
@@ -246,6 +282,9 @@ def _cmd_exp(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(_render_scenario(scenario, rs))
+    if profile is not None:
+        print()
+        print(profile)
     if args.chart and rs.series and rs.baseline is not None:
         print()
         print(render_resultset(rs, "chart"))
@@ -445,6 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the rows as a Markdown table to this file")
     exp_p.add_argument("--chart", action="store_true",
                        help="also render an ASCII bar chart")
+    exp_p.add_argument("--profile", action="store_true",
+                       help="print the engine's per-lane breakdown (fast/"
+                            "promoted/demoted/residual reference counts and "
+                            "wall time) plus the runner's cache counters")
 
     for name in ("figure5", "figure6", "figure7", "figure8",
                  "table1", "table2", "table3", "table4"):

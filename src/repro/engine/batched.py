@@ -26,14 +26,33 @@ semantics are unchanged either way.
 Soundness of the classification is argued in :mod:`repro.engine.classify`.
 The one runtime hazard is page-operation *shootdowns* (migration,
 replication, relocation and collapse flush L1 lines from outside the
-reference stream); the engine arms the caches' ``watch`` hooks and, when
-one fires during a protocol call, demotes every not-yet-consumed fast
-reference that is ordered after the current one to the probe class.
-Demoted references join the walk through a sorted ``extras`` merge — the
-pre-computed schedule is never rebuilt.  Demotions are exact: a demoted
-reference takes the ordinary probe path, and fast references ordered
-*before* the shootdown were unaffected by it (a fast reference performs
-no state mutation that later references could observe).
+reference stream); the engine arms the caches' ``watch`` hooks (and the
+mirror-image ``fill_watch`` hooks, which catch out-of-band L1 *fills* by
+exotic protocol code) and, when one fires during a protocol call, demotes
+every not-yet-consumed fast reference that is ordered after the current
+one to the probe class.  Demotion operates on the
+:class:`~repro.engine.classify.ResidualSchedule`'s flat per-processor
+slot arrays: a previously *promoted* residual reference is re-demoted
+with an O(1) mask flip (it never left the walk order), while
+statically-fast references join per-processor demoted queues that the
+walk merges by interleave position — no global re-sort.  Demotions are
+exact: a demoted reference takes the ordinary probe path, and fast
+references ordered *before* the shootdown were unaffected by it (a fast
+reference performs no state mutation that later references could
+observe).
+
+The mirror image of demotion is dynamic **promotion**: every resolved
+residual reference to block ``B`` (miss fill, probe hit, upgrade) leaves
+the processor's L1 line holding a fresh copy of ``B``, so the pending
+references to ``B`` that follow it — the tail of a post-fill run, or a
+demoted run being re-validated after a shootdown — are guaranteed hits
+up to the first hazard.  The engine promotes them into the closed-form
+fast class with O(1) mask flips, bounded exactly by the schedule's
+per-set pressure proofs and last-write positions (see
+:mod:`repro.engine.classify`, "Dynamic promotion").  Runs of writes to
+an owned-dirty line promote too (the interpreter's ``WRITE_HIT_OWNED``
+is a plain hit with no directory action).  ``REPRO_PROMOTION=0``
+disables the promotion lane (the results are bit-identical either way).
 
 The engine reproduces the reference interpreter bit for bit — every
 counter, stall category, clock and message statistic; the equivalence
@@ -44,6 +63,9 @@ every buildable system.
 from __future__ import annotations
 
 import gc
+import os
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -54,7 +76,7 @@ from repro.core.protocol import (
     _DEPARTED_EVICTED,
     _DEPARTED_INVALIDATED,
 )
-from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
+from repro.engine.classify import CLS_FAST, CLS_PROBE, NO_INDEX, classify_phase
 from repro.interconnect.message import MessageType
 from repro.mem.page_table import LOCAL_HOME_CODE, MODES_BY_CODE
 from repro.stats.counters import MachineStats
@@ -62,6 +84,18 @@ from repro.stats.timing import StallKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
+
+#: Environment variable disabling the dynamic promotion lane (``0``/
+#: ``off``/``no``/``false``).  Promotion is a pure optimisation — results
+#: are bit-identical either way — so the switch exists for benchmarking
+#: and for bisecting the engine.
+PROMOTION_ENV_VAR = "REPRO_PROMOTION"
+
+
+def promotion_enabled() -> bool:
+    """Whether the dynamic promotion lane is enabled for new runs."""
+    raw = os.environ.get(PROMOTION_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "off", "no", "false")
 
 
 def run_batched(machine: "Machine", trace) -> MachineStats:
@@ -101,6 +135,11 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     inline_local = (inline_dispatch and inline_directory
                     and ptype._local_fill is DSMProtocol._local_fill)
     inline_evict = ptype.note_l1_eviction is DSMProtocol.note_l1_eviction
+    # The stock write-upgrade service (directory write + control-message
+    # round trip) is inlined below; its round-trip contention is exactly
+    # the four-point NIC sequence of the remote lane.
+    inline_upgrade = (inline_directory
+                      and ptype.handle_upgrade is DSMProtocol.handle_upgrade)
     # The plain CC-NUMA remote-page service (block-cache lookup -> remote
     # fetch -> directory update -> fill) is inlined wholesale below; every
     # helper on that path must be the stock implementation, otherwise the
@@ -175,20 +214,45 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     bus_txn = [0] * num_nodes
     bus_wait = [0] * num_nodes
 
-    # arm the shootdown watch: page operations invalidating L1 lines add
-    # the owning processor to `events`, which demotes its pending fast refs
-    events: set = set()
+    # arm the shootdown watch: a page operation invalidating an L1 line
+    # records the affected (processor, cache set) in `events`, which
+    # demotes the pending fast refs of exactly that set — the classifier's
+    # occupancy proof is per set, so other sets' proofs survive the
+    # shootdown.  A whole-cache drop (clear) records True.  The fill
+    # watch is the mirror hook: an out-of-band L1 *fill* by protocol code
+    # (no in-tree protocol performs one, but user protocols may) evicts
+    # whatever the classifier assumed resident in that set, so it demotes
+    # exactly like a shootdown.
+    events: dict = {}
 
-    def _mk_watch(p: int):
-        def _watch() -> None:
-            events.add(p)
+    def _mk_watch(p: int, nl: int):
+        def _watch(block: int = -1) -> None:
+            flushed = events.get(p)
+            if flushed is True:
+                return
+            if block < 0:
+                events[p] = True
+            elif flushed is None:
+                events[p] = {block % nl}
+            else:
+                flushed.add(block % nl)
         return _watch
 
     saved_watch = [c.watch for c in caches]
+    saved_fill_watch = [c.fill_watch for c in caches]
     for p, c in enumerate(caches):
-        c.watch = _mk_watch(p)
+        c.watch = _mk_watch(p, lines_of[p])
+        c.fill_watch = c.watch
 
     clocks = [machine.timing.processors[p].clock for p in range(num_procs)]
+
+    # dynamic promotion lane switch + per-lane profile accumulators
+    promo_enabled = promotion_enabled()
+    prof_total = 0
+    prof_residual = 0
+    prof_promoted = 0
+    prof_demoted = 0
+    run_t0 = perf_counter()
 
     # Pause the cyclic GC for the duration of the run: the engine allocates
     # large bursts of small schedule tuples that survive exactly one phase,
@@ -228,9 +292,24 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                     pt_obj.reserve(max_page + 1)
 
             cls, sched = classify_phase(blocks_np, writes_np, caches,
-                                        version_of)
+                                        version_of,
+                                        build_promotion=promo_enabled,
+                                        phase=phase)
+            entries = sched.entries
+            keys = sched.keys
+            n_sched = len(entries)
+            status = sched.status
+            s_idx = sched.idx
+            s_wrt = sched.wrt
+            s_pw = sched.pw
+            s_prevc = sched.prev_conflict
+            s_next = sched.next_same_block
+            slot_of = sched.slot_of
+            pw_full = sched.pw_full
+            prof_total += sum(lengths)
 
             ptr = [0] * num_procs            # next own index not yet accounted
+            next_slot = [0] * num_procs      # next schedule slot per proc
             fast_total = [0] * num_procs     # fast references consumed
             hits_rt = [0] * num_procs        # runtime read/owned probe hits
             upg_rt = [0] * num_procs         # runtime shared-write probe hits
@@ -245,52 +324,222 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
             acc_fault = [0] * num_procs
             acc_contention = [0] * num_procs
 
-            n_sched = len(sched)
+            # demoted statically-fast references: per-proc parallel queues
+            # (own index, block, last-write position, promoted?), merged
+            # into the walk by interleave key via `next_dem`
+            q_idx: list = [[] for _ in range(num_procs)]
+            q_blk: list = [[] for _ in range(num_procs)]
+            q_pw: list = [[] for _ in range(num_procs)]
+            q_skip: list = [[] for _ in range(num_procs)]
+            q_cur = [0] * num_procs
+            q_has = [False] * num_procs   # unconsumed queue entries exist
+            # heap of (interleave key, proc) queue heads, invalidated
+            # lazily: an entry is live only while it matches the proc's
+            # current head, so stale keys pushed before a merge or an
+            # earlier consumption simply pop through
+            dem_heap: list = []
             k = 0
-            extras: list = []   # demoted references, sorted
-            n_extras = 0
-            ke = 0
 
             def demote_pending(i: int, p: int) -> None:
                 """Demote pending fast refs after a page-op L1 shootdown.
 
-                Called only when a ``watch`` hook fired during a protocol
-                call (rare), so the closure-call cost is off the hot path.
-                Affected processors' fast references ordered after (i, p)
-                become probes and join the walk through ``extras``.
+                Called only when a ``watch``/``fill_watch`` hook fired
+                during a protocol call (rare), so the closure-call cost is
+                off the hot path.  Affected processors' fast references
+                ordered after (i, p) become probes again: previously
+                *promoted* schedule slots are re-demoted with an O(1)
+                status-mask flip (they never left the walk order), while
+                statically-fast references join the per-proc demoted
+                queues; earlier queue promotions ordered after the
+                shootdown are likewise un-done, and the promotion scan
+                pointers restart (their proofs assumed the old line
+                state).
                 """
-                nonlocal extras, n_extras, ke
-                new_extras = []
-                for p2 in events:
+                nonlocal prof_demoted
+                for p2, flushed in events.items():
                     if p2 >= num_procs:
                         continue
                     bound = i + 1 if p2 <= p else i
                     if bound < ptr[p2]:
                         bound = ptr[p2]
                     seg = cls[p2][bound:]
-                    pend = np.flatnonzero(seg == CLS_FAST)
+                    mask = seg == CLS_FAST
+                    if flushed is not True:
+                        # line-precise: only the flushed sets lose their
+                        # occupancy proof
+                        seg_lines = (blocks_np[p2][bound:] % lines_of[p2])
+                        mask &= np.isin(seg_lines,
+                                        np.fromiter(flushed, dtype=np.int64))
+                    pend = np.flatnonzero(mask)
                     if len(pend):
                         seg[pend] = CLS_PROBE
-                        blk2 = blocks_np[p2]
-                        wrt2 = writes_np[p2]
-                        new_extras.extend(
-                            (int(j) + bound, p2, True,
-                             int(blk2[j + bound]), bool(wrt2[j + bound]))
-                            for j in pend)
+                        prof_demoted += len(pend)
+                        own = pend.astype(np.int64) + bound
+                        slots = slot_of[p2][own]
+                        in_sched = slots >= 0
+                        st = status[p2]
+                        for s2 in slots[in_sched].tolist():
+                            st[s2] = 0       # re-demotion: O(1) mask flip
+                        fresh = own[~in_sched]
+                        if len(fresh):
+                            idxs = fresh.tolist()
+                            blks = blocks_np[p2][fresh].tolist()
+                            pws = pw_full[p2][fresh].tolist()
+                            c = q_cur[p2]
+                            qi = q_idx[p2]
+                            if c < len(qi):
+                                # merge with the unconsumed queue tail
+                                merged = sorted(
+                                    list(zip(qi[c:], q_blk[p2][c:],
+                                             q_pw[p2][c:], q_skip[p2][c:]))
+                                    + list(zip(idxs, blks, pws,
+                                               [0] * len(idxs))))
+                                q_idx[p2] = [e[0] for e in merged]
+                                q_blk[p2] = [e[1] for e in merged]
+                                q_pw[p2] = [e[2] for e in merged]
+                                q_skip[p2] = [e[3] for e in merged]
+                            else:
+                                q_idx[p2] = idxs
+                                q_blk[p2] = blks
+                                q_pw[p2] = pws
+                                q_skip[p2] = [0] * len(idxs)
+                            q_cur[p2] = 0
+                    # the shootdown invalidates promotions ordered after it
+                    qs = q_skip[p2]
+                    qi = q_idx[p2]
+                    for c2 in range(q_cur[p2], len(qi)):
+                        if qi[c2] >= bound:
+                            qs[c2] = 0
+                    if q_cur[p2] < len(qi):
+                        q_has[p2] = True
+                        heappush(dem_heap,
+                                 (qi[q_cur[p2]] * num_procs + p2, p2))
                 events.clear()
-                if new_extras:
-                    extras = sorted(extras[ke:] + new_extras)
-                    n_extras = len(extras)
-                    ke = 0
 
-            while k < n_sched or ke < n_extras:
-                if ke < n_extras and (k >= n_sched
-                                      or extras[ke] < sched[k]):
-                    i, p, probe, block, is_write = extras[ke]
-                    ke += 1
-                else:
-                    i, p, probe, block, is_write = sched[k]
+            def _promote(p: int, slot: int, i: int, g: int, block: int,
+                         dirty: bool) -> None:
+                """Promote pending same-block refs after a resolved ref.
+
+                The line of processor ``p`` holding ``block`` is fresh at
+                interleave position ``g`` (``dirty`` gives its runtime
+                dirty bit).  Pending schedule slots on the block's
+                ``next_same_block`` chain promote while their pressure
+                proof stays behind ``i`` and their last write stays
+                behind the write watermark (own promoted owned-writes
+                advance it); the demoted queue's contiguous same-block
+                head promotes under the same freshness rule, bounded by
+                the next schedule entry.  Each promotion is one status
+                byte flip.
+                """
+                nonlocal prof_promoted
+                wm = g
+                sidx = s_idx[p]
+                if slot >= 0:
+                    nsb = s_next[p]
+                    t = nsb[slot]
+                    if t >= 0:
+                        st = status[p]
+                        spw = s_pw[p]
+                        sprevc = s_prevc[p]
+                        swrt = s_wrt[p]
+                        cls_p = cls[p]
+                        while t >= 0:
+                            if st[t]:
+                                t = nsb[t]
+                                continue
+                            if sprevc[t] >= i or spw[t] > wm:
+                                break    # eviction pressure / foreign write
+                            if swrt[t]:
+                                if not dirty:
+                                    break    # shared write: upgrade path
+                                wm = sidx[t] * num_procs + p
+                            st[t] = 1
+                            cls_p[sidx[t]] = CLS_FAST
+                            prof_promoted += 1
+                            t = nsb[t]
+                c = q_cur[p]
+                qi = q_idx[p]
+                n_q = len(qi)
+                if c < n_q:
+                    ns = next_slot[p]
+                    i_next = sidx[ns] if ns < len(sidx) else NO_INDEX
+                    qb = q_blk[p]
+                    qp = q_pw[p]
+                    qs = q_skip[p]
+                    while c < n_q:
+                        if qs[c]:
+                            c += 1
+                            continue
+                        j = qi[c]
+                        if j <= i:
+                            c += 1
+                            continue
+                        if j >= i_next or qb[c] != block or qp[c] > wm:
+                            break
+                        qs[c] = 1
+                        prof_promoted += 1
+                        c += 1
+
+            while True:
+                nk = -1
+                if dem_heap:
+                    # validate the heap head (lazily invalidated)
+                    while True:
+                        nk0, pq = dem_heap[0]
+                        c = q_cur[pq]
+                        qi = q_idx[pq]
+                        if c < len(qi) and qi[c] * num_procs + pq == nk0:
+                            nk = nk0
+                            break
+                        heappop(dem_heap)
+                        if not dem_heap:
+                            break
+                if nk >= 0 and (k >= n_sched or nk < keys[k]):
+                    # earliest pending reference is a demoted one
+                    heappop(dem_heap)
+                    qs = q_skip[pq]
+                    if qs[c]:
+                        # promoted back: bulk-consume the contiguous
+                        # promoted run while it stays globally earliest
+                        # (no schedule entry or other queue head — and
+                        # hence no shootdown — can intervene before it)
+                        stop = keys[k] if k < n_sched else NO_INDEX
+                        if dem_heap and dem_heap[0][0] < stop:
+                            stop = dem_heap[0][0]
+                        c += 1
+                        n_q2 = len(qi)
+                        while (c < n_q2 and qs[c]
+                               and qi[c] * num_procs + pq < stop):
+                            c += 1
+                        q_cur[pq] = c
+                        if c < n_q2:
+                            heappush(dem_heap,
+                                     (qi[c] * num_procs + pq, pq))
+                        else:
+                            q_has[pq] = False
+                        continue
+                    q_cur[pq] = c + 1
+                    if c + 1 < len(qi):
+                        heappush(dem_heap,
+                                 (qi[c + 1] * num_procs + pq, pq))
+                    else:
+                        q_has[pq] = False
+                    p = pq
+                    i = qi[c]
+                    block = q_blk[pq][c]
+                    probe = True
+                    is_write = False
+                    slot = -1
+                    chain = False
+                elif k < n_sched:
+                    i, p, probe, block, is_write, slot, chain = entries[k]
                     k += 1
+                    next_slot[p] = slot + 1
+                    if status[p][slot]:
+                        continue     # promoted: bulk-consumed via ptr
+                else:
+                    break
+                prof_residual += 1
 
                 # consume the guaranteed hits since this proc's last residual
                 n_fast = i - ptr[p]
@@ -313,11 +562,23 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                         if not is_write:
                             hits_rt[p] += 1
                             clocks[p] = clock + l1_hit_cost
+                            if promo_enabled and (
+                                    chain or (q_has[p]
+                                              and q_blk[p][q_cur[p]]
+                                              == block)):
+                                _promote(p, slot, i, i * num_procs + p,
+                                         block, line_dirty[p][idx])
                             continue
                         cd = line_dirty[p]
                         if cd[idx]:
                             hits_rt[p] += 1
                             clocks[p] = clock + l1_hit_cost
+                            if promo_enabled and (
+                                    chain or (q_has[p]
+                                              and q_blk[p][q_cur[p]]
+                                              == block)):
+                                _promote(p, slot, i, i * num_procs + p,
+                                         block, True)
                             continue
                         # write upgrade: invalidate other sharers
                         upg_rt[p] += 1
@@ -331,8 +592,84 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                             start = clock
                         bus_txn[node] += 1
                         wait = start - clock
-                        latency, new_version = handle_upgrade(
-                            node, p, page, block, start)
+                        if inline_upgrade:
+                            # inlined base handle_upgrade: directory write
+                            # plus a control round trip when the home is
+                            # remote (contention identical to the remote
+                            # lane's four NIC serialisation points)
+                            node_stats[node].upgrades += 1
+                            home = vm_home[page]
+                            # inlined _directory_write
+                            dir_tracked[block] = 1
+                            bit = 1 << node
+                            others = dir_sharers[block] & ~bit
+                            o = dir_owner[block]
+                            if o >= 0 and o != node:
+                                directory.writebacks += 1
+                            dir_sharers[block] = bit
+                            dir_owner[block] = node
+                            new_version = dir_versions[block] + 1
+                            dir_versions[block] = new_version
+                            extra = 0
+                            if others:
+                                invals = others.bit_count()
+                                directory.invalidations_sent += invals
+                                extra = invals * inval_cost
+                                msg_counts[_INV_I] += invals
+                                msg_counts[_ACK_I] += invals
+                                net_stats.bytes_total += invals * sz_inv_pair
+                                while others:
+                                    low = others & -others
+                                    others ^= low
+                                    departed[low.bit_length() - 1][block] = \
+                                        _DEPARTED_INVALIDATED
+                            if home < 0 or home == node:
+                                latency = local_miss_cost + extra
+                            else:
+                                msg_counts[_WRITE_I] += 1
+                                msg_counts[_DATA_I] += 1
+                                net_stats.bytes_total += sz_write_pair
+                                req_nic = nics[node]
+                                home_nic = nics[home]
+                                occ2 = nic_occ + nic_occ
+                                if not net_enabled:
+                                    req_nic.messages += 2
+                                    home_nic.messages += 2
+                                    req_nic.busy_cycles += occ2
+                                    home_nic.busy_cycles += occ2
+                                    contention = 0
+                                else:
+                                    free = req_nic.next_free
+                                    s1 = start if start >= free else free
+                                    w1 = s1 - start
+                                    req_nic.next_free = s1 + nic_occ
+                                    t = s1 + nic_occ + net_latency
+                                    free = home_nic.next_free
+                                    s2 = t if t >= free else free
+                                    w2 = s2 - t
+                                    home_nic.next_free = s2 + nic_occ
+                                    t2 = s2 + nic_occ
+                                    free = home_nic.next_free
+                                    s3 = t2 if t2 >= free else free
+                                    w3 = s3 - t2
+                                    home_nic.next_free = s3 + nic_occ
+                                    t3 = s3 + nic_occ + net_latency
+                                    free = req_nic.next_free
+                                    s4 = t3 if t3 >= free else free
+                                    w4 = s4 - t3
+                                    req_nic.next_free = s4 + nic_occ
+                                    req_nic.messages += 2
+                                    home_nic.messages += 2
+                                    req_nic.busy_cycles += occ2
+                                    home_nic.busy_cycles += occ2
+                                    req_nic.wait_cycles += w1 + w4
+                                    home_nic.wait_cycles += w2 + w3
+                                    contention = w1 + w2 + w3 + w4
+                                latency = (remote_miss_cost + contention
+                                           + extra)
+                        else:
+                            latency, new_version = handle_upgrade(
+                                node, p, page, block, start)
                         # inlined touch_write (the probed line holds `block`)
                         cd[idx] = True
                         if new_version > cv[idx]:
@@ -340,6 +677,14 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                         acc_contention[p] += wait
                         acc_upgrade[p] += latency
                         clocks[p] = clock + wait + latency
+                        if events:
+                            demote_pending(i, p)
+                        if promo_enabled and (
+                                chain or (q_has[p]
+                                          and q_blk[p][q_cur[p]]
+                                          == block)):
+                            _promote(p, slot, i, i * num_procs + p, block,
+                                     True)
                         continue
                     # stale copy: drop it so the fill below refreshes it
                     cb[idx] = -1
@@ -453,6 +798,12 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                             acc_contention[p] += wait
                             acc_local[p] += service
                             clocks[p] = clock + wait + service
+                            if promo_enabled and (
+                                    chain or (q_has[p]
+                                              and q_blk[p][q_cur[p]]
+                                              == block)):
+                                _promote(p, slot, i, i * num_procs + p,
+                                         block, is_write)
                             continue
                         elif inline_bc_remote:
                             # ---- fully inlined CC-NUMA remote lane ----
@@ -698,6 +1049,10 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 acc_pageop[p] += pageop
                 acc_fault[p] += fault
                 clocks[p] = clock + wait + service + pageop + fault
+                if promo_enabled and (chain
+                                      or (q_has[p]
+                                          and q_blk[p][q_cur[p]] == block)):
+                    _promote(p, slot, i, i * num_procs + p, block, is_write)
 
             # consume the trailing guaranteed hits of every processor
             for p in range(num_procs):
@@ -743,10 +1098,14 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
             clocks = [post_barrier] * num_procs
             machine.stats.barrier_count += 1
     finally:
+        # always undone, even when a phase raises: the GC pause must never
+        # outlive the run, and the armed hooks must not leak into the next
+        # engine (or user code) touching these caches
         if gc_was_enabled:
             gc.enable()
         for p, c in enumerate(caches):
             c.watch = saved_watch[p]
+            c.fill_watch = saved_fill_watch[p]
 
     # final bookkeeping
     machine.stats.execution_time = machine.timing.max_clock()
@@ -757,4 +1116,15 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     machine.stats.network_bytes = machine.network.total_bytes()
     machine.stats.message_stats = machine.network.stats
     machine.stats.stall_breakdown = dict(machine.timing.aggregate_stalls())
+    machine.stats.engine_profile = {
+        "engine": "batched",
+        "promotion_enabled": promo_enabled,
+        "references": prof_total,
+        "fast": prof_total - prof_residual,
+        "promoted": prof_promoted,
+        "demoted": prof_demoted,
+        "residual": prof_residual,
+        "phases": len(trace.phases),
+        "wall_s": round(perf_counter() - run_t0, 6),
+    }
     return machine.stats

@@ -16,12 +16,17 @@ baseline of an application is simulated once per sweep, not once per
 figure, and re-renders are free.
 
 Parallel dispatch is *zero-copy* with respect to the trace streams: the
-runner spills each distinct trace once into a digest-keyed on-disk store
-(:class:`TraceStore`, ``.npz`` via :mod:`repro.workloads.trace_io`) and
-submits only ``(path, digest, system, config)`` to the pool.  Worker
-processes load a trace the first time they see its digest and keep it in
-a per-process cache, so a figure-sized sweep pickles no stream arrays at
-all — each trace crosses the process boundary as a file path.
+runner publishes each distinct trace once into a digest-keyed
+shared-memory pool (:class:`SharedTracePool`, via
+:func:`repro.workloads.trace_io.trace_to_shm`) and submits only
+``(meta, digest, system, config)`` to the pool.  Warm workers attach a
+segment the first time they see its digest — one ``mmap``, no
+deserialization — and keep it in a per-process cache, so repeated runs
+of the same trace cost nothing to ship.  When the platform offers no
+shared memory (or ``REPRO_NO_SHM`` is set) the runner falls back to the
+digest-keyed on-disk npz store (:class:`TraceStore`): workers then load
+a trace the first time they see its digest and cache it per process, so
+a figure-sized sweep still pickles no stream arrays at all.
 """
 
 from __future__ import annotations
@@ -44,7 +49,17 @@ from repro.core.factory import SystemSpec, build_system
 from repro.engine import default_engine
 from repro.stats.counters import MachineStats
 from repro.workloads.trace import Trace
-from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_shm,
+    trace_to_shm,
+)
+
+#: Environment variable disabling the shared-memory trace pool (any
+#: non-empty value): parallel dispatch then falls back to the on-disk
+#: npz store with per-worker deserialization.
+NO_SHM_ENV_VAR = "REPRO_NO_SHM"
 
 
 @dataclass
@@ -286,6 +301,82 @@ def _execute_stored_run(trace_path: str, digest: str, system_name: str,
     return _execute_run(trace, system_name, cfg, engine)
 
 
+# ---------------------------------------------------------------------------
+# Warm shared-memory workers
+# ---------------------------------------------------------------------------
+
+
+class SharedTracePool:
+    """Digest-keyed pool of traces published in shared memory.
+
+    The publishing (runner) process copies each distinct trace once into
+    a named ``multiprocessing.shared_memory`` segment; worker processes
+    attach by name and rebuild a zero-copy trace
+    (:func:`repro.workloads.trace_io.trace_from_shm`), so a run costs one
+    ``mmap`` the first time a worker sees a digest and *nothing* after
+    that — the per-run npz decompression of the cold path disappears.
+    The pool owns the segments: :meth:`close` unlinks them (workers'
+    attaches are deregistered from their resource trackers, so nothing
+    else ever unlinks a segment).
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Tuple[object, Dict[str, object]]] = {}
+        #: number of segments this pool has published
+        self.segments = 0
+
+    def ensure(self, trace: Trace, digest: str) -> Dict[str, object]:
+        """Publish ``trace`` under ``digest`` if new; return its attach meta."""
+        entry = self._segments.get(digest)
+        if entry is None:
+            name = f"repro_{digest[:16]}_{os.getpid()}"
+            shm, meta = trace_to_shm(trace, name)
+            entry = (shm, meta)
+            self._segments[digest] = entry
+            self.segments += 1
+        return entry[1]
+
+    def close(self) -> None:
+        """Unlink every published segment."""
+        for shm, _meta in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - platform cleanup races
+                pass
+        self._segments.clear()
+
+
+#: Per-worker cache of shared-memory traces: digest -> (trace, shm).
+#: The shm handle must stay referenced while the trace's arrays (views
+#: into the segment) are alive; eviction drops both together and lets
+#: reference counting tear the mapping down.
+_WORKER_SHM: "Dict[str, Tuple[Trace, object]]" = {}
+_WORKER_SHM_LIMIT = 4
+
+
+def _execute_shm_run(meta: Dict[str, object], digest: str, system_name: str,
+                     cfg: SimulationConfig, engine: str
+                     ) -> Tuple[ExperimentResult, bool]:
+    """Worker entry point for shared-memory traces.
+
+    Returns ``(result, attached)`` — ``attached`` is True when this call
+    had to map the segment (a cold worker), False when the warm cache
+    served it; the runner aggregates these into
+    :class:`RunnerStats.shm_attaches` / ``worker_reuse``.
+    """
+    entry = _WORKER_SHM.pop(digest, None)
+    attached = False
+    if entry is None:
+        trace, shm = trace_from_shm(meta)
+        attached = True
+        while len(_WORKER_SHM) >= _WORKER_SHM_LIMIT:
+            _WORKER_SHM.pop(next(iter(_WORKER_SHM)))
+        entry = (trace, shm)
+    _WORKER_SHM[digest] = entry   # re-insert = move to MRU position
+    return _execute_run(entry[0], system_name, cfg, engine), attached
+
+
 @dataclass
 class RunnerStats:
     """Bookkeeping of a SweepRunner's cache behaviour."""
@@ -294,6 +385,21 @@ class RunnerStats:
     memo_hits: int = 0      # results served from the memo table
     parallel_runs: int = 0  # runs dispatched to worker processes
     traces_spilled: int = 0  # distinct traces written to the on-disk store
+    shm_segments: int = 0   # traces published as shared-memory segments
+    shm_attaches: int = 0   # cold worker attaches (one mmap each)
+    worker_reuse: int = 0   # parallel runs served by a warm worker's trace
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dictionary of the counters (JSON export)."""
+        return {
+            "runs": self.runs,
+            "memo_hits": self.memo_hits,
+            "parallel_runs": self.parallel_runs,
+            "traces_spilled": self.traces_spilled,
+            "shm_segments": self.shm_segments,
+            "shm_attaches": self.shm_attaches,
+            "worker_reuse": self.worker_reuse,
+        }
 
 
 class SweepRunner:
@@ -338,6 +444,8 @@ class SweepRunner:
         self._memo: Dict[Tuple[str, str, str, str], ExperimentResult] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._trace_keys: Dict[int, str] = {}
+        self._shm_pool: Optional[SharedTracePool] = None
+        self._shm_broken = False   # platform refused a segment: stay on npz
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -348,10 +456,13 @@ class SweepRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool and the private trace store."""
+        """Shut down the worker pool, the shm pool and the trace store."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
         if self._owns_store:
             self.trace_store.close()
 
@@ -415,22 +526,57 @@ class SweepRunner:
             if self.jobs > 1 and len(pending) > 1:
                 if self._pool is None:
                     self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-                # zero-copy dispatch: spill each distinct trace once (the
-                # digest is the first component of the memo key) and ship
-                # only (path, digest, system, config) to the workers
+                # zero-copy dispatch: publish each distinct trace once
+                # (the digest is the first component of the memo key) as a
+                # shared-memory segment the warm workers attach and keep —
+                # only (meta, digest, system, config) travels.  When the
+                # platform refuses shared memory (or REPRO_NO_SHM is set),
+                # spill to the digest-keyed npz store instead and let
+                # workers deserialize on first use.
+                use_shm = (not self._shm_broken
+                           and not os.environ.get(NO_SHM_ENV_VAR))
                 store = self.trace_store
                 futures = {}
+                shm_keys = set()
                 for key, (trace, name, cfg) in pending.items():
                     digest = key[0]
-                    spills_before = store.spills
-                    path = store.ensure(trace, digest)
-                    self.stats.traces_spilled += store.spills - spills_before
-                    futures[key] = self._pool.submit(
-                        _execute_stored_run, str(path), digest, name, cfg,
-                        self.engine)
+                    meta = None
+                    if use_shm:
+                        if self._shm_pool is None:
+                            self._shm_pool = SharedTracePool()
+                        before = self._shm_pool.segments
+                        try:
+                            meta = self._shm_pool.ensure(trace, digest)
+                        except Exception:
+                            self._shm_broken = True
+                            use_shm = False
+                        else:
+                            self.stats.shm_segments += (
+                                self._shm_pool.segments - before)
+                    if meta is not None:
+                        futures[key] = self._pool.submit(
+                            _execute_shm_run, meta, digest, name, cfg,
+                            self.engine)
+                        shm_keys.add(key)
+                    else:
+                        spills_before = store.spills
+                        path = store.ensure(trace, digest)
+                        self.stats.traces_spilled += (store.spills
+                                                      - spills_before)
+                        futures[key] = self._pool.submit(
+                            _execute_stored_run, str(path), digest, name,
+                            cfg, self.engine)
                 self.stats.parallel_runs += len(futures)
                 for key, future in futures.items():
-                    self._memo[key] = future.result()
+                    if key in shm_keys:
+                        result, attached = future.result()
+                        if attached:
+                            self.stats.shm_attaches += 1
+                        else:
+                            self.stats.worker_reuse += 1
+                        self._memo[key] = result
+                    else:
+                        self._memo[key] = future.result()
             else:
                 for key, (trace, name, cfg) in pending.items():
                     self._memo[key] = _execute_run(trace, name, cfg,
@@ -452,6 +598,14 @@ class SweepRunner:
             self._memo.clear()
             self._trace_keys.clear()
         return results
+
+    def iter_results(self) -> List[ExperimentResult]:
+        """The memoized results accumulated so far (insertion order).
+
+        Used e.g. by ``repro exp --profile`` to aggregate the engines'
+        per-lane execution profiles across a scenario's runs.
+        """
+        return list(self._memo.values())
 
     def run_systems(self, trace: Trace,
                     systems: Sequence[Union[str, SystemSpec]],

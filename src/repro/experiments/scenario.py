@@ -196,13 +196,19 @@ class ResultSet:
                  rows: List[Dict[str, object]], *,
                  series: Tuple[str, ...] = (),
                  axes: Optional[Dict[str, Tuple]] = None,
-                 baseline: Optional[str] = None) -> None:
+                 baseline: Optional[str] = None,
+                 runner_stats: Optional[Dict[str, int]] = None) -> None:
         self.scenario = scenario
         self.title = title
         self.rows = rows
         self.series = tuple(series)
         self.axes = dict(axes or {})
         self.baseline = baseline
+        #: cache/dispatch counters of the SweepRunner that executed the
+        #: plan (memo hits, parallel runs, shared-memory attaches, warm
+        #: worker reuse) — set by :func:`run_scenario`, ``None`` for
+        #: hand-built sets
+        self.runner_stats = dict(runner_stats) if runner_stats else None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -388,13 +394,16 @@ class ResultSet:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready dictionary: metadata, axes and the flat rows."""
-        return {
+        out = {
             "scenario": self.scenario,
             "title": self.title,
             "series": list(self.series),
             "axes": {k: list(v) for k, v in self.axes.items()},
             "rows": self.rows,
         }
+        if self.runner_stats is not None:
+            out["runner"] = self.runner_stats
+        return out
 
     def to_csv(self) -> str:
         """Render the rows as CSV text."""
@@ -632,9 +641,14 @@ def run_scenario(scenario: Union[str, Scenario], *,
     # -- one batch through the runner ---------------------------------------
     runner, owned = ensure_runner(runner)
     try:
+        # report only this plan's share of a (possibly shared) runner's
+        # counters: the delta across the batch, not the lifetime totals
+        stats_before = runner.stats.as_dict()
         results = runner.map_runs([
             (trace_for(app, key, sc, sd), system, cfgs[(key, sd)])
             for app, system, key, sc, sd in cells])
+        runner_stats = {k: v - stats_before.get(k, 0)
+                        for k, v in runner.stats.as_dict().items()}
     finally:
         if owned:
             runner.close()
@@ -678,4 +692,5 @@ def run_scenario(scenario: Union[str, Scenario], *,
         "app": app_names, "system": system_names,
         "config": tuple(config_keys), "scale": scales, "seed": seeds}
     return ResultSet(scn.name, scn.title, rows, series=series, axes=axes,
-                     baseline=scn.baseline)
+                     baseline=scn.baseline,
+                     runner_stats=runner_stats)

@@ -71,7 +71,8 @@ class DirectMappedCache:
         Number of block frames (capacity / block size).
     """
 
-    __slots__ = ("num_lines", "_blocks", "_versions", "_dirty", "stats", "watch")
+    __slots__ = ("num_lines", "_blocks", "_versions", "_dirty", "stats",
+                 "watch", "fill_watch")
 
     def __init__(self, num_lines: int) -> None:
         if num_lines <= 0:
@@ -81,10 +82,22 @@ class DirectMappedCache:
         self._versions: list[int] = [0] * num_lines
         self._dirty: list[bool] = [False] * num_lines
         self.stats = CacheStats()
-        #: optional zero-argument callback fired whenever a line is dropped
-        #: from *outside* the probe/fill path (page-operation shootdowns).
-        #: The batched engine uses it to invalidate its hit pre-classification.
-        self.watch: Optional[Callable[[], None]] = None
+        #: optional callback fired whenever a line is dropped from
+        #: *outside* the probe/fill path (page-operation shootdowns).  It
+        #: receives the affected block id, or ``-1`` when every line was
+        #: dropped (:meth:`clear`), so the batched engine can invalidate
+        #: its hit pre-classification for exactly the affected cache set.
+        self.watch: Optional[Callable[[int], None]] = None
+        #: mirror-image fill notification: fired (with the installed
+        #: block id) whenever :meth:`fill` installs a line while the hook
+        #: is armed.  The batched engine inlines its own fills (which
+        #: never fire this), so an armed ``fill_watch`` only observes
+        #: *out-of-band* fills by protocol or user code — which evict
+        #: whatever the engine's classifier assumed resident in that set,
+        #: and therefore demote exactly like a shootdown.  ``None`` (the
+        #: default) costs the reference interpreter one attribute test
+        #: per miss.
+        self.fill_watch: Optional[Callable[[int], None]] = None
 
     # -- core operations -----------------------------------------------------
 
@@ -145,6 +158,8 @@ class DirectMappedCache:
         self._blocks[idx] = block
         self._versions[idx] = version
         self._dirty[idx] = dirty
+        if self.fill_watch is not None:
+            self.fill_watch(block)
         return victim
 
     def touch_write(self, block: int, version: int) -> None:
@@ -163,7 +178,7 @@ class DirectMappedCache:
             self._dirty[idx] = False
             self.stats.invalidations += 1
             if self.watch is not None:
-                self.watch()
+                self.watch(block)
             return True
         return False
 
@@ -256,7 +271,7 @@ class DirectMappedCache:
             self._versions[i] = 0
             self._dirty[i] = False
         if self.watch is not None:
-            self.watch()
+            self.watch(-1)
 
 
 class SetAssociativeCache:

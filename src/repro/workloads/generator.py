@@ -211,19 +211,41 @@ class TraceGenerator:
             choice = rng.choice(len(group_names), size=accesses, p=weights)
             pages = np.empty(accesses, dtype=np.int64)
             writes = np.zeros(accesses, dtype=np.uint8)
+            # groups with run_length > 1 pick whole blocks (page + offset)
+            # per run and overwrite their stream positions after the
+            # page-level draws; collected here to keep the rng call
+            # sequence of run_length == 1 specs bit-identical
+            run_blocks: List[Tuple[np.ndarray, np.ndarray]] = []
             for gi, gname in enumerate(group_names):
                 idx = np.nonzero(choice == gi)[0]
                 if idx.size == 0:
                     continue
                 layout = self.layouts[gname]
-                pages[idx] = self._draw_pages(rng, layout, idx.size, proc, phase)
+                run = layout.group.run_length
+                if run > 1:
+                    picks = (idx.size + run - 1) // run
+                    pick_pages = self._draw_pages(rng, layout, picks, proc,
+                                                  phase)
+                    pick_offs = rng.integers(0, self.blocks_per_page,
+                                             size=picks)
+                    blocks = np.repeat(
+                        pick_pages * self.blocks_per_page + pick_offs,
+                        run)[:idx.size]
+                    run_blocks.append((idx, blocks))
+                    pages[idx] = blocks // self.blocks_per_page
+                else:
+                    pages[idx] = self._draw_pages(rng, layout, idx.size, proc,
+                                                  phase)
                 wf = (phase.write_override
                       if phase.write_override is not None
                       else layout.group.write_fraction)
                 if wf > 0:
                     writes[idx] = (rng.random(idx.size) < wf).astype(np.uint8)
             offsets = rng.integers(0, self.blocks_per_page, size=accesses)
-            block_arrays.append(pages * self.blocks_per_page + offsets)
+            stream = pages * self.blocks_per_page + offsets
+            for idx, blocks in run_blocks:
+                stream[idx] = blocks
+            block_arrays.append(stream)
             write_arrays.append(writes)
 
         return PhaseTrace(name=phase.name,

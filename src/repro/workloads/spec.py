@@ -79,6 +79,19 @@ class PageGroup:
         that makes some read-only pages look like migration candidates —
         the effect behind "page migration unnecessarily migrates some of
         the read-only pages" in barnes (Section 6.1).
+    run_length:
+        Spatial/temporal block reuse: each drawn block fills
+        ``run_length`` consecutive *positions of this group* in the
+        stream before the next draw (the post-fill same-block runs that
+        make fine-grain caching pay off — after the miss fill, the rest
+        of the run re-hits the line).  In a single-group phase the
+        repeats are literally back to back; when a phase mixes several
+        weighted groups, other groups' references interleave between a
+        run's positions (and can evict the line mid-run if they conflict
+        on its cache set), so specs built to guarantee whole runs should
+        give run-length groups their own phases.  The default of 1 keeps
+        the historical one-draw-per-reference behaviour (and the exact
+        rng stream of existing seeded traces).
     """
 
     name: str
@@ -89,6 +102,7 @@ class PageGroup:
     hot_weight: float = 1.0
     touches_per_page: int = 32
     node_affinity: float = 0.0
+    run_length: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -107,6 +121,8 @@ class PageGroup:
             raise ValueError("touches_per_page must be positive")
         if not 0.0 <= self.node_affinity <= 1.0:
             raise ValueError("node_affinity must be in [0, 1]")
+        if self.run_length < 1:
+            raise ValueError("run_length must be >= 1")
 
 
 @dataclass(frozen=True)

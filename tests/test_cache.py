@@ -265,10 +265,20 @@ class TestBatchedProbeAPI:
     def test_watch_fires_on_invalidate_and_clear(self):
         events = []
         c = self._filled()
-        c.watch = lambda: events.append("drop")
+        c.watch = events.append
         c.invalidate(99)       # absent: no drop, no event
         assert events == []
-        c.invalidate(3)
-        assert events == ["drop"]
-        c.clear()
-        assert events == ["drop", "drop"]
+        c.invalidate(3)        # the hook receives the dropped block id
+        assert events == [3]
+        c.clear()              # whole-cache drops report -1
+        assert events == [3, -1]
+
+    def test_fill_watch_fires_on_fill(self):
+        events = []
+        c = self._filled()
+        c.fill_watch = events.append
+        c.fill(7, version=1)
+        assert events == [7]
+        c.fill_watch = None
+        c.fill(9, version=1)
+        assert events == [7]

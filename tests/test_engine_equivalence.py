@@ -171,6 +171,185 @@ class TestRandomTraces:
         assert_equivalent(tiny_config, system, trace)
 
 
+def _run_streams(num_procs, streams):
+    """Build a one-phase trace from per-proc (blocks, writes) tuples."""
+    blocks = [np.asarray(b, dtype=np.int64) for b, _ in streams]
+    writes = [np.asarray(w, dtype=np.int8) for _, w in streams]
+    phase = PhaseTrace(name="adv", compute_per_access=2,
+                       blocks=blocks, writes=writes)
+    return Trace(name="adversarial", num_procs=num_procs, phases=[phase])
+
+
+class TestPromotionAdversarial:
+    """Equivalence under traces built to stress the promotion lane.
+
+    Each trace forces a specific hazard sequence — miss fill followed by
+    a long same-block read run, a conflicting-set access cutting the
+    run, foreign writes landing inside it, owned-write runs, and
+    page-operation shootdowns mid-run — and must produce bit-identical
+    results with promotion enabled and disabled, for every system.
+    """
+
+    @pytest.fixture(autouse=True, params=["promotion", "no-promotion"])
+    def _promotion_mode(self, request, monkeypatch):
+        if request.param == "no-promotion":
+            monkeypatch.setenv("REPRO_PROMOTION", "0")
+
+    @pytest.mark.parametrize("system", SYSTEM_NAMES)
+    def test_runs_with_conflicts_and_writes(self, system, tiny_config):
+        # proc0: miss on 3, long read run of 3, conflict (same set: 3+16),
+        # return to 3, owned-write run on 5; proc1 writes 3 mid-run;
+        # procs 2/3 mine remote pages to trigger page operations
+        p0 = ([3, 3, 3, 3, 19, 3, 3, 5, 5, 5, 5, 3, 3],
+              [1, 0, 0, 0, 0, 0, 0, 1, 1, 0, 1, 0, 0])
+        p1 = ([40, 40, 3, 40, 40, 40, 3, 3, 3, 41, 41, 41, 41],
+              [0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0])
+        p2 = ([64, 64, 64, 64, 65, 65, 65, 65, 64, 64, 64, 64, 65],
+              [1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0])
+        p3 = ([80, 80, 80, 81, 81, 81, 80, 80, 80, 81, 81, 81, 80],
+              [0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1])
+        trace = _run_streams(4, [p0, p1, p2, p3])
+        assert_equivalent(tiny_config, system, trace)
+
+    @pytest.mark.parametrize("system",
+                             ["ccnuma", "migrep", "rnuma", "scoma",
+                              "rnuma-half-migrep"])
+    def test_shootdown_mid_run(self, system, small_config, small_machine):
+        """Page-op churn demotes pre-classified runs; promotion must
+        recover them without changing a single counter."""
+        spec = make_simple_spec(pattern=SharingPattern.MIGRATORY,
+                                accesses=400, write_fraction=0.25,
+                                shift=1, phases=3)
+        trace = make_trace(spec, small_machine, seed=13)
+        assert_equivalent(small_config, system, trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_run_traces(self, data):
+        """Random traces with same-block run structure (the promotion
+        lane's target shape) across the core systems."""
+        tiny_config = _random_trace_config()
+        num_procs = 4
+        num_blocks = data.draw(st.integers(8, 48))
+        phases = []
+        for pi in range(data.draw(st.integers(1, 2))):
+            blocks, writes = [], []
+            for p in range(num_procs):
+                picks = data.draw(st.integers(0, 12))
+                stream = []
+                for _ in range(picks):
+                    b = data.draw(st.integers(0, num_blocks - 1))
+                    stream.extend([b] * data.draw(st.integers(1, 6)))
+                n = len(stream)
+                blocks.append(np.array(stream, dtype=np.int64))
+                writes.append(np.array(
+                    data.draw(st.lists(st.integers(0, 1),
+                                       min_size=n, max_size=n)),
+                    dtype=np.int8))
+            phases.append(PhaseTrace(name=f"ph{pi}", compute_per_access=2,
+                                     blocks=blocks, writes=writes))
+        trace = Trace(name="random-runs", num_procs=num_procs, phases=phases)
+        system = data.draw(st.sampled_from(
+            ["ccnuma", "perfect", "migrep", "rnuma", "scoma"]))
+        assert_equivalent(tiny_config, system, trace)
+
+
+class TestResidualSchedule:
+    """Unit tests for the pending-schedule mask structure."""
+
+    def _classify(self, streams, num_lines=4, build_promotion=True):
+        from repro.engine.classify import classify_phase
+        from repro.mem.cache import DirectMappedCache
+
+        blocks = [np.asarray(b, dtype=np.int64) for b, _ in streams]
+        writes = [np.asarray(w, dtype=bool) for _, w in streams]
+        caches = [DirectMappedCache(num_lines) for _ in streams]
+        return classify_phase(blocks, writes, caches, lambda b: 0,
+                              build_promotion=build_promotion)
+
+    def test_entries_in_interleave_order_with_slots(self):
+        cls, sched = self._classify([([1, 1, 2], [1, 0, 0]),
+                                     ([3, 3, 3], [0, 0, 1])])
+        assert len(sched.entries) > 0
+        assert sched.keys == sorted(sched.keys)
+        for i, p, probe, blk, wrt, slot, chain in sched.entries:
+            assert sched.idx[p][slot] == i
+
+    def test_promote_demote_are_mask_flips(self):
+        cls, sched = self._classify([([1, 1, 1, 1], [1, 0, 0, 0])])
+        # the head write is residual slot 0; flipping the mask moves it
+        # out of (and back into) the pending set without rebuilding
+        assert not sched.is_promoted(0, 0)
+        head_idx = sched.idx[0][0]
+        assert head_idx in sched.pending(0)
+        sched.promote(0, 0)
+        assert sched.is_promoted(0, 0)
+        assert head_idx not in sched.pending(0)
+        sched.demote(0, 0)
+        assert not sched.is_promoted(0, 0)
+        assert head_idx in sched.pending(0)
+
+    def test_next_same_block_chains_are_per_block(self):
+        # proc 0: write-run on block 1 (residual writes chain together);
+        # block 2 interleaved on a different set
+        cls, sched = self._classify([([1, 1, 1, 2, 1], [1, 1, 1, 1, 1])])
+        nsb = sched.next_same_block[0]
+        idx = sched.idx[0]
+        blkof = {i: b for i, b in zip(idx, [1, 1, 1, 2, 1])}
+        for s, t in enumerate(nsb):
+            if t >= 0:
+                assert blkof[idx[s]] == blkof[idx[t]]
+                assert idx[t] > idx[s]
+
+    def test_prev_conflict_marks_set_pressure(self):
+        # blocks 1 and 5 share set 1 of a 4-line cache: the return to 1
+        # after 5 must carry the conflicting access as its proof
+        cls, sched = self._classify([([1, 5, 1], [1, 1, 1])])
+        by_idx = dict(zip(sched.idx[0], sched.prev_conflict[0]))
+        assert by_idx[0] == -1         # the opening access has no pressure
+        assert by_idx[1] == 0          # 5 displaces the access to 1
+        assert by_idx[2] == 1          # return to 1 crosses the access to 5
+
+    def test_first_touch_prepromoted_when_resident_fresh(self):
+        from repro.engine.classify import CLS_FAST, classify_phase
+        from repro.mem.cache import DirectMappedCache
+
+        cache = DirectMappedCache(4)
+        cache.fill(1, version=0)
+        cls, sched = classify_phase([np.asarray([1, 1], dtype=np.int64)],
+                                    [np.asarray([0, 0], dtype=bool)],
+                                    [cache], lambda b: 0)
+        # the first touch is a residual slot, pre-promoted to fast
+        assert cls[0][0] == CLS_FAST
+        slot = int(sched.slot_of[0][0])
+        assert slot >= 0 and sched.is_promoted(0, slot)
+
+    def test_static_schedule_cached_on_phase(self):
+        from repro.engine import classify as C
+        from repro.mem.cache import DirectMappedCache
+
+        phase = PhaseTrace(name="c", compute_per_access=1,
+                           blocks=[np.asarray([1, 2, 1], dtype=np.int64)],
+                           writes=[np.asarray([0, 0, 0], dtype=bool)])
+        caches = [DirectMappedCache(4)]
+        calls = []
+        orig = C._build_static
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return orig(*args, **kwargs)
+
+        C._build_static = counting
+        try:
+            for _ in range(3):
+                C.classify_phase(phase.blocks, phase.writes, caches,
+                                 lambda b: 0, phase=phase)
+        finally:
+            C._build_static = orig
+        assert len(calls) == 1
+        assert "_classify_static" in phase.__dict__
+
+
 class TestEngineSelection:
     def test_engine_names(self):
         assert set(ENGINE_NAMES) == {"batched", "legacy"}

@@ -152,6 +152,13 @@ class TestTraceStore:
 
 
 class TestZeroCopyDispatch:
+    @pytest.fixture(autouse=True)
+    def _npz_fallback(self, monkeypatch):
+        """These tests cover the on-disk npz path (the shared-memory
+        pool, which normally takes precedence, is exercised by
+        TestSharedMemoryDispatch)."""
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+
     def test_parallel_dispatch_spills_each_trace_once(self, cfg, ocean_trace):
         other = get_workload("ocean", machine=cfg.machine, scale=0.05, seed=1)
         items = [(trace, system, cfg)
@@ -184,6 +191,71 @@ class TestZeroCopyDispatch:
             # the archive already exists on disk: nothing is re-written
             assert len(list(store.root.glob("*.npz"))) == 1
         assert len(res) == 2
+
+
+class TestSharedMemoryDispatch:
+    """Warm shared-memory workers: publication, attach reuse, fallback."""
+
+    def test_trace_shm_round_trip(self, cfg, ocean_trace):
+        import os
+
+        from repro.workloads.trace_io import (trace_from_shm, trace_to_shm,
+                                              traces_equal)
+
+        shm, meta = trace_to_shm(ocean_trace, f"repro-test-{os.getpid()}")
+        try:
+            loaded, handle = trace_from_shm(meta)
+            assert traces_equal(ocean_trace, loaded)
+            # zero-copy: the loaded arrays view the shared segment
+            assert loaded.phases[0].blocks[0].base is not None
+            del loaded, handle
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_parallel_dispatch_publishes_each_trace_once(self, cfg,
+                                                         ocean_trace):
+        other = get_workload("ocean", machine=cfg.machine, scale=0.05, seed=1)
+        items = [(trace, system, cfg)
+                 for trace in (ocean_trace, other)
+                 for system in ("perfect", "ccnuma", "rnuma")]
+        with SweepRunner(jobs=2) as runner:
+            par = runner.map_runs(items)
+            assert runner.stats.parallel_runs == 6
+            assert runner.stats.shm_segments == 2
+            assert runner.stats.traces_spilled == 0      # no npz needed
+            # every parallel run either attached or reused a warm trace
+            assert (runner.stats.shm_attaches
+                    + runner.stats.worker_reuse) == 6
+            assert runner.stats.shm_attaches >= 2
+        with SweepRunner(jobs=1) as runner:
+            ser = runner.map_runs(items)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+            assert a.stats.stall_breakdown == b.stats.stall_breakdown
+
+    def test_no_shm_env_falls_back_to_npz(self, cfg, ocean_trace,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        items = [(ocean_trace, system, cfg)
+                 for system in ("perfect", "ccnuma")]
+        with SweepRunner(jobs=2) as runner:
+            runner.map_runs(items)
+            assert runner.stats.shm_segments == 0
+            assert runner.stats.traces_spilled == 1
+
+    def test_segments_unlinked_on_close(self, cfg, ocean_trace):
+        from multiprocessing import shared_memory
+
+        with SweepRunner(jobs=2) as runner:
+            runner.map_runs([(ocean_trace, s, cfg)
+                             for s in ("perfect", "ccnuma")])
+            pool = runner._shm_pool
+            assert pool is not None and pool.segments == 1
+            names = [shm.name for shm, _ in pool._segments.values()]
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
 
 class TestBatchExecution:
