@@ -13,7 +13,7 @@ script re-measures the same quantities and
   same host, promotion on vs off, warm vs cold sweep workers), which
   transfer across machines, never absolute wall times.
 
-Gates enforced by ``--check``:
+Gates enforced by ``--check`` (record schema 2):
 
 1. On the miss-dense configuration (``benchmarks/bench_engine_speedup.
    miss_dense_spec``) the batched engine's speedup over the legacy
@@ -21,11 +21,23 @@ Gates enforced by ``--check``:
    baseline's recorded speedup (the dynamic-promotion / line-precise
    demotion / inlined-upgrade work), and ``rnuma`` must not regress
    below the baseline band.
-2. The warm shared-memory ``jobs=2`` sweep must not be slower than the
+2. Adaptive promotion (the default) must not lose to either forced
+   mode: ``promotion_speedup`` (forced-on over adaptive) and
+   ``nopromo_speedup`` (forced-off over adaptive) both stay within the
+   tolerance band of 1.0.
+3. The compiled residual kernel (``engine=kernel``) must hold a
+   ``>= 5x`` miss-dense migrep speedup over the batched engine on the
+   same host, and must not regress below the committed ``current``
+   band.  When no compiled backend exists on the host (no numba, no C
+   toolchain) the lane records its ``fallback_reason`` and the gate is
+   skipped — the pure-Python install stays green.
+4. The warm shared-memory ``jobs=2`` sweep must not be slower than the
    cold per-worker npz path beyond the tolerance band.
-3. The hot-set batched-vs-legacy speedup must stay within the band of
+5. The hot-set batched-vs-legacy speedup must stay within the band of
    the committed ``current`` recording.
 
+Every timing lane also asserts bit-identical results across engines and
+promotion modes first — a speedup over wrong results is worthless.
 Everything measured is also printed, so CI logs double as a perf record.
 """
 
@@ -46,23 +58,25 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 BENCH_FILE = REPO / "BENCH_engine.json"
 
 
-def _median_run(cfg, system, trace, engine, *, env=None, repeats=3):
+def _one_run(cfg, system, trace, engine, env):
+    """One timed run.  ``env`` pins ``REPRO_PROMOTION``: ``"1"`` /
+    ``"0"`` force promotion on/off, ``""`` unsets it (the adaptive
+    default), ``None`` leaves the ambient environment alone."""
     from repro.cluster.machine import Machine
     from repro.core.factory import build_system
 
     saved = None
     if env is not None:
         saved = os.environ.get("REPRO_PROMOTION")
-        os.environ["REPRO_PROMOTION"] = env
+        if env == "":
+            os.environ.pop("REPRO_PROMOTION", None)
+        else:
+            os.environ["REPRO_PROMOTION"] = env
     try:
-        times = []
-        stats = None
-        for _ in range(repeats):
-            machine = Machine(cfg, build_system(system))
-            t0 = time.perf_counter()
-            stats = machine.run(trace, engine=engine)
-            times.append(time.perf_counter() - t0)
-        return statistics.median(times), stats
+        machine = Machine(cfg, build_system(system))
+        t0 = time.perf_counter()
+        stats = machine.run(trace, engine=engine)
+        return time.perf_counter() - t0, stats
     finally:
         if env is not None:
             if saved is None:
@@ -71,8 +85,75 @@ def _median_run(cfg, system, trace, engine, *, env=None, repeats=3):
                 os.environ["REPRO_PROMOTION"] = saved
 
 
+def _median_run(cfg, system, trace, engine, *, env=None, repeats=3):
+    """Median-of-``repeats`` wall time for one (system, engine) lane."""
+    (med,), (stats,) = _interleaved_runs(cfg, system, trace,
+                                         [(engine, env)], repeats)
+    return med, stats
+
+
+def _interleaved_runs(cfg, system, trace, lanes, repeats):
+    """Median times for several lanes, repeats interleaved round-robin.
+
+    The lanes being compared are always ratioed against each other, and
+    wall-clock drift on shared machines (CPU frequency, co-tenants)
+    easily exceeds the effects being measured.  Interleaving the
+    repeats spreads the drift over every lane instead of loading it
+    onto whichever lane ran last.  Returns ``(medians, stats)`` in lane
+    order; each lane gets one free warmup run first.
+    """
+    times = [[] for _ in lanes]
+    stats = [None] * len(lanes)
+    for j, (engine, env) in enumerate(lanes):
+        _one_run(cfg, system, trace, engine, env)
+    for _ in range(repeats):
+        for j, (engine, env) in enumerate(lanes):
+            t, st = _one_run(cfg, system, trace, engine, env)
+            times[j].append(t)
+            stats[j] = st
+    return [statistics.median(t) for t in times], stats
+
+
+def _assert_identical(system, a, b) -> None:
+    if (a.execution_time != b.execution_time
+            or a.stall_breakdown != b.stall_breakdown
+            or a.nodes != b.nodes):
+        raise SystemExit(
+            f"engine results diverged for {system}: a speedup over "
+            "wrong results is worthless")
+
+
+def _kernel_lane(cfg, system, trace, batched_s, batched_stats,
+                 repeats) -> dict:
+    """Time ``engine=kernel`` on the same trace; assert bit-identity.
+
+    When the kernel falls back (no compiled backend, ineligible
+    system) the lane records the fallback reason instead of timings so
+    the committed file documents *why* there is no kernel number.
+    """
+    kernel_s, kernel_stats = _median_run(cfg, system, trace, "kernel",
+                                         repeats=repeats)
+    prof = kernel_stats.engine_profile or {}
+    if prof.get("engine") != "kernel":
+        return {"fallback_reason": prof.get("fallback_reason", "?")}
+    _assert_identical(system, batched_stats, kernel_stats)
+    return {
+        "backend": prof.get("backend", "?"),
+        "kernel_s": round(kernel_s, 4),
+        "refs_per_s": int(trace.total_accesses() / kernel_s),
+        "speedup_vs_batched": round(batched_s / kernel_s, 3),
+        "bails": int(prof.get("bails", 0)),
+    }
+
+
 def measure_miss_dense(scale: float, repeats: int) -> dict:
-    """Batched/legacy/promotion timings on the miss-dense configuration."""
+    """Engine and promotion-mode timings on the miss-dense configuration.
+
+    ``batched_s`` is the adaptive-promotion default; the forced modes
+    (``promo_on_s`` / ``nopromo_s``) quantify what the per-phase
+    decision buys, and the ``kernel`` sub-record times the compiled
+    residual kernel against the same trace.
+    """
     from bench_engine_speedup import miss_dense_config, miss_dense_spec
     from repro.workloads.generator import TraceGenerator
 
@@ -83,30 +164,33 @@ def measure_miss_dense(scale: float, repeats: int) -> dict:
     out = {"accesses": trace.total_accesses()}
     for system in ("migrep", "rnuma"):
         legacy_s, legacy_stats = _median_run(cfg, system, trace, "legacy",
-                                             repeats=repeats)
-        batched_s, batched_stats = _median_run(cfg, system, trace, "batched",
-                                               repeats=repeats)
-        nopromo_s, nopromo_stats = _median_run(cfg, system, trace, "batched",
-                                               env="0", repeats=repeats)
-        for a, b in ((legacy_stats, batched_stats),
-                     (batched_stats, nopromo_stats)):
-            if (a.execution_time != b.execution_time
-                    or a.stall_breakdown != b.stall_breakdown
-                    or a.nodes != b.nodes):
-                raise SystemExit(
-                    f"engine results diverged for {system}: a speedup over "
-                    "wrong results is worthless")
+                                             repeats=max(1, repeats - 1))
+        lanes = [("batched", ""), ("batched", "1"), ("batched", "0")]
+        ((batched_s, promo_on_s, nopromo_s),
+         (batched_stats, promo_on_stats, nopromo_stats)) = _interleaved_runs(
+            cfg, system, trace, lanes, repeats)
+        for other in (batched_stats, promo_on_stats, nopromo_stats):
+            _assert_identical(system, legacy_stats, other)
         prof = batched_stats.engine_profile or {}
+        decisions = prof.get("phase_promotions") or []
         out[system] = {
             "legacy_s": round(legacy_s, 4),
             "batched_s": round(batched_s, 4),
+            "promo_on_s": round(promo_on_s, 4),
             "nopromo_s": round(nopromo_s, 4),
             "refs_per_s": int(trace.total_accesses() / batched_s),
             "speedup_vs_legacy": round(legacy_s / batched_s, 3),
-            "promotion_speedup": round(nopromo_s / batched_s, 3),
+            "promotion_speedup": round(promo_on_s / batched_s, 3),
+            "nopromo_speedup": round(nopromo_s / batched_s, 3),
+            "promotion_mode": prof.get("promotion_mode", "?"),
+            "phases_promoted": sum(
+                1 for d in decisions if d.get("promotion")),
+            "phases": len(decisions),
             "promoted": int(prof.get("promoted", 0)),
             "demoted": int(prof.get("demoted", 0)),
             "residual": int(prof.get("residual", 0)),
+            "kernel": _kernel_lane(cfg, system, trace, batched_s,
+                                   batched_stats, repeats),
         }
     return out
 
@@ -121,14 +205,18 @@ def measure_hot_set(scale: float, repeats: int) -> dict:
     accesses = max(1000, int(2000 * scale))
     trace = TraceGenerator(hot_set_spec(accesses_per_proc=accesses),
                            cfg.machine, seed=0).generate()
-    legacy_s, _ = _median_run(cfg, "ccnuma", trace, "legacy", repeats=repeats)
-    batched_s, _ = _median_run(cfg, "ccnuma", trace, "batched",
-                               repeats=repeats)
+    legacy_s, legacy_stats = _median_run(cfg, "ccnuma", trace, "legacy",
+                                         repeats=repeats)
+    batched_s, batched_stats = _median_run(cfg, "ccnuma", trace, "batched",
+                                           env="", repeats=repeats)
+    _assert_identical("ccnuma", legacy_stats, batched_stats)
     return {
         "accesses": trace.total_accesses(),
         "legacy_s": round(legacy_s, 4),
         "batched_s": round(batched_s, 4),
         "speedup_vs_legacy": round(legacy_s / batched_s, 3),
+        "kernel": _kernel_lane(cfg, "ccnuma", trace, batched_s,
+                               batched_stats, repeats),
     }
 
 
@@ -218,16 +306,44 @@ def check(measured: dict, recorded: dict, tolerance: float) -> int:
             _fail(failures, "miss-dense rnuma speedup regressed below the "
                             "PR 4 band")
 
-    # 1b. the promotion lane must never become a drag on its own config
+    # 2. adaptive promotion must not lose to either forced mode
     for system in ("migrep", "rnuma"):
-        ps = md[system]["promotion_speedup"]
-        print(f"miss-dense {system} promotion on/off: {ps:.2f} "
-              f"(gate >= {1 - tolerance:.2f})")
-        if ps < 1 - tolerance:
-            _fail(failures, f"promotion lane slows the {system} miss-dense "
-                            "run beyond the tolerance band")
+        for key, label in (("promotion_speedup", "forced-on"),
+                           ("nopromo_speedup", "forced-off")):
+            ratio = md[system].get(key)
+            if ratio is None:
+                continue
+            print(f"miss-dense {system} {label} / adaptive: {ratio:.2f} "
+                  f"(gate >= {1 - tolerance:.2f})")
+            if ratio < 1 - tolerance:
+                _fail(failures,
+                      f"adaptive promotion loses to {label} on the "
+                      f"{system} miss-dense run beyond the tolerance band")
 
-    # 2. warm shared-memory workers must not lose to the cold path.  Both
+    # 3. compiled kernel lane: >= 5x over batched on the same host, and
+    # within the band of the committed recording.  A fallback (no
+    # compiled backend on this host) skips the gate by design.
+    kernel = md["migrep"].get("kernel", {})
+    if "speedup_vs_batched" in kernel:
+        got = kernel["speedup_vs_batched"]
+        need = 5.0 * (1 - tolerance)
+        print(f"miss-dense migrep kernel ({kernel.get('backend')}) vs "
+              f"batched: x{got:.2f} at {kernel['refs_per_s']:,} refs/s "
+              f"(gate >= x{need:.2f})")
+        if got < need:
+            _fail(failures, "kernel speedup over batched fell below the "
+                            "5x floor")
+        cur_kernel = (current.get("miss_dense", {}).get("migrep", {})
+                      .get("kernel", {}).get("speedup_vs_batched"))
+        if cur_kernel and got < cur_kernel * (1 - tolerance):
+            _fail(failures, "kernel speedup regressed below the committed "
+                            "band")
+    else:
+        print("miss-dense migrep kernel: fell back "
+              f"({kernel.get('fallback_reason', 'no record')}) — gate "
+              "skipped")
+
+    # 4. warm shared-memory workers must not lose to the cold path.  Both
     # sides are fresh best-of-two wall clocks (no committed anchor), so
     # the margin is doubled to keep small shared CI machines from
     # flaking the build.
@@ -238,7 +354,7 @@ def check(measured: dict, recorded: dict, tolerance: float) -> int:
         _fail(failures, "warm shared-memory sweep slower than the cold npz "
                         "path")
 
-    # 3. hot-set band vs the committed current recording
+    # 5. hot-set band vs the committed current recording
     cur_hot = current.get("hot_set", {}).get("speedup_vs_legacy")
     hot = measured["hot_set"]["speedup_vs_legacy"]
     if cur_hot:
@@ -287,7 +403,7 @@ def main(argv=None) -> int:
     print(json.dumps(measured, indent=2))
 
     if args.record:
-        recorded.setdefault("schema", 1)
+        recorded["schema"] = 2
         recorded["current"] = {
             "scale": args.scale,
             **measured,

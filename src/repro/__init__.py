@@ -137,7 +137,7 @@ from repro.registry import (
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CostModel",

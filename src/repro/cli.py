@@ -216,6 +216,28 @@ def _policy_configs(scenario: Scenario, policy: str):
     return {key: apply(entry) for key, entry in scenario.configs.items()}
 
 
+def _engine_label(prof: dict) -> str:
+    """Lane label for one run: engine, kernel backend, or fallback."""
+    engine = prof.get("engine", "?")
+    if engine == "kernel":
+        return f"kernel:{prof.get('backend', '?')}"
+    if prof.get("requested_engine") == "kernel":
+        return "kernel>batched"
+    return engine
+
+
+def _promo_label(prof: dict) -> str:
+    """Promotion-lane label: the mode, with on/total phases if adaptive."""
+    mode = prof.get("promotion_mode")
+    if mode is None:  # pre-mode profile (plain bool)
+        return "on" if prof.get("promotion_enabled") else "off"
+    if mode != "adaptive":
+        return mode
+    decisions = prof.get("phase_promotions") or []
+    n_on = sum(1 for d in decisions if d.get("promotion"))
+    return f"ad:{n_on}/{len(decisions)}"
+
+
 def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
     """Engine per-lane breakdown + runner counters for ``exp --profile``."""
     stats = rs.runner_stats or runner.stats.as_dict()
@@ -226,22 +248,31 @@ def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
     if not profs:
         lines.append("(no engine profiles: the runs used the legacy engine)")
         return "\n".join(lines)
-    header = (f"{'app':<12} {'system':<14} {'refs':>9} {'fast':>9} "
-              f"{'promoted':>9} {'demoted':>8} {'residual':>9} {'wall_s':>8}")
+    header = (f"{'app':<12} {'system':<14} {'engine':<15} {'promo':<8} "
+              f"{'refs':>9} {'fast':>9} {'promoted':>9} {'demoted':>8} "
+              f"{'residual':>9} {'wall_s':>8}")
     lines += [header, "-" * len(header)]
     totals = {"references": 0, "fast": 0, "promoted": 0, "demoted": 0,
               "residual": 0, "wall_s": 0.0}
+    fallbacks = []
     for app, system_name, prof in profs:
         lines.append(
-            f"{app:<12} {system_name:<14} {prof['references']:>9} "
+            f"{app:<12} {system_name:<14} {_engine_label(prof):<15} "
+            f"{_promo_label(prof):<8} {prof['references']:>9} "
             f"{prof['fast']:>9} {prof['promoted']:>9} {prof['demoted']:>8} "
             f"{prof['residual']:>9} {prof['wall_s']:>8.3f}")
         for k in totals:
             totals[k] += prof[k]
+        reason = prof.get("fallback_reason")
+        if reason:
+            fallbacks.append(f"  {app}/{system_name}: {reason}")
     lines.append(
-        f"{'total':<12} {'':<14} {totals['references']:>9} "
+        f"{'total':<12} {'':<14} {'':<15} {'':<8} {totals['references']:>9} "
         f"{totals['fast']:>9} {totals['promoted']:>9} {totals['demoted']:>8} "
         f"{totals['residual']:>9} {totals['wall_s']:>8.3f}")
+    if fallbacks:
+        lines.append("kernel fallbacks:")
+        lines += fallbacks
     return "\n".join(lines)
 
 

@@ -10,14 +10,23 @@ Two counter families appear in the paper:
   one counter per remote page counting capacity/conflict refetches.  They
   trigger the purely local relocation into the S-COMA page cache.
 
-Both tables are sparse dictionaries keyed by page, because only a small
-fraction of the address space is ever shared remotely.
+The MigRep table is stored *dense*: flat buffer-backed ``array('q')``
+columns indexed by ``page * num_nodes + node``, plus per-page "row live"
+flag bytes preserving the sparse table's distinction between "never
+counted" and "counted then reset to zero" (the two are value-identical
+for every threshold comparison — all comparisons are strict ``>`` against
+non-negative counts — but :meth:`MigRepCounters.tracked_pages` observes
+the difference).  The dense layout is what lets the compiled residual
+kernel bump counters and evaluate the static-threshold policy without
+touching Python objects.  The R-NUMA refetch counters stay sparse
+dictionaries, because only a small fraction of the address space is ever
+shared remotely and no compiled path reads them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from array import array
+from typing import Dict, Optional, Sequence, Tuple
 
 
 class MigRepCounters:
@@ -31,10 +40,16 @@ class MigRepCounters:
         After this many misses have been recorded against a page since its
         last reset, the page's counters are cleared (the paper resets the
         counters periodically to track phase changes).
+
+    Storage: ``_read``/``_write`` are flat ``array('q')`` columns indexed
+    by ``page * num_nodes + node``; ``_since`` holds the per-page miss
+    count since the last reset; ``_live_r``/``_live_w`` flag which pages
+    have a live (ever-recorded-since-reset) row.  All grow in place via
+    :meth:`reserve` so aliases (and exported buffer views) stay valid.
     """
 
-    __slots__ = ("num_nodes", "reset_interval", "_read", "_write",
-                 "_since_reset", "resets")
+    __slots__ = ("num_nodes", "reset_interval", "_cap", "_read", "_write",
+                 "_since", "_live_r", "_live_w", "resets")
 
     def __init__(self, num_nodes: int, reset_interval: int) -> None:
         if num_nodes <= 0:
@@ -43,57 +58,93 @@ class MigRepCounters:
             raise ValueError("reset_interval must be positive")
         self.num_nodes = num_nodes
         self.reset_interval = reset_interval
-        self._read: Dict[int, List[int]] = {}
-        self._write: Dict[int, List[int]] = {}
-        self._since_reset: Dict[int, int] = {}
+        self._cap = 0
+        self._read = array("q")
+        self._write = array("q")
+        self._since = array("q")
+        self._live_r = bytearray()
+        self._live_w = bytearray()
         self.resets = 0
 
-    # -- recording ----------------------------------------------------------------
+    # -- storage management ---------------------------------------------------------
 
-    def _row(self, table: Dict[int, List[int]], page: int) -> List[int]:
-        row = table.get(page)
-        if row is None:
-            row = [0] * self.num_nodes
-            table[page] = row
-        return row
+    def reserve(self, n: int) -> None:
+        """Grow the columns (in place) to cover page ids ``< n``."""
+        cap = self._cap
+        if n <= cap:
+            return
+        grow = max(n, 2 * cap, 256) - cap
+        row_bytes = bytes(8 * grow * self.num_nodes)
+        self._read.frombytes(row_bytes)
+        self._write.frombytes(row_bytes)
+        self._since.frombytes(bytes(8 * grow))
+        self._live_r += bytes(grow)
+        self._live_w += bytes(grow)
+        self._cap = cap + grow
+
+    # -- recording ----------------------------------------------------------------
 
     def record_miss(self, page: int, node: int, is_write: bool) -> None:
         """Record one miss on ``page`` by ``node``; reset the page if due."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range")
-        # inlined _row: this runs once per (local or remote) miss reaching
-        # a MigRep home
-        table = self._write if is_write else self._read
-        row = table.get(page)
-        if row is None:
-            row = [0] * self.num_nodes
-            table[page] = row
-        row[node] += 1
-        since = self._since_reset
-        total = since.get(page, 0) + 1
+        # this runs once per (local or remote) miss reaching a MigRep home
+        # (hot-path copies of this body are inlined in core/migrep.py and
+        # the compiled kernel — keep them in sync)
+        if page >= self._cap:
+            self.reserve(page + 1)
+        if is_write:
+            self._live_w[page] = 1
+            self._write[page * self.num_nodes + node] += 1
+        else:
+            self._live_r[page] = 1
+            self._read[page * self.num_nodes + node] += 1
+        total = self._since[page] + 1
         if total >= self.reset_interval:
             self.reset_page(page)
         else:
-            since[page] = total
+            self._since[page] = total
 
     def reset_page(self, page: int) -> None:
         """Clear the counters of ``page`` (periodic reset)."""
-        self._read.pop(page, None)
-        self._write.pop(page, None)
-        self._since_reset[page] = 0
+        if page < self._cap:
+            nn = self.num_nodes
+            base = page * nn
+            zeros = array("q", bytes(8 * nn))
+            self._read[base:base + nn] = zeros
+            self._write[base:base + nn] = zeros
+            self._since[page] = 0
+            self._live_r[page] = 0
+            self._live_w[page] = 0
         self.resets += 1
 
     # -- queries -------------------------------------------------------------------
 
+    def read_row(self, page: int) -> Optional[Sequence[int]]:
+        """Live read-miss row of ``page`` (length ``num_nodes``), or None."""
+        if page < self._cap and self._live_r[page]:
+            base = page * self.num_nodes
+            return self._read[base:base + self.num_nodes]
+        return None
+
+    def write_row(self, page: int) -> Optional[Sequence[int]]:
+        """Live write-miss row of ``page`` (length ``num_nodes``), or None."""
+        if page < self._cap and self._live_w[page]:
+            base = page * self.num_nodes
+            return self._write[base:base + self.num_nodes]
+        return None
+
     def read_misses(self, page: int, node: int) -> int:
         """Read misses recorded for (page, node) since the last reset."""
-        row = self._read.get(page)
-        return row[node] if row is not None else 0
+        if page < self._cap:
+            return self._read[page * self.num_nodes + node]
+        return 0
 
     def write_misses(self, page: int, node: int) -> int:
         """Write misses recorded for (page, node) since the last reset."""
-        row = self._write.get(page)
-        return row[node] if row is not None else 0
+        if page < self._cap:
+            return self._write[page * self.num_nodes + node]
+        return 0
 
     def misses(self, page: int, node: int) -> int:
         """Total (read + write) misses for (page, node) since the last reset."""
@@ -101,23 +152,23 @@ class MigRepCounters:
 
     def total_write_misses(self, page: int) -> int:
         """Write misses on ``page`` summed over every node."""
-        row = self._write.get(page)
-        return sum(row) if row is not None else 0
+        if page < self._cap:
+            base = page * self.num_nodes
+            return sum(self._write[base:base + self.num_nodes])
+        return 0
 
     def total_misses(self, page: int) -> int:
         """All misses on ``page`` since the last reset."""
-        read = self._read.get(page)
-        write = self._write.get(page)
-        total = 0
-        if read is not None:
-            total += sum(read)
-        if write is not None:
-            total += sum(write)
-        return total
+        if page < self._cap:
+            nn = self.num_nodes
+            base = page * nn
+            return (sum(self._read[base:base + nn])
+                    + sum(self._write[base:base + nn]))
+        return 0
 
     def misses_since_placement(self, page: int) -> int:
         """Misses recorded against ``page`` since its last reset (reset-relative)."""
-        return self._since_reset.get(page, 0)
+        return self._since[page] if page < self._cap else 0
 
     def hottest_node(self, page: int) -> Tuple[Optional[int], int]:
         """Node with the most misses on ``page`` and its miss count."""
@@ -132,7 +183,7 @@ class MigRepCounters:
 
     def tracked_pages(self) -> int:
         """Number of pages with live counters."""
-        return len(set(self._read) | set(self._write))
+        return sum(1 for r, w in zip(self._live_r, self._live_w) if r or w)
 
 
 class RefetchCounters:

@@ -104,13 +104,13 @@ def _miss_rows(counters: MigRepCounters, page: int, requester: int,
     ``remote_writes`` counts write misses by nodes other than the home
     (any makes the page non-replicable) and ``advantage`` is the
     requester's total misses minus the home's (the migration signal).
-    The rows are accessed directly (equivalent to the
-    read_misses/write_misses helpers); a hot-path copy of this body is
+    The rows come from the counters' public row accessors (``None`` when
+    never recorded since the last reset); a hot-path copy of this body is
     inlined in :meth:`repro.core.migrep.MigRepProtocol._service_remote_page`
     — keep the two in sync.
     """
-    read_row = counters._read.get(page)
-    write_row = counters._write.get(page)
+    read_row = counters.read_row(page)
+    write_row = counters.write_row(page)
     remote_writes = (sum(write_row) - write_row[home]
                      if write_row is not None else 0)
     requester_misses = 0
@@ -409,8 +409,8 @@ class HysteresisMigRepPolicy(DecisionPolicy):
         # policy never sees them as events; the counters record them via
         # the protocol's local-fill path).  A negative delta means the
         # counters were periodically reset — restart from the new total.
-        read_row = counters._read.get(page)
-        write_row = counters._write.get(page)
+        read_row = counters.read_row(page)
+        write_row = counters.write_row(page)
         home_total = ((read_row[home] if read_row is not None else 0)
                       + (write_row[home] if write_row is not None else 0))
         delta = home_total - self._home_seen.get(page, 0)

@@ -153,26 +153,33 @@ class MigRepProtocol(CCNUMAProtocol):
         latency, version, remote = self._block_cache_fetch(
             node, page, block, is_write, now, home)
         if remote:
-            # inlined MigRepCounters.record_miss + _evaluate_policy (one
-            # copy each of the counter body lives in _local_fill; keep in
-            # sync) — this runs on every remote miss reaching the home
+            # inlined MigRepCounters.record_miss + _evaluate_policy on the
+            # dense counter columns (one copy of the counter body lives in
+            # _local_fill and one in the compiled kernel; keep in sync) —
+            # this runs on every remote miss reaching the home
             counters = self.counters
-            table = counters._write if is_write else counters._read
-            row = table.get(page)
-            if row is None:
-                row = [0] * counters.num_nodes
-                table[page] = row
-            row[node] += 1
-            since = counters._since_reset
-            total = since.get(page, 0) + 1
+            nn = counters.num_nodes
+            if page >= counters._cap:
+                counters.reserve(page + 1)
+            base = page * nn
+            if is_write:
+                counters._live_w[page] = 1
+                counters._write[base + node] += 1
+            else:
+                counters._live_r[page] = 1
+                counters._read[base + node] += 1
+            total = counters._since[page] + 1
             if total >= counters.reset_interval:
                 counters.reset_page(page)
             else:
-                since[page] = total
+                counters._since[page] = total
             # inlined MigRepPolicy.evaluate (node != home on this path;
             # replica holders trigger no further operation).  `rec` from
             # the entry of this method is still the live record: page
             # operations mutate records in place, never replace them.
+            # Reset-to-zero rows read the same as never-recorded rows for
+            # every comparison here (all strict > on non-negative counts),
+            # so the live flags need no consulting.
             if rec is None or node not in rec.replicas:
                 if not self._mr_static:
                     # the guard above already established this is not a
@@ -184,25 +191,19 @@ class MigRepProtocol(CCNUMAProtocol):
                     elif decision is MigRepDecision.MIGRATE:
                         pageop += self._perform_migration(page, node, now)
                     return latency, pageop, version, remote
-                read_row = counters._read.get(page)
-                write_row = counters._write.get(page)
+                reads = counters._read
+                writes = counters._write
                 decided = False
                 if self._mr_replication:
-                    remote_writes = (sum(write_row) - write_row[home]
-                                     if write_row is not None else 0)
-                    if (remote_writes == 0 and read_row is not None
-                            and read_row[node] > self._mr_threshold):
+                    remote_writes = (sum(writes[base:base + nn])
+                                     - writes[base + home])
+                    if (remote_writes == 0
+                            and reads[base + node] > self._mr_threshold):
                         pageop += self._perform_replication(page, node, now)
                         decided = True
                 if not decided and self._mr_migration:
-                    requester_misses = 0
-                    home_misses = 0
-                    if read_row is not None:
-                        requester_misses += read_row[node]
-                        home_misses += read_row[home]
-                    if write_row is not None:
-                        requester_misses += write_row[node]
-                        home_misses += write_row[home]
+                    requester_misses = reads[base + node] + writes[base + node]
+                    home_misses = reads[base + home] + writes[base + home]
                     if requester_misses - home_misses > self._mr_threshold:
                         pageop += self._perform_migration(page, node, now)
         return latency, pageop, version, remote
@@ -254,20 +255,23 @@ class MigRepProtocol(CCNUMAProtocol):
         page = block // self._bpp
         vm_home = self._vm_home
         if page < len(vm_home) and vm_home[page] == node:
-            # inlined MigRepCounters.record_miss (node is in range)
+            # inlined MigRepCounters.record_miss (node is in range) on the
+            # dense counter columns
             counters = self.counters
-            table = counters._write if is_write else counters._read
-            row = table.get(page)
-            if row is None:
-                row = [0] * counters.num_nodes
-                table[page] = row
-            row[node] += 1
-            since = counters._since_reset
-            total = since.get(page, 0) + 1
+            if page >= counters._cap:
+                counters.reserve(page + 1)
+            base = page * counters.num_nodes
+            if is_write:
+                counters._live_w[page] = 1
+                counters._write[base + node] += 1
+            else:
+                counters._live_r[page] = 1
+                counters._read[base + node] += 1
+            total = counters._since[page] + 1
             if total >= counters.reset_interval:
                 counters.reset_page(page)
             else:
-                since[page] = total
+                counters._since[page] = total
         return latency, version
 
     def describe(self) -> str:

@@ -104,8 +104,11 @@ class DSMProtocol:
         self.node_stats = machine.stats.nodes
         self.fault_logs = machine.fault_logs
         num_nodes = machine.cfg.machine.num_nodes
-        # per-node, per-block departure reason for miss classification
-        self._departed: list[dict[int, int]] = [dict() for _ in range(num_nodes)]
+        # per-node, per-block departure reason for miss classification.
+        # The bytearrays live on the directory (whose reserve() grows them
+        # in lockstep with the block columns); alias them here so the
+        # per-miss paths read/clear a flat byte instead of a dict entry.
+        self._departed: list[bytearray] = machine.directory._departed
         # Pre-bound substrate internals for the per-miss fast paths below.
         # These alias the owners' live flat arrays (directory columns, page
         # table mode codes, block cache frames); the stores grow their
@@ -148,15 +151,28 @@ class DSMProtocol:
 
     def mark_evicted(self, node: int, block: int) -> None:
         """Record that ``node`` lost ``block`` to a capacity/conflict eviction."""
-        self._departed[node][block] = _DEPARTED_EVICTED
+        departed = self._departed[node]
+        if block >= len(departed):
+            self._dir_reserve(block + 1)
+        departed[block] = _DEPARTED_EVICTED
 
     def mark_invalidated(self, node: int, block: int) -> None:
         """Record that ``node`` lost ``block`` to a coherence invalidation."""
-        self._departed[node][block] = _DEPARTED_INVALIDATED
+        departed = self._departed[node]
+        if block >= len(departed):
+            self._dir_reserve(block + 1)
+        departed[block] = _DEPARTED_INVALIDATED
 
     def classify_fetch(self, node: int, block: int) -> MissClass:
         """Classify a fetch of ``block`` by ``node`` and consume the record."""
-        return _MISS_CLASS_OF_REASON[self._departed[node].pop(block, 0)]
+        departed = self._departed[node]
+        if block < len(departed):
+            reason = departed[block]
+            if reason:
+                departed[block] = 0
+        else:
+            reason = 0
+        return _MISS_CLASS_OF_REASON[reason]
 
     # ------------------------------------------------------------------ mapping
 
@@ -251,7 +267,8 @@ class DSMProtocol:
         Compatibility wrapper around :meth:`_remote_fill` for callers that
         also want the miss cause materialized as a :class:`MissClass`.
         """
-        reason = self._departed[node].get(block, 0)
+        departed = self._departed[node]
+        reason = departed[block] if block < len(departed) else 0
         latency, version = self._remote_fill(node, block, is_write, now, home)
         return latency, version, _MISS_CLASS_OF_REASON[reason]
 
@@ -267,7 +284,14 @@ class DSMProtocol:
         stats = self.node_stats[node]
         # inlined classify_fetch + NodeStats.record_remote_miss: the
         # departure reason doubles as the miss-cause counter index
-        reason = self._departed[node].pop(block, 0)
+        # (bounds-checked: this read precedes the directory reserve below)
+        departed = self._departed[node]
+        if block < len(departed):
+            reason = departed[block]
+            if reason:
+                departed[block] = 0
+        else:
+            reason = 0
         stats.remote_misses += 1
         stats.remote_by_cause[reason] += 1
 
@@ -433,7 +457,10 @@ class DSMProtocol:
             vm_home = self._vm_home
             home = vm_home[page] if page < len(vm_home) else -1
             if home >= 0 and home != node:
-                self._departed[node][block] = _DEPARTED_EVICTED
+                departed = self._departed[node]
+                if block >= len(departed):
+                    self._dir_reserve(block + 1)
+                departed[block] = _DEPARTED_EVICTED
 
     # ------------------------------------------------------------------ overridable
 

@@ -12,6 +12,15 @@ defines *how* the reference stream is executed:
     stream (possible hits, upgrades, misses) is interpreted, through the
     unchanged protocol machinery.  Statistics and execution times are
     bit-identical to the interpreter; the default engine.
+``kernel``
+    The compiled residual kernel (:mod:`repro.engine.kernel`): the
+    batched engine's residual walk transcribed to flat arrays and run by
+    a numba- or C-compiled backend, bailing to Python only for page
+    operations and mapping faults.  Systems the kernel cannot express
+    (adaptive policies, user protocols, infinite caches) transparently
+    fall back to ``batched`` for the run, recording the reason in
+    ``engine_profile``.  Results are bit-identical to both other
+    engines.
 
 Select an engine per run (``machine.run(trace, engine="legacy")``) or
 globally through the ``REPRO_ENGINE`` environment variable.
@@ -23,16 +32,18 @@ import os
 from typing import Optional
 
 from repro.engine.batched import run_batched
+from repro.engine.kernel import run_kernel
 from repro.engine.legacy import run_legacy
 
 #: Engines selectable by name.
-ENGINE_NAMES = ("batched", "legacy")
+ENGINE_NAMES = ("batched", "kernel", "legacy")
 
 #: Environment variable overriding the default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
 _RUNNERS = {
     "batched": run_batched,
+    "kernel": run_kernel,
     "legacy": run_legacy,
 }
 
@@ -65,5 +76,6 @@ __all__ = [
     "resolve_engine",
     "run_trace",
     "run_batched",
+    "run_kernel",
     "run_legacy",
 ]

@@ -1,0 +1,50 @@
+"""Shared run-scoped guard for the batched and kernel engines.
+
+Both engines pause the garbage collector for the duration of a run (their
+walks allocate large bursts of small tuples that survive exactly one
+phase — the worst case for generational collection) and arm the L1
+caches' ``watch``/``fill_watch`` hooks so out-of-band line drops and
+fills during protocol calls demote the engine's pre-classified fast
+references.  Neither effect may outlive the run: a leaked GC pause slows
+everything after the run, and leaked hooks corrupt the next engine (or
+user code) touching the same caches.
+
+:func:`engine_run_guard` owns that save/arm/restore dance in one place so
+an exception anywhere in an engine's phase loop cannot leak either
+effect.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence
+
+
+@contextmanager
+def engine_run_guard(caches: Sequence,
+                     hooks: Sequence[Optional[Callable[[int], None]]],
+                     ) -> Iterator[None]:
+    """Pause the GC and arm per-cache shootdown hooks for one engine run.
+
+    ``hooks`` provides, per cache, the callable to install as both
+    ``watch`` and ``fill_watch`` (``None`` leaves that cache's hooks
+    untouched).  On exit — normal or exceptional — the original hooks are
+    restored and the GC is re-enabled iff it was enabled on entry.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    saved = [(c.watch, c.fill_watch) for c in caches]
+    for c, hook in zip(caches, hooks):
+        if hook is not None:
+            c.watch = hook
+            c.fill_watch = hook
+    try:
+        yield
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        for c, (watch, fill_watch) in zip(caches, saved):
+            c.watch = watch
+            c.fill_watch = fill_watch

@@ -51,8 +51,13 @@ fast class with O(1) mask flips, bounded exactly by the schedule's
 per-set pressure proofs and last-write positions (see
 :mod:`repro.engine.classify`, "Dynamic promotion").  Runs of writes to
 an owned-dirty line promote too (the interpreter's ``WRITE_HIT_OWNED``
-is a plain hit with no directory action).  ``REPRO_PROMOTION=0``
-disables the promotion lane (the results are bit-identical either way).
+is a plain hit with no directory action).  By default the lane is
+**adaptive**: each phase enables it iff the static classifier's residual
+density is below :data:`PROMOTION_DENSITY_THRESHOLD` — low density means
+long provable runs whose tails the scan harvests, high (miss-dense)
+density means the scan is pure overhead.  ``REPRO_PROMOTION`` remains
+the hard override (``0`` always off, ``1`` always on); the results are
+bit-identical in every mode.
 
 The engine reproduces the reference interpreter bit for bit — every
 counter, stall category, clock and message statistic; the equivalence
@@ -62,7 +67,6 @@ every buildable system.
 
 from __future__ import annotations
 
-import gc
 import os
 from heapq import heappop, heappush
 from time import perf_counter
@@ -76,7 +80,10 @@ from repro.core.protocol import (
     _DEPARTED_EVICTED,
     _DEPARTED_INVALIDATED,
 )
-from repro.engine.classify import CLS_FAST, CLS_PROBE, NO_INDEX, classify_phase
+from repro.engine._guard import engine_run_guard
+from repro.engine.classify import (
+    CLS_FAST, CLS_PROBE, NO_INDEX, classify_phase, static_residual_density,
+)
 from repro.interconnect.message import MessageType
 from repro.mem.page_table import LOCAL_HOME_CODE, MODES_BY_CODE
 from repro.stats.counters import MachineStats
@@ -85,17 +92,31 @@ from repro.stats.timing import StallKind
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
 
-#: Environment variable disabling the dynamic promotion lane (``0``/
-#: ``off``/``no``/``false``).  Promotion is a pure optimisation — results
-#: are bit-identical either way — so the switch exists for benchmarking
-#: and for bisecting the engine.
+#: Environment variable overriding the promotion lane: ``0``/``off``/
+#: ``no``/``false`` disables it for every phase, ``1``/``on``/``yes``/
+#: ``true`` enables it for every phase, and unset (or ``adaptive``)
+#: lets the engine decide per phase from the classifier's residual
+#: density.  Promotion is a pure optimisation — results are
+#: bit-identical in every mode — so the override exists for
+#: benchmarking and for bisecting the engine.
 PROMOTION_ENV_VAR = "REPRO_PROMOTION"
 
+#: Adaptive mode enables the promotion lane for a phase iff the static
+#: classifier leaves less than this fraction of its references residual.
+#: Low density means long statically-proven runs — the structure whose
+#: tails the promotion scan harvests; high (miss-dense) density means
+#: few promotable tails, so the per-residual scan is pure overhead.
+PROMOTION_DENSITY_THRESHOLD = 0.2
 
-def promotion_enabled() -> bool:
-    """Whether the dynamic promotion lane is enabled for new runs."""
+
+def promotion_mode() -> str:
+    """The promotion lane mode: ``"on"``, ``"off"`` or ``"adaptive"``."""
     raw = os.environ.get(PROMOTION_ENV_VAR, "").strip().lower()
-    return raw not in ("0", "off", "no", "false")
+    if raw in ("0", "off", "no", "false"):
+        return "off"
+    if raw in ("1", "on", "yes", "true"):
+        return "on"
+    return "adaptive"
 
 
 def run_batched(machine: "Machine", trace) -> MachineStats:
@@ -238,31 +259,26 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 flushed.add(block % nl)
         return _watch
 
-    saved_watch = [c.watch for c in caches]
-    saved_fill_watch = [c.fill_watch for c in caches]
-    for p, c in enumerate(caches):
-        c.watch = _mk_watch(p, lines_of[p])
-        c.fill_watch = c.watch
-
     clocks = [machine.timing.processors[p].clock for p in range(num_procs)]
 
     # dynamic promotion lane switch + per-lane profile accumulators
-    promo_enabled = promotion_enabled()
+    promo_mode = promotion_mode()
+    promo_enabled = promo_mode == "on"   # refined per phase when adaptive
+    phase_promotions: list = []
     prof_total = 0
     prof_residual = 0
     prof_promoted = 0
     prof_demoted = 0
     run_t0 = perf_counter()
 
-    # Pause the cyclic GC for the duration of the run: the engine allocates
-    # large bursts of small schedule tuples that survive exactly one phase,
-    # which is the worst case for generational collection (several percent
-    # of run time on miss-dense traces).  Nothing the engine allocates
-    # forms cycles; the pause only defers collection and is always undone.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
+    # The guard pauses the cyclic GC for the duration of the run (the
+    # engine allocates large bursts of small schedule tuples that survive
+    # exactly one phase — the worst case for generational collection;
+    # nothing the engine allocates forms cycles, so the pause only defers
+    # collection) and arms the shootdown watch hooks, restoring both on
+    # exit even when a phase raises.
+    with engine_run_guard(caches,
+                          [_mk_watch(p, lines_of[p]) for p in range(num_procs)]):
         page_tables = machine.page_tables
         for phase in trace.phases:
             blocks_np = phase.blocks    # normalized int64 arrays (PhaseTrace)
@@ -290,6 +306,20 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                 vm_reserve(max_page + 1)
                 for pt_obj in page_tables:
                     pt_obj.reserve(max_page + 1)
+
+            if promo_mode == "adaptive":
+                # per-phase decision: harvestable run structure shows up
+                # as low static residual density (the codes are shared
+                # with the classify_phase call below, so deciding is
+                # nearly free)
+                density = static_residual_density(blocks_np, writes_np,
+                                                  caches, phase=phase)
+                promo_enabled = density < PROMOTION_DENSITY_THRESHOLD
+                phase_promotions.append(
+                    {"promotion": promo_enabled,
+                     "residual_density": round(density, 4)})
+            else:
+                phase_promotions.append({"promotion": promo_enabled})
 
             cls, sched = classify_phase(blocks_np, writes_np, caches,
                                         version_of,
@@ -884,7 +914,12 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                                 # miss classification (reason doubles as
                                 # the MissClass counter index)
                                 ns = node_stats[node]
-                                reason = departed[node].pop(block, 0)
+                                # read+clear the departure byte (block is
+                                # covered by the pre-phase dir reserve)
+                                dep = departed[node]
+                                reason = dep[block]
+                                if reason:
+                                    dep[block] = 0
                                 ns.remote_misses += 1
                                 ns.remote_by_cause[reason] += 1
                                 # request/reply traffic + NIC contention
@@ -1097,15 +1132,6 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
             post_barrier = machine.timing.barrier(costs.barrier_cost)
             clocks = [post_barrier] * num_procs
             machine.stats.barrier_count += 1
-    finally:
-        # always undone, even when a phase raises: the GC pause must never
-        # outlive the run, and the armed hooks must not leak into the next
-        # engine (or user code) touching these caches
-        if gc_was_enabled:
-            gc.enable()
-        for p, c in enumerate(caches):
-            c.watch = saved_watch[p]
-            c.fill_watch = saved_fill_watch[p]
 
     # final bookkeeping
     machine.stats.execution_time = machine.timing.max_clock()
@@ -1118,7 +1144,9 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     machine.stats.stall_breakdown = dict(machine.timing.aggregate_stalls())
     machine.stats.engine_profile = {
         "engine": "batched",
-        "promotion_enabled": promo_enabled,
+        "promotion_mode": promo_mode,
+        "promotion_enabled": any(d["promotion"] for d in phase_promotions),
+        "phase_promotions": phase_promotions,
         "references": prof_total,
         "fast": prof_total - prof_residual,
         "promoted": prof_promoted,

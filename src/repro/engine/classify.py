@@ -564,3 +564,48 @@ def classify_phase(blocks: Sequence[np.ndarray], writes: Sequence[np.ndarray],
                 cls[p][ft_own[k]] = CLS_FAST
                 status[p][ft_slot[k]] = 1
     return cls, schedule
+
+
+def static_residual_density(blocks: Sequence[np.ndarray],
+                            writes: Sequence[np.ndarray],
+                            caches: Sequence[object], *,
+                            phase: object = None) -> float:
+    """Fraction of the phase's references the static pass leaves residual.
+
+    The signal behind the batched engine's adaptive promotion switch: a
+    phase whose streams are mostly statically-provable hits (low density)
+    has long same-block runs for the promotion lane to harvest, while a
+    miss-dense phase (high density) only pays the lane's scan cost.  The
+    classification codes are identical in both promotion variants, so
+    this reuses whichever per-phase static is already cached and
+    otherwise builds — and caches — the promotion-free one, which a
+    following ``classify_phase(build_promotion=False)`` call then reuses
+    for free.
+    """
+    num_procs = len(blocks)
+    lens = [len(b) for b in blocks]
+    total = sum(lens)
+    if total == 0:
+        return 0.0
+    num_lines = [c.num_lines for c in caches]
+    geom = tuple(num_lines)
+    static = None
+    cache_map = None
+    if phase is not None:
+        cache_map = getattr(phase, "__dict__", {}).get("_classify_static")
+        if cache_map is not None:
+            static = cache_map.get((geom, False)) or cache_map.get(
+                (geom, True))
+    if static is None:
+        static = _build_static(blocks, writes, lens, num_procs, num_lines,
+                               False)
+        if phase is not None:
+            if cache_map is None:
+                cache_map = {}
+                try:
+                    phase.__dict__["_classify_static"] = cache_map
+                except (AttributeError, TypeError):  # pragma: no cover
+                    cache_map = None
+            if cache_map is not None:
+                cache_map[(geom, False)] = static
+    return int(np.count_nonzero(static.out != CLS_FAST)) / total

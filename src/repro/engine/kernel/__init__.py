@@ -1,0 +1,481 @@
+"""The compiled residual kernel — ``engine=kernel``.
+
+The kernel executes the batched engine's residual schedule against flat
+index-addressed array stores instead of Python objects: per phase it
+classifies with ``build_promotion=False`` (promotion is a pure
+optimisation — results are bit-identical either way), marshals the
+simulator's stores into zero-copy numpy views
+(:mod:`repro.engine.kernel.state`) and hands the walk to a compiled
+backend — numba (:mod:`repro.engine.kernel.walk`) or hand-rolled C
+(``cwalk.c`` via :mod:`repro.engine.kernel.cbuild`) — with the same
+walk, uncompiled, as the dependency-free ``interp`` reference backend.
+
+The backend runs the probe/upgrade/local-fill/block-cache lanes — and,
+for MigRep, the home-side counter bumps and the static-threshold
+decision tests — entirely in compiled code, and *bails* back to this
+driver for the events that need real protocol machinery: mapping faults,
+writes to replicated pages, and fired migration/replication decisions.
+The driver services the bail with ordinary protocol calls, folds the
+delta mirrors, processes any L1-shootdown demotions, and re-enters the
+walk where it left off.  Bails are rare (hundreds per million
+references on the paper's workloads), so the walk's speed dominates.
+
+Only systems whose whole residual walk the backend can express run on
+the kernel: exact ``ccnuma``/``migrep``-family protocols with the
+static-threshold policy, finite homogeneous block caches and stock base
+machinery.  Everything else — adaptive policies, user-registered
+systems, infinite caches — transparently falls back to the batched
+engine for the whole run, recording the reason in
+``engine_profile["fallback_reason"]``.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.migrep import MigRepProtocol
+from repro.core.protocol import DSMProtocol
+from repro.engine._guard import engine_run_guard
+from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
+from repro.engine.kernel.state import (
+    CON_COMPUTE, CON_FAST_UNIT, KernelState, MUT_RESIDUAL,
+    OUT_BLOCK, OUT_CLOCK, OUT_FAULT, OUT_HOME, OUT_I, OUT_MODE, OUT_P,
+    OUT_PAGE, OUT_SERVICE, OUT_START, OUT_VERSION, OUT_WAIT, OUT_WRITE,
+    PP_ACC_CONT, PP_ACC_FAULT, PP_ACC_LOCAL, PP_ACC_PAGEOP, PP_ACC_REMOTE,
+    PP_ACC_UPGRADE, PP_CLOCK, PP_EVICT, PP_FAST, PP_HITS, PP_INVAL,
+    PP_MISS, PP_NODE, PP_PTR, PP_QCUR, PP_QLEN, PP_UPG,
+    RC_BAIL_COLLAPSE, RC_BAIL_FAULT, RC_BAIL_MIGRATE, RC_BAIL_REPLICATE,
+    RC_DONE, schedule_arrays,
+)
+from repro.engine.kernel.walk import get_njit_walk, kernel_walk
+from repro.mem.page_table import MODES_BY_CODE
+from repro.stats.counters import MachineStats
+from repro.stats.timing import StallKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+
+#: Environment variable forcing a kernel backend: ``numba``, ``c``,
+#: ``interp`` (the uncompiled reference walk), or ``none`` (disable the
+#: kernel — every run falls back to the batched engine).  Unset/empty
+#: picks the fastest available compiled backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_BAIL_NAMES = {RC_BAIL_FAULT: "fault", RC_BAIL_COLLAPSE: "collapse",
+               RC_BAIL_REPLICATE: "replicate", RC_BAIL_MIGRATE: "migrate"}
+
+
+def kernel_eligibility(machine: "Machine", trace) -> Optional[str]:
+    """Why ``machine`` cannot run on the kernel, or ``None`` if it can.
+
+    The kernel's compiled lanes are transcriptions of the *stock*
+    CC-NUMA / static-threshold MigRep machinery, so any override — a
+    subclass, an adaptive policy, exotic cache geometry — disqualifies
+    the whole run (per-reference fallback would cost more than it
+    saves).  The returned string is the user-facing fallback reason.
+    """
+    protocol = machine.protocol
+    ptype = type(protocol)
+    procs = machine.processors[:trace.num_procs]
+    if any(not hasattr(p.cache, "line_state") for p in procs):
+        return "exotic L1 cache (no line_state)"
+    if len({p.cache.num_lines for p in procs}) > 1:
+        return "heterogeneous L1 geometry"
+    if len(machine.nodes) > 62:
+        return "more than 62 nodes (sharer masks exceed int64)"
+    caps = {bc.capacity_blocks for bc in machine.block_caches}
+    if None in caps:
+        return "infinite block cache"
+    if len(caps) > 1:
+        return "heterogeneous block-cache capacity"
+    if any(pc is not None for pc in machine.page_caches):
+        return "page cache present"
+    if not (ptype.handle_miss is DSMProtocol.handle_miss
+            and ptype._directory_read is DSMProtocol._directory_read
+            and ptype._directory_write is DSMProtocol._directory_write
+            and ptype.handle_upgrade is DSMProtocol.handle_upgrade
+            and ptype.note_l1_eviction is DSMProtocol.note_l1_eviction
+            and ptype._remote_fetch is DSMProtocol._remote_fetch
+            and ptype._remote_fill is DSMProtocol._remote_fill):
+        return f"protocol {ptype.__name__} overrides base machinery"
+    if ptype is CCNUMAProtocol:
+        return None
+    if ptype is MigRepProtocol:
+        if not getattr(protocol, "_mr_static", False):
+            policy_name = getattr(protocol.policy, "name", "?")
+            return f"adaptive MigRep policy ({policy_name})"
+        return None
+    return f"unsupported protocol {ptype.__name__}"
+
+
+def _resolve_backend(forced: str):
+    """Resolve ``(bind, name)`` for the requested/fastest backend.
+
+    ``bind(args) -> runner`` takes the canonical ``kernel_walk``
+    argument tuple once per phase and returns a zero-argument
+    ``runner() -> rc`` that (re-)enters the walk — binding once lets the
+    compiled backends cache their per-phase argument marshalling.
+    Returns ``(None, reason)`` when nothing is available.
+    """
+    if forced in ("", "auto"):
+        njit = get_njit_walk()
+        if njit is not None:  # pragma: no cover - needs numba installed
+            return _numba_caller(njit), "numba"
+        from repro.engine.kernel.cbuild import load_cwalk
+        c = load_cwalk()
+        if c is not None:
+            return c, "c"
+        return None, "no compiled backend available (numba missing, C build failed)"
+    if forced == "numba":
+        njit = get_njit_walk()
+        if njit is None:
+            return None, "numba not installed"
+        return _numba_caller(njit), "numba"  # pragma: no cover - needs numba
+    if forced == "c":
+        from repro.engine.kernel.cbuild import load_cwalk
+        c = load_cwalk()
+        if c is None:
+            return None, "C backend build failed (no working compiler?)"
+        return c, "c"
+    if forced == "interp":
+        return (lambda args: (lambda: kernel_walk(*args))), "interp"
+    return None, f"unknown {BACKEND_ENV_VAR}={forced!r}"
+
+
+def _numba_caller(njit_walk):  # pragma: no cover - needs numba installed
+    from numba.typed import List as TypedList
+
+    def bind(args):
+        # All list arguments except the demoted queues hold the same
+        # array objects for the whole phase — convert them once; the
+        # queue lists get fresh arrays after demotions, so re-wrap those
+        # per entry (they are tiny: one array per processor).
+        head = [TypedList(a) if isinstance(a, list) else a
+                for a in args[:-2]]
+        q_idx, q_blk = args[-2], args[-1]
+
+        def runner() -> int:
+            return int(njit_walk(*head, TypedList(q_idx), TypedList(q_blk)))
+
+        return runner
+
+    return bind
+
+
+def run_kernel(machine: "Machine", trace) -> MachineStats:
+    """Run ``trace`` on ``machine`` with the compiled residual kernel.
+
+    Ineligible systems and missing backends fall back to the batched
+    engine for the whole run; the resulting ``engine_profile`` carries
+    ``requested_engine="kernel"`` and the ``fallback_reason``.
+    """
+    reason = kernel_eligibility(machine, trace)
+    bind = None
+    backend_name = ""
+    forced = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if forced in ("none", "off", "0"):
+        reason = reason or f"kernel disabled via {BACKEND_ENV_VAR}"
+    elif reason is None:
+        bind, backend_name = _resolve_backend(forced)
+        if bind is None:
+            reason = backend_name
+    if reason is not None:
+        from repro.engine.batched import run_batched
+        stats = run_batched(machine, trace)
+        profile = stats.engine_profile
+        if isinstance(profile, dict):
+            profile["requested_engine"] = "kernel"
+            profile["fallback_reason"] = reason
+        return stats
+    return _run(machine, trace, bind, backend_name)
+
+
+def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
+    costs = machine.cfg.costs
+    protocol = machine.protocol
+    num_procs = trace.num_procs
+    procs = machine.processors
+    caches = [procs[p].cache for p in range(num_procs)]
+    node_of = [procs[p].node_id for p in range(num_procs)]
+    lines_of = [c.num_lines for c in caches]
+    version_of = machine.directory.version
+    handle_miss = protocol.handle_miss
+    service_remote = protocol._service_remote_page
+    note_l1_eviction = protocol.note_l1_eviction
+    l1_hit_cost = costs.l1_hit
+    node_stats = machine.stats.nodes
+    timing_procs = machine.timing.processors
+
+    P = num_procs
+    st = KernelState(machine, num_procs, caches, node_of)
+    pp = st.pp
+    out = st.out
+
+    # page-operation shootdown watch — identical to the batched engine's
+    events: dict = {}
+
+    def _mk_watch(p: int, nl: int):
+        def _watch(block: int = -1) -> None:
+            flushed = events.get(p)
+            if flushed is True:
+                return
+            if block < 0:
+                events[p] = True
+            elif flushed is None:
+                events[p] = {block % nl}
+            else:
+                flushed.add(block % nl)
+        return _watch
+
+    prof_total = 0
+    prof_demoted = 0
+    bails = 0
+    bail_kinds = {"fault": 0, "collapse": 0, "replicate": 0, "migrate": 0}
+    run_t0 = perf_counter()
+
+    with engine_run_guard(caches,
+                          [_mk_watch(p, lines_of[p]) for p in range(P)]):
+        for phase in trace.phases:
+            blocks_np = phase.blocks
+            writes_np = phase.writes
+            if len(blocks_np) != num_procs:
+                raise ValueError(
+                    "phase stream count does not match trace.num_procs")
+            lengths = [len(seq) for seq in blocks_np]
+            compute = phase.compute_per_access
+            fast_unit = compute + l1_hit_cost
+
+            max_block = -1
+            for arr in blocks_np:
+                if len(arr):
+                    m = int(arr.max())
+                    if m > max_block:
+                        max_block = m
+            st.reserve_for_phase(max_block)
+
+            cls, sched = classify_phase(blocks_np, writes_np, caches,
+                                        version_of, build_promotion=False,
+                                        phase=phase)
+            n_sched = len(sched.entries)
+            slot_of = sched.slot_of
+            (ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot,
+             keys) = schedule_arrays(phase, sched, tuple(lines_of))
+            prof_total += sum(lengths)
+
+            st.marshal_phase(sched, n_sched)
+            st.con[CON_COMPUTE] = compute
+            st.con[CON_FAST_UNIT] = fast_unit
+            pp[:] = 0
+            for p in range(P):
+                pp[PP_NODE * P + p] = node_of[p]
+                pp[PP_CLOCK * P + p] = timing_procs[p].clock
+            st.load_absolutes()
+
+            args = (st.con, st.mut, pp, st.nn, st.msg_delta, out,
+                    st.dir_sharers, st.dir_owner, st.dir_versions,
+                    st.dir_tracked,
+                    st.vm_home, st.vm_replicated, st.vm_replica_mask,
+                    st.ctr_read, st.ctr_write, st.ctr_since,
+                    st.ctr_live_r, st.ctr_live_w,
+                    st.departed, st.pt_modes, st.pt_tracked, st.pt_faults,
+                    st.bc_blocks, st.bc_versions, st.bc_dirty,
+                    st.cb, st.cv, st.cd, st.status,
+                    ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot,
+                    keys,
+                    st.place_log, st.q_idx, st.q_blk)
+            runner = bind(args)
+
+            def demote_pending(i: int, p: int) -> None:
+                """Demote pending fast refs after a page-op L1 shootdown.
+
+                The kernel port of the batched engine's demotion: the
+                affected processors' fast references ordered after
+                ``(i, p)`` become probes again — in-schedule (first-touch
+                promoted) slots via a status flip, statically-fast
+                references by joining the per-proc demoted queues the
+                walk merges by interleave key.  The queue arrays are
+                rebuilt, so the walk's re-entry sees the new heads.
+                """
+                nonlocal prof_demoted
+                for p2, flushed in events.items():
+                    if p2 >= num_procs:
+                        continue
+                    bound = i + 1 if p2 <= p else i
+                    ptr2 = int(pp[PP_PTR * P + p2])
+                    if bound < ptr2:
+                        bound = ptr2
+                    seg = cls[p2][bound:]
+                    mask = seg == CLS_FAST
+                    if flushed is not True:
+                        # line-membership via a lookup table (cheaper
+                        # than np.isin: no sort, O(seg + lines))
+                        tbl = np.zeros(lines_of[p2], dtype=bool)
+                        tbl[list(flushed)] = True
+                        mask &= tbl[blocks_np[p2][bound:] % lines_of[p2]]
+                    pend = np.flatnonzero(mask)
+                    if not len(pend):
+                        continue
+                    seg[pend] = CLS_PROBE
+                    prof_demoted += len(pend)
+                    own = pend.astype(np.int64) + bound
+                    slots = slot_of[p2][own]
+                    in_sched = slots >= 0
+                    promoted_slots = slots[in_sched]
+                    if len(promoted_slots):
+                        st.status[p2][promoted_slots] = 0
+                    fresh = own[~in_sched]
+                    if len(fresh):
+                        blks = blocks_np[p2][fresh].astype(np.int64,
+                                                           copy=False)
+                        cur = int(pp[PP_QCUR * P + p2])
+                        tail_i = st.q_idx[p2][cur:]
+                        if len(tail_i):
+                            cat_i = np.concatenate([tail_i, fresh])
+                            cat_b = np.concatenate(
+                                [st.q_blk[p2][cur:], blks])
+                            order = np.argsort(cat_i)
+                            st.q_idx[p2] = np.ascontiguousarray(
+                                cat_i[order])
+                            st.q_blk[p2] = np.ascontiguousarray(
+                                cat_b[order])
+                        else:
+                            st.q_idx[p2] = np.ascontiguousarray(fresh)
+                            st.q_blk[p2] = np.ascontiguousarray(blks)
+                        pp[PP_QCUR * P + p2] = 0
+                        pp[PP_QLEN * P + p2] = len(st.q_idx[p2])
+                events.clear()
+
+            while True:
+                rc = runner()
+                if rc == RC_DONE:
+                    break
+                bails += 1
+                bail_kinds[_BAIL_NAMES[rc]] += 1
+                # the bail handlers read/advance the live NICs and may
+                # consult the vm's record dict; every other mirror is
+                # either a shared view (already exact) or a
+                # pure-increment delta (folded at phase end)
+                st.materialize_placements()
+                st.sync_nics_out()
+                p = int(out[OUT_P])
+                i = int(out[OUT_I])
+                block = int(out[OUT_BLOCK])
+                page = int(out[OUT_PAGE])
+                is_write = bool(out[OUT_WRITE])
+                start = int(out[OUT_START])
+                wait = int(out[OUT_WAIT])
+                clock = int(out[OUT_CLOCK])
+                node = node_of[p]
+                if rc == RC_BAIL_FAULT:
+                    service, pageop, fault, version, remote = handle_miss(
+                        node, p, page, block, is_write, start)
+                elif rc == RC_BAIL_COLLAPSE:
+                    mode = MODES_BY_CODE[int(out[OUT_MODE])]
+                    service, pageop, version, remote = service_remote(
+                        node, p, page, block, is_write, start,
+                        int(out[OUT_HOME]), mode)
+                    fault = int(out[OUT_FAULT])
+                else:
+                    # the walk completed the fill; run the page operation
+                    service = int(out[OUT_SERVICE])
+                    version = int(out[OUT_VERSION])
+                    remote = True
+                    fault = int(out[OUT_FAULT])
+                    if rc == RC_BAIL_REPLICATE:
+                        pageop = protocol._perform_replication(
+                            page, node, start)
+                    else:
+                        pageop = protocol._perform_migration(
+                            page, node, start)
+                if events:
+                    demote_pending(i, p)
+                # generic tail: L1 fill + eviction notification
+                cb_p = st.cb[p]
+                cv_p = st.cv[p]
+                cd_p = st.cd[p]
+                idx = block % lines_of[p]
+                old = int(cb_p[idx])
+                if old >= 0 and old != block:
+                    victim_dirty = bool(cd_p[idx])
+                    pp[PP_EVICT * P + p] += 1
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                    note_l1_eviction(node, old, victim_dirty)
+                else:
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                pp[PP_ACC_CONT * P + p] += wait
+                if remote:
+                    pp[PP_ACC_REMOTE * P + p] += service
+                else:
+                    pp[PP_ACC_LOCAL * P + p] += service
+                pp[PP_ACC_PAGEOP * P + p] += pageop
+                pp[PP_ACC_FAULT * P + p] += fault
+                pp[PP_CLOCK * P + p] = clock + wait + service + pageop + fault
+                # protocol calls may have advanced the NICs
+                st.load_nics()
+
+            st.flush()
+            # trailing guaranteed hits + per-phase statistics flush
+            for p in range(P):
+                tail = lengths[p] - int(pp[PP_PTR * P + p])
+                if tail:
+                    pp[PP_CLOCK * P + p] += tail * fast_unit
+                    pp[PP_FAST * P + p] += tail
+                n_hits = int(pp[PP_FAST * P + p]) + int(pp[PP_HITS * P + p])
+                pt = timing_procs[p]
+                pt.advance(StallKind.COMPUTE, compute * lengths[p])
+                pt.advance(StallKind.L1_HIT, l1_hit_cost * n_hits)
+                pt.advance(StallKind.LOCAL_MISS, int(pp[PP_ACC_LOCAL * P + p]))
+                pt.advance(StallKind.REMOTE_MISS,
+                           int(pp[PP_ACC_REMOTE * P + p]))
+                pt.advance(StallKind.UPGRADE, int(pp[PP_ACC_UPGRADE * P + p]))
+                pt.advance(StallKind.PAGE_OP, int(pp[PP_ACC_PAGEOP * P + p]))
+                pt.advance(StallKind.MAPPING_FAULT,
+                           int(pp[PP_ACC_FAULT * P + p]))
+                pt.advance(StallKind.CONTENTION, int(pp[PP_ACC_CONT * P + p]))
+                ns = node_stats[node_of[p]]
+                ns.accesses += lengths[p]
+                ns.l1_hits += n_hits
+                caches[p].credit_batch(
+                    hits=n_hits + int(pp[PP_UPG * P + p]),
+                    misses=int(pp[PP_MISS * P + p]),
+                    evictions=int(pp[PP_EVICT * P + p]),
+                    invalidations=int(pp[PP_INVAL * P + p]))
+            st.release()
+
+            machine.timing.barrier(costs.barrier_cost)
+            machine.stats.barrier_count += 1
+
+    prof_residual = int(st.mut[MUT_RESIDUAL])
+    machine.stats.execution_time = machine.timing.max_clock()
+    machine.stats.proc_finish_times = [
+        timing_procs[p].clock for p in range(num_procs)
+    ]
+    machine.stats.network_messages = machine.network.total_messages()
+    machine.stats.network_bytes = machine.network.total_bytes()
+    machine.stats.message_stats = machine.network.stats
+    machine.stats.stall_breakdown = dict(machine.timing.aggregate_stalls())
+    machine.stats.engine_profile = {
+        "engine": "kernel",
+        "backend": backend_name,
+        "promotion_mode": "off",
+        "promotion_enabled": False,
+        "references": prof_total,
+        "fast": prof_total - prof_residual,
+        "promoted": 0,
+        "demoted": prof_demoted,
+        "residual": prof_residual,
+        "phases": len(trace.phases),
+        "bails": bails,
+        "bail_kinds": bail_kinds,
+        "wall_s": round(perf_counter() - run_t0, 6),
+    }
+    return machine.stats

@@ -1,0 +1,161 @@
+"""On-demand build and binding of the kernel's C backend.
+
+``cwalk.c`` needs no Python headers — it is a single translation unit of
+plain C99 operating on raw array pointers — so any C compiler can build
+it: ``cc -O2 -shared -fPIC`` and nothing else.  The shared object is
+cached next to the package (or under ``$REPRO_KERNEL_CACHE`` / the
+system temp dir when the package directory is read-only) keyed by a hash
+of the source, so each source revision compiles at most once per
+machine.
+
+Everything degrades gracefully: no compiler, a failed compile or a
+failed ``dlopen`` all yield ``None`` from :func:`load_cwalk` and the
+engine falls back to another backend.  Set ``REPRO_KERNEL_CC`` (or the
+conventional ``CC``) to pick a specific compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("cwalk.c")
+_N_ARGS = 39
+
+_loaded = False
+_caller: Optional[Callable] = None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE", "").strip()
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    path = _SOURCE.parent / "_build"
+    try:
+        path.mkdir(exist_ok=True)
+        probe = path / ".writable"
+        probe.touch()
+        probe.unlink()
+        return path
+    except OSError:
+        pass  # read-only install: fall through to the temp dir
+    path = Path(tempfile.gettempdir()) / f"repro-kernel-{os.getuid()}"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _compiler() -> Optional[str]:
+    # an explicit override is authoritative: if it does not resolve, the
+    # build is off — never silently substitute a different compiler
+    override = os.environ.get("REPRO_KERNEL_CC")
+    if override is not None:
+        return override if shutil.which(override) else None
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _build() -> Optional[ctypes.CDLL]:
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    try:
+        cache = _cache_dir()
+    except OSError:
+        return None
+    so_path = cache / f"cwalk-{digest}.so"
+    if not so_path.exists():
+        cc = _compiler()
+        if cc is None:
+            return None
+        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        cmd = [cc, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(_SOURCE)]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, timeout=120)
+            if proc.returncode != 0:
+                return None
+            os.replace(tmp, so_path)   # atomic: concurrent builds race safely
+        except (OSError, subprocess.SubprocessError):
+            return None
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+    try:
+        return ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+
+
+def load_cwalk() -> Optional[Callable]:
+    """The C walk as ``bind(args) -> runner``, or ``None`` if unbuildable.
+
+    ``args`` is the canonical argument tuple of
+    :func:`repro.engine.kernel.walk.kernel_walk`.  ``bind`` flattens the
+    list-of-array arguments into pointer tables once per phase;
+    ``runner() -> rc`` re-enters the walk.  Only the demoted-queue
+    arrays (the last two arguments) can be replaced between re-entries,
+    so the runner refreshes exactly those table slots whose array object
+    changed — everything else keeps its phase-start pointer.
+    """
+    global _loaded, _caller
+    if _loaded:
+        return _caller
+    _loaded = True
+    lib = _build()
+    if lib is None:
+        return None
+    try:
+        fn = lib.repro_kernel_walk
+    except AttributeError:
+        return None
+    fn.argtypes = [ctypes.c_void_p] * _N_ARGS
+    fn.restype = ctypes.c_int64
+
+    def bind(args) -> Callable[[], int]:
+        if len(args) != _N_ARGS:  # pragma: no cover - internal contract
+            raise ValueError("kernel walk argument count mismatch")
+        c_args = []
+        tables = []   # kept alive by the closure for the phase
+        for a in args:
+            if isinstance(a, list):
+                tab = np.fromiter((x.ctypes.data for x in a),
+                                  dtype=np.uint64, count=len(a))
+                tables.append(tab)
+                c_args.append(tab.ctypes.data)
+            else:
+                c_args.append(a.ctypes.data)
+        q_idx, q_blk = args[-2], args[-1]
+        qi_tab, qb_tab = tables[-2], tables[-1]
+        seen = list(q_idx)   # holding the refs makes `is` checks sound
+
+        def runner() -> int:
+            for j, arr in enumerate(q_idx):
+                if seen[j] is not arr:
+                    seen[j] = arr
+                    qi_tab[j] = arr.ctypes.data
+                    qb_tab[j] = q_blk[j].ctypes.data
+            return fn(*c_args)
+
+        # the raw pointers in c_args are only valid while the tables and
+        # argument arrays are alive — pin them to the runner's lifetime
+        runner.keepalive = (args, tables)
+        return runner
+
+    _caller = bind
+    return _caller

@@ -1,0 +1,492 @@
+"""State marshalling between the simulator's stores and the kernel walk.
+
+The compiled residual kernel executes one phase's
+:class:`~repro.engine.classify.ResidualSchedule` against flat integer
+arrays.  This module builds those arrays — **views, not copies** — over
+the simulator's live buffer-backed stores (the directory columns, the
+page map, the page tables' mode bytes, the block-cache frames, the L1
+line stores and the MigRep counter columns), together with the small
+engine-owned arrays the walk scribbles its bookkeeping into (per-proc
+accumulators, per-node bus/NIC/statistics mirrors, the bail "out"
+record).
+
+Marshalling contract
+--------------------
+* **Shared stores are zero-copy.**  Every store view is an
+  ``np.frombuffer`` over the owning object's ``array``/``bytearray``
+  buffer, so a write on either side is immediately visible to the other.
+  While the views exist the buffers are *export-locked*: any in-place
+  growth would raise ``BufferError`` instead of silently leaving the
+  kernel with dangling pointers.  :meth:`KernelState.reserve_for_phase`
+  therefore pre-reserves every store past the phase's maxima (whole
+  pages, so page operations executed during bails cannot grow anything
+  either) *before* the views are taken, and :meth:`release` drops them
+  before the next phase's reserve.
+* **Python-object state is mirrored as deltas.**  Counters that live in
+  plain Python attributes (``NodeStats`` fields, cache statistics, the
+  directory's scalar counters, message counts) accumulate in int64 delta
+  arrays that :meth:`flush` folds into the owning objects at the end of
+  every phase.  Bail-time protocol code only ever *increments* these
+  counters, and addition commutes — so the deltas can stay parked
+  across bails without any observable difference.
+* **Serialising resources are mirrored as absolutes.**  NIC and bus
+  ``next_free`` times are copied in at phase start
+  (:meth:`load_absolutes`) and written back by ``flush``.  NICs are the
+  one mirror bail-time protocol code *reads and advances* (network
+  contention), so :meth:`sync_nics_out` writes them through before each
+  bail and :meth:`load_nics` re-reads them after; buses are untouched by
+  protocol code and stay in the mirror for the whole phase.
+
+Layout constants (``CON_*``, ``PP_*``, ``NN_*``, ``MUT_*``, ``OUT_*``)
+are shared with :mod:`repro.engine.kernel.walk`; ``cwalk.c`` mirrors them
+as ``#define`` s — keep all three in sync.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.classify import NO_INDEX
+from repro.interconnect.message import MessageType
+from repro.kernel.faults import FaultKind
+from repro.mem.page_table import MODE_CODES, PageMode
+
+_MAPPING_FAULT = FaultKind.MAPPING_FAULT
+
+# ---------------------------------------------------------------------------
+# layout constants (mirrored as #defines in cwalk.c — keep in sync)
+# ---------------------------------------------------------------------------
+
+#: CON — immutable run/phase constants (int64).
+(CON_NUM_PROCS, CON_NUM_NODES, CON_BPP, CON_COMPUTE, CON_L1_HIT,
+ CON_FAST_UNIT, CON_BUS_OCC, CON_BUS_ENABLED, CON_LOCAL_MISS,
+ CON_REMOTE_MISS, CON_INVAL_COST, CON_NET_ENABLED, CON_NET_LATENCY,
+ CON_NIC_OCC, CON_SZ_READ_PAIR, CON_SZ_WRITE_PAIR, CON_SZ_WB,
+ CON_SZ_INV_PAIR, CON_MSG_READ, CON_MSG_WRITE, CON_MSG_DATA, CON_MSG_WB,
+ CON_MSG_INV, CON_MSG_ACK, CON_HAS_MIGREP, CON_MR_THRESHOLD, CON_MR_MIG,
+ CON_MR_REP, CON_MR_RESET, CON_DIR_CAP, CON_VM_LEN, CON_N_SCHED,
+ CON_BC_CAP, CON_NUM_LINES, CON_MODE_REPLICA, CON_MODE_LOCAL_HOME,
+ CON_DEP_EVICTED, CON_DEP_INVALIDATED, CON_SOFT_TRAP, CON_MSG_MAP_REQ,
+ CON_MSG_MAP_REPLY, CON_SZ_MAP_PAIR, CON_MODE_CCNUMA_REMOTE,
+ CON_FIRST_TOUCH) = range(44)
+CON_SIZE = 48
+
+#: PP — per-processor bookkeeping rows of the flat ``pp`` array
+#: (``pp[row * num_procs + p]``).
+(PP_PTR, PP_FAST, PP_HITS, PP_UPG, PP_MISS, PP_INVAL, PP_EVICT,
+ PP_ACC_LOCAL, PP_ACC_REMOTE, PP_ACC_UPGRADE, PP_ACC_PAGEOP, PP_ACC_FAULT,
+ PP_ACC_CONT, PP_CLOCK, PP_NODE, PP_QCUR, PP_QLEN) = range(17)
+PP_ROWS = 17
+
+#: NN — per-node mirror rows of the flat ``nn`` array
+#: (``nn[row * num_nodes + n]``).  ``*_FREE`` rows are absolute times;
+#: every other row is a delta folded into its owner by ``flush``.
+(NN_BUS_FREE, NN_BUS_TXN, NN_BUS_WAIT, NN_NIC_FREE, NN_NIC_MSGS,
+ NN_NIC_BUSY, NN_NIC_WAIT, NN_NS_LOCAL, NN_NS_REMOTE, NN_NS_UPGRADES,
+ NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_CAUSE1, NN_NS_CAUSE2, NN_BCS_HITS,
+ NN_BCS_MISSES, NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT) = range(19)
+NN_ROWS = 19
+
+#: MUT — mutable walk scalars surviving across bails within a phase.
+(MUT_K, MUT_BYTES, MUT_DIR_INV, MUT_DIR_WB, MUT_CTR_RESETS,
+ MUT_RESIDUAL, MUT_NPLACED) = range(7)
+MUT_SIZE = 8
+
+#: OUT — the bail record the walk fills before returning.
+(OUT_KIND, OUT_P, OUT_I, OUT_BLOCK, OUT_PAGE, OUT_WRITE, OUT_START,
+ OUT_WAIT, OUT_CLOCK, OUT_HOME, OUT_MODE, OUT_SERVICE,
+ OUT_VERSION, OUT_FAULT) = range(14)
+OUT_SIZE = 16
+
+#: Walk return codes.
+RC_DONE = 0            #: phase complete
+RC_BAIL_FAULT = 1      #: mapping fault — execute via ``handle_miss``
+RC_BAIL_COLLAPSE = 2   #: write to a replicated page — via ``_service_remote_page``
+RC_BAIL_REPLICATE = 3  #: static MigRep decision: install a replica
+RC_BAIL_MIGRATE = 4    #: static MigRep decision: migrate the page
+
+
+def _i64(buf) -> np.ndarray:
+    """Writable int64 view of a buffer-backed store (zero-copy)."""
+    return np.frombuffer(buf, dtype=np.int64)
+
+
+def _u8(buf) -> np.ndarray:
+    """Writable uint8 view of a ``bytearray``-backed store (zero-copy)."""
+    return np.frombuffer(buf, dtype=np.uint8)
+
+
+def schedule_arrays(phase, sched, geom_key):
+    """Flat int64/uint8 columns of ``sched.entries`` (cached on the phase).
+
+    The entry tuples depend only on the streams and the cache geometry,
+    so the conversion is done once per (phase, geometry) and reused by
+    every later kernel run of the trace in the process.
+    """
+    cache = getattr(phase, "__dict__", {}).get("_kernel_sched")
+    if cache is not None:
+        hit = cache.get(geom_key)
+        if hit is not None:
+            return hit
+    n = len(sched.entries)
+    if n:
+        cols = np.array([e[:6] for e in sched.entries], dtype=np.int64)
+        arrs = (np.ascontiguousarray(cols[:, 0]),                  # i
+                np.ascontiguousarray(cols[:, 1]),                  # p
+                np.ascontiguousarray(cols[:, 2]).astype(np.uint8),  # probe
+                np.ascontiguousarray(cols[:, 3]),                  # block
+                np.ascontiguousarray(cols[:, 4]).astype(np.uint8),  # write
+                np.ascontiguousarray(cols[:, 5]),                  # slot
+                np.asarray(sched.keys, dtype=np.int64))
+    else:
+        e64 = np.empty(0, dtype=np.int64)
+        e8 = np.empty(0, dtype=np.uint8)
+        arrs = (e64, e64, e8, e64, e8, e64, e64)
+    if cache is None:
+        try:
+            cache = phase.__dict__.setdefault("_kernel_sched", {})
+        except (AttributeError, TypeError):  # pragma: no cover
+            cache = None
+    if cache is not None:
+        cache[geom_key] = arrs
+    return arrs
+
+
+class KernelState:
+    """One phase's marshalled state: store views, mirrors and schedule.
+
+    Built per phase (store buffers may have grown between phases, moving
+    the underlying memory); :meth:`release` must be called before the
+    next phase's pre-reserve so the export locks are dropped.
+    """
+
+    def __init__(self, machine, num_procs, caches, node_of):
+        self.machine = machine
+        self.num_procs = num_procs
+        self.num_nodes = len(machine.nodes)
+        self.caches = caches
+        cfg = machine.cfg
+        costs = cfg.costs
+        net = machine.network
+        sizes = net.stats._sizes
+        protocol = machine.protocol
+
+        con = np.zeros(CON_SIZE, dtype=np.int64)
+        con[CON_NUM_PROCS] = num_procs
+        con[CON_NUM_NODES] = self.num_nodes
+        con[CON_BPP] = machine.addr.blocks_per_page
+        con[CON_L1_HIT] = costs.l1_hit
+        con[CON_BUS_OCC] = costs.bus_occupancy
+        con[CON_BUS_ENABLED] = int(cfg.model_contention)
+        con[CON_LOCAL_MISS] = costs.local_miss
+        con[CON_REMOTE_MISS] = costs.remote_miss
+        con[CON_INVAL_COST] = costs.invalidation_per_sharer
+        con[CON_NET_ENABLED] = int(net.enabled)
+        con[CON_NET_LATENCY] = net.latency
+        con[CON_NIC_OCC] = net.nic_occupancy
+        ri = MessageType.READ_REQUEST.index
+        wi = MessageType.WRITE_REQUEST.index
+        di = MessageType.DATA_REPLY.index
+        bi = MessageType.WRITEBACK.index
+        ii = MessageType.INVALIDATION.index
+        ai = MessageType.INVALIDATION_ACK.index
+        con[CON_SZ_READ_PAIR] = sizes[ri] + sizes[di]
+        con[CON_SZ_WRITE_PAIR] = sizes[wi] + sizes[di]
+        con[CON_SZ_WB] = sizes[bi]
+        con[CON_SZ_INV_PAIR] = sizes[ii] + sizes[ai]
+        con[CON_MSG_READ] = ri
+        con[CON_MSG_WRITE] = wi
+        con[CON_MSG_DATA] = di
+        con[CON_MSG_WB] = bi
+        con[CON_MSG_INV] = ii
+        con[CON_MSG_ACK] = ai
+        con[CON_BC_CAP] = machine.block_caches[0].capacity_blocks
+        con[CON_NUM_LINES] = caches[0].num_lines
+        con[CON_MODE_REPLICA] = MODE_CODES[PageMode.REPLICA]
+        con[CON_MODE_LOCAL_HOME] = MODE_CODES[PageMode.LOCAL_HOME]
+        con[CON_MODE_CCNUMA_REMOTE] = MODE_CODES[PageMode.CCNUMA_REMOTE]
+        from repro.core.protocol import (
+            _DEPARTED_EVICTED, _DEPARTED_INVALIDATED)
+        con[CON_DEP_EVICTED] = _DEPARTED_EVICTED
+        con[CON_DEP_INVALIDATED] = _DEPARTED_INVALIDATED
+        con[CON_SOFT_TRAP] = costs.soft_trap
+        mri = MessageType.PAGE_MAP_REQUEST.index
+        mpi = MessageType.PAGE_MAP_REPLY.index
+        con[CON_MSG_MAP_REQ] = mri
+        con[CON_MSG_MAP_REPLY] = mpi
+        con[CON_SZ_MAP_PAIR] = sizes[mri] + sizes[mpi]
+        # first-touch placement can run inside the walk; any configured
+        # placement policy is Python code, so those faults bail instead
+        con[CON_FIRST_TOUCH] = int(machine.vm._placement is None)
+        counters = getattr(protocol, "counters", None)
+        if counters is not None and hasattr(protocol, "_mr_static"):
+            con[CON_HAS_MIGREP] = 1
+            con[CON_MR_THRESHOLD] = protocol._mr_threshold
+            con[CON_MR_MIG] = int(protocol._mr_migration)
+            con[CON_MR_REP] = int(protocol._mr_replication)
+            con[CON_MR_RESET] = counters.reset_interval
+        self.con = con
+        self.counters = counters
+
+        self.mut = np.zeros(MUT_SIZE, dtype=np.int64)
+        self.pp = np.zeros(PP_ROWS * num_procs, dtype=np.int64)
+        self.pp[PP_NODE * num_procs:(PP_NODE + 1) * num_procs] = node_of
+        self.nn = np.zeros(NN_ROWS * self.num_nodes, dtype=np.int64)
+        self.msg_delta = np.zeros(len(net.stats._counts), dtype=np.int64)
+        self.out = np.zeros(OUT_SIZE, dtype=np.int64)
+
+        # empty demoted queues (replaced by the driver after demotions)
+        empty = np.empty(0, dtype=np.int64)
+        self.q_idx = [empty] * num_procs
+        self.q_blk = [empty] * num_procs
+
+        # first-touch placements performed inside the walk, encoded as
+        # ``page << 6 | node`` (eligibility caps nodes at 62); their
+        # PageRecords are materialized lazily by materialize_placements
+        self.place_log = empty
+
+        # store views — taken lazily per phase (see marshal_phase)
+        self._views_live = False
+
+    # -- per-phase store views ----------------------------------------------
+
+    def reserve_for_phase(self, max_block: int) -> None:
+        """Pre-reserve every growable store past this phase's maxima.
+
+        Reservation covers *whole pages* (``(max_page + 1) * bpp``
+        blocks): page operations executed during bails touch every block
+        of the faulting page, and nothing a phase can do reaches beyond
+        its pages — so no in-place growth can happen while the views
+        below hold the buffers' export locks.
+        """
+        if max_block < 0:
+            return
+        machine = self.machine
+        bpp = int(self.con[CON_BPP])
+        max_page = max_block // bpp
+        machine.directory.reserve((max_page + 1) * bpp)
+        machine.vm.reserve(max_page + 1)
+        for pt in machine.page_tables:
+            pt.reserve(max_page + 1)
+        if self.counters is not None:
+            self.counters.reserve(max_page + 1)
+        if len(self.place_log) < max_page + 1:
+            self.place_log = np.empty(max_page + 1, dtype=np.int64)
+
+    def marshal_phase(self, sched, n_sched: int) -> None:
+        """Take the zero-copy store views for one phase's walk."""
+        machine = self.machine
+        directory = machine.directory
+        vm = machine.vm
+        self.dir_sharers = _i64(directory._sharers)   # bitmask fits int64:
+        self.dir_owner = _i64(directory._owner)       # eligibility caps nodes
+        self.dir_versions = _i64(directory._version)
+        self.dir_tracked = _u8(directory._tracked)
+        self.departed = [_u8(d) for d in directory._departed]
+        self.vm_home = _i64(vm._home)
+        self.vm_replicated = _u8(vm._replicated)
+        self.vm_replica_mask = _i64(vm._replica_mask)
+        self.pt_modes = [_u8(pt._modes) for pt in machine.page_tables]
+        self.pt_tracked = [_u8(pt._tracked) for pt in machine.page_tables]
+        self.pt_faults = [_i64(pt._faults) for pt in machine.page_tables]
+        self.bc_blocks = [_i64(bc._blocks) for bc in machine.block_caches]
+        self.bc_versions = [_i64(bc._versions) for bc in machine.block_caches]
+        self.bc_dirty = [_u8(bc._dirty) for bc in machine.block_caches]
+        self.cb = []
+        self.cv = []
+        self.cd = []
+        for c in self.caches:
+            blocks_l, versions_l, dirty_l = c.line_state()
+            self.cb.append(_i64(blocks_l))
+            self.cv.append(_i64(versions_l))
+            self.cd.append(_u8(dirty_l))
+        self.status = [_u8(s) for s in sched.status]
+        if self.counters is not None:
+            c = self.counters
+            self.ctr_read = _i64(c._read)
+            self.ctr_write = _i64(c._write)
+            self.ctr_since = _i64(c._since)
+            self.ctr_live_r = _u8(c._live_r)
+            self.ctr_live_w = _u8(c._live_w)
+        else:
+            e64 = np.empty(0, dtype=np.int64)
+            e8 = np.empty(0, dtype=np.uint8)
+            self.ctr_read = self.ctr_write = self.ctr_since = e64
+            self.ctr_live_r = self.ctr_live_w = e8
+        self.con[CON_DIR_CAP] = len(self.dir_sharers)
+        self.con[CON_VM_LEN] = len(self.vm_home)
+        self.con[CON_N_SCHED] = n_sched
+        self.mut[MUT_K] = 0
+        empty = self.q_idx[0][:0]
+        for p in range(self.num_procs):
+            self.q_idx[p] = empty
+            self.q_blk[p] = empty
+        self._views_live = True
+
+    def release(self) -> None:
+        """Drop the store views (and their buffer export locks)."""
+        self.dir_sharers = self.dir_owner = self.dir_versions = None
+        self.dir_tracked = self.departed = None
+        self.vm_home = self.vm_replicated = self.vm_replica_mask = None
+        self.pt_modes = self.pt_tracked = self.pt_faults = None
+        self.bc_blocks = self.bc_versions = None
+        self.bc_dirty = self.cb = self.cv = self.cd = self.status = None
+        self.ctr_read = self.ctr_write = self.ctr_since = None
+        self.ctr_live_r = self.ctr_live_w = None
+        self._views_live = False
+
+    # -- mirror synchronisation ---------------------------------------------
+
+    def load_absolutes(self) -> None:
+        """Copy the serialising resources' state into the mirrors."""
+        machine = self.machine
+        nn = self.nn
+        N = self.num_nodes
+        for n in range(N):
+            nn[NN_BUS_FREE * N + n] = machine.nodes[n].bus.next_free
+            nn[NN_NIC_FREE * N + n] = machine.network._nics[n].next_free
+
+    def sync_nics_out(self) -> None:
+        """Write the NIC ``next_free`` mirror through to the NIC objects.
+
+        Called before each bail: the protocol code servicing the bail
+        computes network contention from (and advances) the live NICs.
+        The bus mirror needs no write-through — protocol code never
+        touches buses — and the delta mirrors stay parked (bail-time
+        code only increments the owning counters, which commutes).
+        """
+        nics = self.machine.network._nics
+        nn = self.nn
+        N = self.num_nodes
+        for n in range(N):
+            nics[n].next_free = int(nn[NN_NIC_FREE * N + n])
+
+    def load_nics(self) -> None:
+        """Re-read the NIC ``next_free`` times after a bail."""
+        nics = self.machine.network._nics
+        nn = self.nn
+        N = self.num_nodes
+        for n in range(N):
+            nn[NN_NIC_FREE * N + n] = nics[n].next_free
+
+    def materialize_placements(self) -> None:
+        """Create the PageRecords for first touches the walk performed.
+
+        The walk places first-touch pages itself (``vm._home`` plus the
+        node's page table, both views) and logs ``page << 6 | node``;
+        the record-dict side of the placement happens here.  Must run
+        before any Python protocol code can consult ``vm`` — i.e. at
+        every bail and at the end of every phase.
+        """
+        npl = int(self.mut[MUT_NPLACED])
+        if not npl:
+            return
+        from repro.kernel.vm import PageRecord
+        vm = self.machine.vm
+        pages = vm._pages
+        log = self.place_log
+        for j in range(npl):
+            v = int(log[j])
+            page = v >> 6
+            node = v & 63
+            pages[page] = PageRecord(page=page, home=node,
+                                     first_toucher=node)
+        vm.first_touches += npl
+        self.mut[MUT_NPLACED] = 0
+
+    def flush(self) -> None:
+        """Fold the delta mirrors into their owners; write back absolutes.
+
+        Runs at the end of every phase.  Delta rows are zeroed as they
+        are folded; absolute rows are written through.
+        """
+        self.materialize_placements()
+        machine = self.machine
+        nn = self.nn
+        N = self.num_nodes
+        bus_occ = int(self.con[CON_BUS_OCC])
+        soft_trap = int(self.con[CON_SOFT_TRAP])
+        protocol = machine.protocol
+        for n in range(N):
+            bus = machine.nodes[n].bus
+            txn = int(nn[NN_BUS_TXN * N + n])
+            bus.next_free = int(nn[NN_BUS_FREE * N + n])
+            bus.transactions += txn
+            bus.busy_cycles += txn * bus_occ
+            bus.wait_cycles += int(nn[NN_BUS_WAIT * N + n])
+            nn[NN_BUS_TXN * N + n] = 0
+            nn[NN_BUS_WAIT * N + n] = 0
+            nic = machine.network._nics[n]
+            nic.next_free = int(nn[NN_NIC_FREE * N + n])
+            nic.messages += int(nn[NN_NIC_MSGS * N + n])
+            nic.busy_cycles += int(nn[NN_NIC_BUSY * N + n])
+            nic.wait_cycles += int(nn[NN_NIC_WAIT * N + n])
+            nn[NN_NIC_MSGS * N + n] = 0
+            nn[NN_NIC_BUSY * N + n] = 0
+            nn[NN_NIC_WAIT * N + n] = 0
+            ns = machine.stats.nodes[n]
+            ns.local_misses += int(nn[NN_NS_LOCAL * N + n])
+            ns.remote_misses += int(nn[NN_NS_REMOTE * N + n])
+            ns.upgrades += int(nn[NN_NS_UPGRADES * N + n])
+            ns.block_cache_hits += int(nn[NN_NS_BCHITS * N + n])
+            ns.remote_by_cause[0] += int(nn[NN_NS_CAUSE0 * N + n])
+            ns.remote_by_cause[1] += int(nn[NN_NS_CAUSE1 * N + n])
+            ns.remote_by_cause[2] += int(nn[NN_NS_CAUSE2 * N + n])
+            bcs = machine.block_caches[n].stats
+            bcs.hits += int(nn[NN_BCS_HITS * N + n])
+            bcs.misses += int(nn[NN_BCS_MISSES * N + n])
+            bcs.invalidations += int(nn[NN_BCS_INVAL * N + n])
+            bcs.evictions += int(nn[NN_BCS_EVICT * N + n])
+            mf = int(nn[NN_MAPFAULT * N + n])
+            if mf:
+                # one mapping fault = NodeStats count + page-table soft
+                # fault + a FaultLog record of soft_trap cycles
+                ns.mapping_faults += mf
+                machine.page_tables[n].soft_faults += mf
+                log = protocol.fault_logs[n]
+                log.counts[_MAPPING_FAULT] = (
+                    log.counts.get(_MAPPING_FAULT, 0) + mf)
+                log.cycles[_MAPPING_FAULT] = (
+                    log.cycles.get(_MAPPING_FAULT, 0) + mf * soft_trap)
+            for row in (NN_NS_LOCAL, NN_NS_REMOTE, NN_NS_UPGRADES,
+                        NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_CAUSE1,
+                        NN_NS_CAUSE2, NN_BCS_HITS, NN_BCS_MISSES,
+                        NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT):
+                nn[row * N + n] = 0
+        net_stats = machine.network.stats
+        counts = net_stats._counts
+        msg_delta = self.msg_delta
+        for idx in range(len(counts)):
+            if msg_delta[idx]:
+                counts[idx] += int(msg_delta[idx])
+                msg_delta[idx] = 0
+        mut = self.mut
+        net_stats.bytes_total += int(mut[MUT_BYTES])
+        mut[MUT_BYTES] = 0
+        machine.directory.invalidations_sent += int(mut[MUT_DIR_INV])
+        machine.directory.writebacks += int(mut[MUT_DIR_WB])
+        mut[MUT_DIR_INV] = 0
+        mut[MUT_DIR_WB] = 0
+        if self.counters is not None:
+            self.counters.resets += int(mut[MUT_CTR_RESETS])
+            mut[MUT_CTR_RESETS] = 0
+
+    # -- demoted queues ------------------------------------------------------
+
+    def set_queues(self, q_idx_lists, q_blk_lists, q_cur) -> None:
+        """Install rebuilt demoted queues (after a bail's demotions)."""
+        P = self.num_procs
+        pp = self.pp
+        for p in range(P):
+            qi = q_idx_lists[p]
+            start = q_cur[p]
+            self.q_idx[p] = np.asarray(qi[start:], dtype=np.int64)
+            self.q_blk[p] = np.asarray(q_blk_lists[p][start:],
+                                       dtype=np.int64)
+            pp[PP_QCUR * P + p] = 0
+            pp[PP_QLEN * P + p] = len(self.q_idx[p])
+
+
+__all__ = [name for name in dir() if name.startswith(("CON_", "PP_", "NN_",
+                                                      "MUT_", "OUT_", "RC_"))]
+__all__ += ["KernelState", "schedule_arrays", "NO_INDEX"]

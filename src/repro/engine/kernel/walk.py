@@ -1,0 +1,767 @@
+"""The kernel's residual walk — one source, three executions.
+
+This module holds the compiled kernel's inner loop: the residual walk of
+:mod:`repro.engine.batched` with the dynamic-promotion lane removed
+(the kernel always runs promotion-off schedules; results are
+bit-identical either way) and every Python object access replaced by
+flat-array access on the views built by
+:mod:`repro.engine.kernel.state`.
+
+The same function body runs three ways:
+
+* ``interp`` — :func:`kernel_walk` called as plain Python.  Slow, but
+  dependency-free; the equivalence suite uses it to pin the walk's
+  semantics on any machine.
+* ``numba`` — ``numba.njit`` applied to the same function at first use
+  (see :func:`get_njit_walk`); the list-of-array arguments are passed as
+  ``numba.typed.List`` s of the zero-copy views.
+* ``c`` — ``cwalk.c`` is a line-for-line transcription of this function
+  (keep them in sync!), compiled on demand by
+  :mod:`repro.engine.kernel.cbuild`.
+
+The walk returns ``RC_DONE`` when the phase's schedule and demoted
+queues are drained, or bails with an ``RC_BAIL_*`` code — filling the
+``out`` record — whenever an access needs protocol machinery that only
+exists in Python: a mapping fault, a write to a replicated page, or a
+fired migration/replication decision.  All bookkeeping lives in the
+caller-owned arrays, so the caller can service the bail with ordinary
+protocol calls and re-enter; the walk resumes exactly where it left
+off.
+"""
+
+from __future__ import annotations
+
+from repro.engine.kernel.state import (
+    CON_BC_CAP, CON_BPP, CON_BUS_ENABLED, CON_BUS_OCC, CON_COMPUTE,
+    CON_DEP_EVICTED, CON_DEP_INVALIDATED, CON_FAST_UNIT, CON_FIRST_TOUCH,
+    CON_HAS_MIGREP, CON_INVAL_COST, CON_L1_HIT, CON_LOCAL_MISS,
+    CON_MODE_CCNUMA_REMOTE, CON_MODE_LOCAL_HOME,
+    CON_MODE_REPLICA, CON_MR_MIG, CON_MR_REP, CON_MR_RESET,
+    CON_MR_THRESHOLD, CON_MSG_ACK, CON_MSG_DATA, CON_MSG_INV,
+    CON_MSG_MAP_REPLY, CON_MSG_MAP_REQ, CON_MSG_READ,
+    CON_MSG_WB, CON_MSG_WRITE, CON_N_SCHED, CON_NET_ENABLED,
+    CON_NET_LATENCY, CON_NIC_OCC, CON_NUM_LINES, CON_NUM_NODES,
+    CON_NUM_PROCS, CON_REMOTE_MISS, CON_SOFT_TRAP, CON_SZ_INV_PAIR,
+    CON_SZ_MAP_PAIR, CON_SZ_READ_PAIR, CON_SZ_WB, CON_SZ_WRITE_PAIR,
+    MUT_BYTES, MUT_CTR_RESETS, MUT_DIR_INV, MUT_DIR_WB, MUT_K,
+    MUT_NPLACED, MUT_RESIDUAL,
+    NN_BCS_EVICT, NN_BCS_HITS, NN_BCS_INVAL, NN_BCS_MISSES, NN_BUS_FREE,
+    NN_BUS_TXN, NN_BUS_WAIT, NN_MAPFAULT, NN_NIC_BUSY, NN_NIC_FREE,
+    NN_NIC_MSGS, NN_NIC_WAIT, NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_LOCAL,
+    NN_NS_REMOTE, NN_NS_UPGRADES,
+    OUT_BLOCK, OUT_CLOCK, OUT_FAULT, OUT_HOME, OUT_I, OUT_KIND, OUT_MODE,
+    OUT_P, OUT_PAGE, OUT_SERVICE, OUT_START, OUT_VERSION, OUT_WAIT,
+    OUT_WRITE,
+    PP_ACC_CONT, PP_ACC_FAULT, PP_ACC_LOCAL, PP_ACC_REMOTE,
+    PP_ACC_UPGRADE, PP_CLOCK,
+    PP_EVICT, PP_FAST, PP_HITS, PP_INVAL, PP_MISS, PP_NODE, PP_PTR,
+    PP_QCUR, PP_QLEN, PP_UPG,
+    RC_BAIL_COLLAPSE, RC_BAIL_FAULT, RC_BAIL_MIGRATE, RC_BAIL_REPLICATE,
+    RC_DONE,
+)
+
+
+def kernel_walk(con, mut, pp, nn, msg_delta, out,
+                dir_sharers, dir_owner, dir_versions, dir_tracked,
+                vm_home, vm_replicated, vm_replica_mask,
+                ctr_read, ctr_write, ctr_since, ctr_live_r, ctr_live_w,
+                departed, pt_modes, pt_tracked, pt_faults,
+                bc_blocks, bc_versions, bc_dirty,
+                cb, cv, cd, status,
+                ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot, keys,
+                place_log, q_idx, q_blk):
+    """Walk the residual schedule until the phase drains or a bail fires.
+
+    ``cwalk.c`` transcribes this function — edit both together.
+    """
+    P = con[CON_NUM_PROCS]
+    N = con[CON_NUM_NODES]
+    bpp = con[CON_BPP]
+    compute = con[CON_COMPUTE]
+    l1_hit_cost = con[CON_L1_HIT]
+    fast_unit = con[CON_FAST_UNIT]
+    bus_occ = con[CON_BUS_OCC]
+    bus_enabled = con[CON_BUS_ENABLED]
+    local_miss_cost = con[CON_LOCAL_MISS]
+    remote_miss_cost = con[CON_REMOTE_MISS]
+    inval_cost = con[CON_INVAL_COST]
+    net_enabled = con[CON_NET_ENABLED]
+    net_latency = con[CON_NET_LATENCY]
+    nic_occ = con[CON_NIC_OCC]
+    sz_read_pair = con[CON_SZ_READ_PAIR]
+    sz_write_pair = con[CON_SZ_WRITE_PAIR]
+    sz_wb = con[CON_SZ_WB]
+    sz_inv_pair = con[CON_SZ_INV_PAIR]
+    read_i = con[CON_MSG_READ]
+    write_i = con[CON_MSG_WRITE]
+    data_i = con[CON_MSG_DATA]
+    wb_i = con[CON_MSG_WB]
+    inv_i = con[CON_MSG_INV]
+    ack_i = con[CON_MSG_ACK]
+    has_migrep = con[CON_HAS_MIGREP]
+    mr_threshold = con[CON_MR_THRESHOLD]
+    mr_migration = con[CON_MR_MIG]
+    mr_replication = con[CON_MR_REP]
+    mr_reset = con[CON_MR_RESET]
+    n_sched = con[CON_N_SCHED]
+    bc_cap = con[CON_BC_CAP]
+    num_lines = con[CON_NUM_LINES]
+    replica_code = con[CON_MODE_REPLICA]
+    local_home_code = con[CON_MODE_LOCAL_HOME]
+    ccnuma_remote_code = con[CON_MODE_CCNUMA_REMOTE]
+    dep_evicted = con[CON_DEP_EVICTED]
+    dep_invalidated = con[CON_DEP_INVALIDATED]
+    soft_trap = con[CON_SOFT_TRAP]
+    map_req_i = con[CON_MSG_MAP_REQ]
+    map_reply_i = con[CON_MSG_MAP_REPLY]
+    sz_map_pair = con[CON_SZ_MAP_PAIR]
+    first_touch_ok = con[CON_FIRST_TOUCH]
+
+    k = mut[MUT_K]
+
+    # earliest demoted-queue head (interleave key, proc); recomputed only
+    # when a queue entry is consumed — queues never grow inside the walk
+    nk = -1
+    pq = -1
+    for p2 in range(P):
+        c2 = pp[PP_QCUR * P + p2]
+        if c2 < pp[PP_QLEN * P + p2]:
+            key2 = q_idx[p2][c2] * P + p2
+            if nk < 0 or key2 < nk:
+                nk = key2
+                pq = p2
+
+    while True:
+        if nk >= 0 and (k >= n_sched or nk < keys[k]):
+            # earliest pending reference is a demoted one
+            p = pq
+            c = pp[PP_QCUR * P + p]
+            i = q_idx[p][c]
+            block = q_blk[p][c]
+            pp[PP_QCUR * P + p] = c + 1
+            probe = 1
+            is_write = 0
+            slot = -1
+            nk = -1
+            pq = -1
+            for p2 in range(P):
+                c2 = pp[PP_QCUR * P + p2]
+                if c2 < pp[PP_QLEN * P + p2]:
+                    key2 = q_idx[p2][c2] * P + p2
+                    if nk < 0 or key2 < nk:
+                        nk = key2
+                        pq = p2
+        elif k < n_sched:
+            i = ent_i[k]
+            p = ent_p[k]
+            probe = ent_probe[k]
+            block = ent_blk[k]
+            is_write = ent_wrt[k]
+            slot = ent_slot[k]
+            k += 1
+            if status[p][slot] != 0:
+                continue     # first-touch promoted: bulk-consumed via ptr
+        else:
+            break
+        mut[MUT_RESIDUAL] += 1
+
+        # consume the guaranteed hits since this proc's last residual
+        n_fast = i - pp[PP_PTR * P + p]
+        base = pp[PP_CLOCK * P + p]
+        if n_fast > 0:
+            base += n_fast * fast_unit
+            pp[PP_FAST * P + p] += n_fast
+        pp[PP_PTR * P + p] = i + 1
+        clock = base + compute
+        node = pp[PP_NODE * P + p]
+        cb_p = cb[p]
+        cv_p = cv[p]
+        cd_p = cd[p]
+        idx = block % num_lines
+
+        if probe != 0 and cb_p[idx] == block:
+            version = dir_versions[block]
+            if cv_p[idx] >= version:
+                if is_write == 0:
+                    pp[PP_HITS * P + p] += 1
+                    pp[PP_CLOCK * P + p] = clock + l1_hit_cost
+                    continue
+                if cd_p[idx] != 0:
+                    pp[PP_HITS * P + p] += 1
+                    pp[PP_CLOCK * P + p] = clock + l1_hit_cost
+                    continue
+                # write upgrade: invalidate other sharers
+                pp[PP_UPG * P + p] += 1
+                page = block // bpp
+                if bus_enabled != 0:
+                    free = nn[NN_BUS_FREE * N + node]
+                    start = clock if clock >= free else free
+                    nn[NN_BUS_WAIT * N + node] += start - clock
+                    nn[NN_BUS_FREE * N + node] = start + bus_occ
+                else:
+                    start = clock
+                nn[NN_BUS_TXN * N + node] += 1
+                wait = start - clock
+                # inlined base handle_upgrade: directory write plus a
+                # control round trip when the home is remote
+                nn[NN_NS_UPGRADES * N + node] += 1
+                home = vm_home[page]
+                dir_tracked[block] = 1
+                bit = 1 << node
+                others = dir_sharers[block] & ~bit
+                o = dir_owner[block]
+                if o >= 0 and o != node:
+                    mut[MUT_DIR_WB] += 1
+                dir_sharers[block] = bit
+                dir_owner[block] = node
+                new_version = dir_versions[block] + 1
+                dir_versions[block] = new_version
+                extra = 0
+                if others != 0:
+                    invals = 0
+                    tmp = others
+                    while tmp != 0:
+                        tmp &= tmp - 1
+                        invals += 1
+                    mut[MUT_DIR_INV] += invals
+                    extra = invals * inval_cost
+                    msg_delta[inv_i] += invals
+                    msg_delta[ack_i] += invals
+                    mut[MUT_BYTES] += invals * sz_inv_pair
+                    nidx = 0
+                    while others != 0:
+                        if others & 1:
+                            departed[nidx][block] = dep_invalidated
+                        others >>= 1
+                        nidx += 1
+                if home < 0 or home == node:
+                    latency = local_miss_cost + extra
+                else:
+                    msg_delta[write_i] += 1
+                    msg_delta[data_i] += 1
+                    mut[MUT_BYTES] += sz_write_pair
+                    occ2 = nic_occ + nic_occ
+                    if net_enabled == 0:
+                        nn[NN_NIC_MSGS * N + node] += 2
+                        nn[NN_NIC_MSGS * N + home] += 2
+                        nn[NN_NIC_BUSY * N + node] += occ2
+                        nn[NN_NIC_BUSY * N + home] += occ2
+                        contention = 0
+                    else:
+                        free = nn[NN_NIC_FREE * N + node]
+                        s1 = start if start >= free else free
+                        w1 = s1 - start
+                        nn[NN_NIC_FREE * N + node] = s1 + nic_occ
+                        t = s1 + nic_occ + net_latency
+                        free = nn[NN_NIC_FREE * N + home]
+                        s2 = t if t >= free else free
+                        w2 = s2 - t
+                        nn[NN_NIC_FREE * N + home] = s2 + nic_occ
+                        t2 = s2 + nic_occ
+                        free = nn[NN_NIC_FREE * N + home]
+                        s3 = t2 if t2 >= free else free
+                        w3 = s3 - t2
+                        nn[NN_NIC_FREE * N + home] = s3 + nic_occ
+                        t3 = s3 + nic_occ + net_latency
+                        free = nn[NN_NIC_FREE * N + node]
+                        s4 = t3 if t3 >= free else free
+                        w4 = s4 - t3
+                        nn[NN_NIC_FREE * N + node] = s4 + nic_occ
+                        nn[NN_NIC_MSGS * N + node] += 2
+                        nn[NN_NIC_MSGS * N + home] += 2
+                        nn[NN_NIC_BUSY * N + node] += occ2
+                        nn[NN_NIC_BUSY * N + home] += occ2
+                        nn[NN_NIC_WAIT * N + node] += w1 + w4
+                        nn[NN_NIC_WAIT * N + home] += w2 + w3
+                        contention = w1 + w2 + w3 + w4
+                    latency = remote_miss_cost + contention + extra
+                # inlined touch_write (the probed line holds `block`)
+                cd_p[idx] = 1
+                if new_version > cv_p[idx]:
+                    cv_p[idx] = new_version
+                pp[PP_ACC_CONT * P + p] += wait
+                pp[PP_ACC_UPGRADE * P + p] += latency
+                pp[PP_CLOCK * P + p] = clock + wait + latency
+                continue
+            # stale copy: drop it so the fill below refreshes it
+            cb_p[idx] = -1
+            cd_p[idx] = 0
+            pp[PP_INVAL * P + p] += 1
+
+        # miss path (classified miss, absent line, or stale drop)
+        pp[PP_MISS * P + p] += 1
+        page = block // bpp
+        if bus_enabled != 0:
+            free = nn[NN_BUS_FREE * N + node]
+            start = clock if clock >= free else free
+            nn[NN_BUS_WAIT * N + node] += start - clock
+            nn[NN_BUS_FREE * N + node] = start + bus_occ
+        else:
+            start = clock
+        nn[NN_BUS_TXN * N + node] += 1
+        wait = start - clock
+
+        home = vm_home[page]
+        mode_c = pt_modes[node][page] if home >= 0 else 0
+        fault = 0
+        if mode_c == 0:
+            # mapping fault (inlined ensure_mapped).  First touches under
+            # a configured placement policy bail — only Python knows the
+            # policy; first-touch placement itself and remap faults on
+            # already-placed pages run right here.
+            if home < 0 and first_touch_ok == 0:
+                mut[MUT_K] = k
+                out[OUT_KIND] = RC_BAIL_FAULT
+                out[OUT_P] = p
+                out[OUT_I] = i
+                out[OUT_BLOCK] = block
+                out[OUT_PAGE] = page
+                out[OUT_WRITE] = is_write
+                out[OUT_START] = start
+                out[OUT_WAIT] = wait
+                out[OUT_CLOCK] = clock
+                out[OUT_HOME] = home
+                out[OUT_MODE] = mode_c
+                out[OUT_FAULT] = 0
+                return RC_BAIL_FAULT
+            if home < 0:
+                # first touch: home the page at the requester; the
+                # PageRecord side is deferred to the placement log
+                home = node
+                vm_home[page] = node
+                place_log[mut[MUT_NPLACED]] = (page << 6) | node
+                mut[MUT_NPLACED] += 1
+            fault = soft_trap
+            nn[NN_MAPFAULT * N + node] += 1
+            pt_faults[node][page] += 1
+            pt_tracked[node][page] = 1
+            if home == node:
+                mode_c = local_home_code
+            else:
+                # map request/reply, both one-way messages sent at t=0
+                mode_c = ccnuma_remote_code
+                msg_delta[map_req_i] += 1
+                msg_delta[map_reply_i] += 1
+                mut[MUT_BYTES] += sz_map_pair
+                occ2 = nic_occ + nic_occ
+                if net_enabled == 0:
+                    nn[NN_NIC_MSGS * N + node] += 2
+                    nn[NN_NIC_MSGS * N + home] += 2
+                    nn[NN_NIC_BUSY * N + node] += occ2
+                    nn[NN_NIC_BUSY * N + home] += occ2
+                else:
+                    free = nn[NN_NIC_FREE * N + node]
+                    s1 = 0 if 0 >= free else free
+                    nn[NN_NIC_WAIT * N + node] += s1
+                    nn[NN_NIC_FREE * N + node] = s1 + nic_occ
+                    t = s1 + nic_occ + net_latency
+                    free = nn[NN_NIC_FREE * N + home]
+                    s2 = t if t >= free else free
+                    nn[NN_NIC_WAIT * N + home] += s2 - t
+                    nn[NN_NIC_FREE * N + home] = s2 + nic_occ
+                    free = nn[NN_NIC_FREE * N + home]
+                    s3 = 0 if 0 >= free else free
+                    nn[NN_NIC_WAIT * N + home] += s3
+                    nn[NN_NIC_FREE * N + home] = s3 + nic_occ
+                    t3 = s3 + nic_occ + net_latency
+                    free = nn[NN_NIC_FREE * N + node]
+                    s4 = t3 if t3 >= free else free
+                    nn[NN_NIC_WAIT * N + node] += s4 - t3
+                    nn[NN_NIC_FREE * N + node] = s4 + nic_occ
+                    nn[NN_NIC_MSGS * N + node] += 2
+                    nn[NN_NIC_MSGS * N + home] += 2
+                    nn[NN_NIC_BUSY * N + node] += occ2
+                    nn[NN_NIC_BUSY * N + home] += occ2
+            pt_modes[node][page] = mode_c
+
+        if mode_c == local_home_code or home == node:
+            # local fill (base body; MigRep adds the home-side counter
+            # bump — inlined from MigRepProtocol._local_fill)
+            nn[NN_NS_LOCAL * N + node] += 1
+            dir_tracked[block] = 1
+            if is_write != 0:
+                bit = 1 << node
+                others = dir_sharers[block] & ~bit
+                o = dir_owner[block]
+                if o >= 0 and o != node:
+                    mut[MUT_DIR_WB] += 1
+                dir_sharers[block] = bit
+                dir_owner[block] = node
+                version = dir_versions[block] + 1
+                dir_versions[block] = version
+                extra = 0
+                if others != 0:
+                    invals = 0
+                    tmp = others
+                    while tmp != 0:
+                        tmp &= tmp - 1
+                        invals += 1
+                    mut[MUT_DIR_INV] += invals
+                    extra = invals * inval_cost
+                    msg_delta[inv_i] += invals
+                    msg_delta[ack_i] += invals
+                    mut[MUT_BYTES] += invals * sz_inv_pair
+                    nidx = 0
+                    while others != 0:
+                        if others & 1:
+                            departed[nidx][block] = dep_invalidated
+                        others >>= 1
+                        nidx += 1
+                service = local_miss_cost + extra
+            else:
+                dir_sharers[block] |= 1 << node
+                version = dir_versions[block]
+                service = local_miss_cost
+            if has_migrep != 0 and home == node:
+                # home-side miss feeds the page's counters too
+                cbase = page * N
+                if is_write != 0:
+                    ctr_live_w[page] = 1
+                    ctr_write[cbase + node] += 1
+                else:
+                    ctr_live_r[page] = 1
+                    ctr_read[cbase + node] += 1
+                total = ctr_since[page] + 1
+                if total >= mr_reset:
+                    for nx in range(N):
+                        ctr_read[cbase + nx] = 0
+                        ctr_write[cbase + nx] = 0
+                    ctr_since[page] = 0
+                    ctr_live_r[page] = 0
+                    ctr_live_w[page] = 0
+                    mut[MUT_CTR_RESETS] += 1
+                else:
+                    ctr_since[page] = total
+            # inlined fill + eviction notification (local tail)
+            old = cb_p[idx]
+            cb_p[idx] = block
+            cv_p[idx] = version
+            if old >= 0 and old != block:
+                pp[PP_EVICT * P + p] += 1
+                cd_p[idx] = is_write
+                # inlined base note_l1_eviction
+                if bc_blocks[node][old % bc_cap] != old:
+                    vpage = old // bpp
+                    vh = vm_home[vpage]
+                    if vh >= 0 and vh != node:
+                        departed[node][old] = dep_evicted
+            else:
+                cd_p[idx] = is_write
+            pp[PP_ACC_CONT * P + p] += wait
+            pp[PP_ACC_LOCAL * P + p] += service
+            pp[PP_ACC_FAULT * P + p] += fault
+            pp[PP_CLOCK * P + p] = clock + wait + service + fault
+            continue
+
+        # ---- remote lane ----
+        if has_migrep != 0:
+            if is_write != 0 and vm_replicated[page] != 0:
+                # write to a replicated page: collapse via the protocol
+                mut[MUT_K] = k
+                out[OUT_KIND] = RC_BAIL_COLLAPSE
+                out[OUT_P] = p
+                out[OUT_I] = i
+                out[OUT_BLOCK] = block
+                out[OUT_PAGE] = page
+                out[OUT_WRITE] = is_write
+                out[OUT_START] = start
+                out[OUT_WAIT] = wait
+                out[OUT_CLOCK] = clock
+                out[OUT_HOME] = home
+                out[OUT_MODE] = mode_c
+                out[OUT_FAULT] = fault
+                return RC_BAIL_COLLAPSE
+            if is_write == 0 and mode_c == replica_code:
+                # read served by a local replica: local memory access
+                nn[NN_NS_LOCAL * N + node] += 1
+                dir_tracked[block] = 1
+                dir_sharers[block] |= 1 << node
+                version = dir_versions[block]
+                service = local_miss_cost
+                # generic tail (remote=0, no pageop)
+                old = cb_p[idx]
+                if old >= 0 and old != block:
+                    pp[PP_EVICT * P + p] += 1
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                    if bc_blocks[node][old % bc_cap] != old:
+                        vpage = old // bpp
+                        vh = vm_home[vpage]
+                        if vh >= 0 and vh != node:
+                            departed[node][old] = dep_evicted
+                else:
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                pp[PP_ACC_CONT * P + p] += wait
+                pp[PP_ACC_LOCAL * P + p] += service
+                pp[PP_ACC_FAULT * P + p] += fault
+                pp[PP_CLOCK * P + p] = clock + wait + service + fault
+                continue
+
+        # inlined CC-NUMA block-cache / remote-fetch lane
+        version = dir_versions[block]
+        bidx = block % bc_cap
+        bb = bc_blocks[node]
+        bv = bc_versions[node]
+        bd = bc_dirty[node]
+        hit = 0
+        if bb[bidx] == block:
+            if bv[bidx] >= version:
+                hit = 1
+            else:
+                bb[bidx] = -1
+                bd[bidx] = 0
+                nn[NN_BCS_INVAL * N + node] += 1
+        if hit != 0:
+            nn[NN_BCS_HITS * N + node] += 1
+            nn[NN_NS_BCHITS * N + node] += 1
+            remote = 0
+            if is_write != 0:
+                dir_tracked[block] = 1
+                bit = 1 << node
+                others = dir_sharers[block] & ~bit
+                o = dir_owner[block]
+                if o >= 0 and o != node:
+                    mut[MUT_DIR_WB] += 1
+                dir_sharers[block] = bit
+                dir_owner[block] = node
+                version = dir_versions[block] + 1
+                dir_versions[block] = version
+                extra = 0
+                if others != 0:
+                    invals = 0
+                    tmp = others
+                    while tmp != 0:
+                        tmp &= tmp - 1
+                        invals += 1
+                    mut[MUT_DIR_INV] += invals
+                    extra = invals * inval_cost
+                    msg_delta[inv_i] += invals
+                    msg_delta[ack_i] += invals
+                    mut[MUT_BYTES] += invals * sz_inv_pair
+                    nidx = 0
+                    while others != 0:
+                        if others & 1:
+                            departed[nidx][block] = dep_invalidated
+                        others >>= 1
+                        nidx += 1
+                if version > bv[bidx]:
+                    bv[bidx] = version
+                bd[bidx] = 1
+                service = local_miss_cost + extra
+            else:
+                service = local_miss_cost
+        else:
+            nn[NN_BCS_MISSES * N + node] += 1
+            remote = 1
+            # miss classification (reason doubles as the counter index)
+            reason = departed[node][block]
+            if reason != 0:
+                departed[node][block] = 0
+            nn[NN_NS_REMOTE * N + node] += 1
+            nn[(NN_NS_CAUSE0 + reason) * N + node] += 1
+            # request/reply traffic + NIC contention
+            if is_write != 0:
+                msg_delta[write_i] += 1
+                msg_delta[data_i] += 1
+                mut[MUT_BYTES] += sz_write_pair
+            else:
+                msg_delta[read_i] += 1
+                msg_delta[data_i] += 1
+                mut[MUT_BYTES] += sz_read_pair
+            occ2 = nic_occ + nic_occ
+            if net_enabled == 0:
+                nn[NN_NIC_MSGS * N + node] += 2
+                nn[NN_NIC_MSGS * N + home] += 2
+                nn[NN_NIC_BUSY * N + node] += occ2
+                nn[NN_NIC_BUSY * N + home] += occ2
+                contention = 0
+            else:
+                free = nn[NN_NIC_FREE * N + node]
+                s1 = start if start >= free else free
+                w1 = s1 - start
+                nn[NN_NIC_FREE * N + node] = s1 + nic_occ
+                t = s1 + nic_occ + net_latency
+                free = nn[NN_NIC_FREE * N + home]
+                s2 = t if t >= free else free
+                w2 = s2 - t
+                nn[NN_NIC_FREE * N + home] = s2 + nic_occ
+                t2 = s2 + nic_occ
+                free = nn[NN_NIC_FREE * N + home]
+                s3 = t2 if t2 >= free else free
+                w3 = s3 - t2
+                nn[NN_NIC_FREE * N + home] = s3 + nic_occ
+                t3 = s3 + nic_occ + net_latency
+                free = nn[NN_NIC_FREE * N + node]
+                s4 = t3 if t3 >= free else free
+                w4 = s4 - t3
+                nn[NN_NIC_FREE * N + node] = s4 + nic_occ
+                nn[NN_NIC_MSGS * N + node] += 2
+                nn[NN_NIC_MSGS * N + home] += 2
+                nn[NN_NIC_BUSY * N + node] += occ2
+                nn[NN_NIC_BUSY * N + home] += occ2
+                nn[NN_NIC_WAIT * N + node] += w1 + w4
+                nn[NN_NIC_WAIT * N + home] += w2 + w3
+                contention = w1 + w2 + w3 + w4
+            # directory side of the fill
+            if is_write != 0:
+                dir_tracked[block] = 1
+                bit = 1 << node
+                others = dir_sharers[block] & ~bit
+                o = dir_owner[block]
+                if o >= 0 and o != node:
+                    mut[MUT_DIR_WB] += 1
+                dir_sharers[block] = bit
+                dir_owner[block] = node
+                version = dir_versions[block] + 1
+                dir_versions[block] = version
+                extra = 0
+                if others != 0:
+                    invals = 0
+                    tmp = others
+                    while tmp != 0:
+                        tmp &= tmp - 1
+                        invals += 1
+                    mut[MUT_DIR_INV] += invals
+                    extra = invals * inval_cost
+                    msg_delta[inv_i] += invals
+                    msg_delta[ack_i] += invals
+                    mut[MUT_BYTES] += invals * sz_inv_pair
+                    nidx = 0
+                    while others != 0:
+                        if others & 1:
+                            departed[nidx][block] = dep_invalidated
+                        others >>= 1
+                        nidx += 1
+            else:
+                dir_tracked[block] = 1
+                dir_sharers[block] |= 1 << node
+                version = dir_versions[block]
+                extra = 0
+            service = remote_miss_cost + contention + extra
+            # inlined BlockCache.fill
+            old = bb[bidx]
+            old_dirty = bd[bidx]
+            bb[bidx] = block
+            bv[bidx] = version
+            bd[bidx] = is_write
+            if old >= 0 and old != block:
+                nn[NN_BCS_EVICT * N + node] += 1
+                departed[node][old] = dep_evicted
+                if dir_tracked[old] != 0:
+                    dir_sharers[old] &= ~(1 << node)
+                    if dir_owner[old] == node:
+                        dir_owner[old] = -1
+                        mut[MUT_DIR_WB] += 1
+                if old_dirty != 0:
+                    vpage = old // bpp
+                    vh = vm_home[vpage]
+                    if vh >= 0 and vh != node:
+                        msg_delta[wb_i] += 1
+                        mut[MUT_BYTES] += sz_wb
+            if has_migrep != 0:
+                # home-side counter bump + static decision (remote only)
+                cbase = page * N
+                if is_write != 0:
+                    ctr_live_w[page] = 1
+                    ctr_write[cbase + node] += 1
+                else:
+                    ctr_live_r[page] = 1
+                    ctr_read[cbase + node] += 1
+                total = ctr_since[page] + 1
+                if total >= mr_reset:
+                    for nx in range(N):
+                        ctr_read[cbase + nx] = 0
+                        ctr_write[cbase + nx] = 0
+                    ctr_since[page] = 0
+                    ctr_live_r[page] = 0
+                    ctr_live_w[page] = 0
+                    mut[MUT_CTR_RESETS] += 1
+                else:
+                    ctr_since[page] = total
+                if (vm_replica_mask[page] >> node) & 1 == 0:
+                    decided = 0
+                    if mr_replication != 0:
+                        remote_writes = -ctr_write[cbase + home]
+                        for nx in range(N):
+                            remote_writes += ctr_write[cbase + nx]
+                        if (remote_writes == 0
+                                and ctr_read[cbase + node] > mr_threshold):
+                            decided = RC_BAIL_REPLICATE
+                    if decided == 0 and mr_migration != 0:
+                        req_m = ctr_read[cbase + node] + ctr_write[cbase + node]
+                        home_m = ctr_read[cbase + home] + ctr_write[cbase + home]
+                        if req_m - home_m > mr_threshold:
+                            decided = RC_BAIL_MIGRATE
+                    if decided != 0:
+                        # the fill is complete; only the page operation
+                        # itself needs the Python MigrationEngine
+                        mut[MUT_K] = k
+                        out[OUT_KIND] = decided
+                        out[OUT_P] = p
+                        out[OUT_I] = i
+                        out[OUT_BLOCK] = block
+                        out[OUT_PAGE] = page
+                        out[OUT_WRITE] = is_write
+                        out[OUT_START] = start
+                        out[OUT_WAIT] = wait
+                        out[OUT_CLOCK] = clock
+                        out[OUT_HOME] = home
+                        out[OUT_MODE] = mode_c
+                        out[OUT_SERVICE] = service
+                        out[OUT_VERSION] = version
+                        out[OUT_FAULT] = fault
+                        return decided
+
+        # generic tail: L1 fill + eviction notification
+        old = cb_p[idx]
+        if old >= 0 and old != block:
+            pp[PP_EVICT * P + p] += 1
+            cb_p[idx] = block
+            cv_p[idx] = version
+            cd_p[idx] = is_write
+            if bc_blocks[node][old % bc_cap] != old:
+                vpage = old // bpp
+                vh = vm_home[vpage]
+                if vh >= 0 and vh != node:
+                    departed[node][old] = dep_evicted
+        else:
+            cb_p[idx] = block
+            cv_p[idx] = version
+            cd_p[idx] = is_write
+        pp[PP_ACC_CONT * P + p] += wait
+        if remote != 0:
+            pp[PP_ACC_REMOTE * P + p] += service
+        else:
+            pp[PP_ACC_LOCAL * P + p] += service
+        pp[PP_ACC_FAULT * P + p] += fault
+        pp[PP_CLOCK * P + p] = clock + wait + service + fault
+        continue
+
+    mut[MUT_K] = k
+    return RC_DONE
+
+
+_njit_walk = None
+_njit_failed = False
+
+
+def get_njit_walk():
+    """The numba-compiled walk, or ``None`` when numba is unavailable.
+
+    Compilation happens lazily on first call (it costs seconds) and the
+    result — success or failure — is cached for the process.
+    """
+    global _njit_walk, _njit_failed
+    if _njit_walk is not None or _njit_failed:
+        return _njit_walk
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba
+
+        _njit_walk = numba.njit(cache=True, fastmath=False)(kernel_walk)
+    except Exception:
+        _njit_failed = True
+        _njit_walk = None
+    return _njit_walk

@@ -388,6 +388,8 @@ class RunnerStats:
     shm_segments: int = 0   # traces published as shared-memory segments
     shm_attaches: int = 0   # cold worker attaches (one mmap each)
     worker_reuse: int = 0   # parallel runs served by a warm worker's trace
+    kernel_runs: int = 0    # runs executed by the compiled kernel engine
+    kernel_fallbacks: int = 0  # kernel requests served by batched fallback
 
     def as_dict(self) -> Dict[str, int]:
         """Plain dictionary of the counters (JSON export)."""
@@ -399,7 +401,18 @@ class RunnerStats:
             "shm_segments": self.shm_segments,
             "shm_attaches": self.shm_attaches,
             "worker_reuse": self.worker_reuse,
+            "kernel_runs": self.kernel_runs,
+            "kernel_fallbacks": self.kernel_fallbacks,
         }
+
+    def note_profile(self, profile) -> None:
+        """Fold one executed run's ``engine_profile`` into the counters."""
+        if not isinstance(profile, dict):
+            return
+        if profile.get("engine") == "kernel":
+            self.kernel_runs += 1
+        elif profile.get("requested_engine") == "kernel":
+            self.kernel_fallbacks += 1
 
 
 class SweepRunner:
@@ -577,10 +590,13 @@ class SweepRunner:
                         self._memo[key] = result
                     else:
                         self._memo[key] = future.result()
+                    self.stats.note_profile(
+                        self._memo[key].stats.engine_profile)
             else:
                 for key, (trace, name, cfg) in pending.items():
-                    self._memo[key] = _execute_run(trace, name, cfg,
-                                                   self.engine)
+                    result = _execute_run(trace, name, cfg, self.engine)
+                    self.stats.note_profile(result.stats.engine_profile)
+                    self._memo[key] = result
 
         results = []
         for key, trace, system, cfg in keyed:
@@ -591,6 +607,7 @@ class SweepRunner:
                 self.stats.runs += 1
                 machine = Machine(cfg, system)
                 stats = machine.run(trace, engine=self.engine)
+                self.stats.note_profile(stats.engine_profile)
                 results.append(ExperimentResult(workload=trace.name,
                                                 system=system.name,
                                                 config=cfg, stats=stats))

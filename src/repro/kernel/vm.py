@@ -18,6 +18,7 @@ the cooperating per-node kernels) tracking, per page:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set
 
@@ -46,7 +47,8 @@ class VirtualMemoryManager:
     placement ablation.
     """
 
-    __slots__ = ("num_nodes", "_pages", "_home", "_placement",
+    __slots__ = ("num_nodes", "_pages", "_home", "_replicated",
+                 "_replica_mask", "_placement",
                  "first_touches", "migrations", "replications",
                  "replica_collapses")
 
@@ -58,8 +60,13 @@ class VirtualMemoryManager:
         # flat page -> current home array (-1 = never placed), kept in sync
         # with the records; the protocol layer and the batched engine read
         # it directly on every miss instead of a record-dict lookup.  Grown
-        # lazily and in place (aliases stay valid).
-        self._home: List[int] = []
+        # lazily and in place (aliases stay valid).  Buffer-backed so the
+        # compiled residual kernel can view it without copying; the two
+        # companion columns mirror PageRecord.replicated / .replicas as a
+        # flag byte and a node bitmask for the same reason.
+        self._home = array("q")
+        self._replicated = bytearray()
+        self._replica_mask = array("Q")
         self._placement = placement
         self.first_touches = 0
         self.migrations = 0
@@ -74,7 +81,10 @@ class VirtualMemoryManager:
         if n <= cap:
             return
         grow = max(n, 2 * cap, 256) - cap
-        self._home += [-1] * grow
+        # -1 as little-endian two's-complement int64 is all-ones bytes
+        self._home.frombytes(b"\xff" * (8 * grow))
+        self._replicated += bytes(grow)
+        self._replica_mask.frombytes(bytes(8 * grow))
 
     # -- placement ---------------------------------------------------------------
 
@@ -144,6 +154,10 @@ class VirtualMemoryManager:
         if node == rec.home:
             raise ValueError("the home node does not need a replica")
         rec.replicated = True
+        if page >= len(self._home):
+            self.reserve(page + 1)
+        self._replicated[page] = 1
+        self._replica_mask[page] |= 1 << node
         if node not in rec.replicas:
             rec.replicas.add(node)
             self.replications += 1
@@ -163,6 +177,9 @@ class VirtualMemoryManager:
             self.replica_collapses += 1
         rec.replicas.clear()
         rec.replicated = False
+        if page < len(self._home):
+            self._replicated[page] = 0
+            self._replica_mask[page] = 0
         return revoked
 
     def is_replicated(self, page: int) -> bool:

@@ -14,17 +14,20 @@ baseline (an infinite block cache never suffers capacity/conflict misses).
 
 Storage layout
 --------------
-The finite cache stores its frames as flat parallel lists indexed by frame
-number — ``_blocks`` (cached block id, -1 when empty), ``_versions`` and
-``_dirty`` — exactly the layout the protocol layer's and the batched
-engine's inlined lookup/fill paths index directly.  The infinite cache is
-necessarily a mapping; it keeps a plain ``block -> (version, dirty)`` dict
-(``_store``).  Exactly one of ``_blocks`` / ``_store`` is non-None.
+The finite cache stores its frames as flat parallel buffer-backed arrays
+indexed by frame number — ``_blocks`` (cached block id, -1 when empty) and
+``_versions`` as ``array('q')``, ``_dirty`` as a ``bytearray`` — exactly
+the layout the protocol layer's and the batched engine's inlined
+lookup/fill paths index directly, and one the compiled residual kernel
+can view as contiguous numpy arrays without copying.  The infinite cache
+is necessarily a mapping; it keeps a plain ``block -> (version, dirty)``
+dict (``_store``).  Exactly one of ``_blocks`` / ``_store`` is non-None.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from array import array
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.mem.cache import CacheStats
 
@@ -48,14 +51,14 @@ class BlockCache:
         self.capacity_blocks = capacity_blocks
         self._infinite = capacity_blocks is None
         if self._infinite:
-            self._blocks: Optional[List[int]] = None
-            self._versions: Optional[List[int]] = None
-            self._dirty: Optional[List[bool]] = None
+            self._blocks: Optional[array] = None
+            self._versions: Optional[array] = None
+            self._dirty: Optional[bytearray] = None
             self._store: Optional[Dict[int, Tuple[int, bool]]] = {}
         else:
-            self._blocks = [-1] * capacity_blocks
-            self._versions = [0] * capacity_blocks
-            self._dirty = [False] * capacity_blocks
+            self._blocks = array("q", b"\xff" * (8 * capacity_blocks))
+            self._versions = array("q", bytes(8 * capacity_blocks))
+            self._dirty = bytearray(capacity_blocks)
             self._store = None
         self.stats = CacheStats()
 
@@ -99,7 +102,7 @@ class BlockCache:
         victim: Optional[Tuple[int, bool]] = None
         old = self._blocks[idx]
         if old >= 0 and old != block:
-            victim = (old, self._dirty[idx])
+            victim = (old, bool(self._dirty[idx]))
             self.stats.evictions += 1
         self._blocks[idx] = block
         self._versions[idx] = version
@@ -157,7 +160,7 @@ class BlockCache:
             entry = self._store.get(block)
             return entry is not None and entry[1]
         idx = block % self.capacity_blocks
-        return self._blocks[idx] == block and self._dirty[idx]
+        return self._blocks[idx] == block and bool(self._dirty[idx])
 
     def resident_blocks(self) -> Iterator[int]:
         """Iterate over resident block ids."""

@@ -2,9 +2,10 @@
 
 The paper's processors have 16 KB direct-mapped data caches with the
 coherence block as the line size.  The simulator's hot loop performs one
-cache lookup per trace reference, so the implementation favours plain
-Python lists over numpy arrays (scalar indexing of lists is faster) and
-keeps each operation allocation-free.
+cache lookup per trace reference, so the implementation favours flat
+buffer-backed arrays (``array('q')``/``bytearray`` — scalar indexing is
+as cheap as lists, and the compiled residual kernel can view them as
+numpy arrays without copying) and keeps each operation allocation-free.
 
 Two classes are provided:
 
@@ -22,6 +23,7 @@ whose version is stale counts as a coherence miss (see
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
@@ -78,9 +80,12 @@ class DirectMappedCache:
         if num_lines <= 0:
             raise ValueError("num_lines must be positive")
         self.num_lines = num_lines
-        self._blocks: list[int] = [-1] * num_lines
-        self._versions: list[int] = [0] * num_lines
-        self._dirty: list[bool] = [False] * num_lines
+        # buffer-backed frame arrays: scalar indexing stays as cheap as
+        # lists for the interpreted engines while the compiled residual
+        # kernel can view them as contiguous numpy arrays without copying
+        self._blocks = array("q", b"\xff" * (8 * num_lines))
+        self._versions = array("q", bytes(8 * num_lines))
+        self._dirty = bytearray(num_lines)
         self.stats = CacheStats()
         #: optional callback fired whenever a line is dropped from
         #: *outside* the probe/fill path (page-operation shootdowns).  It
@@ -153,7 +158,7 @@ class DirectMappedCache:
         victim: Optional[Tuple[int, bool]] = None
         old = self._blocks[idx]
         if old >= 0 and old != block:
-            victim = (old, self._dirty[idx])
+            victim = (old, bool(self._dirty[idx]))
             self.stats.evictions += 1
         self._blocks[idx] = block
         self._versions[idx] = version
@@ -184,13 +189,15 @@ class DirectMappedCache:
 
     # -- batched probe API (used by repro.engine.batched) ----------------------
 
-    def line_state(self) -> Tuple[list, list, list]:
-        """The live per-line ``(blocks, versions, dirty)`` lists.
+    def line_state(self) -> Tuple[array, array, bytearray]:
+        """The live per-line ``(blocks, versions, dirty)`` stores.
 
-        These are the cache's *internal* mutable lists, exposed so the
+        These are the cache's *internal* mutable buffer-backed arrays
+        (``array('q')``, ``array('q')``, ``bytearray``), exposed so the
         batched engine can probe and fill lines without per-access method
-        calls.  Mutations must preserve the class invariants (a dropped
-        line is ``block=-1, dirty=False``) and account statistics through
+        calls and the compiled kernel can view them as numpy arrays.
+        Mutations must preserve the class invariants (a dropped line is
+        ``block=-1, dirty=0``) and account statistics through
         :meth:`credit_batch`.
         """
         return self._blocks, self._versions, self._dirty
@@ -252,7 +259,7 @@ class DirectMappedCache:
     def is_dirty(self, block: int) -> bool:
         """True if ``block`` is present and dirty."""
         idx = block % self.num_lines
-        return self._blocks[idx] == block and self._dirty[idx]
+        return self._blocks[idx] == block and bool(self._dirty[idx])
 
     def resident_blocks(self) -> Iterator[int]:
         """Iterate over the block ids currently resident."""

@@ -18,13 +18,23 @@ simulator uses the directory for three things:
 Storage layout
 --------------
 Directory state is stored as flat parallel arrays indexed by global block
-id — a sharer-bitmask list (node ``i`` → bit ``i``), an owner list and a
-version list, plus a ``tracked`` byte per block distinguishing "never
-referenced" from "referenced with default state".  The arrays grow lazily
-(and always *in place*, so pre-bound aliases held by the protocol and the
-batched engine stay valid) as larger block ids appear.  All hot-path set
-algebra is O(1) integer arithmetic on a scalar list element; there is no
-per-block object allocation anywhere.
+id — a sharer-bitmask column (node ``i`` → bit ``i``), an owner column and
+a version column, plus a ``tracked`` byte per block distinguishing "never
+referenced" from "referenced with default state".  The columns are
+buffer-backed (``array('Q')``/``array('q')``/``bytearray``) so the
+compiled residual kernel can view them as contiguous numpy arrays with no
+copies, while scalar indexing keeps working for the interpreted paths.
+The arrays grow lazily (and always *in place*, so pre-bound aliases held
+by the protocol and the batched engine stay valid) as larger block ids
+appear; growth while a buffer view is exported raises ``BufferError``,
+which doubles as a guard that the engines pre-reserve correctly.  All
+hot-path set algebra is O(1) integer arithmetic on a scalar element;
+there is no per-block object allocation anywhere.
+
+The directory also hosts the per-node *departure* codes (one byte per
+(node, block): 0 never departed, 1 evicted, 2 invalidated) that the
+protocol layer uses for miss classification — they are indexed by block
+and must grow in lockstep with the columns, so :meth:`reserve` owns them.
 
 :class:`DirectoryEntry` remains as a lightweight *view* onto one block's
 columns so existing ``entry()``/``peek()`` callers keep working.
@@ -32,6 +42,7 @@ columns so existing ``entry()``/``peek()`` callers keep working.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, List, Optional, Tuple
 
 #: Initial number of block slots allocated on first use.
@@ -100,7 +111,7 @@ class Directory:
     """
 
     __slots__ = ("num_nodes", "_sharers", "_owner", "_version", "_tracked",
-                 "_views", "invalidations_sent", "writebacks")
+                 "_departed", "_views", "invalidations_sent", "writebacks")
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes <= 0:
@@ -108,10 +119,14 @@ class Directory:
         if num_nodes > 64:
             raise ValueError("bitmask sharer sets support at most 64 nodes")
         self.num_nodes = num_nodes
-        self._sharers: List[int] = []
-        self._owner: List[int] = []
-        self._version: List[int] = []
+        self._sharers = array("Q")
+        self._owner = array("q")
+        self._version = array("q")
         self._tracked = bytearray()
+        # per-node departure-reason byte per block (see module docstring);
+        # owned here so reserve() grows it in lockstep with the columns
+        self._departed: List[bytearray] = [bytearray()
+                                           for _ in range(num_nodes)]
         # entry()/peek() view objects, one per block, created on demand so
         # repeated calls return the same object (callers may hold them)
         self._views: dict[int, DirectoryEntry] = {}
@@ -132,10 +147,14 @@ class Directory:
         if n <= cap:
             return
         grow = max(n, 2 * cap, _MIN_RESERVE) - cap
-        self._sharers += [0] * grow
-        self._owner += [-1] * grow
-        self._version += [0] * grow
+        self._sharers.frombytes(bytes(8 * grow))
+        # -1 as little-endian two's-complement int64 is all-ones bytes
+        self._owner.frombytes(b"\xff" * (8 * grow))
+        self._version.frombytes(bytes(8 * grow))
         self._tracked += bytes(grow)
+        zeros = bytes(grow)
+        for dep in self._departed:
+            dep += zeros
 
     # -- entry access ------------------------------------------------------------
 

@@ -25,9 +25,10 @@ replication, and a few counters the kernels/protocols consult.
 Storage layout
 --------------
 Mapping state lives in flat parallel arrays indexed by global page id: a
-mode-code bytearray (see :data:`MODE_CODES`), a writable bytearray, and
-fault/remap count lists, plus a ``tracked`` byte distinguishing "never
-touched" from "touched and currently unmapped".  :class:`PageMode` enum
+mode-code bytearray (see :data:`MODE_CODES`), a writable bytearray,
+buffer-backed fault counts (``array("q")`` so the compiled residual
+kernel can view them) and a remap count list, plus a ``tracked`` byte
+distinguishing "never touched" from "touched and currently unmapped".  :class:`PageMode` enum
 objects are materialized only at the API boundary (``mode_of`` and the
 :class:`PageTableEntry` view); the hot paths in the protocol layer and the
 batched engine read the mode-code bytearray directly.  Arrays grow lazily
@@ -37,6 +38,7 @@ and in place, so pre-bound aliases stay valid.
 from __future__ import annotations
 
 import enum
+from array import array
 from typing import Iterator, List, Optional
 
 
@@ -126,7 +128,7 @@ class PageTable:
         self.node = node
         self._modes = bytearray()
         self._writable = bytearray()
-        self._faults: List[int] = []
+        self._faults = array("q")
         self._remaps: List[int] = []
         self._tracked = bytearray()
         # entry()/peek() view objects, one per page, created on demand so
@@ -145,7 +147,7 @@ class PageTable:
         grow = max(n, 2 * cap, _MIN_RESERVE) - cap
         self._modes += bytes(grow)
         self._writable += b"\x01" * grow      # pages default to writable
-        self._faults += [0] * grow
+        self._faults.frombytes(bytes(8 * grow))
         self._remaps += [0] * grow
         self._tracked += bytes(grow)
 

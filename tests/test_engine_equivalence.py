@@ -1,11 +1,14 @@
-"""Engine equivalence regression: batched == legacy, bit for bit.
+"""Engine equivalence regression: every engine == legacy, bit for bit.
 
-The batched engine (:mod:`repro.engine.batched`) must reproduce the
+The batched engine (:mod:`repro.engine.batched`) and the compiled
+residual kernel (:mod:`repro.engine.kernel`) must reproduce the
 reference interpreter's statistics and execution times exactly — every
 counter, stall category, clock, message count and cache statistic — for
 every system the factory can build.  These tests run the same trace
-through both engines on freshly built machines and compare deep
-fingerprints of the results.
+through all engines on freshly built machines and compare deep
+fingerprints of the results.  (Ineligible systems make the kernel fall
+back to the batched engine for the whole run, so asserting
+``kernel == legacy`` is meaningful for every system either way.)
 """
 
 from __future__ import annotations
@@ -62,7 +65,7 @@ def fingerprint(machine: Machine, stats) -> dict:
 
 
 def run_both(cfg: SimulationConfig, system: str, trace: Trace):
-    """Run ``trace`` under both engines on fresh machines; return fingerprints."""
+    """Run ``trace`` under every engine on fresh machines; return fingerprints."""
     out = {}
     for engine in ENGINE_NAMES:
         machine = Machine(cfg, build_system(system))
@@ -73,8 +76,9 @@ def run_both(cfg: SimulationConfig, system: str, trace: Trace):
 
 def assert_equivalent(cfg: SimulationConfig, system: str, trace: Trace) -> None:
     fps = run_both(cfg, system, trace)
-    assert fps["batched"] == fps["legacy"], (
-        f"engine mismatch for system {system!r}")
+    for engine in ENGINE_NAMES:
+        assert fps[engine] == fps["legacy"], (
+            f"engine {engine!r} mismatch for system {system!r}")
 
 
 class TestEverySystem:
@@ -190,10 +194,15 @@ class TestPromotionAdversarial:
     results with promotion enabled and disabled, for every system.
     """
 
-    @pytest.fixture(autouse=True, params=["promotion", "no-promotion"])
+    @pytest.fixture(autouse=True,
+                    params=["adaptive", "promotion", "no-promotion"])
     def _promotion_mode(self, request, monkeypatch):
-        if request.param == "no-promotion":
+        if request.param == "promotion":
+            monkeypatch.setenv("REPRO_PROMOTION", "1")
+        elif request.param == "no-promotion":
             monkeypatch.setenv("REPRO_PROMOTION", "0")
+        else:
+            monkeypatch.delenv("REPRO_PROMOTION", raising=False)
 
     @pytest.mark.parametrize("system", SYSTEM_NAMES)
     def test_runs_with_conflicts_and_writes(self, system, tiny_config):
@@ -350,9 +359,179 @@ class TestResidualSchedule:
         assert "_classify_static" in phase.__dict__
 
 
+class TestKernelEngine:
+    """engine=kernel: per-backend bit-identity, fallback and profile."""
+
+    BACKENDS = ["interp", "c", "numba"]
+
+    @staticmethod
+    def _require_backend(backend: str) -> None:
+        if backend == "c":
+            from repro.engine.kernel.cbuild import load_cwalk
+            if load_cwalk() is None:
+                pytest.skip("no working C toolchain")
+        elif backend == "numba":
+            from repro.engine.kernel.walk import get_njit_walk
+            if get_njit_walk() is None:
+                pytest.skip("numba not installed")
+
+    def _trace(self, small_machine):
+        spec = make_simple_spec(pattern=SharingPattern.MIGRATORY,
+                                accesses=400, write_fraction=0.3,
+                                shift=1, phases=3)
+        return make_trace(spec, small_machine, seed=5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("system", ["ccnuma", "migrep"])
+    def test_backend_bit_identical(self, backend, system, small_config,
+                                   small_machine, monkeypatch):
+        """Every available backend reproduces legacy exactly — including
+        the page-op-churn shape that exercises the bail path."""
+        self._require_backend(backend)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+        trace = self._trace(small_machine)
+        ref_machine = Machine(small_config, build_system(system))
+        ref = fingerprint(ref_machine, ref_machine.run(trace, engine="legacy"))
+        machine = Machine(small_config, build_system(system))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "kernel"
+        assert prof["backend"] == backend
+        assert prof["bails"] == sum(prof["bail_kinds"].values())
+        assert fingerprint(machine, stats) == ref
+
+    def test_env_disable_falls_back(self, small_config, small_machine,
+                                    monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "none")
+        trace = self._trace(small_machine)
+        machine = Machine(small_config, build_system("migrep"))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "batched"
+        assert prof["requested_engine"] == "kernel"
+        assert "disabled" in prof["fallback_reason"]
+        ref_machine = Machine(small_config, build_system("migrep"))
+        ref = fingerprint(ref_machine,
+                          ref_machine.run(trace, engine="batched"))
+        assert fingerprint(machine, stats) == ref
+
+    def test_unknown_backend_falls_back_with_reason(
+            self, small_config, small_machine, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "turbo")
+        trace = self._trace(small_machine)
+        machine = Machine(small_config, build_system("ccnuma"))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "batched"
+        assert prof["requested_engine"] == "kernel"
+        assert "turbo" in prof["fallback_reason"]
+
+    def test_page_cache_system_falls_back(self, small_config, small_machine,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        trace = self._trace(small_machine)
+        machine = Machine(small_config, build_system("rnuma"))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "batched"
+        assert prof["requested_engine"] == "kernel"
+        assert "page cache" in prof["fallback_reason"]
+
+    def test_adaptive_policy_falls_back(self, small_config, small_machine,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        trace = self._trace(small_machine)
+        spec = build_system("migrep").derive("migrep-competitive",
+                                             migrep_policy="competitive")
+        machine = Machine(small_config, spec)
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "batched"
+        assert prof["requested_engine"] == "kernel"
+        assert "competitive" in prof["fallback_reason"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_promotion_env_is_invariant(self, backend, small_config,
+                                        small_machine, monkeypatch):
+        """The kernel runs promotion-free; REPRO_PROMOTION must not
+        change a single bit of its output."""
+        self._require_backend(backend)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+        trace = self._trace(small_machine)
+        fps = []
+        for promo in ("0", "1"):
+            monkeypatch.setenv("REPRO_PROMOTION", promo)
+            machine = Machine(small_config, build_system("migrep"))
+            stats = machine.run(trace, engine="kernel")
+            assert stats.engine_profile["engine"] == "kernel"
+            fps.append(fingerprint(machine, stats))
+        assert fps[0] == fps[1]
+
+
+class TestAdaptivePromotion:
+    """Per-phase promotion decisions from static residual density."""
+
+    def _profile(self, cfg, system, trace, monkeypatch, env=None):
+        if env is None:
+            monkeypatch.delenv("REPRO_PROMOTION", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_PROMOTION", env)
+        machine = Machine(cfg, build_system(system))
+        stats = machine.run(trace, engine="batched")
+        return stats.engine_profile
+
+    def test_adaptive_records_per_phase_decisions(
+            self, small_config, small_machine, monkeypatch):
+        spec = make_simple_spec(pattern=SharingPattern.MIGRATORY,
+                                accesses=400, write_fraction=0.3,
+                                shift=1, phases=3)
+        trace = make_trace(spec, small_machine, seed=5)
+        prof = self._profile(small_config, "migrep", trace, monkeypatch)
+        assert prof["promotion_mode"] == "adaptive"
+        decisions = prof["phase_promotions"]
+        assert len(decisions) == len(trace.phases)
+        for d in decisions:
+            assert isinstance(d["promotion"], bool)
+            assert 0.0 <= d["residual_density"] <= 1.0
+        assert prof["promotion_enabled"] == any(
+            d["promotion"] for d in decisions)
+
+    def test_env_override_forces_mode(self, tiny_config, tiny_machine,
+                                      monkeypatch):
+        spec = make_simple_spec(accesses=200, write_fraction=0.2)
+        trace = make_trace(spec, tiny_machine, seed=3)
+        on = self._profile(tiny_config, "ccnuma", trace, monkeypatch, "1")
+        assert on["promotion_mode"] == "on"
+        assert on["promotion_enabled"]
+        assert all(d["promotion"] for d in on["phase_promotions"])
+        off = self._profile(tiny_config, "ccnuma", trace, monkeypatch, "0")
+        assert off["promotion_mode"] == "off"
+        assert not off["promotion_enabled"]
+        assert not any(d["promotion"] for d in off["phase_promotions"])
+
+    def test_density_threshold_decides(self, tiny_config, tiny_machine,
+                                       monkeypatch):
+        """Long same-block runs → low density → promotion on; a stream
+        of conflicting first touches → high density → promotion off."""
+        from repro.engine.batched import PROMOTION_DENSITY_THRESHOLD
+
+        runs = _run_streams(4, [([7] * 40, [1] + [0] * 39)] * 4)
+        prof = self._profile(tiny_config, "ccnuma", runs, monkeypatch)
+        (d,) = prof["phase_promotions"]
+        assert d["residual_density"] < PROMOTION_DENSITY_THRESHOLD
+        assert d["promotion"] is True
+
+        churn = _run_streams(
+            4, [(list(range(0, 64 * 16, 16)), [0] * 64)] * 4)
+        prof = self._profile(tiny_config, "ccnuma", churn, monkeypatch)
+        (d,) = prof["phase_promotions"]
+        assert d["residual_density"] >= PROMOTION_DENSITY_THRESHOLD
+        assert d["promotion"] is False
+
+
 class TestEngineSelection:
     def test_engine_names(self):
-        assert set(ENGINE_NAMES) == {"batched", "legacy"}
+        assert set(ENGINE_NAMES) == {"batched", "kernel", "legacy"}
         assert default_engine() in ENGINE_NAMES
 
     def test_unknown_engine_rejected(self):
