@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI chaos leg: prove the sweep-robustness invariants end to end.
+
+Two checks, both runnable locally:
+
+``python scripts/chaos_smoke.py chaos``
+    Runs a figure5 sweep at ``jobs=2`` with crash+hang+error injectors
+    afflicting a large fraction of worker runs and asserts the
+    ``ResultSet`` rows are bit-identical to a fault-free run, with the
+    recoveries visible in the runner counters.
+
+``python scripts/chaos_smoke.py kill-resume``
+    Launches a journaled sweep in a subprocess, SIGKILLs it mid-flight,
+    reruns it with ``--resume`` to completion, then reruns once more and
+    asserts zero runs were re-executed (everything served from the
+    journal).
+
+Exit code 0 means the invariants held.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+APPS = ["lu"]
+SCALE = "0.05"
+
+
+def _clean_env() -> dict:
+    env = dict(os.environ)
+    for var in ("REPRO_FAULTS", "REPRO_FAULTS_SEED", "REPRO_FAULTS_ATTEMPTS",
+                "REPRO_FAULTS_HANG_S", "REPRO_JOBS"):
+        env.pop(var, None)
+    return env
+
+
+def check_chaos() -> int:
+    from repro.experiments.runner import SweepRunner
+    from repro.experiments.scenario import run_scenario
+
+    clean = run_scenario("figure5", apps=APPS, scale=float(SCALE))
+
+    os.environ["REPRO_FAULTS"] = "crash=0.25,hang=0.15,error=0.15"
+    os.environ["REPRO_FAULTS_HANG_S"] = "60"
+    with SweepRunner(jobs=2, run_timeout=10.0, backoff=0.05) as runner:
+        faulted = run_scenario("figure5", apps=APPS, scale=float(SCALE),
+                               runner=runner)
+        stats = runner.stats.as_dict()
+    del os.environ["REPRO_FAULTS"]
+
+    print("runner counters under injection:", json.dumps(stats))
+    recoveries = stats["retries"] + stats["crashes"] + stats["timeouts"] \
+        + stats["run_errors"]
+    if recoveries == 0:
+        print("FAIL: injection produced no faults (rates too low?)")
+        return 1
+    if faulted.rows != clean.rows:
+        print("FAIL: faulted ResultSet differs from the fault-free run")
+        return 1
+    print(f"OK: {len(faulted.rows)} rows bit-identical under injection "
+          f"({recoveries} recoveries)")
+    return 0
+
+
+def check_kill_resume() -> int:
+    env = _clean_env()
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "sweep.jsonl"
+        out_json = Path(tmp) / "out.json"
+        argv = [sys.executable, "-m", "repro", "exp", "figure5",
+                "--apps", ",".join(APPS), "--scale", SCALE, "--jobs", "2",
+                "--journal", str(journal), "--json", str(out_json)]
+
+        # 1) start a journaled sweep and SIGKILL it mid-flight (as soon
+        # as the journal shows progress, so the kill lands mid-sweep)
+        victim = subprocess.Popen(argv, env=env, cwd=tmp,
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal.exists() and journal.stat().st_size > 0:
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            print(f"killed mid-flight (journal: "
+                  f"{journal.stat().st_size if journal.exists() else 0} bytes)")
+        else:
+            # tiny sweeps can finish before the kill lands; the resume
+            # half of the check still proves the journal contract
+            print("sweep finished before the kill; continuing with resume")
+
+        # 2) resume to completion
+        rc = subprocess.run(argv + ["--resume"], env=env, cwd=tmp).returncode
+        if rc != 0:
+            print(f"FAIL: resumed sweep exited {rc}")
+            return 1
+        first = json.loads(out_json.read_text())
+
+        # 3) resume again: everything must come from the journal
+        rc = subprocess.run(argv + ["--resume"], env=env, cwd=tmp).returncode
+        if rc != 0:
+            print(f"FAIL: second resume exited {rc}")
+            return 1
+        second = json.loads(out_json.read_text())
+        runner = second.get("runner") or {}
+        print("second-resume counters:", json.dumps(runner))
+        if runner.get("runs") != 0:
+            print(f"FAIL: resume re-executed {runner.get('runs')} runs")
+            return 1
+        if runner.get("journal_hits", 0) <= 0:
+            print("FAIL: resume did not report journal hits")
+            return 1
+        if second["rows"] != first["rows"]:
+            print("FAIL: resumed rows differ")
+            return 1
+    print("OK: kill-resume recomputed zero completed runs")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) != 2 or sys.argv[1] not in ("chaos", "kill-resume"):
+        print(__doc__)
+        return 2
+    if sys.argv[1] == "chaos":
+        return check_chaos()
+    return check_kill_resume()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

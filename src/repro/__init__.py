@@ -50,10 +50,16 @@ The public API is intentionally small:
     run one (workload, system) pair and collect execution time, miss
     breakdowns and page-operation counts.
 
-``SweepRunner``
+``SweepRunner`` / ``SweepJournal`` / ``RunnerStats``
     execute batches of independent runs — memoized by a trace/config
-    digest and fanned out across worker processes — the engine behind
-    every figure/table/ablation harness.
+    digest and fanned out across *supervised* worker processes — the
+    engine behind every figure/table/ablation harness.  Worker crashes,
+    hangs and run exceptions are classified, retried with capped
+    exponential backoff and demoted down a shm → npz → inline
+    degradation ladder; a :class:`SweepJournal` checkpoints completed
+    results so an interrupted sweep resumes without recomputing
+    (``repro exp --journal/--resume``), and :class:`RunnerStats`
+    surfaces the cache/dispatch/fault counters.
 
 ``ENGINE_NAMES``
     the available execution engines (``"batched"``, the vectorised
@@ -113,6 +119,8 @@ from repro.core.factory import (
 from repro.engine import ENGINE_NAMES
 from repro.experiments.runner import (
     ExperimentResult,
+    RunnerStats,
+    SweepJournal,
     SweepRunner,
     run_experiment,
     run_pair,
@@ -137,7 +145,7 @@ from repro.registry import (
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CostModel",
@@ -180,6 +188,8 @@ __all__ = [
     "run_pair",
     "ExperimentResult",
     "SweepRunner",
+    "SweepJournal",
+    "RunnerStats",
     "ENGINE_NAMES",
     "analyze_trace",
     "SharingClass",

@@ -17,6 +17,8 @@ command                 what it does
 ``table1`` .. ``table4``    regenerate one of the paper's tables
 ``sweep``               run one of the predefined parameter sweeps
 ``analyze``             sharing-pattern analysis of a workload trace
+``clean-shm``           unlink shared-memory trace segments orphaned by
+                        dead repro processes
 =====================  ====================================================
 
 The figure/table commands are legacy spellings that delegate to the same
@@ -164,8 +166,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    kwargs = {}
+    if getattr(args, "journal", None):
+        kwargs["journal"] = args.journal
+        kwargs["resume"] = bool(getattr(args, "resume", False))
+    if getattr(args, "retries", None) is not None:
+        kwargs["retries"] = args.retries
+    if getattr(args, "run_timeout", None) is not None:
+        kwargs["run_timeout"] = args.run_timeout
     return SweepRunner(jobs=getattr(args, "jobs", None),
-                       engine=getattr(args, "engine", None))
+                       engine=getattr(args, "engine", None), **kwargs)
 
 
 # -- the generic scenario command -------------------------------------------
@@ -242,6 +252,9 @@ def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
     """Engine per-lane breakdown + runner counters for ``exp --profile``."""
     stats = rs.runner_stats or runner.stats.as_dict()
     lines = ["runner: " + "  ".join(f"{k}={v}" for k, v in stats.items())]
+    if runner.stats.shm_error_messages:
+        lines.append("shm errors:")
+        lines += [f"  {msg}" for msg in runner.stats.shm_error_messages]
     profs = [(r.workload, r.system, r.stats.engine_profile)
              for r in runner.iter_results()
              if r.stats.engine_profile is not None]
@@ -300,7 +313,20 @@ def _run_exp(args: argparse.Namespace, name: str):
     return rs, profile
 
 
+def _cmd_clean_shm(args: argparse.Namespace) -> int:
+    from repro.workloads.trace_io import cleanup_orphan_segments
+    names = cleanup_orphan_segments(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for name in names:
+        print(f"{verb} /dev/shm/{name}")
+    print(f"{verb} {len(names)} orphaned segment(s)")
+    return 0
+
+
 def _cmd_exp(args: argparse.Namespace) -> int:
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        print("error: --resume requires --journal PATH", file=sys.stderr)
+        return 2
     try:
         scenario = SCENARIOS.resolve(args.scenario)
         rs, profile = _run_exp(args, scenario.name)
@@ -507,6 +533,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: REPRO_JOBS or 1)")
     exp_p.add_argument("--engine", choices=ENGINE_NAMES, default=None,
                        help="simulation engine (default: batched)")
+    exp_p.add_argument("--journal", type=str, default=None,
+                       help="checkpoint completed runs to this JSONL file")
+    exp_p.add_argument("--resume", action="store_true",
+                       help="restore already-journaled runs instead of "
+                            "recomputing them (requires --journal)")
+    exp_p.add_argument("--retries", type=int, default=None,
+                       help="retry budget per run for crashed/hung/failed "
+                            "workers (default: REPRO_RETRIES or 3)")
+    exp_p.add_argument("--run-timeout", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds "
+                            "(default: REPRO_RUN_TIMEOUT or none)")
     exp_p.add_argument("--csv", type=str, default=None,
                        help="write the flat result rows to this CSV file")
     exp_p.add_argument("--json", type=str, default=None,
@@ -538,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("app", choices=list_workloads())
     _add_common(analyze_p, apps=False)
 
+    clean_p = sub.add_parser(
+        "clean-shm",
+        help="unlink shared-memory trace segments orphaned by dead "
+             "repro processes")
+    clean_p.add_argument("--dry-run", action="store_true",
+                         help="list the orphans without removing them")
+
     return parser
 
 
@@ -555,6 +599,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table4": _cmd_table4,
     "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
+    "clean-shm": _cmd_clean_shm,
 }
 
 

@@ -12,6 +12,15 @@ user code) touching the same caches.
 :func:`engine_run_guard` owns that save/arm/restore dance in one place so
 an exception anywhere in an engine's phase loop cannot leak either
 effect.
+
+:func:`backend_crash_guard` wraps the kernel engine's calls into its
+compiled backends (numba dispatch, the C extension, the interp
+reference): an exception escaping compiled code — a marshalling bug, a
+numba typing failure at dispatch time, a broken C build — is re-raised
+as :class:`KernelBackendError`, which :func:`repro.engine.kernel.run_kernel`
+catches to re-run the trace on the batched engine from a pristine
+machine (the crashed walk may have half-mutated the array stores), with
+the crash surfaced as the run's ``fallback_reason``.
 """
 
 from __future__ import annotations
@@ -19,6 +28,40 @@ from __future__ import annotations
 import gc
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional, Sequence
+
+
+class KernelBackendError(RuntimeError):
+    """A compiled kernel backend crashed mid-run.
+
+    Carries the backend name and the original exception (as
+    ``__cause__``); the message is the user-facing fallback reason.
+    """
+
+    def __init__(self, backend: str, original: BaseException) -> None:
+        super().__init__(
+            f"kernel backend {backend!r} crashed: "
+            f"{type(original).__name__}: {original}")
+        self.backend = backend
+        self.original = original
+
+
+@contextmanager
+def backend_crash_guard(backend: str) -> Iterator[None]:
+    """Translate exceptions escaping a compiled backend call.
+
+    Anything raised inside the block (except an already-translated
+    :class:`KernelBackendError`) is chained into a
+    :class:`KernelBackendError` so the kernel driver can distinguish
+    "the backend broke" (recoverable by batched fallback) from "the
+    simulation is invalid" (a driver/protocol exception raised outside
+    the guarded backend call, which propagates normally).
+    """
+    try:
+        yield
+    except KernelBackendError:
+        raise
+    except Exception as exc:
+        raise KernelBackendError(backend, exc) from exc
 
 
 @contextmanager

@@ -40,7 +40,11 @@ import numpy as np
 from repro.core.ccnuma import CCNUMAProtocol
 from repro.core.migrep import MigRepProtocol
 from repro.core.protocol import DSMProtocol
-from repro.engine._guard import engine_run_guard
+from repro.engine._guard import (
+    KernelBackendError,
+    backend_crash_guard,
+    engine_run_guard,
+)
 from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
 from repro.engine.kernel.state import (
     CON_COMPUTE, CON_FAST_UNIT, KernelState, MUT_RESIDUAL,
@@ -184,15 +188,31 @@ def run_kernel(machine: "Machine", trace) -> MachineStats:
         bind, backend_name = _resolve_backend(forced)
         if bind is None:
             reason = backend_name
-    if reason is not None:
-        from repro.engine.batched import run_batched
-        stats = run_batched(machine, trace)
-        profile = stats.engine_profile
-        if isinstance(profile, dict):
-            profile["requested_engine"] = "kernel"
-            profile["fallback_reason"] = reason
-        return stats
-    return _run(machine, trace, bind, backend_name)
+    if reason is None:
+        try:
+            return _run(machine, trace, bind, backend_name)
+        except KernelBackendError as exc:
+            # the crashed walk may have half-mutated the array stores, so
+            # the batched re-run needs a pristine machine; the caller's
+            # machine adopts its results to stay consistent
+            from repro.cluster.machine import Machine
+            fresh = Machine(machine.cfg, machine.system)
+            stats = fresh.run(trace, engine="batched")
+            machine.stats = fresh.stats
+            machine.timing = fresh.timing
+            reason = str(exc)
+            profile = stats.engine_profile
+            if isinstance(profile, dict):
+                profile["requested_engine"] = "kernel"
+                profile["fallback_reason"] = reason
+            return stats
+    from repro.engine.batched import run_batched
+    stats = run_batched(machine, trace)
+    profile = stats.engine_profile
+    if isinstance(profile, dict):
+        profile["requested_engine"] = "kernel"
+        profile["fallback_reason"] = reason
+    return stats
 
 
 def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
@@ -288,7 +308,8 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
                     ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot,
                     keys,
                     st.place_log, st.q_idx, st.q_blk)
-            runner = bind(args)
+            with backend_crash_guard(backend_name):
+                runner = bind(args)
 
             def demote_pending(i: int, p: int) -> None:
                 """Demote pending fast refs after a page-op L1 shootdown.
@@ -351,7 +372,8 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
                 events.clear()
 
             while True:
-                rc = runner()
+                with backend_crash_guard(backend_name):
+                    rc = runner()
                 if rc == RC_DONE:
                     break
                 bails += 1

@@ -27,19 +27,45 @@ shared memory (or ``REPRO_NO_SHM`` is set) the runner falls back to the
 digest-keyed on-disk npz store (:class:`TraceStore`): workers then load
 a trace the first time they see its digest and cache it per process, so
 a figure-sized sweep still pickles no stream arrays at all.
+
+Parallel execution is *supervised*: futures are harvested as they
+complete, so one dying worker cannot orphan finished results.  Failures
+are classified — worker crash (``BrokenProcessPool``), wall-clock
+timeout (the runner kills the hung pool), or an exception raised by the
+run itself — and failed runs are retried on a respawned pool with
+capped exponential backoff, degrading repeat offenders from the
+shared-memory lane to the npz lane to inline execution in the
+supervising process (which cannot crash the sweep).  Completed results
+can additionally be checkpointed to an append-only
+:class:`SweepJournal`, letting an interrupted or killed sweep resume
+without recomputing anything (``repro exp --journal/--resume``).  The
+deterministic fault injectors in :mod:`repro.experiments.faults` prove
+the invariant: a sweep under injected crashes/hangs returns results
+bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
 
+import base64
 import hashlib
+import json
 import os
+import pickle
 import shutil
 import tempfile
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import zlib
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +73,7 @@ from repro.cluster.machine import Machine
 from repro.config import SimulationConfig, base_config
 from repro.core.factory import SystemSpec, build_system
 from repro.engine import default_engine
+from repro.experiments import faults as _faults
 from repro.stats.counters import MachineStats
 from repro.workloads.trace import Trace
 from repro.workloads.trace_io import (
@@ -60,6 +87,13 @@ from repro.workloads.trace_io import (
 #: non-empty value): parallel dispatch then falls back to the on-disk
 #: npz store with per-worker deserialization.
 NO_SHM_ENV_VAR = "REPRO_NO_SHM"
+
+#: Environment variable giving the default retry budget per run.
+RETRIES_ENV_VAR = "REPRO_RETRIES"
+
+#: Environment variable giving the default per-run wall-clock timeout in
+#: seconds (empty/unset: no timeout).
+RUN_TIMEOUT_ENV_VAR = "REPRO_RUN_TIMEOUT"
 
 
 @dataclass
@@ -188,6 +222,25 @@ def default_jobs() -> int:
         return 1
 
 
+def default_retries() -> int:
+    """Retry budget used when a SweepRunner is built without ``retries``."""
+    raw = os.environ.get(RETRIES_ENV_VAR, "").strip()
+    try:
+        return max(0, int(raw)) if raw else 3
+    except ValueError:
+        return 3
+
+
+def default_run_timeout() -> Optional[float]:
+    """Per-run timeout used when a SweepRunner is built without one."""
+    raw = os.environ.get(RUN_TIMEOUT_ENV_VAR, "").strip()
+    try:
+        value = float(raw) if raw else 0.0
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 def _trace_digest(trace: Trace) -> str:
     """Content digest of a trace (streams, geometry and phase costs)."""
     h = hashlib.blake2b(digest_size=16)
@@ -273,6 +326,12 @@ class TraceStore:
             self._saved.add(digest)
         return path
 
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def close(self) -> None:
         """Remove the store directory (only when this store created it)."""
         if self._owned and self._root is not None:
@@ -290,8 +349,10 @@ _WORKER_TRACE_LIMIT = 4
 
 
 def _execute_stored_run(trace_path: str, digest: str, system_name: str,
-                        cfg: SimulationConfig, engine: str) -> ExperimentResult:
+                        cfg: SimulationConfig, engine: str,
+                        attempt: int = 0) -> ExperimentResult:
     """Worker entry point taking a stored trace reference instead of arrays."""
+    _faults.inject_from_env(digest, system_name, attempt)
     trace = _WORKER_TRACES.pop(digest, None)
     if trace is None:
         trace = load_trace(trace_path)
@@ -317,7 +378,13 @@ class SharedTracePool:
     that — the per-run npz decompression of the cold path disappears.
     The pool owns the segments: :meth:`close` unlinks them (workers'
     attaches are deregistered from their resource trackers, so nothing
-    else ever unlinks a segment).
+    else ever unlinks a segment) and returns a description of any
+    cleanup race it hit instead of swallowing it, so the runner can
+    surface the failure in :class:`RunnerStats`.  Worker death never
+    leaks a segment held by a *live* publisher; segments orphaned by a
+    killed publisher are reclaimed by
+    :func:`repro.workloads.trace_io.cleanup_orphan_segments`
+    (``repro clean-shm``).
     """
 
     def __init__(self) -> None:
@@ -336,15 +403,18 @@ class SharedTracePool:
             self.segments += 1
         return entry[1]
 
-    def close(self) -> None:
-        """Unlink every published segment."""
+    def close(self) -> List[str]:
+        """Unlink every published segment; return cleanup error messages."""
+        errors: List[str] = []
         for shm, _meta in self._segments.values():
             try:
                 shm.close()
                 shm.unlink()
-            except Exception:  # pragma: no cover - platform cleanup races
-                pass
+            except Exception as exc:  # pragma: no cover - platform races
+                errors.append(f"unlink {getattr(shm, 'name', '?')}: "
+                              f"{type(exc).__name__}: {exc}")
         self._segments.clear()
+        return errors
 
 
 #: Per-worker cache of shared-memory traces: digest -> (trace, shm).
@@ -356,7 +426,7 @@ _WORKER_SHM_LIMIT = 4
 
 
 def _execute_shm_run(meta: Dict[str, object], digest: str, system_name: str,
-                     cfg: SimulationConfig, engine: str
+                     cfg: SimulationConfig, engine: str, attempt: int = 0
                      ) -> Tuple[ExperimentResult, bool]:
     """Worker entry point for shared-memory traces.
 
@@ -365,6 +435,7 @@ def _execute_shm_run(meta: Dict[str, object], digest: str, system_name: str,
     served it; the runner aggregates these into
     :class:`RunnerStats.shm_attaches` / ``worker_reuse``.
     """
+    _faults.inject_from_env(digest, system_name, attempt)
     entry = _WORKER_SHM.pop(digest, None)
     attached = False
     if entry is None:
@@ -377,9 +448,107 @@ def _execute_shm_run(meta: Dict[str, object], digest: str, system_name: str,
     return _execute_run(entry[0], system_name, cfg, engine), attached
 
 
+# ---------------------------------------------------------------------------
+# Sweep journal: crash-safe checkpoint of completed results
+# ---------------------------------------------------------------------------
+
+
+#: The memo/journal key: (trace digest, system, config repr, engine).
+RunKey = Tuple[str, str, str, str]
+
+#: Journal record format version (bump on incompatible change).
+JOURNAL_FORMAT = 1
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed sweep results.
+
+    Each record is one line — ``{"v": 1, "key": [digest, system, config,
+    engine], "result": <base64(zlib(pickle))>}`` — appended and flushed
+    as soon as the run is harvested, so a sweep killed at any instant
+    loses at most the in-flight runs.  On resume (``resume=True``) the
+    journal is parsed leniently: a torn trailing record from a killed
+    writer is skipped, everything before it is restored.  Restored
+    results pre-populate the owning :class:`SweepRunner`'s memo table,
+    so a resumed sweep re-executes **zero** already-completed runs
+    (observable as ``RunnerStats.runs == 0`` /
+    ``RunnerStats.journal_hits``).
+
+    The journal key is the runner's content-addressed memo key — trace
+    digest, system name, canonical config description and engine — so
+    resuming is safe across processes and machines: a changed workload,
+    config or engine simply misses the journal and recomputes.
+
+    .. note:: records embed pickled :class:`ExperimentResult` objects;
+       load journals only from paths you trust, like any pickle.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Parent directories are created on first
+        append.
+    resume:
+        ``True`` loads existing records into :attr:`loaded`; ``False``
+        (the default) truncates any existing file and starts fresh.
+    """
+
+    def __init__(self, path: Union[str, Path], *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.loaded: Dict[RunKey, ExperimentResult] = {}
+        if resume:
+            self.loaded = self._load()
+        elif self.path.exists():
+            self.path.unlink()
+
+    def _load(self) -> Dict[RunKey, ExperimentResult]:
+        out: Dict[RunKey, ExperimentResult] = {}
+        if not self.path.exists():
+            return out
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    key = tuple(rec["key"])
+                    blob = zlib.decompress(base64.b64decode(rec["result"]))
+                    result = pickle.loads(blob)
+                except Exception:
+                    continue   # torn tail record from a killed writer
+                if len(key) == 4 and isinstance(result, ExperimentResult):
+                    out[key] = result   # type: ignore[index]
+        return out
+
+    def append(self, key: RunKey, result: ExperimentResult) -> None:
+        """Checkpoint one completed run (flushed immediately)."""
+        if self._fh is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        blob = base64.b64encode(zlib.compress(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))).decode("ascii")
+        self._fh.write(json.dumps(
+            {"v": JOURNAL_FORMAT, "key": list(key), "result": blob}) + "\n")
+        self._fh.flush()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying file (appends reopen it)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 @dataclass
 class RunnerStats:
-    """Bookkeeping of a SweepRunner's cache behaviour."""
+    """Bookkeeping of a SweepRunner's cache, dispatch and fault behaviour."""
 
     runs: int = 0           # simulations actually executed
     memo_hits: int = 0      # results served from the memo table
@@ -390,6 +559,17 @@ class RunnerStats:
     worker_reuse: int = 0   # parallel runs served by a warm worker's trace
     kernel_runs: int = 0    # runs executed by the compiled kernel engine
     kernel_fallbacks: int = 0  # kernel requests served by batched fallback
+    retries: int = 0        # re-attempts scheduled after a failed run
+    crashes: int = 0        # runs charged with killing a worker process
+    timeouts: int = 0       # runs killed by the per-run wall-clock timeout
+    run_errors: int = 0     # runs whose execution raised an exception
+    degradations: int = 0   # lane demotions (shm -> npz -> inline)
+    journal_hits: int = 0   # results restored from a resumed journal
+    shm_errors: int = 0     # shared-memory publish/cleanup failures
+    #: the recorded shm failure messages (capped; not part of as_dict)
+    shm_error_messages: List[str] = field(default_factory=list)
+
+    _SHM_ERROR_CAP = 16
 
     def as_dict(self) -> Dict[str, int]:
         """Plain dictionary of the counters (JSON export)."""
@@ -403,6 +583,13 @@ class RunnerStats:
             "worker_reuse": self.worker_reuse,
             "kernel_runs": self.kernel_runs,
             "kernel_fallbacks": self.kernel_fallbacks,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "run_errors": self.run_errors,
+            "degradations": self.degradations,
+            "journal_hits": self.journal_hits,
+            "shm_errors": self.shm_errors,
         }
 
     def note_profile(self, profile) -> None:
@@ -414,6 +601,18 @@ class RunnerStats:
         elif profile.get("requested_engine") == "kernel":
             self.kernel_fallbacks += 1
 
+    def note_shm_error(self, message: str) -> None:
+        """Record one shared-memory failure (count + capped message list)."""
+        self.shm_errors += 1
+        if len(self.shm_error_messages) < self._SHM_ERROR_CAP:
+            self.shm_error_messages.append(message)
+
+
+#: Execution lanes of the degradation ladder, safest last.
+LANE_SHM = "shm"
+LANE_NPZ = "npz"
+LANE_INLINE = "inline"
+
 
 class SweepRunner:
     """Executes independent (trace, system, config) runs, possibly in parallel.
@@ -423,9 +622,10 @@ class SweepRunner:
     jobs:
         Worker processes.  ``1`` (the default, or ``REPRO_JOBS`` unset)
         runs everything inline; ``N > 1`` dispatches cache-missing runs of
-        a batch to a ``ProcessPoolExecutor``.  Results are bit-identical
-        either way — runs are independent and the simulator is
-        deterministic.
+        a batch to a supervised ``ProcessPoolExecutor``.  Results are
+        bit-identical either way — runs are independent and the simulator
+        is deterministic — including under worker crashes and timeouts,
+        which are retried (see ``retries`` / ``run_timeout``).
     memoize:
         Keep a result table keyed by ``(trace digest, system, config,
         engine)`` so repeated runs (e.g. the per-app perfect baseline
@@ -439,26 +639,73 @@ class SweepRunner:
         temporary directory, used lazily (only when runs are actually
         dispatched to workers) and removed on :meth:`close`.  Pass a
         shared store to reuse spilled traces across runners.
+    journal:
+        Checkpoint completed results to this :class:`SweepJournal` (or a
+        path, opened with ``resume=``).  Restored records pre-populate
+        the memo table so a resumed sweep recomputes nothing.
+    resume:
+        When ``journal`` is a path: load existing records instead of
+        truncating the file.
+    retries:
+        Retry budget per run for crash/timeout/error failures (default
+        3, or ``REPRO_RETRIES``).  The final attempts walk the
+        degradation ladder: the second-to-last runs through the npz
+        lane, the last runs inline in the supervising process.
+        ``retries=0`` degenerates to all-inline execution.
+    run_timeout:
+        Per-run wall-clock timeout in seconds (default none, or
+        ``REPRO_RUN_TIMEOUT``).  A run exceeding it has its pool killed
+        and is retried like a crash; timeouts are not enforced on the
+        inline lane.
+    backoff / backoff_cap:
+        Base delay and cap of the capped exponential backoff slept
+        between retry waves (seconds).
 
     Use as a context manager (or call :meth:`close`) to release the worker
     pool and the private trace store; a runner with ``jobs=1`` holds no
-    resources.
+    pool resources.
     """
 
     def __init__(self, jobs: Optional[int] = None, *, memoize: bool = True,
                  engine: Optional[str] = None,
-                 trace_store: Optional[TraceStore] = None) -> None:
+                 trace_store: Optional[TraceStore] = None,
+                 journal: Optional[Union[str, Path, SweepJournal]] = None,
+                 resume: bool = False,
+                 retries: Optional[int] = None,
+                 run_timeout: Optional[float] = None,
+                 backoff: float = 0.25,
+                 backoff_cap: float = 4.0) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.engine = engine if engine is not None else default_engine()
         self.memoize = memoize
         self.stats = RunnerStats()
         self.trace_store = trace_store if trace_store is not None else TraceStore()
         self._owns_store = trace_store is None
-        self._memo: Dict[Tuple[str, str, str, str], ExperimentResult] = {}
+        self.retries = default_retries() if retries is None else max(0, int(retries))
+        self.run_timeout = (default_run_timeout() if run_timeout is None
+                            else (float(run_timeout) if run_timeout > 0 else None))
+        self.backoff = max(0.0, float(backoff))
+        self.backoff_cap = max(0.0, float(backoff_cap))
+        self._memo: Dict[RunKey, ExperimentResult] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._trace_keys: Dict[int, str] = {}
         self._shm_pool: Optional[SharedTracePool] = None
         self._shm_broken = False   # platform refused a segment: stay on npz
+        if journal is None or isinstance(journal, SweepJournal):
+            self.journal = journal
+            self._owns_journal = False
+        else:
+            self.journal = SweepJournal(journal, resume=resume)
+            self._owns_journal = True
+        # keys restored from a resumed journal: their memo hits count as
+        # journal_hits too, so the hit shows up in per-sweep stat deltas
+        # (run_scenario reports the delta across its batch, and the
+        # preload happens before any batch starts)
+        self._journal_keys: Set[RunKey] = set()
+        if self.journal is not None and self.journal.loaded:
+            for key, result in self.journal.loaded.items():
+                self._memo[tuple(key)] = result
+            self._journal_keys = set(self._memo)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -469,20 +716,23 @@ class SweepRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool, the shm pool and the trace store."""
+        """Shut down the worker pool, the shm pool, the store and the journal."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
         if self._shm_pool is not None:
-            self._shm_pool.close()
+            for message in self._shm_pool.close():
+                self.stats.note_shm_error(message)
             self._shm_pool = None
         if self._owns_store:
             self.trace_store.close()
+        if self.journal is not None and self._owns_journal:
+            self.journal.close()
 
     # -- keys ---------------------------------------------------------------
 
     def _key(self, trace: Trace, system_name: str,
-             cfg: SimulationConfig) -> Tuple[str, str, str, str]:
+             cfg: SimulationConfig) -> RunKey:
         # id()-keyed digest cache: sweeps reuse the same trace object for
         # many systems, and hashing the streams repeatedly would dominate.
         # A finalizer drops the entry when the trace dies, so a recycled
@@ -494,6 +744,221 @@ class SweepRunner:
             weakref.finalize(trace, self._trace_keys.pop, id(trace), None)
         return (tkey, system_name, repr(sorted(cfg.describe().items())),
                 self.engine)
+
+    # -- supervised parallel execution --------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Forcibly tear down the worker pool (hung or broken workers)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor races
+            pass
+
+    def _publish_shm(self, trace: Trace, digest: str) -> Optional[Dict[str, object]]:
+        """Publish ``trace`` to shared memory; None (and record why) on failure."""
+        if self._shm_pool is None:
+            self._shm_pool = SharedTracePool()
+        before = self._shm_pool.segments
+        try:
+            meta = self._shm_pool.ensure(trace, digest)
+        except Exception as exc:
+            self._shm_broken = True
+            self.stats.note_shm_error(
+                f"publish {digest[:12]}: {type(exc).__name__}: {exc}")
+            return None
+        self.stats.shm_segments += self._shm_pool.segments - before
+        return meta
+
+    def _lane_for(self, attempt: int, prefer_shm: bool) -> str:
+        """Execution lane of the degradation ladder for this attempt."""
+        if attempt >= self.retries:
+            return LANE_INLINE
+        if attempt == self.retries - 1 or not prefer_shm:
+            return LANE_NPZ
+        return LANE_SHM
+
+    def _submit_worker(self, pool: ProcessPoolExecutor, key: RunKey,
+                       trace: Trace, name: str, cfg: SimulationConfig,
+                       lane: str, attempt: int) -> Tuple[Future, str]:
+        """Submit one run to the pool through its lane; returns (future, lane)."""
+        digest = key[0]
+        if lane == LANE_SHM:
+            # one failed publication flips _shm_broken; later submits of
+            # the same wave reroute silently instead of re-recording it
+            meta = (None if self._shm_broken
+                    else self._publish_shm(trace, digest))
+            if meta is not None:
+                fut = pool.submit(_execute_shm_run, meta, digest, name, cfg,
+                                  self.engine, attempt)
+                return fut, LANE_SHM
+            lane = LANE_NPZ   # publication failed: this run rides npz
+            self.stats.degradations += 1
+        spills_before = self.trace_store.spills
+        path = self.trace_store.ensure(trace, digest)
+        self.stats.traces_spilled += self.trace_store.spills - spills_before
+        fut = pool.submit(_execute_stored_run, str(path), digest, name, cfg,
+                          self.engine, attempt)
+        return fut, LANE_NPZ
+
+    def _harvest(self, key: RunKey, payload, lane: str) -> ExperimentResult:
+        """Fold one completed worker payload into stats + journal."""
+        if lane == LANE_SHM:
+            result, attached = payload
+            if attached:
+                self.stats.shm_attaches += 1
+            else:
+                self.stats.worker_reuse += 1
+        else:
+            result = payload
+        self.stats.note_profile(result.stats.engine_profile)
+        self._journal_append(key, result)
+        return result
+
+    def _journal_append(self, key: RunKey, result: ExperimentResult) -> None:
+        if self.journal is not None:
+            self.journal.append(key, result)
+
+    def _run_supervised(self, pending: Dict[RunKey, Tuple[Trace, str,
+                                                          SimulationConfig]]
+                        ) -> Dict[RunKey, ExperimentResult]:
+        """Execute ``pending`` across the worker pool under supervision.
+
+        Futures are harvested as they complete, so results finished
+        before a crash are never lost.  Failed runs are classified and
+        retried in *waves*: each wave submits everything still missing,
+        sleeps a capped exponential backoff first, and walks repeat
+        offenders down the lane ladder (shm → npz → inline).  Worker
+        crashes break the whole ``ProcessPoolExecutor``; blame is
+        assigned to the runs observed executing at the break (or to all
+        unharvested runs of the wave when none were observed, which
+        guarantees progress), everything else retries for free.  The
+        inline lane runs in this process — it cannot crash the sweep,
+        and any exception it raises is a genuine simulation error and
+        propagates.
+        """
+        executed: Dict[RunKey, ExperimentResult] = {}
+        attempts: Dict[RunKey, int] = {key: 0 for key in pending}
+        lanes: Dict[RunKey, str] = {}
+        todo: Set[RunKey] = set(pending)
+        wave = 0
+
+        def penalize(key: RunKey, penalized: Set[RunKey]) -> None:
+            if key in penalized:
+                return
+            penalized.add(key)
+            attempts[key] += 1
+            self.stats.retries += 1
+
+        while todo:
+            if wave and self.backoff > 0:
+                time.sleep(min(self.backoff_cap,
+                               self.backoff * (2 ** (wave - 1))))
+            wave += 1
+            prefer_shm = (not self._shm_broken
+                          and not os.environ.get(NO_SHM_ENV_VAR))
+            wave_lane: Dict[RunKey, str] = {}
+            for key in todo:
+                lane = self._lane_for(attempts[key], prefer_shm)
+                prev = lanes.get(key)
+                if prev is not None and lane != prev:
+                    self.stats.degradations += 1
+                lanes[key] = lane
+                wave_lane[key] = lane
+
+            futures: Dict[Future, RunKey] = {}
+            fut_lane: Dict[Future, str] = {}
+            pool_keys = [k for k in todo if wave_lane[k] != LANE_INLINE]
+            inline_keys = [k for k in todo if wave_lane[k] == LANE_INLINE]
+            if pool_keys:
+                pool = self._ensure_pool()
+                for key in pool_keys:
+                    trace, name, cfg = pending[key]
+                    try:
+                        fut, lane = self._submit_worker(
+                            pool, key, trace, name, cfg, wave_lane[key],
+                            attempts[key])
+                    except BrokenExecutor:
+                        # pool died mid-submission: the submitted futures
+                        # resolve broken below; the rest retry next wave
+                        break
+                    futures[fut] = key
+                    fut_lane[fut] = lane
+                    self.stats.parallel_runs += 1
+
+            # the inline lane executes here, in parallel with the pool
+            for key in inline_keys:
+                trace, name, cfg = pending[key]
+                result = _execute_run(trace, name, cfg, self.engine)
+                self.stats.note_profile(result.stats.engine_profile)
+                self._journal_append(key, result)
+                executed[key] = result
+                todo.discard(key)
+
+            penalized: Set[RunKey] = set()
+            started: Dict[Future, float] = {}
+            broke = False
+            not_done: Set[Future] = set(futures)
+            while not_done:
+                poll = 0.05 if self.run_timeout is not None else 0.25
+                done, not_done = wait(not_done, timeout=poll,
+                                      return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for fut in not_done:
+                    if fut not in started and fut.running():
+                        started[fut] = now
+                for fut in done:
+                    key = futures[fut]
+                    try:
+                        payload = fut.result()
+                    except BrokenExecutor:
+                        broke = True   # blame assigned below
+                    except Exception as exc:
+                        # the run itself raised (e.g. an injected poison
+                        # fault or a transient MemoryError): retry it; a
+                        # deterministic error resurfaces on the inline
+                        # lane and propagates from there
+                        self.stats.run_errors += 1
+                        penalize(key, penalized)
+                        del exc
+                    else:
+                        executed[key] = self._harvest(key, payload,
+                                                      fut_lane[fut])
+                        todo.discard(key)
+                if broke:
+                    break
+                if self.run_timeout is not None:
+                    expired = [f for f in not_done
+                               if f in started
+                               and now - started[f] >= self.run_timeout]
+                    if expired:
+                        for fut in expired:
+                            self.stats.timeouts += 1
+                            penalize(futures[fut], penalized)
+                        broke = True   # surviving runs retry for free
+                        break
+
+            if broke:
+                self._kill_pool()
+                victims = {futures[f] for f in futures} & todo
+                observed = ({futures[f] for f in started} & victims) - penalized
+                blamed = observed or (victims - penalized)
+                for key in blamed:
+                    self.stats.crashes += 1
+                    penalize(key, penalized)
+        return executed
 
     # -- execution ----------------------------------------------------------
 
@@ -508,16 +973,17 @@ class SweepRunner:
         """Run a batch of independent (trace, system, config) items.
 
         Cache-missing items are deduplicated and executed — across the
-        worker pool when ``jobs > 1`` — and every result lands in the memo
-        table.  The returned list is aligned with ``items``.
+        supervised worker pool when ``jobs > 1`` — and every result lands
+        in the memo table (and the journal, when one is attached).  The
+        returned list is aligned with ``items``.
 
         Explicit :class:`SystemSpec` objects (rather than registry names)
         may carry arbitrary protocol factories, so they are executed
-        inline and bypass both the memo table and the worker pool — a
-        customised spec can never be conflated with the registry system
-        of the same name.
+        inline and bypass the memo table, the worker pool and the
+        journal — a customised spec can never be conflated with the
+        registry system of the same name.
         """
-        keyed: List[Tuple[Optional[Tuple[str, str, str, str]], Trace,
+        keyed: List[Tuple[Optional[RunKey], Trace,
                           Union[str, SystemSpec], SimulationConfig]] = []
         for trace, system, config in items:
             cfg = config if config is not None else base_config()
@@ -525,78 +991,28 @@ class SweepRunner:
                    if isinstance(system, str) else None)
             keyed.append((key, trace, system, cfg))
 
-        pending: Dict[Tuple[str, str, str, str],
-                      Tuple[Trace, str, SimulationConfig]] = {}
+        pending: Dict[RunKey, Tuple[Trace, str, SimulationConfig]] = {}
         for key, trace, system, cfg in keyed:
             if key is not None and key not in self._memo and key not in pending:
                 pending[key] = (trace, system, cfg)
 
         self.stats.memo_hits += sum(1 for key, *_ in keyed
                                     if key is not None and key in self._memo)
+        self.stats.journal_hits += sum(1 for key, *_ in keyed
+                                       if key is not None
+                                       and key in self._journal_keys)
 
         if pending:
             self.stats.runs += len(pending)
             if self.jobs > 1 and len(pending) > 1:
-                if self._pool is None:
-                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-                # zero-copy dispatch: publish each distinct trace once
-                # (the digest is the first component of the memo key) as a
-                # shared-memory segment the warm workers attach and keep —
-                # only (meta, digest, system, config) travels.  When the
-                # platform refuses shared memory (or REPRO_NO_SHM is set),
-                # spill to the digest-keyed npz store instead and let
-                # workers deserialize on first use.
-                use_shm = (not self._shm_broken
-                           and not os.environ.get(NO_SHM_ENV_VAR))
-                store = self.trace_store
-                futures = {}
-                shm_keys = set()
-                for key, (trace, name, cfg) in pending.items():
-                    digest = key[0]
-                    meta = None
-                    if use_shm:
-                        if self._shm_pool is None:
-                            self._shm_pool = SharedTracePool()
-                        before = self._shm_pool.segments
-                        try:
-                            meta = self._shm_pool.ensure(trace, digest)
-                        except Exception:
-                            self._shm_broken = True
-                            use_shm = False
-                        else:
-                            self.stats.shm_segments += (
-                                self._shm_pool.segments - before)
-                    if meta is not None:
-                        futures[key] = self._pool.submit(
-                            _execute_shm_run, meta, digest, name, cfg,
-                            self.engine)
-                        shm_keys.add(key)
-                    else:
-                        spills_before = store.spills
-                        path = store.ensure(trace, digest)
-                        self.stats.traces_spilled += (store.spills
-                                                      - spills_before)
-                        futures[key] = self._pool.submit(
-                            _execute_stored_run, str(path), digest, name,
-                            cfg, self.engine)
-                self.stats.parallel_runs += len(futures)
-                for key, future in futures.items():
-                    if key in shm_keys:
-                        result, attached = future.result()
-                        if attached:
-                            self.stats.shm_attaches += 1
-                        else:
-                            self.stats.worker_reuse += 1
-                        self._memo[key] = result
-                    else:
-                        self._memo[key] = future.result()
-                    self.stats.note_profile(
-                        self._memo[key].stats.engine_profile)
+                for key, result in self._run_supervised(pending).items():
+                    self._memo[key] = result
             else:
                 for key, (trace, name, cfg) in pending.items():
                     result = _execute_run(trace, name, cfg, self.engine)
                     self.stats.note_profile(result.stats.engine_profile)
                     self._memo[key] = result
+                    self._journal_append(key, result)
 
         results = []
         for key, trace, system, cfg in keyed:
@@ -643,13 +1059,25 @@ class SweepRunner:
         return dict(zip(names, results))
 
 
-def ensure_runner(runner: Optional[SweepRunner]) -> Tuple[SweepRunner, bool]:
+def ensure_runner(runner: Optional[SweepRunner],
+                  **runner_kwargs) -> Tuple[SweepRunner, bool]:
     """Return ``(runner, owned)`` — creating a default one when None.
 
     Harness entry points accept an optional shared runner; when the caller
-    did not supply one, a private runner is created and the caller is
-    responsible for closing it (``owned`` is True).
+    did not supply one, a private runner is created (with
+    ``runner_kwargs`` forwarded to :class:`SweepRunner`) and the caller
+    is responsible for closing it (``owned`` is True) — use
+    ``try/finally`` or the runner's context manager so pools, shm
+    segments and the trace store are released even when the harness
+    raises mid-sweep.  Passing both a shared runner *and* runner kwargs
+    is a conflict and raises ``ValueError``.
     """
     if runner is not None:
+        conflicts = {k: v for k, v in runner_kwargs.items() if v}
+        if conflicts:
+            raise ValueError(
+                "cannot combine a shared runner with runner options "
+                f"({', '.join(sorted(conflicts))}); configure the "
+                "SweepRunner directly instead")
         return runner, False
-    return SweepRunner(), True
+    return SweepRunner(**runner_kwargs), True

@@ -39,6 +39,7 @@ return bit-identical data to what they produced before the redesign
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -516,7 +517,9 @@ def run_scenario(scenario: Union[str, Scenario], *,
                  config: Optional[SimulationConfig] = None,
                  scale: Optional[float] = None,
                  seed: Optional[int] = None,
-                 runner: Optional[SweepRunner] = None) -> ResultSet:
+                 runner: Optional[SweepRunner] = None,
+                 journal: Optional[Union[str, "Path"]] = None,
+                 resume: bool = False) -> ResultSet:
     """Execute ``scenario`` and return its :class:`ResultSet`.
 
     Parameters
@@ -537,6 +540,13 @@ def run_scenario(scenario: Union[str, Scenario], *,
     runner:
         A shared :class:`~repro.experiments.runner.SweepRunner`; a
         private one is created (and closed) when omitted.
+    journal / resume:
+        Checkpoint completed runs to this
+        :class:`~repro.experiments.runner.SweepJournal` path, and (with
+        ``resume=True``) restore any already-journaled results so an
+        interrupted sweep recomputes nothing.  Only valid when the
+        scenario creates its own runner — configure a shared runner's
+        journal directly.
 
     Returns
     -------
@@ -639,7 +649,7 @@ def run_scenario(scenario: Union[str, Scenario], *,
         return traces[tkey]
 
     # -- one batch through the runner ---------------------------------------
-    runner, owned = ensure_runner(runner)
+    runner, owned = ensure_runner(runner, journal=journal, resume=resume)
     try:
         # report only this plan's share of a (possibly shared) runner's
         # counters: the delta across the batch, not the lifetime totals

@@ -27,6 +27,8 @@ a warm worker pay nothing at all (see
 from __future__ import annotations
 
 import json
+import os
+import re
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
@@ -226,6 +228,67 @@ def trace_from_shm(meta: Dict[str, object]) -> Tuple[Trace, object]:
     trace = Trace(name=str(meta["name"]), num_procs=int(meta["num_procs"]),
                   phases=phases, metadata=dict(meta.get("metadata") or {}))
     return trace, shm
+
+
+# ---------------------------------------------------------------------------
+# Orphaned segment reclamation (``repro clean-shm``)
+# ---------------------------------------------------------------------------
+
+
+#: Directory where Linux exposes POSIX shared memory as files.
+SHM_DIR = Path("/dev/shm")
+
+#: Segment names published by SweepRunner: ``repro_<digest16>_<pid>``.
+_SEGMENT_RE = re.compile(r"^repro_[0-9a-f]+_(\d+)$")
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` refers to a live process we can see."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True   # alive, owned by someone else
+    return True
+
+
+def list_orphan_segments() -> List[Path]:
+    """Shared-memory segments published by repro processes that have died.
+
+    A live :class:`~repro.experiments.runner.SharedTracePool` unlinks its
+    segments on close, but a SIGKILLed or OOM-killed publisher leaves
+    them behind in ``/dev/shm`` — each one pins trace-sized memory until
+    reboot.  Segment names embed the publisher's pid
+    (``repro_<digest>_<pid>``), so orphans are exactly the repro-named
+    segments whose pid no longer exists.  Returns an empty list on
+    platforms without a ``/dev/shm`` filesystem.
+    """
+    if not SHM_DIR.is_dir():
+        return []
+    orphans: List[Path] = []
+    for path in sorted(SHM_DIR.glob("repro_*")):
+        match = _SEGMENT_RE.match(path.name)
+        if match and not _pid_alive(int(match.group(1))):
+            orphans.append(path)
+    return orphans
+
+
+def cleanup_orphan_segments(*, dry_run: bool = False) -> List[str]:
+    """Unlink orphaned repro segments; return the names acted on.
+
+    With ``dry_run`` the orphans are only listed.  Races (a segment
+    vanishing between listing and unlinking) are ignored.
+    """
+    removed: List[str] = []
+    for path in list_orphan_segments():
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        removed.append(path.name)
+    return removed
 
 
 def _jsonable(value: object) -> object:

@@ -450,6 +450,38 @@ class TestKernelEngine:
         assert prof["requested_engine"] == "kernel"
         assert "competitive" in prof["fallback_reason"]
 
+    def test_backend_crash_falls_back_bit_identical(
+            self, small_config, small_machine, monkeypatch):
+        """An exception escaping the compiled walk (marshalling bug,
+        broken C build) re-runs batched from a pristine machine with the
+        crash surfaced as the fallback reason."""
+        import repro.engine.kernel as kernel_mod
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        trace = self._trace(small_machine)
+
+        def boom(*args, **kwargs):
+            raise ValueError("synthetic backend crash")
+
+        monkeypatch.setattr(kernel_mod, "kernel_walk", boom)
+        machine = Machine(small_config, build_system("migrep"))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "batched"
+        assert prof["requested_engine"] == "kernel"
+        assert "crashed" in prof["fallback_reason"]
+        assert "synthetic backend crash" in prof["fallback_reason"]
+        ref_machine = Machine(small_config, build_system("migrep"))
+        ref = ref_machine.run(trace, engine="batched")
+        # the fallback re-ran on a pristine machine: every stats-level
+        # observable matches a clean batched run exactly
+        assert stats.execution_time == ref.execution_time
+        assert list(stats.proc_finish_times) == list(ref.proc_finish_times)
+        assert stats.network_messages == ref.network_messages
+        assert stats.network_bytes == ref.network_bytes
+        assert stats.stall_breakdown == ref.stall_breakdown
+        assert machine.stats.execution_time == ref.execution_time
+
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_promotion_env_is_invariant(self, backend, small_config,
                                         small_machine, monkeypatch):

@@ -1,0 +1,257 @@
+"""Supervised sweep execution under injected faults.
+
+These tests drive :mod:`repro.experiments.faults` against the
+supervised :class:`~repro.experiments.runner.SweepRunner` to prove the
+robustness invariant: a parallel sweep whose workers crash, hang or
+raise still completes with results bit-identical to a fault-free run,
+and a killed sweep resumes from its journal without recomputing
+anything.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import base_config
+from repro.experiments.faults import FaultPlan, InjectedFault
+from repro.experiments.runner import (
+    SweepJournal,
+    SweepRunner,
+    default_retries,
+    default_run_timeout,
+    ensure_runner,
+)
+from repro.experiments.scenario import run_scenario
+from repro.workloads import get_workload
+
+SYSTEMS = ("perfect", "ccnuma", "migrep", "rnuma")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return base_config(seed=0)
+
+
+@pytest.fixture(scope="module")
+def lu_trace(cfg):
+    return get_workload("lu", machine=cfg.machine, scale=0.05, seed=0)
+
+
+@pytest.fixture(scope="module")
+def clean_results(cfg, lu_trace):
+    """Fault-free serial reference results for the standard item set."""
+    with SweepRunner(jobs=1) as runner:
+        return runner.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+
+
+def _assert_bit_identical(results, reference):
+    assert len(results) == len(reference)
+    for got, want in zip(results, reference):
+        assert got.summary() == want.summary()
+        assert got.stats.stall_breakdown == want.stats.stall_breakdown
+
+
+class TestFaultPlan:
+    def test_unconfigured_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_parsing_and_clamping(self):
+        plan = FaultPlan.from_env({"REPRO_FAULTS": "crash=0.3, hang=2.0",
+                                   "REPRO_FAULTS_SEED": "7",
+                                   "REPRO_FAULTS_ATTEMPTS": "2"})
+        assert plan.rates == {"crash": 0.3, "hang": 1.0}
+        assert plan.seed == "7" and plan.attempts == 2
+
+    def test_malformed_entries_ignored(self):
+        plan = FaultPlan.from_env({"REPRO_FAULTS":
+                                   "bogus=0.5,crash=oops,,error=0.4"})
+        assert plan is not None and plan.rates == {"error": 0.4}
+        assert FaultPlan.from_env({"REPRO_FAULTS": "crash=0.0"}) is None
+        assert FaultPlan.from_env({"REPRO_FAULTS": "nonsense"}) is None
+
+    def test_decision_is_deterministic(self):
+        plan = FaultPlan(rates={"crash": 0.5, "error": 0.5})
+        kinds = {plan.decide(f"digest{i}", "ccnuma") for i in range(32)}
+        assert kinds <= {"crash", "error"}
+        for i in range(32):
+            assert (plan.decide(f"digest{i}", "ccnuma")
+                    == plan.decide(f"digest{i}", "ccnuma"))
+
+    def test_seed_moves_the_faults(self):
+        a = FaultPlan(rates={"crash": 0.5}, seed="0")
+        b = FaultPlan(rates={"crash": 0.5}, seed="1")
+        picks_a = [a.decide(f"d{i}", "s") for i in range(64)]
+        picks_b = [b.decide(f"d{i}", "s") for i in range(64)]
+        assert picks_a != picks_b
+
+    def test_attempts_gate(self):
+        plan = FaultPlan(rates={"crash": 1.0}, attempts=2)
+        assert plan.fault_for("d", "s", 0) == "crash"
+        assert plan.fault_for("d", "s", 1) == "crash"
+        assert plan.fault_for("d", "s", 2) is None
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_RUN_TIMEOUT", raising=False)
+        assert default_retries() == 3
+        assert default_run_timeout() is None
+        monkeypatch.setenv("REPRO_RETRIES", "5")
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "2.5")
+        assert default_retries() == 5
+        assert default_run_timeout() == 2.5
+
+
+class TestSupervisedRecovery:
+    """jobs=2 sweeps under injection stay bit-identical to fault-free."""
+
+    def test_worker_crashes_recovered(self, cfg, lu_trace, clean_results,
+                                      monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1.0")
+        with SweepRunner(jobs=2, backoff=0.01) as runner:
+            results = runner.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+            assert runner.stats.crashes >= 1
+            assert runner.stats.retries >= len(SYSTEMS)
+        _assert_bit_identical(results, clean_results)
+
+    def test_run_errors_recovered(self, cfg, lu_trace, clean_results,
+                                  monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "error=1.0")
+        with SweepRunner(jobs=2, backoff=0.01) as runner:
+            results = runner.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+            assert runner.stats.run_errors == len(SYSTEMS)
+            assert runner.stats.retries == len(SYSTEMS)
+        _assert_bit_identical(results, clean_results)
+
+    def test_hung_workers_timed_out_and_recovered(self, cfg, lu_trace,
+                                                  clean_results, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "hang=1.0")
+        monkeypatch.setenv("REPRO_FAULTS_HANG_S", "60")
+        with SweepRunner(jobs=2, run_timeout=2.0, backoff=0.01) as runner:
+            results = runner.map_runs([(lu_trace, s, cfg)
+                                       for s in SYSTEMS[:2]])
+            assert runner.stats.timeouts >= 1
+        _assert_bit_identical(results, clean_results[:2])
+
+    def test_persistent_crashes_degrade_to_inline(self, cfg, lu_trace,
+                                                  clean_results, monkeypatch):
+        # every pool attempt faults -> the ladder must land each run on
+        # the inline lane, which is never injected
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1.0")
+        monkeypatch.setenv("REPRO_FAULTS_ATTEMPTS", "10")
+        with SweepRunner(jobs=2, retries=2, backoff=0.01) as runner:
+            results = runner.map_runs([(lu_trace, s, cfg)
+                                       for s in SYSTEMS[:2]])
+            assert runner.stats.degradations >= 2
+            assert runner.stats.crashes >= 2
+        _assert_bit_identical(results, clean_results[:2])
+
+    def test_mixed_fault_scenario_bit_identical(self, monkeypatch):
+        clean = run_scenario("figure5", apps=["lu"], scale=0.05)
+        monkeypatch.setenv("REPRO_FAULTS", "crash=0.3,hang=0.1,error=0.1")
+        monkeypatch.setenv("REPRO_FAULTS_HANG_S", "60")
+        with SweepRunner(jobs=2, run_timeout=5.0, backoff=0.01) as runner:
+            faulted = run_scenario("figure5", apps=["lu"], scale=0.05,
+                                   runner=runner)
+        assert faulted.rows == clean.rows
+
+    def test_genuine_error_propagates_after_ladder(self, cfg, lu_trace):
+        # an unregistered system fails deterministically on every lane,
+        # including inline — the error must surface, not loop forever
+        with SweepRunner(jobs=2, retries=1, backoff=0.01) as runner:
+            with pytest.raises(Exception) as excinfo:
+                runner.map_runs([(lu_trace, "no-such-system", cfg),
+                                 (lu_trace, "perfect", cfg)])
+        assert "no-such-system" in str(excinfo.value)
+
+    def test_inline_lane_is_never_injected(self, cfg, lu_trace,
+                                           clean_results, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1.0")
+        monkeypatch.setenv("REPRO_FAULTS_ATTEMPTS", "10")
+        # retries=0: everything runs inline from the start
+        with SweepRunner(jobs=2, retries=0) as runner:
+            results = runner.map_runs([(lu_trace, s, cfg)
+                                       for s in SYSTEMS[:2]])
+            assert runner.stats.parallel_runs == 0
+        _assert_bit_identical(results, clean_results[:2])
+
+
+class TestSweepJournal:
+    def test_resume_recomputes_nothing(self, cfg, lu_trace, clean_results,
+                                       tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        items = [(lu_trace, s, cfg) for s in SYSTEMS]
+        with SweepRunner(jobs=1, journal=journal) as first:
+            first.map_runs(items)
+            assert first.stats.runs == len(SYSTEMS)
+        with SweepRunner(jobs=1, journal=journal, resume=True) as second:
+            results = second.map_runs(items)
+            assert second.stats.runs == 0
+            assert second.stats.journal_hits == len(SYSTEMS)
+        _assert_bit_identical(results, clean_results)
+
+    def test_partial_journal_resumes_the_rest(self, cfg, lu_trace, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        with SweepRunner(jobs=1, journal=journal) as first:
+            first.map_runs([(lu_trace, s, cfg) for s in SYSTEMS[:2]])
+        with SweepRunner(jobs=1, journal=journal, resume=True) as second:
+            second.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+            assert second.stats.journal_hits == 2
+            assert second.stats.runs == len(SYSTEMS) - 2
+
+    def test_torn_tail_record_is_skipped(self, cfg, lu_trace, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        with SweepRunner(jobs=1, journal=journal) as first:
+            first.map_runs([(lu_trace, s, cfg) for s in SYSTEMS[:2]])
+        intact = journal.read_text().splitlines()
+        journal.write_text("\n".join(intact[:1] + [intact[1][: len(intact[1]) // 2]]) + "\n")
+        loaded = SweepJournal(journal, resume=True).loaded
+        assert len(loaded) == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text("not json\n"
+                           + json.dumps({"v": 1, "key": ["a", "b", "c", "d"],
+                                         "result": "AAAA"}) + "\n")
+        assert SweepJournal(journal, resume=True).loaded == {}
+
+    def test_without_resume_truncates(self, cfg, lu_trace, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        with SweepRunner(jobs=1, journal=journal) as first:
+            first.map_runs([(lu_trace, "perfect", cfg)])
+        with SweepRunner(jobs=1, journal=journal) as second:
+            second.map_runs([(lu_trace, "perfect", cfg)])
+            assert second.stats.journal_hits == 0
+            assert second.stats.runs == 1
+
+    def test_journaling_survives_crashing_workers(self, cfg, lu_trace,
+                                                  clean_results, tmp_path,
+                                                  monkeypatch):
+        journal = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1.0")
+        with SweepRunner(jobs=2, journal=journal, backoff=0.01) as first:
+            first.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+        monkeypatch.delenv("REPRO_FAULTS")
+        with SweepRunner(jobs=1, journal=journal, resume=True) as second:
+            results = second.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+            assert second.stats.runs == 0
+        _assert_bit_identical(results, clean_results)
+
+    def test_run_scenario_journal_round_trip(self, tmp_path):
+        journal = tmp_path / "scenario.jsonl"
+        first = run_scenario("figure5", apps=["lu"], scale=0.05,
+                             journal=journal)
+        second = run_scenario("figure5", apps=["lu"], scale=0.05,
+                              journal=journal, resume=True)
+        assert second.rows == first.rows
+        assert second.runner_stats["runs"] == 0
+        assert second.runner_stats["journal_hits"] > 0
+
+    def test_ensure_runner_rejects_conflicting_kwargs(self, tmp_path):
+        with SweepRunner() as mine:
+            with pytest.raises(ValueError):
+                ensure_runner(mine, journal=tmp_path / "j.jsonl")
+            same, owned = ensure_runner(mine, journal=None, resume=False)
+            assert same is mine and not owned

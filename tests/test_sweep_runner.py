@@ -258,6 +258,164 @@ class TestSharedMemoryDispatch:
                 shared_memory.SharedMemory(name=name)
 
 
+class TestShmFailureRecovery:
+    """shm failures are recorded, degrade to npz, and stay bit-identical."""
+
+    def test_publish_failure_flips_to_npz_and_records(self, cfg, ocean_trace,
+                                                      monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        def broken(trace, name):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(runner_mod, "trace_to_shm", broken)
+        items = [(ocean_trace, system, cfg)
+                 for system in ("perfect", "ccnuma", "rnuma")]
+        with SweepRunner(jobs=2, backoff=0.01) as runner:
+            par = runner.map_runs(items)
+            assert runner._shm_broken
+            assert runner.stats.shm_errors >= 1
+            assert any("no space left" in msg
+                       for msg in runner.stats.shm_error_messages)
+            assert runner.stats.shm_segments == 0
+            assert runner.stats.traces_spilled == 1
+            assert runner.stats.degradations >= 1
+        with SweepRunner(jobs=1) as serial:
+            ser = serial.map_runs(items)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+
+    def test_mid_sweep_flip_keeps_earlier_segments_working(self, cfg,
+                                                           ocean_trace,
+                                                           monkeypatch):
+        """A publish failure on the second trace must not disturb runs
+        already riding the first trace's healthy segment; everything
+        after the flip stays on npz (so both traces may spill)."""
+        import repro.experiments.runner as runner_mod
+
+        other = get_workload("ocean", machine=cfg.machine, scale=0.05, seed=1)
+        real = runner_mod.trace_to_shm
+        first_digest = _trace_digest(ocean_trace)
+
+        def flaky(trace, name):
+            if _trace_digest(trace) != first_digest:
+                raise OSError("segment quota exhausted")
+            return real(trace, name)
+
+        monkeypatch.setattr(runner_mod, "trace_to_shm", flaky)
+        first = [(ocean_trace, system, cfg)
+                 for system in ("perfect", "ccnuma")]
+        second = [(other, system, cfg) for system in ("perfect", "ccnuma")]
+        with SweepRunner(jobs=2, backoff=0.01) as runner:
+            par = runner.map_runs(first)
+            assert runner.stats.shm_segments == 1
+            assert runner.stats.shm_errors == 0
+            par += runner.map_runs(second)
+            assert runner.stats.shm_errors == 1
+            assert runner.stats.shm_segments == 1
+            assert runner.stats.traces_spilled == 1
+            assert runner._shm_broken
+        with SweepRunner(jobs=1) as serial:
+            ser = serial.map_runs(first + second)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+
+    def test_close_surfaces_unlink_races(self, cfg, ocean_trace):
+        runner = SweepRunner(jobs=2)
+        try:
+            runner.map_runs([(ocean_trace, s, cfg)
+                             for s in ("perfect", "ccnuma")])
+            pool = runner._shm_pool
+            assert pool is not None and pool.segments == 1
+            # simulate another process unlinking the segment first
+            for shm, _ in pool._segments.values():
+                shm.unlink()
+        finally:
+            runner.close()
+        assert runner.stats.shm_errors == 1
+        assert runner.stats.shm_error_messages
+
+    def test_orphan_segment_reclamation(self, cfg, ocean_trace):
+        import subprocess
+
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.workloads.trace_io import (cleanup_orphan_segments,
+                                              list_orphan_segments)
+
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        dead_pid = proc.pid
+        name = f"repro_{'ab' * 8}_{dead_pid}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=64)
+        shm.close()
+        # this test plays the dead publisher, so nothing should try to
+        # clean the segment up at interpreter exit
+        resource_tracker.unregister(shm._name, "shared_memory")
+        try:
+            assert any(p.name == name for p in list_orphan_segments())
+            listed = cleanup_orphan_segments(dry_run=True)
+            assert name in listed
+            assert any(p.name == name for p in list_orphan_segments())
+            removed = cleanup_orphan_segments()
+            assert name in removed
+            assert not any(p.name == name for p in list_orphan_segments())
+        finally:
+            try:
+                shared_memory.SharedMemory(name=name).unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_live_segments_are_not_orphans(self, cfg, ocean_trace):
+        from repro.workloads.trace_io import list_orphan_segments
+
+        with SweepRunner(jobs=2) as runner:
+            runner.map_runs([(ocean_trace, s, cfg)
+                             for s in ("perfect", "ccnuma")])
+            pool = runner._shm_pool
+            assert pool is not None and pool.segments == 1
+            live = {shm.name for shm, _ in pool._segments.values()}
+            orphans = {p.name for p in list_orphan_segments()}
+            assert not (live & orphans)
+
+
+class TestKernelFallbackInWorkers:
+    """Engine-lane accounting must survive the process boundary."""
+
+    def test_ineligible_systems_fall_back_inside_pool_workers(self, cfg,
+                                                              ocean_trace,
+                                                              monkeypatch):
+        # rnuma has a page cache and rnuma-inf an infinite block cache:
+        # both are kernel-ineligible, so the pool workers run batched
+        # and ship the fallback profile home for note_profile
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        items = [(ocean_trace, system, cfg)
+                 for system in ("rnuma", "rnuma-inf")]
+        with SweepRunner(jobs=2, engine="kernel") as runner:
+            par = runner.map_runs(items)
+            assert runner.stats.parallel_runs == 2
+            assert runner.stats.kernel_fallbacks == 2
+            assert runner.stats.kernel_runs == 0
+            reasons = [r.stats.engine_profile.get("fallback_reason")
+                       for r in par]
+            assert all(reasons)
+        with SweepRunner(jobs=1, engine="kernel") as serial:
+            ser = serial.map_runs(items)
+        for a, b in zip(par, ser):
+            assert a.summary() == b.summary()
+
+    def test_eligible_system_keeps_kernel_lane_in_workers(self, cfg,
+                                                          ocean_trace,
+                                                          monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        items = [(ocean_trace, system, cfg)
+                 for system in ("ccnuma", "migrep")]
+        with SweepRunner(jobs=2, engine="kernel") as runner:
+            runner.map_runs(items)
+            assert runner.stats.kernel_runs == 2
+            assert runner.stats.kernel_fallbacks == 0
+
+
 class TestBatchExecution:
     def test_run_systems_shape(self, cfg, ocean_trace):
         with SweepRunner() as runner:
