@@ -13,7 +13,7 @@ script re-measures the same quantities and
   same host, promotion on vs off, warm vs cold sweep workers), which
   transfer across machines, never absolute wall times.
 
-Gates enforced by ``--check`` (record schema 2):
+Gates enforced by ``--check`` (record schema 3):
 
 1. On the miss-dense configuration (``benchmarks/bench_engine_speedup.
    miss_dense_spec``) the batched engine's speedup over the legacy
@@ -35,6 +35,11 @@ Gates enforced by ``--check`` (record schema 2):
    cold per-worker npz path beyond the tolerance band.
 5. The hot-set batched-vs-legacy speedup must stay within the band of
    the committed ``current`` recording.
+6. Streaming a trace from an on-disk trace file
+   (:class:`repro.workloads.tracefile.StreamingTrace`) must cost at most
+   10% over running the same trace in memory (schema 3, ``streaming``
+   lane) — the mmap-served phase views are supposed to be within noise
+   of heap arrays, and this lane keeps the out-of-core path honest.
 
 Every timing lane also asserts bit-identical results across engines and
 promotion modes first — a speedup over wrong results is worthless.
@@ -266,11 +271,56 @@ def measure_sweep(scale: float) -> dict:
     }
 
 
+def measure_streaming(scale: float, repeats: int) -> dict:
+    """In-memory vs streamed-from-file timings of the same trace.
+
+    Writes a figure-sized trace to a trace file, then times the batched
+    engine over the in-memory :class:`Trace` and over the mmap-backed
+    :class:`StreamingTrace` of the same file, repeats interleaved to
+    cancel drift.  Results must be bit-identical; the gate is on the
+    overhead ratio.
+    """
+    import tempfile
+
+    from repro.config import base_config
+    from repro.workloads import get_workload
+    from repro.workloads.tracefile import open_trace, write_trace_file
+
+    cfg = base_config(seed=0)
+    trace = get_workload("lu", machine=cfg.machine,
+                         scale=max(0.05, 0.3 * scale), seed=0)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as d:
+        path = write_trace_file(trace, Path(d) / "bench.rpt")
+        streamed = open_trace(path)
+        lanes = [("memory", trace), ("file", streamed)]
+        times = {label: [] for label, _ in lanes}
+        stats = {}
+        for label, tr in lanes:            # warmup (maps the file once)
+            _one_run(cfg, "migrep", tr, "batched", "")
+        for _ in range(repeats):
+            for label, tr in lanes:
+                t, st = _one_run(cfg, "migrep", tr, "batched", "")
+                times[label].append(t)
+                stats[label] = st
+        _assert_identical("migrep", stats["memory"], stats["file"])
+        inmem_s = statistics.median(times["memory"])
+        stream_s = statistics.median(times["file"])
+        return {
+            "accesses": trace.total_accesses(),
+            "file_bytes": path.stat().st_size,
+            "inmem_s": round(inmem_s, 4),
+            "streamed_s": round(stream_s, 4),
+            "overhead": round(stream_s / inmem_s, 3),
+            "bytes_streamed": streamed.bytes_streamed,
+        }
+
+
 def measure_all(scale: float, repeats: int) -> dict:
     return {
         "miss_dense": measure_miss_dense(scale, repeats),
         "hot_set": measure_hot_set(scale, repeats),
         "sweep_jobs2": measure_sweep(scale * 0.15),
+        "streaming": measure_streaming(scale, repeats),
     }
 
 
@@ -366,6 +416,19 @@ def check(measured: dict, recorded: dict, tolerance: float) -> int:
     else:
         print(f"hot-set speedup vs legacy: {hot:.2f} (no recording)")
 
+    # 6. streaming overhead: a file-served run may cost at most 10% over
+    # the in-memory run of the same trace (both sides fresh wall clocks,
+    # so the tolerance band widens the fixed gate rather than anchoring
+    # to a committed number)
+    stream = measured.get("streaming")
+    if stream:
+        limit = 1.10 * (1 + tolerance)
+        print(f"streaming overhead vs in-memory: x{stream['overhead']:.3f} "
+              f"(gate <= x{limit:.3f})")
+        if stream["overhead"] > limit:
+            _fail(failures, "file-streamed run exceeded the 10% overhead "
+                            "budget over the in-memory run")
+
     for msg in failures:
         print(msg, file=sys.stderr)
     return 1 if failures else 0
@@ -403,7 +466,7 @@ def main(argv=None) -> int:
     print(json.dumps(measured, indent=2))
 
     if args.record:
-        recorded["schema"] = 2
+        recorded["schema"] = 3
         recorded["current"] = {
             "scale": args.scale,
             **measured,

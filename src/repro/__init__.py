@@ -73,6 +73,15 @@ The public API is intentionally small:
 ``save_trace`` / ``load_trace``
     persist generated traces as ``.npz`` archives.
 
+``open_trace`` / ``write_trace_file`` / ``import_trace_file`` /
+``register_trace_file``
+    the out-of-core trace subsystem (``repro.traces``): versioned
+    mmap-able trace *files* written chunk by chunk, streamed back
+    lazily through every engine with bit-identical results, importable
+    from external recordings (``tsv``, valgrind ``lackey``) and usable
+    anywhere a workload name is accepted (``--apps file:app.rpt``,
+    ``repro trace gen|import|info|verify``).
+
 ``repro.experiments``
     one module per table/figure of the paper's evaluation section, the
     ablation harnesses, and the EXPERIMENTS.md report builder.
@@ -142,10 +151,17 @@ from repro.registry import (
     register_system,
     register_workload,
 )
+from repro.traces import (
+    StreamingTrace,
+    import_trace_file,
+    open_trace,
+    register_trace_file,
+    write_trace_file,
+)
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CostModel",
@@ -184,6 +200,11 @@ __all__ = [
     "list_workloads",
     "save_trace",
     "load_trace",
+    "open_trace",
+    "write_trace_file",
+    "import_trace_file",
+    "register_trace_file",
+    "StreamingTrace",
     "run_experiment",
     "run_pair",
     "ExperimentResult",

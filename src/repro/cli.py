@@ -17,9 +17,17 @@ command                 what it does
 ``table1`` .. ``table4``    regenerate one of the paper's tables
 ``sweep``               run one of the predefined parameter sweeps
 ``analyze``             sharing-pattern analysis of a workload trace
+``trace``               out-of-core trace files: ``gen`` (generate a
+                        workload straight to disk), ``import`` (convert
+                        tab-separated or valgrind-lackey recordings),
+                        ``info`` and ``verify``
 ``clean-shm``           unlink shared-memory trace segments orphaned by
                         dead repro processes
 =====================  ====================================================
+
+Trace files plug back into every other command: ``repro exp <scenario>
+--apps file:/path/to/trace.rpt`` streams the file through a scenario
+without registering anything.
 
 The figure/table commands are legacy spellings that delegate to the same
 scenario machinery as ``exp`` (keeping their historical output and export
@@ -263,26 +271,34 @@ def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
         return "\n".join(lines)
     header = (f"{'app':<12} {'system':<14} {'engine':<15} {'promo':<8} "
               f"{'refs':>9} {'fast':>9} {'promoted':>9} {'demoted':>8} "
-              f"{'residual':>9} {'wall_s':>8}")
+              f"{'residual':>9} {'wall_s':>8} {'rss_mb':>7} {'strm_mb':>8}")
     lines += [header, "-" * len(header)]
     totals = {"references": 0, "fast": 0, "promoted": 0, "demoted": 0,
               "residual": 0, "wall_s": 0.0}
+    peak_rss_kb = 0
+    streamed = 0
     fallbacks = []
     for app, system_name, prof in profs:
+        rss_kb = int(prof.get("peak_rss_kb") or 0)
+        run_streamed = int(prof.get("bytes_streamed") or 0)
         lines.append(
             f"{app:<12} {system_name:<14} {_engine_label(prof):<15} "
             f"{_promo_label(prof):<8} {prof['references']:>9} "
             f"{prof['fast']:>9} {prof['promoted']:>9} {prof['demoted']:>8} "
-            f"{prof['residual']:>9} {prof['wall_s']:>8.3f}")
+            f"{prof['residual']:>9} {prof['wall_s']:>8.3f} "
+            f"{rss_kb / 1024:>7.1f} {run_streamed / (1 << 20):>8.1f}")
         for k in totals:
             totals[k] += prof[k]
+        peak_rss_kb = max(peak_rss_kb, rss_kb)
+        streamed += run_streamed
         reason = prof.get("fallback_reason")
         if reason:
             fallbacks.append(f"  {app}/{system_name}: {reason}")
     lines.append(
         f"{'total':<12} {'':<14} {'':<15} {'':<8} {totals['references']:>9} "
         f"{totals['fast']:>9} {totals['promoted']:>9} {totals['demoted']:>8} "
-        f"{totals['residual']:>9} {totals['wall_s']:>8.3f}")
+        f"{totals['residual']:>9} {totals['wall_s']:>8.3f} "
+        f"{peak_rss_kb / 1024:>7.1f} {streamed / (1 << 20):>8.1f}")
     if fallbacks:
         lines.append("kernel fallbacks:")
         lines += fallbacks
@@ -469,6 +485,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces import (
+        TraceFileError,
+        TraceImportError,
+        import_trace_file,
+        trace_file_info,
+        verify_trace_file,
+    )
+
+    try:
+        if args.trace_cmd == "gen":
+            from repro.workloads.generator import TraceGenerator
+            from repro.workloads.splash2.registry import get_spec
+            cfg = base_config(seed=args.seed)
+            gen = TraceGenerator(get_spec(args.app), cfg.machine,
+                                 access_scale=args.scale,
+                                 page_scale=args.page_scale, seed=args.seed)
+            kwargs = {}
+            if args.chunk_refs:
+                kwargs["chunk_refs"] = args.chunk_refs
+            path = gen.generate_to_file(args.out, **kwargs)
+            info = trace_file_info(path)
+        elif args.trace_cmd == "import":
+            path = import_trace_file(
+                args.src, args.out, fmt=args.format, name=args.name,
+                block_size=args.block_size, page_size=args.page_size,
+                phase_refs=args.phase_refs,
+                include_instr=args.include_instr)
+            info = trace_file_info(path)
+        elif args.trace_cmd == "verify":
+            info = verify_trace_file(args.path)
+            print(f"ok: {info['path']} ({info['accesses']} refs, "
+                  f"{info['chunks']} chunks, digest {info['digest']})")
+            return 0
+        else:   # info
+            info = trace_file_info(args.path)
+    except (TraceFileError, TraceImportError, UnknownNameError,
+            FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if getattr(args, "json", False):
+        print(_json.dumps(info, indent=2))
+        return 0
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     cfg = base_config(seed=args.seed)
     trace = get_workload(args.app, machine=cfg.machine, scale=args.scale,
@@ -575,6 +640,56 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("app", choices=list_workloads())
     _add_common(analyze_p, apps=False)
 
+    trace_p = sub.add_parser(
+        "trace", help="generate, import, inspect and verify on-disk "
+                      "trace files")
+    tsub = trace_p.add_subparsers(dest="trace_cmd", required=True)
+
+    gen_p = tsub.add_parser(
+        "gen", help="generate a workload straight into a trace file "
+                    "(out-of-core: one phase in memory at a time)")
+    gen_p.add_argument("app", choices=list_workloads())
+    gen_p.add_argument("out", help="output trace file path (*.rpt)")
+    gen_p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default 0.5)")
+    gen_p.add_argument("--page-scale", type=float, default=1.0,
+                       help="page-count scale factor (default 1.0)")
+    gen_p.add_argument("--seed", type=int, default=0, help="random seed")
+    gen_p.add_argument("--chunk-refs", type=int, default=None,
+                       help="references per written chunk (default 1M)")
+
+    imp_p = tsub.add_parser(
+        "import", help="convert an external recording (tab-separated "
+                       "'addr is_write [proc]' or valgrind-lackey "
+                       "--trace-mem output) into a trace file")
+    imp_p.add_argument("src", help="input text file")
+    imp_p.add_argument("out", help="output trace file path (*.rpt)")
+    imp_p.add_argument("--format", choices=("tsv", "lackey"), default=None,
+                       help="input format (default: sniffed from the input)")
+    imp_p.add_argument("--name", type=str, default=None,
+                       help="trace name (default: the input's stem)")
+    imp_p.add_argument("--block-size", type=int, default=64,
+                       help="bytes per block of the recorded addresses "
+                            "(default 64)")
+    imp_p.add_argument("--page-size", type=int, default=4096,
+                       help="bytes per page of the recorded addresses "
+                            "(default 4096)")
+    imp_p.add_argument("--phase-refs", type=int, default=1_000_000,
+                       help="references per synthesized phase/barrier "
+                            "(default 1M)")
+    imp_p.add_argument("--include-instr", action="store_true",
+                       help="lackey: import instruction fetches as reads")
+
+    info_p = tsub.add_parser("info", help="print a trace file's header")
+    info_p.add_argument("path")
+    info_p.add_argument("--json", action="store_true",
+                        help="print the header as JSON")
+
+    verify_p = tsub.add_parser(
+        "verify", help="fully scan a trace file, checking every chunk "
+                       "digest and the whole-trace digest")
+    verify_p.add_argument("path")
+
     clean_p = sub.add_parser(
         "clean-shm",
         help="unlink shared-memory trace segments orphaned by dead "
@@ -599,6 +714,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table4": _cmd_table4,
     "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
+    "trace": _cmd_trace,
     "clean-shm": _cmd_clean_shm,
 }
 

@@ -120,9 +120,15 @@ class Machine:
     def run(self, trace, engine: Optional[str] = None) -> MachineStats:
         """Run ``trace`` to completion and return the machine statistics.
 
-        ``trace`` is a :class:`repro.workloads.trace.Trace` (or anything
-        with the same ``num_procs`` / ``phases`` shape).  The trace's
-        processor count must not exceed the machine's.
+        ``trace`` is a :class:`repro.workloads.trace.Trace` or anything
+        honouring the streaming contract: ``num_procs``, a ``name`` and
+        a ``phases`` sequence (``len`` + iteration) yielding
+        :class:`~repro.workloads.trace.PhaseTrace` objects.  Every
+        engine walks ``phases`` exactly once per run, so a lazily
+        served sequence — e.g. a file-backed
+        :class:`~repro.workloads.tracefile.StreamingTrace` — runs out
+        of core without the machine ever holding the full trace.  The
+        trace's processor count must not exceed the machine's.
 
         ``engine`` selects the execution engine (one of
         :data:`repro.engine.ENGINE_NAMES`); the default is the batched

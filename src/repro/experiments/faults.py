@@ -31,8 +31,8 @@ pool workers, which inherit the parent's environment):
     Sleep duration of the ``hang`` injector in seconds (default 3600);
     must exceed the runner's ``run_timeout`` to trigger the kill path.
 
-Injection happens only in the two worker entry points
-(``_execute_shm_run`` / ``_execute_stored_run``); the runner's inline
+Injection happens only in the worker entry points (``_execute_shm_run``
+/ ``_execute_stored_run`` / ``_execute_file_run``); the runner's inline
 degradation lane executes in the supervising process and is never
 injected — which is exactly what makes the ladder a safe landing.
 """

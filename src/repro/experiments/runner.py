@@ -28,6 +28,14 @@ digest-keyed on-disk npz store (:class:`TraceStore`): workers then load
 a trace the first time they see its digest and cache it per process, so
 a figure-sized sweep still pickles no stream arrays at all.
 
+File-backed traces (:class:`repro.workloads.tracefile.StreamingTrace`)
+ride their own lane: the trace already *is* a digest-carrying on-disk
+artifact, so the runner submits just its path — workers mmap the file
+and stream phases out of core, and nothing is ever published to shm or
+spilled to npz.  Their content digest comes from the file footer, so
+memoization, journaling and resume work without hashing a single stream
+byte.
+
 Parallel execution is *supervised*: futures are harvested as they
 complete, so one dying worker cannot orphan finished results.  Failures
 are classified — worker crash (``BrokenProcessPool``), wall-clock
@@ -82,6 +90,7 @@ from repro.workloads.trace_io import (
     trace_from_shm,
     trace_to_shm,
 )
+from repro.workloads.tracefile import StreamingTrace, trace_digest
 
 #: Environment variable disabling the shared-memory trace pool (any
 #: non-empty value): parallel dispatch then falls back to the on-disk
@@ -242,25 +251,52 @@ def default_run_timeout() -> Optional[float]:
 
 
 def _trace_digest(trace: Trace) -> str:
-    """Content digest of a trace (streams, geometry and phase costs)."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(f"{trace.name}|{trace.num_procs}|{len(trace.phases)}".encode())
-    for phase in trace.phases:
-        h.update(f"|{phase.name}|{phase.compute_per_access}".encode())
-        for blocks, writes in zip(phase.blocks, phase.writes):
-            # frame each stream with its length so identical bytes split
-            # differently across processors cannot collide
-            h.update(f"#{len(blocks)}".encode())
-            h.update(np.ascontiguousarray(np.asarray(blocks, dtype=np.int64)))
-            h.update(np.ascontiguousarray(np.asarray(writes, dtype=np.int8)))
-    return h.hexdigest()
+    """Content digest of a trace (streams, geometry and phase costs).
+
+    The canonical scheme lives in
+    :func:`repro.workloads.tracefile.trace_digest`; traces that already
+    carry their digest (a :class:`StreamingTrace` reads it from its file
+    footer, where the writer stored the identical hash) skip the stream
+    scan entirely.
+    """
+    carried = getattr(trace, "digest", None)
+    if carried:
+        return str(carried)
+    return trace_digest(trace)
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return int(peak)
 
 
 def _execute_run(trace: Trace, system_name: str, cfg: SimulationConfig,
                  engine: str) -> ExperimentResult:
-    """Worker entry point: one independent simulation (also used inline)."""
+    """Worker entry point: one independent simulation (also used inline).
+
+    The run's ``engine_profile`` (when the engine produces one) is
+    annotated with the executing process's peak RSS and, for streamed
+    traces, the logical stream bytes this run pulled through the trace —
+    the observability behind ``repro exp --profile`` on out-of-core
+    sweeps.
+    """
+    streamed_before = getattr(trace, "bytes_streamed", None)
     machine = Machine(cfg, build_system(system_name))
     stats = machine.run(trace, engine=engine)
+    profile = stats.engine_profile
+    if isinstance(profile, dict):
+        profile["peak_rss_kb"] = _peak_rss_kb()
+        if streamed_before is not None:
+            profile["bytes_streamed"] = (
+                getattr(trace, "bytes_streamed", 0) - streamed_before)
     return ExperimentResult(workload=trace.name, system=system_name,
                             config=cfg, stats=stats)
 
@@ -319,9 +355,8 @@ class TraceStore:
         path = self.path_for(digest)
         if digest not in self._saved:
             if not path.exists():
-                tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
-                save_trace(trace, tmp)
-                tmp.replace(path)
+                # save_trace itself is atomic (tmp + os.replace)
+                save_trace(trace, path)
                 self.spills += 1
             self._saved.add(digest)
         return path
@@ -449,6 +484,43 @@ def _execute_shm_run(meta: Dict[str, object], digest: str, system_name: str,
 
 
 # ---------------------------------------------------------------------------
+# File-backed traces (out-of-core parallel dispatch)
+# ---------------------------------------------------------------------------
+
+
+#: Per-worker cache of open streaming traces, keyed by digest.  An open
+#: :class:`StreamingTrace` holds one read-only mmap plus cached phase
+#: *views* (not data), so the cache is cheap no matter how large the
+#: traces are; keeping it warm preserves the per-phase classification
+#: schedules across repeated runs of the same file.
+_WORKER_FILES: "Dict[str, StreamingTrace]" = {}
+_WORKER_FILE_LIMIT = 4
+
+
+def _execute_file_run(trace_path: str, digest: str, system_name: str,
+                      cfg: SimulationConfig, engine: str,
+                      attempt: int = 0) -> Tuple[ExperimentResult, bool]:
+    """Worker entry point for file-backed (streaming) traces.
+
+    Only the path string crosses the process boundary — the worker mmaps
+    the trace file on first sight of its digest and streams phases from
+    it, never materializing the trace.  Returns ``(result, opened)``;
+    ``opened`` is True when this call had to open/map the file (a cold
+    worker), mirroring the shm lane's attach accounting.
+    """
+    _faults.inject_from_env(digest, system_name, attempt)
+    trace = _WORKER_FILES.pop(digest, None)
+    opened = False
+    if trace is None:
+        trace = StreamingTrace(trace_path)
+        opened = True
+        while len(_WORKER_FILES) >= _WORKER_FILE_LIMIT:
+            _WORKER_FILES.pop(next(iter(_WORKER_FILES)))
+    _WORKER_FILES[digest] = trace   # re-insert = move to MRU position
+    return _execute_run(trace, system_name, cfg, engine), opened
+
+
+# ---------------------------------------------------------------------------
 # Sweep journal: crash-safe checkpoint of completed results
 # ---------------------------------------------------------------------------
 
@@ -522,11 +594,28 @@ class SweepJournal:
         return out
 
     def append(self, key: RunKey, result: ExperimentResult) -> None:
-        """Checkpoint one completed run (flushed immediately)."""
+        """Checkpoint one completed run (flushed immediately).
+
+        Opening an existing journal for append first *heals* a torn
+        tail: when a killed writer left the file without a trailing
+        newline, a newline is written before the new record so the torn
+        fragment stays isolated on its own line (skipped by the lenient
+        loader) instead of corrupting the first record of the resumed
+        sweep.
+        """
         if self._fh is None:
             if self.path.parent != Path("."):
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+            heal = False
+            try:
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    heal = existing.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass   # missing or empty file: nothing to heal
             self._fh = open(self.path, "a", encoding="utf-8")
+            if heal:
+                self._fh.write("\n")
         blob = base64.b64encode(zlib.compress(
             pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))).decode("ascii")
         self._fh.write(json.dumps(
@@ -557,6 +646,10 @@ class RunnerStats:
     shm_segments: int = 0   # traces published as shared-memory segments
     shm_attaches: int = 0   # cold worker attaches (one mmap each)
     worker_reuse: int = 0   # parallel runs served by a warm worker's trace
+    file_runs: int = 0      # runs dispatched on the file (streaming) lane
+    file_maps: int = 0      # cold worker opens of a trace file (one mmap each)
+    bytes_streamed: int = 0  # logical stream bytes served from trace files
+    peak_rss_kb: int = 0    # max peak RSS observed across executed runs
     kernel_runs: int = 0    # runs executed by the compiled kernel engine
     kernel_fallbacks: int = 0  # kernel requests served by batched fallback
     retries: int = 0        # re-attempts scheduled after a failed run
@@ -581,6 +674,10 @@ class RunnerStats:
             "shm_segments": self.shm_segments,
             "shm_attaches": self.shm_attaches,
             "worker_reuse": self.worker_reuse,
+            "file_runs": self.file_runs,
+            "file_maps": self.file_maps,
+            "bytes_streamed": self.bytes_streamed,
+            "peak_rss_kb": self.peak_rss_kb,
             "kernel_runs": self.kernel_runs,
             "kernel_fallbacks": self.kernel_fallbacks,
             "retries": self.retries,
@@ -600,6 +697,10 @@ class RunnerStats:
             self.kernel_runs += 1
         elif profile.get("requested_engine") == "kernel":
             self.kernel_fallbacks += 1
+        self.bytes_streamed += int(profile.get("bytes_streamed") or 0)
+        peak = int(profile.get("peak_rss_kb") or 0)
+        if peak > self.peak_rss_kb:
+            self.peak_rss_kb = peak
 
     def note_shm_error(self, message: str) -> None:
         """Record one shared-memory failure (count + capped message list)."""
@@ -612,6 +713,12 @@ class RunnerStats:
 LANE_SHM = "shm"
 LANE_NPZ = "npz"
 LANE_INLINE = "inline"
+
+#: Dispatch lane of file-backed (streaming) traces: only the file path
+#: travels; workers mmap and stream.  File-backed runs stay on this lane
+#: through every retry short of inline — spilling them to shm/npz would
+#: materialize the very streams the file format exists to keep on disk.
+LANE_FILE = "file"
 
 
 class SweepRunner:
@@ -795,6 +902,14 @@ class SweepRunner:
                        lane: str, attempt: int) -> Tuple[Future, str]:
         """Submit one run to the pool through its lane; returns (future, lane)."""
         digest = key[0]
+        if isinstance(trace, StreamingTrace):
+            # file-backed traces ship as a path string on every
+            # non-inline attempt; shm/npz publication would materialize
+            # the streams this lane exists to keep out of core
+            fut = pool.submit(_execute_file_run, str(trace.path), digest,
+                              name, cfg, self.engine, attempt)
+            self.stats.file_runs += 1
+            return fut, LANE_FILE
         if lane == LANE_SHM:
             # one failed publication flips _shm_broken; later submits of
             # the same wave reroute silently instead of re-recording it
@@ -819,6 +934,12 @@ class SweepRunner:
             result, attached = payload
             if attached:
                 self.stats.shm_attaches += 1
+            else:
+                self.stats.worker_reuse += 1
+        elif lane == LANE_FILE:
+            result, opened = payload
+            if opened:
+                self.stats.file_maps += 1
             else:
                 self.stats.worker_reuse += 1
         else:

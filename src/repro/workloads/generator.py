@@ -20,7 +20,8 @@ application module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -254,16 +255,24 @@ class TraceGenerator:
 
     # ------------------------------------------------------------------ entry point
 
-    def generate(self) -> Trace:
-        """Generate the full trace for this spec/scale/seed."""
+    def iter_phases(self) -> Iterator[PhaseTrace]:
+        """Yield the trace's phases one at a time, in order.
+
+        Exactly the phases :meth:`generate` would collect (same RNG call
+        sequence, bit-identical streams), but only one phase is alive at
+        a time — the building block of out-of-core trace creation
+        (:meth:`generate_to_file`).
+        """
         rng = np.random.default_rng(self.seed)
-        phases: List[PhaseTrace] = []
         for phase in self.spec.phases:
             if phase.touch_groups:
-                phases.append(self._touch_phase(rng, phase))
+                yield self._touch_phase(rng, phase)
             else:
-                phases.append(self._work_phase(rng, phase))
-        metadata = {
+                yield self._work_phase(rng, phase)
+
+    def trace_metadata(self) -> Dict[str, object]:
+        """The metadata dictionary attached to every generated trace."""
+        return {
             "spec": self.spec.name,
             "description": self.spec.description,
             "paper_input": self.spec.paper_input,
@@ -272,5 +281,32 @@ class TraceGenerator:
             "seed": self.seed,
             "total_pages": self.total_pages(),
         }
+
+    def generate(self) -> Trace:
+        """Generate the full trace for this spec/scale/seed."""
         return Trace(name=self.spec.name, num_procs=self.num_procs,
-                     phases=phases, metadata=metadata)
+                     phases=list(self.iter_phases()),
+                     metadata=self.trace_metadata())
+
+    def generate_to_file(self, path: Union[str, Path], *,
+                         chunk_refs: Optional[int] = None) -> Path:
+        """Generate straight into an on-disk trace file; returns the path.
+
+        Phases are written as they are produced, so peak memory is one
+        phase regardless of the trace's total size, and the resulting
+        file streams back (:func:`repro.traces.open_trace`) with
+        bit-identical simulation results to an in-memory
+        :meth:`generate` run.
+        """
+        from repro.workloads.tracefile import (
+            DEFAULT_CHUNK_REFS,
+            TraceFileWriter,
+        )
+        writer = TraceFileWriter(
+            path, name=self.spec.name, num_procs=self.num_procs,
+            metadata=self.trace_metadata(),
+            chunk_refs=chunk_refs if chunk_refs else DEFAULT_CHUNK_REFS)
+        with writer:
+            for phase in self.iter_phases():
+                writer.add_phase(phase)
+        return Path(path)

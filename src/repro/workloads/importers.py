@@ -1,0 +1,238 @@
+"""Importers turning external memory-trace formats into trace files.
+
+Two line-oriented formats are supported, both streamed — the importer
+never holds more than one phase's buffers in memory, so converting a
+multi-gigabyte recording is itself out-of-core:
+
+``tsv``
+    Tab/whitespace-separated ``addr is_write [proc]`` records, one
+    reference per line (the flat format emitted by simple PIN/tracer
+    tools).  ``addr`` is a byte address, decimal or ``0x``-hex;
+    ``is_write`` is ``0``/``1`` or ``R``/``W``; the optional third
+    column is the issuing processor (default 0).  ``#`` comments and
+    blank lines are skipped.
+
+``lackey``
+    ``valgrind --tool=lackey --trace-mem=yes`` output: ``I`` instruction
+    fetches (skipped unless ``include_instr``), `` L`` loads, `` S``
+    stores and `` M`` modifies (read-modify-write, imported as a write),
+    each with a hex ``addr,size``.  Non-record lines (valgrind banners)
+    are ignored.  Lackey traces are single-threaded: every reference
+    lands on processor 0.
+
+Address densification
+---------------------
+
+Raw traces use sparse virtual addresses; feeding ``addr // block_size``
+straight to the simulator would size its directory by the highest
+address seen.  The importer therefore remaps *pages* to dense ids in
+first-touch order while keeping each reference's block offset within
+its page, so page-grain behaviour (migration, replication, relocation)
+is preserved exactly for any machine sharing the recorded
+``page_size``/``block_size`` geometry (both are stored in the file's
+metadata and shown by ``repro trace info``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.workloads.tracefile import (
+    DEFAULT_CHUNK_REFS,
+    TraceFileWriter,
+)
+
+#: Supported importer format names.
+IMPORT_FORMATS = ("tsv", "lackey")
+
+#: References per phase of an imported trace (barriers are synthesized
+#: at these boundaries; external recordings carry no phase structure).
+DEFAULT_PHASE_REFS = 1_000_000
+
+
+class TraceImportError(ValueError):
+    """An input line could not be parsed as the declared format."""
+
+
+#: One parsed reference: (processor, byte address, is_write).
+Event = Tuple[int, int, bool]
+
+_RW = {"0": False, "1": True, "r": False, "w": True}
+
+
+def iter_tsv(lines: Iterable[str]) -> Iterator[Event]:
+    """Parse ``addr is_write [proc]`` lines into events."""
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise TraceImportError(
+                f"line {lineno}: expected 'addr is_write [proc]', "
+                f"got {line!r}")
+        try:
+            addr = int(parts[0], 0)
+            is_write = _RW[parts[1].lower()]
+            proc = int(parts[2]) if len(parts) == 3 else 0
+        except (ValueError, KeyError) as exc:
+            raise TraceImportError(
+                f"line {lineno}: cannot parse {line!r} ({exc})") from exc
+        if addr < 0 or proc < 0:
+            raise TraceImportError(
+                f"line {lineno}: negative address or processor in {line!r}")
+        yield proc, addr, is_write
+
+
+def iter_lackey(lines: Iterable[str], *,
+                include_instr: bool = False) -> Iterator[Event]:
+    """Parse ``valgrind --tool=lackey --trace-mem=yes`` lines into events."""
+    for raw in lines:
+        parts = raw.split()
+        if len(parts) != 2 or parts[0] not in ("I", "L", "S", "M"):
+            continue   # valgrind banner / summary line
+        kind = parts[0]
+        if kind == "I" and not include_instr:
+            continue
+        addr_text = parts[1].split(",", 1)[0]
+        try:
+            addr = int(addr_text, 16)
+        except ValueError:
+            continue   # summary counters sometimes match the shape
+        yield 0, addr, kind in ("S", "M")
+
+
+def sniff_format(sample_lines: List[str]) -> str:
+    """Guess the input format from its first records (fallback: tsv)."""
+    for raw in sample_lines:
+        parts = raw.split()
+        if (len(parts) == 2 and parts[0] in ("I", "L", "S", "M")
+                and "," in parts[1]):
+            return "lackey"
+        if raw.strip() and not raw.lstrip().startswith(("#", "=")):
+            return "tsv"
+    return "tsv"
+
+
+class _PageRemap:
+    """First-touch densification of pages, preserving in-page offsets."""
+
+    def __init__(self, block_size: int, page_size: int) -> None:
+        if block_size <= 0 or page_size <= 0 or page_size % block_size:
+            raise ValueError(
+                "page_size must be a positive multiple of block_size")
+        self.block_size = block_size
+        self.blocks_per_page = page_size // block_size
+        self._pages: Dict[int, int] = {}
+
+    def block_of(self, addr: int) -> int:
+        raw_block = addr // self.block_size
+        page = raw_block // self.blocks_per_page
+        dense = self._pages.get(page)
+        if dense is None:
+            dense = len(self._pages)
+            self._pages[page] = dense
+        return dense * self.blocks_per_page + raw_block % self.blocks_per_page
+
+    @property
+    def distinct_pages(self) -> int:
+        return len(self._pages)
+
+
+def import_events(events: Iterable[Event], dest: Union[str, Path], *,
+                  name: str, source: str = "",
+                  block_size: int = 64, page_size: int = 4096,
+                  phase_refs: int = DEFAULT_PHASE_REFS,
+                  compute_per_access: int = 1,
+                  chunk_refs: int = DEFAULT_CHUNK_REFS,
+                  extra_metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Stream parsed events into a trace file at ``dest``.
+
+    Events are buffered per processor and flushed as a phase every
+    ``phase_refs`` references (external traces carry no barrier
+    structure, so phases are synthesized at fixed reference counts —
+    each boundary is a barrier to the simulator).  The processor count
+    is discovered from the events.
+    """
+    if phase_refs <= 0:
+        raise ValueError("phase_refs must be positive")
+    remap = _PageRemap(block_size, page_size)
+    metadata = {
+        "source": source or "import",
+        "block_size": block_size,
+        "page_size": page_size,
+        "phase_refs": phase_refs,
+        **(extra_metadata or {}),
+    }
+    writer = TraceFileWriter(dest, name=name, num_procs=None,
+                             metadata=metadata, chunk_refs=chunk_refs)
+    buffers: Dict[int, Tuple[List[int], List[bool]]] = {}
+    buffered = 0
+    phase_index = 0
+
+    def flush() -> None:
+        nonlocal buffered, phase_index
+        if not buffered:
+            return
+        writer.begin_phase(f"import-{phase_index:05d}", compute_per_access)
+        for proc in sorted(buffers):
+            blocks, writes = buffers[proc]
+            if blocks:
+                writer.append(proc, blocks, writes)
+                blocks.clear()
+                writes.clear()
+        writer.end_phase()
+        buffered = 0
+        phase_index += 1
+
+    try:
+        for proc, addr, is_write in events:
+            blocks, writes = buffers.setdefault(proc, ([], []))
+            blocks.append(remap.block_of(addr))
+            writes.append(is_write)
+            buffered += 1
+            if buffered >= phase_refs:
+                flush()
+        flush()
+        if not writer.accesses:
+            raise TraceImportError("input contained no references")
+        writer.metadata["total_pages"] = remap.distinct_pages
+        writer.close()
+    except BaseException:
+        writer.abort()
+        raise
+    return Path(dest)
+
+
+def import_trace_file(src: Union[str, Path], dest: Union[str, Path], *,
+                      fmt: Optional[str] = None, name: Optional[str] = None,
+                      block_size: int = 64, page_size: int = 4096,
+                      phase_refs: int = DEFAULT_PHASE_REFS,
+                      compute_per_access: int = 1,
+                      chunk_refs: int = DEFAULT_CHUNK_REFS,
+                      include_instr: bool = False) -> Path:
+    """Convert an external trace at ``src`` into a trace file at ``dest``.
+
+    ``fmt`` is ``"tsv"`` or ``"lackey"``; ``None`` sniffs the first
+    lines of the input.  ``name`` defaults to the source's stem.
+    Returns the destination path; raises :class:`TraceImportError` on
+    malformed input (and leaves no file behind).
+    """
+    src = Path(src)
+    if fmt is None:
+        with open(src, "r", encoding="utf-8", errors="replace") as fh:
+            fmt = sniff_format([fh.readline() for _ in range(10)])
+    if fmt not in IMPORT_FORMATS:
+        raise ValueError(f"unknown import format {fmt!r} "
+                         f"(choose from {', '.join(IMPORT_FORMATS)})")
+    trace_name = name if name is not None else src.stem
+    with open(src, "r", encoding="utf-8", errors="replace") as fh:
+        events = (iter_lackey(fh, include_instr=include_instr)
+                  if fmt == "lackey" else iter_tsv(fh))
+        return import_events(
+            events, dest, name=trace_name, source=f"{fmt}:{src.name}",
+            block_size=block_size, page_size=page_size,
+            phase_refs=phase_refs, compute_per_access=compute_per_access,
+            chunk_refs=chunk_refs,
+            extra_metadata={"format": fmt})

@@ -21,6 +21,11 @@ from repro.registry import WORKLOADS, register_workload
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trace import Trace
+from repro.workloads.tracefile import (
+    StreamingTrace,
+    TraceFileWorkload,
+    as_trace_file_path,
+)
 
 from repro.workloads.splash2 import barnes, cholesky, fmm, lu, ocean, radix, raytrace
 
@@ -55,6 +60,14 @@ def get_workload(name: str, *, machine: Optional[MachineConfig] = None,
                  seed: int = 0) -> Trace:
     """Build the trace for application ``name``.
 
+    ``name`` may also refer to an on-disk trace file — either a
+    registered :class:`repro.workloads.tracefile.TraceFileWorkload`
+    (see :func:`repro.traces.register_trace_file`), a ``file:PATH``
+    spelling, or an existing ``*.rpt`` path — in which case the file is
+    opened as a lazily streamed
+    :class:`~repro.workloads.tracefile.StreamingTrace` (scale/seed do
+    not apply to recorded traces and are ignored).
+
     Parameters
     ----------
     machine:
@@ -68,7 +81,12 @@ def get_workload(name: str, *, machine: Optional[MachineConfig] = None,
     seed:
         Seed for the trace generator's RNG.
     """
+    path = as_trace_file_path(name)
+    if path is not None:
+        return StreamingTrace(path)
     spec = get_spec(name)
+    if isinstance(spec, TraceFileWorkload):
+        return spec.open()
     machine_cfg = machine if machine is not None else reduced_machine()
     gen = TraceGenerator(spec, machine_cfg, access_scale=scale,
                          page_scale=page_scale, seed=seed)

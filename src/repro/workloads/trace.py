@@ -18,6 +18,23 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 
+def _normalize_stream(arr, dtype: np.dtype) -> np.ndarray:
+    """Return ``arr`` as a C-contiguous array of ``dtype``.
+
+    Already-normalized plain ndarrays are returned *unchanged* (same
+    object, no copy, no view wrapper): streaming trace readers construct
+    many short-lived :class:`PhaseTrace` objects around mmap-backed
+    views, and re-wrapping every stream would defeat zero-copy dispatch
+    and break the per-object identity that e.g. shared-memory views rely
+    on.  Anything else (wrong dtype, non-contiguous, subclasses like
+    ``np.memmap``, plain lists) goes through ``np.ascontiguousarray``.
+    """
+    if (type(arr) is np.ndarray and arr.dtype == dtype
+            and arr.flags.c_contiguous):
+        return arr
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
 @dataclass
 class PhaseTrace:
     """One phase of a workload: per-processor reference streams.
@@ -48,10 +65,11 @@ class PhaseTrace:
         # Normalize the streams to canonical dtypes once, here, so every
         # downstream consumer (classifier, engines, digests, trace I/O)
         # can rely on them without re-wrapping: int64 block ids, bool
-        # write flags, both C-contiguous.
-        self.blocks = [np.ascontiguousarray(b, dtype=np.int64)
+        # write flags, both C-contiguous.  Inputs that already satisfy
+        # the contract pass through untouched (no copy).
+        self.blocks = [_normalize_stream(b, np.dtype(np.int64))
                        for b in self.blocks]
-        self.writes = [np.ascontiguousarray(w, dtype=bool)
+        self.writes = [_normalize_stream(w, np.dtype(np.bool_))
                        for w in self.writes]
         for b, w in zip(self.blocks, self.writes):
             if len(b) != len(w):

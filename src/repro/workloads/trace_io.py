@@ -41,7 +41,14 @@ FORMAT_VERSION = 1
 
 
 def save_trace(trace: Trace, path: Union[str, Path], *, compress: bool = True) -> Path:
-    """Write ``trace`` to ``path`` as a ``.npz`` archive; returns the path."""
+    """Write ``trace`` to ``path`` as a ``.npz`` archive; returns the path.
+
+    The archive is written to a pid-suffixed temporary name in the same
+    directory and atomically renamed into place (``os.replace``), so a
+    crash mid-write can never leave a torn file under ``path`` — readers
+    (and sweep resume) either see the previous contents or the complete
+    new archive.
+    """
     path = Path(path)
     arrays: Dict[str, np.ndarray] = {}
     phase_meta: List[Dict[str, object]] = []
@@ -66,8 +73,16 @@ def save_trace(trace: Trace, path: Union[str, Path], *, compress: bool = True) -
         json.dumps(header).encode("utf-8"), dtype=np.uint8).copy()
 
     saver = np.savez_compressed if compress else np.savez
-    with open(path, "wb") as fh:
-        saver(fh, **arrays)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            saver(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 

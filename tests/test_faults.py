@@ -210,6 +210,22 @@ class TestSweepJournal:
         loaded = SweepJournal(journal, resume=True).loaded
         assert len(loaded) == 1
 
+    def test_torn_tail_is_healed_on_append(self, cfg, lu_trace, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        with SweepRunner(jobs=1, journal=journal) as first:
+            first.map_runs([(lu_trace, s, cfg) for s in SYSTEMS[:2]])
+        lines = journal.read_text().splitlines()
+        # a SIGKILL mid-write: half a record, no trailing newline
+        journal.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        with SweepRunner(jobs=1, journal=journal, resume=True) as second:
+            second.map_runs([(lu_trace, s, cfg) for s in SYSTEMS])
+            assert second.stats.journal_hits == 1
+            assert second.stats.runs == len(SYSTEMS) - 1
+        # append healed the tail first, so the torn fragment stays on its
+        # own line and every checkpoint written after it parses cleanly
+        loaded = SweepJournal(journal, resume=True).loaded
+        assert len(loaded) == len(SYSTEMS)
+
     def test_garbage_lines_are_skipped(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         journal.write_text("not json\n"

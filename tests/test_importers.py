@@ -1,0 +1,192 @@
+"""External-trace importers: golden-file parses, densification,
+phase synthesis, and full round-trips through the trace-file format.
+
+The golden inputs live in ``tests/data/`` — a hand-written TSV trace
+(mixed hex/decimal addresses, ``R``/``W`` and ``0``/``1`` flags, an
+optional processor column, comments, a blank line) and a valgrind
+lackey excerpt (banner lines, instruction fetches, loads/stores/
+modifies).  The expected dense block ids are worked out by hand from
+the default 64-byte-block / 4096-byte-page geometry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.importers import (
+    IMPORT_FORMATS,
+    TraceImportError,
+    import_events,
+    import_trace_file,
+    iter_lackey,
+    iter_tsv,
+    sniff_format,
+)
+from repro.workloads.tracefile import open_trace, verify_trace_file
+
+DATA = Path(__file__).parent / "data"
+GOLDEN_TSV = DATA / "golden.tsv"
+GOLDEN_LACKEY = DATA / "golden.lackey"
+
+
+def streams(trace):
+    """Per-phase, per-proc (blocks, writes) lists for easy comparison."""
+    return [
+        ([list(b) for b in phase.blocks],
+         [list(w) for w in phase.writes])
+        for phase in trace.phases
+    ]
+
+
+class TestTsvParsing:
+    def test_golden_events(self):
+        events = list(iter_tsv(GOLDEN_TSV.read_text().splitlines()))
+        assert events == [
+            (0, 0x10000, False),
+            (0, 0x10040, True),
+            (1, 0x1F000, True),
+            (1, 65600, False),
+            (0, 0x10000, False),
+        ]
+
+    @pytest.mark.parametrize("line", [
+        "0x1000",                  # missing flag
+        "0x1000 r w 0 extra",      # too many columns
+        "0x1000 x",                # unknown flag
+        "zzz r",                   # unparseable address
+        "-8 r",                    # negative address
+        "0x1000 r -1",             # negative processor
+    ])
+    def test_malformed_lines_raise_with_line_number(self, line):
+        with pytest.raises(TraceImportError, match="line 2"):
+            list(iter_tsv(["# leading comment", line]))
+
+
+class TestLackeyParsing:
+    def test_golden_events_skip_instruction_fetches(self):
+        events = list(iter_lackey(GOLDEN_LACKEY.read_text().splitlines()))
+        assert events == [
+            (0, 0x04016000, False),
+            (0, 0x04016040, True),
+            (0, 0x0401E000, True),
+            (0, 0x04016000, False),
+        ]
+
+    def test_include_instr(self):
+        events = list(iter_lackey(GOLDEN_LACKEY.read_text().splitlines(),
+                                  include_instr=True))
+        assert events[0] == (0, 0x0400D7D4, False)
+        assert len(events) == 6
+
+    def test_banners_are_ignored(self):
+        assert list(iter_lackey(["==1== banner", "bogus", ""])) == []
+
+
+class TestSniff:
+    def test_lackey_detected(self):
+        assert sniff_format(GOLDEN_LACKEY.read_text().splitlines()) == "lackey"
+
+    def test_tsv_detected(self):
+        assert sniff_format(GOLDEN_TSV.read_text().splitlines()) == "tsv"
+
+    def test_default_is_tsv(self):
+        assert sniff_format(["", "   "]) == "tsv"
+        assert set(IMPORT_FORMATS) == {"tsv", "lackey"}
+
+
+class TestGoldenRoundTrips:
+    def test_tsv_round_trip(self, tmp_path):
+        out = import_trace_file(GOLDEN_TSV, tmp_path / "g.rpt")
+        assert verify_trace_file(out)["ok"]
+        trace = open_trace(out)
+        assert trace.name == "golden"
+        assert trace.num_procs == 2
+        assert trace.total_accesses() == 5
+        # pages 0x10 and 0x1F densify (first touch) to 0 and 1; in-page
+        # block offsets (64 blocks per 4 KiB page) are preserved
+        assert streams(trace) == [(
+            [[0, 1, 0], [64, 1]],
+            [[False, True, False], [True, False]],
+        )]
+        meta = trace.metadata
+        assert meta["format"] == "tsv"
+        assert meta["source"] == "tsv:golden.tsv"
+        assert meta["block_size"] == 64
+        assert meta["page_size"] == 4096
+        assert meta["total_pages"] == 2
+
+    def test_lackey_round_trip(self, tmp_path):
+        out = import_trace_file(GOLDEN_LACKEY, tmp_path / "g.rpt",
+                                name="lk")
+        assert verify_trace_file(out)["ok"]
+        trace = open_trace(out)
+        assert trace.name == "lk"
+        assert trace.num_procs == 1
+        assert streams(trace) == [(
+            [[0, 1, 64, 0]],
+            [[False, True, True, False]],
+        )]
+        assert trace.metadata["format"] == "lackey"
+        assert trace.metadata["total_pages"] == 2
+
+    def test_sniffed_formats_match_explicit(self, tmp_path):
+        sniffed = import_trace_file(GOLDEN_LACKEY, tmp_path / "a.rpt")
+        explicit = import_trace_file(GOLDEN_LACKEY, tmp_path / "b.rpt",
+                                     fmt="lackey")
+        assert open_trace(sniffed).digest == open_trace(explicit).digest
+
+
+class TestImportEvents:
+    def test_phase_refs_synthesizes_barriers(self, tmp_path):
+        events = [(p, 0x1000 * (i + 1), False)
+                  for i, p in enumerate([0, 1, 0, 1, 0])]
+        out = import_events(events, tmp_path / "p.rpt", name="p",
+                            phase_refs=2)
+        trace = open_trace(out)
+        assert len(trace.phases) == 3             # 2 + 2 + 1 references
+        assert [phase.name for phase in trace.phases] == [
+            "import-00000", "import-00001", "import-00002"]
+        assert trace.total_accesses() == 5
+
+    def test_custom_geometry_is_recorded(self, tmp_path):
+        out = import_events([(0, 0, False), (0, 1024, True)],
+                            tmp_path / "geo.rpt", name="geo",
+                            block_size=32, page_size=1024)
+        trace = open_trace(out)
+        assert trace.metadata["block_size"] == 32
+        assert trace.metadata["page_size"] == 1024
+        assert trace.metadata["total_pages"] == 2
+        assert streams(trace) == [([[0, 32]], [[False, True]])]
+
+    def test_empty_input_raises_and_leaves_nothing(self, tmp_path):
+        with pytest.raises(TraceImportError, match="no references"):
+            import_events([], tmp_path / "e.rpt", name="e")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_parse_error_leaves_nothing(self, tmp_path):
+        src = tmp_path / "bad.tsv"
+        src.write_text("0x1000\tr\nnot-a-record-at-all\tzz\n")
+        with pytest.raises(TraceImportError):
+            import_trace_file(src, tmp_path / "bad.rpt", fmt="tsv")
+        assert not (tmp_path / "bad.rpt").exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["bad.tsv"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown import format"):
+            import_trace_file(GOLDEN_TSV, tmp_path / "x.rpt", fmt="elf")
+
+
+class TestImportedTraceRuns:
+    def test_imported_trace_drives_a_machine(self, tmp_path, tiny_config):
+        from repro.cluster.machine import Machine
+        from repro.core.factory import build_system
+
+        out = import_trace_file(GOLDEN_TSV, tmp_path / "run.rpt",
+                                block_size=64, page_size=512)
+        machine = Machine(tiny_config, build_system("ccnuma"))
+        stats = machine.run(open_trace(out))
+        assert stats.execution_time > 0
+        total = sum(n.accesses for n in stats.nodes)
+        assert total == 5
