@@ -13,7 +13,7 @@ script re-measures the same quantities and
   same host, promotion on vs off, warm vs cold sweep workers), which
   transfer across machines, never absolute wall times.
 
-Gates enforced by ``--check`` (record schema 3):
+Gates enforced by ``--check`` (record schema 4):
 
 1. On the miss-dense configuration (``benchmarks/bench_engine_speedup.
    miss_dense_spec``) the batched engine's speedup over the legacy
@@ -40,6 +40,13 @@ Gates enforced by ``--check`` (record schema 3):
    10% over running the same trace in memory (schema 3, ``streaming``
    lane) — the mmap-served phase views are supposed to be within noise
    of heap arrays, and this lane keeps the out-of-core path honest.
+7. A sweep checkpointing into a **cold** durable
+   :class:`~repro.experiments.store.ResultStore` must cost at most 10%
+   over the same sweep without a store (schema 4, ``store`` lane) —
+   the per-run pickle+upsert is supposed to disappear next to
+   simulation time.  The warm-store replay time is recorded
+   informationally (it is bounded by unpickling, typically a tiny
+   fraction of the cold sweep).
 
 Every timing lane also asserts bit-identical results across engines and
 promotion modes first — a speedup over wrong results is worthless.
@@ -315,12 +322,74 @@ def measure_streaming(scale: float, repeats: int) -> dict:
         }
 
 
+def measure_store(scale: float) -> dict:
+    """Sweep wall time without a store vs checkpointing into a cold one.
+
+    Each repetition of the store lane gets a fresh sqlite file, so the
+    measured cost is the worst case: every run pickled and upserted.
+    A final warm pass over the last populated store is recorded
+    informationally — it is bounded by unpickling and should be a small
+    fraction of the cold sweep.  Both gated sides are fresh best-of-two
+    wall clocks, compared against each other (ratios transfer across
+    machines).
+    """
+    import tempfile
+
+    from repro.config import base_config
+    from repro.experiments.runner import SweepRunner
+    from repro.experiments.store import ResultStore
+    from repro.workloads import get_workload
+
+    cfg = base_config(seed=0)
+    traces = [get_workload(app, machine=cfg.machine, scale=max(0.05, scale),
+                           seed=0) for app in ("lu", "radix", "barnes")]
+    items = [(t, s, cfg) for t in traces
+             for s in ("perfect", "ccnuma", "migrep", "rnuma")]
+
+    def sweep(store_path=None):
+        with SweepRunner(jobs=2, memoize=False,
+                         store=store_path) as runner:
+            runner.map_runs(items)
+            return runner.stats
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as d:
+        nostore_times, cold_times = [], []
+        store_path = None
+        for rep in range(2):
+            t0 = time.perf_counter()
+            sweep()
+            nostore_times.append(time.perf_counter() - t0)
+            store_path = Path(d) / f"bench-{rep}.sqlite"
+            t0 = time.perf_counter()
+            cold_stats = sweep(store_path)
+            cold_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        warm_stats = sweep(store_path)
+        warm_s = time.perf_counter() - t0
+        with ResultStore(store_path) as store:
+            store_rows = len(store)
+    nostore_s = min(nostore_times)
+    cold_s = min(cold_times)
+    return {
+        "runs": len(items),
+        "nostore_s": round(nostore_s, 4),
+        "cold_store_s": round(cold_s, 4),
+        "warm_store_s": round(warm_s, 4),
+        "overhead": round(cold_s / nostore_s, 3),
+        "warm_ratio": round(warm_s / nostore_s, 3),
+        "store_misses": cold_stats.store_misses,
+        "store_hits": warm_stats.store_hits,
+        "store_rows": store_rows,
+    }
+
+
 def measure_all(scale: float, repeats: int) -> dict:
     return {
         "miss_dense": measure_miss_dense(scale, repeats),
         "hot_set": measure_hot_set(scale, repeats),
         "sweep_jobs2": measure_sweep(scale * 0.15),
         "streaming": measure_streaming(scale, repeats),
+        "store": measure_store(scale * 0.15),
     }
 
 
@@ -429,6 +498,24 @@ def check(measured: dict, recorded: dict, tolerance: float) -> int:
             _fail(failures, "file-streamed run exceeded the 10% overhead "
                             "budget over the in-memory run")
 
+    # 7. cold-store checkpointing overhead: a sweep writing every result
+    # into a fresh ResultStore may cost at most 10% over the same sweep
+    # without a store (fixed gate widened by the tolerance band, same
+    # shape as gate 6).  The warm number is informational: it is a
+    # replay, not a simulation.
+    store = measured.get("store")
+    if store:
+        limit = 1.10 * (1 + tolerance)
+        print(f"cold-store sweep overhead vs no-store: "
+              f"x{store['overhead']:.3f} (gate <= x{limit:.3f}; warm "
+              f"replay x{store['warm_ratio']:.3f})")
+        if store["overhead"] > limit:
+            _fail(failures, "cold-store sweep exceeded the 10% overhead "
+                            "budget over the storeless sweep")
+        if store["store_hits"] != store["runs"]:
+            _fail(failures, "warm store pass recomputed runs that were "
+                            "already stored")
+
     for msg in failures:
         print(msg, file=sys.stderr)
     return 1 if failures else 0
@@ -466,7 +553,7 @@ def main(argv=None) -> int:
     print(json.dumps(measured, indent=2))
 
     if args.record:
-        recorded["schema"] = 3
+        recorded["schema"] = 4
         recorded["current"] = {
             "scale": args.scale,
             **measured,

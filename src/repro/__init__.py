@@ -61,6 +61,22 @@ The public API is intentionally small:
     (``repro exp --journal/--resume``), and :class:`RunnerStats`
     surfaces the cache/dispatch/fault counters.
 
+``ResultStore``
+    the durable, content-addressed result store: one SQLite file holding
+    every completed run keyed by the same trace/config digests as the
+    runner's memo table and the journal, with provenance, checksums and
+    schema migration.  Wire it in with ``SweepRunner(store=...)``,
+    ``run_scenario(store=...)`` or ``repro exp --store PATH`` — a sweep
+    re-run in a fresh process replays from the store without simulating
+    (``repro store ls|verify|gc|export`` inspects one).
+
+``SweepService`` / ``ServiceClient``
+    the persistent sweep service: a warm local daemon (``repro serve``)
+    holding one runner + store behind a Unix socket, deduping identical
+    in-flight submissions across any number of clients and streaming
+    per-run progress (``repro exp <scenario> --service SOCKET``, or
+    :meth:`ServiceClient.submit` from Python).
+
 ``ENGINE_NAMES``
     the available execution engines (``"batched"``, the vectorised
     two-tier default, and ``"legacy"``, the reference interpreter); pick
@@ -141,6 +157,8 @@ from repro.experiments.scenario import (
     list_scenarios,
     run_scenario,
 )
+from repro.experiments.service import ServiceClient, SweepService
+from repro.experiments.store import ResultStore
 from repro.kernel.placement import PLACEMENT_NAMES, build_placement
 from repro.registry import (
     Registry,
@@ -161,7 +179,7 @@ from repro.traces import (
 from repro.workloads import get_workload, list_workloads
 from repro.workloads.trace_io import load_trace, save_trace
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CostModel",
@@ -211,6 +229,9 @@ __all__ = [
     "SweepRunner",
     "SweepJournal",
     "RunnerStats",
+    "ResultStore",
+    "SweepService",
+    "ServiceClient",
     "ENGINE_NAMES",
     "analyze_trace",
     "SharingClass",

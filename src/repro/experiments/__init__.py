@@ -6,6 +6,11 @@
 * :mod:`repro.experiments.scenario` — the declarative experiment API:
   :class:`Scenario` plans, the single :func:`run_scenario` executor and
   the :class:`ResultSet` artifact.
+* :mod:`repro.experiments.store` — the durable content-addressed
+  :class:`ResultStore` (SQLite) every completed run can checkpoint into.
+* :mod:`repro.experiments.service` — the persistent sweep service: a
+  warm daemon (:class:`SweepService`) deduping and caching sweeps for
+  concurrent :class:`ServiceClient` submitters.
 * :mod:`repro.experiments.scenarios` — the built-in scenario registry:
   Figures 5-8, Tables 1-4 and the ablations/sweeps as declarations.
 * :mod:`repro.experiments.table1` … :mod:`repro.experiments.figure8` —
@@ -29,6 +34,8 @@ from repro.experiments.scenario import (
     list_scenarios,
     run_scenario,
 )
+from repro.experiments.service import ServiceClient, ServiceError, SweepService
+from repro.experiments.store import ResultStore, StoreError
 from repro.experiments import scenarios as _builtin_scenarios  # noqa: F401  (registers the built-ins)
 
 __all__ = [
@@ -44,4 +51,9 @@ __all__ = [
     "run_scenario",
     "get_scenario",
     "list_scenarios",
+    "ResultStore",
+    "StoreError",
+    "SweepService",
+    "ServiceClient",
+    "ServiceError",
 ]

@@ -50,6 +50,14 @@ without recomputing anything (``repro exp --journal/--resume``).  The
 deterministic fault injectors in :mod:`repro.experiments.faults` prove
 the invariant: a sweep under injected crashes/hangs returns results
 bit-identical to a fault-free run.
+
+The memo table itself can be made durable: a content-addressed
+:class:`~repro.experiments.store.ResultStore` (``store=`` /
+``repro exp --store``) is consulted before any pending run executes and
+upserted after, sharing the exact memo/journal key scheme — so a sweep
+re-run in a fresh process serves entirely from the store, and the
+persistent sweep service (:mod:`repro.experiments.service`) keeps one
+warm store shared by every client.
 """
 
 from __future__ import annotations
@@ -82,6 +90,7 @@ from repro.config import SimulationConfig, base_config
 from repro.core.factory import SystemSpec, build_system
 from repro.engine import default_engine
 from repro.experiments import faults as _faults
+from repro.experiments.store import ResultStore
 from repro.stats.counters import MachineStats
 from repro.workloads.trace import Trace
 from repro.workloads.trace_io import (
@@ -658,6 +667,10 @@ class RunnerStats:
     run_errors: int = 0     # runs whose execution raised an exception
     degradations: int = 0   # lane demotions (shm -> npz -> inline)
     journal_hits: int = 0   # results restored from a resumed journal
+    store_hits: int = 0     # pending runs served from the durable store
+    store_misses: int = 0   # pending runs the durable store had never seen
+    inflight_joins: int = 0  # submissions joined to an identical in-flight
+    #                          run (set by the sweep service's deduper)
     shm_errors: int = 0     # shared-memory publish/cleanup failures
     #: the recorded shm failure messages (capped; not part of as_dict)
     shm_error_messages: List[str] = field(default_factory=list)
@@ -686,6 +699,9 @@ class RunnerStats:
             "run_errors": self.run_errors,
             "degradations": self.degradations,
             "journal_hits": self.journal_hits,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "inflight_joins": self.inflight_joins,
             "shm_errors": self.shm_errors,
         }
 
@@ -753,6 +769,18 @@ class SweepRunner:
     resume:
         When ``journal`` is a path: load existing records instead of
         truncating the file.
+    store:
+        A durable content-addressed
+        :class:`~repro.experiments.store.ResultStore` (or a path to one,
+        opened — and closed — by this runner).  Pending runs consult the
+        store before executing (``RunnerStats.store_hits`` /
+        ``store_misses``) and completed runs are upserted into it, so
+        results survive the process: a sweep re-run against the same
+        store in a fresh process executes zero simulations.  When both a
+        resumed journal and a store are configured they are reconciled
+        first — the store wins on key match, journal-only rows are
+        backfilled into the store (see
+        :meth:`~repro.experiments.store.ResultStore.reconcile_journal`).
     retries:
         Retry budget per run for crash/timeout/error failures (default
         3, or ``REPRO_RETRIES``).  The final attempts walk the
@@ -778,6 +806,7 @@ class SweepRunner:
                  trace_store: Optional[TraceStore] = None,
                  journal: Optional[Union[str, Path, SweepJournal]] = None,
                  resume: bool = False,
+                 store: Optional[Union[str, Path, ResultStore]] = None,
                  retries: Optional[int] = None,
                  run_timeout: Optional[float] = None,
                  backoff: float = 0.25,
@@ -804,6 +833,12 @@ class SweepRunner:
         else:
             self.journal = SweepJournal(journal, resume=resume)
             self._owns_journal = True
+        if store is None or isinstance(store, ResultStore):
+            self.store = store
+            self._owns_result_store = False
+        else:
+            self.store = ResultStore(store)
+            self._owns_result_store = True
         # keys restored from a resumed journal: their memo hits count as
         # journal_hits too, so the hit shows up in per-sweep stat deltas
         # (run_scenario reports the delta across its batch, and the
@@ -813,6 +848,16 @@ class SweepRunner:
             for key, result in self.journal.loaded.items():
                 self._memo[tuple(key)] = result
             self._journal_keys = set(self._memo)
+        # a resumed journal and a durable store can disagree after a torn
+        # write: reconcile before the first batch — the store's
+        # checksummed rows win on key match (replacing the journal's
+        # memo preload), journal-only rows are backfilled into the store
+        if self.store is not None and self._journal_keys:
+            self.store.reconcile_journal(self.journal)
+            for key in self._journal_keys:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._memo[key] = stored
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -835,6 +880,8 @@ class SweepRunner:
             self.trace_store.close()
         if self.journal is not None and self._owns_journal:
             self.journal.close()
+        if self.store is not None and self._owns_result_store:
+            self.store.close()
 
     # -- keys ---------------------------------------------------------------
 
@@ -949,8 +996,11 @@ class SweepRunner:
         return result
 
     def _journal_append(self, key: RunKey, result: ExperimentResult) -> None:
+        """Checkpoint one completed run to the journal and the store."""
         if self.journal is not None:
             self.journal.append(key, result)
+        if self.store is not None:
+            self.store.put(key, result)
 
     def _run_supervised(self, pending: Dict[RunKey, Tuple[Trace, str,
                                                           SimulationConfig]]
@@ -1122,6 +1172,19 @@ class SweepRunner:
         self.stats.journal_hits += sum(1 for key, *_ in keyed
                                        if key is not None
                                        and key in self._journal_keys)
+
+        # consult the durable store before executing anything: hits are
+        # pulled into the memo table (so later batches hit the memo
+        # directly), misses execute below and are upserted on harvest
+        if self.store is not None and pending:
+            for key in list(pending):
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._memo[key] = stored
+                    self.stats.store_hits += 1
+                    del pending[key]
+                else:
+                    self.stats.store_misses += 1
 
         if pending:
             self.stats.runs += len(pending)

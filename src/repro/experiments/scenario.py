@@ -519,7 +519,8 @@ def run_scenario(scenario: Union[str, Scenario], *,
                  seed: Optional[int] = None,
                  runner: Optional[SweepRunner] = None,
                  journal: Optional[Union[str, "Path"]] = None,
-                 resume: bool = False) -> ResultSet:
+                 resume: bool = False,
+                 store: Optional[Union[str, "Path"]] = None) -> ResultSet:
     """Execute ``scenario`` and return its :class:`ResultSet`.
 
     Parameters
@@ -547,6 +548,14 @@ def run_scenario(scenario: Union[str, Scenario], *,
         interrupted sweep recomputes nothing.  Only valid when the
         scenario creates its own runner — configure a shared runner's
         journal directly.
+    store:
+        Durable content-addressed result store
+        (:class:`~repro.experiments.store.ResultStore` path): pending
+        runs are served from the store when it already holds them and
+        upserted into it after execution, so a scenario re-run against
+        the same store — even in a fresh process — executes zero
+        simulations (``runner_stats["store_hits"]``).  Only valid when
+        the scenario creates its own runner, like ``journal``.
 
     Returns
     -------
@@ -649,7 +658,8 @@ def run_scenario(scenario: Union[str, Scenario], *,
         return traces[tkey]
 
     # -- one batch through the runner ---------------------------------------
-    runner, owned = ensure_runner(runner, journal=journal, resume=resume)
+    runner, owned = ensure_runner(runner, journal=journal, resume=resume,
+                                  store=store)
     try:
         # report only this plan's share of a (possibly shared) runner's
         # counters: the delta across the batch, not the lifetime totals

@@ -1,0 +1,103 @@
+"""Orphaned shared-memory segment reclamation (`repro clean-shm`).
+
+Uses a synthetic shm directory (monkeypatched ``SHM_DIR``) populated
+with repro-named segment files: one owned by a genuinely dead pid, one
+owned by this live process, plus non-repro and malformed names that
+must never be touched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import trace_io
+from repro.workloads.trace_io import (
+    cleanup_orphan_segments,
+    list_orphan_segments,
+)
+
+
+def _dead_pid():
+    """A pid guaranteed to belong to no live process."""
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    pid = proc.pid
+    proc.join()
+    assert not trace_io._pid_alive(pid)
+    return pid
+
+
+@pytest.fixture()
+def shm_dir(tmp_path, monkeypatch):
+    """A synthetic /dev/shm with one orphan and one live segment."""
+    monkeypatch.setattr(trace_io, "SHM_DIR", tmp_path)
+    dead = _dead_pid()
+    (tmp_path / f"repro_{'ab' * 8}_{dead}").write_bytes(b"orphan")
+    (tmp_path / f"repro_{'cd' * 8}_{os.getpid()}").write_bytes(b"live")
+    (tmp_path / "repro_notasegment").write_bytes(b"malformed")
+    (tmp_path / "other_app_segment").write_bytes(b"foreign")
+    return tmp_path
+
+
+class TestOrphanListing:
+    def test_only_dead_pid_segments_are_orphans(self, shm_dir):
+        orphans = list_orphan_segments()
+        assert [p.name for p in orphans] == [f"repro_{'ab' * 8}_" +
+                                             p.name.rsplit("_", 1)[1]
+                                             for p in orphans]
+        assert len(orphans) == 1
+        assert orphans[0].name.startswith(f"repro_{'ab' * 8}_")
+
+    def test_missing_shm_dir_is_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(trace_io, "SHM_DIR", tmp_path / "nope")
+        assert list_orphan_segments() == []
+
+    def test_pid_alive_on_self(self):
+        assert trace_io._pid_alive(os.getpid())
+
+
+class TestCleanup:
+    def test_dry_run_removes_nothing(self, shm_dir):
+        names = cleanup_orphan_segments(dry_run=True)
+        assert len(names) == 1
+        assert len(list(shm_dir.iterdir())) == 4
+
+    def test_cleanup_unlinks_only_orphans(self, shm_dir):
+        names = cleanup_orphan_segments()
+        assert len(names) == 1
+        survivors = sorted(p.name for p in shm_dir.iterdir())
+        assert f"repro_{'ab' * 8}_" not in str(survivors)
+        assert len(survivors) == 3
+        # live, malformed and foreign files all survive
+        assert any(s.startswith(f"repro_{'cd' * 8}_") for s in survivors)
+        assert "repro_notasegment" in survivors
+        assert "other_app_segment" in survivors
+
+    def test_cleanup_is_idempotent(self, shm_dir):
+        assert len(cleanup_orphan_segments()) == 1
+        assert cleanup_orphan_segments() == []
+
+
+class TestCleanShmCli:
+    def test_dry_run_output(self, shm_dir, capsys):
+        assert main(["clean-shm", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 orphaned segment(s)" in out
+        assert f"repro_{'ab' * 8}_" in out
+        assert len(list(shm_dir.iterdir())) == 4
+
+    def test_real_run_removes_orphan(self, shm_dir, capsys):
+        assert main(["clean-shm"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphaned segment(s)" in out
+        assert len(list(shm_dir.iterdir())) == 3
+
+    def test_clean_directory_reports_zero(self, tmp_path, monkeypatch,
+                                          capsys):
+        monkeypatch.setattr(trace_io, "SHM_DIR", tmp_path)
+        assert main(["clean-shm"]) == 0
+        assert "removed 0 orphaned segment(s)" in capsys.readouterr().out

@@ -302,3 +302,81 @@ class TestRobustnessCli:
                 shared_memory.SharedMemory(name=name).unlink()
             except FileNotFoundError:
                 pass
+
+
+class TestStoreCli:
+    """repro exp --store and the repro store subcommands."""
+
+    def _populate(self, tmp_path):
+        store = tmp_path / "results.sqlite"
+        out = tmp_path / "first.json"
+        assert main(["exp", "figure5", "--apps", "lu", "--scale", "0.05",
+                     "--store", str(store), "--json", str(out)]) == 0
+        return store, json.loads(out.read_text())
+
+    def test_exp_store_rerun_is_all_store_hits(self, capsys, tmp_path):
+        store, first = self._populate(tmp_path)
+        second_json = tmp_path / "second.json"
+        assert main(["exp", "figure5", "--apps", "lu", "--scale", "0.05",
+                     "--store", str(store),
+                     "--json", str(second_json)]) == 0
+        capsys.readouterr()
+        second = json.loads(second_json.read_text())
+        assert second["rows"] == first["rows"]
+        assert second["runner"]["runs"] == 0
+        assert second["runner"]["store_hits"] == len(second["rows"])
+
+    def test_store_env_var_is_the_default(self, capsys, tmp_path,
+                                          monkeypatch):
+        store = tmp_path / "env.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store))
+        assert main(["exp", "figure5", "--apps", "lu",
+                     "--scale", "0.05"]) == 0
+        capsys.readouterr()
+        assert store.exists()
+        assert main(["store", "verify"]) == 0
+        assert "row(s) ok" in capsys.readouterr().out
+
+    def test_store_ls_verify_gc_export(self, capsys, tmp_path):
+        store, first = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "--store", str(store), "ls"]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(first['rows'])} row(s)" in out
+        assert "lu" in out
+        assert main(["store", "--store", str(store), "verify"]) == 0
+        assert "row(s) ok" in capsys.readouterr().out
+        assert main(["store", "--store", str(store), "gc",
+                     "--all", "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        export = tmp_path / "export.json"
+        assert main(["store", "--store", str(store), "export",
+                     "--out", str(export)]) == 0
+        capsys.readouterr()
+        doc = json.loads(export.read_text())
+        assert len(doc["rows"]) == len(first["rows"])
+        assert main(["store", "--store", str(store), "gc", "--all"]) == 0
+        capsys.readouterr()
+        assert main(["store", "--store", str(store), "ls"]) == 0
+        assert "0 row(s)" in capsys.readouterr().out
+
+    def test_store_ls_json(self, capsys, tmp_path):
+        store, first = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "--store", str(store), "ls", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == len(first["rows"])
+        assert all(r["engine_used"] for r in rows)
+
+    def test_store_requires_a_path(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["store", "ls"]) == 2
+        assert "REPRO_STORE" in capsys.readouterr().err
+
+    def test_exp_service_rejects_runner_flags(self, capsys):
+        assert main(["exp", "figure5", "--service", "/tmp/x.sock",
+                     "--jobs", "4"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["exp", "figure5", "--service", "/tmp/x.sock",
+                     "--store", "s.sqlite"]) == 2
+        assert "--store" in capsys.readouterr().err
