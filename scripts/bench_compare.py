@@ -13,7 +13,7 @@ script re-measures the same quantities and
   same host, promotion on vs off, warm vs cold sweep workers), which
   transfer across machines, never absolute wall times.
 
-Gates enforced by ``--check`` (record schema 4):
+Gates enforced by ``--check`` (record schema 5):
 
 1. On the miss-dense configuration (``benchmarks/bench_engine_speedup.
    miss_dense_spec``) the batched engine's speedup over the legacy
@@ -27,10 +27,15 @@ Gates enforced by ``--check`` (record schema 4):
    tolerance band of 1.0.
 3. The compiled residual kernel (``engine=kernel``) must hold a
    ``>= 5x`` miss-dense migrep speedup over the batched engine on the
-   same host, and must not regress below the committed ``current``
-   band.  When no compiled backend exists on the host (no numba, no C
-   toolchain) the lane records its ``fallback_reason`` and the gate is
-   skipped — the pure-Python install stays green.
+   same host, and the full-family lanes added with schema 5 — ``rnuma``
+   (the R-NUMA relocation lane), ``rnuma_migrep`` (the hybrid) and
+   ``hysteresis`` (migrep under the adaptive hysteresis policy, its
+   evaluation inlined in the compiled walk) — must each hold
+   ``>= 4x``.  None may
+   regress below the committed ``current`` band.  When no compiled
+   backend exists on the host (no numba, no C toolchain) the lanes
+   record their ``fallback_reason`` and the gates are skipped — the
+   pure-Python install stays green.
 4. The warm shared-memory ``jobs=2`` sweep must not be slower than the
    cold per-worker npz path beyond the tolerance band.
 5. The hot-set batched-vs-legacy speedup must stay within the band of
@@ -70,12 +75,22 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 BENCH_FILE = REPO / "BENCH_engine.json"
 
 
+def _build_system(system):
+    """Resolve a lane's system: registry names plus the bench-local
+    ``hysteresis`` lane (migrep under the adaptive hysteresis policy)."""
+    from repro.core.factory import build_system
+
+    if system == "hysteresis":
+        return build_system("migrep").derive("migrep-hysteresis",
+                                             migrep_policy="hysteresis")
+    return build_system(system)
+
+
 def _one_run(cfg, system, trace, engine, env):
     """One timed run.  ``env`` pins ``REPRO_PROMOTION``: ``"1"`` /
     ``"0"`` force promotion on/off, ``""`` unsets it (the adaptive
     default), ``None`` leaves the ambient environment alone."""
     from repro.cluster.machine import Machine
-    from repro.core.factory import build_system
 
     saved = None
     if env is not None:
@@ -85,7 +100,7 @@ def _one_run(cfg, system, trace, engine, env):
         else:
             os.environ["REPRO_PROMOTION"] = env
     try:
-        machine = Machine(cfg, build_system(system))
+        machine = Machine(cfg, _build_system(system))
         t0 = time.perf_counter()
         stats = machine.run(trace, engine=engine)
         return time.perf_counter() - t0, stats
@@ -201,6 +216,25 @@ def measure_miss_dense(scale: float, repeats: int) -> dict:
             "promoted": int(prof.get("promoted", 0)),
             "demoted": int(prof.get("demoted", 0)),
             "residual": int(prof.get("residual", 0)),
+            "kernel": _kernel_lane(cfg, system, trace, batched_s,
+                                   batched_stats, repeats),
+        }
+    # full-family kernel lanes (schema 5): the hybrid system and the
+    # adaptive-policy ride-along get a lighter record — legacy, batched
+    # and the gated kernel number — without the promotion-mode sweep
+    for system, key in (("rnuma-migrep", "rnuma_migrep"),
+                        ("hysteresis", "hysteresis")):
+        legacy_s, legacy_stats = _median_run(cfg, system, trace, "legacy",
+                                             repeats=max(1, repeats - 1))
+        batched_s, batched_stats = _median_run(cfg, system, trace,
+                                               "batched", env="",
+                                               repeats=repeats)
+        _assert_identical(system, legacy_stats, batched_stats)
+        out[key] = {
+            "legacy_s": round(legacy_s, 4),
+            "batched_s": round(batched_s, 4),
+            "refs_per_s": int(trace.total_accesses() / batched_s),
+            "speedup_vs_legacy": round(legacy_s / batched_s, 3),
             "kernel": _kernel_lane(cfg, system, trace, batched_s,
                                    batched_stats, repeats),
         }
@@ -439,28 +473,32 @@ def check(measured: dict, recorded: dict, tolerance: float) -> int:
                       f"adaptive promotion loses to {label} on the "
                       f"{system} miss-dense run beyond the tolerance band")
 
-    # 3. compiled kernel lane: >= 5x over batched on the same host, and
-    # within the band of the committed recording.  A fallback (no
-    # compiled backend on this host) skips the gate by design.
-    kernel = md["migrep"].get("kernel", {})
-    if "speedup_vs_batched" in kernel:
+    # 3. compiled kernel lanes: migrep >= 5x over batched on the same
+    # host; the full-family lanes (rnuma relocation, the hybrid, and
+    # migrep under the inlined hysteresis policy) >= 4x each — and
+    # none below the band of the committed recording.  A fallback (no
+    # compiled backend on this host) skips that lane's gate by design.
+    for key, floor in (("migrep", 5.0), ("rnuma", 4.0),
+                       ("rnuma_migrep", 4.0), ("hysteresis", 4.0)):
+        kernel = md.get(key, {}).get("kernel", {})
+        if "speedup_vs_batched" not in kernel:
+            print(f"miss-dense {key} kernel: fell back "
+                  f"({kernel.get('fallback_reason', 'no record')}) — gate "
+                  "skipped")
+            continue
         got = kernel["speedup_vs_batched"]
-        need = 5.0 * (1 - tolerance)
-        print(f"miss-dense migrep kernel ({kernel.get('backend')}) vs "
+        need = floor * (1 - tolerance)
+        print(f"miss-dense {key} kernel ({kernel.get('backend')}) vs "
               f"batched: x{got:.2f} at {kernel['refs_per_s']:,} refs/s "
               f"(gate >= x{need:.2f})")
         if got < need:
-            _fail(failures, "kernel speedup over batched fell below the "
-                            "5x floor")
-        cur_kernel = (current.get("miss_dense", {}).get("migrep", {})
+            _fail(failures, f"{key} kernel speedup over batched fell "
+                            f"below the {floor:g}x floor")
+        cur_kernel = (current.get("miss_dense", {}).get(key, {})
                       .get("kernel", {}).get("speedup_vs_batched"))
         if cur_kernel and got < cur_kernel * (1 - tolerance):
-            _fail(failures, "kernel speedup regressed below the committed "
-                            "band")
-    else:
-        print("miss-dense migrep kernel: fell back "
-              f"({kernel.get('fallback_reason', 'no record')}) — gate "
-              "skipped")
+            _fail(failures, f"{key} kernel speedup regressed below the "
+                            "committed band")
 
     # 4. warm shared-memory workers must not lose to the cold path.  Both
     # sides are fresh best-of-two wall clocks (no committed anchor), so
@@ -553,7 +591,7 @@ def main(argv=None) -> int:
     print(json.dumps(measured, indent=2))
 
     if args.record:
-        recorded["schema"] = 4
+        recorded["schema"] = 5
         recorded["current"] = {
             "scale": args.scale,
             **measured,

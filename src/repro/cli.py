@@ -289,7 +289,11 @@ def _promo_label(prof: dict) -> str:
 def _render_profile(runner: SweepRunner, rs: ResultSet) -> str:
     """Engine per-lane breakdown + runner counters for ``exp --profile``."""
     stats = rs.runner_stats or runner.stats.as_dict()
-    lines = ["runner: " + "  ".join(f"{k}={v}" for k, v in stats.items())]
+    kinds = stats.get("bail_kinds") or {}
+    lines = ["runner: " + "  ".join(f"{k}={v}" for k, v in stats.items()
+                                    if k != "bail_kinds")]
+    lines.append("bails:  " + "  ".join(f"{k}={v}" for k, v in kinds.items())
+                 + f"  total={sum(kinds.values())}")
     if runner.stats.shm_error_messages:
         lines.append("shm errors:")
         lines += [f"  {msg}" for msg in runner.stats.shm_error_messages]

@@ -18,15 +18,16 @@ for every threshold comparison — all comparisons are strict ``>`` against
 non-negative counts — but :meth:`MigRepCounters.tracked_pages` observes
 the difference).  The dense layout is what lets the compiled residual
 kernel bump counters and evaluate the static-threshold policy without
-touching Python objects.  The R-NUMA refetch counters stay sparse
-dictionaries, because only a small fraction of the address space is ever
-shared remotely and no compiled path reads them.
+touching Python objects.  The R-NUMA refetch counters use the same dense
+layout (one flat ``array('q')`` per node, indexed by page) so the
+kernel's R-NUMA lane can count capacity refetches and test the static
+relocation threshold inside the compiled walk.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 class MigRepCounters:
@@ -192,29 +193,48 @@ class RefetchCounters:
     One instance per node.  A counter is cleared when the node relocates
     the page (it is no longer a CC-NUMA page there) and when the page is
     later evicted from the page cache the counter restarts from zero.
+
+    Storage: one flat ``array('q')`` indexed by page, grown in place via
+    :meth:`reserve` so exported buffer views (the kernel's zero-copy
+    window) stay valid.  ``total_recorded`` remains a Python int; the
+    kernel mirrors it through a per-node delta that the driver folds back
+    after each phase.
     """
 
-    __slots__ = ("_counts", "total_recorded")
+    __slots__ = ("_cap", "_counts", "total_recorded")
 
     def __init__(self) -> None:
-        self._counts: Dict[int, int] = {}
+        self._cap = 0
+        self._counts = array("q")
         self.total_recorded = 0
+
+    def reserve(self, n: int) -> None:
+        """Grow the counter column (in place) to cover page ids ``< n``."""
+        cap = self._cap
+        if n <= cap:
+            return
+        grow = max(n, 2 * cap, 256) - cap
+        self._counts.frombytes(bytes(8 * grow))
+        self._cap = cap + grow
 
     def record_refetch(self, page: int) -> int:
         """Record one capacity/conflict refetch on ``page``; return the new count."""
-        new = self._counts.get(page, 0) + 1
+        if page >= self._cap:
+            self.reserve(page + 1)
+        new = self._counts[page] + 1
         self._counts[page] = new
         self.total_recorded += 1
         return new
 
     def count(self, page: int) -> int:
         """Current refetch count for ``page``."""
-        return self._counts.get(page, 0)
+        return self._counts[page] if page < self._cap else 0
 
     def clear(self, page: int) -> None:
         """Clear the counter for ``page`` (after relocation or eviction)."""
-        self._counts.pop(page, None)
+        if page < self._cap:
+            self._counts[page] = 0
 
     def tracked_pages(self) -> int:
         """Number of pages with a non-zero counter."""
-        return len(self._counts)
+        return sum(1 for c in self._counts if c)

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import enum
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -360,6 +361,16 @@ class HysteresisMigRepPolicy(DecisionPolicy):
     since the previous evaluation of the page, so the requester-vs-home
     comparison sees both sides just as the static policy does.
 
+    Storage mirrors :class:`~repro.core.counters.MigRepCounters`: the
+    scores are a flat buffer-backed ``array('d')`` column indexed by
+    ``page * num_nodes + node`` and the per-page home-credit watermark a
+    flat ``array('q')``, both grown in place via :meth:`reserve`.  The
+    dense layout is what lets the compiled residual kernel update the
+    pressure and test the trigger inside the compiled walk, bailing only
+    when a decision actually fires; a never-evaluated page's zero row is
+    indistinguishable from an absent one (decaying zeros is the identity
+    and the home credit restarts from a zero watermark either way).
+
     Parameters
     ----------
     threshold:
@@ -376,8 +387,10 @@ class HysteresisMigRepPolicy(DecisionPolicy):
     decay: float = 0.98
     enable_migration: bool = True
     enable_replication: bool = True
-    _scores: Dict[int, List[float]] = field(default_factory=dict, repr=False)
-    _home_seen: Dict[int, int] = field(default_factory=dict, repr=False)
+    _scores: array = field(default_factory=lambda: array("d"), repr=False)
+    _home_seen: array = field(default_factory=lambda: array("q"), repr=False)
+    _num_nodes: int = field(default=0, repr=False)
+    _cap: int = field(default=0, repr=False)
 
     name = "hysteresis"
 
@@ -392,18 +405,40 @@ class HysteresisMigRepPolicy(DecisionPolicy):
                 f"saturates at {1.0 / (1.0 - self.decay):.1f} for "
                 f"decay={self.decay}")
 
+    def reserve(self, n: int, *, num_nodes: int = 0) -> None:
+        """Grow the columns (in place) to cover page ids ``< n``."""
+        if num_nodes and not self._num_nodes:
+            self._num_nodes = num_nodes
+        cap = self._cap
+        if n <= cap or not self._num_nodes:
+            return    # row width unknown until the first evaluation
+        grow = max(n, 2 * cap, 256) - cap
+        self._scores.frombytes(bytes(8 * grow * self._num_nodes))
+        self._home_seen.frombytes(bytes(8 * grow))
+        self._cap = cap + grow
+
+    def pressure(self, page: int, node: int) -> float:
+        """Current decayed pressure score for ``(page, node)``."""
+        if page < self._cap:
+            return self._scores[page * self._num_nodes + node]
+        return 0.0
+
     def evaluate(self, counters: MigRepCounters, page: int, requester: int,
                  home: int, *, is_replica_request: bool = False) -> MigRepDecision:
         """Update the page's decayed pressure and decide on the new state."""
         if requester == home or is_replica_request:
             return MigRepDecision.NONE
-        row = self._scores.get(page)
-        if row is None:
-            row = self._scores[page] = [0.0] * counters.num_nodes
+        nn = counters.num_nodes
+        if not self._num_nodes:
+            self._num_nodes = nn
+        if page >= self._cap:
+            self.reserve(page + 1)
+        row = self._scores
+        base = page * nn
         decay = self.decay
-        for node in range(len(row)):
-            row[node] *= decay
-        row[requester] += 1.0
+        for node in range(nn):
+            row[base + node] *= decay
+        row[base + requester] += 1.0
 
         # fold in the home's own misses since the last evaluation (the
         # policy never sees them as events; the counters record them via
@@ -413,27 +448,30 @@ class HysteresisMigRepPolicy(DecisionPolicy):
         write_row = counters.write_row(page)
         home_total = ((read_row[home] if read_row is not None else 0)
                       + (write_row[home] if write_row is not None else 0))
-        delta = home_total - self._home_seen.get(page, 0)
+        delta = home_total - self._home_seen[page]
         if delta != 0:
-            row[home] += home_total if delta < 0 else delta
+            row[base + home] += home_total if delta < 0 else delta
             self._home_seen[page] = home_total
 
         if self.enable_replication:
             remote_writes = (sum(write_row) - write_row[home]
                              if write_row is not None else 0)
-            if remote_writes == 0 and row[requester] > self.threshold:
+            if remote_writes == 0 and row[base + requester] > self.threshold:
                 self._forget(page)
                 return MigRepDecision.REPLICATE
         if self.enable_migration:
-            if row[requester] - row[home] > self.threshold:
+            if row[base + requester] - row[base + home] > self.threshold:
                 self._forget(page)
                 return MigRepDecision.MIGRATE
         return MigRepDecision.NONE
 
     def _forget(self, page: int) -> None:
         """Drop a page's pressure state after a decision (the hysteresis)."""
-        self._scores.pop(page, None)
-        self._home_seen.pop(page, None)
+        if page < self._cap:
+            nn = self._num_nodes
+            base = page * nn
+            self._scores[base:base + nn] = array("d", bytes(8 * nn))
+            self._home_seen[page] = 0
 
 
 @dataclass

@@ -19,6 +19,7 @@ capacity handed to the machine: ``rnuma`` (2.4 MB), ``rnuma-half``
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional, Tuple
 
 from repro.core.ccnuma import CCNUMAProtocol
@@ -52,6 +53,13 @@ class RNUMAProtocol(CCNUMAProtocol):
         self.policy = resolve_policy(
             "rnuma", self.cfg, spec=getattr(machine, "system", None),
             policy=policy, **delay)
+        # exact-type check: a subclass may override should_relocate, so it
+        # only counts as the static paper rule when it *is* the base class.
+        # The compiled kernel inlines the static threshold test from these
+        # scalars; adaptive policies bail to Python at each evaluation.
+        self._rn_static = type(self.policy) is RNUMAPolicy
+        self._rn_threshold = self.policy.threshold if self._rn_static else 0
+        self._rn_delay = (self.policy.relocation_delay or 0) if self._rn_static else 0
         self.engine = RelocationEngine(
             addr=self.addr,
             costs=self.costs,
@@ -63,29 +71,40 @@ class RNUMAProtocol(CCNUMAProtocol):
             page_caches=self.page_caches,
             l1_caches=machine.l1_by_node,
         )
-        #: total misses observed per page (used only by the hybrid's delay)
-        self._page_miss_totals: dict[int, int] = {}
-        # pre-bound page-cache residency dicts for the per-miss fast path
-        self._pc_pages = [pc._pages if pc is not None else None
-                          for pc in self.page_caches]
+        #: total misses observed per page, stored as a flat in-place-grown
+        #: column so the kernel's R-NUMA lane can bump it (missing == 0)
+        self._page_miss_totals = array("q")
+        self._pmt_cap = 0
+        # pre-bound page-cache residency flag buffers for the per-miss
+        # fast path (bytearray indexed by page; grows in place)
+        self._pc_res = [pc._resident if pc is not None else None
+                        for pc in self.page_caches]
 
     # ------------------------------------------------------------------ helpers
 
+    def _reserve_totals(self, n: int) -> None:
+        """Grow the per-page miss-total column (in place) to cover pages ``< n``."""
+        cap = self._pmt_cap
+        if n <= cap:
+            return
+        grow = max(n, 2 * cap, 256) - cap
+        self._page_miss_totals.frombytes(bytes(8 * grow))
+        self._pmt_cap = cap + grow
+
     def _record_page_miss(self, page: int) -> int:
-        total = self._page_miss_totals.get(page, 0) + 1
+        if page >= self._pmt_cap:
+            self._reserve_totals(page + 1)
+        total = self._page_miss_totals[page] + 1
         self._page_miss_totals[page] = total
         return total
 
-    def _maybe_relocate(self, node: int, page: int, now: int) -> int:
-        """Relocate ``page`` on ``node`` if its refetch counter warrants it."""
-        counters = self.refetch_counters[node]
-        total = self._page_miss_totals.get(page, 0)
-        if not self.policy.should_relocate(counters, page,
-                                           page_total_misses=total,
-                                           node=node):
-            return 0
+    def _page_total(self, page: int) -> int:
+        return self._page_miss_totals[page] if page < self._pmt_cap else 0
+
+    def _perform_relocation(self, node: int, page: int, now: int) -> int:
+        """Relocate ``page`` into ``node``'s page cache (decision already made)."""
         outcome = self.engine.relocate(node, page, now)
-        counters.clear(page)
+        self.refetch_counters[node].clear(page)
         stats = self.node_stats[node]
         stats.relocations += 1
         if outcome.evicted_page is not None:
@@ -95,52 +114,74 @@ class RNUMAProtocol(CCNUMAProtocol):
         self.fault_logs[node].record(FaultKind.RELOCATION_INTERRUPT, outcome.cost)
         return outcome.cost
 
+    def _maybe_relocate(self, node: int, page: int, now: int) -> int:
+        """Relocate ``page`` on ``node`` if its refetch counter warrants it."""
+        counters = self.refetch_counters[node]
+        if not self.policy.should_relocate(counters, page,
+                                           page_total_misses=self._page_total(page),
+                                           node=node):
+            return 0
+        return self._perform_relocation(node, page, now)
+
     def _scoma_fetch(self, node: int, page: int, block: int, is_write: bool,
                      now: int, home: int) -> Tuple[int, int, bool]:
         """Service a miss on a page held in the node's S-COMA page cache.
 
         The :class:`~repro.mem.page_cache.PageCache` lookup/write/fill
-        steps are inlined on the resident page's tag dictionaries — this
-        runs on every reference to a relocated page, R-NUMA's hottest
-        service path once an application's hot pages have switched.
+        steps are inlined on the cache's flat tag arrays (the page's
+        block tags live at the *global* block index, since
+        ``block == page * blocks_per_page + offset``) — this runs on
+        every reference to a relocated page, R-NUMA's hottest service
+        path once an application's hot pages have switched.  The
+        compiled kernel's page-cache probe lane is a transcription of
+        this body; keep them in sync.
         """
         stats = self.node_stats[node]
-        pc_stats = self.page_caches[node].stats
-        pages_od = self._pc_pages[node]
-        entry = pages_od[page]          # resident: the caller checked
-        pages_od.move_to_end(page)      # LRU touch
-        offset = block % self._bpp
+        pc = self.page_caches[node]
+        pc_stats = pc.stats
+        # inlined PageCache._touch (LRU stamp; resident: the caller checked)
+        pc._clock[0] += 1
+        pc._stamp[page] = pc._clock[0]
         # inlined Directory.version
         versions = self._dir_version
         version = versions[block] if block < len(versions) else 0
 
         # inlined PageCache.lookup_block
-        valid = entry.valid
-        stored = valid.get(offset)
-        if stored is not None:
+        pcv = pc._version
+        pcd = pc._dirty
+        stored = pcv[block]
+        if stored >= 0:
             if stored >= version:
                 pc_stats.block_hits += 1
                 stats.page_cache_hits += 1
                 if is_write:
                     extra, version = self._directory_write(node, block)
-                    # inlined PageCache.write_block (offset is valid)
+                    # inlined PageCache.write_block (the tag is valid)
                     if version > stored:
-                        valid[offset] = version
-                    entry.dirty.add(offset)
+                        pcv[block] = version
+                    if not pcd[block]:
+                        pcd[block] = 1
+                        pc._ndirty[page] += 1
                     return self._local_miss_cost + extra, version, False
                 return self._local_miss_cost, version, False
             # stale block: invalidate and refetch below
-            del valid[offset]
-            entry.dirty.discard(offset)
+            pcv[block] = -1
+            pc._nvalid[page] -= 1
+            if pcd[block]:
+                pcd[block] = 0
+                pc._ndirty[page] -= 1
             pc_stats.block_invalidations += 1
         pc_stats.block_misses += 1
 
         latency, version = self._remote_fill(node, block, is_write, now, home)
         # inlined PageCache.fill_block
-        valid[offset] = version
-        if is_write:
-            entry.dirty.add(offset)
-        entry.fills += 1
+        if pcv[block] < 0:
+            pc._nvalid[page] += 1
+        pcv[block] = version
+        if is_write and not pcd[block]:
+            pcd[block] = 1
+            pc._ndirty[page] += 1
+        pc._fills[page] += 1
         pc_stats.block_fills += 1
         return latency, version, True
 
@@ -149,15 +190,13 @@ class RNUMAProtocol(CCNUMAProtocol):
     def _service_remote_page(self, node: int, proc: int, page: int, block: int,
                              is_write: bool, now: int, home: int,
                              mode: PageMode) -> Tuple[int, int, int, bool]:
-        # inlined PageCache.contains on the pre-bound residency dict
-        pc_pages = self._pc_pages[node]
-        if pc_pages is not None and page in pc_pages:
+        # inlined PageCache.contains on the pre-bound residency buffer
+        pc_res = self._pc_res[node]
+        if pc_res is not None and page < len(pc_res) and pc_res[page]:
             latency, version, remote = self._scoma_fetch(
                 node, page, block, is_write, now, home)
             if remote:
-                # inlined _record_page_miss
-                totals = self._page_miss_totals
-                totals[page] = totals.get(page, 0) + 1
+                self._record_page_miss(page)
             return latency, 0, version, remote
 
         # CC-NUMA mode: go through the block cache and feed the reactive
@@ -170,9 +209,7 @@ class RNUMAProtocol(CCNUMAProtocol):
             node, page, block, is_write, now, home)
         pageop = 0
         if remote:
-            # inlined _record_page_miss
-            totals = self._page_miss_totals
-            totals[page] = totals.get(page, 0) + 1
+            self._record_page_miss(page)
             if by_cause[_CAPACITY_IDX] > remote_before:
                 # this fetch was a capacity/conflict refetch: count it
                 self.refetch_counters[node].record_refetch(page)

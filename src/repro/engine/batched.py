@@ -193,7 +193,7 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
     bc_store = [bc._store for bc in machine.block_caches]
     bc_stats_of = [bc.stats for bc in machine.block_caches]
     page_caches = machine.page_caches
-    pc_pages_of = [pc._pages if pc is not None else None for pc in page_caches]
+    pc_res_of = [pc._resident if pc is not None else None for pc in page_caches]
 
     # network internals for the inlined remote-fetch lane
     net = machine.network
@@ -811,9 +811,11 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                                             bc_blocks[node][old % cap]
                                             == old)
                                     if not resident:
-                                        pcp = pc_pages_of[node]
+                                        pcp = pc_res_of[node]
                                         vpage = old // addr_bpp
-                                        if pcp is None or vpage not in pcp:
+                                        if (pcp is None
+                                                or vpage >= len(pcp)
+                                                or not pcp[vpage]):
                                             vh = (vm_home[vpage]
                                                   if vpage < len(vm_home)
                                                   else -1)
@@ -1062,9 +1064,10 @@ def run_batched(machine: "Machine", trace) -> MachineStats:
                         else:
                             resident = bc_blocks[node][old % cap] == old
                         if not resident:
-                            pcp = pc_pages_of[node]
+                            pcp = pc_res_of[node]
                             vpage = old // addr_bpp
-                            if pcp is None or vpage not in pcp:
+                            if (pcp is None or vpage >= len(pcp)
+                                    or not pcp[vpage]):
                                 vh = (vm_home[vpage]
                                       if vpage < len(vm_home) else -1)
                                 if vh >= 0 and vh != node:

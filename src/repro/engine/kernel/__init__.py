@@ -10,22 +10,29 @@ backend — numba (:mod:`repro.engine.kernel.walk`) or hand-rolled C
 (``cwalk.c`` via :mod:`repro.engine.kernel.cbuild`) — with the same
 walk, uncompiled, as the dependency-free ``interp`` reference backend.
 
-The backend runs the probe/upgrade/local-fill/block-cache lanes — and,
-for MigRep, the home-side counter bumps and the static-threshold
-decision tests — entirely in compiled code, and *bails* back to this
-driver for the events that need real protocol machinery: mapping faults,
-writes to replicated pages, and fired migration/replication decisions.
-The driver services the bail with ordinary protocol calls, folds the
-delta mirrors, processes any L1-shootdown demotions, and re-enters the
-walk where it left off.  Bails are rare (hundreds per million
-references on the paper's workloads), so the walk's speed dominates.
+The backend runs the probe/upgrade/local-fill/block-cache lanes — plus
+the page-cache probe lane for S-COMA-family systems, the home-side
+MigRep counter bumps with the static-threshold decision tests, and the
+requester-side R-NUMA refetch counters with the static relocation test —
+entirely in compiled code, and *bails* back to this driver for the
+events that need real protocol machinery: mapping faults, writes to
+replicated pages, fired migration/replication/relocation decisions,
+S-COMA first-touch allocations (``pagecache``), and adaptive-policy
+evaluation points (``decide``).  The driver services the bail with
+ordinary protocol calls, folds the delta mirrors, processes any
+L1-shootdown demotions, and re-enters the walk where it left off.
+Bails are rare (hundreds per million references on the paper's
+workloads; decision evaluations are orders of magnitude rarer than
+references), so the walk's speed dominates.
 
 Only systems whose whole residual walk the backend can express run on
-the kernel: exact ``ccnuma``/``migrep``-family protocols with the
-static-threshold policy, finite homogeneous block caches and stock base
-machinery.  Everything else — adaptive policies, user-registered
-systems, infinite caches — transparently falls back to the batched
-engine for the whole run, recording the reason in
+the kernel: the exact stock protocol family (``ccnuma``, ``migrep``,
+``rnuma``, ``scoma``, ``rnuma-migrep``, ``ccnuma-dram`` and their
+capacity variants) with finite homogeneous block caches and stock base
+machinery.  Adaptive decision policies ride the compiled walk via the
+``decide`` bail.  Everything else — user-registered subclasses, exotic
+caches, infinite block caches — transparently falls back to the batched
+engine for the whole run, recording *every* failing condition in
 ``engine_profile["fallback_reason"]``.
 """
 
@@ -38,8 +45,12 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.core.ccnuma import CCNUMAProtocol
+from repro.core.dram_cache import DRAMBlockCacheProtocol
 from repro.core.migrep import MigRepProtocol
 from repro.core.protocol import DSMProtocol
+from repro.core.rnuma import RNUMAProtocol
+from repro.core.rnuma_migrep import RNUMAMigRepProtocol
+from repro.core.scoma import SCOMAProtocol
 from repro.engine._guard import (
     KernelBackendError,
     backend_crash_guard,
@@ -48,12 +59,14 @@ from repro.engine._guard import (
 from repro.engine.classify import CLS_FAST, CLS_PROBE, classify_phase
 from repro.engine.kernel.state import (
     CON_COMPUTE, CON_FAST_UNIT, KernelState, MUT_RESIDUAL,
-    OUT_BLOCK, OUT_CLOCK, OUT_FAULT, OUT_HOME, OUT_I, OUT_MODE, OUT_P,
+    OUT_BLOCK, OUT_CLOCK, OUT_EVAL, OUT_FAULT, OUT_HOME, OUT_I, OUT_MODE,
+    OUT_P,
     OUT_PAGE, OUT_SERVICE, OUT_START, OUT_VERSION, OUT_WAIT, OUT_WRITE,
     PP_ACC_CONT, PP_ACC_FAULT, PP_ACC_LOCAL, PP_ACC_PAGEOP, PP_ACC_REMOTE,
     PP_ACC_UPGRADE, PP_CLOCK, PP_EVICT, PP_FAST, PP_HITS, PP_INVAL,
     PP_MISS, PP_NODE, PP_PTR, PP_QCUR, PP_QLEN, PP_UPG,
-    RC_BAIL_COLLAPSE, RC_BAIL_FAULT, RC_BAIL_MIGRATE, RC_BAIL_REPLICATE,
+    RC_BAIL_COLLAPSE, RC_BAIL_DECIDE, RC_BAIL_FAULT, RC_BAIL_MIGRATE,
+    RC_BAIL_PAGECACHE, RC_BAIL_RELOCATE, RC_BAIL_REPLICATE,
     RC_DONE, schedule_arrays,
 )
 from repro.engine.kernel.walk import get_njit_walk, kernel_walk
@@ -71,34 +84,46 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 _BAIL_NAMES = {RC_BAIL_FAULT: "fault", RC_BAIL_COLLAPSE: "collapse",
-               RC_BAIL_REPLICATE: "replicate", RC_BAIL_MIGRATE: "migrate"}
+               RC_BAIL_REPLICATE: "replicate", RC_BAIL_MIGRATE: "migrate",
+               RC_BAIL_RELOCATE: "relocate", RC_BAIL_DECIDE: "decide",
+               RC_BAIL_PAGECACHE: "pagecache"}
+
+#: stable key set of the ``bail_kinds`` dict in ``engine_profile``
+BAIL_KIND_NAMES = ("fault", "collapse", "replicate", "migrate",
+                   "relocate", "decide", "pagecache")
+
+#: exact protocol types whose residual walk the backends transcribe
+_KERNEL_PROTOCOLS = (CCNUMAProtocol, MigRepProtocol, RNUMAProtocol,
+                     SCOMAProtocol, RNUMAMigRepProtocol,
+                     DRAMBlockCacheProtocol)
 
 
 def kernel_eligibility(machine: "Machine", trace) -> Optional[str]:
     """Why ``machine`` cannot run on the kernel, or ``None`` if it can.
 
     The kernel's compiled lanes are transcriptions of the *stock*
-    CC-NUMA / static-threshold MigRep machinery, so any override — a
-    subclass, an adaptive policy, exotic cache geometry — disqualifies
-    the whole run (per-reference fallback would cost more than it
-    saves).  The returned string is the user-facing fallback reason.
+    protocol family, so any override — a subclass, exotic cache
+    geometry, an infinite block cache — disqualifies the whole run
+    (per-reference fallback would cost more than it saves).  *Every*
+    failing condition is collected and ``"; "``-joined into the
+    user-facing fallback reason, so fixing one does not merely surface
+    the next.
     """
     protocol = machine.protocol
     ptype = type(protocol)
+    reasons = []
     procs = machine.processors[:trace.num_procs]
     if any(not hasattr(p.cache, "line_state") for p in procs):
-        return "exotic L1 cache (no line_state)"
-    if len({p.cache.num_lines for p in procs}) > 1:
-        return "heterogeneous L1 geometry"
+        reasons.append("exotic L1 cache (no line_state)")
+    elif len({p.cache.num_lines for p in procs}) > 1:
+        reasons.append("heterogeneous L1 geometry")
     if len(machine.nodes) > 62:
-        return "more than 62 nodes (sharer masks exceed int64)"
+        reasons.append("more than 62 nodes (sharer masks exceed int64)")
     caps = {bc.capacity_blocks for bc in machine.block_caches}
     if None in caps:
-        return "infinite block cache"
-    if len(caps) > 1:
-        return "heterogeneous block-cache capacity"
-    if any(pc is not None for pc in machine.page_caches):
-        return "page cache present"
+        reasons.append("infinite block cache")
+    elif len(caps) > 1:
+        reasons.append("heterogeneous block-cache capacity")
     if not (ptype.handle_miss is DSMProtocol.handle_miss
             and ptype._directory_read is DSMProtocol._directory_read
             and ptype._directory_write is DSMProtocol._directory_write
@@ -106,15 +131,18 @@ def kernel_eligibility(machine: "Machine", trace) -> Optional[str]:
             and ptype.note_l1_eviction is DSMProtocol.note_l1_eviction
             and ptype._remote_fetch is DSMProtocol._remote_fetch
             and ptype._remote_fill is DSMProtocol._remote_fill):
-        return f"protocol {ptype.__name__} overrides base machinery"
-    if ptype is CCNUMAProtocol:
-        return None
-    if ptype is MigRepProtocol:
-        if not getattr(protocol, "_mr_static", False):
-            policy_name = getattr(protocol.policy, "name", "?")
-            return f"adaptive MigRep policy ({policy_name})"
-        return None
-    return f"unsupported protocol {ptype.__name__}"
+        reasons.append(f"protocol {ptype.__name__} overrides base machinery")
+    if ptype not in _KERNEL_PROTOCOLS:
+        reasons.append(f"unsupported protocol {ptype.__name__}")
+    elif isinstance(protocol, RNUMAProtocol):
+        # the page-cache probe lane needs a cache to probe on every node
+        if any(pc is None for pc in machine.page_caches):
+            reasons.append("page-cache protocol with a cache-less node")
+    elif any(pc is not None for pc in machine.page_caches):
+        reasons.append(
+            f"page cache present on non-page-cache protocol "
+            f"{ptype.__name__}")
+    return "; ".join(reasons) if reasons else None
 
 
 def _resolve_backend(forced: str):
@@ -227,6 +255,10 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
     handle_miss = protocol.handle_miss
     service_remote = protocol._service_remote_page
     note_l1_eviction = protocol.note_l1_eviction
+    maybe_relocate = getattr(protocol, "_maybe_relocate", None)
+    perform_relocation = getattr(protocol, "_perform_relocation", None)
+    evaluate_migrep = (getattr(protocol, "_evaluate_migrep", None)
+                       or getattr(protocol, "_evaluate_policy", None))
     l1_hit_cost = costs.l1_hit
     node_stats = machine.stats.nodes
     timing_procs = machine.timing.processors
@@ -255,7 +287,7 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
     prof_total = 0
     prof_demoted = 0
     bails = 0
-    bail_kinds = {"fault": 0, "collapse": 0, "replicate": 0, "migrate": 0}
+    bail_kinds = {name: 0 for name in BAIL_KIND_NAMES}
     run_t0 = perf_counter()
 
     with engine_run_guard(caches,
@@ -296,17 +328,21 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
                 pp[PP_CLOCK * P + p] = timing_procs[p].clock
             st.load_absolutes()
 
-            args = (st.con, st.mut, pp, st.nn, st.msg_delta, out,
+            args = (st.con, st.fcon, st.mut, pp, st.nn, st.msg_delta, out,
                     st.dir_sharers, st.dir_owner, st.dir_versions,
                     st.dir_tracked,
                     st.vm_home, st.vm_replicated, st.vm_replica_mask,
                     st.ctr_read, st.ctr_write, st.ctr_since,
                     st.ctr_live_r, st.ctr_live_w,
+                    st.hy_scores, st.hy_seen,
                     st.departed, st.pt_modes, st.pt_tracked, st.pt_faults,
                     st.bc_blocks, st.bc_versions, st.bc_dirty,
                     st.cb, st.cv, st.cd, st.status,
                     ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot,
                     keys,
+                    st.rf_counts, st.pg_totals, st.pc_res, st.pc_version,
+                    st.pc_dirty, st.pc_stamp, st.pc_clock, st.pc_nvalid,
+                    st.pc_ndirty, st.pc_fills,
                     st.place_log, st.q_idx, st.q_blk)
             with backend_crash_guard(backend_name):
                 runner = bind(args)
@@ -396,12 +432,26 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
                 if rc == RC_BAIL_FAULT:
                     service, pageop, fault, version, remote = handle_miss(
                         node, p, page, block, is_write, start)
-                elif rc == RC_BAIL_COLLAPSE:
+                elif rc == RC_BAIL_COLLAPSE or rc == RC_BAIL_PAGECACHE:
                     mode = MODES_BY_CODE[int(out[OUT_MODE])]
                     service, pageop, version, remote = service_remote(
                         node, p, page, block, is_write, start,
                         int(out[OUT_HOME]), mode)
                     fault = int(out[OUT_FAULT])
+                elif rc == RC_BAIL_DECIDE:
+                    # the walk completed the fill; run the adaptive
+                    # decision evaluations it flagged, in batched order
+                    service = int(out[OUT_SERVICE])
+                    version = int(out[OUT_VERSION])
+                    remote = True
+                    fault = int(out[OUT_FAULT])
+                    flags = int(out[OUT_EVAL])
+                    pageop = 0
+                    if flags & 1:
+                        pageop += maybe_relocate(node, page, start)
+                    if flags & 2:
+                        pageop += evaluate_migrep(
+                            page, node, int(out[OUT_HOME]), start)
                 else:
                     # the walk completed the fill; run the page operation
                     service = int(out[OUT_SERVICE])
@@ -411,9 +461,11 @@ def _run(machine: "Machine", trace, bind, backend_name: str) -> MachineStats:
                     if rc == RC_BAIL_REPLICATE:
                         pageop = protocol._perform_replication(
                             page, node, start)
-                    else:
+                    elif rc == RC_BAIL_MIGRATE:
                         pageop = protocol._perform_migration(
                             page, node, start)
+                    else:
+                        pageop = perform_relocation(node, page, start)
                 if events:
                     demote_pending(i, p)
                 # generic tail: L1 fill + eviction notification

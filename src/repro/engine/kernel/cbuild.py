@@ -28,7 +28,7 @@ from typing import Callable, Optional
 import numpy as np
 
 _SOURCE = Path(__file__).with_name("cwalk.c")
-_N_ARGS = 39
+_N_ARGS = 52
 
 _loaded = False
 _caller: Optional[Callable] = None

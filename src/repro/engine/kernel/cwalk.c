@@ -57,6 +57,20 @@
 #define CON_SZ_MAP_PAIR 41
 #define CON_MODE_CCNUMA_REMOTE 42
 #define CON_FIRST_TOUCH 43
+#define CON_HAS_RNUMA 44
+#define CON_RN_STATIC 45
+#define CON_RN_THRESHOLD 46
+#define CON_RN_DELAY 47
+#define CON_HAS_PAGECACHE 48
+#define CON_SCOMA_ALLOC 49
+#define CON_HYBRID 50
+#define CON_MR_STATIC 51
+#define CON_BC_PENALTY 52
+#define CON_MR_HYST 53
+
+/* FCON — float64 run constants (see state.py) */
+#define FCON_HY_THRESHOLD 0
+#define FCON_HY_DECAY 1
 
 /* PP rows */
 #define PP_PTR 0
@@ -95,6 +109,12 @@
 #define NN_BCS_INVAL 16
 #define NN_BCS_EVICT 17
 #define NN_MAPFAULT 18
+#define NN_NS_PCHITS 19
+#define NN_PCS_HITS 20
+#define NN_PCS_MISSES 21
+#define NN_PCS_FILLS 22
+#define NN_PCS_INVAL 23
+#define NN_RF_TOTAL 24
 
 /* MUT cells */
 #define MUT_K 0
@@ -120,6 +140,7 @@
 #define OUT_SERVICE 11
 #define OUT_VERSION 12
 #define OUT_FAULT 13
+#define OUT_EVAL 14
 
 /* return codes */
 #define RC_DONE 0
@@ -127,6 +148,9 @@
 #define RC_BAIL_COLLAPSE 2
 #define RC_BAIL_REPLICATE 3
 #define RC_BAIL_MIGRATE 4
+#define RC_BAIL_RELOCATE 5
+#define RC_BAIL_DECIDE 6
+#define RC_BAIL_PAGECACHE 7
 
 #define BAIL(code) do { \
     mut[MUT_K] = k; \
@@ -240,30 +264,38 @@
     } \
 } while (0)
 
-/* inlined base note_l1_eviction for an evicted L1 victim `old` */
+/* inlined base note_l1_eviction for an evicted L1 victim `old`
+ * (page-cache-resident victims are still locally backed: no departure) */
 #define L1_EVICT_NOTE() do { \
     if (bc_blocks[node][old % bc_cap] != old) { \
         int64_t vpage = old / bpp; \
-        int64_t vh = vm_home[vpage]; \
-        if (vh >= 0 && vh != node) \
-            departed[node][old] = (uint8_t)dep_evicted; \
+        if (!has_pagecache || !pc_res[node][vpage]) { \
+            int64_t vh = vm_home[vpage]; \
+            if (vh >= 0 && vh != node) \
+                departed[node][old] = (uint8_t)dep_evicted; \
+        } \
     } \
 } while (0)
 
 int64_t repro_kernel_walk(
-    int64_t* con, int64_t* mut, int64_t* pp, int64_t* nn,
+    int64_t* con, double* fcon, int64_t* mut, int64_t* pp, int64_t* nn,
     int64_t* msg_delta, int64_t* out,
     int64_t* dir_sharers, int64_t* dir_owner, int64_t* dir_versions,
     uint8_t* dir_tracked,
     int64_t* vm_home, uint8_t* vm_replicated, int64_t* vm_replica_mask,
     int64_t* ctr_read, int64_t* ctr_write, int64_t* ctr_since,
     uint8_t* ctr_live_r, uint8_t* ctr_live_w,
+    double* hy_scores, int64_t* hy_seen,
     uint8_t** departed, uint8_t** pt_modes,
     uint8_t** pt_tracked, int64_t** pt_faults,
     int64_t** bc_blocks, int64_t** bc_versions, uint8_t** bc_dirty,
     int64_t** cb, int64_t** cv, uint8_t** cd, uint8_t** status,
     int64_t* ent_i, int64_t* ent_p, uint8_t* ent_probe, int64_t* ent_blk,
     uint8_t* ent_wrt, int64_t* ent_slot, int64_t* keys,
+    int64_t** rf_counts, int64_t* pg_totals,
+    uint8_t** pc_res, int64_t** pc_version, uint8_t** pc_dirty,
+    int64_t** pc_stamp, int64_t** pc_clock, int64_t** pc_nvalid,
+    int64_t** pc_ndirty, int64_t** pc_fills,
     int64_t* place_log, int64_t** q_idx, int64_t** q_blk)
 {
     const int64_t P = con[CON_NUM_PROCS];
@@ -308,6 +340,18 @@ int64_t repro_kernel_walk(
     const int64_t map_reply_i = con[CON_MSG_MAP_REPLY];
     const int64_t sz_map_pair = con[CON_SZ_MAP_PAIR];
     const int64_t first_touch_ok = con[CON_FIRST_TOUCH];
+    const int64_t has_rnuma = con[CON_HAS_RNUMA];
+    const int64_t rn_static = con[CON_RN_STATIC];
+    const int64_t rn_threshold = con[CON_RN_THRESHOLD];
+    const int64_t rn_delay = con[CON_RN_DELAY];
+    const int64_t has_pagecache = con[CON_HAS_PAGECACHE];
+    const int64_t scoma_alloc = con[CON_SCOMA_ALLOC];
+    const int64_t hybrid = con[CON_HYBRID];
+    const int64_t mr_static = con[CON_MR_STATIC];
+    const int64_t bc_penalty = con[CON_BC_PENALTY];
+    const int64_t mr_hyst = con[CON_MR_HYST];
+    const double hy_threshold = fcon[FCON_HY_THRESHOLD];
+    const double hy_decay = fcon[FCON_HY_DECAY];
 
     int64_t k = mut[MUT_K];
 
@@ -571,6 +615,128 @@ int64_t repro_kernel_walk(
             }
         }
 
+        /* ---- page-cache probe lane ---- */
+        if (has_pagecache) {
+            if (pc_res[node][page]) {
+                /* transcription of RNUMAProtocol._scoma_fetch on the
+                 * flat page-cache arrays (block tags live at the global
+                 * block index); residency only ever changes in Python */
+                pc_clock[node][0] += 1;
+                pc_stamp[node][page] = pc_clock[node][0];
+                version = dir_versions[block];
+                int64_t* pcv_n = pc_version[node];
+                uint8_t* pcd_n = pc_dirty[node];
+                int64_t stored = pcv_n[block];
+                int64_t pc_hit = 0;
+                if (stored >= 0) {
+                    if (stored >= version) {
+                        pc_hit = 1;
+                    } else {
+                        /* stale block: invalidate and refetch below */
+                        pcv_n[block] = -1;
+                        pc_nvalid[node][page] -= 1;
+                        if (pcd_n[block]) {
+                            pcd_n[block] = 0;
+                            pc_ndirty[node][page] -= 1;
+                        }
+                        nn[NN_PCS_INVAL * N + node] += 1;
+                    }
+                }
+                int64_t remote;
+                if (pc_hit) {
+                    nn[NN_PCS_HITS * N + node] += 1;
+                    nn[NN_NS_PCHITS * N + node] += 1;
+                    remote = 0;
+                    if (is_write) {
+                        DIR_WRITE();
+                        /* inlined PageCache.write_block (tag is valid) */
+                        if (version > stored)
+                            pcv_n[block] = version;
+                        if (!pcd_n[block]) {
+                            pcd_n[block] = 1;
+                            pc_ndirty[node][page] += 1;
+                        }
+                        service = local_miss_cost + extra;
+                    } else {
+                        service = local_miss_cost;
+                    }
+                } else {
+                    nn[NN_PCS_MISSES * N + node] += 1;
+                    remote = 1;
+                    /* inlined _remote_fill: classification, traffic,
+                     * NIC contention and the directory fill */
+                    int64_t reason = departed[node][block];
+                    if (reason)
+                        departed[node][block] = 0;
+                    nn[NN_NS_REMOTE * N + node] += 1;
+                    nn[(NN_NS_CAUSE0 + reason) * N + node] += 1;
+                    if (is_write) {
+                        msg_delta[write_i] += 1;
+                        msg_delta[data_i] += 1;
+                        mut[MUT_BYTES] += sz_write_pair;
+                    } else {
+                        msg_delta[read_i] += 1;
+                        msg_delta[data_i] += 1;
+                        mut[MUT_BYTES] += sz_read_pair;
+                    }
+                    NIC_ROUND_TRIP();
+                    if (is_write) {
+                        DIR_WRITE();
+                    } else {
+                        dir_tracked[block] = 1;
+                        dir_sharers[block] |= (int64_t)1 << node;
+                        version = dir_versions[block];
+                        extra = 0;
+                    }
+                    service = remote_miss_cost + contention + extra;
+                    /* inlined PageCache.fill_block */
+                    if (pcv_n[block] < 0)
+                        pc_nvalid[node][page] += 1;
+                    pcv_n[block] = version;
+                    if (is_write && !pcd_n[block]) {
+                        pcd_n[block] = 1;
+                        pc_ndirty[node][page] += 1;
+                    }
+                    pc_fills[node][page] += 1;
+                    nn[NN_PCS_FILLS * N + node] += 1;
+                    /* requester-side R-NUMA miss total; the hybrid also
+                     * bumps the home-side MigRep counters (its policy
+                     * evaluation returns NONE for resident pages) */
+                    pg_totals[page] += 1;
+                    if (has_migrep)
+                        CTR_BUMP();
+                }
+                /* generic tail (page-cache lane copy) */
+                int64_t old = cb_p[idx];
+                if (old >= 0 && old != block) {
+                    pp[PP_EVICT * P + p] += 1;
+                    cb_p[idx] = block;
+                    cv_p[idx] = version;
+                    cd_p[idx] = (uint8_t)is_write;
+                    L1_EVICT_NOTE();
+                } else {
+                    cb_p[idx] = block;
+                    cv_p[idx] = version;
+                    cd_p[idx] = (uint8_t)is_write;
+                }
+                pp[PP_ACC_CONT * P + p] += wait;
+                if (remote)
+                    pp[PP_ACC_REMOTE * P + p] += service;
+                else
+                    pp[PP_ACC_LOCAL * P + p] += service;
+                pp[PP_ACC_FAULT * P + p] += fault;
+                pp[PP_CLOCK * P + p] = clock + wait + service + fault;
+                continue;
+            }
+            if (scoma_alloc) {
+                /* S-COMA allocates a local frame on the first remote
+                 * miss; allocation and service both live in Python —
+                 * bail before any accounting so the driver can run
+                 * _service_remote_page */
+                BAIL(RC_BAIL_PAGECACHE);
+            }
+        }
+
         /* inlined CC-NUMA block-cache / remote-fetch lane */
         version = dir_versions[block];
         int64_t bidx = block % bc_cap;
@@ -597,9 +763,9 @@ int64_t repro_kernel_walk(
                 if (version > bv[bidx])
                     bv[bidx] = version;
                 bd[bidx] = 1;
-                service = local_miss_cost + extra;
+                service = local_miss_cost + extra + bc_penalty;
             } else {
-                service = local_miss_cost;
+                service = local_miss_cost + bc_penalty;
             }
         } else {
             nn[NN_BCS_MISSES * N + node] += 1;
@@ -630,7 +796,7 @@ int64_t repro_kernel_walk(
                 version = dir_versions[block];
                 extra = 0;
             }
-            service = remote_miss_cost + contention + extra;
+            service = remote_miss_cost + contention + extra + bc_penalty;
             /* inlined BlockCache.fill */
             int64_t old = bb[bidx];
             int64_t old_dirty = bd[bidx];
@@ -656,36 +822,129 @@ int64_t repro_kernel_walk(
                     }
                 }
             }
-            if (has_migrep) {
-                /* home-side counter bump + static decision */
-                CTR_BUMP();
-                if (((vm_replica_mask[page] >> node) & 1) == 0) {
-                    int64_t cbase = page * N;
-                    int64_t decided = 0;
-                    if (mr_replication) {
-                        int64_t remote_writes = -ctr_write[cbase + home];
-                        for (int64_t nx = 0; nx < N; nx++)
-                            remote_writes += ctr_write[cbase + nx];
-                        if (remote_writes == 0
-                                && ctr_read[cbase + node] > mr_threshold)
-                            decided = RC_BAIL_REPLICATE;
-                    }
-                    if (!decided && mr_migration) {
-                        int64_t req_m = ctr_read[cbase + node]
-                                        + ctr_write[cbase + node];
-                        int64_t home_m = ctr_read[cbase + home]
-                                         + ctr_write[cbase + home];
-                        if (req_m - home_m > mr_threshold)
-                            decided = RC_BAIL_MIGRATE;
-                    }
-                    if (decided) {
-                        /* fill is complete; only the page operation
-                         * itself needs the Python MigrationEngine */
-                        out[OUT_SERVICE] = service;
-                        out[OUT_VERSION] = version;
-                        BAIL(decided);
+            int64_t reloc = 0, eval_mask = 0;
+            if (has_rnuma) {
+                /* requester-side R-NUMA accounting: the per-page miss
+                 * total always, the refetch counter only when this fetch
+                 * re-acquired a block lost to capacity replacement */
+                pg_totals[page] += 1;
+                if (reason == dep_evicted) {
+                    int64_t* rfn = rf_counts[node];
+                    int64_t rfc = rfn[page] + 1;
+                    rfn[page] = rfc;
+                    nn[NN_RF_TOTAL * N + node] += 1;
+                    if (rn_static) {
+                        if ((rn_delay == 0 || pg_totals[page] >= rn_delay)
+                                && rfc > rn_threshold)
+                            reloc = 1;
+                    } else {
+                        eval_mask = 1;
                     }
                 }
+            }
+            if (has_migrep) {
+                /* home-side counter bump + policy decision */
+                CTR_BUMP();
+                if (!reloc) {
+                    if (mr_static && !eval_mask) {
+                        if (((vm_replica_mask[page] >> node) & 1) == 0) {
+                            int64_t cbase = page * N;
+                            int64_t decided = 0;
+                            if (mr_replication) {
+                                int64_t remote_writes = -ctr_write[cbase + home];
+                                for (int64_t nx = 0; nx < N; nx++)
+                                    remote_writes += ctr_write[cbase + nx];
+                                if (remote_writes == 0
+                                        && ctr_read[cbase + node] > mr_threshold)
+                                    decided = RC_BAIL_REPLICATE;
+                            }
+                            if (!decided && mr_migration) {
+                                int64_t req_m = ctr_read[cbase + node]
+                                                + ctr_write[cbase + node];
+                                int64_t home_m = ctr_read[cbase + home]
+                                                 + ctr_write[cbase + home];
+                                if (req_m - home_m > mr_threshold)
+                                    decided = RC_BAIL_MIGRATE;
+                            }
+                            if (decided) {
+                                /* fill is complete; only the page op
+                                 * itself needs the MigrationEngine */
+                                out[OUT_SERVICE] = service;
+                                out[OUT_VERSION] = version;
+                                BAIL(decided);
+                            }
+                        }
+                    } else if (mr_hyst && !eval_mask) {
+                        /* inlined HysteresisMigRepPolicy.evaluate on the
+                         * shared dense score rows (requester != home on
+                         * this path; zero rows read identically to rows
+                         * the Python side has never touched) */
+                        if (((vm_replica_mask[page] >> node) & 1) == 0) {
+                            int64_t cbase = page * N;
+                            for (int64_t nx = 0; nx < N; nx++)
+                                hy_scores[cbase + nx] *= hy_decay;
+                            hy_scores[cbase + node] += 1.0;
+                            int64_t home_total = ctr_read[cbase + home]
+                                                 + ctr_write[cbase + home];
+                            int64_t hdelta = home_total - hy_seen[page];
+                            if (hdelta != 0) {
+                                if (hdelta < 0)
+                                    hy_scores[cbase + home] += (double)home_total;
+                                else
+                                    hy_scores[cbase + home] += (double)hdelta;
+                                hy_seen[page] = home_total;
+                            }
+                            int64_t decided = 0;
+                            if (mr_replication) {
+                                int64_t remote_writes = -ctr_write[cbase + home];
+                                for (int64_t nx = 0; nx < N; nx++)
+                                    remote_writes += ctr_write[cbase + nx];
+                                if (remote_writes == 0
+                                        && hy_scores[cbase + node] > hy_threshold)
+                                    decided = RC_BAIL_REPLICATE;
+                            }
+                            if (!decided && mr_migration) {
+                                if (hy_scores[cbase + node]
+                                        - hy_scores[cbase + home] > hy_threshold)
+                                    decided = RC_BAIL_MIGRATE;
+                            }
+                            if (decided) {
+                                /* the policy forgets the page before the
+                                 * fired decision runs; the page op itself
+                                 * needs the MigrationEngine */
+                                for (int64_t nx = 0; nx < N; nx++)
+                                    hy_scores[cbase + nx] = 0.0;
+                                hy_seen[page] = 0;
+                                out[OUT_SERVICE] = service;
+                                out[OUT_VERSION] = version;
+                                BAIL(decided);
+                            }
+                        }
+                    } else if (hybrid
+                               || ((vm_replica_mask[page] >> node) & 1) == 0) {
+                        /* adaptive MigRep policy — or a static one in
+                         * the hybrid with an adaptive R-NUMA evaluation
+                         * pending (a relocation would change its
+                         * answer): defer to the Python evaluation */
+                        eval_mask |= 2;
+                    }
+                }
+            }
+            if (reloc) {
+                /* fired static R-NUMA decision: the fill is complete,
+                 * the relocation itself runs in the RelocationEngine */
+                out[OUT_SERVICE] = service;
+                out[OUT_VERSION] = version;
+                BAIL(RC_BAIL_RELOCATE);
+            }
+            if (eval_mask) {
+                /* adaptive evaluation point: the fill is accounted;
+                 * Python evaluates the decisions named by the mask
+                 * (1 = R-NUMA, 2 = MigRep) */
+                out[OUT_SERVICE] = service;
+                out[OUT_VERSION] = version;
+                out[OUT_EVAL] = eval_mask;
+                BAIL(RC_BAIL_DECIDE);
             }
         }
 

@@ -68,8 +68,15 @@ _MAPPING_FAULT = FaultKind.MAPPING_FAULT
  CON_BC_CAP, CON_NUM_LINES, CON_MODE_REPLICA, CON_MODE_LOCAL_HOME,
  CON_DEP_EVICTED, CON_DEP_INVALIDATED, CON_SOFT_TRAP, CON_MSG_MAP_REQ,
  CON_MSG_MAP_REPLY, CON_SZ_MAP_PAIR, CON_MODE_CCNUMA_REMOTE,
- CON_FIRST_TOUCH) = range(44)
-CON_SIZE = 48
+ CON_FIRST_TOUCH, CON_HAS_RNUMA, CON_RN_STATIC, CON_RN_THRESHOLD,
+ CON_RN_DELAY, CON_HAS_PAGECACHE, CON_SCOMA_ALLOC, CON_HYBRID,
+ CON_MR_STATIC, CON_BC_PENALTY, CON_MR_HYST) = range(54)
+CON_SIZE = 56
+
+#: FCON — float64 run constants (the int64 ``con`` array cannot carry
+#: the hysteresis policy's fractional threshold and decay factor).
+(FCON_HY_THRESHOLD, FCON_HY_DECAY) = range(2)
+FCON_SIZE = 2
 
 #: PP — per-processor bookkeeping rows of the flat ``pp`` array
 #: (``pp[row * num_procs + p]``).
@@ -84,8 +91,10 @@ PP_ROWS = 17
 (NN_BUS_FREE, NN_BUS_TXN, NN_BUS_WAIT, NN_NIC_FREE, NN_NIC_MSGS,
  NN_NIC_BUSY, NN_NIC_WAIT, NN_NS_LOCAL, NN_NS_REMOTE, NN_NS_UPGRADES,
  NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_CAUSE1, NN_NS_CAUSE2, NN_BCS_HITS,
- NN_BCS_MISSES, NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT) = range(19)
-NN_ROWS = 19
+ NN_BCS_MISSES, NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT, NN_NS_PCHITS,
+ NN_PCS_HITS, NN_PCS_MISSES, NN_PCS_FILLS, NN_PCS_INVAL,
+ NN_RF_TOTAL) = range(25)
+NN_ROWS = 25
 
 #: MUT — mutable walk scalars surviving across bails within a phase.
 (MUT_K, MUT_BYTES, MUT_DIR_INV, MUT_DIR_WB, MUT_CTR_RESETS,
@@ -95,7 +104,7 @@ MUT_SIZE = 8
 #: OUT — the bail record the walk fills before returning.
 (OUT_KIND, OUT_P, OUT_I, OUT_BLOCK, OUT_PAGE, OUT_WRITE, OUT_START,
  OUT_WAIT, OUT_CLOCK, OUT_HOME, OUT_MODE, OUT_SERVICE,
- OUT_VERSION, OUT_FAULT) = range(14)
+ OUT_VERSION, OUT_FAULT, OUT_EVAL) = range(15)
 OUT_SIZE = 16
 
 #: Walk return codes.
@@ -104,6 +113,9 @@ RC_BAIL_FAULT = 1      #: mapping fault — execute via ``handle_miss``
 RC_BAIL_COLLAPSE = 2   #: write to a replicated page — via ``_service_remote_page``
 RC_BAIL_REPLICATE = 3  #: static MigRep decision: install a replica
 RC_BAIL_MIGRATE = 4    #: static MigRep decision: migrate the page
+RC_BAIL_RELOCATE = 5   #: static R-NUMA decision: relocate into the page cache
+RC_BAIL_DECIDE = 6     #: adaptive policy evaluation point (``OUT_EVAL`` mask)
+RC_BAIL_PAGECACHE = 7  #: S-COMA first-touch allocation — via ``_service_remote_page``
 
 
 def _i64(buf) -> np.ndarray:
@@ -114,6 +126,11 @@ def _i64(buf) -> np.ndarray:
 def _u8(buf) -> np.ndarray:
     """Writable uint8 view of a ``bytearray``-backed store (zero-copy)."""
     return np.frombuffer(buf, dtype=np.uint8)
+
+
+def _f64(buf) -> np.ndarray:
+    """Writable float64 view of a buffer-backed store (zero-copy)."""
+    return np.frombuffer(buf, dtype=np.float64)
 
 
 def schedule_arrays(phase, sched, geom_key):
@@ -218,13 +235,58 @@ class KernelState:
         # first-touch placement can run inside the walk; any configured
         # placement policy is Python code, so those faults bail instead
         con[CON_FIRST_TOUCH] = int(machine.vm._placement is None)
-        counters = getattr(protocol, "counters", None)
-        if counters is not None and hasattr(protocol, "_mr_static"):
+        # exact-type protocol dispatch (kernel_eligibility admitted the
+        # type, so this enumeration is exhaustive); the hybrid keeps its
+        # MigRep half under different attribute names than plain MigRep
+        from repro.core.decisions import HysteresisMigRepPolicy, MigRepPolicy
+        from repro.core.dram_cache import DRAMBlockCacheProtocol
+        from repro.core.migrep import MigRepProtocol
+        from repro.core.rnuma import RNUMAProtocol
+        from repro.core.rnuma_migrep import RNUMAMigRepProtocol
+        from repro.core.scoma import SCOMAProtocol
+        ptype = type(protocol)
+        counters = None
+        mr_policy = None
+        if ptype is MigRepProtocol:
+            counters = protocol.counters
+            mr_policy = protocol.policy
+        elif ptype is RNUMAMigRepProtocol:
+            counters = protocol.migrep_counters
+            mr_policy = protocol.migrep_policy
+            con[CON_HYBRID] = 1
+        self.fcon = np.zeros(FCON_SIZE, dtype=np.float64)
+        self.hy_policy = None
+        if counters is not None:
             con[CON_HAS_MIGREP] = 1
-            con[CON_MR_THRESHOLD] = protocol._mr_threshold
-            con[CON_MR_MIG] = int(protocol._mr_migration)
-            con[CON_MR_REP] = int(protocol._mr_replication)
             con[CON_MR_RESET] = counters.reset_interval
+            if type(mr_policy) is MigRepPolicy:
+                con[CON_MR_STATIC] = 1
+                con[CON_MR_THRESHOLD] = mr_policy.threshold
+                con[CON_MR_MIG] = int(mr_policy.enable_migration)
+                con[CON_MR_REP] = int(mr_policy.enable_replication)
+            elif type(mr_policy) is HysteresisMigRepPolicy:
+                # the hysteresis evaluation is pure arithmetic over the
+                # marshalled counter rows plus the policy's dense score
+                # table, so it runs inline; only fired decisions bail
+                con[CON_MR_HYST] = 1
+                con[CON_MR_MIG] = int(mr_policy.enable_migration)
+                con[CON_MR_REP] = int(mr_policy.enable_replication)
+                self.fcon[FCON_HY_THRESHOLD] = mr_policy.threshold
+                self.fcon[FCON_HY_DECAY] = mr_policy.decay
+                self.hy_policy = mr_policy
+        self.rnuma = protocol if isinstance(protocol, RNUMAProtocol) else None
+        if self.rnuma is not None:
+            # eligibility requires a page cache on every node here
+            con[CON_HAS_PAGECACHE] = 1
+            if ptype is SCOMAProtocol:
+                con[CON_SCOMA_ALLOC] = 1
+            else:
+                con[CON_HAS_RNUMA] = 1
+                con[CON_RN_STATIC] = int(protocol._rn_static)
+                con[CON_RN_THRESHOLD] = protocol._rn_threshold
+                con[CON_RN_DELAY] = protocol._rn_delay
+        elif ptype is DRAMBlockCacheProtocol:
+            con[CON_BC_PENALTY] = protocol.hit_penalty
         self.con = con
         self.counters = counters
 
@@ -270,6 +332,15 @@ class KernelState:
             pt.reserve(max_page + 1)
         if self.counters is not None:
             self.counters.reserve(max_page + 1)
+        if self.hy_policy is not None:
+            self.hy_policy.reserve(max_page + 1, num_nodes=self.num_nodes)
+        if self.rnuma is not None:
+            self.rnuma._reserve_totals(max_page + 1)
+            for rc in self.rnuma.refetch_counters:
+                rc.reserve(max_page + 1)
+            for pc in machine.page_caches:
+                if pc is not None:
+                    pc.reserve(max_page + 1)
         if len(self.place_log) < max_page + 1:
             self.place_log = np.empty(max_page + 1, dtype=np.int64)
 
@@ -313,6 +384,43 @@ class KernelState:
             e8 = np.empty(0, dtype=np.uint8)
             self.ctr_read = self.ctr_write = self.ctr_since = e64
             self.ctr_live_r = self.ctr_live_w = e8
+        if self.hy_policy is not None:
+            self.hy_scores = _f64(self.hy_policy._scores)
+            self.hy_seen = _i64(self.hy_policy._home_seen)
+        else:
+            # valid (never dereferenced) placeholders gated on CON_MR_HYST
+            self.hy_scores = np.empty(0, dtype=np.float64)
+            self.hy_seen = np.empty(0, dtype=np.int64)
+        if self.rnuma is not None:
+            proto = self.rnuma
+            pcs = machine.page_caches
+            self.rf_counts = [_i64(rc._counts)
+                              for rc in proto.refetch_counters]
+            self.pg_totals = _i64(proto._page_miss_totals)
+            self.pc_res = [_u8(pc._resident) for pc in pcs]
+            self.pc_version = [_i64(pc._version) for pc in pcs]
+            self.pc_dirty = [_u8(pc._dirty) for pc in pcs]
+            self.pc_stamp = [_i64(pc._stamp) for pc in pcs]
+            self.pc_clock = [_i64(pc._clock) for pc in pcs]
+            self.pc_nvalid = [_i64(pc._nvalid) for pc in pcs]
+            self.pc_ndirty = [_i64(pc._ndirty) for pc in pcs]
+            self.pc_fills = [_i64(pc._fills) for pc in pcs]
+        else:
+            # valid (never dereferenced) placeholders: the walk's page
+            # cache and R-NUMA accesses are gated on the CON flags
+            e64 = np.empty(0, dtype=np.int64)
+            e8 = np.empty(0, dtype=np.uint8)
+            N = self.num_nodes
+            self.rf_counts = [e64] * N
+            self.pg_totals = e64
+            self.pc_res = [e8] * N
+            self.pc_version = [e64] * N
+            self.pc_dirty = [e8] * N
+            self.pc_stamp = [e64] * N
+            self.pc_clock = [e64] * N
+            self.pc_nvalid = [e64] * N
+            self.pc_ndirty = [e64] * N
+            self.pc_fills = [e64] * N
         self.con[CON_DIR_CAP] = len(self.dir_sharers)
         self.con[CON_VM_LEN] = len(self.vm_home)
         self.con[CON_N_SCHED] = n_sched
@@ -333,6 +441,11 @@ class KernelState:
         self.bc_dirty = self.cb = self.cv = self.cd = self.status = None
         self.ctr_read = self.ctr_write = self.ctr_since = None
         self.ctr_live_r = self.ctr_live_w = None
+        self.hy_scores = self.hy_seen = None
+        self.rf_counts = self.pg_totals = None
+        self.pc_res = self.pc_version = self.pc_dirty = None
+        self.pc_stamp = self.pc_clock = self.pc_nvalid = None
+        self.pc_ndirty = self.pc_fills = None
         self._views_live = False
 
     # -- mirror synchronisation ---------------------------------------------
@@ -448,10 +561,23 @@ class KernelState:
                     log.counts.get(_MAPPING_FAULT, 0) + mf)
                 log.cycles[_MAPPING_FAULT] = (
                     log.cycles.get(_MAPPING_FAULT, 0) + mf * soft_trap)
+            if self.rnuma is not None:
+                ns.page_cache_hits += int(nn[NN_NS_PCHITS * N + n])
+                pc = machine.page_caches[n]
+                if pc is not None:
+                    pcs = pc.stats
+                    pcs.block_hits += int(nn[NN_PCS_HITS * N + n])
+                    pcs.block_misses += int(nn[NN_PCS_MISSES * N + n])
+                    pcs.block_fills += int(nn[NN_PCS_FILLS * N + n])
+                    pcs.block_invalidations += int(nn[NN_PCS_INVAL * N + n])
+                rc = self.rnuma.refetch_counters[n]
+                rc.total_recorded += int(nn[NN_RF_TOTAL * N + n])
             for row in (NN_NS_LOCAL, NN_NS_REMOTE, NN_NS_UPGRADES,
                         NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_CAUSE1,
                         NN_NS_CAUSE2, NN_BCS_HITS, NN_BCS_MISSES,
-                        NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT):
+                        NN_BCS_INVAL, NN_BCS_EVICT, NN_MAPFAULT,
+                        NN_NS_PCHITS, NN_PCS_HITS, NN_PCS_MISSES,
+                        NN_PCS_FILLS, NN_PCS_INVAL, NN_RF_TOTAL):
                 nn[row * N + n] = 0
         net_stats = machine.network.stats
         counts = net_stats._counts
@@ -487,6 +613,7 @@ class KernelState:
             pp[PP_QLEN * P + p] = len(self.q_idx[p])
 
 
-__all__ = [name for name in dir() if name.startswith(("CON_", "PP_", "NN_",
-                                                      "MUT_", "OUT_", "RC_"))]
+__all__ = [name for name in dir() if name.startswith(("CON_", "FCON_", "PP_",
+                                                      "NN_", "MUT_", "OUT_",
+                                                      "RC_"))]
 __all__ += ["KernelState", "schedule_arrays", "NO_INDEX"]

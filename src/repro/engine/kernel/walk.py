@@ -22,8 +22,10 @@ The same function body runs three ways:
 The walk returns ``RC_DONE`` when the phase's schedule and demoted
 queues are drained, or bails with an ``RC_BAIL_*`` code — filling the
 ``out`` record — whenever an access needs protocol machinery that only
-exists in Python: a mapping fault, a write to a replicated page, or a
-fired migration/replication decision.  All bookkeeping lives in the
+exists in Python: a mapping fault, a write to a replicated page, a
+fired migration/replication/relocation decision, an S-COMA first-touch
+allocation, or an adaptive-policy evaluation point.  All bookkeeping
+lives in the
 caller-owned arrays, so the caller can service the bail with ordinary
 protocol calls and re-enter; the walk resumes exactly where it left
 off.
@@ -32,43 +34,54 @@ off.
 from __future__ import annotations
 
 from repro.engine.kernel.state import (
-    CON_BC_CAP, CON_BPP, CON_BUS_ENABLED, CON_BUS_OCC, CON_COMPUTE,
+    CON_BC_CAP, CON_BC_PENALTY, CON_BPP, CON_BUS_ENABLED, CON_BUS_OCC,
+    CON_COMPUTE,
     CON_DEP_EVICTED, CON_DEP_INVALIDATED, CON_FAST_UNIT, CON_FIRST_TOUCH,
-    CON_HAS_MIGREP, CON_INVAL_COST, CON_L1_HIT, CON_LOCAL_MISS,
+    CON_HAS_MIGREP, CON_HAS_PAGECACHE, CON_HAS_RNUMA, CON_HYBRID,
+    CON_INVAL_COST, CON_L1_HIT, CON_LOCAL_MISS,
     CON_MODE_CCNUMA_REMOTE, CON_MODE_LOCAL_HOME,
-    CON_MODE_REPLICA, CON_MR_MIG, CON_MR_REP, CON_MR_RESET,
-    CON_MR_THRESHOLD, CON_MSG_ACK, CON_MSG_DATA, CON_MSG_INV,
+    CON_MODE_REPLICA, CON_MR_HYST, CON_MR_MIG, CON_MR_REP, CON_MR_RESET,
+    CON_MR_STATIC, CON_MR_THRESHOLD, CON_MSG_ACK, CON_MSG_DATA,
+    CON_MSG_INV,
     CON_MSG_MAP_REPLY, CON_MSG_MAP_REQ, CON_MSG_READ,
     CON_MSG_WB, CON_MSG_WRITE, CON_N_SCHED, CON_NET_ENABLED,
     CON_NET_LATENCY, CON_NIC_OCC, CON_NUM_LINES, CON_NUM_NODES,
-    CON_NUM_PROCS, CON_REMOTE_MISS, CON_SOFT_TRAP, CON_SZ_INV_PAIR,
+    CON_NUM_PROCS, CON_REMOTE_MISS, CON_RN_DELAY, CON_RN_STATIC,
+    CON_RN_THRESHOLD, CON_SCOMA_ALLOC, CON_SOFT_TRAP, CON_SZ_INV_PAIR,
     CON_SZ_MAP_PAIR, CON_SZ_READ_PAIR, CON_SZ_WB, CON_SZ_WRITE_PAIR,
+    FCON_HY_DECAY, FCON_HY_THRESHOLD,
     MUT_BYTES, MUT_CTR_RESETS, MUT_DIR_INV, MUT_DIR_WB, MUT_K,
     MUT_NPLACED, MUT_RESIDUAL,
     NN_BCS_EVICT, NN_BCS_HITS, NN_BCS_INVAL, NN_BCS_MISSES, NN_BUS_FREE,
     NN_BUS_TXN, NN_BUS_WAIT, NN_MAPFAULT, NN_NIC_BUSY, NN_NIC_FREE,
     NN_NIC_MSGS, NN_NIC_WAIT, NN_NS_BCHITS, NN_NS_CAUSE0, NN_NS_LOCAL,
-    NN_NS_REMOTE, NN_NS_UPGRADES,
-    OUT_BLOCK, OUT_CLOCK, OUT_FAULT, OUT_HOME, OUT_I, OUT_KIND, OUT_MODE,
+    NN_NS_PCHITS, NN_NS_REMOTE, NN_NS_UPGRADES,
+    NN_PCS_FILLS, NN_PCS_HITS, NN_PCS_INVAL, NN_PCS_MISSES, NN_RF_TOTAL,
+    OUT_BLOCK, OUT_CLOCK, OUT_EVAL, OUT_FAULT, OUT_HOME, OUT_I, OUT_KIND,
+    OUT_MODE,
     OUT_P, OUT_PAGE, OUT_SERVICE, OUT_START, OUT_VERSION, OUT_WAIT,
     OUT_WRITE,
     PP_ACC_CONT, PP_ACC_FAULT, PP_ACC_LOCAL, PP_ACC_REMOTE,
     PP_ACC_UPGRADE, PP_CLOCK,
     PP_EVICT, PP_FAST, PP_HITS, PP_INVAL, PP_MISS, PP_NODE, PP_PTR,
     PP_QCUR, PP_QLEN, PP_UPG,
-    RC_BAIL_COLLAPSE, RC_BAIL_FAULT, RC_BAIL_MIGRATE, RC_BAIL_REPLICATE,
+    RC_BAIL_COLLAPSE, RC_BAIL_DECIDE, RC_BAIL_FAULT, RC_BAIL_MIGRATE,
+    RC_BAIL_PAGECACHE, RC_BAIL_RELOCATE, RC_BAIL_REPLICATE,
     RC_DONE,
 )
 
 
-def kernel_walk(con, mut, pp, nn, msg_delta, out,
+def kernel_walk(con, fcon, mut, pp, nn, msg_delta, out,
                 dir_sharers, dir_owner, dir_versions, dir_tracked,
                 vm_home, vm_replicated, vm_replica_mask,
                 ctr_read, ctr_write, ctr_since, ctr_live_r, ctr_live_w,
+                hy_scores, hy_seen,
                 departed, pt_modes, pt_tracked, pt_faults,
                 bc_blocks, bc_versions, bc_dirty,
                 cb, cv, cd, status,
                 ent_i, ent_p, ent_probe, ent_blk, ent_wrt, ent_slot, keys,
+                rf_counts, pg_totals, pc_res, pc_version, pc_dirty,
+                pc_stamp, pc_clock, pc_nvalid, pc_ndirty, pc_fills,
                 place_log, q_idx, q_blk):
     """Walk the residual schedule until the phase drains or a bail fires.
 
@@ -116,6 +129,18 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
     map_reply_i = con[CON_MSG_MAP_REPLY]
     sz_map_pair = con[CON_SZ_MAP_PAIR]
     first_touch_ok = con[CON_FIRST_TOUCH]
+    has_rnuma = con[CON_HAS_RNUMA]
+    rn_static = con[CON_RN_STATIC]
+    rn_threshold = con[CON_RN_THRESHOLD]
+    rn_delay = con[CON_RN_DELAY]
+    has_pagecache = con[CON_HAS_PAGECACHE]
+    scoma_alloc = con[CON_SCOMA_ALLOC]
+    hybrid = con[CON_HYBRID]
+    mr_static = con[CON_MR_STATIC]
+    bc_penalty = con[CON_BC_PENALTY]
+    mr_hyst = con[CON_MR_HYST]
+    hy_threshold = fcon[FCON_HY_THRESHOLD]
+    hy_decay = fcon[FCON_HY_DECAY]
 
     k = mut[MUT_K]
 
@@ -439,12 +464,14 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
             if old >= 0 and old != block:
                 pp[PP_EVICT * P + p] += 1
                 cd_p[idx] = is_write
-                # inlined base note_l1_eviction
+                # inlined base note_l1_eviction (page-cache-resident
+                # victims are still locally backed: no departure)
                 if bc_blocks[node][old % bc_cap] != old:
                     vpage = old // bpp
-                    vh = vm_home[vpage]
-                    if vh >= 0 and vh != node:
-                        departed[node][old] = dep_evicted
+                    if has_pagecache == 0 or pc_res[node][vpage] == 0:
+                        vh = vm_home[vpage]
+                        if vh >= 0 and vh != node:
+                            departed[node][old] = dep_evicted
             else:
                 cd_p[idx] = is_write
             pp[PP_ACC_CONT * P + p] += wait
@@ -487,9 +514,10 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                     cd_p[idx] = is_write
                     if bc_blocks[node][old % bc_cap] != old:
                         vpage = old // bpp
-                        vh = vm_home[vpage]
-                        if vh >= 0 and vh != node:
-                            departed[node][old] = dep_evicted
+                        if has_pagecache == 0 or pc_res[node][vpage] == 0:
+                            vh = vm_home[vpage]
+                            if vh >= 0 and vh != node:
+                                departed[node][old] = dep_evicted
                 else:
                     cb_p[idx] = block
                     cv_p[idx] = version
@@ -499,6 +527,236 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                 pp[PP_ACC_FAULT * P + p] += fault
                 pp[PP_CLOCK * P + p] = clock + wait + service + fault
                 continue
+
+        # ---- page-cache probe lane ----
+        if has_pagecache != 0:
+            if pc_res[node][page] != 0:
+                # transcription of RNUMAProtocol._scoma_fetch on the flat
+                # page-cache arrays (block tags live at the global block
+                # index); residency itself only ever changes in Python
+                pc_clock[node][0] += 1
+                pc_stamp[node][page] = pc_clock[node][0]
+                version = dir_versions[block]
+                pcv_n = pc_version[node]
+                pcd_n = pc_dirty[node]
+                stored = pcv_n[block]
+                pc_hit = 0
+                if stored >= 0:
+                    if stored >= version:
+                        pc_hit = 1
+                    else:
+                        # stale block: invalidate and refetch below
+                        pcv_n[block] = -1
+                        pc_nvalid[node][page] -= 1
+                        if pcd_n[block] != 0:
+                            pcd_n[block] = 0
+                            pc_ndirty[node][page] -= 1
+                        nn[NN_PCS_INVAL * N + node] += 1
+                if pc_hit != 0:
+                    nn[NN_PCS_HITS * N + node] += 1
+                    nn[NN_NS_PCHITS * N + node] += 1
+                    remote = 0
+                    if is_write != 0:
+                        dir_tracked[block] = 1
+                        bit = 1 << node
+                        others = dir_sharers[block] & ~bit
+                        o = dir_owner[block]
+                        if o >= 0 and o != node:
+                            mut[MUT_DIR_WB] += 1
+                        dir_sharers[block] = bit
+                        dir_owner[block] = node
+                        version = dir_versions[block] + 1
+                        dir_versions[block] = version
+                        extra = 0
+                        if others != 0:
+                            invals = 0
+                            tmp = others
+                            while tmp != 0:
+                                tmp &= tmp - 1
+                                invals += 1
+                            mut[MUT_DIR_INV] += invals
+                            extra = invals * inval_cost
+                            msg_delta[inv_i] += invals
+                            msg_delta[ack_i] += invals
+                            mut[MUT_BYTES] += invals * sz_inv_pair
+                            nidx = 0
+                            while others != 0:
+                                if others & 1:
+                                    departed[nidx][block] = dep_invalidated
+                                others >>= 1
+                                nidx += 1
+                        # inlined PageCache.write_block (the tag is valid)
+                        if version > stored:
+                            pcv_n[block] = version
+                        if pcd_n[block] == 0:
+                            pcd_n[block] = 1
+                            pc_ndirty[node][page] += 1
+                        service = local_miss_cost + extra
+                    else:
+                        service = local_miss_cost
+                else:
+                    nn[NN_PCS_MISSES * N + node] += 1
+                    remote = 1
+                    # inlined _remote_fill: classification, traffic, NIC
+                    # contention and the directory side of the fill
+                    reason = departed[node][block]
+                    if reason != 0:
+                        departed[node][block] = 0
+                    nn[NN_NS_REMOTE * N + node] += 1
+                    nn[(NN_NS_CAUSE0 + reason) * N + node] += 1
+                    if is_write != 0:
+                        msg_delta[write_i] += 1
+                        msg_delta[data_i] += 1
+                        mut[MUT_BYTES] += sz_write_pair
+                    else:
+                        msg_delta[read_i] += 1
+                        msg_delta[data_i] += 1
+                        mut[MUT_BYTES] += sz_read_pair
+                    occ2 = nic_occ + nic_occ
+                    if net_enabled == 0:
+                        nn[NN_NIC_MSGS * N + node] += 2
+                        nn[NN_NIC_MSGS * N + home] += 2
+                        nn[NN_NIC_BUSY * N + node] += occ2
+                        nn[NN_NIC_BUSY * N + home] += occ2
+                        contention = 0
+                    else:
+                        free = nn[NN_NIC_FREE * N + node]
+                        s1 = start if start >= free else free
+                        w1 = s1 - start
+                        nn[NN_NIC_FREE * N + node] = s1 + nic_occ
+                        t = s1 + nic_occ + net_latency
+                        free = nn[NN_NIC_FREE * N + home]
+                        s2 = t if t >= free else free
+                        w2 = s2 - t
+                        nn[NN_NIC_FREE * N + home] = s2 + nic_occ
+                        t2 = s2 + nic_occ
+                        free = nn[NN_NIC_FREE * N + home]
+                        s3 = t2 if t2 >= free else free
+                        w3 = s3 - t2
+                        nn[NN_NIC_FREE * N + home] = s3 + nic_occ
+                        t3 = s3 + nic_occ + net_latency
+                        free = nn[NN_NIC_FREE * N + node]
+                        s4 = t3 if t3 >= free else free
+                        w4 = s4 - t3
+                        nn[NN_NIC_FREE * N + node] = s4 + nic_occ
+                        nn[NN_NIC_MSGS * N + node] += 2
+                        nn[NN_NIC_MSGS * N + home] += 2
+                        nn[NN_NIC_BUSY * N + node] += occ2
+                        nn[NN_NIC_BUSY * N + home] += occ2
+                        nn[NN_NIC_WAIT * N + node] += w1 + w4
+                        nn[NN_NIC_WAIT * N + home] += w2 + w3
+                        contention = w1 + w2 + w3 + w4
+                    if is_write != 0:
+                        dir_tracked[block] = 1
+                        bit = 1 << node
+                        others = dir_sharers[block] & ~bit
+                        o = dir_owner[block]
+                        if o >= 0 and o != node:
+                            mut[MUT_DIR_WB] += 1
+                        dir_sharers[block] = bit
+                        dir_owner[block] = node
+                        version = dir_versions[block] + 1
+                        dir_versions[block] = version
+                        extra = 0
+                        if others != 0:
+                            invals = 0
+                            tmp = others
+                            while tmp != 0:
+                                tmp &= tmp - 1
+                                invals += 1
+                            mut[MUT_DIR_INV] += invals
+                            extra = invals * inval_cost
+                            msg_delta[inv_i] += invals
+                            msg_delta[ack_i] += invals
+                            mut[MUT_BYTES] += invals * sz_inv_pair
+                            nidx = 0
+                            while others != 0:
+                                if others & 1:
+                                    departed[nidx][block] = dep_invalidated
+                                others >>= 1
+                                nidx += 1
+                    else:
+                        dir_tracked[block] = 1
+                        dir_sharers[block] |= 1 << node
+                        version = dir_versions[block]
+                        extra = 0
+                    service = remote_miss_cost + contention + extra
+                    # inlined PageCache.fill_block
+                    if pcv_n[block] < 0:
+                        pc_nvalid[node][page] += 1
+                    pcv_n[block] = version
+                    if is_write != 0 and pcd_n[block] == 0:
+                        pcd_n[block] = 1
+                        pc_ndirty[node][page] += 1
+                    pc_fills[node][page] += 1
+                    nn[NN_PCS_FILLS * N + node] += 1
+                    # requester-side R-NUMA miss total; the hybrid also
+                    # bumps the home-side MigRep counters (its policy
+                    # evaluation returns NONE for resident pages)
+                    pg_totals[page] += 1
+                    if has_migrep != 0:
+                        cbase = page * N
+                        if is_write != 0:
+                            ctr_live_w[page] = 1
+                            ctr_write[cbase + node] += 1
+                        else:
+                            ctr_live_r[page] = 1
+                            ctr_read[cbase + node] += 1
+                        total = ctr_since[page] + 1
+                        if total >= mr_reset:
+                            for nx in range(N):
+                                ctr_read[cbase + nx] = 0
+                                ctr_write[cbase + nx] = 0
+                            ctr_since[page] = 0
+                            ctr_live_r[page] = 0
+                            ctr_live_w[page] = 0
+                            mut[MUT_CTR_RESETS] += 1
+                        else:
+                            ctr_since[page] = total
+                # generic tail (page-cache lane copy)
+                old = cb_p[idx]
+                if old >= 0 and old != block:
+                    pp[PP_EVICT * P + p] += 1
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                    if bc_blocks[node][old % bc_cap] != old:
+                        vpage = old // bpp
+                        if has_pagecache == 0 or pc_res[node][vpage] == 0:
+                            vh = vm_home[vpage]
+                            if vh >= 0 and vh != node:
+                                departed[node][old] = dep_evicted
+                else:
+                    cb_p[idx] = block
+                    cv_p[idx] = version
+                    cd_p[idx] = is_write
+                pp[PP_ACC_CONT * P + p] += wait
+                if remote != 0:
+                    pp[PP_ACC_REMOTE * P + p] += service
+                else:
+                    pp[PP_ACC_LOCAL * P + p] += service
+                pp[PP_ACC_FAULT * P + p] += fault
+                pp[PP_CLOCK * P + p] = clock + wait + service + fault
+                continue
+            if scoma_alloc != 0:
+                # S-COMA allocates a local frame on the first remote
+                # miss; the allocation (victim flush, relocation engine)
+                # and the whole service live in Python — bail before any
+                # accounting so the driver can run _service_remote_page
+                mut[MUT_K] = k
+                out[OUT_KIND] = RC_BAIL_PAGECACHE
+                out[OUT_P] = p
+                out[OUT_I] = i
+                out[OUT_BLOCK] = block
+                out[OUT_PAGE] = page
+                out[OUT_WRITE] = is_write
+                out[OUT_START] = start
+                out[OUT_WAIT] = wait
+                out[OUT_CLOCK] = clock
+                out[OUT_HOME] = home
+                out[OUT_MODE] = mode_c
+                out[OUT_FAULT] = fault
+                return RC_BAIL_PAGECACHE
 
         # inlined CC-NUMA block-cache / remote-fetch lane
         version = dir_versions[block]
@@ -550,9 +808,9 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                 if version > bv[bidx]:
                     bv[bidx] = version
                 bd[bidx] = 1
-                service = local_miss_cost + extra
+                service = local_miss_cost + extra + bc_penalty
             else:
-                service = local_miss_cost
+                service = local_miss_cost + bc_penalty
         else:
             nn[NN_BCS_MISSES * N + node] += 1
             remote = 1
@@ -640,7 +898,7 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                 dir_sharers[block] |= 1 << node
                 version = dir_versions[block]
                 extra = 0
-            service = remote_miss_cost + contention + extra
+            service = remote_miss_cost + contention + extra + bc_penalty
             # inlined BlockCache.fill
             old = bb[bidx]
             old_dirty = bd[bidx]
@@ -661,8 +919,26 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                     if vh >= 0 and vh != node:
                         msg_delta[wb_i] += 1
                         mut[MUT_BYTES] += sz_wb
+            reloc = 0
+            eval_mask = 0
+            if has_rnuma != 0:
+                # requester-side R-NUMA accounting: the per-page miss
+                # total always, the refetch counter only when this fetch
+                # re-acquired a block lost to capacity replacement
+                pg_totals[page] += 1
+                if reason == dep_evicted:
+                    rfn = rf_counts[node]
+                    rfc = rfn[page] + 1
+                    rfn[page] = rfc
+                    nn[NN_RF_TOTAL * N + node] += 1
+                    if rn_static != 0:
+                        if ((rn_delay == 0 or pg_totals[page] >= rn_delay)
+                                and rfc > rn_threshold):
+                            reloc = 1
+                    else:
+                        eval_mask = 1
             if has_migrep != 0:
-                # home-side counter bump + static decision (remote only)
+                # home-side counter bump + policy decision (remote only)
                 cbase = page * N
                 if is_write != 0:
                     ctr_live_w[page] = 1
@@ -681,39 +957,141 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
                     mut[MUT_CTR_RESETS] += 1
                 else:
                     ctr_since[page] = total
-                if (vm_replica_mask[page] >> node) & 1 == 0:
-                    decided = 0
-                    if mr_replication != 0:
-                        remote_writes = -ctr_write[cbase + home]
-                        for nx in range(N):
-                            remote_writes += ctr_write[cbase + nx]
-                        if (remote_writes == 0
-                                and ctr_read[cbase + node] > mr_threshold):
-                            decided = RC_BAIL_REPLICATE
-                    if decided == 0 and mr_migration != 0:
-                        req_m = ctr_read[cbase + node] + ctr_write[cbase + node]
-                        home_m = ctr_read[cbase + home] + ctr_write[cbase + home]
-                        if req_m - home_m > mr_threshold:
-                            decided = RC_BAIL_MIGRATE
-                    if decided != 0:
-                        # the fill is complete; only the page operation
-                        # itself needs the Python MigrationEngine
-                        mut[MUT_K] = k
-                        out[OUT_KIND] = decided
-                        out[OUT_P] = p
-                        out[OUT_I] = i
-                        out[OUT_BLOCK] = block
-                        out[OUT_PAGE] = page
-                        out[OUT_WRITE] = is_write
-                        out[OUT_START] = start
-                        out[OUT_WAIT] = wait
-                        out[OUT_CLOCK] = clock
-                        out[OUT_HOME] = home
-                        out[OUT_MODE] = mode_c
-                        out[OUT_SERVICE] = service
-                        out[OUT_VERSION] = version
-                        out[OUT_FAULT] = fault
-                        return decided
+                if reloc == 0:
+                    if mr_static != 0 and eval_mask == 0:
+                        if (vm_replica_mask[page] >> node) & 1 == 0:
+                            decided = 0
+                            if mr_replication != 0:
+                                remote_writes = -ctr_write[cbase + home]
+                                for nx in range(N):
+                                    remote_writes += ctr_write[cbase + nx]
+                                if (remote_writes == 0
+                                        and ctr_read[cbase + node] > mr_threshold):
+                                    decided = RC_BAIL_REPLICATE
+                            if decided == 0 and mr_migration != 0:
+                                req_m = ctr_read[cbase + node] + ctr_write[cbase + node]
+                                home_m = ctr_read[cbase + home] + ctr_write[cbase + home]
+                                if req_m - home_m > mr_threshold:
+                                    decided = RC_BAIL_MIGRATE
+                            if decided != 0:
+                                # the fill is complete; only the page
+                                # operation needs the MigrationEngine
+                                mut[MUT_K] = k
+                                out[OUT_KIND] = decided
+                                out[OUT_P] = p
+                                out[OUT_I] = i
+                                out[OUT_BLOCK] = block
+                                out[OUT_PAGE] = page
+                                out[OUT_WRITE] = is_write
+                                out[OUT_START] = start
+                                out[OUT_WAIT] = wait
+                                out[OUT_CLOCK] = clock
+                                out[OUT_HOME] = home
+                                out[OUT_MODE] = mode_c
+                                out[OUT_SERVICE] = service
+                                out[OUT_VERSION] = version
+                                out[OUT_FAULT] = fault
+                                return decided
+                    elif mr_hyst != 0 and eval_mask == 0:
+                        # inlined HysteresisMigRepPolicy.evaluate on the
+                        # shared dense score rows (requester != home on
+                        # this path; zero rows read identically to rows
+                        # the Python side has never touched)
+                        if (vm_replica_mask[page] >> node) & 1 == 0:
+                            for nx in range(N):
+                                hy_scores[cbase + nx] *= hy_decay
+                            hy_scores[cbase + node] += 1.0
+                            home_total = (ctr_read[cbase + home]
+                                          + ctr_write[cbase + home])
+                            hdelta = home_total - hy_seen[page]
+                            if hdelta != 0:
+                                if hdelta < 0:
+                                    hy_scores[cbase + home] += home_total
+                                else:
+                                    hy_scores[cbase + home] += hdelta
+                                hy_seen[page] = home_total
+                            decided = 0
+                            if mr_replication != 0:
+                                remote_writes = -ctr_write[cbase + home]
+                                for nx in range(N):
+                                    remote_writes += ctr_write[cbase + nx]
+                                if (remote_writes == 0
+                                        and hy_scores[cbase + node] > hy_threshold):
+                                    decided = RC_BAIL_REPLICATE
+                            if decided == 0 and mr_migration != 0:
+                                if (hy_scores[cbase + node]
+                                        - hy_scores[cbase + home] > hy_threshold):
+                                    decided = RC_BAIL_MIGRATE
+                            if decided != 0:
+                                # the policy forgets the page before the
+                                # fired decision runs (MigrationEngine
+                                # services the bail)
+                                for nx in range(N):
+                                    hy_scores[cbase + nx] = 0.0
+                                hy_seen[page] = 0
+                                mut[MUT_K] = k
+                                out[OUT_KIND] = decided
+                                out[OUT_P] = p
+                                out[OUT_I] = i
+                                out[OUT_BLOCK] = block
+                                out[OUT_PAGE] = page
+                                out[OUT_WRITE] = is_write
+                                out[OUT_START] = start
+                                out[OUT_WAIT] = wait
+                                out[OUT_CLOCK] = clock
+                                out[OUT_HOME] = home
+                                out[OUT_MODE] = mode_c
+                                out[OUT_SERVICE] = service
+                                out[OUT_VERSION] = version
+                                out[OUT_FAULT] = fault
+                                return decided
+                    elif (hybrid != 0
+                          or (vm_replica_mask[page] >> node) & 1 == 0):
+                        # adaptive MigRep policy — or a static one in the
+                        # hybrid with an adaptive R-NUMA evaluation
+                        # pending (a relocation would change its answer):
+                        # defer to the Python evaluation point
+                        eval_mask |= 2
+            if reloc != 0:
+                # fired static R-NUMA decision: the fill is complete,
+                # the relocation itself runs in the RelocationEngine
+                mut[MUT_K] = k
+                out[OUT_KIND] = RC_BAIL_RELOCATE
+                out[OUT_P] = p
+                out[OUT_I] = i
+                out[OUT_BLOCK] = block
+                out[OUT_PAGE] = page
+                out[OUT_WRITE] = is_write
+                out[OUT_START] = start
+                out[OUT_WAIT] = wait
+                out[OUT_CLOCK] = clock
+                out[OUT_HOME] = home
+                out[OUT_MODE] = mode_c
+                out[OUT_SERVICE] = service
+                out[OUT_VERSION] = version
+                out[OUT_FAULT] = fault
+                return RC_BAIL_RELOCATE
+            if eval_mask != 0:
+                # adaptive policy evaluation point: the fill is already
+                # accounted; Python evaluates (and maybe performs) the
+                # decisions named by the mask (1 = R-NUMA, 2 = MigRep)
+                mut[MUT_K] = k
+                out[OUT_KIND] = RC_BAIL_DECIDE
+                out[OUT_P] = p
+                out[OUT_I] = i
+                out[OUT_BLOCK] = block
+                out[OUT_PAGE] = page
+                out[OUT_WRITE] = is_write
+                out[OUT_START] = start
+                out[OUT_WAIT] = wait
+                out[OUT_CLOCK] = clock
+                out[OUT_HOME] = home
+                out[OUT_MODE] = mode_c
+                out[OUT_SERVICE] = service
+                out[OUT_VERSION] = version
+                out[OUT_FAULT] = fault
+                out[OUT_EVAL] = eval_mask
+                return RC_BAIL_DECIDE
 
         # generic tail: L1 fill + eviction notification
         old = cb_p[idx]
@@ -724,9 +1102,10 @@ def kernel_walk(con, mut, pp, nn, msg_delta, out,
             cd_p[idx] = is_write
             if bc_blocks[node][old % bc_cap] != old:
                 vpage = old // bpp
-                vh = vm_home[vpage]
-                if vh >= 0 and vh != node:
-                    departed[node][old] = dep_evicted
+                if has_pagecache == 0 or pc_res[node][vpage] == 0:
+                    vh = vm_home[vpage]
+                    if vh >= 0 and vh != node:
+                        departed[node][old] = dep_evicted
         else:
             cb_p[idx] = block
             cv_p[idx] = version

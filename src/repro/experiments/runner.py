@@ -89,6 +89,7 @@ from repro.cluster.machine import Machine
 from repro.config import SimulationConfig, base_config
 from repro.core.factory import SystemSpec, build_system
 from repro.engine import default_engine
+from repro.engine.kernel import BAIL_KIND_NAMES
 from repro.experiments import faults as _faults
 from repro.experiments.store import ResultStore
 from repro.stats.counters import MachineStats
@@ -672,13 +673,21 @@ class RunnerStats:
     inflight_joins: int = 0  # submissions joined to an identical in-flight
     #                          run (set by the sweep service's deduper)
     shm_errors: int = 0     # shared-memory publish/cleanup failures
+    #: kernel bail counts by kind, summed over executed runs — always
+    #: carries the full stable key set, even when every count is zero
+    bail_kinds: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in BAIL_KIND_NAMES})
     #: the recorded shm failure messages (capped; not part of as_dict)
     shm_error_messages: List[str] = field(default_factory=list)
 
     _SHM_ERROR_CAP = 16
 
-    def as_dict(self) -> Dict[str, int]:
-        """Plain dictionary of the counters (JSON export)."""
+    def as_dict(self) -> Dict[str, object]:
+        """Plain dictionary of the counters (JSON export).
+
+        All values are ints except ``bail_kinds``, a stable
+        ``{kind: count}`` dict keyed by :data:`BAIL_KIND_NAMES`.
+        """
         return {
             "runs": self.runs,
             "memo_hits": self.memo_hits,
@@ -703,6 +712,8 @@ class RunnerStats:
             "store_misses": self.store_misses,
             "inflight_joins": self.inflight_joins,
             "shm_errors": self.shm_errors,
+            "bail_kinds": {name: self.bail_kinds.get(name, 0)
+                           for name in BAIL_KIND_NAMES},
         }
 
     def note_profile(self, profile) -> None:
@@ -711,6 +722,11 @@ class RunnerStats:
             return
         if profile.get("engine") == "kernel":
             self.kernel_runs += 1
+            kinds = profile.get("bail_kinds")
+            if isinstance(kinds, dict):
+                for kind, count in kinds.items():
+                    self.bail_kinds[kind] = (
+                        self.bail_kinds.get(kind, 0) + int(count))
         elif profile.get("requested_engine") == "kernel":
             self.kernel_fallbacks += 1
         self.bytes_streamed += int(profile.get("bytes_streamed") or 0)

@@ -667,7 +667,16 @@ def run_scenario(scenario: Union[str, Scenario], *,
         results = runner.map_runs([
             (trace_for(app, key, sc, sd), system, cfgs[(key, sd)])
             for app, system, key, sc, sd in cells])
-        runner_stats = {k: v - stats_before.get(k, 0)
+
+        def _delta(after, before):
+            # bail_kinds is a nested {kind: count} dict; everything
+            # else is a plain integer counter
+            if isinstance(after, dict):
+                prior = before if isinstance(before, dict) else {}
+                return {k: v - prior.get(k, 0) for k, v in after.items()}
+            return after - (before or 0)
+
+        runner_stats = {k: _delta(v, stats_before.get(k))
                         for k, v in runner.stats.as_dict().items()}
     finally:
         if owned:

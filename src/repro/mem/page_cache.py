@@ -13,17 +13,28 @@ The model tracks, per cached page:
 * which of the page's blocks currently hold valid data (the fine-grain
   tags) and which of those are dirty,
 * the block versions at fill time so remote writes invalidate lazily, and
-* an LRU position used to choose the victim page when the cache is full.
+* an LRU stamp used to choose the victim page when the cache is full.
 
 A relocation installs the page with *no* valid blocks: the paper is
 explicit that a relocated page's blocks are refetched on demand, which is
 exactly why applications with little page reuse (cholesky, radix) pay a
 relocation penalty.
+
+State lives in flat ``array``/``bytearray`` buffers indexed by page id
+(residency, LRU stamps, per-page block counts) and by global block id
+(``page * blocks_per_page + offset`` — fill version, or ``-1`` when the
+tag is invalid, plus a dirty flag) so the compiled kernel walk can mutate
+a page cache through zero-copy ``np.frombuffer`` views.  LRU order is a
+monotonic clock: every allocation or touch stamps the page with
+``_clock[0] += 1``, and the victim is the resident page with the smallest
+stamp — the same order the previous ``OrderedDict`` implementation
+produced, but observable (and advanceable) from flat arrays.  Residency
+itself only changes in Python (allocate/evict), never inside the kernel.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
@@ -47,7 +58,7 @@ class PageCacheStats:
 
 @dataclass(slots=True)
 class _CachedPage:
-    """Bookkeeping for one page resident in the S-COMA page cache."""
+    """Snapshot of one page's bookkeeping (returned by :meth:`PageCache.evict`)."""
 
     page: int
     valid: Dict[int, int] = field(default_factory=dict)   # block offset -> version
@@ -71,7 +82,9 @@ class PageCache:
         Blocks per page (used for bounds checking and flush accounting).
     """
 
-    __slots__ = ("capacity_pages", "blocks_per_page", "_pages", "stats")
+    __slots__ = ("capacity_pages", "blocks_per_page", "stats",
+                 "_resident", "_stamp", "_nvalid", "_ndirty", "_fills",
+                 "_version", "_dirty", "_clock", "_resident_set")
 
     def __init__(self, capacity_pages: Optional[int], blocks_per_page: int) -> None:
         if capacity_pages is not None and capacity_pages <= 0:
@@ -80,8 +93,40 @@ class PageCache:
             raise ValueError("blocks_per_page must be positive")
         self.capacity_pages = capacity_pages
         self.blocks_per_page = blocks_per_page
-        self._pages: "OrderedDict[int, _CachedPage]" = OrderedDict()
         self.stats = PageCacheStats()
+        self._resident = bytearray()          # page -> 0/1
+        self._stamp = array("q")              # page -> LRU clock stamp
+        self._nvalid = array("q")             # page -> valid-block count
+        self._ndirty = array("q")             # page -> dirty-block count
+        self._fills = array("q")              # page -> lifetime fills
+        self._version = array("q")            # global block -> version, -1 invalid
+        self._dirty = bytearray()             # global block -> 0/1
+        self._clock = array("q", [0])         # monotonic LRU clock (length 1)
+        self._resident_set: set[int] = set()
+
+    # -- storage ------------------------------------------------------------------
+
+    def reserve(self, n_pages: int) -> None:
+        """Grow the flat stores (in place) to cover pages ``0..n_pages-1``.
+
+        Growth must happen before the kernel takes ``np.frombuffer`` views:
+        while a view is exported the buffers are locked against resizing.
+        """
+        have = len(self._stamp)
+        if n_pages > have:
+            grow = max(n_pages, 2 * have, 64) - have
+            self._resident.extend(bytes(grow))
+            zeros = array("q", bytes(8 * grow))
+            self._stamp.extend(zeros)
+            self._nvalid.extend(zeros)
+            self._ndirty.extend(zeros)
+            self._fills.extend(zeros)
+        n_blocks = len(self._stamp) * self.blocks_per_page
+        have_b = len(self._version)
+        if n_blocks > have_b:
+            grow = n_blocks - have_b
+            self._version.extend(array("q", (-1,)) * grow)
+            self._dirty.extend(bytes(grow))
 
     # -- frame management --------------------------------------------------------
 
@@ -94,21 +139,23 @@ class PageCache:
         """True when a new allocation would require evicting a victim page."""
         if self.capacity_pages is None:
             return False
-        return len(self._pages) >= self.capacity_pages
+        return len(self._resident_set) >= self.capacity_pages
 
     def contains(self, page: int) -> bool:
         """True if ``page`` currently occupies a frame."""
-        return page in self._pages
+        res = self._resident
+        return page < len(res) and res[page] != 0
 
     def occupancy(self) -> int:
         """Number of occupied page frames."""
-        return len(self._pages)
+        return len(self._resident_set)
 
     def choose_victim(self) -> Optional[int]:
         """Page id of the least-recently-used resident page, or None if empty."""
-        if not self._pages:
+        if not self._resident_set:
             return None
-        return next(iter(self._pages))
+        stamp = self._stamp
+        return min(self._resident_set, key=lambda p: stamp[p])
 
     def allocate(self, page: int) -> "_CachedPage":
         """Allocate a frame for ``page`` (which must not already be resident).
@@ -118,25 +165,45 @@ class PageCache:
         the victim's dirty blocks before the eviction happens, so eviction
         is an explicit separate step (:meth:`evict`).
         """
-        if page in self._pages:
+        if self.contains(page):
             raise ValueError(f"page {page} is already resident in the page cache")
         if self.is_full():
             raise RuntimeError("page cache is full; evict a victim first")
-        entry = _CachedPage(page=page)
-        self._pages[page] = entry
+        self.reserve(page + 1)
+        self._resident[page] = 1
+        self._resident_set.add(page)
+        self._clock[0] += 1
+        self._stamp[page] = self._clock[0]
         self.stats.allocations += 1
-        return entry
+        return _CachedPage(page=page)
 
     def evict(self, page: int) -> "_CachedPage":
-        """Remove ``page`` and return its bookkeeping (for flush accounting)."""
-        entry = self._pages.pop(page, None)
-        if entry is None:
+        """Remove ``page`` and return a snapshot of its bookkeeping."""
+        if not self.contains(page):
             raise KeyError(f"page {page} is not resident in the page cache")
+        snapshot = _CachedPage(page=page, fills=self._fills[page])
+        version, dirty = self._version, self._dirty
+        base = page * self.blocks_per_page
+        for offset in range(self.blocks_per_page):
+            b = base + offset
+            if version[b] >= 0:
+                snapshot.valid[offset] = version[b]
+                if dirty[b]:
+                    snapshot.dirty.add(offset)
+                version[b] = -1
+                dirty[b] = 0
+        self._resident[page] = 0
+        self._resident_set.discard(page)
+        self._stamp[page] = 0
+        self._nvalid[page] = 0
+        self._ndirty[page] = 0
+        self._fills[page] = 0
         self.stats.evictions += 1
-        return entry
+        return snapshot
 
     def _touch(self, page: int) -> None:
-        self._pages.move_to_end(page)
+        self._clock[0] += 1
+        self._stamp[page] = self._clock[0]
 
     # -- block-level operations ----------------------------------------------------
 
@@ -148,17 +215,20 @@ class PageCache:
         on a resident page is a miss that the protocol turns into a remote
         fetch followed by :meth:`fill_block`.
         """
-        entry = self._pages.get(page)
-        if entry is None:
+        if not self.contains(page):
             raise KeyError(f"page {page} is not resident in the page cache")
         self._touch(page)
-        stored = entry.valid.get(offset)
-        if stored is not None:
+        b = page * self.blocks_per_page + offset
+        stored = self._version[b]
+        if stored >= 0:
             if stored >= version:
                 self.stats.block_hits += 1
                 return True
-            del entry.valid[offset]
-            entry.dirty.discard(offset)
+            self._version[b] = -1
+            self._nvalid[page] -= 1
+            if self._dirty[b]:
+                self._dirty[b] = 0
+                self._ndirty[page] -= 1
             self.stats.block_invalidations += 1
         self.stats.block_misses += 1
         return False
@@ -167,32 +237,41 @@ class PageCache:
         """Install block ``offset`` of resident page ``page``."""
         if not 0 <= offset < self.blocks_per_page:
             raise ValueError(f"block offset {offset} out of range")
-        entry = self._pages.get(page)
-        if entry is None:
+        if not self.contains(page):
             raise KeyError(f"page {page} is not resident in the page cache")
-        entry.valid[offset] = version
-        if dirty:
-            entry.dirty.add(offset)
-        entry.fills += 1
+        b = page * self.blocks_per_page + offset
+        if self._version[b] < 0:
+            self._nvalid[page] += 1
+        self._version[b] = version
+        if dirty and not self._dirty[b]:
+            self._dirty[b] = 1
+            self._ndirty[page] += 1
+        self._fills[page] += 1
         self.stats.block_fills += 1
 
     def write_block(self, page: int, offset: int, version: int) -> None:
         """Record a write to a valid block (marks it dirty, bumps version)."""
-        entry = self._pages.get(page)
-        if entry is None:
+        if not self.contains(page):
             raise KeyError(f"page {page} is not resident in the page cache")
-        if offset in entry.valid:
-            entry.valid[offset] = max(entry.valid[offset], version)
-            entry.dirty.add(offset)
+        b = page * self.blocks_per_page + offset
+        stored = self._version[b]
+        if stored >= 0:
+            self._version[b] = max(stored, version)
+            if not self._dirty[b]:
+                self._dirty[b] = 1
+                self._ndirty[page] += 1
 
     def invalidate_block(self, page: int, offset: int) -> bool:
         """Invalidate one block of a resident page (remote write)."""
-        entry = self._pages.get(page)
-        if entry is None:
+        if not self.contains(page):
             return False
-        if offset in entry.valid:
-            del entry.valid[offset]
-            entry.dirty.discard(offset)
+        b = page * self.blocks_per_page + offset
+        if self._version[b] >= 0:
+            self._version[b] = -1
+            self._nvalid[page] -= 1
+            if self._dirty[b]:
+                self._dirty[b] = 0
+                self._ndirty[page] -= 1
             self.stats.block_invalidations += 1
             return True
         return False
@@ -201,18 +280,27 @@ class PageCache:
 
     def valid_blocks(self, page: int) -> int:
         """Number of valid blocks held for ``page`` (0 if not resident)."""
-        entry = self._pages.get(page)
-        return entry.valid_blocks() if entry is not None else 0
+        return self._nvalid[page] if self.contains(page) else 0
 
     def dirty_blocks(self, page: int) -> int:
         """Number of dirty blocks held for ``page`` (0 if not resident)."""
-        entry = self._pages.get(page)
-        return len(entry.dirty) if entry is not None else 0
+        return self._ndirty[page] if self.contains(page) else 0
 
     def resident_pages(self) -> Iterator[int]:
         """Iterate over resident page ids in LRU order (oldest first)."""
-        return iter(self._pages.keys())
+        stamp = self._stamp
+        return iter(sorted(self._resident_set, key=lambda p: stamp[p]))
 
     def clear(self) -> None:
         """Drop all pages (statistics preserved)."""
-        self._pages.clear()
+        for page in list(self._resident_set):
+            base = page * self.blocks_per_page
+            for b in range(base, base + self.blocks_per_page):
+                self._version[b] = -1
+                self._dirty[b] = 0
+            self._resident[page] = 0
+            self._stamp[page] = 0
+            self._nvalid[page] = 0
+            self._ndirty[page] = 0
+            self._fills[page] = 0
+        self._resident_set.clear()

@@ -156,6 +156,28 @@ class TestExpCommand:
         systems = {r["system"] for r in data["rows"]}
         assert "rnuma" in systems and "perfect" in systems
 
+    def test_exp_profile_surfaces_bail_kinds_and_reasons(self, capsys,
+                                                         monkeypatch):
+        """--profile prints the stable bail-kind counters and the full
+        (possibly multi-condition) fallback reason per ineligible run."""
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        code = main(["exp", "figure5", "--apps", "lu", "--scale", "0.03",
+                     "--systems", "rnuma,scoma", "--engine", "kernel",
+                     "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        bails_line = next(l for l in out.splitlines()
+                          if l.startswith("bails:"))
+        for kind in ("fault", "collapse", "replicate", "migrate",
+                     "relocate", "decide", "pagecache"):
+            assert f"{kind}=" in bails_line
+        # rnuma and scoma ride the kernel; only the perfect baseline
+        # falls back, with its reason spelled out
+        assert "kernel fallbacks:" in out
+        assert "lu/perfect: infinite block cache" in out
+        assert "lu/rnuma:" not in out
+        assert "lu/scoma:" not in out
+
     def test_exp_axis_overrides_and_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "exp.csv"
         code = main(["exp", "figure5", "--apps", "lu", "--systems",

@@ -426,29 +426,67 @@ class TestKernelEngine:
         assert prof["requested_engine"] == "kernel"
         assert "turbo" in prof["fallback_reason"]
 
-    def test_page_cache_system_falls_back(self, small_config, small_machine,
-                                          monkeypatch):
+    def test_infinite_block_cache_falls_back(self, small_config,
+                                             small_machine, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
         trace = self._trace(small_machine)
-        machine = Machine(small_config, build_system("rnuma"))
+        machine = Machine(small_config, build_system("perfect"))
         stats = machine.run(trace, engine="kernel")
         prof = stats.engine_profile
         assert prof["engine"] == "batched"
         assert prof["requested_engine"] == "kernel"
-        assert "page cache" in prof["fallback_reason"]
+        assert "infinite block cache" in prof["fallback_reason"]
 
-    def test_adaptive_policy_falls_back(self, small_config, small_machine,
-                                        monkeypatch):
+    def test_page_cache_system_runs_on_kernel(self, small_config,
+                                              small_machine, monkeypatch):
+        """rnuma no longer trips a blanket page-cache disqualifier: it
+        runs compiled, bit-identical to batched."""
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        trace = self._trace(small_machine)
+        ref_machine = Machine(small_config, build_system("rnuma"))
+        ref = fingerprint(ref_machine,
+                          ref_machine.run(trace, engine="batched"))
+        machine = Machine(small_config, build_system("rnuma"))
+        stats = machine.run(trace, engine="kernel")
+        prof = stats.engine_profile
+        assert prof["engine"] == "kernel"
+        assert fingerprint(machine, stats) == ref
+
+    def test_adaptive_policy_runs_on_kernel(self, small_config,
+                                            small_machine, monkeypatch):
+        """Adaptive policies ride the compiled walk via decide bails."""
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
         trace = self._trace(small_machine)
         spec = build_system("migrep").derive("migrep-competitive",
                                              migrep_policy="competitive")
+        ref_machine = Machine(small_config, spec)
+        ref = fingerprint(ref_machine,
+                          ref_machine.run(trace, engine="batched"))
         machine = Machine(small_config, spec)
         stats = machine.run(trace, engine="kernel")
         prof = stats.engine_profile
-        assert prof["engine"] == "batched"
-        assert prof["requested_engine"] == "kernel"
-        assert "competitive" in prof["fallback_reason"]
+        assert prof["engine"] == "kernel"
+        assert fingerprint(machine, stats) == ref
+
+    def test_eligibility_reports_all_reasons(self, small_config,
+                                             small_machine):
+        """Every failing condition is reported, not just the first."""
+        from repro.core.ccnuma import CCNUMAProtocol
+        from repro.engine.kernel import kernel_eligibility
+
+        trace = self._trace(small_machine)
+
+        class TweakedCCNUMA(CCNUMAProtocol):
+            def handle_miss(self, *args):  # pragma: no cover - never run
+                return super().handle_miss(*args)
+
+        machine = Machine(small_config, build_system("perfect"))
+        machine.protocol.__class__ = TweakedCCNUMA
+        reason = kernel_eligibility(machine, trace)
+        assert "infinite block cache" in reason
+        assert "overrides base machinery" in reason
+        assert "unsupported protocol TweakedCCNUMA" in reason
+        assert reason.count(";") >= 2
 
     def test_backend_crash_falls_back_bit_identical(
             self, small_config, small_machine, monkeypatch):

@@ -1,0 +1,214 @@
+"""Kernel lane equivalence: R-NUMA, page-cache probe and decision bails.
+
+The full-family kernel runs every stock system compiled.  These tests
+pin each new lane against the batched engine bit-for-bit, per backend,
+under configurations harsh enough to actually fire the lane: tiny block
+caches so capacity refetches drive relocation storms, tiny page caches
+so S-COMA replaces pages constantly, and low thresholds so both static
+and adaptive decisions trigger.  Hypothesis then hunts for orderings
+the hand-written traces miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.machine import Machine
+from repro.config import (
+    CostModel,
+    MachineConfig,
+    SimulationConfig,
+    ThresholdConfig,
+)
+from repro.core.factory import SYSTEM_NAMES, build_system
+from repro.workloads.spec import SharingPattern
+from repro.workloads.trace import PhaseTrace, Trace
+
+from helpers import make_simple_spec, make_trace
+from test_engine_equivalence import fingerprint
+
+BACKENDS = ["interp", "c", "numba"]
+
+#: adaptive / mixed-policy variants layered over the stock systems
+POLICY_VARIANTS = {
+    "migrep-competitive": ("migrep", {"migrep_policy": "competitive"}),
+    "migrep-hysteresis": ("migrep", {"migrep_policy": "hysteresis"}),
+    "rnuma-hysteresis": ("rnuma", {"rnuma_policy": "hysteresis"}),
+    "rnuma-competitive": ("rnuma", {"rnuma_policy": "competitive"}),
+    "hybrid-hysteresis": ("rnuma-migrep", {"migrep_policy": "hysteresis",
+                                           "rnuma_policy": "hysteresis"}),
+    "hybrid-mixed": ("rnuma-migrep", {"rnuma_policy": "competitive"}),
+}
+
+
+def _require_backend(backend: str) -> None:
+    if backend == "c":
+        from repro.engine.kernel.cbuild import load_cwalk
+        if load_cwalk() is None:
+            pytest.skip("no working C toolchain")
+    elif backend == "numba":
+        from repro.engine.kernel.walk import get_njit_walk
+        if get_njit_walk() is None:
+            pytest.skip("numba not installed")
+
+
+def _harsh_config() -> SimulationConfig:
+    """Small caches + low thresholds: every lane fires constantly."""
+    return SimulationConfig(
+        machine=MachineConfig(num_nodes=4, procs_per_node=2, block_size=64,
+                              page_size=512, l1_size=512, l1_assoc=1,
+                              block_cache_size=1024,
+                              page_cache_size=4 * 512),
+        costs=CostModel(),
+        thresholds=ThresholdConfig(migrep_threshold=3,
+                                   migrep_reset_interval=600,
+                                   rnuma_threshold=2,
+                                   hybrid_relocation_delay=2, scale=1.0),
+        seed=1)
+
+
+def _harsh_trace(cfg: SimulationConfig):
+    spec = make_simple_spec(pattern=SharingPattern.MIGRATORY, pages=48,
+                            accesses=1500, write_fraction=0.35, shift=1,
+                            phases=3, touches_per_page=4)
+    return make_trace(spec, cfg.machine, seed=23)
+
+
+def _spec_for(name: str):
+    if name in POLICY_VARIANTS:
+        base, kwargs = POLICY_VARIANTS[name]
+        return build_system(base).derive(name, **kwargs)
+    return build_system(name)
+
+
+def _assert_kernel_matches_batched(cfg, spec, trace, backend, monkeypatch,
+                                   expect_bails=()):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+    ref_machine = Machine(cfg, spec)
+    ref = fingerprint(ref_machine, ref_machine.run(trace, engine="batched"))
+    machine = Machine(cfg, spec)
+    stats = machine.run(trace, engine="kernel")
+    prof = stats.engine_profile
+    assert prof["engine"] == "kernel", prof.get("fallback_reason")
+    assert prof["backend"] == backend
+    assert prof["bails"] == sum(prof["bail_kinds"].values())
+    for kind in expect_bails:
+        assert prof["bail_kinds"][kind] > 0, (kind, prof["bail_kinds"])
+    assert fingerprint(machine, stats) == ref
+    return prof
+
+
+class TestFullFamilyEquivalence:
+    """Every finite-cache stock system runs compiled, bit-identical."""
+
+    ELIGIBLE = [n for n in SYSTEM_NAMES if n != "perfect"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("system", ELIGIBLE)
+    def test_stock_system_bit_identical(self, backend, system, monkeypatch):
+        _require_backend(backend)
+        cfg = _harsh_config()
+        _assert_kernel_matches_batched(cfg, _spec_for(system),
+                                       _harsh_trace(cfg), backend,
+                                       monkeypatch)
+
+    #: hysteresis MigRep evaluations are inlined in the walk, so only
+    #: fired decisions bail; every other adaptive policy bails to the
+    #: Python evaluation point on each remote miss
+    EXPECT_BAILS = {
+        "migrep-competitive": ("decide",),
+        "migrep-hysteresis": ("replicate", "migrate"),
+        "rnuma-hysteresis": ("decide",),
+        "rnuma-competitive": ("decide",),
+        "hybrid-hysteresis": ("decide", "migrate"),
+        "hybrid-mixed": ("decide", "migrate"),
+    }
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("variant", sorted(POLICY_VARIANTS))
+    def test_adaptive_policy_bit_identical(self, backend, variant,
+                                           monkeypatch):
+        """Non-static policies ride the walk, bailing only as needed."""
+        _require_backend(backend)
+        cfg = _harsh_config()
+        prof = _assert_kernel_matches_batched(
+            cfg, _spec_for(variant), _harsh_trace(cfg), backend,
+            monkeypatch, expect_bails=self.EXPECT_BAILS[variant])
+        if variant == "migrep-hysteresis":
+            # the pure-hysteresis MigRep never leaves the compiled loop
+            # for an evaluation that decides NONE
+            assert prof["bail_kinds"]["decide"] == 0
+
+
+class TestLaneActivation:
+    """The harsh shapes really do exercise the lane they target."""
+
+    @pytest.mark.parametrize("backend", ["interp", "c"])
+    def test_relocation_storm(self, backend, monkeypatch):
+        """Capacity thrash drives refetches over the static threshold:
+        the rnuma lane fires relocate bails and stays exact."""
+        _require_backend(backend)
+        cfg = _harsh_config()
+        prof = _assert_kernel_matches_batched(
+            cfg, build_system("rnuma"), _harsh_trace(cfg), backend,
+            monkeypatch, expect_bails=("relocate",))
+        assert prof["bail_kinds"]["relocate"] > 100
+
+    @pytest.mark.parametrize("backend", ["interp", "c"])
+    @pytest.mark.parametrize("system", ["scoma", "scoma-inf"])
+    def test_page_cache_replacement(self, backend, system, monkeypatch):
+        """S-COMA page-cache pressure: non-resident pages bail to the
+        allocator, resident pages stay in the compiled probe lane."""
+        _require_backend(backend)
+        cfg = _harsh_config()
+        _assert_kernel_matches_batched(
+            cfg, build_system(system), _harsh_trace(cfg), backend,
+            monkeypatch, expect_bails=("pagecache",))
+
+    @pytest.mark.parametrize("backend", ["interp", "c"])
+    def test_hybrid_fires_both_decisions(self, backend, monkeypatch):
+        """rnuma-migrep triggers relocations and migrations in one run."""
+        _require_backend(backend)
+        cfg = _harsh_config()
+        _assert_kernel_matches_batched(
+            cfg, build_system("rnuma-migrep"), _harsh_trace(cfg), backend,
+            monkeypatch, expect_bails=("relocate", "migrate"))
+
+
+class TestRandomLaneTraces:
+    """Hypothesis hunts for bail orderings the fixed traces miss."""
+
+    SYSTEMS = ["rnuma", "rnuma-migrep", "scoma", "ccnuma-dram",
+               "rnuma-hysteresis", "hybrid-mixed"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_streams_all_lanes(self, data):
+        cfg = _harsh_config()
+        num_procs = 4
+        # few distinct blocks spread over many pages: high page-cache
+        # pressure and recurring capacity refetches on the same pages
+        num_blocks = data.draw(st.integers(16, 160))
+        phases = []
+        for pi in range(data.draw(st.integers(1, 3))):
+            blocks, writes = [], []
+            for p in range(num_procs):
+                n = data.draw(st.integers(0, 80))
+                blocks.append(np.array(
+                    data.draw(st.lists(st.integers(0, num_blocks - 1),
+                                       min_size=n, max_size=n)),
+                    dtype=np.int64))
+                writes.append(np.array(
+                    data.draw(st.lists(st.integers(0, 1),
+                                       min_size=n, max_size=n)),
+                    dtype=np.int8))
+            phases.append(PhaseTrace(name=f"ph{pi}", compute_per_access=2,
+                                     blocks=blocks, writes=writes))
+        trace = Trace(name="random-lanes", num_procs=num_procs,
+                      phases=phases)
+        system = data.draw(st.sampled_from(self.SYSTEMS))
+        with pytest.MonkeyPatch.context() as mp:
+            _assert_kernel_matches_batched(cfg, _spec_for(system), trace,
+                                           "interp", mp)

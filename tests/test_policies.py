@@ -328,7 +328,7 @@ class TestHysteresisPolicy:
             if decision is not MigRepDecision.NONE:
                 break
         assert decision is MigRepDecision.REPLICATE
-        assert 3 not in p._scores   # hysteresis: pressure cleared
+        assert p.pressure(3, 1) == 0.0   # hysteresis: pressure cleared
 
     def test_unreachable_threshold_rejected(self):
         with pytest.raises(ValueError, match="unreachable"):

@@ -385,12 +385,13 @@ class TestKernelFallbackInWorkers:
     def test_ineligible_systems_fall_back_inside_pool_workers(self, cfg,
                                                               ocean_trace,
                                                               monkeypatch):
-        # rnuma has a page cache and rnuma-inf an infinite block cache:
-        # both are kernel-ineligible, so the pool workers run batched
-        # and ship the fallback profile home for note_profile
+        # perfect's infinite block cache is kernel-ineligible, so the
+        # pool workers run batched and ship the fallback profile home
+        # for note_profile (two distinct configs keep the runs from
+        # collapsing into one memo entry)
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
-        items = [(ocean_trace, system, cfg)
-                 for system in ("rnuma", "rnuma-inf")]
+        items = [(ocean_trace, "perfect", c)
+                 for c in (cfg, base_config(seed=1))]
         with SweepRunner(jobs=2, engine="kernel") as runner:
             par = runner.map_runs(items)
             assert runner.stats.parallel_runs == 2
@@ -414,6 +415,24 @@ class TestKernelFallbackInWorkers:
             runner.map_runs(items)
             assert runner.stats.kernel_runs == 2
             assert runner.stats.kernel_fallbacks == 0
+
+    def test_bail_kinds_fold_across_workers(self, cfg, ocean_trace,
+                                            monkeypatch):
+        """Per-run bail_kinds aggregate into RunnerStats with the full
+        stable key set, and survive the worker process boundary."""
+        from repro.engine.kernel import BAIL_KIND_NAMES
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "interp")
+        items = [(ocean_trace, system, cfg)
+                 for system in ("rnuma", "scoma")]
+        with SweepRunner(jobs=2, engine="kernel") as runner:
+            par = runner.map_runs(items)
+            exported = runner.stats.as_dict()["bail_kinds"]
+            assert tuple(exported) == BAIL_KIND_NAMES
+            per_run = [r.stats.engine_profile["bail_kinds"] for r in par]
+            assert all(tuple(k) == BAIL_KIND_NAMES for k in per_run)
+            for kind in BAIL_KIND_NAMES:
+                assert exported[kind] == sum(k[kind] for k in per_run)
 
 
 class TestBatchExecution:
